@@ -1,0 +1,253 @@
+//===- BenchSupport.cpp - Shared benchmark harness ------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+#include "cbackend/NativeJit.h"
+#include "ciphers/RefAes.h"
+#include "ciphers/RefChacha20.h"
+#include "ciphers/RefDes.h"
+#include "ciphers/RefPresent.h"
+#include "ciphers/RefRectangle.h"
+#include "ciphers/RefSerpent.h"
+#include "ciphers/UsubaSources.h"
+#include "runtime/Dudect.h"
+
+#include <sstream>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+using namespace usuba;
+using namespace usuba::bench;
+
+uint64_t usuba::bench::cycles() { return readTimestampCounter(); }
+
+bool usuba::bench::fullMode() {
+  const char *Env = std::getenv("USUBA_BENCH_FULL");
+  return Env && Env[0] == '1';
+}
+
+size_t usuba::bench::workloadBytes() {
+  if (const char *Env = std::getenv("USUBA_BENCH_BYTES"))
+    return std::strtoull(Env, nullptr, 10);
+  return 2u << 20; // 2 MiB
+}
+
+double usuba::bench::measureCyclesPerByte(const std::function<void()> &Fn,
+                                          size_t BytesPerCall,
+                                          unsigned Trials) {
+  // Warm up (also powers up wide SIMD units, Section 4.2).
+  Fn();
+  Fn();
+  double Best = 1e30;
+  for (unsigned T = 0; T < Trials; ++T) {
+    uint64_t Start = cycles();
+    Fn();
+    uint64_t End = cycles();
+    double CyclesPerByte =
+        static_cast<double>(End - Start) / static_cast<double>(BytesPerCall);
+    if (CyclesPerByte < Best)
+      Best = CyclesPerByte;
+  }
+  return Best;
+}
+
+std::optional<UsubaCipher> usuba::bench::makeCipher(
+    CipherId Id, SlicingMode Slicing, const Arch &Target,
+    const CipherConfig &Overrides) {
+  CipherConfig Config = Overrides;
+  Config.Id = Id;
+  Config.Slicing = Slicing;
+  Config.Target = &Target;
+  // The facade auto-selects the host-compiler effort by kernel size and
+  // falls back to the simulator when the host cannot run the target ISA.
+  return UsubaCipher::create(Config);
+}
+
+double usuba::bench::ctrCyclesPerByte(UsubaCipher &Cipher) {
+  // Simulator fallbacks run ~100x slower; shrink their workload so the
+  // benches stay interactive (the tag printed next to the number marks
+  // them as simulated anyway).
+  size_t Bytes = Cipher.isNative() ? workloadBytes()
+                                   : std::max<size_t>(workloadBytes() / 32,
+                                                      4096);
+  std::vector<uint8_t> Buffer(Bytes, 0x5A);
+  std::vector<uint8_t> Key(Cipher.keyBytes(), 0x42);
+  uint8_t Nonce[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  Cipher.setKey(Key.data(), Key.size());
+  return measureCyclesPerByte(
+      [&] { Cipher.ctrXor(Buffer.data(), Buffer.size(), Nonce, 0); },
+      Bytes);
+}
+
+double usuba::bench::kernelCyclesPerByte(UsubaCipher &Cipher) {
+  size_t BytesPerCall =
+      size_t{Cipher.blocksPerCall()} * Cipher.blockBytes();
+  // Enough iterations for a stable reading.
+  size_t Iters = std::max<size_t>(workloadBytes() / BytesPerCall, 64);
+  if (!Cipher.isNative())
+    Iters = std::min<size_t>(Iters, 64);
+  return measureCyclesPerByte(
+      [&] {
+        for (size_t I = 0; I < Iters; ++I)
+          Cipher.rawKernelCall();
+      },
+      BytesPerCall * Iters);
+}
+
+double usuba::bench::transposeCyclesPerByte(UsubaCipher &Cipher) {
+  // Run the full path and the kernel-only path over the same bytes; the
+  // difference is transposition plus (small) mode-driver cost.
+  double Full = ctrCyclesPerByte(Cipher);
+  double Kernel = kernelCyclesPerByte(Cipher);
+  return Full > Kernel ? Full - Kernel : 0;
+}
+
+double usuba::bench::kernelLatencyCycles(UsubaCipher &Cipher) {
+  Cipher.rawKernelCall();
+  Cipher.rawKernelCall();
+  double Best = 1e30;
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    uint64_t Start = cycles();
+    Cipher.rawKernelCall();
+    uint64_t End = cycles();
+    Best = std::min(Best, static_cast<double>(End - Start));
+  }
+  return Best;
+}
+
+double usuba::bench::referenceCyclesPerByte(CipherId Id) {
+  size_t Bytes = workloadBytes() / 4; // the references are scalar
+  switch (Id) {
+  case CipherId::Rectangle: {
+    uint16_t Keys[RectangleRoundKeys][4] = {};
+    std::vector<uint16_t> Blocks(Bytes / 2, 0x1234);
+    return measureCyclesPerByte(
+        [&] {
+          for (size_t B = 0; B + 4 <= Blocks.size(); B += 4)
+            rectangleEncrypt(&Blocks[B], Keys);
+        },
+        Bytes);
+  }
+  case CipherId::Des: {
+    uint64_t Subkeys[16];
+    desKeySchedule(0x0123456789ABCDEFull, Subkeys);
+    std::vector<uint64_t> Blocks(Bytes / 8, 42);
+    return measureCyclesPerByte(
+        [&] {
+          for (uint64_t &Block : Blocks)
+            Block = desEncryptBlock(Block, Subkeys);
+        },
+        Bytes);
+  }
+  case CipherId::Aes128: {
+    uint8_t Key[16] = {}, RoundKeys[11][16];
+    aes128KeySchedule(Key, RoundKeys);
+    std::vector<uint8_t> Buffer(Bytes, 0x5A);
+    return measureCyclesPerByte(
+        [&] {
+          for (size_t B = 0; B + 16 <= Buffer.size(); B += 16)
+            aesEncryptBlock(&Buffer[B], RoundKeys);
+        },
+        Bytes);
+  }
+  case CipherId::Chacha20: {
+    uint8_t Key[32] = {}, Nonce[12] = {};
+    std::vector<uint8_t> Buffer(Bytes, 0x5A);
+    return measureCyclesPerByte(
+        [&] { chacha20Xor(Buffer.data(), Buffer.size(), Key, 0, Nonce); },
+        Bytes);
+  }
+  case CipherId::Serpent: {
+    uint8_t Key[16] = {};
+    uint32_t Keys[SerpentRoundKeys][4];
+    serpentKeySchedule(Key, Keys);
+    std::vector<uint32_t> Blocks(Bytes / 4, 7);
+    return measureCyclesPerByte(
+        [&] {
+          for (size_t B = 0; B + 4 <= Blocks.size(); B += 4)
+            serpentEncrypt(&Blocks[B], Keys);
+        },
+        Bytes);
+  }
+  case CipherId::Present: {
+    uint8_t Key[10] = {};
+    uint64_t RoundKeys[32];
+    presentKeySchedule80(Key, RoundKeys);
+    std::vector<uint64_t> Blocks(Bytes / 8, 42);
+    return measureCyclesPerByte(
+        [&] {
+          for (uint64_t &Block : Blocks)
+            Block = presentEncryptBlock(Block, RoundKeys);
+        },
+        Bytes);
+  }
+  }
+  return 0;
+}
+
+unsigned usuba::bench::usubaSloc(CipherId Id) {
+  const std::string *Source = nullptr;
+  switch (Id) {
+  case CipherId::Rectangle:
+    Source = &rectangleSource();
+    break;
+  case CipherId::Des:
+    Source = &desSource();
+    break;
+  case CipherId::Aes128:
+    Source = &aesSource();
+    break;
+  case CipherId::Chacha20:
+    Source = &chacha20Source();
+    break;
+  case CipherId::Serpent:
+    Source = &serpentSource();
+    break;
+  case CipherId::Present:
+    Source = &presentSource();
+    break;
+  }
+  unsigned Lines = 0;
+  std::istringstream Stream(*Source);
+  std::string Line;
+  while (std::getline(Stream, Line)) {
+    size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos)
+      continue;
+    if (Line.compare(First, 2, "//") == 0)
+      continue;
+    ++Lines;
+  }
+  return Lines;
+}
+
+const char *usuba::bench::engineTag(const UsubaCipher &Cipher) {
+  return Cipher.isNative() ? "native" : "sim";
+}
+
+void usuba::bench::printRow(const std::vector<std::string> &Cells,
+                            const std::vector<int> &Widths) {
+  std::string Line;
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    int Width = I < Widths.size() ? Widths[I] : 12;
+    char Buffer[256];
+    std::snprintf(Buffer, sizeof(Buffer), "%-*s", Width, Cells[I].c_str());
+    Line += Buffer;
+  }
+  std::printf("%s\n", Line.c_str());
+}
+
+std::string usuba::bench::fmt(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}

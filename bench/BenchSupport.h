@@ -1,0 +1,97 @@
+//===- BenchSupport.h - Shared benchmark harness ----------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction binaries: cycle
+/// counting, cipher construction with a JIT-opt-level policy, throughput
+/// measurement (end-to-end CTR and kernel-only), and fixed-width table
+/// printing that mirrors the paper's rows.
+///
+/// Environment knobs:
+///  * USUBA_BENCH_FULL=1  — include the very large bitsliced-AES
+///    configurations (tens of seconds of host-compiler time each);
+///  * USUBA_BENCH_BYTES=N — workload size per measurement (default 2 MiB).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_BENCH_BENCHSUPPORT_H
+#define USUBA_BENCH_BENCHSUPPORT_H
+
+#include "ciphers/UsubaCipher.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace usuba {
+namespace bench {
+
+/// Serialized timestamp counter (falls back to a monotonic clock off
+/// x86).
+uint64_t cycles();
+
+/// True when the big bitsliced-AES configurations should run.
+bool fullMode();
+
+/// Workload bytes per throughput measurement.
+size_t workloadBytes();
+
+/// Runs \p Fn repeatedly (processing \p BytesPerCall each time) until
+/// both a minimum time and a minimum byte count are reached; returns the
+/// best (minimum) cycles/byte over the trials, the robust estimator for
+/// throughput benches.
+double measureCyclesPerByte(const std::function<void()> &Fn,
+                            size_t BytesPerCall, unsigned Trials = 5);
+
+/// Builds a cipher for benchmarking. Picks the JIT optimization level by
+/// kernel size (-O3, degrading to -O0 for the enormous bitsliced-AES
+/// kernels so benches stay tractable) by pre-compiling without native
+/// code and re-creating. Returns std::nullopt when the slicing does not
+/// type-check.
+std::optional<UsubaCipher> makeCipher(CipherId Id, SlicingMode Slicing,
+                                      const Arch &Target,
+                                      const CipherConfig &Overrides = {});
+
+/// End-to-end CTR throughput (includes transposition and the mode
+/// driver).
+double ctrCyclesPerByte(UsubaCipher &Cipher);
+
+/// Kernel-only throughput (no transposition; what Figures 3/4 report).
+double kernelCyclesPerByte(UsubaCipher &Cipher);
+
+/// Transposition-only cost: pack+unpack of one batch, per byte.
+double transposeCyclesPerByte(UsubaCipher &Cipher);
+
+/// Latency of one kernel invocation in cycles (Table 3's last column:
+/// how long before the first batch of blocks is ready).
+double kernelLatencyCycles(UsubaCipher &Cipher);
+
+/// Throughput of the bundled portable reference implementation (the
+/// Table 3 baseline; the paper used hand-tuned SUPERCOP code — see the
+/// substitution notes in DESIGN.md). ECB for DES/Rectangle, CTR/stream
+/// for the others, matching the paper's modes.
+double referenceCyclesPerByte(CipherId Id);
+
+/// Source lines of the bundled Usuba program (comment/blank-free), the
+/// paper's "code size (SLOC)" column.
+unsigned usubaSloc(CipherId Id);
+
+/// "native" or "sim" — printed next to every number so simulator
+/// fallbacks are never mistaken for hardware measurements.
+const char *engineTag(const UsubaCipher &Cipher);
+
+/// Fixed-width cell printing.
+void printRow(const std::vector<std::string> &Cells,
+              const std::vector<int> &Widths);
+
+/// Formats a double with \p Decimals digits.
+std::string fmt(double Value, int Decimals = 2);
+
+} // namespace bench
+} // namespace usuba
+
+#endif // USUBA_BENCH_BENCHSUPPORT_H

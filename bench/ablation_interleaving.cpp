@@ -1,0 +1,87 @@
+//===- ablation_interleaving.cpp - Section 3.2 interleaving numbers -------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section 3.2 interleaving experiment: "On Serpent, the
+/// throughput of 2 interleaved ciphers is 21.75% higher than the
+/// throughput of a single cipher, while increasing the code size by
+/// 29.3%. Similarly for Rectangle, the throughput increases by 27.62% at
+/// the expense of a 19.2% increase in code size."
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+#include <cstdio>
+
+using namespace usuba;
+using namespace usuba::bench;
+
+int main() {
+  std::printf("Section 3.2 ablation: interleaving (vsliced, AVX2-class "
+              "target; kernel-only cycles/byte)\n\n");
+  const std::vector<int> W = {11, 8, 12, 12, 14, 14, 16};
+  printRow({"cipher", "factor", "plain c/b", "intl c/b", "speedup",
+            "size delta", "paper speedup"},
+           W);
+
+  struct Case {
+    CipherId Id;
+    const char *PaperSpeedup;
+    const char *PaperSize;
+  };
+  const Case Cases[] = {
+      {CipherId::Serpent, "+21.75%", "+29.3%"},
+      {CipherId::Rectangle, "+27.62%", "+19.2%"},
+  };
+
+  for (const Case &C : Cases) {
+    CipherConfig Plain, Interleaved;
+    Interleaved.Interleave = true;
+    // The paper interleaves both ciphers 2-way. Our register-pressure
+    // estimate for Serpent lands at 14 (the BDD S-box circuits use more
+    // temporaries than Osvik's), so the heuristic alone would pick x1;
+    // pin the paper's factor to reproduce its experiment.
+    Interleaved.InterleaveFactorOverride = 2;
+    std::optional<UsubaCipher> Base =
+        makeCipher(C.Id, SlicingMode::Vslice, archAVX2(), Plain);
+    std::optional<UsubaCipher> Intl =
+        makeCipher(C.Id, SlicingMode::Vslice, archAVX2(), Interleaved);
+    if (!Base || !Intl) {
+      std::printf("compilation failed for %s\n", cipherName(C.Id));
+      continue;
+    }
+    double BaseCpb = kernelCyclesPerByte(*Base);
+    double IntlCpb = kernelCyclesPerByte(*Intl);
+    double Speedup = (BaseCpb / IntlCpb - 1.0) * 100.0;
+    double SizeDelta =
+        (static_cast<double>(Intl->kernel().InstrCount) /
+             static_cast<double>(Intl->kernel().InterleaveFactor()) /
+             static_cast<double>(Base->kernel().InstrCount) -
+         1.0) *
+        100.0;
+    // Interleaving duplicates the stream, so per-instance code size is
+    // flat in our IR; report the real binary growth instead: total
+    // instructions versus the single instance.
+    double CodeGrowth =
+        (static_cast<double>(Intl->kernel().InstrCount) /
+             static_cast<double>(Base->kernel().InstrCount) -
+         1.0) *
+        100.0;
+    (void)SizeDelta;
+    printRow({cipherName(C.Id),
+              std::to_string(Intl->kernel().InterleaveFactor()),
+              fmt(BaseCpb), fmt(IntlCpb), fmt(Speedup, 1) + "%",
+              "+" + fmt(CodeGrowth, 1) + "%",
+              std::string(C.PaperSpeedup) + " / " + C.PaperSize},
+             W);
+  }
+
+  std::printf("\n(The paper interleaves 2 instances of both ciphers; the "
+              "speedup comes from instruction-level parallelism hiding "
+              "data hazards.)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===- ablation_scheduling.cpp - Section 3.2 scheduling numbers -----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section 3.2 scheduling experiments: the bitslice
+/// scheduler (Algorithm 1, reduces spilling: DES +6.77%, bitsliced AES
+/// +2.49% over inlining alone) and the m-slice scheduler (look-behind
+/// window, raises ILP: hsliced AES +2.43%, vsliced Chacha20 +9.09%).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+#include <cstdio>
+
+using namespace usuba;
+using namespace usuba::bench;
+
+int main() {
+  std::printf("Section 3.2 ablation: scheduling (kernel-only "
+              "cycles/byte)\n\n");
+  const std::vector<int> W = {11, 10, 8, 14, 12, 12, 10};
+  printRow({"cipher", "slicing", "target", "no-sched c/b", "sched c/b",
+            "speedup", "paper"},
+           W);
+
+  struct Case {
+    CipherId Id;
+    SlicingMode Slicing;
+    ArchKind Target;
+    bool Heavy;
+    const char *Paper;
+  };
+  const Case Cases[] = {
+      {CipherId::Des, SlicingMode::Bitslice, ArchKind::GP64, false,
+       "+6.77%"},
+      {CipherId::Aes128, SlicingMode::Bitslice, ArchKind::GP64, true,
+       "+2.49%"},
+      {CipherId::Aes128, SlicingMode::Hslice, ArchKind::SSE, false,
+       "+2.43%"},
+      {CipherId::Chacha20, SlicingMode::Vslice, ArchKind::AVX2, false,
+       "+9.09%"},
+  };
+
+  for (const Case &C : Cases) {
+    if (C.Heavy && !fullMode()) {
+      std::printf("%-11s (set USUBA_BENCH_FULL=1 for bitsliced AES)\n",
+                  cipherName(C.Id));
+      continue;
+    }
+    CipherConfig NoSched;
+    NoSched.Schedule = false;
+    std::optional<UsubaCipher> Plain =
+        makeCipher(C.Id, C.Slicing, archFor(C.Target), NoSched);
+    std::optional<UsubaCipher> Scheduled =
+        makeCipher(C.Id, C.Slicing, archFor(C.Target));
+    if (!Plain || !Scheduled) {
+      std::printf("compilation failed for %s\n", cipherName(C.Id));
+      continue;
+    }
+    double PlainCpb = kernelCyclesPerByte(*Plain);
+    double SchedCpb = kernelCyclesPerByte(*Scheduled);
+    double Speedup = (PlainCpb / SchedCpb - 1.0) * 100.0;
+    printRow({cipherName(C.Id), slicingName(C.Slicing),
+              archFor(C.Target).Name, fmt(PlainCpb), fmt(SchedCpb),
+              fmt(Speedup, 1) + "%", C.Paper},
+             W);
+  }
+
+  std::printf("\n(The host C compiler also schedules; the paper's effect "
+              "is what its scheduling adds on top of the C compiler's, "
+              "which is what this measures too.)\n");
+  return 0;
+}

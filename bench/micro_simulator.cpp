@@ -1,0 +1,92 @@
+//===- micro_simulator.cpp - google-benchmark microbenchmarks -------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the substrate itself (google-benchmark): SIMD
+/// simulator primitives, the 64x64 bit transpose, BDD synthesis of a DES
+/// S-box, and the full compilation pipeline for Rectangle. These bound
+/// the costs of the pieces the table/figure benches compose.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+#include "circuits/Circuit.h"
+#include "core/Compiler.h"
+#include "interp/SimdReg.h"
+#include "support/BitUtils.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace usuba;
+
+namespace {
+
+void BM_SimdAddElems(benchmark::State &State) {
+  SimdReg A, B, D;
+  for (unsigned I = 0; I < 8; ++I) {
+    A.Words[I] = 0x0123456789ABCDEFull * (I + 1);
+    B.Words[I] = 0xFEDCBA9876543210ull * (I + 3);
+  }
+  unsigned MBits = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    simd::addElems(D, A, B, 8, MBits);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_SimdAddElems)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SimdRotlElems(benchmark::State &State) {
+  SimdReg A, D;
+  for (unsigned I = 0; I < 8; ++I)
+    A.Words[I] = 0x0123456789ABCDEFull * (I + 1);
+  for (auto _ : State) {
+    simd::rotlElems(D, A, 7, 8, 32);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_SimdRotlElems);
+
+void BM_Transpose64x64(benchmark::State &State) {
+  uint64_t M[64];
+  for (unsigned I = 0; I < 64; ++I)
+    M[I] = 0x9E3779B97F4A7C15ull * (I + 1);
+  for (auto _ : State) {
+    transpose64x64(M);
+    benchmark::DoNotOptimize(M[0]);
+  }
+}
+BENCHMARK(BM_Transpose64x64);
+
+void BM_SynthesizeDesSbox(benchmark::State &State) {
+  TruthTable Table;
+  Table.InBits = 6;
+  Table.OutBits = 4;
+  Table.Entries.resize(64);
+  for (unsigned I = 0; I < 64; ++I)
+    Table.Entries[I] = (I * 7 + 3) & 0xF;
+  for (auto _ : State) {
+    Circuit C = synthesizeTable(Table);
+    benchmark::DoNotOptimize(C.numGates());
+  }
+}
+BENCHMARK(BM_SynthesizeDesSbox);
+
+void BM_CompileRectangle(benchmark::State &State) {
+  for (auto _ : State) {
+    CompileOptions Options;
+    Options.Direction = Dir::Vert;
+    Options.WordBits = 16;
+    Options.Target = &archAVX2();
+    DiagnosticEngine Diags;
+    auto Kernel = compileUsuba(rectangleSource(), Options, Diags);
+    benchmark::DoNotOptimize(Kernel->InstrCount);
+  }
+}
+BENCHMARK(BM_CompileRectangle);
+
+} // namespace
+
+BENCHMARK_MAIN();

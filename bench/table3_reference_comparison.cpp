@@ -1,0 +1,122 @@
+//===- table3_reference_comparison.cpp - Paper Table 3 --------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 3: for each (mode, cipher, instruction set) row of
+/// the paper, the throughput of the Usuba-compiled kernel next to a
+/// reference implementation, plus code size (SLOC).
+///
+/// Differences from the paper's setup (see DESIGN.md):
+///  * the baseline is our portable C++ reference at -O3, not hand-tuned
+///    SUPERCOP assembly — so our speedups are much larger than the
+///    paper's (which compares against code already within a few percent
+///    of optimal);
+///  * "usuba kern" excludes transposition (comparable to the paper's
+///    primitive focus); "usuba e2e" includes our scalar transposition.
+/// The paper's own numbers are printed alongside for reference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+#include <cstdio>
+
+using namespace usuba;
+using namespace usuba::bench;
+
+namespace {
+
+struct Row {
+  const char *Mode;
+  CipherId Id;
+  SlicingMode Slicing;
+  ArchKind Target;
+  const char *InstrSet;
+  double PaperRef;   ///< reference cycles/byte from Table 3
+  double PaperUsuba; ///< Usuba cycles/byte from Table 3
+  unsigned PaperSloc;
+};
+
+const Row Rows[] = {
+    {"bitslicing", CipherId::Des, SlicingMode::Bitslice, ArchKind::GP64,
+     "x86-64", 12.01, 11.47, 655},
+    {"16-hslicing", CipherId::Aes128, SlicingMode::Hslice, ArchKind::SSE,
+     "SSSE3", 7.77, 7.92, 218},
+    {"16-hslicing", CipherId::Aes128, SlicingMode::Hslice, ArchKind::AVX,
+     "AVX", 5.59, 5.71, 218},
+    {"32-vslicing", CipherId::Chacha20, SlicingMode::Vslice, ArchKind::AVX2,
+     "AVX2", 1.03, 1.02, 24},
+    {"32-vslicing", CipherId::Chacha20, SlicingMode::Vslice, ArchKind::AVX,
+     "AVX", 2.09, 2.07, 24},
+    {"32-vslicing", CipherId::Chacha20, SlicingMode::Vslice, ArchKind::SSE,
+     "SSSE3", 2.72, 2.31, 24},
+    {"32-vslicing", CipherId::Chacha20, SlicingMode::Vslice, ArchKind::GP64,
+     "x86-64", 5.64, 5.65, 24},
+    {"32-vslicing", CipherId::Serpent, SlicingMode::Vslice, ArchKind::AVX2,
+     "AVX2", 4.33, 4.53, 214},
+    {"32-vslicing", CipherId::Serpent, SlicingMode::Vslice, ArchKind::AVX,
+     "AVX", 8.36, 8.66, 214},
+    {"32-vslicing", CipherId::Serpent, SlicingMode::Vslice, ArchKind::SSE,
+     "SSE2", 11.48, 11.29, 214},
+    {"32-vslicing", CipherId::Serpent, SlicingMode::Vslice, ArchKind::GP64,
+     "x86-64", 30.37, 25.78, 214},
+    {"16-vslicing", CipherId::Rectangle, SlicingMode::Vslice, ArchKind::AVX2,
+     "AVX2", 2.45, 2.10, 31},
+    {"16-vslicing", CipherId::Rectangle, SlicingMode::Vslice, ArchKind::AVX,
+     "AVX", 4.92, 4.21, 31},
+    {"16-vslicing", CipherId::Rectangle, SlicingMode::Vslice, ArchKind::SSE,
+     "SSE4.2", 14.51, 11.18, 31},
+    {"16-vslicing", CipherId::Rectangle, SlicingMode::Vslice, ArchKind::GP64,
+     "x86-64", 28.61, 25.88, 31},
+};
+
+} // namespace
+
+int main() {
+  std::printf("Table 3 reproduction: Usuba kernels vs reference "
+              "implementations (cycles/byte, lower is better)\n\n");
+  const std::vector<int> W = {12, 11, 8, 6, 6, 10, 10, 11, 11, 9, 9, 8};
+  printRow({"mode", "cipher", "iset", "slocP", "sloc", "ref(P)", "us(P)",
+            "ref-ours", "us-kern", "us-e2e", "latency", "engine"},
+           W);
+
+  // Reference baselines are measured once per cipher.
+  double RefCache[6] = {-1, -1, -1, -1, -1, -1};
+  // Table 2's optimal configurations: interleaving helps the small-state
+  // m-sliced ciphers (Rectangle, Serpent).
+  for (const Row &R : Rows) {
+    const Arch &Target = archFor(R.Target);
+    CipherConfig Overrides;
+    Overrides.Interleave =
+        R.Id == CipherId::Rectangle || R.Id == CipherId::Serpent;
+    std::optional<UsubaCipher> Cipher =
+        makeCipher(R.Id, R.Slicing, Target, Overrides);
+    if (!Cipher) {
+      printRow({R.Mode, cipherName(R.Id), R.InstrSet, "-", "-", "-", "-",
+                "-", "unsupported"},
+               W);
+      continue;
+    }
+    unsigned Index = static_cast<unsigned>(R.Id);
+    if (RefCache[Index] < 0)
+      RefCache[Index] = referenceCyclesPerByte(R.Id);
+
+    double Kernel = kernelCyclesPerByte(*Cipher);
+    double EndToEnd = ctrCyclesPerByte(*Cipher);
+    double Latency = kernelLatencyCycles(*Cipher);
+    printRow({R.Mode, cipherName(R.Id), R.InstrSet,
+              std::to_string(R.PaperSloc), std::to_string(usubaSloc(R.Id)),
+              fmt(R.PaperRef), fmt(R.PaperUsuba), fmt(RefCache[Index]),
+              fmt(Kernel), fmt(EndToEnd), fmt(Latency, 0),
+              engineTag(*Cipher)},
+             W);
+  }
+
+  std::printf("\n(P) columns are the paper's measurements on Skylake; "
+              "ref-ours is our portable C++ baseline; us-kern excludes "
+              "transposition, us-e2e includes it.\n");
+  return 0;
+}

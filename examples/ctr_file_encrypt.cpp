@@ -1,0 +1,124 @@
+//===- ctr_file_encrypt.cpp - Bulk encryption with sliced ChaCha20 --------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload the paper's introduction motivates: a server pushing
+/// bulk data through a high-throughput, constant-time stream cipher.
+/// Encrypts (or decrypts — CTR is an involution) a file with the
+/// Usuba-compiled ChaCha20, verifying against the portable reference and
+/// reporting throughput.
+///
+///   ctr_file_encrypt <input> <output> [hex-key-32-bytes]
+///
+/// With no arguments, runs on 16 MiB of in-memory data instead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefChacha20.h"
+#include "ciphers/UsubaCipher.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+bool parseHexKey(const char *Text, uint8_t Key[32]) {
+  if (std::strlen(Text) != 64)
+    return false;
+  for (unsigned I = 0; I < 32; ++I) {
+    unsigned Value;
+    if (std::sscanf(Text + 2 * I, "%2x", &Value) != 1)
+      return false;
+    Key[I] = static_cast<uint8_t>(Value);
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint8_t Key[32];
+  for (unsigned I = 0; I < 32; ++I)
+    Key[I] = static_cast<uint8_t>(I * 7 + 1);
+  if (argc >= 4 && !parseHexKey(argv[3], Key)) {
+    std::fprintf(stderr, "error: key must be 64 hex digits\n");
+    return 1;
+  }
+  const uint8_t Nonce[12] = {'u', 's', 'u', 'b', 'a', '-', 'c',
+                             'p', 'p', '!', '!', '!'};
+
+  std::vector<uint8_t> Data;
+  if (argc >= 3) {
+    std::ifstream In(argv[1], std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+      return 1;
+    }
+    Data.assign(std::istreambuf_iterator<char>(In), {});
+  } else {
+    Data.resize(16u << 20);
+    for (size_t I = 0; I < Data.size(); ++I)
+      Data[I] = static_cast<uint8_t>(I * 2654435761u >> 24);
+  }
+
+  CipherConfig Config;
+  Config.Id = CipherId::Chacha20;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archAVX2();
+  std::string Error;
+  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
+  if (!Cipher) {
+    std::fprintf(stderr, "compilation failed: %s\n", Error.c_str());
+    return 1;
+  }
+  Cipher->setKey(Key, 32);
+  std::printf("chacha20/vslice on %s: %u blocks per call, %s execution\n",
+              Config.Target->Name, Cipher->blocksPerCall(),
+              Cipher->isNative() ? "native" : "simulated");
+
+  // Verify against the independent reference on a prefix before trusting
+  // the fast path with the user's data.
+  {
+    std::vector<uint8_t> Probe(Data.begin(),
+                               Data.begin() +
+                                   std::min<size_t>(Data.size(), 8192));
+    std::vector<uint8_t> Expected = Probe;
+    Cipher->ctrXor(Probe.data(), Probe.size(), Nonce, 0);
+    chacha20Xor(Expected.data(), Expected.size(), Key, 0, Nonce);
+    if (Probe != Expected) {
+      std::fprintf(stderr, "self-check failed: kernel disagrees with the "
+                           "reference\n");
+      return 1;
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  Cipher->ctrXor(Data.data(), Data.size(), Nonce, 0);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  std::printf("processed %.2f MiB in %.3f s (%.2f MiB/s)\n",
+              static_cast<double>(Data.size()) / (1 << 20), Seconds,
+              static_cast<double>(Data.size()) / (1 << 20) / Seconds);
+
+  if (argc >= 3) {
+    std::ofstream Out(argv[2], std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", argv[2]);
+      return 1;
+    }
+    Out.write(reinterpret_cast<const char *>(Data.data()),
+              static_cast<std::streamsize>(Data.size()));
+    std::printf("wrote %s (run the same command again to decrypt)\n",
+                argv[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+//===- custom_cipher.cpp - Bring your own Usuba program --------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library is not limited to the bundled primitives: this example
+/// defines a brand-new toy SPN in Usuba source *inside the program*,
+/// compiles it for several slicings and architectures, runs it through
+/// the batching runtime, checks all specializations agree, and prints
+/// the generated C for one of them.
+///
+/// (The toy cipher is for demonstration only — 8 rounds of a 4-bit S-box
+/// and a rotation is not cryptography.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "cbackend/CEmitter.h"
+#include "core/Compiler.h"
+#include "runtime/KernelRunner.h"
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+// A 32-bit toy SPN: 2 rows of 16 bits, the Rectangle S-box applied
+// columnwise on (row0, row1, row0 <<< 8, row1 <<< 8)... simply a small
+// demonstration of tables, foralls and rotations.
+const char *ToySource = R"(
+table S (in:v4) returns (out:v4) {
+  6, 5, 12, 10, 1, 14, 7, 9, 11, 0, 3, 13, 8, 15, 4, 2
+}
+
+node Round (st:u16x4, k:u16x4) returns (out:u16x4)
+vars t:u16x4
+let
+  t = S(st ^ k);
+  out[0] = t[0] <<< 1;
+  out[1] = t[1] <<< 3;
+  out[2] = t[2] <<< 5;
+  out[3] = t[3] <<< 7
+tel
+
+node Toy (plain:u16x4, key:u16x4[8]) returns (cipher:u16x4)
+vars r:u16x4[8]
+let
+  r[0] = plain;
+  forall i in [0,6] { r[i+1] = Round(r[i], key[i]) }
+  cipher = r[7] ^ key[7]
+tel
+)";
+
+std::vector<uint64_t> runToy(Dir Direction, bool Bitslice,
+                             const Arch &Target, unsigned NumBlocks,
+                             bool &Native) {
+  CompileOptions Options;
+  Options.Direction = Direction;
+  Options.WordBits = 16;
+  Options.Bitslice = Bitslice;
+  Options.Target = &Target;
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(ToySource, Options, Diags);
+  if (!Kernel) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return {};
+  }
+  Native = false;
+  KernelRunner Runner(std::move(*Kernel));
+  (void)Native;
+
+  // Fixed pseudo-random inputs: NumBlocks blocks of 4 atoms + 32 key
+  // atoms, expanded to bit-atoms under -B.
+  std::mt19937_64 Rng(0x70F);
+  std::vector<uint64_t> Keys(8 * 4);
+  for (uint64_t &K : Keys)
+    K = Rng() & 0xFFFF;
+  std::vector<uint64_t> Blocks(size_t{NumBlocks} * 4);
+  for (uint64_t &B : Blocks)
+    B = Rng() & 0xFFFF;
+
+  auto Expand = [&](const std::vector<uint64_t> &Atoms) {
+    if (!Bitslice)
+      return Atoms;
+    std::vector<uint64_t> Bits(Atoms.size() * 16);
+    for (size_t I = 0; I < Atoms.size(); ++I)
+      for (unsigned J = 0; J < 16; ++J)
+        Bits[I * 16 + J] = (Atoms[I] >> (15 - J)) & 1;
+    return Bits;
+  };
+
+  std::vector<uint64_t> KeyAtoms = Expand(Keys);
+  std::vector<uint64_t> Result;
+  const unsigned Batch = Runner.blocksPerCall();
+  for (unsigned Base = 0; Base < NumBlocks; Base += Batch) {
+    std::vector<uint64_t> BatchAtoms(size_t{Batch} * 4, 0);
+    for (unsigned B = 0; B < Batch && Base + B < NumBlocks; ++B)
+      for (unsigned A = 0; A < 4; ++A)
+        BatchAtoms[size_t{B} * 4 + A] = Blocks[size_t{Base + B} * 4 + A];
+    std::vector<uint64_t> In = Expand(BatchAtoms);
+    std::vector<uint64_t> Out(In.size());
+    Runner.runBatch({{false, In.data()}, {true, KeyAtoms.data()}},
+                    Out.data());
+    for (unsigned B = 0; B < Batch && Base + B < NumBlocks; ++B)
+      for (unsigned A = 0; A < 4; ++A) {
+        uint64_t Atom = 0;
+        if (Bitslice) {
+          for (unsigned J = 0; J < 16; ++J)
+            Atom = (Atom << 1) | (Out[(size_t{B} * 4 + A) * 16 + J] & 1);
+        } else {
+          Atom = Out[size_t{B} * 4 + A];
+        }
+        Result.push_back(Atom);
+      }
+  }
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  std::printf("compiling an ad-hoc cipher defined in this very file...\n\n");
+
+  struct Variant {
+    const char *Name;
+    Dir Direction;
+    bool Bitslice;
+    const Arch *Target;
+  };
+  const Variant Variants[] = {
+      {"vslice/gp64", Dir::Vert, false, &archGP64()},
+      {"vslice/avx2", Dir::Vert, false, &archAVX2()},
+      {"hslice/sse", Dir::Horiz, false, &archSSE()},
+      {"bitslice/avx512", Dir::Vert, true, &archAVX512()},
+      {"vslice/neon (simulated)", Dir::Vert, false, &archNeon()},
+  };
+
+  std::vector<uint64_t> Reference;
+  bool AllAgree = true;
+  for (const Variant &V : Variants) {
+    bool Native = false;
+    std::vector<uint64_t> Out =
+        runToy(V.Direction, V.Bitslice, *V.Target, 100, Native);
+    if (Out.empty()) {
+      std::printf("  %-26s failed to compile\n", V.Name);
+      AllAgree = false;
+      continue;
+    }
+    if (Reference.empty())
+      Reference = Out;
+    bool Agrees = Out == Reference;
+    AllAgree &= Agrees;
+    std::printf("  %-26s 100 blocks, %s\n", V.Name,
+                Agrees ? "agrees with the first variant" : "DISAGREES");
+  }
+
+  // Show a slice of the generated C for the AVX2 specialization.
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &archAVX2();
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(ToySource, Options, Diags);
+  if (Kernel) {
+    EmittedC C = emitC(Kernel->Prog);
+    std::printf("\ngenerated C (avx2, %zu instructions), first lines:\n",
+                Kernel->InstrCount);
+    size_t Shown = 0, Pos = 0;
+    while (Shown < 12 && Pos < C.Code.size()) {
+      size_t End = C.Code.find('\n', Pos);
+      std::printf("  %s\n", C.Code.substr(Pos, End - Pos).c_str());
+      Pos = End + 1;
+      ++Shown;
+    }
+  }
+  return AllAgree ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+//===- quickstart.cpp - First steps with usuba-cpp ------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five-minute tour: compile the paper's Rectangle program (Figure 1)
+/// for this machine, encrypt a message in counter mode, decrypt it back,
+/// and peek at what the compiler did (slicing, interleaving, instruction
+/// count, native vs simulated execution).
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build --target quickstart
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaCipher.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace usuba;
+
+int main() {
+  // 1. Pick a cipher and a slicing. Vertical slicing of Rectangle packs
+  //    one 16-bit row per SIMD element — 16 blocks in parallel on AVX2.
+  CipherConfig Config;
+  Config.Id = CipherId::Rectangle;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archAVX2();
+  Config.Interleave = true; // Table 2's winning flag for Rectangle
+
+  std::string Error;
+  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
+  if (!Cipher) {
+    std::fprintf(stderr, "compilation failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::printf("compiled rectangle/vslice for %s: %zu instructions, "
+              "%u blocks per call, interleave x%u, %s execution\n",
+              Config.Target->Name, Cipher->kernel().InstrCount,
+              Cipher->blocksPerCall(), Cipher->kernel().InterleaveFactor(),
+              Cipher->isNative() ? "native (JIT-compiled C)"
+                                 : "simulated");
+
+  // 2. Encrypt. Counter mode turns the block cipher into a stream cipher
+  //    (and is what makes slicing shine: every block is independent).
+  const uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const uint8_t Nonce[8] = {0x4e, 0x4f, 0x4e, 0x43, 0x45, 0x21, 0x21, 0x21};
+  Cipher->setKey(Key, sizeof(Key));
+
+  std::string Message = "Usuba: high-throughput and constant-time "
+                        "ciphers, by construction.";
+  std::string Buffer = Message;
+  Cipher->ctrXor(reinterpret_cast<uint8_t *>(Buffer.data()), Buffer.size(),
+                 Nonce, /*Counter=*/0);
+  std::printf("ciphertext (hex): ");
+  for (unsigned char C : Buffer.substr(0, 24))
+    std::printf("%02x", C);
+  std::printf("...\n");
+
+  // 3. Decrypt: counter mode is its own inverse.
+  Cipher->ctrXor(reinterpret_cast<uint8_t *>(Buffer.data()), Buffer.size(),
+                 Nonce, /*Counter=*/0);
+  std::printf("roundtrip: %s\n",
+              Buffer == Message ? "ok" : "MISMATCH (bug!)");
+
+  // 4. The same source compiles to every slicing the type system admits.
+  std::printf("\nslicings supported by rectangle on %s:",
+              Config.Target->Name);
+  for (SlicingMode Mode :
+       UsubaCipher::supportedSlicings(CipherId::Rectangle, *Config.Target))
+    std::printf(" %s", slicingName(Mode));
+  std::printf("\nslicings supported by chacha20 on %s:",
+              Config.Target->Name);
+  for (SlicingMode Mode :
+       UsubaCipher::supportedSlicings(CipherId::Chacha20, *Config.Target))
+    std::printf(" %s", slicingName(Mode));
+  std::printf("  (no bitslice: 32-bit addition has no Boolean instance)\n");
+  return Buffer == Message ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+//===- trivium_keystream.cpp - The paper's future work, running -----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6 of the paper: "Trivium is a stateful stream cipher in which
+/// the bits of the state are only used 64 rounds after their definition.
+/// It can therefore be efficiently bitsliced on 64-bit registers." This
+/// example runs the bundled Trivium64 kernel — 64 rounds as one
+/// combinational node — over hundreds of *independent* Trivium instances
+/// in parallel (one per slice), validates two of them against the
+/// bit-serial reference, and reports aggregate keystream throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefTrivium.h"
+#include "ciphers/UsubaSources.h"
+#include "core/Compiler.h"
+#include "runtime/KernelRunner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+using namespace usuba;
+
+int main() {
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 1;
+  Options.Target = &archAVX2();
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(triviumSource(), Options, Diags);
+  if (!Kernel) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  KernelRunner Runner(std::move(*Kernel));
+  const unsigned Streams = Runner.blocksPerCall();
+  std::printf("Trivium64: 64 rounds as one combinational kernel, "
+              "%u independent keystreams per call (%s)\n",
+              Streams, Options.Target->Name);
+
+  // Independent key/IV per slice; states initialized by the reference
+  // (the 4x288 warm-up could itself be run through the kernel: it is 18
+  // applications of Trivium64 with the keystream discarded).
+  std::mt19937_64 Rng(0x7121);
+  std::vector<TriviumState> RefStates(Streams);
+  std::vector<uint64_t> InAtoms(size_t{Streams} * 288);
+  for (unsigned S = 0; S < Streams; ++S) {
+    uint8_t Key[10], Iv[10];
+    for (unsigned I = 0; I < 10; ++I) {
+      Key[I] = static_cast<uint8_t>(Rng());
+      Iv[I] = static_cast<uint8_t>(Rng());
+    }
+    triviumInit(RefStates[S], Key, Iv);
+    for (unsigned I = 0; I < 288; ++I)
+      InAtoms[size_t{S} * 288 + I] = RefStates[S].S[I];
+  }
+
+  // Generate keystream blocks, feeding the next state back in, and
+  // validate slices 0 and Streams-1 against the bit-serial reference.
+  const unsigned Blocks = 64;
+  std::vector<uint64_t> OutAtoms(size_t{Streams} * (64 + 288));
+  bool Valid = true;
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned Block = 0; Block < Blocks; ++Block) {
+    Runner.runBatch({{false, InAtoms.data()}}, OutAtoms.data());
+    for (unsigned S : {0u, Streams - 1}) {
+      uint64_t Expected = triviumBlock64(RefStates[S]);
+      uint64_t Got = 0;
+      for (unsigned I = 0; I < 64; ++I)
+        Got = (Got << 1) | (OutAtoms[size_t{S} * (64 + 288) + I] & 1);
+      Valid &= Got == Expected;
+    }
+    for (unsigned S = 0; S < Streams; ++S)
+      for (unsigned I = 0; I < 288; ++I)
+        InAtoms[size_t{S} * 288 + I] =
+            OutAtoms[size_t{S} * (64 + 288) + 64 + I];
+  }
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  double Bits = double(Blocks) * 64 * Streams;
+  std::printf("validated against the bit-serial reference: %s\n",
+              Valid ? "ok" : "MISMATCH");
+  std::printf("generated %.1f Mbit of keystream across %u streams in "
+              "%.3f s (%.1f Mbit/s, incl. transposition)\n",
+              Bits / 1e6, Streams, Seconds, Bits / 1e6 / Seconds);
+  std::printf("\n(The validation loop also shows the intended usage: the "
+              "kernel is stateless; the caller owns the 288-bit states "
+              "and feeds `n` back as the next `s`.)\n");
+  return Valid ? 0 : 1;
+}

@@ -1,0 +1,195 @@
+//===- usubac.cpp - The Usubac command-line driver ------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command-line mirror of the paper's compiler:
+///
+///   usubac [options] <file.ua | bundled-name>
+///
+///   -V | -H        monomorphize to vertical / horizontal slicing
+///   -B             flatten to bitslice
+///   -w <m>         word size for the parameter 'm
+///   -arch <name>   gp64 | sse | avx | avx2 | avx512
+///   -no-inline -no-unroll -no-sched -interleave   back-end toggles
+///   -dump-u0       print the optimized Usuba0 instead of C
+///   -list          list the bundled programs and exit
+///   -o <file>      write output to a file (default stdout)
+///
+/// `usubac -V -w 16 -arch avx2 rectangle` prints the C-with-intrinsics
+/// translation unit Usubac would hand to the C compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cbackend/CEmitter.h"
+#include "frontend/AstPrinter.h"
+#include "frontend/Parser.h"
+#include "ciphers/UsubaSources.h"
+#include "core/Compiler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace usuba;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: usubac [-V|-H] [-B] [-w m] [-arch name] [-no-inline]\n"
+      "              [-no-unroll] [-no-sched] [-interleave] [-dump-u0]\n"
+      "              [-dump-ast] [-dump-source] [-o out]\n"
+      "              <file.ua | bundled-name>\n"
+      "       usubac -list\n");
+}
+
+std::string loadSource(const std::string &Name, bool &Ok) {
+  Ok = true;
+  for (const BundledProgram &P : bundledPrograms())
+    if (Name == P.Name)
+      return P.Source;
+  std::ifstream File(Name);
+  if (!File) {
+    Ok = false;
+    return "";
+  }
+  std::ostringstream Stream;
+  Stream << File.rdbuf();
+  return Stream.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CompileOptions Options;
+  Options.Target = &archGP64();
+  std::string Input, Output;
+  bool DumpU0 = false, DumpAst = false, DumpSource = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-V") {
+      Options.Direction = Dir::Vert;
+    } else if (Arg == "-H") {
+      Options.Direction = Dir::Horiz;
+    } else if (Arg == "-B") {
+      Options.Bitslice = true;
+    } else if (Arg == "-w" && I + 1 < argc) {
+      Options.WordBits = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (Arg == "-arch" && I + 1 < argc) {
+      const Arch *Target = archByName(argv[++I]);
+      if (!Target) {
+        std::fprintf(stderr, "error: unknown architecture '%s'\n", argv[I]);
+        return 1;
+      }
+      Options.Target = Target;
+    } else if (Arg == "-no-inline") {
+      Options.Inline = false;
+    } else if (Arg == "-no-unroll") {
+      Options.Unroll = false;
+    } else if (Arg == "-no-sched") {
+      Options.Schedule = false;
+    } else if (Arg == "-interleave") {
+      Options.Interleave = true;
+    } else if (Arg == "-dump-u0") {
+      DumpU0 = true;
+    } else if (Arg == "-dump-ast") {
+      DumpAst = true;
+    } else if (Arg == "-dump-source") {
+      DumpSource = true;
+    } else if (Arg == "-o" && I + 1 < argc) {
+      Output = argv[++I];
+    } else if (Arg == "-list") {
+      for (const BundledProgram &P : bundledPrograms())
+        std::printf("%s\n", P.Name);
+      return 0;
+    } else if (Arg == "-h" || Arg == "--help") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    } else {
+      Input = Arg;
+    }
+  }
+  if (Input.empty()) {
+    usage();
+    return 1;
+  }
+
+  bool Loaded = false;
+  std::string Source = loadSource(Input, Loaded);
+  if (!Loaded) {
+    std::fprintf(stderr, "error: cannot open '%s' (try -list)\n",
+                 Input.c_str());
+    return 1;
+  }
+
+  if (DumpSource) {
+    std::fputs(Source.c_str(), stdout);
+    return 0;
+  }
+  if (DumpAst) {
+    DiagnosticEngine Diags;
+    std::optional<ast::Program> Prog = parseProgram(Source, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    std::fputs(printProgram(*Prog).c_str(), stdout);
+    return 0;
+  }
+
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(Source, Options, Diags);
+  if (!Kernel) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "%s\n", D.str().c_str());
+
+  if (Options.Target->Kind == ArchKind::Neon && !DumpU0) {
+    std::fprintf(stderr, "error: the C backend targets the x86 family; "
+                         "use -dump-u0 for neon (the library runs neon "
+                         "kernels on the SIMD simulator)\n");
+    return 1;
+  }
+
+  std::string Text;
+  if (DumpU0) {
+    Text = Kernel->Prog.str();
+  } else {
+    EmittedC Emitted = emitC(Kernel->Prog);
+    Text = "/* compile with:";
+    for (const std::string &Flag : Emitted.CompilerFlags)
+      Text += " " + Flag;
+    Text += " */\n" + Emitted.Code;
+  }
+
+  if (Output.empty()) {
+    std::fputs(Text.c_str(), stdout);
+  } else {
+    std::ofstream File(Output);
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Output.c_str());
+      return 1;
+    }
+    File << Text;
+  }
+  std::fprintf(stderr,
+               "usubac: %s -> %zu instructions, %u live registers max, "
+               "interleave x%u\n",
+               Input.c_str(), Kernel->InstrCount, Kernel->MaxLive,
+               Kernel->InterleaveFactor());
+  return 0;
+}

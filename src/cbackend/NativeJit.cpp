@@ -1,0 +1,155 @@
+//===- NativeJit.cpp - Compile-and-load execution of emitted C ------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cbackend/NativeJit.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace usuba;
+
+namespace {
+
+std::string hostCompiler() {
+  if (const char *Env = std::getenv("USUBA_CC"))
+    return Env;
+  if (const char *Env = std::getenv("CC"))
+    return Env;
+  return "cc";
+}
+
+/// Unique scratch path under TMPDIR for this process.
+std::string scratchPath(const std::string &Stem, const char *Ext) {
+  static std::atomic<unsigned> Counter{0};
+  const char *Base = std::getenv("TMPDIR");
+  std::string Dir = Base ? Base : "/tmp";
+  return Dir + "/" + Stem + "-" + std::to_string(getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1)) + Ext;
+}
+
+int runCommand(const std::string &Command) {
+  int Status = std::system(Command.c_str());
+  if (Status == -1)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+} // namespace
+
+NativeKernel::~NativeKernel() {
+  if (Handle)
+    dlclose(Handle);
+}
+
+NativeKernel::NativeKernel(NativeKernel &&Other) noexcept
+    : Handle(Other.Handle), Fn(Other.Fn),
+      CompileSeconds(Other.CompileSeconds) {
+  Other.Handle = nullptr;
+  Other.Fn = nullptr;
+}
+
+bool NativeKernel::hostCompilerAvailable() {
+  static const bool Available = [] {
+    std::string Probe = scratchPath("usuba-probe", ".c");
+    {
+      std::ofstream Src(Probe);
+      Src << "int usuba_probe(void){return 42;}\n";
+    }
+    std::string Object = Probe + ".so";
+    int Status = runCommand(hostCompiler() + " -shared -fPIC -o " + Object +
+                            " " + Probe + " >/dev/null 2>&1");
+    std::remove(Probe.c_str());
+    std::remove(Object.c_str());
+    return Status == 0;
+  }();
+  return Available;
+}
+
+std::optional<NativeKernel> NativeKernel::compile(const EmittedC &Emitted,
+                                                  const std::string &OptLevel,
+                                                  std::string *Error) {
+  auto Fail = [&](const std::string &Why) -> std::optional<NativeKernel> {
+    if (Error)
+      *Error = Why;
+    return std::nullopt;
+  };
+  if (!hostCompilerAvailable())
+    return Fail("no host C compiler available (set USUBA_CC)");
+
+  std::string Source = scratchPath("usuba-kernel", ".c");
+  std::string Object = scratchPath("usuba-kernel", ".so");
+  {
+    std::ofstream Src(Source);
+    if (!Src)
+      return Fail("cannot write " + Source);
+    Src << Emitted.Code;
+  }
+
+  std::string Command = hostCompiler() + " " + OptLevel +
+                        " -shared -fPIC -fno-lto";
+  for (const std::string &Flag : Emitted.CompilerFlags)
+    Command += " " + Flag;
+  Command += " -o " + Object + " " + Source + " 2>/dev/null";
+
+  auto Start = std::chrono::steady_clock::now();
+  int Status = runCommand(Command);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  std::remove(Source.c_str());
+  if (Status != 0) {
+    std::remove(Object.c_str());
+    return Fail("host compiler failed (exit " + std::to_string(Status) +
+                ")");
+  }
+
+  void *Handle = dlopen(Object.c_str(), RTLD_NOW | RTLD_LOCAL);
+  // The object can be unlinked once mapped.
+  std::remove(Object.c_str());
+  if (!Handle)
+    return Fail(std::string("dlopen failed: ") + dlerror());
+  void *Sym = dlsym(Handle, "usuba_kernel");
+  if (!Sym) {
+    dlclose(Handle);
+    return Fail("usuba_kernel symbol not found");
+  }
+  return NativeKernel(Handle, reinterpret_cast<KernelFn>(Sym), Seconds);
+}
+
+std::optional<NativeKernel> usuba::jitCompile(const CompiledKernel &Kernel,
+                                              const std::string &OptLevel,
+                                              std::string *Error) {
+  return NativeKernel::compile(emitC(Kernel.Prog), OptLevel, Error);
+}
+
+bool usuba::hostSupports(const Arch &Target) {
+  switch (Target.Kind) {
+  case ArchKind::GP64:
+    return true;
+  case ArchKind::SSE:
+    return __builtin_cpu_supports("sse4.2") ||
+           __builtin_cpu_supports("ssse3");
+  case ArchKind::AVX:
+    return __builtin_cpu_supports("avx");
+  case ArchKind::AVX2:
+    return __builtin_cpu_supports("avx2");
+  case ArchKind::AVX512:
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vbmi");
+  case ArchKind::Neon:
+    return false; // no C backend for Neon: always the simulator
+  }
+  return false;
+}

@@ -1,0 +1,76 @@
+//===- NativeJit.h - Compile-and-load execution of emitted C ----*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime compilation of the C emitted by CEmitter: write the
+/// translation unit to a temporary directory, invoke the host C compiler
+/// (${USUBA_CC}, ${CC} or cc) with the target's ISA flags, dlopen the
+/// shared object and resolve `usuba_kernel`. This is how the benchmarks
+/// obtain real-machine numbers; when no host compiler exists the callers
+/// fall back to the SIMD simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CBACKEND_NATIVEJIT_H
+#define USUBA_CBACKEND_NATIVEJIT_H
+
+#include "cbackend/CEmitter.h"
+#include "core/Compiler.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace usuba {
+
+/// A loaded native kernel. Owns the dlopen handle; the function pointer
+/// dies with this object.
+class NativeKernel {
+public:
+  using KernelFn = void (*)(const uint64_t *In, uint64_t *Out);
+
+  ~NativeKernel();
+  NativeKernel(NativeKernel &&Other) noexcept;
+  NativeKernel &operator=(NativeKernel &&) = delete;
+
+  KernelFn fn() const { return Fn; }
+  /// Wall-clock seconds the host compiler took (reported by benches: the
+  /// paper's C files are large and compiler behavior matters).
+  double compileSeconds() const { return CompileSeconds; }
+
+  /// Compiles \p Emitted at the given optimization level. Returns
+  /// std::nullopt (with a reason in \p Error) when no compiler is
+  /// available or compilation fails. Extra flags are appended, letting
+  /// benches sweep compiler options.
+  static std::optional<NativeKernel>
+  compile(const EmittedC &Emitted, const std::string &OptLevel = "-O3",
+          std::string *Error = nullptr);
+
+  /// True when a host C compiler appears usable (cached probe).
+  static bool hostCompilerAvailable();
+
+private:
+  NativeKernel(void *Handle, KernelFn Fn, double CompileSeconds)
+      : Handle(Handle), Fn(Fn), CompileSeconds(CompileSeconds) {}
+
+  void *Handle = nullptr;
+  KernelFn Fn = nullptr;
+  double CompileSeconds = 0;
+};
+
+/// Convenience: emit C for \p Kernel and JIT it. The host must support
+/// the kernel's target ISA to *run* it (callers check hostSupports()).
+std::optional<NativeKernel> jitCompile(const CompiledKernel &Kernel,
+                                       const std::string &OptLevel = "-O3",
+                                       std::string *Error = nullptr);
+
+/// True when the machine running this process can execute code for
+/// \p Target (checked via CPUID-backed GCC builtins).
+bool hostSupports(const Arch &Target);
+
+} // namespace usuba
+
+#endif // USUBA_CBACKEND_NATIVEJIT_H

@@ -1,0 +1,44 @@
+//===- DesTables.h - The DES specification tables ---------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FIPS-46 DES tables, verbatim in the specification's layout (bit
+/// numbering 1-based, bit 1 = leftmost). They are shared by the reference
+/// implementation and by the generator that produces the DES Usuba source
+/// (which re-indexes the S-boxes into the compiler's wire convention), so
+/// a transcription error would be caught once by the known-answer tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_DESTABLES_H
+#define USUBA_CIPHERS_DESTABLES_H
+
+#include <cstdint>
+
+namespace usuba {
+namespace des {
+
+/// Initial permutation (64 entries, 1-based source bits).
+extern const uint8_t IP[64];
+/// Final permutation (inverse of IP).
+extern const uint8_t FP[64];
+/// Expansion of the 32-bit half to 48 bits (with repeats).
+extern const uint8_t E[48];
+/// Permutation P of the 32-bit S-box output.
+extern const uint8_t P[32];
+/// Key-schedule permuted choices.
+extern const uint8_t PC1[56];
+extern const uint8_t PC2[48];
+/// Per-round left-rotation amounts of the key halves.
+extern const uint8_t Shifts[16];
+/// S-boxes in the specification layout: S[i][row][column] with
+/// row = b1b6 and column = b2b3b4b5 of the 6 input bits b1..b6.
+extern const uint8_t Sboxes[8][4][16];
+
+} // namespace des
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_DESTABLES_H

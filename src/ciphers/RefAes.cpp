@@ -1,0 +1,181 @@
+//===- RefAes.cpp - Reference AES-128 implementation ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefAes.h"
+
+#include "support/BitUtils.h"
+
+using namespace usuba;
+
+namespace {
+
+/// GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1.
+uint8_t gmul(uint8_t A, uint8_t B) {
+  uint8_t Product = 0;
+  for (unsigned Bit = 0; Bit < 8; ++Bit) {
+    if (B & 1)
+      Product ^= A;
+    bool High = A & 0x80;
+    A = static_cast<uint8_t>(A << 1);
+    if (High)
+      A ^= 0x1B;
+    B >>= 1;
+  }
+  return Product;
+}
+
+uint8_t rotl8(uint8_t V, unsigned N) {
+  return static_cast<uint8_t>(rotateLeft(V, N, 8));
+}
+
+struct SboxTables {
+  uint8_t Forward[256];
+  uint8_t Inverse[256];
+
+  SboxTables() {
+    // s(a) = affine(inverse(a)); inverse(0) = 0.
+    for (unsigned A = 0; A < 256; ++A) {
+      uint8_t Inv = 0;
+      if (A != 0)
+        for (unsigned B = 1; B < 256; ++B)
+          if (gmul(static_cast<uint8_t>(A), static_cast<uint8_t>(B)) == 1) {
+            Inv = static_cast<uint8_t>(B);
+            break;
+          }
+      uint8_t S = static_cast<uint8_t>(Inv ^ rotl8(Inv, 1) ^ rotl8(Inv, 2) ^
+                                       rotl8(Inv, 3) ^ rotl8(Inv, 4) ^ 0x63);
+      Forward[A] = S;
+      Inverse[S] = static_cast<uint8_t>(A);
+    }
+  }
+};
+
+const SboxTables &tables() {
+  static const SboxTables Tables;
+  return Tables;
+}
+
+} // namespace
+
+const uint8_t *usuba::aesSbox() { return tables().Forward; }
+const uint8_t *usuba::aesInvSbox() { return tables().Inverse; }
+
+void usuba::aes128KeySchedule(const uint8_t Key[16],
+                              uint8_t RoundKeys[11][16]) {
+  uint8_t W[44][4];
+  for (unsigned I = 0; I < 4; ++I)
+    for (unsigned J = 0; J < 4; ++J)
+      W[I][J] = Key[4 * I + J];
+  uint8_t Rcon = 1;
+  for (unsigned I = 4; I < 44; ++I) {
+    uint8_t Temp[4] = {W[I - 1][0], W[I - 1][1], W[I - 1][2], W[I - 1][3]};
+    if (I % 4 == 0) {
+      uint8_t First = Temp[0];
+      for (unsigned J = 0; J < 3; ++J)
+        Temp[J] = aesSbox()[Temp[J + 1]];
+      Temp[3] = aesSbox()[First];
+      Temp[0] ^= Rcon;
+      Rcon = gmul(Rcon, 2);
+    }
+    for (unsigned J = 0; J < 4; ++J)
+      W[I][J] = W[I - 4][J] ^ Temp[J];
+  }
+  for (unsigned Round = 0; Round < 11; ++Round)
+    for (unsigned I = 0; I < 16; ++I)
+      RoundKeys[Round][I] = W[4 * Round + I / 4][I % 4];
+}
+
+namespace {
+
+/// State byte index p = row (p mod 4), column (p div 4) — the FIPS-197
+/// mapping from the input byte sequence.
+void addRoundKey(uint8_t State[16], const uint8_t Key[16]) {
+  for (unsigned I = 0; I < 16; ++I)
+    State[I] ^= Key[I];
+}
+
+void subBytes(uint8_t State[16], const uint8_t *Box) {
+  for (unsigned I = 0; I < 16; ++I)
+    State[I] = Box[State[I]];
+}
+
+void shiftRows(uint8_t State[16], bool Inverse) {
+  uint8_t Out[16];
+  for (unsigned P = 0; P < 16; ++P) {
+    unsigned Row = P % 4, Col = P / 4;
+    unsigned From = Inverse ? Row + 4 * ((Col + 4 - Row) % 4)
+                            : Row + 4 * ((Col + Row) % 4);
+    Out[P] = State[From];
+  }
+  for (unsigned I = 0; I < 16; ++I)
+    State[I] = Out[I];
+}
+
+void mixColumns(uint8_t State[16], bool Inverse) {
+  static const uint8_t Forward[4] = {2, 3, 1, 1};
+  static const uint8_t Backward[4] = {14, 11, 13, 9};
+  const uint8_t *Coef = Inverse ? Backward : Forward;
+  for (unsigned Col = 0; Col < 4; ++Col) {
+    uint8_t In[4], Out[4];
+    for (unsigned Row = 0; Row < 4; ++Row)
+      In[Row] = State[Row + 4 * Col];
+    for (unsigned Row = 0; Row < 4; ++Row) {
+      Out[Row] = 0;
+      for (unsigned K = 0; K < 4; ++K)
+        Out[Row] ^= gmul(Coef[(K + 4 - Row) % 4], In[K]);
+    }
+    for (unsigned Row = 0; Row < 4; ++Row)
+      State[Row + 4 * Col] = Out[Row];
+  }
+}
+
+} // namespace
+
+void usuba::aesEncryptBlock(uint8_t Block[16],
+                            const uint8_t RoundKeys[11][16]) {
+  addRoundKey(Block, RoundKeys[0]);
+  for (unsigned Round = 1; Round <= 9; ++Round) {
+    subBytes(Block, aesSbox());
+    shiftRows(Block, /*Inverse=*/false);
+    mixColumns(Block, /*Inverse=*/false);
+    addRoundKey(Block, RoundKeys[Round]);
+  }
+  subBytes(Block, aesSbox());
+  shiftRows(Block, /*Inverse=*/false);
+  addRoundKey(Block, RoundKeys[10]);
+}
+
+void usuba::aesDecryptBlock(uint8_t Block[16],
+                            const uint8_t RoundKeys[11][16]) {
+  addRoundKey(Block, RoundKeys[10]);
+  shiftRows(Block, /*Inverse=*/true);
+  subBytes(Block, aesInvSbox());
+  for (unsigned Round = 9; Round >= 1; --Round) {
+    addRoundKey(Block, RoundKeys[Round]);
+    mixColumns(Block, /*Inverse=*/true);
+    shiftRows(Block, /*Inverse=*/true);
+    subBytes(Block, aesInvSbox());
+  }
+  addRoundKey(Block, RoundKeys[0]);
+}
+
+void usuba::aesBlockToAtoms(const uint8_t Block[16], uint64_t Atoms[8]) {
+  for (unsigned J = 0; J < 8; ++J) {
+    uint64_t Atom = 0;
+    for (unsigned P = 0; P < 16; ++P)
+      Atom |= static_cast<uint64_t>((Block[P] >> J) & 1) << (15 - P);
+    Atoms[J] = Atom;
+  }
+}
+
+void usuba::aesAtomsToBlock(const uint64_t Atoms[8], uint8_t Block[16]) {
+  for (unsigned P = 0; P < 16; ++P) {
+    uint8_t Byte = 0;
+    for (unsigned J = 0; J < 8; ++J)
+      Byte |= static_cast<uint8_t>(((Atoms[J] >> (15 - P)) & 1) << J);
+    Block[P] = Byte;
+  }
+}

@@ -1,0 +1,44 @@
+//===- RefAes.h - Reference AES-128 implementation --------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable byte-oriented AES-128 (FIPS-197): correctness oracle and
+/// Table 3 baseline. The S-box is computed from first principles
+/// (GF(2^8) inversion + affine map) and shared with the generator of the
+/// hsliced Usuba source. Includes the conversions between 16-byte blocks
+/// and the Käsper-Schwabe bit-plane representation the kernel uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_REFAES_H
+#define USUBA_CIPHERS_REFAES_H
+
+#include <cstdint>
+
+namespace usuba {
+
+/// The AES S-box (computed once, cached).
+const uint8_t *aesSbox();
+/// Its inverse.
+const uint8_t *aesInvSbox();
+
+/// Expands a 128-bit key into 11 round keys of 16 bytes.
+void aes128KeySchedule(const uint8_t Key[16], uint8_t RoundKeys[11][16]);
+
+/// Encrypts/decrypts one 16-byte block in place.
+void aesEncryptBlock(uint8_t Block[16], const uint8_t RoundKeys[11][16]);
+void aesDecryptBlock(uint8_t Block[16], const uint8_t RoundKeys[11][16]);
+
+/// Conversions to the kernel representation: 8 atoms of 16 positions;
+/// atom j, position p (= state byte index p) holds bit j of byte p.
+/// Positions map to atom-value bits MSB-first (position p = bit 15-p),
+/// matching the runtime layout convention.
+void aesBlockToAtoms(const uint8_t Block[16], uint64_t Atoms[8]);
+void aesAtomsToBlock(const uint64_t Atoms[8], uint8_t Block[16]);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_REFAES_H

@@ -1,0 +1,84 @@
+//===- RefChacha20.cpp - Reference ChaCha20 implementation ----------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefChacha20.h"
+
+#include "support/BitUtils.h"
+
+using namespace usuba;
+
+namespace {
+
+uint32_t rotl32(uint32_t Value, unsigned Amount) {
+  return static_cast<uint32_t>(rotateLeft(Value, Amount, 32));
+}
+
+void quarterRound(uint32_t &A, uint32_t &B, uint32_t &C, uint32_t &D) {
+  A += B;
+  D = rotl32(D ^ A, 16);
+  C += D;
+  B = rotl32(B ^ C, 12);
+  A += B;
+  D = rotl32(D ^ A, 8);
+  C += D;
+  B = rotl32(B ^ C, 7);
+}
+
+uint32_t load32le(const uint8_t *Bytes) {
+  return static_cast<uint32_t>(Bytes[0]) |
+         static_cast<uint32_t>(Bytes[1]) << 8 |
+         static_cast<uint32_t>(Bytes[2]) << 16 |
+         static_cast<uint32_t>(Bytes[3]) << 24;
+}
+
+} // namespace
+
+void usuba::chacha20InitState(uint32_t State[16], const uint8_t Key[32],
+                              uint32_t Counter, const uint8_t Nonce[12]) {
+  State[0] = 0x61707865; // "expa"
+  State[1] = 0x3320646e; // "nd 3"
+  State[2] = 0x79622d32; // "2-by"
+  State[3] = 0x6b206574; // "te k"
+  for (unsigned I = 0; I < 8; ++I)
+    State[4 + I] = load32le(Key + 4 * I);
+  State[12] = Counter;
+  for (unsigned I = 0; I < 3; ++I)
+    State[13 + I] = load32le(Nonce + 4 * I);
+}
+
+void usuba::chacha20Block(const uint32_t In[16], uint32_t Out[16]) {
+  uint32_t X[16];
+  for (unsigned I = 0; I < 16; ++I)
+    X[I] = In[I];
+  for (unsigned Round = 0; Round < 10; ++Round) {
+    quarterRound(X[0], X[4], X[8], X[12]);
+    quarterRound(X[1], X[5], X[9], X[13]);
+    quarterRound(X[2], X[6], X[10], X[14]);
+    quarterRound(X[3], X[7], X[11], X[15]);
+    quarterRound(X[0], X[5], X[10], X[15]);
+    quarterRound(X[1], X[6], X[11], X[12]);
+    quarterRound(X[2], X[7], X[8], X[13]);
+    quarterRound(X[3], X[4], X[9], X[14]);
+  }
+  for (unsigned I = 0; I < 16; ++I)
+    Out[I] = X[I] + In[I];
+}
+
+void usuba::chacha20Xor(uint8_t *Data, size_t Length, const uint8_t Key[32],
+                        uint32_t Counter, const uint8_t Nonce[12]) {
+  uint32_t State[16], Block[16];
+  chacha20InitState(State, Key, Counter, Nonce);
+  size_t Offset = 0;
+  while (Offset < Length) {
+    chacha20Block(State, Block);
+    ++State[12];
+    size_t Chunk = Length - Offset < 64 ? Length - Offset : 64;
+    for (size_t I = 0; I < Chunk; ++I)
+      Data[Offset + I] ^=
+          static_cast<uint8_t>(Block[I / 4] >> (8 * (I % 4)));
+    Offset += Chunk;
+  }
+}

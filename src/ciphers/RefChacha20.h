@@ -1,0 +1,36 @@
+//===- RefChacha20.h - Reference ChaCha20 implementation --------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable ChaCha20 (RFC 8439 flavor: 32-bit counter, 96-bit nonce):
+/// correctness oracle and Table 3 baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_REFCHACHA20_H
+#define USUBA_CIPHERS_REFCHACHA20_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace usuba {
+
+/// Builds the initial ChaCha20 state from key/counter/nonce
+/// (constants || key || counter || nonce, all words little-endian).
+void chacha20InitState(uint32_t State[16], const uint8_t Key[32],
+                       uint32_t Counter, const uint8_t Nonce[12]);
+
+/// One keystream block: Out = permuted(In) + In (RFC 8439 block function).
+void chacha20Block(const uint32_t In[16], uint32_t Out[16]);
+
+/// XORs \p Length bytes of keystream into \p Data (encrypt == decrypt),
+/// starting at block \p Counter.
+void chacha20Xor(uint8_t *Data, size_t Length, const uint8_t Key[32],
+                 uint32_t Counter, const uint8_t Nonce[12]);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_REFCHACHA20_H

@@ -1,0 +1,99 @@
+//===- RefDes.cpp - Reference DES implementation --------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefDes.h"
+
+#include "ciphers/DesTables.h"
+
+using namespace usuba;
+
+namespace {
+
+/// DES bit \p K (1-based, bit 1 leftmost) of a \p Width-bit value.
+uint64_t desBit(uint64_t Value, unsigned K, unsigned Width) {
+  return (Value >> (Width - K)) & 1;
+}
+
+/// Applies a 1-based permutation table, producing \p OutBits bits.
+uint64_t permute(uint64_t Value, unsigned InBits, const uint8_t *Table,
+                 unsigned OutBits) {
+  uint64_t Out = 0;
+  for (unsigned I = 0; I < OutBits; ++I)
+    Out = (Out << 1) | desBit(Value, Table[I], InBits);
+  return Out;
+}
+
+uint32_t feistel(uint32_t Right, uint64_t Subkey) {
+  uint64_t Expanded = permute(Right, 32, des::E, 48) ^ Subkey;
+  uint32_t SboxOut = 0;
+  for (unsigned Box = 0; Box < 8; ++Box) {
+    unsigned Bits =
+        static_cast<unsigned>((Expanded >> (42 - 6 * Box)) & 0x3F);
+    unsigned B1 = (Bits >> 5) & 1, B6 = Bits & 1;
+    unsigned Row = (B1 << 1) | B6;
+    unsigned Col = (Bits >> 1) & 0xF;
+    SboxOut = (SboxOut << 4) | des::Sboxes[Box][Row][Col];
+  }
+  return static_cast<uint32_t>(permute(SboxOut, 32, des::P, 32));
+}
+
+uint64_t desRounds(uint64_t Block, const uint64_t Subkeys[16],
+                   bool Decrypt) {
+  uint64_t Permuted = permute(Block, 64, des::IP, 64);
+  uint32_t Left = static_cast<uint32_t>(Permuted >> 32);
+  uint32_t Right = static_cast<uint32_t>(Permuted);
+  for (unsigned Round = 0; Round < 16; ++Round) {
+    uint64_t Subkey = Subkeys[Decrypt ? 15 - Round : Round];
+    uint32_t Next = Left ^ feistel(Right, Subkey);
+    Left = Right;
+    Right = Next;
+  }
+  // Pre-output: R16 then L16 (the halves are swapped).
+  uint64_t Pre = (static_cast<uint64_t>(Right) << 32) | Left;
+  return permute(Pre, 64, des::FP, 64);
+}
+
+} // namespace
+
+void usuba::desKeySchedule(uint64_t Key, uint64_t Subkeys[16]) {
+  uint64_t CD = permute(Key, 64, des::PC1, 56);
+  uint32_t C = static_cast<uint32_t>(CD >> 28) & 0x0FFFFFFF;
+  uint32_t D = static_cast<uint32_t>(CD) & 0x0FFFFFFF;
+  for (unsigned Round = 0; Round < 16; ++Round) {
+    unsigned Shift = des::Shifts[Round];
+    C = ((C << Shift) | (C >> (28 - Shift))) & 0x0FFFFFFF;
+    D = ((D << Shift) | (D >> (28 - Shift))) & 0x0FFFFFFF;
+    uint64_t Combined = (static_cast<uint64_t>(C) << 28) | D;
+    Subkeys[Round] = permute(Combined, 56, des::PC2, 48);
+  }
+}
+
+uint64_t usuba::desEncryptBlock(uint64_t Block, const uint64_t Subkeys[16]) {
+  return desRounds(Block, Subkeys, /*Decrypt=*/false);
+}
+
+uint64_t usuba::desDecryptBlock(uint64_t Block, const uint64_t Subkeys[16]) {
+  return desRounds(Block, Subkeys, /*Decrypt=*/true);
+}
+
+void usuba::desBlockToAtoms(uint64_t Block, uint64_t Atoms[64]) {
+  for (unsigned I = 0; I < 64; ++I)
+    Atoms[I] = desBit(Block, I + 1, 64);
+}
+
+uint64_t usuba::desAtomsToBlock(const uint64_t Atoms[64]) {
+  uint64_t Block = 0;
+  for (unsigned I = 0; I < 64; ++I)
+    Block = (Block << 1) | (Atoms[I] & 1);
+  return Block;
+}
+
+void usuba::desSubkeysToAtoms(const uint64_t Subkeys[16],
+                              uint64_t Atoms[768]) {
+  for (unsigned Round = 0; Round < 16; ++Round)
+    for (unsigned J = 0; J < 48; ++J)
+      Atoms[Round * 48 + J] = desBit(Subkeys[Round], J + 1, 48);
+}

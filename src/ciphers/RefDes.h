@@ -1,0 +1,39 @@
+//===- RefDes.h - Reference DES implementation ------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable bit-level DES (FIPS-46): correctness oracle and Table 3
+/// baseline, plus the key schedule shared with the Usuba-compiled kernel
+/// (the paper benchmarks the primitive with the key schedule outside it).
+/// Blocks are uint64_t with DES bit k (1-based, leftmost) at word bit
+/// 64-k — i.e. the natural big-endian reading of the 8-byte block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_REFDES_H
+#define USUBA_CIPHERS_REFDES_H
+
+#include <cstdint>
+
+namespace usuba {
+
+/// Derives the 16 48-bit subkeys (subkey bit j, 1-based, at word bit
+/// 48-j) from the 64-bit key (parity bits ignored).
+void desKeySchedule(uint64_t Key, uint64_t Subkeys[16]);
+
+/// Encrypts/decrypts one 64-bit block with precomputed subkeys.
+uint64_t desEncryptBlock(uint64_t Block, const uint64_t Subkeys[16]);
+uint64_t desDecryptBlock(uint64_t Block, const uint64_t Subkeys[16]);
+
+/// Conversions between packed blocks and the kernel's atom vectors
+/// (atom i = DES bit i+1).
+void desBlockToAtoms(uint64_t Block, uint64_t Atoms[64]);
+uint64_t desAtomsToBlock(const uint64_t Atoms[64]);
+void desSubkeysToAtoms(const uint64_t Subkeys[16], uint64_t Atoms[768]);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_REFDES_H

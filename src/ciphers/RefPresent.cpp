@@ -1,0 +1,90 @@
+//===- RefPresent.cpp - Reference PRESENT implementation ------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefPresent.h"
+
+using namespace usuba;
+
+const uint8_t usuba::PresentSbox[16] = {0xC, 0x5, 0x6, 0xB, 0x9, 0x0,
+                                        0xA, 0xD, 0x3, 0xE, 0xF, 0x8,
+                                        0x4, 0x7, 0x1, 0x2};
+
+namespace {
+
+constexpr uint8_t InvSbox[16] = {0x5, 0xE, 0xF, 0x8, 0xC, 0x1, 0x2, 0xD,
+                                 0xB, 0x4, 0x6, 0x3, 0x0, 0x7, 0x9, 0xA};
+
+/// The bit permutation: bit i (LSB = 0) moves to position 16i mod 63,
+/// with bit 63 fixed.
+unsigned permuteIndex(unsigned I) { return I == 63 ? 63 : (16 * I) % 63; }
+
+uint64_t sboxLayer(uint64_t State, const uint8_t *Box) {
+  uint64_t Out = 0;
+  for (unsigned Nibble = 0; Nibble < 16; ++Nibble)
+    Out |= static_cast<uint64_t>(Box[(State >> (4 * Nibble)) & 0xF])
+           << (4 * Nibble);
+  return Out;
+}
+
+uint64_t pLayer(uint64_t State, bool Inverse) {
+  uint64_t Out = 0;
+  for (unsigned I = 0; I < 64; ++I) {
+    unsigned To = Inverse ? I : permuteIndex(I);
+    unsigned From = Inverse ? permuteIndex(I) : I;
+    Out |= ((State >> From) & 1) << To;
+  }
+  return Out;
+}
+
+} // namespace
+
+void usuba::presentKeySchedule80(const uint8_t Key[10],
+                                 uint64_t RoundKeys[32]) {
+  // The 80-bit key register, bit 79 leftmost: high 64 bits + low 16 bits.
+  uint64_t High = 0;
+  uint16_t Low = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    High = (High << 8) | Key[I];
+  Low = static_cast<uint16_t>((Key[8] << 8) | Key[9]);
+
+  for (unsigned Round = 1; Round <= 32; ++Round) {
+    RoundKeys[Round - 1] = High; // leftmost 64 bits
+    // Rotate the 80-bit register left by 61.
+    uint64_t NewHigh = (High << 61) | (static_cast<uint64_t>(Low) << 45) |
+                       (High >> 19);
+    uint16_t NewLow = static_cast<uint16_t>(High >> 3);
+    High = NewHigh;
+    Low = NewLow;
+    // S-box on the top nibble.
+    High = (High & 0x0FFFFFFFFFFFFFFFull) |
+           (static_cast<uint64_t>(PresentSbox[High >> 60]) << 60);
+    // XOR the round counter into bits 19..15 of the register.
+    uint64_t Counter = Round;
+    High ^= Counter >> 1;         // bits 19..16 live in High bits 3..0
+    Low = static_cast<uint16_t>(Low ^ (Counter << 15)); // bit 15
+  }
+}
+
+uint64_t usuba::presentEncryptBlock(uint64_t Block,
+                                    const uint64_t RoundKeys[32]) {
+  for (unsigned Round = 0; Round < PresentRounds; ++Round) {
+    Block ^= RoundKeys[Round];
+    Block = sboxLayer(Block, PresentSbox);
+    Block = pLayer(Block, /*Inverse=*/false);
+  }
+  return Block ^ RoundKeys[PresentRounds];
+}
+
+uint64_t usuba::presentDecryptBlock(uint64_t Block,
+                                    const uint64_t RoundKeys[32]) {
+  Block ^= RoundKeys[PresentRounds];
+  for (unsigned Round = PresentRounds; Round-- > 0;) {
+    Block = pLayer(Block, /*Inverse=*/true);
+    Block = sboxLayer(Block, InvSbox);
+    Block ^= RoundKeys[Round];
+  }
+  return Block;
+}

@@ -1,0 +1,37 @@
+//===- RefPresent.h - Reference PRESENT implementation ----------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable PRESENT-80 (Bogdanov et al., CHES 2007), one of the
+/// lightweight ciphers the paper's introduction motivates ("a niche left
+/// vacant by AES"). Bundled as an extension beyond the paper's five
+/// evaluation ciphers: its bit-permutation layer exercises Usuba's perm
+/// construct exactly like DES's wire permutations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_REFPRESENT_H
+#define USUBA_CIPHERS_REFPRESENT_H
+
+#include <cstdint>
+
+namespace usuba {
+
+inline constexpr unsigned PresentRounds = 31;
+
+/// The PRESENT S-box and its bit permutation (P(i) = 16i mod 63).
+extern const uint8_t PresentSbox[16];
+
+/// Expands an 80-bit key (10 bytes, big-endian) into 32 round keys.
+void presentKeySchedule80(const uint8_t Key[10], uint64_t RoundKeys[32]);
+
+/// Encrypts/decrypts one 64-bit block (big-endian reading of 8 bytes).
+uint64_t presentEncryptBlock(uint64_t Block, const uint64_t RoundKeys[32]);
+uint64_t presentDecryptBlock(uint64_t Block, const uint64_t RoundKeys[32]);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_REFPRESENT_H

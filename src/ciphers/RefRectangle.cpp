@@ -1,0 +1,115 @@
+//===- RefRectangle.cpp - Reference Rectangle implementation --------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefRectangle.h"
+
+#include "support/BitUtils.h"
+
+using namespace usuba;
+
+namespace {
+
+constexpr uint8_t Sbox[16] = {6,  5, 12, 10, 1, 14, 7, 9,
+                              11, 0, 3,  13, 8, 15, 4, 2};
+
+constexpr uint8_t InvSbox[16] = {9, 4, 15, 10, 14, 1, 0,  6,
+                                 12, 7, 3,  8,  2,  11, 5, 13};
+
+uint16_t rotl16(uint16_t Value, unsigned Amount) {
+  return static_cast<uint16_t>(rotateLeft(Value, Amount, 16));
+}
+
+/// Applies \p Table to every column nibble: bit i of the nibble is row i.
+void subColumn(uint16_t State[4], const uint8_t *Table) {
+  uint16_t Out[4] = {0, 0, 0, 0};
+  for (unsigned Col = 0; Col < 16; ++Col) {
+    unsigned Nibble = 0;
+    for (unsigned Row = 0; Row < 4; ++Row)
+      Nibble |= ((State[Row] >> Col) & 1u) << Row;
+    unsigned Subst = Table[Nibble];
+    for (unsigned Row = 0; Row < 4; ++Row)
+      Out[Row] |= static_cast<uint16_t>(((Subst >> Row) & 1u) << Col);
+  }
+  for (unsigned Row = 0; Row < 4; ++Row)
+    State[Row] = Out[Row];
+}
+
+} // namespace
+
+void usuba::rectangleEncrypt(uint16_t State[4],
+                             const uint16_t Keys[RectangleRoundKeys][4]) {
+  for (unsigned Round = 0; Round < RectangleRounds; ++Round) {
+    for (unsigned Row = 0; Row < 4; ++Row)
+      State[Row] ^= Keys[Round][Row];
+    subColumn(State, Sbox);
+    State[1] = rotl16(State[1], 1);
+    State[2] = rotl16(State[2], 12);
+    State[3] = rotl16(State[3], 13);
+  }
+  for (unsigned Row = 0; Row < 4; ++Row)
+    State[Row] ^= Keys[RectangleRounds][Row];
+}
+
+void usuba::rectangleDecrypt(uint16_t State[4],
+                             const uint16_t Keys[RectangleRoundKeys][4]) {
+  for (unsigned Row = 0; Row < 4; ++Row)
+    State[Row] ^= Keys[RectangleRounds][Row];
+  for (unsigned Round = RectangleRounds; Round-- > 0;) {
+    State[1] = rotl16(State[1], 15);
+    State[2] = rotl16(State[2], 4);
+    State[3] = rotl16(State[3], 3);
+    subColumn(State, InvSbox);
+    for (unsigned Row = 0; Row < 4; ++Row)
+      State[Row] ^= Keys[Round][Row];
+  }
+}
+
+void usuba::rectangleKeySchedule80(const uint16_t Key[5],
+                                   uint16_t Keys[RectangleRoundKeys][4]) {
+  // The 80-bit key schedule of the RECTANGLE specification, per our
+  // reading of the CHES 2014 paper: the key state is 5 rows of 16 bits;
+  // each round key is rows 0-3; the update applies the S-box to the four
+  // rightmost columns of rows 0-3, a generalized Feistel mixing, and a
+  // 5-bit LFSR round constant. Validated by internal consistency
+  // (encrypt-decrypt round trips), not official vectors — see DESIGN.md.
+  uint16_t K[5];
+  for (unsigned Row = 0; Row < 5; ++Row)
+    K[Row] = Key[Row];
+
+  uint8_t Rc = 1; // 5-bit LFSR state
+  for (unsigned Round = 0; Round <= RectangleRounds; ++Round) {
+    for (unsigned Row = 0; Row < 4; ++Row)
+      Keys[Round][Row] = K[Row];
+    if (Round == RectangleRounds)
+      break;
+
+    // S-box on columns 0-3 of rows 0-3.
+    for (unsigned Col = 0; Col < 4; ++Col) {
+      unsigned Nibble = 0;
+      for (unsigned Row = 0; Row < 4; ++Row)
+        Nibble |= ((K[Row] >> Col) & 1u) << Row;
+      unsigned Subst = Sbox[Nibble];
+      for (unsigned Row = 0; Row < 4; ++Row)
+        K[Row] = static_cast<uint16_t>(
+            (K[Row] & ~(1u << Col)) | (((Subst >> Row) & 1u) << Col));
+    }
+    // Generalized Feistel.
+    uint16_t Row0 = static_cast<uint16_t>(rotl16(K[0], 8) ^ K[1]);
+    uint16_t Row1 = K[2];
+    uint16_t Row2 = K[3];
+    uint16_t Row3 = static_cast<uint16_t>(rotl16(K[3], 12) ^ K[4]);
+    uint16_t Row4 = K[0];
+    K[0] = Row0;
+    K[1] = Row1;
+    K[2] = Row2;
+    K[3] = Row3;
+    K[4] = Row4;
+    // Round constant into the low bits of row 0.
+    K[0] ^= Rc;
+    Rc = static_cast<uint8_t>(((Rc << 1) | (((Rc >> 4) ^ (Rc >> 2)) & 1)) &
+                              0x1F);
+  }
+}

@@ -1,0 +1,41 @@
+//===- RefRectangle.h - Reference Rectangle implementation ------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A straightforward C++ implementation of the Rectangle block cipher
+/// (Zhang et al., 2014): the correctness oracle and Table 3 baseline for
+/// the Usuba-compiled kernels. The state is 4 rows of 16 bits; round keys
+/// are supplied by the caller (the paper's benchmarks exclude the key
+/// schedule from the primitive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_REFRECTANGLE_H
+#define USUBA_CIPHERS_REFRECTANGLE_H
+
+#include <cstdint>
+
+namespace usuba {
+
+inline constexpr unsigned RectangleRounds = 25;
+inline constexpr unsigned RectangleRoundKeys = 26;
+
+/// Encrypts one block in place. \p Keys holds 26 round keys of 4 rows.
+void rectangleEncrypt(uint16_t State[4],
+                      const uint16_t Keys[RectangleRoundKeys][4]);
+
+/// Decrypts one block in place (inverse S-box and rotations).
+void rectangleDecrypt(uint16_t State[4],
+                      const uint16_t Keys[RectangleRoundKeys][4]);
+
+/// The 80-bit-key schedule of the Rectangle specification, producing the
+/// 26 round keys from a 5-row key state.
+void rectangleKeySchedule80(const uint16_t Key[5],
+                            uint16_t Keys[RectangleRoundKeys][4]);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_REFRECTANGLE_H

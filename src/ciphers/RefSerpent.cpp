@@ -1,0 +1,131 @@
+//===- RefSerpent.cpp - Reference Serpent implementation ------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefSerpent.h"
+
+#include "support/BitUtils.h"
+
+using namespace usuba;
+
+namespace {
+
+constexpr uint8_t Sboxes[8][16] = {
+    {3, 8, 15, 1, 10, 6, 5, 11, 14, 13, 4, 2, 7, 0, 9, 12},
+    {15, 12, 2, 7, 9, 0, 5, 10, 1, 11, 14, 8, 6, 13, 3, 4},
+    {8, 6, 7, 9, 3, 12, 10, 15, 13, 1, 14, 4, 0, 11, 5, 2},
+    {0, 15, 11, 8, 12, 9, 6, 3, 13, 1, 2, 4, 10, 7, 5, 14},
+    {1, 15, 8, 3, 12, 0, 11, 6, 2, 5, 4, 10, 9, 14, 7, 13},
+    {15, 5, 2, 11, 4, 10, 9, 12, 0, 3, 14, 8, 13, 6, 7, 1},
+    {7, 2, 12, 5, 8, 4, 6, 11, 14, 9, 1, 15, 13, 3, 10, 0},
+    {1, 13, 15, 0, 14, 8, 2, 11, 7, 4, 12, 10, 9, 3, 5, 6}};
+
+uint32_t rotl(uint32_t V, unsigned N) {
+  return static_cast<uint32_t>(rotateLeft(V, N, 32));
+}
+uint32_t rotr(uint32_t V, unsigned N) {
+  return static_cast<uint32_t>(rotateRight(V, N, 32));
+}
+
+/// Columnwise S-box application: nibble bit i is word i.
+void applySbox(uint32_t X[4], const uint8_t *Box) {
+  uint32_t Out[4] = {0, 0, 0, 0};
+  for (unsigned Bit = 0; Bit < 32; ++Bit) {
+    unsigned Nibble = 0;
+    for (unsigned Word = 0; Word < 4; ++Word)
+      Nibble |= ((X[Word] >> Bit) & 1u) << Word;
+    unsigned Subst = Box[Nibble];
+    for (unsigned Word = 0; Word < 4; ++Word)
+      Out[Word] |= ((Subst >> Word) & 1u) << Bit;
+  }
+  for (unsigned Word = 0; Word < 4; ++Word)
+    X[Word] = Out[Word];
+}
+
+void applyInvSbox(uint32_t X[4], const uint8_t *Box) {
+  uint8_t Inverse[16];
+  for (unsigned I = 0; I < 16; ++I)
+    Inverse[Box[I]] = static_cast<uint8_t>(I);
+  applySbox(X, Inverse);
+}
+
+void linearTransform(uint32_t X[4]) {
+  X[0] = rotl(X[0], 13);
+  X[2] = rotl(X[2], 3);
+  X[1] = X[1] ^ X[0] ^ X[2];
+  X[3] = X[3] ^ X[2] ^ (X[0] << 3);
+  X[1] = rotl(X[1], 1);
+  X[3] = rotl(X[3], 7);
+  X[0] = X[0] ^ X[1] ^ X[3];
+  X[2] = X[2] ^ X[3] ^ (X[1] << 7);
+  X[0] = rotl(X[0], 5);
+  X[2] = rotl(X[2], 22);
+}
+
+void invLinearTransform(uint32_t X[4]) {
+  X[2] = rotr(X[2], 22);
+  X[0] = rotr(X[0], 5);
+  X[2] = X[2] ^ X[3] ^ (X[1] << 7);
+  X[0] = X[0] ^ X[1] ^ X[3];
+  X[3] = rotr(X[3], 7);
+  X[1] = rotr(X[1], 1);
+  X[3] = X[3] ^ X[2] ^ (X[0] << 3);
+  X[1] = X[1] ^ X[0] ^ X[2];
+  X[2] = rotr(X[2], 3);
+  X[0] = rotr(X[0], 13);
+}
+
+} // namespace
+
+void usuba::serpentKeySchedule(const uint8_t Key[16],
+                               uint32_t Keys[SerpentRoundKeys][4]) {
+  constexpr uint32_t Phi = 0x9e3779b9;
+  uint32_t W[140];
+  for (unsigned I = 0; I < 4; ++I)
+    W[I] = static_cast<uint32_t>(Key[4 * I]) |
+           static_cast<uint32_t>(Key[4 * I + 1]) << 8 |
+           static_cast<uint32_t>(Key[4 * I + 2]) << 16 |
+           static_cast<uint32_t>(Key[4 * I + 3]) << 24;
+  // Short keys are padded with a single 1 bit then zeros.
+  W[4] = 1;
+  W[5] = W[6] = W[7] = 0;
+  for (unsigned I = 8; I < 140; ++I)
+    W[I] = rotl(W[I - 8] ^ W[I - 5] ^ W[I - 3] ^ W[I - 1] ^ Phi ^
+                    static_cast<uint32_t>(I - 8),
+                11);
+  for (unsigned Group = 0; Group < SerpentRoundKeys; ++Group) {
+    uint32_t X[4] = {W[8 + 4 * Group], W[9 + 4 * Group], W[10 + 4 * Group],
+                     W[11 + 4 * Group]};
+    applySbox(X, Sboxes[(3 + 8 - Group % 8) % 8]);
+    for (unsigned Word = 0; Word < 4; ++Word)
+      Keys[Group][Word] = X[Word];
+  }
+}
+
+void usuba::serpentEncrypt(uint32_t State[4],
+                           const uint32_t Keys[SerpentRoundKeys][4]) {
+  for (unsigned Round = 0; Round < SerpentRounds; ++Round) {
+    for (unsigned Word = 0; Word < 4; ++Word)
+      State[Word] ^= Keys[Round][Word];
+    applySbox(State, Sboxes[Round % 8]);
+    if (Round != SerpentRounds - 1)
+      linearTransform(State);
+  }
+  for (unsigned Word = 0; Word < 4; ++Word)
+    State[Word] ^= Keys[SerpentRounds][Word];
+}
+
+void usuba::serpentDecrypt(uint32_t State[4],
+                           const uint32_t Keys[SerpentRoundKeys][4]) {
+  for (unsigned Word = 0; Word < 4; ++Word)
+    State[Word] ^= Keys[SerpentRounds][Word];
+  for (unsigned Round = SerpentRounds; Round-- > 0;) {
+    if (Round != SerpentRounds - 1)
+      invLinearTransform(State);
+    applyInvSbox(State, Sboxes[Round % 8]);
+    for (unsigned Word = 0; Word < 4; ++Word)
+      State[Word] ^= Keys[Round][Word];
+  }
+}

@@ -1,0 +1,39 @@
+//===- RefSerpent.h - Reference Serpent implementation ----------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable Serpent-128 in the bitsliced-mode formulation (state = 4
+/// 32-bit words, columnwise S-boxes): correctness oracle and Table 3
+/// baseline, plus the key schedule. Validation is by encrypt/decrypt
+/// round-trips and agreement with the Usuba-compiled kernels (see
+/// DESIGN.md on test-vector provenance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_REFSERPENT_H
+#define USUBA_CIPHERS_REFSERPENT_H
+
+#include <cstdint>
+
+namespace usuba {
+
+inline constexpr unsigned SerpentRounds = 32;
+inline constexpr unsigned SerpentRoundKeys = 33;
+
+/// Expands a 128-bit key (16 bytes, little-endian words) into the 33
+/// round keys of 4 words each.
+void serpentKeySchedule(const uint8_t Key[16],
+                        uint32_t Keys[SerpentRoundKeys][4]);
+
+/// Encrypts/decrypts one block (4 words) in place.
+void serpentEncrypt(uint32_t State[4],
+                    const uint32_t Keys[SerpentRoundKeys][4]);
+void serpentDecrypt(uint32_t State[4],
+                    const uint32_t Keys[SerpentRoundKeys][4]);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_REFSERPENT_H

@@ -1,0 +1,50 @@
+//===- RefTrivium.cpp - Reference Trivium implementation ------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefTrivium.h"
+
+#include <cstring>
+
+using namespace usuba;
+
+void usuba::triviumInit(TriviumState &State, const uint8_t Key[10],
+                        const uint8_t Iv[10]) {
+  std::memset(State.S, 0, sizeof(State.S));
+  // (s1..s80) = key bits, (s94..s173) = IV bits, s286..s288 = 1.
+  for (unsigned I = 0; I < 80; ++I) {
+    State.S[I] = (Key[I / 8] >> (7 - I % 8)) & 1;
+    State.S[93 + I] = (Iv[I / 8] >> (7 - I % 8)) & 1;
+  }
+  State.S[285] = State.S[286] = State.S[287] = 1;
+  for (unsigned Round = 0; Round < 4 * 288; ++Round)
+    triviumStep(State);
+}
+
+unsigned usuba::triviumStep(TriviumState &State) {
+  uint8_t *S = State.S; // S[i] = spec s(i+1)
+  unsigned T1 = S[65] ^ S[92];
+  unsigned T2 = S[161] ^ S[176];
+  unsigned T3 = S[242] ^ S[287];
+  unsigned Z = T1 ^ T2 ^ T3;
+  T1 ^= (S[90] & S[91]) ^ S[170];
+  T2 ^= (S[174] & S[175]) ^ S[263];
+  T3 ^= (S[285] & S[286]) ^ S[68];
+  // Shift the three registers, inserting the feedback bits.
+  std::memmove(S + 1, S, 92);          // s1..s93
+  std::memmove(S + 94, S + 93, 83);    // s94..s177
+  std::memmove(S + 178, S + 177, 110); // s178..s288
+  S[0] = static_cast<uint8_t>(T3);
+  S[93] = static_cast<uint8_t>(T1);
+  S[177] = static_cast<uint8_t>(T2);
+  return Z;
+}
+
+uint64_t usuba::triviumBlock64(TriviumState &State) {
+  uint64_t Block = 0;
+  for (unsigned I = 0; I < 64; ++I)
+    Block = (Block << 1) | triviumStep(State);
+  return Block;
+}

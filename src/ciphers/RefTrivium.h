@@ -1,0 +1,42 @@
+//===- RefTrivium.h - Reference Trivium implementation ----------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable Trivium (De Cannière, ISC 2006) — the paper's *future work*:
+/// "Trivium is a stateful stream cipher in which the bits of the state
+/// are only used 64 rounds after their definition. It can therefore be
+/// efficiently bitsliced on 64-bit registers." The bundled Usuba program
+/// triviumSource() computes 64 rounds as one combinational kernel; this
+/// reference provides the bit-serial semantics it is validated against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_REFTRIVIUM_H
+#define USUBA_CIPHERS_REFTRIVIUM_H
+
+#include <cstdint>
+
+namespace usuba {
+
+/// The 288-bit Trivium state, bit-addressed: S[0] is the spec's s1.
+struct TriviumState {
+  uint8_t S[288];
+};
+
+/// Loads key/IV (80 bits each, big-endian bytes, bit 0 of the spec = the
+/// first byte's MSB) and runs the 4x288 warm-up rounds.
+void triviumInit(TriviumState &State, const uint8_t Key[10],
+                 const uint8_t Iv[10]);
+
+/// One keystream bit (advances the state).
+unsigned triviumStep(TriviumState &State);
+
+/// 64 keystream bits, most significant first (64 sequential steps).
+uint64_t triviumBlock64(TriviumState &State);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_REFTRIVIUM_H

@@ -1,0 +1,506 @@
+//===- UsubaCipher.cpp - High-level cipher API ----------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaCipher.h"
+
+#include "cbackend/NativeJit.h"
+#include "ciphers/RefAes.h"
+#include "ciphers/RefChacha20.h"
+#include "ciphers/RefDes.h"
+#include "ciphers/RefPresent.h"
+#include "ciphers/RefRectangle.h"
+#include "ciphers/RefSerpent.h"
+#include "ciphers/UsubaSources.h"
+#include "runtime/Layout.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace usuba;
+
+const char *usuba::cipherName(CipherId Id) {
+  switch (Id) {
+  case CipherId::Rectangle:
+    return "rectangle";
+  case CipherId::Des:
+    return "des";
+  case CipherId::Aes128:
+    return "aes128";
+  case CipherId::Chacha20:
+    return "chacha20";
+  case CipherId::Serpent:
+    return "serpent";
+  case CipherId::Present:
+    return "present";
+  }
+  return "?";
+}
+
+const char *usuba::slicingName(SlicingMode Mode) {
+  switch (Mode) {
+  case SlicingMode::Bitslice:
+    return "bitslice";
+  case SlicingMode::Vslice:
+    return "vslice";
+  case SlicingMode::Hslice:
+    return "hslice";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CipherMeta {
+  const std::string &(*Source)();
+  /// Inverse program; nullptr when decryption reuses the forward kernel
+  /// (DES) or does not apply (ChaCha20).
+  const std::string &(*DecSource)();
+  Dir NaturalDirection; ///< direction of the m-sliced form
+  unsigned WordBits;
+  unsigned KeyBytes;
+  unsigned BlockBytes;
+  unsigned AtomsPerBlock; ///< structured (pre-flattening) atoms
+};
+
+CipherMeta metaFor(CipherId Id) {
+  switch (Id) {
+  case CipherId::Rectangle:
+    return {rectangleSource, rectangleDecSource, Dir::Vert, 16, 10, 8, 4};
+  case CipherId::Des:
+    return {desSource, nullptr, Dir::Vert, 1, 8, 8, 64};
+  case CipherId::Aes128:
+    return {aesSource, aesDecSource, Dir::Horiz, 16, 16, 16, 8};
+  case CipherId::Chacha20:
+    return {chacha20Source, nullptr, Dir::Vert, 32, 32, 64, 16};
+  case CipherId::Serpent:
+    return {serpentSource, serpentDecSource, Dir::Vert, 32, 16, 16, 4};
+  case CipherId::Present:
+    return {presentSource, presentDecSource, Dir::Vert, 1, 10, 8, 64};
+  }
+  return {rectangleSource, rectangleDecSource, Dir::Vert, 16, 10, 8, 4};
+}
+
+/// Host-compiler effort: -O3 normally, degrading for enormous bitsliced
+/// kernels; USUBA_JIT_OPT overrides.
+std::string jitOptLevelFor(const CompiledKernel &Kernel) {
+  std::string Opt = Kernel.InstrCount > 50000 ? "-O0" : "-O3";
+  if (const char *Env = std::getenv("USUBA_JIT_OPT"))
+    Opt = Env;
+  return Opt;
+}
+
+/// The compile options a CipherConfig denotes (shared by the forward and
+/// inverse kernels).
+CompileOptions optionsFor(const CipherConfig &Config) {
+  CipherMeta Meta = metaFor(Config.Id);
+  CompileOptions Options;
+  switch (Config.Slicing) {
+  case SlicingMode::Hslice:
+    Options.Direction = Dir::Horiz;
+    break;
+  case SlicingMode::Vslice:
+    Options.Direction = Dir::Vert;
+    break;
+  case SlicingMode::Bitslice:
+    // Directions collapse under -B; keep the cipher's natural one.
+    Options.Direction = Meta.NaturalDirection;
+    break;
+  }
+  Options.WordBits = Meta.WordBits;
+  Options.Bitslice = Config.Slicing == SlicingMode::Bitslice;
+  Options.Target = Config.Target ? Config.Target : &archGP64();
+  Options.Inline = Config.Inline;
+  Options.Unroll = Config.Unroll;
+  Options.Interleave = Config.Interleave;
+  Options.Schedule = Config.Schedule;
+  Options.InterleaveFactorOverride = Config.InterleaveFactorOverride;
+  return Options;
+}
+
+uint64_t load64be(const uint8_t *Bytes) {
+  uint64_t Value = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    Value = (Value << 8) | Bytes[I];
+  return Value;
+}
+
+void store64be(uint64_t Value, uint8_t *Bytes) {
+  for (unsigned I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(Value >> (8 * (7 - I)));
+}
+
+uint32_t load32le(const uint8_t *Bytes) {
+  return static_cast<uint32_t>(Bytes[0]) |
+         static_cast<uint32_t>(Bytes[1]) << 8 |
+         static_cast<uint32_t>(Bytes[2]) << 16 |
+         static_cast<uint32_t>(Bytes[3]) << 24;
+}
+
+} // namespace
+
+UsubaCipher::UsubaCipher(CipherConfig ConfigIn, CompiledKernel Kernel)
+    : Config(ConfigIn),
+      Runner(std::make_unique<KernelRunner>(std::move(Kernel))) {
+  CipherMeta Meta = metaFor(Config.Id);
+  AtomsPerBlockStructured = Meta.AtomsPerBlock;
+  StructuredBits = Meta.WordBits;
+}
+
+std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
+                                               std::string *Error) {
+  CipherMeta Meta = metaFor(Config.Id);
+  CompileOptions Options = optionsFor(Config);
+
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(Meta.Source(), Options, Diags);
+  if (!Kernel) {
+    if (Error)
+      *Error = Diags.diagnostics().empty() ? "compilation failed"
+                                           : Diags.diagnostics()[0].str();
+    return std::nullopt;
+  }
+
+  UsubaCipher Cipher(Config, std::move(*Kernel));
+  if (Config.PreferNative && NativeKernel::hostCompilerAvailable() &&
+      hostSupports(*Options.Target)) {
+    std::string JitError;
+    std::optional<NativeKernel> Native =
+        jitCompile(Cipher.Runner->kernel(),
+                   jitOptLevelFor(Cipher.Runner->kernel()), &JitError);
+    if (Native) {
+      Cipher.Native = std::make_shared<NativeKernel>(std::move(*Native));
+      Cipher.Runner->setNativeFn(Cipher.Native->fn());
+    }
+  }
+  return Cipher;
+}
+
+bool UsubaCipher::ensureDecryptRunner() {
+  if (DecRunner)
+    return true;
+  CipherMeta Meta = metaFor(Config.Id);
+  if (!Meta.DecSource)
+    return Config.Id == CipherId::Des; // DES reuses the forward kernel
+  CompileOptions Options = optionsFor(Config);
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(Meta.DecSource(), Options, Diags);
+  if (!Kernel)
+    return false;
+  DecRunner = std::make_unique<KernelRunner>(std::move(*Kernel));
+  if (Config.PreferNative && NativeKernel::hostCompilerAvailable() &&
+      hostSupports(*Options.Target)) {
+    std::optional<NativeKernel> Native =
+        jitCompile(DecRunner->kernel(),
+                   jitOptLevelFor(DecRunner->kernel()));
+    if (Native) {
+      DecNative = std::make_shared<NativeKernel>(std::move(*Native));
+      DecRunner->setNativeFn(DecNative->fn());
+    }
+  }
+  return true;
+}
+
+unsigned UsubaCipher::keyBytes() const { return metaFor(Config.Id).KeyBytes; }
+unsigned UsubaCipher::blockBytes() const {
+  return metaFor(Config.Id).BlockBytes;
+}
+
+void UsubaCipher::setKey(const uint8_t *Key, size_t Length) {
+  assert(Length == keyBytes() && "wrong key length");
+  (void)Length;
+  const bool Flat = Config.Slicing == SlicingMode::Bitslice;
+  std::vector<uint64_t> Structured;
+
+  switch (Config.Id) {
+  case CipherId::Rectangle: {
+    uint16_t KeyRows[5];
+    for (unsigned Row = 0; Row < 5; ++Row)
+      KeyRows[Row] = static_cast<uint16_t>(Key[2 * Row]) |
+                     static_cast<uint16_t>(Key[2 * Row + 1]) << 8;
+    uint16_t Keys[RectangleRoundKeys][4];
+    rectangleKeySchedule80(KeyRows, Keys);
+    for (unsigned R = 0; R < RectangleRoundKeys; ++R)
+      for (unsigned W = 0; W < 4; ++W)
+        Structured.push_back(Keys[R][W]);
+    break;
+  }
+  case CipherId::Des: {
+    uint64_t Subkeys[16];
+    desKeySchedule(load64be(Key), Subkeys);
+    Structured.resize(768);
+    desSubkeysToAtoms(Subkeys, Structured.data());
+    // The Feistel structure decrypts with reversed subkeys.
+    uint64_t Reversed[16];
+    for (unsigned R = 0; R < 16; ++R)
+      Reversed[R] = Subkeys[15 - R];
+    DecKeyAtoms.resize(768);
+    desSubkeysToAtoms(Reversed, DecKeyAtoms.data());
+    break;
+  }
+  case CipherId::Aes128: {
+    uint8_t RoundKeys[11][16];
+    aes128KeySchedule(Key, RoundKeys);
+    Structured.resize(11 * 8);
+    for (unsigned R = 0; R < 11; ++R)
+      aesBlockToAtoms(RoundKeys[R], &Structured[size_t{R} * 8]);
+    break;
+  }
+  case CipherId::Chacha20:
+    RawKey.assign(Key, Key + 32);
+    return; // the key is folded into each block's input state
+  case CipherId::Serpent: {
+    uint32_t Keys[SerpentRoundKeys][4];
+    serpentKeySchedule(Key, Keys);
+    for (unsigned R = 0; R < SerpentRoundKeys; ++R)
+      for (unsigned W = 0; W < 4; ++W)
+        Structured.push_back(Keys[R][W]);
+    break;
+  }
+  case CipherId::Present: {
+    uint64_t RoundKeys[32];
+    presentKeySchedule80(Key, RoundKeys);
+    for (unsigned R = 0; R < 32; ++R)
+      for (unsigned J = 0; J < 64; ++J)
+        Structured.push_back((RoundKeys[R] >> (63 - J)) & 1);
+    break;
+  }
+  }
+
+  if (Flat && StructuredBits > 1) {
+    KeyAtoms.resize(Structured.size() * StructuredBits);
+    expandAtomsToBits(Structured.data(),
+                      static_cast<unsigned>(Structured.size()),
+                      StructuredBits, KeyAtoms.data());
+  } else {
+    KeyAtoms = std::move(Structured);
+  }
+}
+
+void UsubaCipher::blockToAtoms(const uint8_t *Block,
+                               uint64_t *Atoms) const {
+  switch (Config.Id) {
+  case CipherId::Rectangle:
+    for (unsigned Row = 0; Row < 4; ++Row)
+      Atoms[Row] = static_cast<uint64_t>(Block[2 * Row]) |
+                   static_cast<uint64_t>(Block[2 * Row + 1]) << 8;
+    return;
+  case CipherId::Des:
+    desBlockToAtoms(load64be(Block), Atoms);
+    return;
+  case CipherId::Aes128:
+    aesBlockToAtoms(Block, Atoms);
+    return;
+  case CipherId::Chacha20:
+    for (unsigned W = 0; W < 16; ++W)
+      Atoms[W] = load32le(Block + 4 * W);
+    return;
+  case CipherId::Serpent:
+    for (unsigned W = 0; W < 4; ++W)
+      Atoms[W] = load32le(Block + 4 * W);
+    return;
+  case CipherId::Present: {
+    uint64_t Value = load64be(Block);
+    for (unsigned J = 0; J < 64; ++J)
+      Atoms[J] = (Value >> (63 - J)) & 1;
+    return;
+  }
+  }
+}
+
+void UsubaCipher::atomsToBlock(const uint64_t *Atoms,
+                               uint8_t *Block) const {
+  switch (Config.Id) {
+  case CipherId::Rectangle:
+    for (unsigned Row = 0; Row < 4; ++Row) {
+      Block[2 * Row] = static_cast<uint8_t>(Atoms[Row]);
+      Block[2 * Row + 1] = static_cast<uint8_t>(Atoms[Row] >> 8);
+    }
+    return;
+  case CipherId::Des:
+    store64be(desAtomsToBlock(Atoms), Block);
+    return;
+  case CipherId::Aes128:
+    aesAtomsToBlock(Atoms, Block);
+    return;
+  case CipherId::Chacha20:
+    for (unsigned W = 0; W < 16; ++W) {
+      uint32_t Value = static_cast<uint32_t>(Atoms[W]);
+      std::memcpy(Block + 4 * W, &Value, 4);
+    }
+    return;
+  case CipherId::Serpent:
+    for (unsigned W = 0; W < 4; ++W) {
+      uint32_t Value = static_cast<uint32_t>(Atoms[W]);
+      std::memcpy(Block + 4 * W, &Value, 4);
+    }
+    return;
+  case CipherId::Present: {
+    uint64_t Value = 0;
+    for (unsigned J = 0; J < 64; ++J)
+      Value = (Value << 1) | (Atoms[J] & 1);
+    store64be(Value, Block);
+    return;
+  }
+  }
+}
+
+void UsubaCipher::ecbEncrypt(const uint8_t *In, uint8_t *Out,
+                             size_t NumBlocks) {
+  assert(Config.Id != CipherId::Chacha20 && "ChaCha20 is a stream cipher");
+  processBlocks(*Runner, KeyAtoms, In, Out, NumBlocks);
+}
+
+void UsubaCipher::ecbDecrypt(const uint8_t *In, uint8_t *Out,
+                             size_t NumBlocks) {
+  assert(Config.Id != CipherId::Chacha20 && "ChaCha20 is a stream cipher");
+  [[maybe_unused]] bool Ok = ensureDecryptRunner();
+  assert(Ok && "decryption kernel failed to compile");
+  if (Config.Id == CipherId::Des) {
+    processBlocks(*Runner, DecKeyAtoms, In, Out, NumBlocks);
+    return;
+  }
+  processBlocks(*DecRunner, KeyAtoms, In, Out, NumBlocks);
+}
+
+void UsubaCipher::processBlocks(KernelRunner &R,
+                                const std::vector<uint64_t> &Keys,
+                                const uint8_t *In, uint8_t *Out,
+                                size_t NumBlocks) {
+  const unsigned Batch = R.blocksPerCall();
+  const unsigned BlockLen = blockBytes();
+  for (size_t Base = 0; Base < NumBlocks; Base += Batch) {
+    size_t Count = std::min<size_t>(Batch, NumBlocks - Base);
+    processBatch(R, Keys, In + Base * BlockLen, Out + Base * BlockLen,
+                 Count);
+  }
+}
+
+void UsubaCipher::processBatch(KernelRunner &R,
+                               const std::vector<uint64_t> &Keys,
+                               const uint8_t *In, uint8_t *Out,
+                               size_t Count) {
+  const bool Flat = Config.Slicing == SlicingMode::Bitslice;
+  const unsigned Scale = Flat && StructuredBits > 1 ? StructuredBits : 1;
+  const unsigned AtomsStructured = AtomsPerBlockStructured;
+  const unsigned AtomsFlat = AtomsStructured * Scale;
+  const unsigned Batch = R.blocksPerCall();
+  const unsigned BlockLen = blockBytes();
+  assert(Count >= 1 && Count <= Batch && "batch size out of range");
+
+  if (StructuredScratch.size() < size_t{Batch} * AtomsStructured) {
+    StructuredScratch.resize(size_t{Batch} * AtomsStructured);
+    InAtomsScratch.resize(size_t{Batch} * AtomsFlat);
+    OutAtomsScratch.resize(size_t{Batch} * AtomsFlat);
+  }
+  if (Count < Batch)
+    std::fill(StructuredScratch.begin(), StructuredScratch.end(), 0);
+  for (size_t B = 0; B < Count; ++B)
+    blockToAtoms(In + B * BlockLen, &StructuredScratch[B * AtomsStructured]);
+  const uint64_t *InAtoms = StructuredScratch.data();
+  if (Scale > 1) {
+    expandAtomsToBits(StructuredScratch.data(),
+                      static_cast<unsigned>(size_t{Batch} * AtomsStructured),
+                      StructuredBits, InAtomsScratch.data());
+    InAtoms = InAtomsScratch.data();
+  }
+  std::vector<KernelRunner::ParamData> Params;
+  Params.push_back({/*Broadcast=*/false, InAtoms});
+  if (Config.Id != CipherId::Chacha20)
+    Params.push_back({/*Broadcast=*/true, Keys.data()});
+  R.runBatch(Params, OutAtomsScratch.data());
+  const uint64_t *OutAtoms = OutAtomsScratch.data();
+  if (Scale > 1) {
+    collapseBitsToAtoms(OutAtomsScratch.data(),
+                        static_cast<unsigned>(size_t{Batch} * AtomsStructured),
+                        StructuredBits, StructuredScratch.data());
+    OutAtoms = StructuredScratch.data();
+  }
+  for (size_t B = 0; B < Count; ++B)
+    atomsToBlock(OutAtoms + B * AtomsStructured, Out + B * BlockLen);
+}
+
+void UsubaCipher::ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
+                         uint64_t Counter) {
+  const unsigned BlockLen = blockBytes();
+  const unsigned Batch = blocksPerCall();
+  const size_t BatchBytes = size_t{Batch} * BlockLen;
+  if (CounterScratch.size() != BatchBytes) {
+    CounterScratch.resize(BatchBytes);
+    KeystreamScratch.resize(BatchBytes);
+  }
+
+  size_t Offset = 0;
+  while (Offset < Length) {
+    size_t Chunk = std::min(Length - Offset, BatchBytes);
+    size_t NumBlocks = (Chunk + BlockLen - 1) / BlockLen;
+
+    if (Config.Id == CipherId::Chacha20) {
+      // A ChaCha20 "counter block" is the whole 16-word input state; the
+      // kernel output is the keystream directly.
+      for (size_t B = 0; B < NumBlocks; ++B) {
+        uint32_t State[16];
+        chacha20InitState(State, RawKey.data(),
+                          static_cast<uint32_t>(Counter + B), Nonce);
+        for (unsigned W = 0; W < 16; ++W)
+          for (unsigned Byte = 0; Byte < 4; ++Byte)
+            CounterScratch[B * 64 + 4 * W + Byte] =
+                static_cast<uint8_t>(State[W] >> (8 * Byte));
+      }
+    } else if (BlockLen == 8) {
+      // 64-bit blocks: the counter block is nonce-as-integer plus index.
+      uint64_t Base = load64be(Nonce);
+      for (size_t B = 0; B < NumBlocks; ++B)
+        store64be(Base + Counter + B, &CounterScratch[B * BlockLen]);
+    } else {
+      // 128-bit blocks: 12-byte nonce followed by a 32-bit counter.
+      for (size_t B = 0; B < NumBlocks; ++B) {
+        uint8_t *Block = &CounterScratch[B * BlockLen];
+        std::memcpy(Block, Nonce, 12);
+        uint32_t Ctr = static_cast<uint32_t>(Counter + B);
+        for (unsigned I = 0; I < 4; ++I)
+          Block[12 + I] = static_cast<uint8_t>(Ctr >> (8 * (3 - I)));
+      }
+    }
+
+    processBatch(*Runner, KeyAtoms, CounterScratch.data(),
+                 KeystreamScratch.data(), NumBlocks);
+
+    // Word-wise keystream XOR; the scalar tail is at most 7 bytes.
+    uint8_t *Dst = Data + Offset;
+    const uint8_t *Ks = KeystreamScratch.data();
+    size_t I = 0;
+    for (; I + 8 <= Chunk; I += 8) {
+      uint64_t D, K;
+      std::memcpy(&D, Dst + I, 8);
+      std::memcpy(&K, Ks + I, 8);
+      D ^= K;
+      std::memcpy(Dst + I, &D, 8);
+    }
+    for (; I < Chunk; ++I)
+      Dst[I] ^= Ks[I];
+
+    Counter += NumBlocks;
+    Offset += Chunk;
+  }
+}
+
+std::vector<SlicingMode> UsubaCipher::supportedSlicings(CipherId Id,
+                                                        const Arch &Target) {
+  std::vector<SlicingMode> Out;
+  for (SlicingMode Mode :
+       {SlicingMode::Bitslice, SlicingMode::Vslice, SlicingMode::Hslice}) {
+    CipherConfig Config;
+    Config.Id = Id;
+    Config.Slicing = Mode;
+    Config.Target = &Target;
+    Config.PreferNative = false;
+    if (create(Config))
+      Out.push_back(Mode);
+  }
+  return Out;
+}

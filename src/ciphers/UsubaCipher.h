@@ -1,0 +1,160 @@
+//===- UsubaCipher.h - High-level cipher API --------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library facade a downstream user consumes: pick a bundled cipher
+/// and a slicing, get back an object that encrypts byte buffers. Under
+/// the hood this compiles the Usuba program for the requested target,
+/// optionally JIT-compiles the emitted C to native code, and drives the
+/// transposition runtime in ECB or CTR mode.
+///
+/// \code
+///   auto Cipher = UsubaCipher::create(
+///       {CipherId::Chacha20, SlicingMode::Vslice, &archAVX2()});
+///   Cipher->setKey(Key, 32);
+///   Cipher->ctrXor(Buffer, Size, Nonce, /*Counter=*/0);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_USUBACIPHER_H
+#define USUBA_CIPHERS_USUBACIPHER_H
+
+#include "core/Compiler.h"
+#include "runtime/KernelRunner.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace usuba {
+
+class NativeKernel;
+
+/// The bundled primitives of the paper's evaluation.
+enum class CipherId : uint8_t {
+  Rectangle,
+  Des,
+  Aes128,
+  Chacha20,
+  Serpent,
+  /// Extension beyond the paper's evaluation set (lightweight SPN).
+  Present,
+};
+
+const char *cipherName(CipherId Id);
+
+/// How the primitive is sliced (paper Section 1). Availability depends on
+/// the cipher: supportedSlicings() reports which combinations type-check.
+enum class SlicingMode : uint8_t { Bitslice, Vslice, Hslice };
+
+const char *slicingName(SlicingMode Mode);
+
+/// Creation parameters.
+struct CipherConfig {
+  CipherId Id = CipherId::Rectangle;
+  SlicingMode Slicing = SlicingMode::Vslice;
+  const Arch *Target = nullptr; ///< nullptr = GP64
+  /// Back-end toggles forwarded to the compiler (Table 2 sweeps these).
+  bool Inline = true;
+  bool Unroll = true;
+  bool Interleave = false;
+  bool Schedule = true;
+  /// 0 = the registers/max-live heuristic picks the factor.
+  unsigned InterleaveFactorOverride = 0;
+  /// JIT the emitted C and run natively when the host supports the
+  /// target; otherwise (or on failure) fall back to the simulator.
+  bool PreferNative = true;
+};
+
+/// A ready-to-use sliced cipher.
+class UsubaCipher {
+public:
+  /// Compiles the cipher; returns std::nullopt with \p Error set when the
+  /// slicing is unsupported (a type error, e.g. bitsliced ChaCha20).
+  static std::optional<UsubaCipher> create(const CipherConfig &Config,
+                                           std::string *Error = nullptr);
+
+  UsubaCipher(UsubaCipher &&) = default;
+
+  /// Key sizes: Rectangle 10, DES 8, AES-128 16, ChaCha20 32, Serpent 16,
+  /// PRESENT 10 bytes.
+  unsigned keyBytes() const;
+  /// Block sizes: Rectangle/DES 8, AES/Serpent 16; ChaCha20 produces
+  /// 64-byte keystream blocks.
+  unsigned blockBytes() const;
+  /// Blocks processed per kernel invocation (slices x interleave).
+  unsigned blocksPerCall() const { return Runner->blocksPerCall(); }
+  /// True when running JIT-compiled native code (vs the simulator).
+  bool isNative() const { return Runner->usingNative(); }
+
+  /// Installs the key (expands the key schedule — which, as in the
+  /// paper's benchmarks, lives outside the measured primitive).
+  void setKey(const uint8_t *Key, size_t Length);
+
+  /// ECB encryption of whole blocks (block ciphers only). In and Out may
+  /// alias. Partial batches are padded internally with zero blocks.
+  void ecbEncrypt(const uint8_t *In, uint8_t *Out, size_t NumBlocks);
+
+  /// ECB decryption. Compiles the inverse kernel lazily on first use
+  /// (DES reuses the forward kernel with reversed subkeys).
+  void ecbDecrypt(const uint8_t *In, uint8_t *Out, size_t NumBlocks);
+
+  /// Counter-mode keystream XOR (all ciphers; encryption == decryption).
+  /// \p Nonce: 8 bytes for 64-bit blocks, 12 for ChaCha20 (RFC 8439), 12
+  /// for 128-bit blocks (counter in the last 4 bytes).
+  void ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
+              uint64_t Counter);
+
+  /// One kernel execution with no transposition (benchmark harness use:
+  /// measures the primitive alone, like the paper's Figures 3 and 4).
+  void rawKernelCall() { Runner->kernelOnly(); }
+
+  /// Compilation statistics (for the benches' reporting).
+  const CompiledKernel &kernel() const { return Runner->kernel(); }
+  const CipherConfig &config() const { return Config; }
+
+  /// Which slicings type-check for \p Id on \p Target (first column of
+  /// Table 3 / Figure 3).
+  static std::vector<SlicingMode> supportedSlicings(CipherId Id,
+                                                    const Arch &Target);
+
+private:
+  UsubaCipher(CipherConfig Config, CompiledKernel Kernel);
+
+  /// Batched block transform (shared by ECB and CTR paths).
+  void processBlocks(KernelRunner &R, const std::vector<uint64_t> &Keys,
+                     const uint8_t *In, uint8_t *Out, size_t NumBlocks);
+  /// One kernel invocation's worth of blocks (Count <= R.blocksPerCall()).
+  void processBatch(KernelRunner &R, const std::vector<uint64_t> &Keys,
+                    const uint8_t *In, uint8_t *Out, size_t Count);
+  /// Builds the decryption runner on first use; false when unsupported.
+  bool ensureDecryptRunner();
+
+  /// Converts one block of bytes to kernel atoms and back.
+  void blockToAtoms(const uint8_t *Block, uint64_t *Atoms) const;
+  void atomsToBlock(const uint64_t *Atoms, uint8_t *Block) const;
+
+  CipherConfig Config;
+  std::unique_ptr<KernelRunner> Runner;
+  std::shared_ptr<NativeKernel> Native; ///< keeps the dlopen handle alive
+  std::unique_ptr<KernelRunner> DecRunner; ///< inverse kernel (lazy)
+  std::shared_ptr<NativeKernel> DecNative;
+  std::vector<uint64_t> KeyAtoms;    ///< broadcast key material
+  std::vector<uint64_t> DecKeyAtoms; ///< DES: reversed subkeys
+  std::vector<uint8_t> RawKey;          ///< ChaCha20 keeps the raw key
+  unsigned AtomsPerBlockStructured = 0; ///< pre-flattening atom count
+  unsigned StructuredBits = 0;          ///< atom size pre-flattening
+  // Reused batch scratch (kept hot across calls).
+  std::vector<uint64_t> StructuredScratch, InAtomsScratch, OutAtomsScratch;
+  std::vector<uint8_t> CounterScratch, KeystreamScratch;
+};
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_USUBACIPHER_H

@@ -1,0 +1,114 @@
+//===- UsubaSourceAes.cpp - AES-128 in Usuba --------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The hsliced AES program in the Käsper-Schwabe representation: the
+/// 128-bit state is 8 atoms of 16 positions (atom j = bit plane j, atom
+/// position p = state byte p, column-major). SubBytes is the 8->8 S-box
+/// table (expanded to a circuit by the compiler); ShiftRows and the
+/// column rotations of MixColumns are Shuffles on the 16 positions,
+/// compiled to byte shuffles in horizontal mode and to free renamings
+/// under -B. The S-box entries and shuffle patterns are generated from
+/// the reference implementation's definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+
+#include "ciphers/RefAes.h"
+
+#include <string>
+
+using namespace usuba;
+
+namespace {
+
+/// Formats a 16-position Shuffle pattern.
+std::string patternText(unsigned (*From)(unsigned)) {
+  std::string Out = "[";
+  for (unsigned P = 0; P < 16; ++P) {
+    Out += std::to_string(From(P));
+    if (P != 15)
+      Out += ", ";
+  }
+  return Out + "]";
+}
+
+/// ShiftRows: out byte (r, c) = in byte (r, (c + r) mod 4).
+unsigned shiftRowsFrom(unsigned P) {
+  unsigned Row = P % 4, Col = P / 4;
+  return Row + 4 * ((Col + Row) % 4);
+}
+/// Column rotations of MixColumns: out byte (r, c) = in byte ((r+k)%4, c).
+unsigned rot1From(unsigned P) { return (P % 4 + 1) % 4 + 4 * (P / 4); }
+unsigned rot2From(unsigned P) { return (P % 4 + 2) % 4 + 4 * (P / 4); }
+unsigned rot3From(unsigned P) { return (P % 4 + 3) % 4 + 4 * (P / 4); }
+
+std::string buildAesSource() {
+  std::string Out = "// AES-128 (FIPS-197), hsliced bit-plane "
+                    "representation; generated tables.\n";
+  Out += "table SubBytes (in:v8) returns (out:v8) {\n";
+  for (unsigned Row = 0; Row < 16; ++Row) {
+    Out += "  ";
+    for (unsigned Col = 0; Col < 16; ++Col) {
+      Out += std::to_string(aesSbox()[16 * Row + Col]);
+      if (Row != 15 || Col != 15)
+        Out += ",";
+      if (Col != 15)
+        Out += " ";
+    }
+    Out += "\n";
+  }
+  Out += "}\n\n";
+
+  Out += "node ShiftRows (st:u16x8) returns (out:u16x8)\nlet\n";
+  Out += "  forall j in [0,7] { out[j] = Shuffle(st[j], " +
+         patternText(shiftRowsFrom) + ") }\ntel\n\n";
+
+  Out += R"(node Xtime (x:u16x8) returns (out:u16x8)
+let
+  out[0] = x[7];
+  out[1] = x[0] ^ x[7];
+  out[2] = x[1];
+  out[3] = x[2] ^ x[7];
+  out[4] = x[3] ^ x[7];
+  out[5] = x[4];
+  out[6] = x[5];
+  out[7] = x[6]
+tel
+
+)";
+
+  Out += "node MixColumns (st:u16x8) returns (out:u16x8)\n"
+         "vars r1:u16x8, r2:u16x8, r3:u16x8, x:u16x8, xt:u16x8\nlet\n";
+  Out += "  forall j in [0,7] {\n";
+  Out += "    r1[j] = Shuffle(st[j], " + patternText(rot1From) + ");\n";
+  Out += "    r2[j] = Shuffle(st[j], " + patternText(rot2From) + ");\n";
+  Out += "    r3[j] = Shuffle(st[j], " + patternText(rot3From) + ")\n";
+  Out += "  }\n";
+  Out += R"(  x = st ^ r1;
+  xt = Xtime(x);
+  out = ((xt ^ r1) ^ r2) ^ r3
+tel
+
+node AES (plain:u16x8, key:u16x8[11]) returns (cipher:u16x8)
+vars st:u16x8[10]
+let
+  st[0] = plain ^ key[0];
+  forall i in [1,9] {
+    st[i] = MixColumns(ShiftRows(SubBytes(st[i-1]))) ^ key[i]
+  }
+  cipher = ShiftRows(SubBytes(st[9])) ^ key[10]
+tel
+)";
+  return Out;
+}
+
+} // namespace
+
+const std::string &usuba::aesSource() {
+  static const std::string Source = buildAesSource();
+  return Source;
+}

@@ -1,0 +1,58 @@
+//===- UsubaSourceChacha20.cpp - ChaCha20 in Usuba -------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+
+using namespace usuba;
+
+const std::string &usuba::chacha20Source() {
+  // ChaCha20 (Bernstein, 2008; RFC 8439 parameters): the 512-bit state is
+  // 16 32-bit words; a block is 10 double-rounds followed by a word-wise
+  // addition of the input state. Relies on 32-bit addition, so it only
+  // supports vertical slicing (the paper's Table 2/3 benchmark it
+  // vsliced) — requesting -H or -B yields a type error, as expected.
+  static const std::string Source = R"(
+node QR (a:u32, b:u32, c:u32, d:u32)
+  returns (ao:u32, bo:u32, co:u32, do_:u32)
+vars a1:u32, b1:u32, c1:u32, d1:u32
+let
+  a1 = a + b;
+  d1 = (d ^ a1) <<< 16;
+  c1 = c + d1;
+  b1 = (b ^ c1) <<< 12;
+  ao = a1 + b1;
+  do_ = (d1 ^ ao) <<< 8;
+  co = c1 + do_;
+  bo = (b1 ^ co) <<< 7
+tel
+
+node DoubleRound (s:u32x16) returns (out:u32x16)
+vars t:u32x16
+let
+  (t[0], t[4], t[8],  t[12]) = QR(s[0], s[4], s[8],  s[12]);
+  (t[1], t[5], t[9],  t[13]) = QR(s[1], s[5], s[9],  s[13]);
+  (t[2], t[6], t[10], t[14]) = QR(s[2], s[6], s[10], s[14]);
+  (t[3], t[7], t[11], t[15]) = QR(s[3], s[7], s[11], s[15]);
+  (out[0], out[5], out[10], out[15]) = QR(t[0], t[5], t[10], t[15]);
+  (out[1], out[6], out[11], out[12]) = QR(t[1], t[6], t[11], t[12]);
+  (out[2], out[7], out[8],  out[13]) = QR(t[2], t[7], t[8],  t[13]);
+  (out[3], out[4], out[9],  out[14]) = QR(t[3], t[4], t[9],  t[14])
+tel
+
+node Chacha20 (input:u32x16) returns (out:u32x16)
+vars round:u32x16[11]
+let
+  round[0] = input;
+  forall i in [0,9] {
+    round[i+1] = DoubleRound(round[i])
+  }
+  forall i in [0,15] {
+    out[i] = round[10][i] + input[i]
+  }
+tel
+)";
+  return Source;
+}

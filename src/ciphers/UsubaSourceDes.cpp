@@ -1,0 +1,113 @@
+//===- UsubaSourceDes.cpp - DES in Usuba ------------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The DES Usuba program is generated from the specification tables of
+/// DesTables.h: permutations are emitted verbatim (Usuba's perm construct
+/// is 1-based, like FIPS-46), while S-boxes are re-indexed from the
+/// spec's (row = b1b6, column = b2b3b4b5) layout into the compiler's flat
+/// wire convention (input wire i = bit i of the table index, wire 0
+/// carrying b1; output wire 0 carrying the substitution's leftmost bit).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+
+#include "ciphers/DesTables.h"
+#include "support/BitUtils.h"
+
+#include <string>
+
+using namespace usuba;
+
+namespace {
+
+std::string permDef(const char *Name, const char *InTy, const char *OutTy,
+                    const uint8_t *Indices, unsigned Count) {
+  std::string Out = std::string("perm ") + Name + " (in:" + InTy +
+                    ") returns (out:" + OutTy + ") {\n  ";
+  for (unsigned I = 0; I < Count; ++I) {
+    Out += std::to_string(Indices[I]);
+    if (I + 1 != Count)
+      Out += I % 16 == 15 ? ",\n  " : ", ";
+  }
+  Out += "\n}\n\n";
+  return Out;
+}
+
+/// Re-indexes S-box \p Box into the flat wire convention:
+///   flat[index] has wire j = leftmost output bit j of
+///   S[row = b1b6][col = b2b3b4b5], where bk = bit (k-1) of index.
+std::string sboxDef(unsigned Box) {
+  std::string Out =
+      "table S" + std::to_string(Box + 1) + " (in:b6) returns (out:b4) {\n  ";
+  for (unsigned Index = 0; Index < 64; ++Index) {
+    unsigned B1 = Index & 1, B2 = (Index >> 1) & 1, B3 = (Index >> 2) & 1;
+    unsigned B4 = (Index >> 3) & 1, B5 = (Index >> 4) & 1,
+             B6 = (Index >> 5) & 1;
+    unsigned Row = (B1 << 1) | B6;
+    unsigned Col = (B2 << 3) | (B3 << 2) | (B4 << 1) | B5;
+    unsigned Value = des::Sboxes[Box][Row][Col];
+    // Output wire 0 is the substitution's leftmost (most significant)
+    // bit, and the compiler reads entry bit j as wire j: reverse.
+    unsigned Entry = 0;
+    for (unsigned J = 0; J < 4; ++J)
+      Entry |= ((Value >> (3 - J)) & 1u) << J;
+    Out += std::to_string(Entry);
+    if (Index != 63)
+      Out += Index % 16 == 15 ? ",\n  " : ", ";
+  }
+  Out += "\n}\n\n";
+  return Out;
+}
+
+std::string buildDesSource() {
+  std::string Out = "// DES (FIPS-46), bitsliced; generated from the "
+                    "specification tables.\n";
+  Out += permDef("InitialPerm", "b64", "b64", des::IP, 64);
+  Out += permDef("FinalPerm", "b64", "b64", des::FP, 64);
+  Out += permDef("Expand", "b32", "b48", des::E, 48);
+  Out += permDef("PermP", "b32", "b32", des::P, 32);
+  for (unsigned Box = 0; Box < 8; ++Box)
+    Out += sboxDef(Box);
+
+  Out += R"(node Feistel (right:b32, k:b48) returns (out:b32)
+vars e:b48, s:b32
+let
+  e = Expand(right) ^ k;
+  s[0..3]   = S1(e[0..5]);
+  s[4..7]   = S2(e[6..11]);
+  s[8..11]  = S3(e[12..17]);
+  s[12..15] = S4(e[18..23]);
+  s[16..19] = S5(e[24..29]);
+  s[20..23] = S6(e[30..35]);
+  s[24..27] = S7(e[36..41]);
+  s[28..31] = S8(e[42..47]);
+  out = PermP(s)
+tel
+
+node DES (plain:b64, key:b48[16]) returns (cipher:b64)
+vars ip:b64, pre:b64, l:b32[17], r:b32[17]
+let
+  ip = InitialPerm(plain);
+  l[0] = ip[0..31];
+  r[0] = ip[32..63];
+  forall i in [0,15] {
+    l[i+1] = r[i];
+    r[i+1] = l[i] ^ Feistel(r[i], key[i])
+  }
+  pre = (r[16], l[16]);
+  cipher = FinalPerm(pre)
+tel
+)";
+  return Out;
+}
+
+} // namespace
+
+const std::string &usuba::desSource() {
+  static const std::string Source = buildDesSource();
+  return Source;
+}

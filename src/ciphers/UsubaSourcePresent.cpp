@@ -1,0 +1,83 @@
+//===- UsubaSourcePresent.cpp - PRESENT in Usuba ----------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The PRESENT-80 Usuba program, generated from the specification (S-box
+/// re-indexed into the compiler's wire convention, bit permutation
+/// emitted as a perm). An extension beyond the paper's five ciphers: a
+/// second lightweight SPN whose permutation layer costs zero instructions
+/// once sliced.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+
+#include "ciphers/RefPresent.h"
+
+using namespace usuba;
+
+namespace {
+
+unsigned reverse4(unsigned V) {
+  return ((V & 1) << 3) | ((V & 2) << 1) | ((V & 4) >> 1) | ((V & 8) >> 3);
+}
+
+std::string buildPresentSource() {
+  std::string Out =
+      "// PRESENT-80 (Bogdanov et al., 2007); generated tables.\n"
+      "// Vector index i holds block bit 63-i (leftmost first).\n";
+
+  // S-box with wire 0 = the nibble's most significant bit.
+  Out += "table Sbox (in:b4) returns (out:b4) {\n  ";
+  for (unsigned Index = 0; Index < 16; ++Index) {
+    unsigned Entry = reverse4(PresentSbox[reverse4(Index)]);
+    Out += std::to_string(Entry);
+    if (Index != 15)
+      Out += Index == 7 ? ",\n  " : ", ";
+  }
+  Out += "\n}\n\n";
+
+  // pLayer: out vector index i <- in vector index 63 - Pinv(63 - i),
+  // where Pinv(t) = 4t mod 63 (and 63 fixed).
+  Out += "perm PLayer (in:b64) returns (out:b64) {\n  ";
+  for (unsigned I = 0; I < 64; ++I) {
+    unsigned OutBit = 63 - I;
+    unsigned InBit = OutBit == 63 ? 63 : (4 * OutBit) % 63;
+    unsigned Source1Based = 64 - InBit; // vector index (63 - InBit) + 1
+    Out += std::to_string(Source1Based);
+    if (I != 63)
+      Out += I % 16 == 15 ? ",\n  " : ", ";
+  }
+  Out += "\n}\n\n";
+
+  Out += R"(node Round (state:b64, k:b64) returns (out:b64)
+vars t:b64, u:b64
+let
+  t = state ^ k;
+  forall i in [0,15] {
+    u[4*i..4*i+3] = Sbox(t[4*i..4*i+3])
+  }
+  out = PLayer(u)
+tel
+
+node Present (plain:b64, key:b64[32]) returns (cipher:b64)
+vars r:b64[32]
+let
+  r[0] = plain;
+  forall i in [0,30] {
+    r[i+1] = Round(r[i], key[i])
+  }
+  cipher = r[31] ^ key[31]
+tel
+)";
+  return Out;
+}
+
+} // namespace
+
+const std::string &usuba::presentSource() {
+  static const std::string Source = buildPresentSource();
+  return Source;
+}

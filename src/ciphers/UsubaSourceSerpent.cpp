@@ -1,0 +1,93 @@
+//===- UsubaSourceSerpent.cpp - Serpent in Usuba ---------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+
+using namespace usuba;
+
+const std::string &usuba::serpentSource() {
+  // Serpent (Biham, Anderson, Knudsen, 1998) in its bitsliced-mode
+  // formulation: the state is 4 32-bit words x0..x3; the 4x4 S-boxes are
+  // applied columnwise (nibble bit i = word i) and the linear transform
+  // mixes the words with rotations and shifts. 32 rounds, 33 round keys
+  // (key schedule in the runtime). Vertical slicing is the paper's
+  // benchmarked mode; -B flattens it automatically.
+  static const std::string Source = R"(
+table S0 (in:v4) returns (out:v4) {
+  3, 8, 15, 1, 10, 6, 5, 11, 14, 13, 4, 2, 7, 0, 9, 12
+}
+table S1 (in:v4) returns (out:v4) {
+  15, 12, 2, 7, 9, 0, 5, 10, 1, 11, 14, 8, 6, 13, 3, 4
+}
+table S2 (in:v4) returns (out:v4) {
+  8, 6, 7, 9, 3, 12, 10, 15, 13, 1, 14, 4, 0, 11, 5, 2
+}
+table S3 (in:v4) returns (out:v4) {
+  0, 15, 11, 8, 12, 9, 6, 3, 13, 1, 2, 4, 10, 7, 5, 14
+}
+table S4 (in:v4) returns (out:v4) {
+  1, 15, 8, 3, 12, 0, 11, 6, 2, 5, 4, 10, 9, 14, 7, 13
+}
+table S5 (in:v4) returns (out:v4) {
+  15, 5, 2, 11, 4, 10, 9, 12, 0, 3, 14, 8, 13, 6, 7, 1
+}
+table S6 (in:v4) returns (out:v4) {
+  7, 2, 12, 5, 8, 4, 6, 11, 14, 9, 1, 15, 13, 3, 10, 0
+}
+table S7 (in:v4) returns (out:v4) {
+  1, 13, 15, 0, 14, 8, 2, 11, 7, 4, 12, 10, 9, 3, 5, 6
+}
+
+node LT (x:u32x4) returns (out:u32x4)
+vars t0:u32, t1:u32, t2:u32, t3:u32, u1:u32, u3:u32
+let
+  t0 = x[0] <<< 13;
+  t2 = x[2] <<< 3;
+  t1 = (x[1] ^ t0) ^ t2;
+  t3 = (x[3] ^ t2) ^ (t0 << 3);
+  u1 = t1 <<< 1;
+  u3 = t3 <<< 7;
+  out[0] = ((t0 ^ u1) ^ u3) <<< 5;
+  out[1] = u1;
+  out[2] = ((t2 ^ u3) ^ (u1 << 7)) <<< 22;
+  out[3] = u3
+tel
+
+node R0 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S0(x ^ k)) tel
+node R1 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S1(x ^ k)) tel
+node R2 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S2(x ^ k)) tel
+node R3 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S3(x ^ k)) tel
+node R4 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S4(x ^ k)) tel
+node R5 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S5(x ^ k)) tel
+node R6 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S6(x ^ k)) tel
+node R7 (x:u32x4, k:u32x4) returns (out:u32x4) let out = LT(S7(x ^ k)) tel
+
+node Serpent (plain:u32x4, key:u32x4[33]) returns (cipher:u32x4)
+vars st:u32x4[32]
+let
+  st[0] = plain;
+  forall g in [0,2] {
+    st[8*g+1] = R0(st[8*g+0], key[8*g+0]);
+    st[8*g+2] = R1(st[8*g+1], key[8*g+1]);
+    st[8*g+3] = R2(st[8*g+2], key[8*g+2]);
+    st[8*g+4] = R3(st[8*g+3], key[8*g+3]);
+    st[8*g+5] = R4(st[8*g+4], key[8*g+4]);
+    st[8*g+6] = R5(st[8*g+5], key[8*g+5]);
+    st[8*g+7] = R6(st[8*g+6], key[8*g+6]);
+    st[8*g+8] = R7(st[8*g+7], key[8*g+7])
+  }
+  st[25] = R0(st[24], key[24]);
+  st[26] = R1(st[25], key[25]);
+  st[27] = R2(st[26], key[26]);
+  st[28] = R3(st[27], key[27]);
+  st[29] = R4(st[28], key[28]);
+  st[30] = R5(st[29], key[29]);
+  st[31] = R6(st[30], key[30]);
+  cipher = S7(st[31] ^ key[31]) ^ key[32]
+tel
+)";
+  return Source;
+}

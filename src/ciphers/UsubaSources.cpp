@@ -1,0 +1,67 @@
+//===- UsubaSources.cpp - The Usuba programs of the evaluation ------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+
+using namespace usuba;
+
+//===----------------------------------------------------------------------===//
+// Rectangle (paper Figure 1)
+//===----------------------------------------------------------------------===//
+
+const std::string &usuba::rectangleSource() {
+  static const std::string Source = R"(
+// Rectangle (Zhang et al., 2014), as in Figure 1 of the Usuba paper.
+// State: 4 rows of 16 bits. S-box input/output bit i = row i.
+table SubColumn (in:v4) returns (out:v4) {
+  6, 5, 12, 10, 1, 14, 7, 9,
+  11, 0, 3, 13, 8, 15, 4, 2
+}
+
+node ShiftRows (input:u16x4) returns (out:u16x4)
+let
+  out[0] = input[0];
+  out[1] = input[1] <<< 1;
+  out[2] = input[2] <<< 12;
+  out[3] = input[3] <<< 13
+tel
+
+node Rectangle (plain:u16x4, key:u16x4[26]) returns (cipher:u16x4)
+vars round : u16x4[26]
+let
+  round[0] = plain;
+  forall i in [0,24] {
+    round[i+1] = ShiftRows(SubColumn(round[i] ^ key[i]))
+  }
+  cipher = round[25] ^ key[25]
+tel
+)";
+  return Source;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+std::vector<BundledProgram> usuba::bundledPrograms() {
+  return {
+      {"rectangle", rectangleSource()},
+      {"des", desSource()},
+      {"aes", aesSource()},
+      {"chacha20", chacha20Source()},
+      {"serpent", serpentSource()},
+      {"present", presentSource()},
+      {"trivium", triviumSource()},
+      {"rectangle_dec", rectangleDecSource()},
+      {"serpent_dec", serpentDecSource()},
+      {"present_dec", presentDecSource()},
+      {"aes_dec", aesDecSource()},
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// Placeholders (filled in by their own translation units below)
+//===----------------------------------------------------------------------===//

@@ -1,0 +1,69 @@
+//===- UsubaSources.h - The Usuba programs of the evaluation ----*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Usuba source of the five ciphers of the paper's evaluation
+/// (Section 4): Rectangle, DES, AES, ChaCha20, Serpent. Sources are
+/// embedded so that examples, tests and benches need no file lookup; the
+/// usubac CLI example can also dump them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_USUBASOURCES_H
+#define USUBA_CIPHERS_USUBASOURCES_H
+
+#include <string>
+#include <vector>
+
+namespace usuba {
+
+/// Rectangle (Figure 1 of the paper): 16-bit atoms, 4 rows, 26 round
+/// keys. Supports vslicing, hslicing and bitslicing.
+const std::string &rectangleSource();
+
+/// DES, bitsliced: 64-bit block, 16 48-bit round keys (key schedule in
+/// the runtime). Bitslice-only (Boolean circuit).
+const std::string &desSource();
+
+/// AES-128, hsliced in the Käsper-Schwabe style: the 128-bit state as 8
+/// uH16 bit-plane atoms, 11 round keys in the same representation.
+/// Supports hslicing and bitslicing.
+const std::string &aesSource();
+
+/// ChaCha20: 16 uV32 words, 20 rounds. Vertical (or general-purpose)
+/// slicing only — it relies on 32-bit addition.
+const std::string &chacha20Source();
+
+/// Serpent-128: 4 uV32 words, 32 rounds, 33 round keys (key schedule in
+/// the runtime). Supports vslicing and bitslicing.
+const std::string &serpentSource();
+
+/// PRESENT-80, bitsliced: 64-bit block, 32 round keys (key schedule in
+/// the runtime). An extension beyond the paper's evaluation set.
+const std::string &presentSource();
+
+/// Trivium, 64 rounds as one combinational kernel (the paper's future
+/// work, Section 6): stateless node state -> (keystream, next state).
+const std::string &triviumSource();
+
+/// Decryption programs (ECB): the inverse kernels of the block ciphers.
+/// DES decrypts with the forward kernel and reversed subkeys, so it has
+/// no separate source.
+const std::string &rectangleDecSource();
+const std::string &serpentDecSource();
+const std::string &presentDecSource();
+const std::string &aesDecSource();
+
+/// Names and sources of all bundled ciphers (for the CLI example).
+struct BundledProgram {
+  const char *Name;
+  const std::string &Source;
+};
+std::vector<BundledProgram> bundledPrograms();
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_USUBASOURCES_H

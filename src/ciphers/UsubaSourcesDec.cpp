@@ -1,0 +1,283 @@
+//===- UsubaSourcesDec.cpp - Decryption kernels in Usuba --------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Inverse ciphers, expressed in Usuba like the forward ones (the paper
+/// needs only encryption for CTR, but a block-cipher library without ECB
+/// decryption is incomplete). Inverse S-boxes are computed from the
+/// forward tables; descending round loops are written with ascending
+/// `forall`s and index arithmetic. DES needs no inverse kernel (its
+/// Feistel structure decrypts by reversing the subkeys, handled in the
+/// runtime); Trivium is a stream cipher.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+
+#include "ciphers/RefAes.h"
+#include "ciphers/RefPresent.h"
+
+#include <string>
+
+using namespace usuba;
+
+namespace {
+
+unsigned reverse4(unsigned V) {
+  return ((V & 1) << 3) | ((V & 2) << 1) | ((V & 4) >> 1) | ((V & 8) >> 3);
+}
+
+std::string tableText(const char *Name, const char *Ty,
+                      const unsigned *Entries, unsigned Count) {
+  std::string Out = std::string("table ") + Name + " (in:" + Ty +
+                    ") returns (out:" + Ty + ") {\n  ";
+  for (unsigned I = 0; I < Count; ++I) {
+    Out += std::to_string(Entries[I]);
+    if (I + 1 != Count)
+      Out += I % 16 == 15 ? ",\n  " : ", ";
+  }
+  return Out + "\n}\n\n";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Rectangle
+//===----------------------------------------------------------------------===//
+
+const std::string &usuba::rectangleDecSource() {
+  static const std::string Source = [] {
+    // Invert the paper's S-box.
+    const unsigned Sbox[16] = {6, 5, 12, 10, 1, 14, 7, 9,
+                               11, 0, 3, 13, 8, 15, 4, 2};
+    unsigned Inv[16];
+    for (unsigned I = 0; I < 16; ++I)
+      Inv[Sbox[I]] = I;
+    std::string Out = tableText("InvSubColumn", "v4", Inv, 16);
+    Out += R"(node InvShiftRows (input:u16x4) returns (out:u16x4)
+let
+  out[0] = input[0];
+  out[1] = input[1] >>> 1;
+  out[2] = input[2] >>> 12;
+  out[3] = input[3] >>> 13
+tel
+
+node RectangleDec (cipher:u16x4, key:u16x4[26]) returns (plain:u16x4)
+vars round : u16x4[26]
+let
+  round[25] = cipher ^ key[25];
+  forall i in [0,24] {
+    round[24-i] = InvSubColumn(InvShiftRows(round[25-i])) ^ key[24-i]
+  }
+  plain = round[0]
+tel
+)";
+    return Out;
+  }();
+  return Source;
+}
+
+//===----------------------------------------------------------------------===//
+// Serpent
+//===----------------------------------------------------------------------===//
+
+const std::string &usuba::serpentDecSource() {
+  static const std::string Source = [] {
+    const unsigned Sboxes[8][16] = {
+        {3, 8, 15, 1, 10, 6, 5, 11, 14, 13, 4, 2, 7, 0, 9, 12},
+        {15, 12, 2, 7, 9, 0, 5, 10, 1, 11, 14, 8, 6, 13, 3, 4},
+        {8, 6, 7, 9, 3, 12, 10, 15, 13, 1, 14, 4, 0, 11, 5, 2},
+        {0, 15, 11, 8, 12, 9, 6, 3, 13, 1, 2, 4, 10, 7, 5, 14},
+        {1, 15, 8, 3, 12, 0, 11, 6, 2, 5, 4, 10, 9, 14, 7, 13},
+        {15, 5, 2, 11, 4, 10, 9, 12, 0, 3, 14, 8, 13, 6, 7, 1},
+        {7, 2, 12, 5, 8, 4, 6, 11, 14, 9, 1, 15, 13, 3, 10, 0},
+        {1, 13, 15, 0, 14, 8, 2, 11, 7, 4, 12, 10, 9, 3, 5, 6}};
+    std::string Out;
+    for (unsigned Box = 0; Box < 8; ++Box) {
+      unsigned Inv[16];
+      for (unsigned I = 0; I < 16; ++I)
+        Inv[Sboxes[Box][I]] = I;
+      Out += tableText(("InvS" + std::to_string(Box)).c_str(), "v4", Inv,
+                       16);
+    }
+    Out += R"(node InvLT (y:u32x4) returns (x:u32x4)
+vars u0:u32, u2:u32, t0:u32, t1:u32, t2:u32, t3:u32
+let
+  u2 = y[2] >>> 22;
+  u0 = y[0] >>> 5;
+  t2 = (u2 ^ y[3]) ^ (y[1] << 7);
+  t0 = (u0 ^ y[1]) ^ y[3];
+  t3 = y[3] >>> 7;
+  t1 = y[1] >>> 1;
+  x[3] = (t3 ^ t2) ^ (t0 << 3);
+  x[1] = (t1 ^ t0) ^ t2;
+  x[2] = t2 >>> 3;
+  x[0] = t0 >>> 13
+tel
+
+)";
+    for (unsigned Box = 0; Box < 8; ++Box)
+      Out += "node InvR" + std::to_string(Box) +
+             " (x:u32x4, k:u32x4) returns (out:u32x4) "
+             "let out = InvS" +
+             std::to_string(Box) + "(InvLT(x)) ^ k tel\n";
+    Out += R"(
+node SerpentDec (cipher:u32x4, key:u32x4[33]) returns (plain:u32x4)
+vars st:u32x4[32]
+let
+  st[31] = InvS7(cipher ^ key[32]) ^ key[31];
+)";
+    // Rounds 30..0: st[r] = InvS_{r mod 8}(InvLT(st[r+1])) ^ key[r],
+    // written as explicit equations (the S-box index cycles).
+    for (int Round = 30; Round >= 0; --Round)
+      Out += "  st[" + std::to_string(Round) + "] = InvR" +
+             std::to_string(Round % 8) + "(st[" +
+             std::to_string(Round + 1) + "], key[" +
+             std::to_string(Round) + "]);\n";
+    Out += "  plain = st[0]\ntel\n";
+    return Out;
+  }();
+  return Source;
+}
+
+//===----------------------------------------------------------------------===//
+// PRESENT
+//===----------------------------------------------------------------------===//
+
+const std::string &usuba::presentDecSource() {
+  static const std::string Source = [] {
+    // Inverse S-box in the compiler's wire convention (see
+    // UsubaSourcePresent.cpp).
+    unsigned Inv[16], Entries[16];
+    for (unsigned I = 0; I < 16; ++I)
+      Inv[PresentSbox[I]] = I;
+    for (unsigned Index = 0; Index < 16; ++Index)
+      Entries[Index] = reverse4(Inv[reverse4(Index)]);
+    std::string Out = tableText("InvSbox", "b4", Entries, 16);
+
+    // Inverse pLayer: output bit t takes input bit P(t) = 16t mod 63.
+    Out += "perm InvPLayer (in:b64) returns (out:b64) {\n  ";
+    for (unsigned I = 0; I < 64; ++I) {
+      unsigned OutBit = 63 - I;
+      unsigned InBit = OutBit == 63 ? 63 : (16 * OutBit) % 63;
+      Out += std::to_string(64 - InBit);
+      if (I != 63)
+        Out += I % 16 == 15 ? ",\n  " : ", ";
+    }
+    Out += "\n}\n\n";
+
+    Out += R"(node InvRound (state:b64, k:b64) returns (out:b64)
+vars t:b64, u:b64
+let
+  t = InvPLayer(state);
+  forall i in [0,15] {
+    u[4*i..4*i+3] = InvSbox(t[4*i..4*i+3])
+  }
+  out = u ^ k
+tel
+
+node PresentDec (cipher:b64, key:b64[32]) returns (plain:b64)
+vars r:b64[32]
+let
+  r[0] = cipher ^ key[31];
+  forall i in [0,30] {
+    r[i+1] = InvRound(r[i], key[30-i])
+  }
+  plain = r[31]
+tel
+)";
+    return Out;
+  }();
+  return Source;
+}
+
+//===----------------------------------------------------------------------===//
+// AES-128
+//===----------------------------------------------------------------------===//
+
+const std::string &usuba::aesDecSource() {
+  static const std::string Source = [] {
+    std::string Out = "// AES-128 decryption; InvMixColumns uses the\n"
+                      "// order-4 identity InvMC = MC^3.\n";
+    Out += "table InvSubBytes (in:v8) returns (out:v8) {\n";
+    for (unsigned Row = 0; Row < 16; ++Row) {
+      Out += "  ";
+      for (unsigned Col = 0; Col < 16; ++Col) {
+        Out += std::to_string(aesInvSbox()[16 * Row + Col]);
+        if (Row != 15 || Col != 15)
+          Out += ",";
+        if (Col != 15)
+          Out += " ";
+      }
+      Out += "\n";
+    }
+    Out += "}\n\n";
+
+    // Inverse ShiftRows: out byte (r, c) = in byte (r, (c - r) mod 4).
+    Out += "node InvShiftRows (st:u16x8) returns (out:u16x8)\nlet\n"
+           "  forall j in [0,7] { out[j] = Shuffle(st[j], [";
+    for (unsigned P = 0; P < 16; ++P) {
+      unsigned Row = P % 4, Col = P / 4;
+      Out += std::to_string(Row + 4 * ((Col + 4 - Row) % 4));
+      if (P != 15)
+        Out += ", ";
+    }
+    Out += "]) }\ntel\n\n";
+
+    // Reuse the forward MixColumns structure (duplicated here so the
+    // decryption program is self-contained).
+    auto Rot = [&](unsigned K) {
+      std::string Pattern = "[";
+      for (unsigned P = 0; P < 16; ++P) {
+        Pattern += std::to_string((P % 4 + K) % 4 + 4 * (P / 4));
+        if (P != 15)
+          Pattern += ", ";
+      }
+      return Pattern + "]";
+    };
+    Out += R"(node Xtime (x:u16x8) returns (out:u16x8)
+let
+  out[0] = x[7];
+  out[1] = x[0] ^ x[7];
+  out[2] = x[1];
+  out[3] = x[2] ^ x[7];
+  out[4] = x[3] ^ x[7];
+  out[5] = x[4];
+  out[6] = x[5];
+  out[7] = x[6]
+tel
+
+)";
+    Out += "node MixColumns (st:u16x8) returns (out:u16x8)\n"
+           "vars r1:u16x8, r2:u16x8, r3:u16x8, x:u16x8, xt:u16x8\nlet\n";
+    Out += "  forall j in [0,7] {\n";
+    Out += "    r1[j] = Shuffle(st[j], " + Rot(1) + ");\n";
+    Out += "    r2[j] = Shuffle(st[j], " + Rot(2) + ");\n";
+    Out += "    r3[j] = Shuffle(st[j], " + Rot(3) + ")\n";
+    Out += "  }\n";
+    Out += R"(  x = st ^ r1;
+  xt = Xtime(x);
+  out = ((xt ^ r1) ^ r2) ^ r3
+tel
+
+node InvMixColumns (st:u16x8) returns (out:u16x8)
+let
+  out = MixColumns(MixColumns(MixColumns(st)))
+tel
+
+node AesDec (cipher:u16x8, key:u16x8[11]) returns (plain:u16x8)
+vars st:u16x8[10]
+let
+  st[0] = InvSubBytes(InvShiftRows(cipher ^ key[10]));
+  forall i in [1,9] {
+    st[i] = InvSubBytes(InvShiftRows(InvMixColumns(st[i-1] ^ key[10-i])))
+  }
+  plain = st[9] ^ key[0]
+tel
+)";
+    return Out;
+  }();
+  return Source;
+}

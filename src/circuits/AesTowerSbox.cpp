@@ -1,0 +1,445 @@
+//===- AesTowerSbox.cpp - Composite-field AES S-box circuit ---------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuits/AesTowerSbox.h"
+
+#include "support/BitUtils.h"
+
+#include <array>
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Field arithmetic (reference, not circuits)
+//===----------------------------------------------------------------------===//
+
+/// GF(2^8) with the AES polynomial x^8 + x^4 + x^3 + x + 1.
+uint8_t mul8(uint8_t A, uint8_t B) {
+  uint8_t Product = 0;
+  for (unsigned Bit = 0; Bit < 8; ++Bit) {
+    if (B & 1)
+      Product ^= A;
+    bool High = A & 0x80;
+    A = static_cast<uint8_t>(A << 1);
+    if (High)
+      A ^= 0x1B;
+    B >>= 1;
+  }
+  return Product;
+}
+
+/// GF(2^4) with y^4 + y + 1.
+uint8_t mul4(uint8_t A, uint8_t B) {
+  uint8_t Product = 0;
+  for (unsigned Bit = 0; Bit < 4; ++Bit) {
+    if (B & 1)
+      Product ^= A;
+    bool High = A & 0x8;
+    A = static_cast<uint8_t>((A << 1) & 0xF);
+    if (High)
+      A ^= 0x3; // y^4 = y + 1
+    B >>= 1;
+  }
+  return Product;
+}
+
+/// The tower GF(2^4)[z]/(z^2 + z + Lambda): elements are (hi << 4) | lo
+/// for hi*z + lo.
+uint8_t towerMul(uint8_t A, uint8_t B, uint8_t Lambda) {
+  uint8_t Ah = A >> 4, Al = A & 0xF, Bh = B >> 4, Bl = B & 0xF;
+  uint8_t HH = mul4(Ah, Bh);
+  uint8_t Hi = static_cast<uint8_t>(mul4(Ah, Bl) ^ mul4(Al, Bh) ^ HH);
+  uint8_t Lo = static_cast<uint8_t>(mul4(Al, Bl) ^ mul4(HH, Lambda));
+  return static_cast<uint8_t>((Hi << 4) | Lo);
+}
+
+/// Picks a Lambda making z^2 + z + Lambda irreducible: Lambda outside the
+/// image of z -> z^2 + z.
+uint8_t pickLambda() {
+  bool InImage[16] = {};
+  for (unsigned Z = 0; Z < 16; ++Z)
+    InImage[mul4(static_cast<uint8_t>(Z), static_cast<uint8_t>(Z)) ^ Z] =
+        true;
+  for (unsigned L = 1; L < 16; ++L)
+    if (!InImage[L])
+      return static_cast<uint8_t>(L);
+  return 0; // unreachable: the image has size 8
+}
+
+/// Finds a field isomorphism phi: GF(2^8)_AES -> tower, returned as the
+/// images of the polynomial basis (phi(x^j) for j = 0..7). Searches for a
+/// tower element whose powers reproduce the AES field's addition.
+std::optional<std::array<uint8_t, 8>> findEmbedding(uint8_t Lambda) {
+  // Discrete log table for a generator g of the AES field.
+  uint8_t G = 0;
+  std::array<int, 256> Log{};
+  for (unsigned Candidate = 2; Candidate < 256 && !G; ++Candidate) {
+    Log.fill(-1);
+    uint8_t Power = 1;
+    unsigned Order = 0;
+    do {
+      Log[Power] = static_cast<int>(Order++);
+      Power = mul8(Power, static_cast<uint8_t>(Candidate));
+    } while (Power != 1 && Order <= 255);
+    if (Order == 255)
+      G = static_cast<uint8_t>(Candidate);
+  }
+  if (!G)
+    return std::nullopt;
+
+  for (unsigned T = 2; T < 256; ++T) {
+    // phi(g^k) = t^k; phi is a field map iff it is additive.
+    std::array<uint8_t, 256> Phi{};
+    uint8_t Power = 1;
+    std::array<uint8_t, 255> TPow{};
+    for (unsigned K = 0; K < 255; ++K) {
+      TPow[K] = Power;
+      Power = towerMul(Power, static_cast<uint8_t>(T), Lambda);
+    }
+    if (Power != 1)
+      continue; // order of t divides but is not 255
+    bool Injective = true;
+    std::array<bool, 256> Seen{};
+    for (unsigned K = 0; K < 255 && Injective; ++K) {
+      Injective = !Seen[TPow[K]];
+      Seen[TPow[K]] = true;
+    }
+    if (!Injective)
+      continue;
+    for (unsigned A = 1; A < 256; ++A)
+      Phi[A] = TPow[static_cast<unsigned>(Log[A])];
+    bool Additive = true;
+    for (unsigned A = 1; A < 256 && Additive; A <<= 1)
+      for (unsigned B = 1; B < 256 && Additive; ++B)
+        Additive = Phi[A ^ B] == (Phi[A] ^ Phi[B]);
+    if (!Additive)
+      continue;
+    // Full check (cheap and conclusive).
+    for (unsigned A = 0; A < 256 && Additive; ++A)
+      Additive = Phi[A ^ 1] == (Phi[A] ^ Phi[1]);
+    if (!Additive)
+      continue;
+    std::array<uint8_t, 8> Basis;
+    for (unsigned J = 0; J < 8; ++J)
+      Basis[J] = Phi[1u << J];
+    return Basis;
+  }
+  return std::nullopt;
+}
+
+/// An 8x8 GF(2) matrix as row masks: Rows[i] bit j set means output bit i
+/// XORs input bit j.
+using Matrix8 = std::array<uint8_t, 8>;
+
+/// Matrix whose columns are \p Columns (column j = image of bit j).
+Matrix8 fromColumns(const std::array<uint8_t, 8> &Columns) {
+  Matrix8 M{};
+  for (unsigned I = 0; I < 8; ++I)
+    for (unsigned J = 0; J < 8; ++J)
+      if (getBit(Columns[J], I))
+        M[I] = static_cast<uint8_t>(M[I] | (1u << J));
+  return M;
+}
+
+std::optional<Matrix8> invertMatrix(Matrix8 M) {
+  Matrix8 Inv{};
+  for (unsigned I = 0; I < 8; ++I)
+    Inv[I] = static_cast<uint8_t>(1u << I);
+  for (unsigned Col = 0; Col < 8; ++Col) {
+    unsigned Pivot = Col;
+    while (Pivot < 8 && !getBit(M[Pivot], Col))
+      ++Pivot;
+    if (Pivot == 8)
+      return std::nullopt;
+    std::swap(M[Col], M[Pivot]);
+    std::swap(Inv[Col], Inv[Pivot]);
+    for (unsigned Row = 0; Row < 8; ++Row) {
+      if (Row == Col || !getBit(M[Row], Col))
+        continue;
+      M[Row] ^= M[Col];
+      Inv[Row] ^= Inv[Col];
+    }
+  }
+  return Inv;
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit assembly
+//===----------------------------------------------------------------------===//
+
+/// Gate builder with hash-consing (shared subexpressions become one
+/// wire) over an underlying Circuit.
+class GateBuilder {
+public:
+  explicit GateBuilder(unsigned NumInputs) : Net(NumInputs) {}
+
+  unsigned gate(Circuit::GateKind Kind, unsigned A, unsigned B = 0) {
+    if ((Kind == Circuit::GateKind::And || Kind == Circuit::GateKind::Or ||
+         Kind == Circuit::GateKind::Xor) &&
+        B < A)
+      std::swap(A, B);
+    auto Key = std::make_tuple(static_cast<int>(Kind), A, B);
+    auto It = Cache.find(Key);
+    if (It != Cache.end())
+      return It->second;
+    unsigned Wire = Net.addGate(Kind, A, B);
+    Cache.emplace(Key, Wire);
+    return Wire;
+  }
+
+  unsigned bxor(unsigned A, unsigned B) {
+    return gate(Circuit::GateKind::Xor, A, B);
+  }
+  unsigned band(unsigned A, unsigned B) {
+    return gate(Circuit::GateKind::And, A, B);
+  }
+  unsigned bnot(unsigned A) { return gate(Circuit::GateKind::Not, A); }
+  unsigned zero() { return gate(Circuit::GateKind::Const0, 0, 0); }
+
+  /// XOR-reduces the wires selected by \p Mask over \p Bits.
+  unsigned xorMask(const std::vector<unsigned> &Bits, unsigned Mask) {
+    int Acc = -1;
+    for (unsigned J = 0; J < Bits.size(); ++J)
+      if (Mask & (1u << J))
+        Acc = Acc < 0 ? static_cast<int>(Bits[J])
+                      : static_cast<int>(bxor(static_cast<unsigned>(Acc),
+                                              Bits[J]));
+    return Acc < 0 ? zero() : static_cast<unsigned>(Acc);
+  }
+
+  Circuit take() { return std::move(Net); }
+
+private:
+  Circuit Net;
+  std::map<std::tuple<int, unsigned, unsigned>, unsigned> Cache;
+};
+
+using Nibble = std::array<unsigned, 4>;
+
+/// GF(2^4) multiplication as gates: schoolbook products reduced by
+/// y^4 = y + 1. The contribution of a_i * b_j to output bit k is fixed,
+/// so the formula is derived, not transcribed.
+Nibble gf16Mul(GateBuilder &B, const Nibble &X, const Nibble &Y) {
+  // reduction[i+j] = bitmask of output bits receiving y^(i+j).
+  uint8_t Reduction[7];
+  for (unsigned Deg = 0; Deg < 7; ++Deg) {
+    uint8_t Value = Deg < 4 ? static_cast<uint8_t>(1u << Deg) : 0;
+    if (Deg >= 4) {
+      // y^deg mod (y^4+y+1), computed by repeated reduction.
+      uint8_t Poly = 1;
+      for (unsigned Step = 0; Step < Deg; ++Step) {
+        bool High = Poly & 0x8;
+        Poly = static_cast<uint8_t>((Poly << 1) & 0xF);
+        if (High)
+          Poly ^= 0x3;
+      }
+      Value = Poly;
+    }
+    Reduction[Deg] = Value;
+  }
+  std::array<int, 4> Acc = {-1, -1, -1, -1};
+  for (unsigned I = 0; I < 4; ++I)
+    for (unsigned J = 0; J < 4; ++J) {
+      unsigned Term = B.band(X[I], Y[J]);
+      uint8_t Targets = Reduction[I + J];
+      for (unsigned K = 0; K < 4; ++K)
+        if (getBit(Targets, K))
+          Acc[K] = Acc[K] < 0
+                       ? static_cast<int>(Term)
+                       : static_cast<int>(
+                             B.bxor(static_cast<unsigned>(Acc[K]), Term));
+    }
+  Nibble Out;
+  for (unsigned K = 0; K < 4; ++K)
+    Out[K] = Acc[K] < 0 ? B.zero() : static_cast<unsigned>(Acc[K]);
+  return Out;
+}
+
+/// A linear GF(2^4) map (squaring, multiplication by a constant) as XORs,
+/// derived from its action on the basis.
+Nibble gf16Linear(GateBuilder &B, const Nibble &X, uint8_t (*F)(uint8_t),
+                  uint8_t Param) {
+  Nibble Out;
+  for (unsigned K = 0; K < 4; ++K) {
+    int Acc = -1;
+    for (unsigned J = 0; J < 4; ++J) {
+      uint8_t Image = F(static_cast<uint8_t>((1u << J) ^ (Param << 4)));
+      // Param is smuggled via the high nibble; F unpacks it.
+      if (!getBit(Image, K))
+        continue;
+      Acc = Acc < 0 ? static_cast<int>(X[J])
+                    : static_cast<int>(
+                          B.bxor(static_cast<unsigned>(Acc), X[J]));
+    }
+    Out[K] = Acc < 0 ? B.zero() : static_cast<unsigned>(Acc);
+  }
+  return Out;
+}
+
+uint8_t squareFn(uint8_t Packed) {
+  uint8_t X = Packed & 0xF;
+  return mul4(X, X);
+}
+uint8_t mulConstFn(uint8_t Packed) {
+  return mul4(Packed & 0xF, Packed >> 4);
+}
+
+/// GF(2^4) inversion: the 16-entry table is tiny, so emit its minimal
+/// two-level form directly: out_k = XOR over products of literals...
+/// In practice a 4-variable BDD-free sum is small; we emit a simple
+/// sum-of-products with shared AND terms (good enough at this size).
+Nibble gf16Inverse(GateBuilder &B, const Nibble &X) {
+  // Inverse table, computed.
+  uint8_t Inv[16] = {};
+  for (unsigned A = 1; A < 16; ++A)
+    for (unsigned C = 1; C < 16; ++C)
+      if (mul4(static_cast<uint8_t>(A), static_cast<uint8_t>(C)) == 1)
+        Inv[A] = static_cast<uint8_t>(C);
+
+  // Shared literals and minterm products.
+  unsigned Lit[4][2];
+  for (unsigned J = 0; J < 4; ++J) {
+    Lit[J][1] = X[J];
+    Lit[J][0] = B.bnot(X[J]);
+  }
+  std::array<int, 4> Acc = {-1, -1, -1, -1};
+  for (unsigned A = 0; A < 16; ++A) {
+    if (Inv[A] == 0)
+      continue;
+    unsigned P01 = B.band(Lit[0][A & 1], Lit[1][(A >> 1) & 1]);
+    unsigned P23 = B.band(Lit[2][(A >> 2) & 1], Lit[3][(A >> 3) & 1]);
+    unsigned Minterm = B.band(P01, P23);
+    for (unsigned K = 0; K < 4; ++K)
+      if (getBit(Inv[A], K))
+        Acc[K] = Acc[K] < 0
+                     ? static_cast<int>(Minterm)
+                     : static_cast<int>(
+                           B.bxor(static_cast<unsigned>(Acc[K]), Minterm));
+  }
+  Nibble Out;
+  for (unsigned K = 0; K < 4; ++K)
+    Out[K] = Acc[K] < 0 ? B.zero() : static_cast<unsigned>(Acc[K]);
+  return Out;
+}
+
+} // namespace
+
+std::optional<Circuit> usuba::buildAesTowerSbox(const TruthTable &Table) {
+  if (Table.InBits != 8 || Table.OutBits != 8)
+    return std::nullopt;
+
+  // Is the table the AES S-box? Compute the S-box from first principles
+  // and compare; also accept the inverse S-box (same construction, with
+  // the affine layer on the input side).
+  uint8_t Sbox[256];
+  {
+    uint8_t Inv[256] = {};
+    for (unsigned A = 1; A < 256; ++A)
+      for (unsigned C = 1; C < 256; ++C)
+        if (mul8(static_cast<uint8_t>(A), static_cast<uint8_t>(C)) == 1) {
+          Inv[A] = static_cast<uint8_t>(C);
+          break;
+        }
+    for (unsigned A = 0; A < 256; ++A) {
+      uint8_t X = Inv[A];
+      uint8_t S = static_cast<uint8_t>(
+          X ^ rotateLeft(X, 1, 8) ^ rotateLeft(X, 2, 8) ^
+          rotateLeft(X, 3, 8) ^ rotateLeft(X, 4, 8) ^ 0x63);
+      Sbox[A] = S;
+    }
+  }
+  bool Forward = true;
+  for (unsigned A = 0; A < 256 && Forward; ++A)
+    Forward = Table.Entries[A] == Sbox[A];
+  if (!Forward)
+    return std::nullopt; // (inverse S-box falls back to BDD synthesis)
+
+  // Derive the tower structure.
+  uint8_t Lambda = pickLambda();
+  std::optional<std::array<uint8_t, 8>> Basis = findEmbedding(Lambda);
+  if (!Basis)
+    return std::nullopt;
+  // Column j of the input basis change is phi(x^j) = phi(bit j).
+  Matrix8 ToTower = fromColumns(*Basis);
+  std::optional<Matrix8> FromTower = invertMatrix(ToTower);
+  if (!FromTower)
+    return std::nullopt;
+
+  // Affine output layer A(x) = x ^ rotl1 ^ rotl2 ^ rotl3 ^ rotl4 (then
+  // xor 0x63); combine A with the tower->AES basis change.
+  Matrix8 Affine{};
+  for (unsigned J = 0; J < 8; ++J) {
+    uint8_t Col = static_cast<uint8_t>(
+        (1u << J) ^ rotateLeft(1u << J, 1, 8) ^ rotateLeft(1u << J, 2, 8) ^
+        rotateLeft(1u << J, 3, 8) ^ rotateLeft(1u << J, 4, 8));
+    for (unsigned I = 0; I < 8; ++I)
+      if (getBit(Col, I))
+        Affine[I] = static_cast<uint8_t>(Affine[I] | (1u << J));
+  }
+  Matrix8 Post{};
+  for (unsigned I = 0; I < 8; ++I) {
+    // Post = Affine * FromTower (row i of Affine selects rows of
+    // FromTower to XOR).
+    uint8_t Row = 0;
+    for (unsigned K = 0; K < 8; ++K)
+      if (getBit(Affine[I], K))
+        Row ^= (*FromTower)[K];
+    Post[I] = Row;
+  }
+
+  // Build the circuit.
+  GateBuilder B(8);
+  std::vector<unsigned> In(8);
+  for (unsigned J = 0; J < 8; ++J)
+    In[J] = J;
+
+  // Input basis change: tower bit i = XOR of input bits per ToTower.
+  std::vector<unsigned> Tower(8);
+  for (unsigned I = 0; I < 8; ++I)
+    Tower[I] = B.xorMask(In, ToTower[I]);
+  Nibble Lo = {Tower[0], Tower[1], Tower[2], Tower[3]};
+  Nibble Hi = {Tower[4], Tower[5], Tower[6], Tower[7]};
+
+  // Norm: N = lambda * hi^2 + hi*lo + lo^2.
+  Nibble HiSq = gf16Linear(B, Hi, squareFn, 0);
+  Nibble LambdaHiSq = gf16Linear(B, HiSq, mulConstFn, Lambda);
+  Nibble HiLo = gf16Mul(B, Hi, Lo);
+  Nibble LoSq = gf16Linear(B, Lo, squareFn, 0);
+  Nibble Norm;
+  for (unsigned K = 0; K < 4; ++K)
+    Norm[K] = B.bxor(B.bxor(LambdaHiSq[K], HiLo[K]), LoSq[K]);
+
+  // Inverse of the norm, then the two output halves.
+  Nibble NormInv = gf16Inverse(B, Norm);
+  Nibble HiPlusLo;
+  for (unsigned K = 0; K < 4; ++K)
+    HiPlusLo[K] = B.bxor(Hi[K], Lo[K]);
+  Nibble OutHi = gf16Mul(B, Hi, NormInv);
+  Nibble OutLo = gf16Mul(B, HiPlusLo, NormInv);
+
+  // Output basis change + affine constant 0x63.
+  std::vector<unsigned> TowerOut = {OutLo[0], OutLo[1], OutLo[2], OutLo[3],
+                                    OutHi[0], OutHi[1], OutHi[2], OutHi[3]};
+  std::vector<unsigned> OutWires(8);
+  for (unsigned I = 0; I < 8; ++I) {
+    unsigned Wire = B.xorMask(TowerOut, Post[I]);
+    if (getBit(0x63, I))
+      Wire = B.bnot(Wire);
+    OutWires[I] = Wire;
+  }
+  Circuit Result = B.take();
+  for (unsigned I = 0; I < 8; ++I)
+    Result.addOutput(OutWires[I]);
+
+  if (!Result.matchesTable(Table))
+    return std::nullopt; // self-verification failed; fall back
+  return Result;
+}

@@ -1,0 +1,38 @@
+//===- AesTowerSbox.h - Composite-field AES S-box circuit -------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact Boolean circuit for the AES S-box derived from its algebraic
+/// structure (Canright-style composite fields, which the paper cites as
+/// the hard-won circuits its database stores): GF(2^8) inversion is
+/// computed through the tower GF(2^8) ~ GF(2^4)[z]/(z^2 + z + lambda),
+/// where a 4-bit inversion, three 4-bit multiplications and linear basis
+/// changes replace the 8-bit lookup. Everything — the field embedding,
+/// the basis-change matrices, the multiplier formulas — is *derived at
+/// run time from first principles* and the resulting circuit is verified
+/// exhaustively against the table before use, so no transcribed netlist
+/// can be wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIRCUITS_AESTOWERSBOX_H
+#define USUBA_CIRCUITS_AESTOWERSBOX_H
+
+#include "circuits/Circuit.h"
+
+#include <optional>
+
+namespace usuba {
+
+/// Builds the composite-field circuit when \p Table is the AES S-box (or
+/// its inverse); returns std::nullopt for any other table, or if the
+/// construction fails self-verification (callers then fall back to BDD
+/// synthesis).
+std::optional<Circuit> buildAesTowerSbox(const TruthTable &Table);
+
+} // namespace usuba
+
+#endif // USUBA_CIRCUITS_AESTOWERSBOX_H

@@ -1,0 +1,427 @@
+//===- Circuit.cpp - Boolean circuits and BDD synthesis -------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Lookup-table expansion. The synthesizer builds a reduced ordered BDD
+/// for every output bit (hash-consed across outputs, so shared subtrees
+/// are shared gates) and converts each BDD node into a multiplexer over
+/// hash-consed gates, with the usual constant-folding special cases.
+///
+//===----------------------------------------------------------------------===//
+
+#include "circuits/Circuit.h"
+
+#include "circuits/AesTowerSbox.h"
+#include "support/BitUtils.h"
+
+#include <map>
+#include <tuple>
+
+using namespace usuba;
+
+//===----------------------------------------------------------------------===//
+// Circuit evaluation
+//===----------------------------------------------------------------------===//
+
+uint64_t Circuit::evaluate(uint64_t Input) const {
+  std::vector<uint64_t> Wire(numWires());
+  for (unsigned I = 0; I < NumInputs; ++I)
+    Wire[I] = getBit(Input, I) ? ~uint64_t{0} : 0;
+  unsigned Next = NumInputs;
+  for (const Gate &G : Gates) {
+    uint64_t Value = 0;
+    switch (G.Kind) {
+    case GateKind::And:
+      Value = Wire[G.A] & Wire[G.B];
+      break;
+    case GateKind::Or:
+      Value = Wire[G.A] | Wire[G.B];
+      break;
+    case GateKind::Xor:
+      Value = Wire[G.A] ^ Wire[G.B];
+      break;
+    case GateKind::Not:
+      Value = ~Wire[G.A];
+      break;
+    case GateKind::Const0:
+      Value = 0;
+      break;
+    case GateKind::Const1:
+      Value = ~uint64_t{0};
+      break;
+    }
+    Wire[Next++] = Value;
+  }
+  uint64_t Out = 0;
+  for (unsigned J = 0; J < Outputs.size(); ++J)
+    Out = setBit(Out, J, Wire[Outputs[J]] & 1);
+  return Out;
+}
+
+bool Circuit::matchesTable(const TruthTable &Table) const {
+  assert(Table.isValid() && "malformed truth table");
+  if (NumInputs != Table.InBits || Outputs.size() != Table.OutBits)
+    return false;
+  for (uint64_t Input = 0; Input < Table.Entries.size(); ++Input)
+    if (evaluate(Input) != (Table.Entries[Input] & lowBitMask(Table.OutBits)))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// BDD-based synthesis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A Boolean function of up to 20 variables represented as its truth-table
+/// bitset (bit i = f on input i, input wire v = bit v of i).
+struct FuncBits {
+  unsigned NumVars;
+  std::vector<uint64_t> Bits; // ceil(2^NumVars / 64) words
+
+  bool isConst(bool &Value) const {
+    bool AllZero = true, AllOne = true;
+    uint64_t Count = uint64_t{1} << NumVars;
+    for (uint64_t I = 0; I < Bits.size(); ++I) {
+      uint64_t Word = Bits[I];
+      uint64_t Valid =
+          Count - I * 64 >= 64 ? ~uint64_t{0} : lowBitMask(Count - I * 64);
+      AllZero &= (Word & Valid) == 0;
+      AllOne &= (Word & Valid) == Valid;
+    }
+    if (AllZero) {
+      Value = false;
+      return true;
+    }
+    if (AllOne) {
+      Value = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool get(uint64_t Index) const { return (Bits[Index / 64] >> (Index % 64)) & 1; }
+
+  friend bool operator<(const FuncBits &A, const FuncBits &B) {
+    return std::tie(A.NumVars, A.Bits) < std::tie(B.NumVars, B.Bits);
+  }
+};
+
+/// Reduced BDD node: branch variable, low child (Var = 0) and high child.
+/// Ids 0 and 1 are the terminals.
+struct BddNode {
+  unsigned Var;
+  unsigned Low;
+  unsigned High;
+};
+
+/// Builds hash-consed BDDs bottom-up from truth-table bitsets, then emits
+/// each node once as a mux of hash-consed gates.
+class Synthesizer {
+public:
+  explicit Synthesizer(const TruthTable &Table)
+      : Table(Table), Result(Table.InBits) {}
+
+  Circuit run() {
+    for (unsigned OutBit = 0; OutBit < Table.OutBits; ++OutBit) {
+      FuncBits F = outputFunction(OutBit);
+      unsigned Root = buildBdd(F, 0);
+      Result.addOutput(emitNode(Root));
+    }
+    return std::move(Result);
+  }
+
+private:
+  FuncBits outputFunction(unsigned OutBit) const {
+    uint64_t Count = uint64_t{1} << Table.InBits;
+    FuncBits F;
+    F.NumVars = Table.InBits;
+    F.Bits.assign((Count + 63) / 64, 0);
+    for (uint64_t I = 0; I < Count; ++I)
+      if (getBit(Table.Entries[I], OutBit))
+        F.Bits[I / 64] |= uint64_t{1} << (I % 64);
+    return F;
+  }
+
+  /// Cofactor of \p F with variable \p Var fixed to \p Value. Variables
+  /// keep their indices (the BDD orders variables 0..n-1 from the root).
+  static FuncBits cofactor(const FuncBits &F, unsigned Var, bool Value) {
+    FuncBits Out = F;
+    uint64_t Count = uint64_t{1} << F.NumVars;
+    uint64_t Stride = uint64_t{1} << Var;
+    for (uint64_t I = 0; I < Count; ++I) {
+      uint64_t Source = (I & ~Stride) | (Value ? Stride : 0);
+      bool Bit = F.get(Source);
+      if (Bit)
+        Out.Bits[I / 64] |= uint64_t{1} << (I % 64);
+      else
+        Out.Bits[I / 64] &= ~(uint64_t{1} << (I % 64));
+    }
+    return Out;
+  }
+
+  /// Returns the BDD id for \p F, branching on variables >= \p Var.
+  unsigned buildBdd(const FuncBits &F, unsigned Var) {
+    bool ConstValue;
+    if (F.isConst(ConstValue))
+      return ConstValue ? 1 : 0;
+    auto Cached = FuncCache.find(F);
+    if (Cached != FuncCache.end())
+      return Cached->second;
+    assert(Var < F.NumVars && "non-constant function ran out of variables");
+    // Skip variables the function does not depend on.
+    FuncBits Low = cofactor(F, Var, false);
+    FuncBits High = cofactor(F, Var, true);
+    unsigned Id;
+    if (Low.Bits == High.Bits) {
+      Id = buildBdd(Low, Var + 1);
+    } else {
+      unsigned LowId = buildBdd(Low, Var + 1);
+      unsigned HighId = buildBdd(High, Var + 1);
+      Id = internNode(Var, LowId, HighId);
+    }
+    FuncCache.emplace(F, Id);
+    return Id;
+  }
+
+  unsigned internNode(unsigned Var, unsigned Low, unsigned High) {
+    assert(Low != High && "redundant node must be elided by caller");
+    auto Key = std::make_tuple(Var, Low, High);
+    auto It = NodeCache.find(Key);
+    if (It != NodeCache.end())
+      return It->second;
+    Nodes.push_back({Var, Low, High});
+    unsigned Id = static_cast<unsigned>(Nodes.size()) - 1 + 2;
+    NodeCache.emplace(Key, Id);
+    return Id;
+  }
+
+  // --- Gate emission with hash-consing -----------------------------------
+
+  unsigned gate(Circuit::GateKind Kind, unsigned A, unsigned B = 0) {
+    // Normalize commutative operand order for better sharing.
+    if ((Kind == Circuit::GateKind::And || Kind == Circuit::GateKind::Or ||
+         Kind == Circuit::GateKind::Xor) &&
+        B < A)
+      std::swap(A, B);
+    auto Key = std::make_tuple(static_cast<int>(Kind), A, B);
+    auto It = GateCache.find(Key);
+    if (It != GateCache.end())
+      return It->second;
+    unsigned Wire = Result.addGate(Kind, A, B);
+    GateCache.emplace(Key, Wire);
+    return Wire;
+  }
+
+  unsigned inputWire(unsigned Var) const { return Var; }
+
+  unsigned notOf(unsigned Wire) {
+    return gate(Circuit::GateKind::Not, Wire);
+  }
+
+  /// Emits the wire computing BDD node \p Id (terminals become constant
+  /// gates, which downstream constant folding removes in practice since
+  /// muxes fold them away here).
+  unsigned emitNode(unsigned Id) {
+    if (Id == 0)
+      return gate(Circuit::GateKind::Const0, 0, 0);
+    if (Id == 1)
+      return gate(Circuit::GateKind::Const1, 0, 0);
+    auto Cached = WireOfNode.find(Id);
+    if (Cached != WireOfNode.end())
+      return Cached->second;
+    const BddNode &N = Nodes[Id - 2];
+    unsigned X = inputWire(N.Var);
+    unsigned Wire;
+    if (N.Low == 0 && N.High == 1) {
+      Wire = X;
+    } else if (N.Low == 1 && N.High == 0) {
+      Wire = notOf(X);
+    } else if (N.Low == 0) {
+      Wire = gate(Circuit::GateKind::And, X, emitNode(N.High));
+    } else if (N.Low == 1) {
+      // x ? h : 1  ==  ~x | h  ==  ~(x & ~h)
+      Wire = gate(Circuit::GateKind::Or, notOf(X), emitNode(N.High));
+    } else if (N.High == 0) {
+      Wire = gate(Circuit::GateKind::And, notOf(X), emitNode(N.Low));
+    } else if (N.High == 1) {
+      Wire = gate(Circuit::GateKind::Or, X, emitNode(N.Low));
+    } else {
+      unsigned LowWire = emitNode(N.Low);
+      unsigned HighWire = emitNode(N.High);
+      // mux(x, high, low) = low ^ (x & (low ^ high)): 3 gates and XOR-
+      // friendly sharing.
+      unsigned Diff = gate(Circuit::GateKind::Xor, LowWire, HighWire);
+      unsigned Masked = gate(Circuit::GateKind::And, X, Diff);
+      Wire = gate(Circuit::GateKind::Xor, LowWire, Masked);
+    }
+    WireOfNode.emplace(Id, Wire);
+    return Wire;
+  }
+
+  const TruthTable &Table;
+  Circuit Result;
+  std::vector<BddNode> Nodes;
+  std::map<FuncBits, unsigned> FuncCache;
+  std::map<std::tuple<unsigned, unsigned, unsigned>, unsigned> NodeCache;
+  std::map<std::tuple<int, unsigned, unsigned>, unsigned> GateCache;
+  std::map<unsigned, unsigned> WireOfNode;
+};
+
+} // namespace
+
+/// Permutes the input variables of \p Table: wire w of the result is
+/// wire Perm[w] of the original.
+static TruthTable permuteInputs(const TruthTable &Table,
+                                const std::vector<unsigned> &Perm) {
+  TruthTable Out;
+  Out.InBits = Table.InBits;
+  Out.OutBits = Table.OutBits;
+  Out.Entries.resize(Table.Entries.size());
+  for (uint64_t Index = 0; Index < Out.Entries.size(); ++Index) {
+    uint64_t Original = 0;
+    for (unsigned W = 0; W < Table.InBits; ++W)
+      Original = setBit(Original, Perm[W], getBit(Index, W));
+    Out.Entries[Index] = Table.Entries[Original];
+  }
+  return Out;
+}
+
+/// Rewrites the circuit's references to input wires through \p Perm
+/// (wire w becomes wire Perm[w]); gate wires are untouched.
+static Circuit remapInputs(const Circuit &C,
+                           const std::vector<unsigned> &Perm) {
+  Circuit Out(C.numInputs());
+  auto Map = [&](unsigned Wire) {
+    return Wire < C.numInputs() ? Perm[Wire] : Wire;
+  };
+  for (const Circuit::Gate &G : C.gates())
+    Out.addGate(G.Kind, Map(G.A), Map(G.B));
+  for (unsigned W : C.outputs())
+    Out.addOutput(Map(W));
+  return Out;
+}
+
+Circuit usuba::synthesizeTable(const TruthTable &Table) {
+  assert(Table.isValid() && "malformed truth table");
+  // BDD sizes are highly sensitive to the variable order; try a small
+  // portfolio of orders (identity, reverse, rotations, a few deterministic
+  // shuffles) and keep the smallest circuit.
+  const unsigned N = Table.InBits;
+  std::vector<std::vector<unsigned>> Orders;
+  std::vector<unsigned> Identity(N);
+  for (unsigned I = 0; I < N; ++I)
+    Identity[I] = I;
+  Orders.push_back(Identity);
+  {
+    std::vector<unsigned> Reverse(Identity.rbegin(), Identity.rend());
+    Orders.push_back(Reverse);
+  }
+  for (unsigned R = 1; R < N; ++R) {
+    std::vector<unsigned> Rot(N);
+    for (unsigned I = 0; I < N; ++I)
+      Rot[I] = (I + R) % N;
+    Orders.push_back(Rot);
+  }
+  // Deterministic pseudo-random shuffles (xorshift; no global RNG state).
+  uint64_t State = 0x853c49e6748fea9bull ^ (uint64_t{N} << 32) ^
+                   Table.Entries[Table.Entries.size() / 2];
+  for (unsigned Trial = 0; Trial < 8; ++Trial) {
+    std::vector<unsigned> Shuffled = Identity;
+    for (unsigned I = N; I > 1; --I) {
+      State ^= State << 13;
+      State ^= State >> 7;
+      State ^= State << 17;
+      std::swap(Shuffled[I - 1], Shuffled[State % I]);
+    }
+    Orders.push_back(std::move(Shuffled));
+  }
+
+  Circuit Best(0);
+  bool HaveBest = false;
+  for (const std::vector<unsigned> &Perm : Orders) {
+    TruthTable Permuted = permuteInputs(Table, Perm);
+    Synthesizer Synth(Permuted);
+    Circuit Candidate = remapInputs(Synth.run(), Perm);
+    if (!HaveBest || Candidate.numGates() < Best.numGates()) {
+      Best = std::move(Candidate);
+      HaveBest = true;
+    }
+  }
+  assert(Best.matchesTable(Table) && "synthesized circuit is wrong");
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Known-circuit database
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The database pairs a table with its published circuit. Entries are
+/// constructed on first use (no static constructors of nontrivial type at
+/// namespace scope).
+struct KnownEntry {
+  TruthTable Table;
+  Circuit Network;
+};
+
+/// Rectangle's S-box circuit, verbatim from the paper (Section 2.2): 12
+/// gates for the 4x4 S-box {6,5,12,10,1,14,7,9,11,0,3,13,8,15,4,2}.
+KnownEntry makeRectangleSbox() {
+  TruthTable Table;
+  Table.InBits = 4;
+  Table.OutBits = 4;
+  Table.Entries = {6, 5, 12, 10, 1, 14, 7, 9, 11, 0, 3, 13, 8, 15, 4, 2};
+
+  Circuit C(4);
+  // Inputs: wires 0..3 = a[0]..a[3].
+  unsigned T1 = C.addGate(Circuit::GateKind::Not, 1);      // ~a1
+  unsigned T2 = C.addGate(Circuit::GateKind::And, 0, T1);  // a0 & t1
+  unsigned T3 = C.addGate(Circuit::GateKind::Xor, 2, 3);   // a2 ^ a3
+  unsigned B0 = C.addGate(Circuit::GateKind::Xor, T2, T3); // b0
+  unsigned T5 = C.addGate(Circuit::GateKind::Or, 3, T1);   // a3 | t1
+  unsigned T6 = C.addGate(Circuit::GateKind::Xor, 0, T5);  // a0 ^ t5
+  unsigned B1 = C.addGate(Circuit::GateKind::Xor, 2, T6);  // b1
+  unsigned T8 = C.addGate(Circuit::GateKind::Xor, 1, 2);   // a1 ^ a2
+  unsigned T9 = C.addGate(Circuit::GateKind::And, T3, T6); // t3 & t6
+  unsigned B3 = C.addGate(Circuit::GateKind::Xor, T8, T9); // b3
+  unsigned T11 = C.addGate(Circuit::GateKind::Or, B0, T8); // b0 | t8
+  unsigned B2 = C.addGate(Circuit::GateKind::Xor, T6, T11); // b2
+  C.addOutput(B0);
+  C.addOutput(B1);
+  C.addOutput(B2);
+  C.addOutput(B3);
+  return {std::move(Table), std::move(C)};
+}
+
+const std::vector<KnownEntry> &knownCircuits() {
+  static const std::vector<KnownEntry> *Entries = [] {
+    auto *V = new std::vector<KnownEntry>();
+    V->push_back(makeRectangleSbox());
+    return V;
+  }();
+  return *Entries;
+}
+
+} // namespace
+
+const Circuit *usuba::lookupKnownCircuit(const TruthTable &Table) {
+  for (const KnownEntry &E : knownCircuits())
+    if (E.Table.InBits == Table.InBits && E.Table.OutBits == Table.OutBits &&
+        E.Table.Entries == Table.Entries)
+      return &E.Network;
+  return nullptr;
+}
+
+Circuit usuba::circuitForTable(const TruthTable &Table) {
+  if (const Circuit *Known = lookupKnownCircuit(Table))
+    return *Known;
+  // Structural constructions beat generic synthesis where they apply.
+  if (std::optional<Circuit> Tower = buildAesTowerSbox(Table))
+    return *Tower;
+  return synthesizeTable(Table);
+}

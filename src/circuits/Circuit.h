@@ -1,0 +1,120 @@
+//===- Circuit.h - Boolean circuits for S-box expansion ---------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boolean circuits produced by lookup-table elaboration (paper
+/// Section 2.2): to avoid cache-timing attacks, Usuba compiles S-boxes to
+/// straight-line gate networks instead of memory lookups. A Circuit is a
+/// topologically ordered netlist over And/Or/Xor/Not gates; the elaborator
+/// splices it into the dataflow graph of the calling node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIRCUITS_CIRCUIT_H
+#define USUBA_CIRCUITS_CIRCUIT_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace usuba {
+
+/// A lookup table: \c InBits address bits select one of 2^InBits entries
+/// of \c OutBits bits each. Convention: input wire i is bit i (LSB = 0)
+/// of the table index, and output wire j is bit j of the entry. This is
+/// the convention under which the paper's hand-optimized Rectangle S-box
+/// circuit reproduces its table (verified in tests); tables specified
+/// with other bit orders are re-indexed when the .ua source is built
+/// (see UsubaSources.cpp for DES).
+struct TruthTable {
+  unsigned InBits = 0;
+  unsigned OutBits = 0;
+  std::vector<uint64_t> Entries;
+
+  bool isValid() const {
+    return InBits >= 1 && InBits <= 20 && OutBits >= 1 && OutBits <= 64 &&
+           Entries.size() == (std::size_t{1} << InBits);
+  }
+};
+
+/// A straight-line Boolean circuit. Wires are identified by index: wires
+/// [0, NumInputs) are the inputs; every gate appends one wire. Gate
+/// operands always refer to earlier wires, so evaluation is a single
+/// forward pass.
+class Circuit {
+public:
+  enum class GateKind : uint8_t { And, Or, Xor, Not, Const0, Const1 };
+
+  struct Gate {
+    GateKind Kind;
+    unsigned A = 0; ///< first operand wire (unused for consts)
+    unsigned B = 0; ///< second operand wire (unused for Not/consts)
+  };
+
+  explicit Circuit(unsigned NumInputs) : NumInputs(NumInputs) {}
+
+  unsigned numInputs() const { return NumInputs; }
+  unsigned numWires() const {
+    return NumInputs + static_cast<unsigned>(Gates.size());
+  }
+  unsigned numGates() const { return static_cast<unsigned>(Gates.size()); }
+  const std::vector<Gate> &gates() const { return Gates; }
+  const std::vector<unsigned> &outputs() const { return Outputs; }
+
+  /// Appends a gate and returns its wire index. Operands must be earlier
+  /// wires.
+  unsigned addGate(GateKind Kind, unsigned A = 0, unsigned B = 0) {
+    assert((Kind == GateKind::Const0 || Kind == GateKind::Const1 ||
+            A < numWires()) &&
+           "gate operand A out of range");
+    assert((Kind != GateKind::And && Kind != GateKind::Or &&
+            Kind != GateKind::Xor || B < numWires()) &&
+           "gate operand B out of range");
+    Gates.push_back({Kind, A, B});
+    return numWires() - 1;
+  }
+
+  /// Marks \p Wire as the next output bit (outputs are ordered).
+  void addOutput(unsigned Wire) {
+    assert(Wire < numWires() && "output wire out of range");
+    Outputs.push_back(Wire);
+  }
+
+  /// Evaluates the circuit on a packed input (input wire i = bit i of
+  /// \p Input) and returns the packed outputs (output j = bit j). Gates
+  /// operate on full 64-bit words, so this is itself a 64-way bitsliced
+  /// evaluator — handy for fast exhaustive checking.
+  uint64_t evaluate(uint64_t Input) const;
+
+  /// Checks that the circuit computes exactly \p Table, under the wire
+  /// convention documented on TruthTable (input wire i = bit i of the
+  /// table index, output wire j = bit j of the entry).
+  bool matchesTable(const TruthTable &Table) const;
+
+private:
+  unsigned NumInputs;
+  std::vector<Gate> Gates;
+  std::vector<unsigned> Outputs;
+};
+
+/// Synthesizes a circuit for \p Table with the hash-consed BDD/Shannon
+/// method (paper Section 2.2: "an elementary logic synthesis algorithm
+/// based on binary decision diagrams"). The result is correct for every
+/// input; gate count is decent but not optimal.
+Circuit synthesizeTable(const TruthTable &Table);
+
+/// Looks \p Table up in the database of known hand-optimized circuits
+/// (paper: "Usuba integrates these hard-won results into a database of
+/// known circuits"). Returns nullptr when the table is not known.
+const Circuit *lookupKnownCircuit(const TruthTable &Table);
+
+/// Database lookup, falling back to BDD synthesis.
+Circuit circuitForTable(const TruthTable &Table);
+
+} // namespace usuba
+
+#endif // USUBA_CIRCUITS_CIRCUIT_H

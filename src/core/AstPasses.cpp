@@ -1,0 +1,510 @@
+//===- AstPasses.cpp - Front-end AST transformations ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AstPasses.h"
+
+#include "circuits/Circuit.h"
+#include "support/BitUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace usuba;
+using namespace usuba::ast;
+
+//===----------------------------------------------------------------------===//
+// forall expansion and := desugaring
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Substitutes the closed integer \p Value for variable \p Name inside a
+/// compile-time expression tree.
+void substConst(ConstExpr &E, const std::string &Name, int64_t Value) {
+  switch (E.K) {
+  case ConstExpr::Kind::Int:
+    return;
+  case ConstExpr::Kind::Var:
+    if (E.Name == Name) {
+      E.K = ConstExpr::Kind::Int;
+      E.Value = Value;
+      E.Name.clear();
+    }
+    return;
+  default:
+    substConst(*E.Lhs, Name, Value);
+    substConst(*E.Rhs, Name, Value);
+    return;
+  }
+}
+
+void substExpr(Expr &E, const std::string &Name, int64_t Value) {
+  if (E.Base)
+    substExpr(*E.Base, Name, Value);
+  if (E.Rhs)
+    substExpr(*E.Rhs, Name, Value);
+  if (E.Index0)
+    substConst(*E.Index0, Name, Value);
+  if (E.Index1)
+    substConst(*E.Index1, Name, Value);
+  if (E.Amount)
+    substConst(*E.Amount, Name, Value);
+  for (auto &Elem : E.Elems)
+    substExpr(*Elem, Name, Value);
+}
+
+void substEquation(Equation &Eqn, const std::string &Name, int64_t Value) {
+  if (Eqn.K == Equation::Kind::ForAll) {
+    substConst(Eqn.Lo, Name, Value);
+    substConst(Eqn.Hi, Name, Value);
+    // The inner index shadows an identically named outer index.
+    if (Eqn.IndexName == Name)
+      return;
+    for (Equation &B : Eqn.Body)
+      substEquation(B, Name, Value);
+    return;
+  }
+  for (LValue &L : Eqn.Lhs)
+    for (LValue::Access &A : L.Accesses) {
+      substConst(A.Index, Name, Value);
+      if (A.IsRange)
+        substConst(A.Hi, Name, Value);
+    }
+  if (Eqn.Rhs)
+    substExpr(*Eqn.Rhs, Name, Value);
+}
+
+/// Expands foralls in \p In, appending flat assignments to \p Out. Each
+/// iteration of a *top-level* forall (Depth == 0) gets a fresh IterGroup
+/// stamp, so the back-end can model not-unrolled loops as scheduling
+/// barriers between rounds.
+bool expandEquations(std::vector<Equation> &In, std::vector<Equation> &Out,
+                     DiagnosticEngine &Diags, unsigned Depth,
+                     unsigned &NextGroup, unsigned CurGroup) {
+  for (Equation &Eqn : In) {
+    if (Eqn.K == Equation::Kind::Assign) {
+      Eqn.IterGroup = CurGroup;
+      Out.push_back(std::move(Eqn));
+      continue;
+    }
+    bool Ok = true;
+    std::map<std::string, int64_t> Empty;
+    int64_t Lo = Eqn.Lo.evaluate(Empty, Ok);
+    int64_t Hi = Eqn.Hi.evaluate(Empty, Ok);
+    if (!Ok) {
+      Diags.error(Eqn.Loc, "division by zero in 'forall' bounds");
+      return false;
+    }
+    if (Hi < Lo) {
+      Diags.error(Eqn.Loc, "'forall' range [" + std::to_string(Lo) + "," +
+                               std::to_string(Hi) + "] is empty");
+      return false;
+    }
+    if (Hi - Lo > 1 << 20) {
+      Diags.error(Eqn.Loc, "'forall' range too large");
+      return false;
+    }
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      std::vector<Equation> Iteration;
+      for (const Equation &B : Eqn.Body) {
+        Equation Copy = B.clone();
+        substEquation(Copy, Eqn.IndexName, I);
+        Iteration.push_back(std::move(Copy));
+      }
+      unsigned Group = Depth == 0 ? ++NextGroup : CurGroup;
+      if (!expandEquations(Iteration, Out, Diags, Depth + 1, NextGroup,
+                           Group))
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Rewrites variable reads according to the := version map.
+void renameExprVars(Expr &E, const std::map<std::string, std::string> &Map) {
+  if (E.K == Expr::Kind::Var || E.K == Expr::Kind::Call) {
+    if (E.K == Expr::Kind::Var) {
+      auto It = Map.find(E.Name);
+      if (It != Map.end())
+        E.Name = It->second;
+    }
+  }
+  if (E.Base)
+    renameExprVars(*E.Base, Map);
+  if (E.Rhs)
+    renameExprVars(*E.Rhs, Map);
+  for (auto &Elem : E.Elems)
+    renameExprVars(*Elem, Map);
+}
+
+const Type *lookupVarType(const Node &N, const std::string &Name) {
+  for (const auto *List : {&N.Params, &N.Returns, &N.Vars})
+    for (const VarDecl &D : *List)
+      if (D.Name == Name)
+        return &D.Ty;
+  return nullptr;
+}
+
+/// Desugars `x := e` sequences in a node whose foralls have been expanded.
+/// Every := target gets a fresh version; reads are redirected to the
+/// current version, and return variables receive a final copy.
+bool desugarImperative(Node &N, DiagnosticEngine &Diags) {
+  std::map<std::string, std::string> Current; // var -> latest version
+  std::map<std::string, unsigned> VersionCount;
+  std::set<std::string> Defined; // defined by '=' (or parameters)
+  for (const VarDecl &P : N.Params)
+    Defined.insert(P.Name);
+  std::vector<Equation> Out;
+
+  for (Equation &Eqn : N.Eqns) {
+    assert(Eqn.K == Equation::Kind::Assign && "foralls must be expanded");
+    renameExprVars(*Eqn.Rhs, Current);
+    if (!Eqn.Imperative) {
+      // Reads in lvalue indices are compile-time and unaffected. A plain
+      // equation on a versioned variable would break single assignment;
+      // reject the mixture.
+      for (LValue &L : Eqn.Lhs)
+        if (Current.count(L.Name)) {
+          Diags.error(L.Loc, "variable '" + L.Name +
+                                 "' is updated with ':=' and cannot also "
+                                 "be defined with '='");
+          return false;
+        }
+      for (const LValue &L : Eqn.Lhs)
+        Defined.insert(L.Name);
+      Out.push_back(std::move(Eqn));
+      continue;
+    }
+
+    LValue &Target = Eqn.Lhs[0];
+    const Type *VarTy = lookupVarType(N, Target.Name);
+    if (!VarTy) {
+      Diags.error(Target.Loc,
+                  "':=' target '" + Target.Name + "' is not declared");
+      return false;
+    }
+    auto CurIt = Current.find(Target.Name);
+    if (CurIt == Current.end() && Target.Accesses.empty() &&
+        !Defined.count(Target.Name)) {
+      // First whole-variable assignment of a yet-undefined variable:
+      // a plain definition.
+      Current[Target.Name] = Target.Name;
+      Eqn.Imperative = false;
+      Out.push_back(std::move(Eqn));
+      continue;
+    }
+    std::string Old = CurIt == Current.end() ? Target.Name : CurIt->second;
+    std::string Fresh = Target.Name + "__v" +
+                        std::to_string(++VersionCount[Target.Name]);
+    N.Vars.push_back({Fresh, *VarTy, Target.Loc});
+    Current[Target.Name] = Fresh;
+
+    if (Target.Accesses.empty()) {
+      Equation Def;
+      Def.K = Equation::Kind::Assign;
+      Def.Loc = Eqn.Loc;
+      Def.IterGroup = Eqn.IterGroup;
+      LValue L;
+      L.Name = Fresh;
+      L.Loc = Target.Loc;
+      Def.Lhs.push_back(std::move(L));
+      Def.Rhs = std::move(Eqn.Rhs);
+      Out.push_back(std::move(Def));
+      continue;
+    }
+
+    // Partial update x[i] := e — only a single top-level index into a
+    // vector is supported (that is what imperative ciphers need): define
+    // fresh[i] = e and copy the other elements.
+    if (Target.Accesses.size() != 1 || Target.Accesses[0].IsRange ||
+        !VarTy->isVector()) {
+      Diags.error(Target.Loc,
+                  "':=' with indices supports exactly one index into a "
+                  "vector");
+      return false;
+    }
+    bool Ok = true;
+    std::map<std::string, int64_t> Empty;
+    int64_t Index = Target.Accesses[0].Index.evaluate(Empty, Ok);
+    if (!Ok || Index < 0 ||
+        Index >= static_cast<int64_t>(VarTy->length())) {
+      Diags.error(Target.Loc, "':=' index out of bounds");
+      return false;
+    }
+    for (unsigned I = 0; I < VarTy->length(); ++I) {
+      Equation Def;
+      Def.K = Equation::Kind::Assign;
+      Def.Loc = Eqn.Loc;
+      Def.IterGroup = Eqn.IterGroup;
+      LValue L;
+      L.Name = Fresh;
+      L.Loc = Target.Loc;
+      LValue::Access A;
+      A.Index = ConstExpr::makeInt(I);
+      L.Accesses.push_back(std::move(A));
+      Def.Lhs.push_back(std::move(L));
+      if (I == static_cast<unsigned>(Index))
+        Def.Rhs = std::move(Eqn.Rhs);
+      else
+        Def.Rhs = Expr::makeIndex(Expr::makeVar(Old), ConstExpr::makeInt(I));
+      Out.push_back(std::move(Def));
+    }
+  }
+
+  // Route the last version of each := variable into the variable the rest
+  // of the program sees (only needed for returns; harmless otherwise, and
+  // copy propagation erases it).
+  for (const VarDecl &R : N.Returns) {
+    auto It = Current.find(R.Name);
+    if (It == Current.end() || It->second == R.Name)
+      continue;
+    Equation Def;
+    Def.K = Equation::Kind::Assign;
+    Def.Loc = R.Loc;
+    LValue L;
+    L.Name = R.Name;
+    L.Loc = R.Loc;
+    Def.Lhs.push_back(std::move(L));
+    Def.Rhs = Expr::makeVar(It->second);
+    Out.push_back(std::move(Def));
+  }
+
+  N.Eqns = std::move(Out);
+  return true;
+}
+
+} // namespace
+
+bool usuba::expandProgram(Program &Prog, DiagnosticEngine &Diags) {
+  for (Node &N : Prog.Nodes) {
+    if (N.K != Node::Kind::Fun)
+      continue;
+    std::vector<Equation> Flat;
+    unsigned NextGroup = 0;
+    if (!expandEquations(N.Eqns, Flat, Diags, 0, NextGroup, 0))
+      return false;
+    N.Eqns = std::move(Flat);
+    if (!desugarImperative(N, Diags))
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Table and permutation elaboration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reference to logical wire \p Index of a single-parameter node.
+std::unique_ptr<Expr> wireRef(const VarDecl &Decl, unsigned Index) {
+  if (!Decl.Ty.isVector()) {
+    assert(Index == 0 && "indexing a scalar wire");
+    return Expr::makeVar(Decl.Name);
+  }
+  return Expr::makeIndex(Expr::makeVar(Decl.Name),
+                         ConstExpr::makeInt(Index));
+}
+
+bool elaborateTableNode(Node &N, DiagnosticEngine &Diags) {
+  if (N.Params.size() != 1 || N.Returns.size() != 1) {
+    Diags.error(N.Loc, "table '" + N.Name +
+                           "' must have exactly one input and one output");
+    return false;
+  }
+  const VarDecl &In = N.Params[0];
+  const VarDecl &OutDecl = N.Returns[0];
+  unsigned InBits = In.Ty.isNat() ? 0 : In.Ty.flattenedLength();
+  unsigned OutBits = OutDecl.Ty.isNat() ? 0 : OutDecl.Ty.flattenedLength();
+  if (InBits == 0 || InBits > 20 || OutBits == 0 || OutBits > 64) {
+    Diags.error(N.Loc, "table '" + N.Name + "' has unsupported arity");
+    return false;
+  }
+  if (N.TableEntries.size() != (size_t{1} << InBits)) {
+    Diags.error(N.Loc, "table '" + N.Name + "' must have " +
+                           std::to_string(size_t{1} << InBits) +
+                           " entries, found " +
+                           std::to_string(N.TableEntries.size()));
+    return false;
+  }
+  for (uint64_t Entry : N.TableEntries)
+    if (OutBits < 64 && Entry >> OutBits) {
+      Diags.error(N.Loc, "table '" + N.Name + "' entry " +
+                             std::to_string(Entry) + " does not fit in " +
+                             std::to_string(OutBits) + " bits");
+      return false;
+    }
+
+  TruthTable Table;
+  Table.InBits = InBits;
+  Table.OutBits = OutBits;
+  Table.Entries = N.TableEntries;
+  Circuit C = circuitForTable(Table);
+
+  // Scalar type for gate temporaries: the atom type of the input.
+  Type TempTy = In.Ty.scalarType();
+
+  N.K = Node::Kind::Fun;
+  N.TableEntries.clear();
+  N.Vars.clear();
+  N.Eqns.clear();
+
+  // Wire w of the circuit is either input w or gate temp `t<w>`.
+  auto WireExpr = [&](unsigned W) -> std::unique_ptr<Expr> {
+    if (W < C.numInputs())
+      return wireRef(In, W);
+    return Expr::makeVar("t" + std::to_string(W));
+  };
+
+  unsigned WireIndex = C.numInputs();
+  for (const Circuit::Gate &G : C.gates()) {
+    std::string TempName = "t" + std::to_string(WireIndex);
+    N.Vars.push_back({TempName, TempTy, N.Loc});
+    std::unique_ptr<Expr> Rhs;
+    switch (G.Kind) {
+    case Circuit::GateKind::And:
+      Rhs = Expr::makeBinop(BinopKind::And, WireExpr(G.A), WireExpr(G.B));
+      break;
+    case Circuit::GateKind::Or:
+      Rhs = Expr::makeBinop(BinopKind::Or, WireExpr(G.A), WireExpr(G.B));
+      break;
+    case Circuit::GateKind::Xor:
+      Rhs = Expr::makeBinop(BinopKind::Xor, WireExpr(G.A), WireExpr(G.B));
+      break;
+    case Circuit::GateKind::Not:
+      Rhs = Expr::makeNot(WireExpr(G.A));
+      break;
+    case Circuit::GateKind::Const0:
+      // m-agnostic all-zeros: in0 ^ in0.
+      Rhs = Expr::makeBinop(BinopKind::Xor, wireRef(In, 0), wireRef(In, 0));
+      break;
+    case Circuit::GateKind::Const1:
+      // m-agnostic all-ones: ~(in0 ^ in0).
+      Rhs = Expr::makeNot(
+          Expr::makeBinop(BinopKind::Xor, wireRef(In, 0), wireRef(In, 0)));
+      break;
+    }
+    Equation Def;
+    Def.K = Equation::Kind::Assign;
+    Def.Loc = N.Loc;
+    LValue L;
+    L.Name = TempName;
+    Def.Lhs.push_back(std::move(L));
+    Def.Rhs = std::move(Rhs);
+    N.Eqns.push_back(std::move(Def));
+    ++WireIndex;
+  }
+
+  for (unsigned J = 0; J < C.outputs().size(); ++J) {
+    Equation Def;
+    Def.K = Equation::Kind::Assign;
+    Def.Loc = N.Loc;
+    LValue L;
+    L.Name = OutDecl.Name;
+    if (OutDecl.Ty.isVector()) {
+      LValue::Access A;
+      A.Index = ConstExpr::makeInt(J);
+      L.Accesses.push_back(std::move(A));
+    }
+    Def.Lhs.push_back(std::move(L));
+    Def.Rhs = WireExpr(C.outputs()[J]);
+    N.Eqns.push_back(std::move(Def));
+  }
+  return true;
+}
+
+bool elaboratePermNode(Node &N, DiagnosticEngine &Diags) {
+  if (N.Params.size() != 1 || N.Returns.size() != 1) {
+    Diags.error(N.Loc, "permutation '" + N.Name +
+                           "' must have exactly one input and one output");
+    return false;
+  }
+  const VarDecl &In = N.Params[0];
+  const VarDecl &OutDecl = N.Returns[0];
+  unsigned InLen = In.Ty.isNat() ? 0 : In.Ty.flattenedLength();
+  unsigned OutLen = OutDecl.Ty.isNat() ? 0 : OutDecl.Ty.flattenedLength();
+  if (N.PermIndices.size() != OutLen) {
+    Diags.error(N.Loc, "permutation '" + N.Name + "' must list " +
+                           std::to_string(OutLen) + " indices, found " +
+                           std::to_string(N.PermIndices.size()));
+    return false;
+  }
+  for (unsigned P : N.PermIndices)
+    if (P < 1 || P > InLen) {
+      Diags.error(N.Loc, "permutation index " + std::to_string(P) +
+                             " out of range [1, " + std::to_string(InLen) +
+                             "]");
+      return false;
+    }
+
+  std::vector<unsigned> Indices = std::move(N.PermIndices);
+  N.K = Node::Kind::Fun;
+  N.PermIndices.clear();
+  N.Eqns.clear();
+  for (unsigned J = 0; J < OutLen; ++J) {
+    Equation Def;
+    Def.K = Equation::Kind::Assign;
+    Def.Loc = N.Loc;
+    LValue L;
+    L.Name = OutDecl.Name;
+    if (OutDecl.Ty.isVector()) {
+      LValue::Access A;
+      A.Index = ConstExpr::makeInt(J);
+      L.Accesses.push_back(std::move(A));
+    }
+    Def.Lhs.push_back(std::move(L));
+    Def.Rhs = wireRef(In, Indices[J] - 1);
+    N.Eqns.push_back(std::move(Def));
+  }
+  return true;
+}
+
+} // namespace
+
+bool usuba::elaborateTables(Program &Prog, DiagnosticEngine &Diags) {
+  for (Node &N : Prog.Nodes) {
+    if (N.K == Node::Kind::Table && !elaborateTableNode(N, Diags))
+      return false;
+    if (N.K == Node::Kind::Perm && !elaboratePermNode(N, Diags))
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Monomorphization and flattening
+//===----------------------------------------------------------------------===//
+
+void usuba::monomorphizeProgram(Program &Prog, Dir Direction,
+                                unsigned MBits) {
+  for (Node &N : Prog.Nodes)
+    for (auto *List : {&N.Params, &N.Returns, &N.Vars})
+      for (VarDecl &D : *List)
+        D.Ty = substituteType(D.Ty, Direction, MBits);
+}
+
+static Type flattenType(const Type &T) {
+  switch (T.kind()) {
+  case Type::Kind::Nat:
+    return T;
+  case Type::Kind::Base: {
+    WordSize W = T.wordSize();
+    assert(!W.IsParam && "flattening requires monomorphized word sizes");
+    Type Bit = Type::base(T.direction(), WordSize::fixed(1));
+    return W.Bits == 1 ? Bit : Type::vector(Bit, W.Bits);
+  }
+  case Type::Kind::Vector:
+    return Type::vector(flattenType(T.elementType()), T.length());
+  }
+  return T;
+}
+
+void usuba::flattenProgram(Program &Prog) {
+  for (Node &N : Prog.Nodes)
+    for (auto *List : {&N.Params, &N.Returns, &N.Vars})
+      for (VarDecl &D : *List)
+        D.Ty = flattenType(D.Ty);
+}

@@ -1,0 +1,58 @@
+//===- AstPasses.h - Front-end AST transformations --------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front-end transformations of Section 3.1 that operate before type
+/// checking, all AST -> AST:
+///
+///  * expandProgram: macro-expands `forall` groups and desugars the
+///    imperative assignment `x := e` into single-assignment form;
+///  * elaborateTables: rewrites `table`/`perm` definitions into ordinary
+///    circuit nodes (exactly the rewriting the paper shows for Rectangle's
+///    SubColumn);
+///  * monomorphizeProgram: substitutes the direction parameter 'D and the
+///    word-size parameter 'm (flags -V/-H and -w m);
+///  * flattenProgram: the -B whole-program flattening of m-sliced types
+///    uDm×n to bm[n]; the body is reinterpreted through ad-hoc
+///    polymorphism alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_ASTPASSES_H
+#define USUBA_CORE_ASTPASSES_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace usuba {
+
+/// Expands every `forall` by cloning its body once per index value
+/// (substituting the index into compile-time expressions) and desugars
+/// `:=` into fresh single-assignment variables. After this pass every
+/// compile-time expression in the program is closed. Returns false (with
+/// diagnostics) on malformed bounds or `:=` misuse.
+bool expandProgram(ast::Program &Prog, DiagnosticEngine &Diags);
+
+/// Replaces each table with its Boolean circuit (database hit or BDD
+/// synthesis) and each permutation with explicit wiring equations.
+/// Both become plain nodes; the rest of the pipeline never sees
+/// Table/Perm definitions again. Returns false on arity/size errors.
+bool elaborateTables(ast::Program &Prog, DiagnosticEngine &Diags);
+
+/// Substitutes 'D -> \p Direction and (when \p MBits != 0) 'm -> MBits in
+/// every declaration of the program.
+void monomorphizeProgram(ast::Program &Prog, Dir Direction, unsigned MBits);
+
+/// The -B transformation: rewrites every base type u<D><m> with m > 1 into
+/// the vector u<D>1[m] throughout the program (vector index 0 holds the
+/// atom's most significant bit). Equations are untouched: operator
+/// elaboration at the rewritten types either succeeds (the program is
+/// bitslicable) or type checking reports which operator has no instance.
+void flattenProgram(ast::Program &Prog);
+
+} // namespace usuba
+
+#endif // USUBA_CORE_ASTPASSES_H

@@ -1,0 +1,140 @@
+//===- Compiler.cpp - The Usubac driver -----------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include "core/AstPasses.h"
+#include "core/Normalize.h"
+#include "core/Passes.h"
+#include "core/TypeChecker.h"
+#include "support/BitUtils.h"
+#include "frontend/Parser.h"
+
+using namespace usuba;
+
+std::optional<CompiledKernel>
+usuba::compileUsuba(std::string_view Source, const CompileOptions &Options,
+                    DiagnosticEngine &Diags) {
+  std::optional<ast::Program> Prog = parseProgram(Source, Diags);
+  if (!Prog)
+    return std::nullopt;
+  return compileAst(std::move(*Prog), Options, Diags);
+}
+
+std::optional<CompiledKernel> usuba::compileAst(ast::Program Prog,
+                                                const CompileOptions &Options,
+                                                DiagnosticEngine &Diags) {
+  const Arch &Target = Options.Target ? *Options.Target : archGP64();
+
+  // --- Front-end (Section 3.1) -------------------------------------------
+  if (!expandProgram(Prog, Diags) || !elaborateTables(Prog, Diags))
+    return std::nullopt;
+  monomorphizeProgram(Prog, Options.Direction, Options.WordBits);
+  if (Options.Bitslice)
+    flattenProgram(Prog);
+  if (!checkProgram(Prog, Target, Diags))
+    return std::nullopt;
+
+  CompiledKernel Result;
+  for (const ast::VarDecl &P : Prog.entry().Params)
+    Result.ParamTypes.push_back(P.Ty);
+  for (const ast::VarDecl &R : Prog.entry().Returns)
+    Result.ReturnTypes.push_back(R.Ty);
+
+  // The atom word size of the monomorphic program is derived from the
+  // declarations themselves (the -w flag only resolves 'm): a program may
+  // use one atom size m, optionally alongside single bits. Mixed sizes
+  // above one bit would need per-instruction element widths, which the
+  // instruction sets of Table 1 do not offer either.
+  unsigned MBits = 1;
+  for (const ast::Node &N : Prog.Nodes)
+    for (const auto *List : {&N.Params, &N.Returns, &N.Vars})
+      for (const ast::VarDecl &D : *List) {
+        unsigned Bits = D.Ty.scalarType().wordSize().Bits;
+        if (Bits == 1)
+          continue;
+        if (MBits != 1 && MBits != Bits) {
+          Diags.error(D.Loc,
+                      "program mixes atom sizes " + std::to_string(MBits) +
+                          " and " + std::to_string(Bits) +
+                          "; a sliced program has a single element width");
+          return std::nullopt;
+        }
+        MBits = Bits;
+      }
+  if (MBits != 1 && !isPowerOf2(MBits)) {
+    Diags.error({}, "atom size " + std::to_string(MBits) +
+                        " is not a power of two; no packed layout exists");
+    return std::nullopt;
+  }
+
+  U0Program U0 = normalizeProgram(Prog, Options.Direction, MBits, Target,
+                                  /*RoundBarriers=*/!Options.Unroll);
+  cleanupProgram(U0);
+
+  // Register pressure is measured on the dependency-ordered code, before
+  // scheduling stretches live ranges, and counts temporaries only (inputs
+  // model memory-resident operands). This reproduces the paper's counts
+  // ("Serpent and Rectangle use respectively 8 and 7 AVX registers").
+  {
+    U0Program Pressure = U0;
+    inlineAllCalls(Pressure);
+    cleanupProgram(Pressure);
+    Result.MaxLive =
+        maxLiveRegisters(Pressure.entry(), /*CountInputs=*/false);
+  }
+
+  // --- Back-end (Section 3.2) --------------------------------------------
+  bool BitsliceMode = MBits == 1;
+  if (BitsliceMode) {
+    // The bitslice scheduler works on the call structure (Algorithm 1
+    // applies "regardless of whether those functions will be inlined"),
+    // so run it before inlining.
+    if (Options.Schedule)
+      scheduleBitslice(U0.entry());
+    if (Options.Inline) {
+      inlineAllCalls(U0);
+      cleanupProgram(U0);
+    }
+  } else {
+    if (Options.Inline) {
+      inlineAllCalls(U0);
+      cleanupProgram(U0);
+    }
+  }
+  for (U0Function &F : U0.Funcs)
+    if (eliminateCommonSubexpressions(F))
+      eliminateDeadCode(F), compactRegisters(F);
+  if (!BitsliceMode && Options.Schedule)
+    scheduleMSlice(U0.entry(), Target);
+
+  if (Options.FuseAndn)
+    for (U0Function &F : U0.Funcs)
+      fuseAndNot(F);
+
+  if (Options.Interleave) {
+    unsigned Factor = Options.InterleaveFactorOverride
+                          ? Options.InterleaveFactorOverride
+                          : interleaveFactorFor(Result.MaxLive, Target);
+    interleaveEntry(U0, Factor);
+  }
+
+  for (U0Function &F : U0.Funcs)
+    stripBarriers(F);
+
+  std::string VerifyError = verifyU0(U0);
+  if (!VerifyError.empty()) {
+    // A verifier failure here is a compiler bug, not a user error; still
+    // report it gracefully in release builds.
+    assert(false && "pipeline produced ill-formed Usuba0");
+    Diags.error({}, "internal error: " + VerifyError);
+    return std::nullopt;
+  }
+
+  Result.InstrCount = U0.entry().Instrs.size();
+  Result.Prog = std::move(U0);
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===- Compiler.h - The Usubac driver ---------------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end Usubac pipeline (paper Section 3): front-end
+/// (parse, forall expansion, table elaboration, monomorphization or
+/// flattening, type checking) followed by normalization to Usuba0 and the
+/// back-end optimizations (inlining, scheduling, interleaving). Every
+/// optimization is individually toggleable — the ablation benches sweep
+/// them to regenerate Table 2 and the Section 3.2 numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_COMPILER_H
+#define USUBA_CORE_COMPILER_H
+
+#include "core/Usuba0.h"
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usuba {
+
+/// Compilation flags, mirroring the Usubac command line.
+struct CompileOptions {
+  /// -V / -H: slicing direction the direction parameter 'D resolves to.
+  Dir Direction = Dir::Vert;
+  /// -w m: the atom word size the parameter 'm resolves to. Programs with
+  /// only fixed word sizes may leave it 0.
+  unsigned WordBits = 0;
+  /// -B: flatten to bitslice after monomorphization.
+  bool Bitslice = false;
+  /// Target instruction set (Table 1 instance resolution + code
+  /// generation).
+  const Arch *Target = nullptr;
+
+  // Back-end toggles (Section 3.2 / Table 2 columns).
+  bool Inline = true;
+  bool Unroll = true;
+  bool Interleave = false;
+  bool Schedule = true;
+  /// pandn fusion peephole.
+  bool FuseAndn = true;
+  /// 0 = use the registers/max-live heuristic.
+  unsigned InterleaveFactorOverride = 0;
+
+  /// The effective atom size after optional flattening.
+  unsigned effectiveWordBits() const { return Bitslice ? 1 : WordBits; }
+};
+
+/// A compiled kernel: the optimized Usuba0 program plus the entry node's
+/// interface types (needed by the transposition runtime) and a few
+/// statistics the benches report.
+struct CompiledKernel {
+  U0Program Prog;
+  /// Monomorphized (and possibly flattened) entry parameter types, in
+  /// ABI order. Their flattened lengths sum to the entry's register input
+  /// count divided by the interleave factor.
+  std::vector<Type> ParamTypes;
+  std::vector<Type> ReturnTypes;
+
+  unsigned MaxLive = 0;        ///< before interleaving
+  size_t InstrCount = 0;       ///< entry instruction count (code size proxy)
+  unsigned InterleaveFactor() const { return Prog.InterleaveFactor; }
+};
+
+/// Compiles Usuba source text. Returns std::nullopt and fills \p Diags on
+/// any front-end error.
+std::optional<CompiledKernel> compileUsuba(std::string_view Source,
+                                           const CompileOptions &Options,
+                                           DiagnosticEngine &Diags);
+
+/// Same, starting from a parsed program (consumed).
+std::optional<CompiledKernel> compileAst(ast::Program Prog,
+                                         const CompileOptions &Options,
+                                         DiagnosticEngine &Diags);
+
+} // namespace usuba
+
+#endif // USUBA_CORE_COMPILER_H

@@ -1,0 +1,528 @@
+//===- Normalize.cpp - Lowering the AST to Usuba0 -------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Normalize.h"
+
+#include "support/BitUtils.h"
+
+#include <map>
+
+using namespace usuba;
+using namespace usuba::ast;
+
+namespace {
+
+/// Lowers one node. The program is type-correct, so this code asserts
+/// instead of diagnosing.
+class NodeNormalizer {
+public:
+  NodeNormalizer(const Node &N, U0Program &Prog,
+                 const std::map<std::string, unsigned> &FuncIds,
+                 const std::map<std::string, Type> &CalleeScalars,
+                 bool RoundBarriers)
+      : N(N), Prog(Prog), FuncIds(FuncIds), CalleeScalars(CalleeScalars),
+        RoundBarriers(RoundBarriers) {}
+
+  U0Function run();
+
+private:
+  struct VarInfo {
+    unsigned BaseReg;
+    unsigned Len;
+    const Type *Ty;
+  };
+
+  /// The registers and scalar type an expression evaluates to.
+  struct Value {
+    std::vector<unsigned> Regs;
+    Type Scalar = Type::nat();
+  };
+
+  VarInfo &varInfo(const std::string &Name) {
+    auto It = Vars.find(Name);
+    assert(It != Vars.end() && "unknown variable after type checking");
+    return It->second;
+  }
+
+  int64_t evalConst(const ConstExpr &CE) const {
+    bool Ok = true;
+    std::map<std::string, int64_t> Empty;
+    int64_t V = CE.evaluate(Empty, Ok);
+    assert(Ok && "const evaluation failed after type checking");
+    return V;
+  }
+
+  /// Resolves a Var/Index/Range chain to (structured type, base register,
+  /// length in atoms).
+  Type resolveAccess(const Expr &E, unsigned &Reg, unsigned &Len);
+
+  /// Computes (without emitting anything) the atom count and scalar type
+  /// \p E evaluates to.
+  std::pair<unsigned, Type> measure(const Expr &E,
+                                    const Type *ExpectedScalar,
+                                    unsigned ExpectedLen);
+
+  /// Emits \p E, returning its registers (existing registers for wiring
+  /// expressions, fresh temporaries for computations).
+  Value emitExpr(const Expr &E, const Type *ExpectedScalar,
+                 unsigned ExpectedLen);
+
+  /// Emits \p E directly into \p Targets (used for equation right-hand
+  /// sides, avoiding temporary-plus-Mov for computations).
+  void emitExprInto(const Expr &E, const std::vector<unsigned> &Targets,
+                    const Type &ExpectedScalar);
+
+  /// Emits the instruction(s) of a computing expression with given
+  /// destination registers. Non-computing expressions return false.
+  bool emitComputation(const Expr &E, const std::vector<unsigned> &Dests,
+                       const Type &ExpectedScalar);
+
+  unsigned zeroReg(unsigned MBits);
+  unsigned freshReg() { return F.addReg(); }
+  void emit(U0Instr I) { F.Instrs.push_back(std::move(I)); }
+
+  /// Computes the register renaming of a vector shift/rotate/shuffle.
+  std::vector<unsigned> renameVector(const std::vector<unsigned> &Src,
+                                     ShiftKind K, int64_t Amount,
+                                     unsigned MBits);
+
+  const Node &N;
+  U0Program &Prog;
+  const std::map<std::string, unsigned> &FuncIds;
+  const std::map<std::string, Type> &CalleeScalars;
+  bool RoundBarriers;
+
+  U0Function F;
+  std::map<std::string, VarInfo> Vars;
+  int ZeroReg = -1;
+  unsigned ZeroBits = 0;
+};
+
+Type NodeNormalizer::resolveAccess(const Expr &E, unsigned &Reg,
+                                   unsigned &Len) {
+  switch (E.K) {
+  case Expr::Kind::Var: {
+    VarInfo &Info = varInfo(E.Name);
+    Reg = Info.BaseReg;
+    Len = Info.Len;
+    return *Info.Ty;
+  }
+  case Expr::Kind::Index: {
+    Type BaseTy = resolveAccess(*E.Base, Reg, Len);
+    assert(BaseTy.isVector() && "indexing non-vector after checking");
+    unsigned ElemLen = BaseTy.elementType().flattenedLength();
+    Reg += static_cast<unsigned>(evalConst(*E.Index0)) * ElemLen;
+    Len = ElemLen;
+    return BaseTy.elementType();
+  }
+  case Expr::Kind::Range: {
+    Type BaseTy = resolveAccess(*E.Base, Reg, Len);
+    assert(BaseTy.isVector() && "slicing non-vector after checking");
+    unsigned ElemLen = BaseTy.elementType().flattenedLength();
+    int64_t Lo = evalConst(*E.Index0);
+    int64_t Hi = evalConst(*E.Index1);
+    Reg += static_cast<unsigned>(Lo) * ElemLen;
+    Len = static_cast<unsigned>(Hi - Lo + 1) * ElemLen;
+    return Type::vector(BaseTy.elementType(),
+                        static_cast<unsigned>(Hi - Lo + 1));
+  }
+  default:
+    assert(false && "not an access chain");
+    return Type::nat();
+  }
+}
+
+unsigned NodeNormalizer::zeroReg(unsigned MBits) {
+  if (ZeroReg >= 0 && ZeroBits == MBits)
+    return static_cast<unsigned>(ZeroReg);
+  unsigned R = freshReg();
+  emit(U0Instr::constant(R, 0));
+  ZeroReg = static_cast<int>(R);
+  ZeroBits = MBits;
+  return R;
+}
+
+std::vector<unsigned>
+NodeNormalizer::renameVector(const std::vector<unsigned> &Src, ShiftKind K,
+                             int64_t Amount, unsigned MBits) {
+  // Vector semantics with index 0 the most significant position:
+  //   <<  k : out[i] = in[i+k] (zero past the end)
+  //   >>  k : out[i] = in[i-k] (zero before the start)
+  //   <<< k : out[i] = in[(i+k) mod n]
+  //   >>> k : out[i] = in[(i-k) mod n]
+  int64_t Count = static_cast<int64_t>(Src.size());
+  std::vector<unsigned> Out(Src.size());
+  for (int64_t I = 0; I < Count; ++I) {
+    int64_t From = I;
+    switch (K) {
+    case ShiftKind::Lshift:
+      From = I + Amount;
+      break;
+    case ShiftKind::Rshift:
+      From = I - Amount;
+      break;
+    case ShiftKind::Lrotate:
+      From = ((I + Amount) % Count + Count) % Count;
+      break;
+    case ShiftKind::Rrotate:
+      From = ((I - Amount) % Count + Count) % Count;
+      break;
+    }
+    Out[I] = (From >= 0 && From < Count)
+                 ? Src[From]
+                 : zeroReg(MBits);
+  }
+  return Out;
+}
+
+/// Builds the element-permutation pattern of an atom-level horizontal
+/// shift/rotate (positions are vector indices, 0 = MSB; 0xFF = zero fill).
+static std::vector<uint8_t> atomShiftPattern(ShiftKind K, int64_t Amount,
+                                             unsigned MBits) {
+  std::vector<uint8_t> Pattern(MBits);
+  int64_t Count = MBits;
+  for (int64_t J = 0; J < Count; ++J) {
+    int64_t From = J;
+    switch (K) {
+    case ShiftKind::Lshift:
+      From = J + Amount;
+      break;
+    case ShiftKind::Rshift:
+      From = J - Amount;
+      break;
+    case ShiftKind::Lrotate:
+      From = ((J + Amount) % Count + Count) % Count;
+      break;
+    case ShiftKind::Rrotate:
+      From = ((J - Amount) % Count + Count) % Count;
+      break;
+    }
+    Pattern[J] = (From >= 0 && From < Count) ? static_cast<uint8_t>(From)
+                                             : uint8_t{0xFF};
+  }
+  return Pattern;
+}
+
+static U0Op binopOpcode(BinopKind K) {
+  switch (K) {
+  case BinopKind::And:
+    return U0Op::And;
+  case BinopKind::Or:
+    return U0Op::Or;
+  case BinopKind::Xor:
+    return U0Op::Xor;
+  case BinopKind::Andn:
+    return U0Op::Andn;
+  case BinopKind::Add:
+    return U0Op::Add;
+  case BinopKind::Sub:
+    return U0Op::Sub;
+  case BinopKind::Mul:
+    return U0Op::Mul;
+  }
+  return U0Op::And;
+}
+
+static U0Op shiftOpcode(ShiftKind K) {
+  switch (K) {
+  case ShiftKind::Lshift:
+    return U0Op::Lshift;
+  case ShiftKind::Rshift:
+    return U0Op::Rshift;
+  case ShiftKind::Lrotate:
+    return U0Op::Lrotate;
+  case ShiftKind::Rrotate:
+    return U0Op::Rrotate;
+  }
+  return U0Op::Lshift;
+}
+
+bool NodeNormalizer::emitComputation(const Expr &E,
+                                     const std::vector<unsigned> &Dests,
+                                     const Type &ExpectedScalar) {
+  switch (E.K) {
+  case Expr::Kind::IntLit: {
+    // Literal over L atoms of m bits each: atom 0 receives the most
+    // significant m-bit chunk.
+    unsigned MBits = ExpectedScalar.wordSize().Bits;
+    unsigned L = static_cast<unsigned>(Dests.size());
+    for (unsigned I = 0; I < L; ++I) {
+      unsigned Low = (L - 1 - I) * MBits;
+      uint64_t Chunk = Low >= 64 ? 0 : (E.IntValue >> Low) & lowBitMask(MBits);
+      emit(U0Instr::constant(Dests[I], Chunk));
+    }
+    return true;
+  }
+  case Expr::Kind::Not: {
+    Value Operand = emitExpr(*E.Base, &ExpectedScalar,
+                             static_cast<unsigned>(Dests.size()));
+    assert(Operand.Regs.size() == Dests.size() && "arity after checking");
+    for (size_t I = 0; I < Dests.size(); ++I)
+      emit(U0Instr::unary(U0Op::Not, Dests[I], Operand.Regs[I]));
+    return true;
+  }
+  case Expr::Kind::Binop: {
+    unsigned L = static_cast<unsigned>(Dests.size());
+    Value Lhs, Rhs;
+    if (E.Base->K == Expr::Kind::IntLit && E.Rhs->K != Expr::Kind::IntLit) {
+      Rhs = emitExpr(*E.Rhs, &ExpectedScalar, L);
+      Lhs = emitExpr(*E.Base, &Rhs.Scalar, L);
+    } else {
+      Lhs = emitExpr(*E.Base, &ExpectedScalar, L);
+      Rhs = emitExpr(*E.Rhs, &Lhs.Scalar, L);
+    }
+    assert(Lhs.Regs.size() == Dests.size() &&
+           Rhs.Regs.size() == Dests.size() && "arity after checking");
+    U0Op Op = binopOpcode(E.Binop);
+    for (size_t I = 0; I < Dests.size(); ++I)
+      emit(U0Instr::binary(Op, Dests[I], Lhs.Regs[I], Rhs.Regs[I]));
+    return true;
+  }
+  case Expr::Kind::Shift: {
+    Value Operand = emitExpr(*E.Base, &ExpectedScalar,
+                             static_cast<unsigned>(Dests.size()));
+    int64_t Amount = evalConst(*E.Amount);
+    unsigned MBits = Operand.Scalar.wordSize().Bits;
+    if (Operand.Regs.size() > 1) {
+      // Vector shift: pure renaming (Table 1: 0 instructions) — but we
+      // were asked to produce specific destination registers, so Movs
+      // carry the renaming; copy propagation erases them.
+      std::vector<unsigned> Renamed =
+          renameVector(Operand.Regs, E.Shift, Amount, MBits);
+      for (size_t I = 0; I < Dests.size(); ++I)
+        emit(U0Instr::unary(U0Op::Mov, Dests[I], Renamed[I]));
+      return true;
+    }
+    // Atom shift.
+    assert(MBits > 1 && "bit shifts rejected by checking");
+    if (Operand.Scalar.direction() == Dir::Horiz) {
+      emit(U0Instr::shuffle(
+          Dests[0], Operand.Regs[0],
+          atomShiftPattern(E.Shift, Amount, MBits)));
+      return true;
+    }
+    emit(U0Instr::shift(shiftOpcode(E.Shift), Dests[0], Operand.Regs[0],
+                        static_cast<unsigned>(
+                            E.Shift == ShiftKind::Lrotate ||
+                                    E.Shift == ShiftKind::Rrotate
+                                ? Amount % MBits
+                                : Amount)));
+    return true;
+  }
+  case Expr::Kind::Shuffle: {
+    Value Operand = emitExpr(*E.Base, &ExpectedScalar,
+                             static_cast<unsigned>(Dests.size()));
+    if (Operand.Regs.size() > 1) {
+      // Vector shuffle: renaming.
+      for (size_t I = 0; I < Dests.size(); ++I)
+        emit(U0Instr::unary(U0Op::Mov, Dests[I],
+                            Operand.Regs[E.Pattern[I]]));
+      return true;
+    }
+    std::vector<uint8_t> Pattern(E.Pattern.begin(), E.Pattern.end());
+    emit(U0Instr::shuffle(Dests[0], Operand.Regs[0], std::move(Pattern)));
+    return true;
+  }
+  case Expr::Kind::Call: {
+    auto It = FuncIds.find(E.Name);
+    assert(It != FuncIds.end() && "unknown callee after checking");
+    [[maybe_unused]] const U0Function &Callee = Prog.Funcs[It->second];
+    std::vector<unsigned> Args;
+    // Arguments match callee parameters positionally; emitExpr flattens.
+    unsigned ParamOffset = 0;
+    for (const auto &Arg : E.Elems) {
+      // The expected scalar for literals comes from the argument itself
+      // in the common case; the checker has already validated types.
+      Value V = emitExpr(*Arg, &ExpectedScalar, 0);
+      Args.insert(Args.end(), V.Regs.begin(), V.Regs.end());
+      ParamOffset += static_cast<unsigned>(V.Regs.size());
+    }
+    assert(Args.size() == Callee.NumInputs && "call arity after checking");
+    (void)ParamOffset;
+    emit(U0Instr::call(It->second, Dests, std::move(Args)));
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+std::pair<unsigned, Type> NodeNormalizer::measure(const Expr &E,
+                                                  const Type *ExpectedScalar,
+                                                  unsigned ExpectedLen) {
+  switch (E.K) {
+  case Expr::Kind::Var:
+  case Expr::Kind::Index:
+  case Expr::Kind::Range: {
+    unsigned Reg = 0, Len = 0;
+    Type Ty = resolveAccess(E, Reg, Len);
+    return {Len, Ty.scalarType()};
+  }
+  case Expr::Kind::IntLit:
+    assert(ExpectedScalar && ExpectedLen > 0 &&
+           "literal context after checking");
+    return {ExpectedLen, *ExpectedScalar};
+  case Expr::Kind::Tuple: {
+    unsigned Total = 0;
+    Type Scalar = Type::nat();
+    for (const auto &Elem : E.Elems) {
+      auto [Len, S] = measure(*Elem, ExpectedScalar, 0);
+      Total += Len;
+      Scalar = S;
+    }
+    return {Total, Scalar};
+  }
+  case Expr::Kind::Not:
+  case Expr::Kind::Shift:
+  case Expr::Kind::Shuffle:
+    return measure(*E.Base, ExpectedScalar, ExpectedLen);
+  case Expr::Kind::Binop:
+    if (E.Base->K == Expr::Kind::IntLit && E.Rhs->K != Expr::Kind::IntLit)
+      return measure(*E.Rhs, ExpectedScalar, ExpectedLen);
+    return measure(*E.Base, ExpectedScalar, ExpectedLen);
+  case Expr::Kind::Call: {
+    auto It = FuncIds.find(E.Name);
+    assert(It != FuncIds.end() && "unknown callee after checking");
+    return {static_cast<unsigned>(Prog.Funcs[It->second].Outputs.size()),
+            CalleeScalars.at(E.Name)};
+  }
+  }
+  return {0, Type::nat()};
+}
+
+NodeNormalizer::Value NodeNormalizer::emitExpr(const Expr &E,
+                                               const Type *ExpectedScalar,
+                                               unsigned ExpectedLen) {
+  switch (E.K) {
+  case Expr::Kind::Var:
+  case Expr::Kind::Index:
+  case Expr::Kind::Range: {
+    unsigned Reg = 0, Len = 0;
+    Type Ty = resolveAccess(E, Reg, Len);
+    Value V;
+    V.Scalar = Ty.scalarType();
+    V.Regs.resize(Len);
+    for (unsigned I = 0; I < Len; ++I)
+      V.Regs[I] = Reg + I;
+    return V;
+  }
+  case Expr::Kind::Tuple: {
+    Value Out;
+    for (const auto &Elem : E.Elems) {
+      Value V = emitExpr(*Elem, ExpectedScalar, 0);
+      Out.Scalar = V.Scalar;
+      Out.Regs.insert(Out.Regs.end(), V.Regs.begin(), V.Regs.end());
+    }
+    return Out;
+  }
+  default: {
+    // A computation: measure its shape, allocate temporaries, emit.
+    Value Out;
+    auto [Len, Scalar] = measure(E, ExpectedScalar, ExpectedLen);
+    Out.Scalar = Scalar;
+    Out.Regs.resize(Len);
+    for (unsigned I = 0; I < Len; ++I)
+      Out.Regs[I] = freshReg();
+    bool Emitted = emitComputation(E, Out.Regs, Out.Scalar);
+    assert(Emitted && "expression kind not handled");
+    (void)Emitted;
+    return Out;
+  }
+  }
+}
+
+void NodeNormalizer::emitExprInto(const Expr &E,
+                                  const std::vector<unsigned> &Targets,
+                                  const Type &ExpectedScalar) {
+  if (emitComputation(E, Targets, ExpectedScalar))
+    return;
+  // Wiring expression: copy sources into targets.
+  Value V = emitExpr(E, &ExpectedScalar,
+                     static_cast<unsigned>(Targets.size()));
+  assert(V.Regs.size() == Targets.size() && "arity after checking");
+  for (size_t I = 0; I < Targets.size(); ++I)
+    emit(U0Instr::unary(U0Op::Mov, Targets[I], V.Regs[I]));
+}
+
+U0Function NodeNormalizer::run() {
+  F.Name = N.Name;
+
+  // Register allocation: parameters first (the input ABI), then returns,
+  // then locals.
+  for (const auto *List : {&N.Params, &N.Returns, &N.Vars})
+    for (const VarDecl &D : *List) {
+      unsigned Len = D.Ty.flattenedLength();
+      unsigned Base = F.NumRegs;
+      F.NumRegs += Len;
+      Vars.emplace(D.Name, VarInfo{Base, Len, &D.Ty});
+      if (List == &N.Params)
+        F.NumInputs += Len;
+    }
+  for (const VarDecl &R : N.Returns) {
+    VarInfo &Info = varInfo(R.Name);
+    for (unsigned I = 0; I < Info.Len; ++I)
+      F.Outputs.push_back(Info.BaseReg + I);
+  }
+
+  unsigned LastGroup = 0;
+  bool First = true;
+  for (const Equation &Eqn : N.Eqns) {
+    assert(Eqn.K == Equation::Kind::Assign && "foralls must be expanded");
+    if (RoundBarriers && !First && Eqn.IterGroup != LastGroup)
+      emit(U0Instr::barrier());
+    First = false;
+    LastGroup = Eqn.IterGroup;
+
+    std::vector<unsigned> Targets;
+    Type Scalar = Type::nat();
+    for (const LValue &L : Eqn.Lhs) {
+      VarInfo &Info = varInfo(L.Name);
+      Type Cur = *Info.Ty;
+      unsigned Offset = 0;
+      unsigned Len = Info.Len;
+      for (const LValue::Access &A : L.Accesses) {
+        assert(Cur.isVector() && "lvalue access after checking");
+        unsigned ElemLen = Cur.elementType().flattenedLength();
+        int64_t Lo = evalConst(A.Index);
+        int64_t Hi = A.IsRange ? evalConst(A.Hi) : Lo;
+        Offset += static_cast<unsigned>(Lo) * ElemLen;
+        Len = static_cast<unsigned>(Hi - Lo + 1) * ElemLen;
+        Cur = A.IsRange
+                  ? Type::vector(Cur.elementType(),
+                                 static_cast<unsigned>(Hi - Lo + 1))
+                  : Cur.elementType();
+      }
+      Scalar = Cur.scalarType();
+      for (unsigned I = 0; I < Len; ++I)
+        Targets.push_back(Info.BaseReg + Offset + I);
+    }
+    emitExprInto(*Eqn.Rhs, Targets, Scalar);
+  }
+  return std::move(F);
+}
+
+} // namespace
+
+U0Program usuba::normalizeProgram(const ast::Program &Prog, Dir Direction,
+                                  unsigned MBits, const Arch &Target,
+                                  bool RoundBarriers) {
+  U0Program Out;
+  Out.Direction = Direction;
+  Out.MBits = MBits;
+  Out.Target = &Target;
+
+  std::map<std::string, unsigned> FuncIds;
+  std::map<std::string, Type> CalleeScalars;
+  for (const Node &N : Prog.Nodes) {
+    assert(N.K == ast::Node::Kind::Fun && "tables must be elaborated");
+    NodeNormalizer Norm(N, Out, FuncIds, CalleeScalars, RoundBarriers);
+    Out.Funcs.push_back(Norm.run());
+    FuncIds.emplace(N.Name, static_cast<unsigned>(Out.Funcs.size()) - 1);
+    assert(!N.Returns.empty() && "checked nodes return something");
+    CalleeScalars.emplace(N.Name, N.Returns[0].Ty.scalarType());
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- Normalize.h - Lowering the AST to Usuba0 -----------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering of a checked, monomorphic Usuba program to Usuba0 three-
+/// address code: vectors are flattened into one virtual register per atom;
+/// wiring expressions (indexing, tuples, vector shifts/rotates/shuffles)
+/// become register renamings (Movs, erased later by copy propagation);
+/// word-level operators become instructions; atom shifts in horizontal
+/// direction become Shuffle instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_NORMALIZE_H
+#define USUBA_CORE_NORMALIZE_H
+
+#include "core/Usuba0.h"
+#include "frontend/Ast.h"
+
+namespace usuba {
+
+/// Lowers \p Prog (which must have passed checkProgram for \p Target at
+/// this direction/word size). When \p RoundBarriers is set, a Barrier
+/// instruction is inserted between equations of different top-level
+/// `forall` iterations of each node, modelling a not-unrolled round loop
+/// for the schedulers.
+U0Program normalizeProgram(const ast::Program &Prog, Dir Direction,
+                           unsigned MBits, const Arch &Target,
+                           bool RoundBarriers);
+
+} // namespace usuba
+
+#endif // USUBA_CORE_NORMALIZE_H

@@ -1,0 +1,598 @@
+//===- Passes.cpp - Usuba0 back-end passes --------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+using namespace usuba;
+
+//===----------------------------------------------------------------------===//
+// Copy propagation / DCE / compaction
+//===----------------------------------------------------------------------===//
+
+void usuba::copyPropagate(U0Function &F) {
+  // Single assignment makes this a one-pass rewrite: when we meet
+  // `mov d, s`, s is already fully resolved, so Root chains stay flat.
+  std::vector<unsigned> Root(F.NumRegs);
+  for (unsigned R = 0; R < F.NumRegs; ++R)
+    Root[R] = R;
+
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  for (U0Instr &I : F.Instrs) {
+    for (unsigned &S : I.Srcs)
+      S = Root[S];
+    if (I.Op == U0Op::Mov) {
+      Root[I.Dests[0]] = I.Srcs[0];
+      continue;
+    }
+    Kept.push_back(std::move(I));
+  }
+  F.Instrs = std::move(Kept);
+  for (unsigned &R : F.Outputs)
+    R = Root[R];
+}
+
+void usuba::eliminateDeadCode(U0Function &F) {
+  std::vector<bool> Live(F.NumRegs, false);
+  for (unsigned R : F.Outputs)
+    Live[R] = true;
+
+  std::vector<bool> Keep(F.Instrs.size(), false);
+  for (size_t I = F.Instrs.size(); I-- > 0;) {
+    const U0Instr &Instr = F.Instrs[I];
+    if (Instr.Op == U0Op::Barrier) {
+      Keep[I] = true;
+      continue;
+    }
+    bool AnyLive = false;
+    for (unsigned D : Instr.Dests)
+      AnyLive |= Live[D];
+    if (!AnyLive)
+      continue;
+    Keep[I] = true;
+    for (unsigned S : Instr.Srcs)
+      Live[S] = true;
+  }
+
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  for (size_t I = 0; I < F.Instrs.size(); ++I)
+    if (Keep[I])
+      Kept.push_back(std::move(F.Instrs[I]));
+  F.Instrs = std::move(Kept);
+}
+
+void usuba::compactRegisters(U0Function &F) {
+  constexpr unsigned Unmapped = ~0u;
+  std::vector<unsigned> Map(F.NumRegs, Unmapped);
+  unsigned Next = 0;
+  for (unsigned R = 0; R < F.NumInputs; ++R)
+    Map[R] = Next++;
+  for (const U0Instr &I : F.Instrs)
+    for (unsigned D : I.Dests) {
+      assert(Map[D] == Unmapped && "register defined twice");
+      Map[D] = Next++;
+    }
+  for (U0Instr &I : F.Instrs) {
+    for (unsigned &S : I.Srcs) {
+      assert(Map[S] != Unmapped && "use of unmapped register");
+      S = Map[S];
+    }
+    for (unsigned &D : I.Dests)
+      D = Map[D];
+  }
+  for (unsigned &R : F.Outputs) {
+    assert(Map[R] != Unmapped && "unmapped output register");
+    R = Map[R];
+  }
+  F.NumRegs = Next;
+}
+
+void usuba::cleanupProgram(U0Program &Prog) {
+  for (U0Function &F : Prog.Funcs) {
+    copyPropagate(F);
+    eliminateDeadCode(F);
+    compactRegisters(F);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Inlining
+//===----------------------------------------------------------------------===//
+
+static void inlineCallsIn(U0Program &Prog, U0Function &F) {
+  bool HasCall = false;
+  for (const U0Instr &I : F.Instrs)
+    HasCall |= I.Op == U0Op::Call;
+  if (!HasCall)
+    return;
+
+  std::vector<U0Instr> Out;
+  Out.reserve(F.Instrs.size() * 4);
+  for (U0Instr &I : F.Instrs) {
+    if (I.Op != U0Op::Call) {
+      Out.push_back(std::move(I));
+      continue;
+    }
+    // Callees precede callers and are processed first, so the body we
+    // splice is itself call-free.
+    const U0Function &Callee = Prog.Funcs[I.Callee];
+    std::vector<unsigned> Map(Callee.NumRegs);
+    for (unsigned R = 0; R < Callee.NumRegs; ++R)
+      Map[R] = R < Callee.NumInputs ? I.Srcs[R] : F.addReg();
+    for (const U0Instr &CI : Callee.Instrs) {
+      U0Instr Copy = CI;
+      for (unsigned &S : Copy.Srcs)
+        S = Map[S];
+      for (unsigned &D : Copy.Dests)
+        D = Map[D];
+      Out.push_back(std::move(Copy));
+    }
+    for (size_t J = 0; J < I.Dests.size(); ++J)
+      Out.push_back(
+          U0Instr::unary(U0Op::Mov, I.Dests[J], Map[Callee.Outputs[J]]));
+  }
+  F.Instrs = std::move(Out);
+}
+
+void usuba::inlineAllCalls(U0Program &Prog) {
+  for (U0Function &F : Prog.Funcs)
+    inlineCallsIn(Prog, F);
+}
+
+//===----------------------------------------------------------------------===//
+// Common-subexpression elimination
+//===----------------------------------------------------------------------===//
+
+unsigned usuba::eliminateCommonSubexpressions(U0Function &F) {
+  // Key: opcode + (canonically ordered) sources + scalar payloads. The
+  // single-assignment discipline means a matching earlier instruction's
+  // destination already holds the value everywhere later.
+  std::map<std::tuple<int, std::vector<unsigned>, unsigned, uint64_t,
+                      std::vector<uint8_t>>,
+           unsigned>
+      Seen;
+  std::vector<unsigned> Replace(F.NumRegs);
+  for (unsigned R = 0; R < F.NumRegs; ++R)
+    Replace[R] = R;
+
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  unsigned Removed = 0;
+  for (U0Instr &I : F.Instrs) {
+    for (unsigned &S : I.Srcs)
+      S = Replace[S];
+    // Calls and barriers are not folded (calls are pure, but folding
+    // multi-result calls complicates little for no gain here).
+    if (I.Op == U0Op::Call || I.Op == U0Op::Barrier) {
+      Kept.push_back(std::move(I));
+      continue;
+    }
+    std::vector<unsigned> Ops = I.Srcs;
+    bool Commutative = I.Op == U0Op::And || I.Op == U0Op::Or ||
+                       I.Op == U0Op::Xor || I.Op == U0Op::Add ||
+                       I.Op == U0Op::Mul;
+    if (Commutative && Ops.size() == 2 && Ops[1] < Ops[0])
+      std::swap(Ops[0], Ops[1]);
+    auto Key = std::make_tuple(static_cast<int>(I.Op), std::move(Ops),
+                               I.Amount, I.Imm, I.Pattern);
+    auto [It, Inserted] = Seen.emplace(std::move(Key), I.Dests[0]);
+    if (Inserted) {
+      Kept.push_back(std::move(I));
+      continue;
+    }
+    Replace[I.Dests[0]] = It->second;
+    ++Removed;
+  }
+  F.Instrs = std::move(Kept);
+  for (unsigned &R : F.Outputs)
+    R = Replace[R];
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// Peephole: and-not fusion
+//===----------------------------------------------------------------------===//
+
+void usuba::fuseAndNot(U0Function &F) {
+  // Count uses of every register and remember the defining Not.
+  std::vector<unsigned> UseCount(F.NumRegs, 0);
+  std::vector<int> NotDef(F.NumRegs, -1);
+  for (size_t I = 0; I < F.Instrs.size(); ++I) {
+    for (unsigned S : F.Instrs[I].Srcs)
+      ++UseCount[S];
+    if (F.Instrs[I].Op == U0Op::Not)
+      NotDef[F.Instrs[I].Dests[0]] = static_cast<int>(I);
+  }
+  for (unsigned R : F.Outputs)
+    ++UseCount[R];
+
+  std::vector<bool> Dead(F.Instrs.size(), false);
+  for (U0Instr &I : F.Instrs) {
+    if (I.Op != U0Op::And)
+      continue;
+    // Prefer fusing the first operand; fall back to the second (And is
+    // commutative).
+    for (unsigned Side = 0; Side < 2; ++Side) {
+      unsigned Src = I.Srcs[Side];
+      int Def = NotDef[Src];
+      if (Def < 0 || UseCount[Src] != 1)
+        continue;
+      unsigned Other = I.Srcs[1 - Side];
+      I.Op = U0Op::Andn;
+      I.Srcs = {F.Instrs[Def].Srcs[0], Other}; // dest = ~a & b
+      Dead[Def] = true;
+      break;
+    }
+  }
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  for (size_t I = 0; I < F.Instrs.size(); ++I)
+    if (!Dead[I])
+      Kept.push_back(std::move(F.Instrs[I]));
+  F.Instrs = std::move(Kept);
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness and interleaving
+//===----------------------------------------------------------------------===//
+
+unsigned usuba::maxLiveRegisters(const U0Function &F, bool CountInputs) {
+  constexpr size_t Never = ~size_t{0};
+  std::vector<size_t> LastUse(F.NumRegs, Never);
+  for (size_t I = 0; I < F.Instrs.size(); ++I)
+    for (unsigned S : F.Instrs[I].Srcs)
+      LastUse[S] = I;
+  // Outputs stay live to the end.
+  for (unsigned R : F.Outputs)
+    LastUse[R] = F.Instrs.size();
+
+  if (!CountInputs)
+    for (unsigned R = 0; R < F.NumInputs; ++R)
+      LastUse[R] = Never;
+
+  unsigned Live = 0, MaxLive = 0;
+  // Inputs are live from the start (if ever used).
+  for (unsigned R = 0; R < F.NumInputs; ++R)
+    if (LastUse[R] != Never)
+      ++Live;
+  MaxLive = Live;
+  for (size_t I = 0; I < F.Instrs.size(); ++I) {
+    for (unsigned D : F.Instrs[I].Dests)
+      if (D >= F.NumInputs && LastUse[D] != Never)
+        ++Live;
+    MaxLive = std::max(MaxLive, Live);
+    for (unsigned S : F.Instrs[I].Srcs)
+      if (LastUse[S] == I && (CountInputs || S >= F.NumInputs))
+        --Live;
+    // A register both defined and last used here dies immediately; the
+    // loop above already handled sources, and an unused destination was
+    // never counted.
+  }
+  return MaxLive;
+}
+
+unsigned usuba::interleaveFactorFor(unsigned MaxLive, const Arch &Target) {
+  if (MaxLive == 0)
+    return 1;
+  unsigned Factor = Target.NumRegisters / MaxLive;
+  return std::clamp(Factor, 1u, 4u);
+}
+
+void usuba::interleaveEntry(U0Program &Prog, unsigned Factor,
+                            unsigned BlockSize) {
+  assert(Factor >= 1 && BlockSize >= 1 && "bad interleave parameters");
+  if (Factor == 1)
+    return;
+  U0Function &F = Prog.entry();
+  U0Function Out;
+  Out.Name = F.Name;
+  Out.NumInputs = F.NumInputs * Factor;
+  Out.NumRegs = Out.NumInputs;
+  unsigned Locals = F.NumRegs - F.NumInputs;
+
+  // Instance t: input r -> t*NumInputs + r; local r -> base + t*Locals +
+  // (r - NumInputs).
+  auto MapReg = [&](unsigned T, unsigned R) {
+    if (R < F.NumInputs)
+      return T * F.NumInputs + R;
+    return Out.NumInputs + T * Locals + (R - F.NumInputs);
+  };
+  Out.NumRegs = Out.NumInputs + Locals * Factor;
+
+  std::vector<size_t> Cursor(Factor, 0);
+  bool Remaining = true;
+  while (Remaining) {
+    Remaining = false;
+    for (unsigned T = 0; T < Factor; ++T) {
+      size_t End = std::min(Cursor[T] + BlockSize, F.Instrs.size());
+      for (size_t I = Cursor[T]; I < End; ++I) {
+        U0Instr Copy = F.Instrs[I];
+        for (unsigned &S : Copy.Srcs)
+          S = MapReg(T, S);
+        for (unsigned &D : Copy.Dests)
+          D = MapReg(T, D);
+        Out.Instrs.push_back(std::move(Copy));
+      }
+      Cursor[T] = End;
+      Remaining |= End < F.Instrs.size();
+    }
+  }
+  for (unsigned T = 0; T < Factor; ++T)
+    for (unsigned R : F.Outputs)
+      Out.Outputs.push_back(MapReg(T, R));
+  F = std::move(Out);
+  Prog.InterleaveFactor *= Factor;
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits the instruction list into Barrier-delimited segments, applies
+/// \p ScheduleSegment to each, and reassembles (with the barriers).
+template <typename Fn> void forEachSegment(U0Function &F, Fn ScheduleSegment) {
+  std::vector<U0Instr> Out;
+  Out.reserve(F.Instrs.size());
+  std::vector<U0Instr> Segment;
+  auto Flush = [&] {
+    ScheduleSegment(Segment);
+    for (U0Instr &I : Segment)
+      Out.push_back(std::move(I));
+    Segment.clear();
+  };
+  for (U0Instr &I : F.Instrs) {
+    if (I.Op == U0Op::Barrier) {
+      Flush();
+      Out.push_back(std::move(I));
+      continue;
+    }
+    Segment.push_back(std::move(I));
+  }
+  Flush();
+  F.Instrs = std::move(Out);
+}
+
+/// Instruction index defining each register within a segment (-1 when the
+/// register is defined outside — an input or an earlier segment).
+std::vector<int> definersOf(const std::vector<U0Instr> &Segment,
+                            unsigned NumRegs) {
+  std::vector<int> Def(NumRegs, -1);
+  for (size_t I = 0; I < Segment.size(); ++I)
+    for (unsigned D : Segment[I].Dests)
+      Def[D] = static_cast<int>(I);
+  return Def;
+}
+
+/// Execution-unit classes for the m-slice scheduler's port model: on
+/// Skylake, shuffles contend for a single port while logic/arith/shift
+/// spread over several (Section 3.2 and 4.3).
+enum class Unit : uint8_t { Logic, Arith, Shift, Shuffle, Other };
+
+Unit unitOf(const U0Instr &I) {
+  if (isShuffleLike(I.Op))
+    return Unit::Shuffle;
+  if (isArithOp(I.Op))
+    return Unit::Arith;
+  if (I.Op == U0Op::Lshift || I.Op == U0Op::Rshift ||
+      I.Op == U0Op::Lrotate || I.Op == U0Op::Rrotate)
+    return Unit::Shift;
+  if (isLogicOp(I.Op))
+    return Unit::Logic;
+  return Unit::Other;
+}
+
+void scheduleBitsliceSegment(std::vector<U0Instr> &Segment,
+                             unsigned NumRegs) {
+  std::vector<int> Def = definersOf(Segment, NumRegs);
+  std::vector<std::vector<unsigned>> Users(Segment.size());
+  for (size_t I = 0; I < Segment.size(); ++I)
+    for (unsigned S : Segment[I].Srcs) {
+      int D = Def[S];
+      if (D >= 0 && static_cast<size_t>(D) != I)
+        Users[D].push_back(static_cast<unsigned>(I));
+    }
+
+  std::vector<bool> Scheduled(Segment.size(), false);
+  std::vector<unsigned> Order;
+  Order.reserve(Segment.size());
+
+  // Iterative depth-first "schedule this instruction and its unscheduled
+  // dependencies first" (Algorithm 1 lines 3-6).
+  auto ScheduleWithDeps = [&](unsigned Root) {
+    if (Scheduled[Root])
+      return;
+    std::vector<std::pair<unsigned, size_t>> Stack; // (instr, next src)
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      auto &[I, NextSrc] = Stack.back();
+      if (Scheduled[I]) {
+        Stack.pop_back();
+        continue;
+      }
+      const U0Instr &Instr = Segment[I];
+      bool Descended = false;
+      while (NextSrc < Instr.Srcs.size()) {
+        int D = Def[Instr.Srcs[NextSrc]];
+        ++NextSrc;
+        if (D >= 0 && !Scheduled[D]) {
+          Stack.push_back({static_cast<unsigned>(D), 0});
+          Descended = true;
+          break;
+        }
+      }
+      if (Descended)
+        continue;
+      if (NextSrc >= Instr.Srcs.size()) {
+        Scheduled[I] = true;
+        Order.push_back(I);
+        Stack.pop_back();
+      }
+    }
+  };
+
+  auto IsReady = [&](unsigned I) {
+    if (Scheduled[I])
+      return false;
+    for (unsigned S : Segment[I].Srcs) {
+      int D = Def[S];
+      if (D >= 0 && !Scheduled[D])
+        return false;
+    }
+    return true;
+  };
+
+  for (size_t I = 0; I < Segment.size(); ++I) {
+    if (Segment[I].Op != U0Op::Call)
+      continue;
+    // Lines 2-6: pull the arguments' definitions next to the call.
+    ScheduleWithDeps(static_cast<unsigned>(I));
+    // Lines 7-10: schedule the consumers of the results while they are
+    // hot.
+    for (unsigned User : Users[I])
+      if (IsReady(User)) {
+        Scheduled[User] = true;
+        Order.push_back(User);
+      }
+  }
+  for (size_t I = 0; I < Segment.size(); ++I)
+    ScheduleWithDeps(static_cast<unsigned>(I));
+
+  std::vector<U0Instr> Sorted;
+  Sorted.reserve(Segment.size());
+  for (unsigned I : Order)
+    Sorted.push_back(std::move(Segment[I]));
+  Segment = std::move(Sorted);
+}
+
+void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
+                           unsigned WindowLimit) {
+  std::vector<int> Def = definersOf(Segment, NumRegs);
+  std::vector<std::vector<unsigned>> Users(Segment.size());
+  std::vector<unsigned> InDegree(Segment.size(), 0);
+  for (size_t I = 0; I < Segment.size(); ++I) {
+    std::set<int> Deps;
+    for (unsigned S : Segment[I].Srcs) {
+      int D = Def[S];
+      if (D >= 0 && static_cast<size_t>(D) != I)
+        Deps.insert(D);
+    }
+    for (int D : Deps) {
+      Users[D].push_back(static_cast<unsigned>(I));
+      ++InDegree[I];
+    }
+  }
+
+  std::set<unsigned> Ready;
+  for (size_t I = 0; I < Segment.size(); ++I)
+    if (InDegree[I] == 0)
+      Ready.insert(static_cast<unsigned>(I));
+
+  // Look-behind window of recently scheduled instructions. Two concerns,
+  // mirroring Section 3.2: (1) data hazards — an instruction whose source
+  // was produced within the last few cycles stalls; (2) the shuffle unit
+  // — Skylake executes shuffles on a single port, so back-to-back
+  // shuffles serialize. Candidates are scanned in original program order
+  // and the first acceptable one is taken, so the schedule deviates from
+  // the source only where a stall or port conflict forces it (large
+  // deviations inflate live ranges and cause spills — the cure must not
+  // be worse than the disease).
+  const unsigned HazardWindow = std::min(4u, WindowLimit);
+  constexpr unsigned MaxCandidates = 32;
+  std::vector<unsigned> Window;
+  Unit PrevUnit = Unit::Other;
+  std::vector<unsigned> Order;
+  Order.reserve(Segment.size());
+
+  auto HazardWith = [&](unsigned Cand) {
+    size_t Begin =
+        Window.size() > HazardWindow ? Window.size() - HazardWindow : 0;
+    for (unsigned S : Segment[Cand].Srcs) {
+      int D = Def[S];
+      if (D < 0)
+        continue;
+      for (size_t W = Begin; W < Window.size(); ++W)
+        if (Window[W] == static_cast<unsigned>(D))
+          return true;
+    }
+    return false;
+  };
+
+  while (!Ready.empty()) {
+    int Picked = -1;
+    // Pass 0: no hazard, no shuffle-after-shuffle. Pass 1: no hazard.
+    // Pass 2: first ready (original order).
+    for (int Pass = 0; Pass < 2 && Picked < 0; ++Pass) {
+      unsigned Seen = 0;
+      for (unsigned Cand : Ready) {
+        if (++Seen > MaxCandidates)
+          break;
+        if (HazardWith(Cand))
+          continue;
+        if (Pass == 0 && PrevUnit == Unit::Shuffle &&
+            unitOf(Segment[Cand]) == Unit::Shuffle)
+          continue;
+        Picked = static_cast<int>(Cand);
+        break;
+      }
+    }
+    if (Picked < 0)
+      Picked = static_cast<int>(*Ready.begin());
+
+    Ready.erase(static_cast<unsigned>(Picked));
+    Order.push_back(static_cast<unsigned>(Picked));
+    Window.push_back(static_cast<unsigned>(Picked));
+    if (Window.size() > WindowLimit)
+      Window.erase(Window.begin());
+    PrevUnit = unitOf(Segment[Picked]);
+    for (unsigned User : Users[Picked])
+      if (--InDegree[User] == 0)
+        Ready.insert(User);
+  }
+  assert(Order.size() == Segment.size() && "scheduler dropped instructions");
+
+  std::vector<U0Instr> Sorted;
+  Sorted.reserve(Segment.size());
+  for (unsigned I : Order)
+    Sorted.push_back(std::move(Segment[I]));
+  Segment = std::move(Sorted);
+}
+
+} // namespace
+
+void usuba::scheduleBitslice(U0Function &F) {
+  unsigned NumRegs = F.NumRegs;
+  forEachSegment(F, [NumRegs](std::vector<U0Instr> &Segment) {
+    scheduleBitsliceSegment(Segment, NumRegs);
+  });
+}
+
+void usuba::scheduleMSlice(U0Function &F, const Arch &Target) {
+  // "a look-behind window of the previous 16 instructions (which
+  // corresponds to the maximal number of registers available on Intel
+  // platforms without AVX512)".
+  unsigned WindowLimit = Target.NumRegisters >= 32 ? 32 : 16;
+  unsigned NumRegs = F.NumRegs;
+  forEachSegment(F, [NumRegs, WindowLimit](std::vector<U0Instr> &Segment) {
+    scheduleMSliceSegment(Segment, NumRegs, WindowLimit);
+  });
+}
+
+void usuba::stripBarriers(U0Function &F) {
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  for (U0Instr &I : F.Instrs)
+    if (I.Op != U0Op::Barrier)
+      Kept.push_back(std::move(I));
+  F.Instrs = std::move(Kept);
+}

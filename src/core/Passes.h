@@ -1,0 +1,95 @@
+//===- Passes.h - Usuba0 back-end passes ------------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The back-end of Usubac (paper Section 3.2): optimizations over Usuba0
+/// that exploit referential transparency and the absence of control flow.
+/// Every pass preserves the single-assignment structure (checked by
+/// verifyU0 in tests and by the property-based pipeline tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_PASSES_H
+#define USUBA_CORE_PASSES_H
+
+#include "core/Usuba0.h"
+
+namespace usuba {
+
+/// Erases Movs by rerouting their uses to the source register. This is
+/// what makes Usuba's static wiring (vector shifts, permutations, tuple
+/// plumbing) free at run time.
+void copyPropagate(U0Function &F);
+
+/// Removes instructions none of whose results reach an output (calls are
+/// pure, so dead calls are removed too).
+void eliminateDeadCode(U0Function &F);
+
+/// Renumbers registers densely after copy propagation / DCE. Inputs keep
+/// their ABI positions 0..NumInputs-1.
+void compactRegisters(U0Function &F);
+
+/// Runs copyPropagate, eliminateDeadCode and compactRegisters on every
+/// function of \p Prog.
+void cleanupProgram(U0Program &Prog);
+
+/// Inlines every call in every function (callees precede callers, so one
+/// forward sweep suffices). After this pass the entry function is pure
+/// straight-line code. The paper motivates this aggressively for bitsliced
+/// code, where a round function takes hundreds of register arguments.
+void inlineAllCalls(U0Program &Prog);
+
+/// Fuses `t = ~x; d = t & y` into `d = x &~ y` when the Not has a single
+/// use (pandn/vpandn on every x86 SIMD level).
+void fuseAndNot(U0Function &F);
+
+/// Common-subexpression elimination: structurally identical instructions
+/// (same opcode, operands, immediate/amount/pattern) compute the same
+/// value — referential transparency makes this trivially sound in
+/// Usuba0. Mostly fires on circuits instantiated several times over
+/// shared inputs. Returns the number of instructions removed.
+unsigned eliminateCommonSubexpressions(U0Function &F);
+
+/// Maximum number of simultaneously live registers under the current
+/// instruction order (straight-line liveness). When \p CountInputs is
+/// false, input registers are excluded: they model memory-resident
+/// operands (key material lives in arrays, not architectural registers),
+/// which is how the paper arrives at "Rectangle uses 7 registers".
+unsigned maxLiveRegisters(const U0Function &F, bool CountInputs = true);
+
+/// The interleaving factor the paper's heuristic picks: target registers
+/// divided by the kernel's maximum live temporaries, clamped to [1, 4]
+/// (larger factors would spill). Returns 1 when the kernel already uses
+/// most registers.
+unsigned interleaveFactorFor(unsigned MaxLive, const Arch &Target);
+
+/// Statically interleaves \p Factor independent instances of the entry
+/// function (Section 3.2: a static form of hyper-threading), alternating
+/// blocks of \p BlockSize instructions. The entry ABI becomes Factor
+/// concatenated copies of inputs and outputs; Prog.InterleaveFactor is
+/// multiplied accordingly.
+void interleaveEntry(U0Program &Prog, unsigned Factor,
+                     unsigned BlockSize = 10);
+
+/// The bitslice scheduler (paper Algorithm 1): shrinks live ranges of
+/// call arguments and results to reduce spilling. Operates on the
+/// pre-inlining call structure; barriers delimit independently scheduled
+/// segments.
+void scheduleBitslice(U0Function &F);
+
+/// The m-slice scheduler (Section 3.2): greedy list scheduling with a
+/// 16-instruction look-behind window, avoiding data hazards and
+/// consecutive dispatches to the same (modelled) execution unit — the
+/// shuffle unit is the scarce one on Skylake.
+void scheduleMSlice(U0Function &F, const Arch &Target);
+
+/// Removes Barrier instructions (done after scheduling, before
+/// execution/emission).
+void stripBarriers(U0Function &F);
+
+} // namespace usuba
+
+#endif // USUBA_CORE_PASSES_H

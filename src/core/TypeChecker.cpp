@@ -1,0 +1,630 @@
+//===- TypeChecker.cpp - Usuba type checking ------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TypeChecker.h"
+
+#include "core/AstPasses.h"
+#include "support/BitUtils.h"
+#include "types/TypeClasses.h"
+
+#include <map>
+#include <set>
+
+using namespace usuba;
+using namespace usuba::ast;
+
+namespace {
+
+/// A distilled type: atom scalar plus total flattened element count.
+struct VType {
+  Type Scalar = Type::nat();
+  unsigned Len = 0;
+
+  friend bool operator==(const VType &A, const VType &B) {
+    return A.Len == B.Len && A.Scalar == B.Scalar;
+  }
+  std::string str() const {
+    return Scalar.str() + "[" + std::to_string(Len) + "]";
+  }
+  /// The type used for class-instance resolution.
+  Type resolved() const {
+    return Len == 1 ? Scalar : Type::vector(Scalar, Len);
+  }
+  unsigned wordBits() const { return Scalar.wordSize().Bits; }
+};
+
+VType distill(const Type &T) {
+  assert(!T.isNat() && "distilling nat");
+  return {T.scalarType(), T.flattenedLength()};
+}
+
+/// Signature of a checked node, used at call sites.
+struct NodeSig {
+  std::vector<VType> Params;
+  std::vector<VType> Returns;
+};
+
+/// An element range read or written by an equation.
+struct ElemRange {
+  unsigned VarId = 0;
+  unsigned Offset = 0;
+  unsigned Len = 0;
+  SourceLoc Loc;
+};
+
+/// Checks one node: expression typing, instance resolution, per-element
+/// single assignment, and topological sorting of the equations.
+class NodeChecker {
+public:
+  NodeChecker(Node &N, const std::map<std::string, NodeSig> &Sigs,
+              const Arch &Target, DiagnosticEngine &Diags)
+      : N(N), Sigs(Sigs), Target(Target), Diags(Diags) {}
+
+  bool run();
+
+private:
+  bool declareVars();
+  bool checkEquation(Equation &Eqn, std::vector<ElemRange> &Defs,
+                     std::vector<ElemRange> &Uses);
+  bool resolveLValue(const LValue &L, ElemRange &Out, VType &Ty);
+  std::optional<VType> checkExpr(const Expr &E, const VType *Expected,
+                                 std::vector<ElemRange> &Uses);
+
+  /// Resolves a Var/Index/Range access chain to its structured type and
+  /// flattened element range.
+  std::optional<Type> resolveAccess(const Expr &E, ElemRange &Range);
+
+  bool evalConst(const ConstExpr &CE, int64_t &Out) {
+    bool Ok = true;
+    std::map<std::string, int64_t> Empty;
+    Out = CE.evaluate(Empty, Ok);
+    if (!Ok)
+      Diags.error(CE.Loc, "division by zero in compile-time expression");
+    return Ok;
+  }
+
+  bool instanceError(OpClass C, const VType &Ty, SourceLoc Loc) {
+    InstanceResolution R = resolveInstance(C, Ty.resolved(), Target);
+    if (R.Found)
+      return false;
+    Diags.error(Loc, R.Reason);
+    return true;
+  }
+
+  Node &N;
+  const std::map<std::string, NodeSig> &Sigs;
+  const Arch &Target;
+  DiagnosticEngine &Diags;
+
+  std::map<std::string, unsigned> VarIds;
+  std::vector<const VarDecl *> Decls;
+  unsigned NumParams = 0;
+};
+
+bool NodeChecker::declareVars() {
+  for (const auto *List : {&N.Params, &N.Returns, &N.Vars}) {
+    for (const VarDecl &D : *List) {
+      if (D.Ty.isNat()) {
+        Diags.error(D.Loc, "variable '" + D.Name +
+                               "' cannot have type nat (nat is reserved "
+                               "for compile-time indices)");
+        return false;
+      }
+      if (D.Ty.isPolymorphic()) {
+        Diags.error(D.Loc,
+                    "variable '" + D.Name + "' has polymorphic type " +
+                        D.Ty.str() +
+                        " after monomorphization; pass -w <m> (and -V/-H) "
+                        "to fix the word size and direction");
+        return false;
+      }
+      if (!VarIds.emplace(D.Name, Decls.size()).second) {
+        Diags.error(D.Loc, "redeclaration of '" + D.Name + "'");
+        return false;
+      }
+      Decls.push_back(&D);
+    }
+    if (List == &N.Params)
+      NumParams = static_cast<unsigned>(Decls.size());
+  }
+  return true;
+}
+
+std::optional<Type> NodeChecker::resolveAccess(const Expr &E,
+                                               ElemRange &Range) {
+  switch (E.K) {
+  case Expr::Kind::Var: {
+    auto It = VarIds.find(E.Name);
+    if (It == VarIds.end()) {
+      Diags.error(E.Loc, "unknown variable '" + E.Name + "'");
+      return std::nullopt;
+    }
+    Range.VarId = It->second;
+    Range.Offset = 0;
+    Range.Len = Decls[It->second]->Ty.flattenedLength();
+    Range.Loc = E.Loc;
+    return Decls[It->second]->Ty;
+  }
+  case Expr::Kind::Index: {
+    std::optional<Type> BaseTy = resolveAccess(*E.Base, Range);
+    if (!BaseTy)
+      return std::nullopt;
+    if (!BaseTy->isVector()) {
+      Diags.error(E.Loc, "indexing a non-vector of type " + BaseTy->str());
+      return std::nullopt;
+    }
+    int64_t Index;
+    if (!evalConst(*E.Index0, Index))
+      return std::nullopt;
+    if (Index < 0 || Index >= static_cast<int64_t>(BaseTy->length())) {
+      Diags.error(E.Loc, "index " + std::to_string(Index) +
+                             " out of bounds for type " + BaseTy->str());
+      return std::nullopt;
+    }
+    unsigned ElemLen = BaseTy->elementType().flattenedLength();
+    Range.Offset += static_cast<unsigned>(Index) * ElemLen;
+    Range.Len = ElemLen;
+    return BaseTy->elementType();
+  }
+  case Expr::Kind::Range: {
+    std::optional<Type> BaseTy = resolveAccess(*E.Base, Range);
+    if (!BaseTy)
+      return std::nullopt;
+    if (!BaseTy->isVector()) {
+      Diags.error(E.Loc, "slicing a non-vector of type " + BaseTy->str());
+      return std::nullopt;
+    }
+    int64_t Lo, Hi;
+    if (!evalConst(*E.Index0, Lo) || !evalConst(*E.Index1, Hi))
+      return std::nullopt;
+    if (Lo < 0 || Hi < Lo || Hi >= static_cast<int64_t>(BaseTy->length())) {
+      Diags.error(E.Loc, "range [" + std::to_string(Lo) + ".." +
+                             std::to_string(Hi) +
+                             "] out of bounds for type " + BaseTy->str());
+      return std::nullopt;
+    }
+    unsigned ElemLen = BaseTy->elementType().flattenedLength();
+    Range.Offset += static_cast<unsigned>(Lo) * ElemLen;
+    Range.Len = static_cast<unsigned>(Hi - Lo + 1) * ElemLen;
+    return Type::vector(BaseTy->elementType(),
+                        static_cast<unsigned>(Hi - Lo + 1));
+  }
+  default:
+    Diags.error(E.Loc, "only variables can be indexed");
+    return std::nullopt;
+  }
+}
+
+std::optional<VType> NodeChecker::checkExpr(const Expr &E,
+                                            const VType *Expected,
+                                            std::vector<ElemRange> &Uses) {
+  switch (E.K) {
+  case Expr::Kind::Var:
+  case Expr::Kind::Index:
+  case Expr::Kind::Range: {
+    ElemRange Range;
+    std::optional<Type> Ty = resolveAccess(E, Range);
+    if (!Ty)
+      return std::nullopt;
+    Uses.push_back(Range);
+    return distill(*Ty);
+  }
+
+  case Expr::Kind::IntLit: {
+    if (!Expected) {
+      Diags.error(E.Loc, "integer literal needs a typed context");
+      return std::nullopt;
+    }
+    unsigned Bits = Expected->wordBits() * Expected->Len;
+    if (Bits < 64 && (E.IntValue >> Bits) != 0) {
+      Diags.error(E.Loc, "literal " + std::to_string(E.IntValue) +
+                             " does not fit in " + std::to_string(Bits) +
+                             " bits (" + Expected->str() + ")");
+      return std::nullopt;
+    }
+    return *Expected;
+  }
+
+  case Expr::Kind::Tuple: {
+    VType Out;
+    bool First = true;
+    for (const auto &Elem : E.Elems) {
+      std::optional<VType> ElemTy = checkExpr(*Elem, nullptr, Uses);
+      if (!ElemTy)
+        return std::nullopt;
+      if (First) {
+        Out = *ElemTy;
+        First = false;
+        continue;
+      }
+      if (!(ElemTy->Scalar == Out.Scalar)) {
+        Diags.error(Elem->Loc,
+                    "tuple mixes atom types " + Out.Scalar.str() + " and " +
+                        ElemTy->Scalar.str());
+        return std::nullopt;
+      }
+      Out.Len += ElemTy->Len;
+    }
+    if (First) {
+      Diags.error(E.Loc, "empty tuple");
+      return std::nullopt;
+    }
+    return Out;
+  }
+
+  case Expr::Kind::Not: {
+    std::optional<VType> Ty = checkExpr(*E.Base, Expected, Uses);
+    if (!Ty)
+      return std::nullopt;
+    if (instanceError(OpClass::Logic, *Ty, E.Loc))
+      return std::nullopt;
+    return Ty;
+  }
+
+  case Expr::Kind::Binop: {
+    const Expr *L = E.Base.get(), *R = E.Rhs.get();
+    std::optional<VType> LTy, RTy;
+    // Literals take their type from the sibling operand.
+    if (L->K == Expr::Kind::IntLit && R->K != Expr::Kind::IntLit) {
+      RTy = checkExpr(*R, Expected, Uses);
+      if (!RTy)
+        return std::nullopt;
+      LTy = checkExpr(*L, &*RTy, Uses);
+    } else {
+      LTy = checkExpr(*L, Expected, Uses);
+      if (!LTy)
+        return std::nullopt;
+      RTy = checkExpr(*R, &*LTy, Uses);
+    }
+    if (!LTy || !RTy)
+      return std::nullopt;
+    if (!(*LTy == *RTy)) {
+      Diags.error(E.Loc, std::string("operand types of '") +
+                             binopName(E.Binop) + "' differ: " + LTy->str() +
+                             " vs " + RTy->str());
+      return std::nullopt;
+    }
+    OpClass C = (E.Binop == BinopKind::Add || E.Binop == BinopKind::Sub ||
+                 E.Binop == BinopKind::Mul)
+                    ? OpClass::Arith
+                    : OpClass::Logic;
+    if (instanceError(C, *LTy, E.Loc))
+      return std::nullopt;
+    return LTy;
+  }
+
+  case Expr::Kind::Shift: {
+    std::optional<VType> Ty = checkExpr(*E.Base, Expected, Uses);
+    if (!Ty)
+      return std::nullopt;
+    int64_t Amount;
+    if (!evalConst(*E.Amount, Amount))
+      return std::nullopt;
+    if (Amount < 0) {
+      Diags.error(E.Loc, "negative shift amount");
+      return std::nullopt;
+    }
+    if (instanceError(OpClass::Shift, *Ty, E.Loc))
+      return std::nullopt;
+    return Ty;
+  }
+
+  case Expr::Kind::Shuffle: {
+    std::optional<VType> Ty = checkExpr(*E.Base, Expected, Uses);
+    if (!Ty)
+      return std::nullopt;
+    unsigned Positions = Ty->Len > 1 ? Ty->Len : Ty->wordBits();
+    if (Ty->Len == 1) {
+      // Atom-level shuffle: requires a horizontal atom with a shuffle
+      // instruction (Table 1, Shift(uH...) rows).
+      if (Ty->wordBits() == 1) {
+        Diags.error(E.Loc, "cannot shuffle a single bit");
+        return std::nullopt;
+      }
+      if (Ty->Scalar.direction() != Dir::Horiz) {
+        Diags.error(E.Loc,
+                    "Shuffle on atom type " + Ty->Scalar.str() +
+                        " requires horizontal slicing (vertical elements "
+                        "cannot be bit-permuted in one instruction)");
+        return std::nullopt;
+      }
+      if (!Target.supportsHorizontalShift(Ty->wordBits())) {
+        Diags.error(E.Loc, "no shuffle instance at " + Ty->Scalar.str() +
+                               " on " + Target.Name);
+        return std::nullopt;
+      }
+    }
+    if (E.Pattern.size() != Positions) {
+      Diags.error(E.Loc, "Shuffle pattern has " +
+                             std::to_string(E.Pattern.size()) +
+                             " entries, expected " +
+                             std::to_string(Positions));
+      return std::nullopt;
+    }
+    for (unsigned P : E.Pattern)
+      if (P >= Positions) {
+        Diags.error(E.Loc, "Shuffle pattern entry " + std::to_string(P) +
+                               " out of range");
+        return std::nullopt;
+      }
+    return Ty;
+  }
+
+  case Expr::Kind::Call: {
+    auto It = Sigs.find(E.Name);
+    if (It == Sigs.end()) {
+      Diags.error(E.Loc, "call to unknown (or later-defined) node '" +
+                             E.Name + "'");
+      return std::nullopt;
+    }
+    const NodeSig &Sig = It->second;
+    if (E.Elems.size() != Sig.Params.size()) {
+      Diags.error(E.Loc, "'" + E.Name + "' expects " +
+                             std::to_string(Sig.Params.size()) +
+                             " arguments, got " +
+                             std::to_string(E.Elems.size()));
+      return std::nullopt;
+    }
+    for (size_t I = 0; I < E.Elems.size(); ++I) {
+      if (E.Elems[I]->K == Expr::Kind::IntLit) {
+        Diags.error(E.Elems[I]->Loc,
+                    "literal arguments are not supported; bind the "
+                    "constant to a variable first");
+        return std::nullopt;
+      }
+      std::optional<VType> ArgTy =
+          checkExpr(*E.Elems[I], &Sig.Params[I], Uses);
+      if (!ArgTy)
+        return std::nullopt;
+      if (!(*ArgTy == Sig.Params[I])) {
+        Diags.error(E.Elems[I]->Loc,
+                    "argument " + std::to_string(I + 1) + " of '" + E.Name +
+                        "' has type " + ArgTy->str() + ", expected " +
+                        Sig.Params[I].str());
+        return std::nullopt;
+      }
+    }
+    VType Out = Sig.Returns[0];
+    for (size_t I = 1; I < Sig.Returns.size(); ++I) {
+      assert(Sig.Returns[I].Scalar == Out.Scalar &&
+             "mixed-scalar returns rejected at declaration");
+      Out.Len += Sig.Returns[I].Len;
+    }
+    return Out;
+  }
+  }
+  return std::nullopt;
+}
+
+bool NodeChecker::resolveLValue(const LValue &L, ElemRange &Out,
+                                VType &Ty) {
+  auto It = VarIds.find(L.Name);
+  if (It == VarIds.end()) {
+    Diags.error(L.Loc, "unknown variable '" + L.Name + "'");
+    return false;
+  }
+  if (It->second < NumParams) {
+    Diags.error(L.Loc, "cannot define parameter '" + L.Name + "'");
+    return false;
+  }
+  Type Cur = Decls[It->second]->Ty;
+  Out.VarId = It->second;
+  Out.Offset = 0;
+  Out.Loc = L.Loc;
+  for (const LValue::Access &A : L.Accesses) {
+    if (!Cur.isVector()) {
+      Diags.error(L.Loc, "indexing a non-vector on the left-hand side");
+      return false;
+    }
+    int64_t Lo, Hi;
+    if (!evalConst(A.Index, Lo))
+      return false;
+    Hi = Lo;
+    if (A.IsRange && !evalConst(A.Hi, Hi))
+      return false;
+    if (Lo < 0 || Hi < Lo || Hi >= static_cast<int64_t>(Cur.length())) {
+      Diags.error(L.Loc, "left-hand side index out of bounds for " +
+                             Cur.str());
+      return false;
+    }
+    unsigned ElemLen = Cur.elementType().flattenedLength();
+    Out.Offset += static_cast<unsigned>(Lo) * ElemLen;
+    Cur = A.IsRange ? Type::vector(Cur.elementType(),
+                                   static_cast<unsigned>(Hi - Lo + 1))
+                    : Cur.elementType();
+  }
+  Out.Len = Cur.flattenedLength();
+  Ty = distill(Cur);
+  return true;
+}
+
+bool NodeChecker::checkEquation(Equation &Eqn, std::vector<ElemRange> &Defs,
+                                std::vector<ElemRange> &Uses) {
+  assert(Eqn.K == Equation::Kind::Assign && "foralls must be expanded");
+  VType Total;
+  bool First = true;
+  for (const LValue &L : Eqn.Lhs) {
+    ElemRange Range;
+    VType Ty;
+    if (!resolveLValue(L, Range, Ty))
+      return false;
+    Defs.push_back(Range);
+    if (First) {
+      Total = Ty;
+      First = false;
+      continue;
+    }
+    if (!(Ty.Scalar == Total.Scalar)) {
+      Diags.error(L.Loc, "left-hand side mixes atom types");
+      return false;
+    }
+    Total.Len += Ty.Len;
+  }
+  std::optional<VType> RhsTy = checkExpr(*Eqn.Rhs, &Total, Uses);
+  if (!RhsTy)
+    return false;
+  if (!(*RhsTy == Total)) {
+    Diags.error(Eqn.Loc, "equation type mismatch: left-hand side is " +
+                             Total.str() + ", right-hand side is " +
+                             RhsTy->str());
+    return false;
+  }
+  return true;
+}
+
+bool NodeChecker::run() {
+  if (!declareVars())
+    return false;
+
+  // Per-variable, per-element defining equation: -1 parameter, -2 none.
+  std::vector<std::vector<int>> DefOf(Decls.size());
+  for (unsigned V = 0; V < Decls.size(); ++V)
+    DefOf[V].assign(Decls[V]->Ty.flattenedLength(),
+                    V < NumParams ? -1 : -2);
+
+  std::vector<std::vector<ElemRange>> EqnDefs(N.Eqns.size());
+  std::vector<std::vector<ElemRange>> EqnUses(N.Eqns.size());
+
+  for (unsigned E = 0; E < N.Eqns.size(); ++E) {
+    if (!checkEquation(N.Eqns[E], EqnDefs[E], EqnUses[E]))
+      return false;
+    for (const ElemRange &D : EqnDefs[E])
+      for (unsigned I = 0; I < D.Len; ++I) {
+        int &Slot = DefOf[D.VarId][D.Offset + I];
+        if (Slot != -2) {
+          Diags.error(D.Loc, "element " + std::to_string(D.Offset + I) +
+                                 " of '" + Decls[D.VarId]->Name +
+                                 "' is defined more than once");
+          return false;
+        }
+        Slot = static_cast<int>(E);
+      }
+  }
+
+  // Every element read must be defined; returns must be fully defined.
+  for (unsigned E = 0; E < N.Eqns.size(); ++E)
+    for (const ElemRange &U : EqnUses[E])
+      for (unsigned I = 0; I < U.Len; ++I)
+        if (DefOf[U.VarId][U.Offset + I] == -2) {
+          Diags.error(U.Loc, "element " + std::to_string(U.Offset + I) +
+                                 " of '" + Decls[U.VarId]->Name +
+                                 "' is read but never defined");
+          return false;
+        }
+  for (unsigned V = NumParams;
+       V < NumParams + N.Returns.size() && V < Decls.size(); ++V)
+    for (unsigned I = 0; I < DefOf[V].size(); ++I)
+      if (DefOf[V][I] == -2) {
+        Diags.error(Decls[V]->Loc,
+                    "return value '" + Decls[V]->Name +
+                        "' is not fully defined (element " +
+                        std::to_string(I) + " missing)");
+        return false;
+      }
+
+  // Well-foundedness: topologically sort the equation system (stable on
+  // the source order) — the "scheduling" of synchronous-dataflow
+  // front-ends. A cycle means a feedback loop, which Usuba forbids.
+  std::vector<std::set<unsigned>> Succs(N.Eqns.size());
+  std::vector<unsigned> InDegree(N.Eqns.size(), 0);
+  for (unsigned E = 0; E < N.Eqns.size(); ++E)
+    for (const ElemRange &U : EqnUses[E])
+      for (unsigned I = 0; I < U.Len; ++I) {
+        int Def = DefOf[U.VarId][U.Offset + I];
+        if (Def >= 0 && static_cast<unsigned>(Def) != E &&
+            Succs[Def].insert(E).second)
+          ++InDegree[E];
+        if (Def >= 0 && static_cast<unsigned>(Def) == E) {
+          Diags.error(N.Eqns[E].Loc,
+                      "equation depends on its own result (feedback loops "
+                      "are not expressible in Usuba)");
+          return false;
+        }
+      }
+  std::set<unsigned> Ready;
+  for (unsigned E = 0; E < N.Eqns.size(); ++E)
+    if (InDegree[E] == 0)
+      Ready.insert(E);
+  std::vector<unsigned> Order;
+  Order.reserve(N.Eqns.size());
+  while (!Ready.empty()) {
+    unsigned E = *Ready.begin();
+    Ready.erase(Ready.begin());
+    Order.push_back(E);
+    for (unsigned S : Succs[E])
+      if (--InDegree[S] == 0)
+        Ready.insert(S);
+  }
+  if (Order.size() != N.Eqns.size()) {
+    Diags.error(N.Loc, "the equations of '" + N.Name +
+                           "' contain a dependency cycle (feedback loops "
+                           "are not expressible in Usuba)");
+    return false;
+  }
+  std::vector<Equation> Sorted;
+  Sorted.reserve(N.Eqns.size());
+  for (unsigned E : Order)
+    Sorted.push_back(std::move(N.Eqns[E]));
+  N.Eqns = std::move(Sorted);
+  return true;
+}
+
+} // namespace
+
+bool usuba::checkProgram(Program &Prog, const Arch &Target,
+                         DiagnosticEngine &Diags) {
+  std::map<std::string, NodeSig> Sigs;
+  std::set<std::string> Names;
+  for (Node &N : Prog.Nodes) {
+    if (N.K != Node::Kind::Fun) {
+      Diags.error(N.Loc, "tables must be elaborated before type checking");
+      return false;
+    }
+    if (!Names.insert(N.Name).second) {
+      Diags.error(N.Loc, "redefinition of node '" + N.Name + "'");
+      return false;
+    }
+    NodeChecker Checker(N, Sigs, Target, Diags);
+    if (!Checker.run())
+      return false;
+
+    NodeSig Sig;
+    for (const VarDecl &P : N.Params)
+      Sig.Params.push_back(distill(P.Ty));
+    for (const VarDecl &R : N.Returns)
+      Sig.Returns.push_back(distill(R.Ty));
+    // Mixed-scalar returns would make call-result typing ambiguous.
+    for (size_t I = 1; I < Sig.Returns.size(); ++I)
+      if (!(Sig.Returns[I].Scalar == Sig.Returns[0].Scalar)) {
+        Diags.error(N.Loc,
+                    "node '" + N.Name + "' mixes atom types in returns");
+        return false;
+      }
+    if (Sig.Returns.empty()) {
+      Diags.error(N.Loc, "node '" + N.Name + "' returns nothing");
+      return false;
+    }
+    Sigs.emplace(N.Name, std::move(Sig));
+  }
+  return true;
+}
+
+bool usuba::slicingSupported(const Program &Prog, Dir Direction,
+                             unsigned MBits, bool Flatten,
+                             const Arch &Target, std::string *WhyNot) {
+  Program Copy = Prog.clone();
+  DiagnosticEngine Diags;
+  bool Ok = expandProgram(Copy, Diags) && elaborateTables(Copy, Diags);
+  if (Ok) {
+    monomorphizeProgram(Copy, Direction, MBits);
+    if (Flatten)
+      flattenProgram(Copy);
+    Ok = checkProgram(Copy, Target, Diags);
+  }
+  if (!Ok && WhyNot && !Diags.diagnostics().empty())
+    *WhyNot = Diags.diagnostics().front().Message;
+  return Ok;
+}

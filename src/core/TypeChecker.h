@@ -1,0 +1,50 @@
+//===- TypeChecker.h - Usuba type checking ----------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking of a monomorphized Usuba program (paper Section 2.3):
+///
+///  * every expression is typed as (scalar atom type, flattened length);
+///  * operators resolve through the Logic/Arith/Shift type classes against
+///    the target architecture (Table 1) — "well-typed programs do always
+///    vectorize";
+///  * indices and bounds are compile-time and range-checked;
+///  * every variable element is defined exactly once and every read
+///    element has a definition (dataflow well-formedness);
+///  * the equation system is well-founded: equations are topologically
+///    sorted (in place) so later stages can emit straight-line code;
+///    cycles are a type error (Usuba forbids feedback).
+///
+/// checkProgram expects tables/perms already elaborated, foralls expanded
+/// and types monomorphic (see AstPasses.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_TYPECHECKER_H
+#define USUBA_CORE_TYPECHECKER_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+#include "types/Arch.h"
+
+namespace usuba {
+
+/// Checks \p Prog against \p Target and sorts each node's equations into
+/// dependency order. Returns false (with diagnostics) on any violation.
+bool checkProgram(ast::Program &Prog, const Arch &Target,
+                  DiagnosticEngine &Diags);
+
+/// Convenience query used by the slicing-exploration tooling: report
+/// whether the (already parsed, un-monomorphized) program would type-check
+/// at the given slicing. Runs the full front-end on a clone of \p Prog.
+/// On failure, \p WhyNot receives the first diagnostic.
+bool slicingSupported(const ast::Program &Prog, Dir Direction,
+                      unsigned MBits, bool Flatten, const Arch &Target,
+                      std::string *WhyNot = nullptr);
+
+} // namespace usuba
+
+#endif // USUBA_CORE_TYPECHECKER_H

@@ -1,0 +1,236 @@
+//===- Usuba0.cpp - The monomorphic core IR -------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Usuba0.h"
+
+#include <map>
+
+using namespace usuba;
+
+const char *usuba::u0OpName(U0Op Op) {
+  switch (Op) {
+  case U0Op::Mov:
+    return "mov";
+  case U0Op::Const:
+    return "const";
+  case U0Op::Not:
+    return "not";
+  case U0Op::And:
+    return "and";
+  case U0Op::Or:
+    return "or";
+  case U0Op::Xor:
+    return "xor";
+  case U0Op::Andn:
+    return "andn";
+  case U0Op::Add:
+    return "add";
+  case U0Op::Sub:
+    return "sub";
+  case U0Op::Mul:
+    return "mul";
+  case U0Op::Lshift:
+    return "shl";
+  case U0Op::Rshift:
+    return "shr";
+  case U0Op::Lrotate:
+    return "rotl";
+  case U0Op::Rrotate:
+    return "rotr";
+  case U0Op::Shuffle:
+    return "shuffle";
+  case U0Op::Call:
+    return "call";
+  case U0Op::Barrier:
+    return "barrier";
+  }
+  return "?";
+}
+
+bool usuba::isShuffleLike(U0Op Op) { return Op == U0Op::Shuffle; }
+
+bool usuba::isArithOp(U0Op Op) {
+  return Op == U0Op::Add || Op == U0Op::Sub || Op == U0Op::Mul;
+}
+
+bool usuba::isLogicOp(U0Op Op) {
+  switch (Op) {
+  case U0Op::Mov:
+  case U0Op::Const:
+  case U0Op::Not:
+  case U0Op::And:
+  case U0Op::Or:
+  case U0Op::Xor:
+  case U0Op::Andn:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static std::string instrStr(const U0Instr &I) {
+  std::string Out;
+  for (size_t D = 0; D < I.Dests.size(); ++D) {
+    if (D != 0)
+      Out += ", ";
+    Out += "r" + std::to_string(I.Dests[D]);
+  }
+  if (!I.Dests.empty())
+    Out += " = ";
+  Out += u0OpName(I.Op);
+  if (I.Op == U0Op::Call)
+    Out += " f" + std::to_string(I.Callee);
+  for (unsigned S : I.Srcs)
+    Out += " r" + std::to_string(S);
+  if (I.Op == U0Op::Const)
+    Out += " #" + std::to_string(I.Imm);
+  if (I.Op == U0Op::Lshift || I.Op == U0Op::Rshift ||
+      I.Op == U0Op::Lrotate || I.Op == U0Op::Rrotate)
+    Out += " #" + std::to_string(I.Amount);
+  if (I.Op == U0Op::Shuffle) {
+    Out += " [";
+    for (size_t P = 0; P < I.Pattern.size(); ++P) {
+      if (P != 0)
+        Out += ",";
+      Out += std::to_string(I.Pattern[P]);
+    }
+    Out += "]";
+  }
+  return Out;
+}
+
+std::string U0Function::str() const {
+  std::string Out = "func " + Name + " (inputs " +
+                    std::to_string(NumInputs) + ", regs " +
+                    std::to_string(NumRegs) + ")\n";
+  for (const U0Instr &I : Instrs)
+    Out += "  " + instrStr(I) + "\n";
+  Out += "  ret";
+  for (unsigned R : Outputs)
+    Out += " r" + std::to_string(R);
+  Out += "\n";
+  return Out;
+}
+
+std::string U0Program::str() const {
+  std::string Out;
+  for (const U0Function &F : Funcs) {
+    Out += F.str();
+    Out += "\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+static std::string verifyFunction(const U0Program &Prog,
+                                  const U0Function &F) {
+  auto Fail = [&](const std::string &Why) {
+    return "in function '" + F.Name + "': " + Why;
+  };
+  if (F.NumInputs > F.NumRegs)
+    return Fail("more inputs than registers");
+
+  std::vector<bool> Defined(F.NumRegs, false);
+  for (unsigned I = 0; I < F.NumInputs; ++I)
+    Defined[I] = true;
+
+  for (const U0Instr &I : F.Instrs) {
+    // Operand shape per opcode.
+    size_t WantSrcs = 0, WantDests = 1;
+    switch (I.Op) {
+    case U0Op::Const:
+      WantSrcs = 0;
+      break;
+    case U0Op::Mov:
+    case U0Op::Not:
+    case U0Op::Lshift:
+    case U0Op::Rshift:
+    case U0Op::Lrotate:
+    case U0Op::Rrotate:
+    case U0Op::Shuffle:
+      WantSrcs = 1;
+      break;
+    case U0Op::And:
+    case U0Op::Or:
+    case U0Op::Xor:
+    case U0Op::Andn:
+    case U0Op::Add:
+    case U0Op::Sub:
+    case U0Op::Mul:
+      WantSrcs = 2;
+      break;
+    case U0Op::Barrier:
+      if (!I.Dests.empty() || !I.Srcs.empty())
+        return Fail("barrier with operands");
+      continue;
+    case U0Op::Call: {
+      if (I.Callee >= Prog.Funcs.size())
+        return Fail("call to out-of-range function");
+      const U0Function &Callee = Prog.Funcs[I.Callee];
+      if (&Callee == &F)
+        return Fail("recursive call");
+      if (I.Srcs.size() != Callee.NumInputs)
+        return Fail("call argument count mismatch for '" + Callee.Name +
+                    "'");
+      if (I.Dests.size() != Callee.Outputs.size())
+        return Fail("call result count mismatch for '" + Callee.Name + "'");
+      WantSrcs = I.Srcs.size();
+      WantDests = I.Dests.size();
+      break;
+    }
+    }
+    if (I.Op != U0Op::Call &&
+        (I.Srcs.size() != WantSrcs || I.Dests.size() != WantDests))
+      return Fail(std::string("bad operand count for ") + u0OpName(I.Op));
+    if (I.Op == U0Op::Shuffle && I.Pattern.empty())
+      return Fail("shuffle with empty pattern");
+
+    for (unsigned S : I.Srcs) {
+      if (S >= F.NumRegs)
+        return Fail("source register out of range");
+      if (!Defined[S])
+        return Fail("use of r" + std::to_string(S) + " before definition");
+    }
+    for (unsigned D : I.Dests) {
+      if (D >= F.NumRegs)
+        return Fail("destination register out of range");
+      if (Defined[D])
+        return Fail("second definition of r" + std::to_string(D));
+      Defined[D] = true;
+    }
+  }
+  for (unsigned R : F.Outputs) {
+    if (R >= F.NumRegs)
+      return Fail("output register out of range");
+    if (!Defined[R])
+      return Fail("undefined output register r" + std::to_string(R));
+  }
+  return "";
+}
+
+std::string usuba::verifyU0(const U0Program &Prog) {
+  if (Prog.Funcs.empty())
+    return "program has no functions";
+  if (Prog.MBits < 1)
+    return "invalid atom word size";
+  for (const U0Function &F : Prog.Funcs) {
+    std::string Err = verifyFunction(Prog, F);
+    if (!Err.empty())
+      return Err;
+  }
+  return "";
+}
+
+bool usuba::verifyConstantTime(const U0Program &Prog) {
+  // The whitelist is the whole U0Op enum: by construction the IR has no
+  // branch, no comparison producing control flow, and no memory access
+  // whatsoever (registers are virtual and indices are compile-time). The
+  // check therefore reduces to "the program is well-formed".
+  return verifyU0(Prog).empty();
+}

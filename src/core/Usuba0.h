@@ -1,0 +1,194 @@
+//===- Usuba0.h - The monomorphic core IR -----------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Usuba0, the core language of the paper (Section 3): a monomorphic
+/// dataflow graph whose nodes are the logical and arithmetic operations of
+/// the target instruction set. We represent it as three-address code over
+/// virtual registers, each register holding one *atom* (a uDm word,
+/// replicated over every slice of the target register). The single-
+/// assignment discipline of the dataflow language is kept: every register
+/// is defined exactly once, which makes the back-end passes (inlining,
+/// scheduling, interleaving, copy propagation) simple rewrites.
+///
+/// Key property (the paper's constant-time argument): the instruction set
+/// below contains no branches and no memory accesses — a kernel is a pure
+/// straight-line function of its inputs, so it is constant-time by
+/// construction. verifyConstantTime() re-checks this structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_USUBA0_H
+#define USUBA_CORE_USUBA0_H
+
+#include "types/Arch.h"
+#include "types/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace usuba {
+
+/// Usuba0 opcodes. Element semantics (m = atom word size, direction from
+/// the enclosing program):
+///  - logic ops act bitwise on the whole register;
+///  - arith ops act per m-bit element, vertically;
+///  - vertical shifts/rotates act per m-bit element (value semantics);
+///  - horizontal shifts/rotates/shuffles permute the m packed elements an
+///    atom occupies (positions are *vector indices*: position 0 is the
+///    atom's most significant bit).
+enum class U0Op : uint8_t {
+  Mov,     ///< dest = src
+  Const,   ///< dest = immediate atom value, broadcast to every slice
+  Not,     ///< dest = ~a
+  And,     ///< dest = a & b
+  Or,      ///< dest = a | b
+  Xor,     ///< dest = a ^ b
+  Andn,    ///< dest = ~a & b (vandnps-style; produced by peepholes)
+  Add,     ///< dest = a + b (mod 2^m, per element)
+  Sub,     ///< dest = a - b
+  Mul,     ///< dest = a * b
+  Lshift,  ///< dest = a << k
+  Rshift,  ///< dest = a >> k (logical)
+  Lrotate, ///< dest = a <<< k
+  Rrotate, ///< dest = a >>> k
+  Shuffle, ///< dest bit(position) j = a bit Pattern[j] (H direction)
+  Call,    ///< dests... = callee(srcs...)
+  Barrier, ///< scheduling fence (models not unrolling round loops)
+};
+
+const char *u0OpName(U0Op Op);
+
+/// True for opcodes whose cost model / port assignment is "shuffle unit"
+/// (single execution port on Skylake — see the m-slice scheduler).
+bool isShuffleLike(U0Op Op);
+/// True for packed-arithmetic opcodes.
+bool isArithOp(U0Op Op);
+/// True for plain bitwise-logic opcodes (including Mov and Const).
+bool isLogicOp(U0Op Op);
+
+/// One Usuba0 instruction. Register operands index into the enclosing
+/// function's register space.
+struct U0Instr {
+  U0Op Op = U0Op::Mov;
+  std::vector<unsigned> Dests; ///< 1 for all ops but Call/Barrier
+  std::vector<unsigned> Srcs;
+  unsigned Amount = 0;           ///< shifts/rotates
+  uint64_t Imm = 0;              ///< Const
+  unsigned Callee = 0;           ///< Call: function index in the program
+  std::vector<uint8_t> Pattern;  ///< Shuffle positions (size = m)
+
+  static U0Instr unary(U0Op Op, unsigned Dest, unsigned Src) {
+    U0Instr I;
+    I.Op = Op;
+    I.Dests = {Dest};
+    I.Srcs = {Src};
+    return I;
+  }
+  static U0Instr binary(U0Op Op, unsigned Dest, unsigned A, unsigned B) {
+    U0Instr I;
+    I.Op = Op;
+    I.Dests = {Dest};
+    I.Srcs = {A, B};
+    return I;
+  }
+  static U0Instr constant(unsigned Dest, uint64_t Imm) {
+    U0Instr I;
+    I.Op = U0Op::Const;
+    I.Dests = {Dest};
+    I.Imm = Imm;
+    return I;
+  }
+  static U0Instr shift(U0Op Op, unsigned Dest, unsigned Src,
+                       unsigned Amount) {
+    U0Instr I = unary(Op, Dest, Src);
+    I.Amount = Amount;
+    return I;
+  }
+  static U0Instr shuffle(unsigned Dest, unsigned Src,
+                         std::vector<uint8_t> Pattern) {
+    U0Instr I = unary(U0Op::Shuffle, Dest, Src);
+    I.Pattern = std::move(Pattern);
+    return I;
+  }
+  static U0Instr call(unsigned Callee, std::vector<unsigned> Dests,
+                      std::vector<unsigned> Srcs) {
+    U0Instr I;
+    I.Op = U0Op::Call;
+    I.Callee = Callee;
+    I.Dests = std::move(Dests);
+    I.Srcs = std::move(Srcs);
+    return I;
+  }
+  static U0Instr barrier() {
+    U0Instr I;
+    I.Op = U0Op::Barrier;
+    return I;
+  }
+};
+
+/// An Usuba0 function: straight-line single-assignment code from input
+/// registers to output registers.
+struct U0Function {
+  std::string Name;
+  unsigned NumRegs = 0;
+  /// Input registers, in ABI order (always 0..NumInputs-1).
+  unsigned NumInputs = 0;
+  /// Output registers (register ids; defined by the body or inputs).
+  std::vector<unsigned> Outputs;
+  std::vector<U0Instr> Instrs;
+
+  unsigned addReg() { return NumRegs++; }
+
+  /// Renders the function as readable text (for tests and -dump-u0).
+  std::string str() const;
+};
+
+/// A monomorphic Usuba0 program: the functions (entry last), the slicing
+/// it was monomorphized to and the architecture it targets.
+struct U0Program {
+  std::vector<U0Function> Funcs;
+  Dir Direction = Dir::Vert;
+  unsigned MBits = 1; ///< atom word size; 1 = bitslicing
+  const Arch *Target = nullptr;
+  /// Number of independent cipher instances statically interleaved into
+  /// the entry function (Section 3.2); the runtime feeds this many blocks
+  /// of inputs per kernel invocation.
+  unsigned InterleaveFactor = 1;
+
+  U0Function &entry() {
+    assert(!Funcs.empty() && "empty program");
+    return Funcs.back();
+  }
+  const U0Function &entry() const {
+    assert(!Funcs.empty() && "empty program");
+    return Funcs.back();
+  }
+  unsigned entryIndex() const {
+    return static_cast<unsigned>(Funcs.size()) - 1;
+  }
+
+  std::string str() const;
+};
+
+/// Structural sanity check: operand counts per opcode, register indices in
+/// range, single assignment, no use before definition, outputs defined,
+/// call signatures consistent. Returns an empty string when the program is
+/// well-formed, otherwise a description of the first violation.
+std::string verifyU0(const U0Program &Prog);
+
+/// The constant-time-by-construction check: every instruction belongs to
+/// the data-independent whitelist above (no branches, no indexed loads
+/// exist in the IR at all). Returns true and never fails for programs
+/// produced by this pipeline; exposed so users embedding hand-built IR get
+/// the same guarantee.
+bool verifyConstantTime(const U0Program &Prog);
+
+} // namespace usuba
+
+#endif // USUBA_CORE_USUBA0_H

@@ -1,0 +1,372 @@
+//===- Ast.cpp - Usuba abstract syntax ------------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+using namespace usuba;
+using namespace usuba::ast;
+
+//===----------------------------------------------------------------------===//
+// ConstExpr
+//===----------------------------------------------------------------------===//
+
+ConstExpr ConstExpr::makeInt(int64_t Value, SourceLoc Loc) {
+  ConstExpr E;
+  E.K = Kind::Int;
+  E.Value = Value;
+  E.Loc = Loc;
+  return E;
+}
+
+ConstExpr ConstExpr::makeVar(std::string Name, SourceLoc Loc) {
+  ConstExpr E;
+  E.K = Kind::Var;
+  E.Name = std::move(Name);
+  E.Loc = Loc;
+  return E;
+}
+
+ConstExpr ConstExpr::makeBin(Kind K, ConstExpr Lhs, ConstExpr Rhs,
+                             SourceLoc Loc) {
+  assert(K != Kind::Int && K != Kind::Var && "not a binary kind");
+  ConstExpr E;
+  E.K = K;
+  E.Lhs = std::make_unique<ConstExpr>(std::move(Lhs));
+  E.Rhs = std::make_unique<ConstExpr>(std::move(Rhs));
+  E.Loc = Loc;
+  return E;
+}
+
+ConstExpr ConstExpr::clone() const {
+  switch (K) {
+  case Kind::Int:
+    return makeInt(Value, Loc);
+  case Kind::Var:
+    return makeVar(Name, Loc);
+  default:
+    return makeBin(K, Lhs->clone(), Rhs->clone(), Loc);
+  }
+}
+
+int64_t ConstExpr::evaluate(const std::map<std::string, int64_t> &Env,
+                            bool &Ok) const {
+  switch (K) {
+  case Kind::Int:
+    return Value;
+  case Kind::Var: {
+    auto It = Env.find(Name);
+    assert(It != Env.end() && "unbound forall index (checked earlier)");
+    return It->second;
+  }
+  case Kind::Add:
+    return Lhs->evaluate(Env, Ok) + Rhs->evaluate(Env, Ok);
+  case Kind::Sub:
+    return Lhs->evaluate(Env, Ok) - Rhs->evaluate(Env, Ok);
+  case Kind::Mul:
+    return Lhs->evaluate(Env, Ok) * Rhs->evaluate(Env, Ok);
+  case Kind::Div: {
+    int64_t L = Lhs->evaluate(Env, Ok);
+    int64_t R = Rhs->evaluate(Env, Ok);
+    if (R == 0) {
+      Ok = false;
+      return 0;
+    }
+    return L / R;
+  }
+  case Kind::Mod: {
+    int64_t L = Lhs->evaluate(Env, Ok);
+    int64_t R = Rhs->evaluate(Env, Ok);
+    if (R == 0) {
+      Ok = false;
+      return 0;
+    }
+    return L % R;
+  }
+  }
+  return 0;
+}
+
+std::string ConstExpr::str() const {
+  switch (K) {
+  case Kind::Int:
+    return std::to_string(Value);
+  case Kind::Var:
+    return Name;
+  case Kind::Add:
+    return "(" + Lhs->str() + " + " + Rhs->str() + ")";
+  case Kind::Sub:
+    return "(" + Lhs->str() + " - " + Rhs->str() + ")";
+  case Kind::Mul:
+    return "(" + Lhs->str() + " * " + Rhs->str() + ")";
+  case Kind::Div:
+    return "(" + Lhs->str() + " / " + Rhs->str() + ")";
+  case Kind::Mod:
+    return "(" + Lhs->str() + " % " + Rhs->str() + ")";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Expr
+//===----------------------------------------------------------------------===//
+
+const char *usuba::ast::binopName(BinopKind K) {
+  switch (K) {
+  case BinopKind::And:
+    return "&";
+  case BinopKind::Or:
+    return "|";
+  case BinopKind::Xor:
+    return "^";
+  case BinopKind::Andn:
+    return "&~";
+  case BinopKind::Add:
+    return "+";
+  case BinopKind::Sub:
+    return "-";
+  case BinopKind::Mul:
+    return "*";
+  }
+  return "?";
+}
+
+const char *usuba::ast::shiftName(ShiftKind K) {
+  switch (K) {
+  case ShiftKind::Lshift:
+    return "<<";
+  case ShiftKind::Rshift:
+    return ">>";
+  case ShiftKind::Lrotate:
+    return "<<<";
+  case ShiftKind::Rrotate:
+    return ">>>";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::makeVar(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Var, Loc);
+  E->Name = std::move(Name);
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeInt(uint64_t Value, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::IntLit, Loc);
+  E->IntValue = Value;
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeIndex(std::unique_ptr<Expr> Base,
+                                      ConstExpr Index, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Index, Loc);
+  E->Base = std::move(Base);
+  E->Index0 = std::make_unique<ConstExpr>(std::move(Index));
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeRange(std::unique_ptr<Expr> Base,
+                                      ConstExpr Lo, ConstExpr Hi,
+                                      SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Range, Loc);
+  E->Base = std::move(Base);
+  E->Index0 = std::make_unique<ConstExpr>(std::move(Lo));
+  E->Index1 = std::make_unique<ConstExpr>(std::move(Hi));
+  return E;
+}
+
+std::unique_ptr<Expr>
+Expr::makeTuple(std::vector<std::unique_ptr<Expr>> Elems, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Tuple, Loc);
+  E->Elems = std::move(Elems);
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeNot(std::unique_ptr<Expr> Operand,
+                                    SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Not, Loc);
+  E->Base = std::move(Operand);
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeBinop(BinopKind K,
+                                      std::unique_ptr<Expr> Lhs,
+                                      std::unique_ptr<Expr> Rhs,
+                                      SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Binop, Loc);
+  E->Binop = K;
+  E->Base = std::move(Lhs);
+  E->Rhs = std::move(Rhs);
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeShift(ShiftKind K,
+                                      std::unique_ptr<Expr> Operand,
+                                      ConstExpr Amount, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Shift, Loc);
+  E->Shift = K;
+  E->Base = std::move(Operand);
+  E->Amount = std::make_unique<ConstExpr>(std::move(Amount));
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeCall(std::string Callee,
+                                     std::vector<std::unique_ptr<Expr>> Args,
+                                     SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Call, Loc);
+  E->Name = std::move(Callee);
+  E->Elems = std::move(Args);
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::makeShuffle(std::unique_ptr<Expr> Operand,
+                                        std::vector<unsigned> Pattern,
+                                        SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(Kind::Shuffle, Loc);
+  E->Base = std::move(Operand);
+  E->Pattern = std::move(Pattern);
+  return E;
+}
+
+std::unique_ptr<Expr> Expr::clone() const {
+  auto E = std::make_unique<Expr>(K, Loc);
+  E->Name = Name;
+  E->IntValue = IntValue;
+  if (Base)
+    E->Base = Base->clone();
+  if (Rhs)
+    E->Rhs = Rhs->clone();
+  if (Index0)
+    E->Index0 = std::make_unique<ConstExpr>(Index0->clone());
+  if (Index1)
+    E->Index1 = std::make_unique<ConstExpr>(Index1->clone());
+  for (const auto &Elem : Elems)
+    E->Elems.push_back(Elem->clone());
+  E->Binop = Binop;
+  E->Shift = Shift;
+  if (Amount)
+    E->Amount = std::make_unique<ConstExpr>(Amount->clone());
+  E->Pattern = Pattern;
+  return E;
+}
+
+std::string Expr::str() const {
+  switch (K) {
+  case Kind::Var:
+    return Name;
+  case Kind::IntLit:
+    return std::to_string(IntValue);
+  case Kind::Index:
+    return Base->str() + "[" + Index0->str() + "]";
+  case Kind::Range:
+    return Base->str() + "[" + Index0->str() + ".." + Index1->str() + "]";
+  case Kind::Tuple: {
+    std::string Out = "(";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Elems[I]->str();
+    }
+    return Out + ")";
+  }
+  case Kind::Not:
+    return "~" + Base->str();
+  case Kind::Binop:
+    return "(" + Base->str() + " " + binopName(Binop) + " " + Rhs->str() +
+           ")";
+  case Kind::Shift:
+    return "(" + Base->str() + " " + shiftName(Shift) + " " +
+           Amount->str() + ")";
+  case Kind::Call: {
+    std::string Out = Name + "(";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Elems[I]->str();
+    }
+    return Out + ")";
+  }
+  case Kind::Shuffle: {
+    std::string Out = "Shuffle(" + Base->str() + ", [";
+    for (size_t I = 0; I < Pattern.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += std::to_string(Pattern[I]);
+    }
+    return Out + "])";
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// LValue / Equation
+//===----------------------------------------------------------------------===//
+
+LValue LValue::clone() const {
+  LValue L;
+  L.Name = Name;
+  L.Loc = Loc;
+  for (const Access &A : Accesses) {
+    Access Copy;
+    Copy.IsRange = A.IsRange;
+    Copy.Index = A.Index.clone();
+    if (A.IsRange)
+      Copy.Hi = A.Hi.clone();
+    L.Accesses.push_back(std::move(Copy));
+  }
+  return L;
+}
+
+std::string LValue::str() const {
+  std::string Out = Name;
+  for (const Access &A : Accesses) {
+    Out += "[" + A.Index.str();
+    if (A.IsRange)
+      Out += ".." + A.Hi.str();
+    Out += "]";
+  }
+  return Out;
+}
+
+Node Node::clone() const {
+  Node N;
+  N.K = K;
+  N.Name = Name;
+  N.Loc = Loc;
+  N.Params = Params;
+  N.Returns = Returns;
+  N.Vars = Vars;
+  for (const Equation &E : Eqns)
+    N.Eqns.push_back(E.clone());
+  N.TableEntries = TableEntries;
+  N.PermIndices = PermIndices;
+  return N;
+}
+
+Program Program::clone() const {
+  Program P;
+  for (const Node &N : Nodes)
+    P.Nodes.push_back(N.clone());
+  return P;
+}
+
+Equation Equation::clone() const {
+  Equation E;
+  E.K = K;
+  E.Loc = Loc;
+  for (const LValue &L : Lhs)
+    E.Lhs.push_back(L.clone());
+  if (Rhs)
+    E.Rhs = Rhs->clone();
+  E.Imperative = Imperative;
+  E.IterGroup = IterGroup;
+  E.IndexName = IndexName;
+  E.Lo = Lo.clone();
+  E.Hi = Hi.clone();
+  for (const Equation &B : Body)
+    E.Body.push_back(B.clone());
+  return E;
+}

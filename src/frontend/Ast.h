@@ -1,0 +1,249 @@
+//===- Ast.h - Usuba abstract syntax ----------------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of the Usuba surface language (paper Section 2.2):
+/// programs are ordered sets of nodes; a node is an unordered system of
+/// equations over vectors of words; tables and permutations are syntactic
+/// sugar elaborated to Boolean circuits. AST nodes use a tagged-kind
+/// representation with asserting accessors rather than a class hierarchy:
+/// the grammar is small and closed, and passes dispatch on every kind
+/// anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_FRONTEND_AST_H
+#define USUBA_FRONTEND_AST_H
+
+#include "support/SourceLoc.h"
+#include "types/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace usuba {
+namespace ast {
+
+//===----------------------------------------------------------------------===//
+// Compile-time integer expressions
+//===----------------------------------------------------------------------===//
+
+/// Arithmetic over compile-time integers: vector indices, `forall` bounds
+/// and shift amounts. Variables refer to enclosing `forall` indices.
+struct ConstExpr {
+  enum class Kind : uint8_t { Int, Var, Add, Sub, Mul, Div, Mod };
+
+  Kind K = Kind::Int;
+  SourceLoc Loc;
+  int64_t Value = 0;                       ///< Int
+  std::string Name;                        ///< Var
+  std::unique_ptr<ConstExpr> Lhs, Rhs;     ///< binary kinds
+
+  static ConstExpr makeInt(int64_t Value, SourceLoc Loc = {});
+  static ConstExpr makeVar(std::string Name, SourceLoc Loc = {});
+  static ConstExpr makeBin(Kind K, ConstExpr Lhs, ConstExpr Rhs,
+                           SourceLoc Loc = {});
+
+  ConstExpr() = default;
+  ConstExpr(ConstExpr &&) = default;
+  ConstExpr &operator=(ConstExpr &&) = default;
+
+  ConstExpr clone() const;
+
+  /// Evaluates under \p Env (forall indices). Reports division by zero via
+  /// \p Ok. Unknown variables assert: scoping is checked beforehand.
+  int64_t evaluate(const std::map<std::string, int64_t> &Env,
+                   bool &Ok) const;
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary word-level operators (the Logic and Arith classes).
+enum class BinopKind : uint8_t { And, Or, Xor, Andn, Add, Sub, Mul };
+
+/// Shift/rotate operators (the Shift class).
+enum class ShiftKind : uint8_t { Lshift, Rshift, Lrotate, Rrotate };
+
+const char *binopName(BinopKind K);
+const char *shiftName(ShiftKind K);
+
+/// A word-level expression.
+struct Expr {
+  enum class Kind : uint8_t {
+    Var,     ///< x
+    IntLit,  ///< a word constant, broadcast to every slice
+    Index,   ///< e[i] (single compile-time index)
+    Range,   ///< e[lo..hi] (inclusive bounds)
+    Tuple,   ///< (e1, ..., en) — flattened vector concatenation
+    Not,     ///< ~e
+    Binop,   ///< e1 op e2
+    Shift,   ///< e << k, e >>> k, ... (k compile-time)
+    Call,    ///< f(e1, ..., en)
+    Shuffle, ///< Shuffle(e, [p0, ..., pm-1]) — atom bit permutation
+  };
+
+  Kind K;
+  SourceLoc Loc;
+
+  std::string Name;                        ///< Var, Call
+  uint64_t IntValue = 0;                   ///< IntLit
+  std::unique_ptr<Expr> Base;              ///< Index, Range, Not, Shift,
+                                           ///< Shuffle, Binop lhs
+  std::unique_ptr<Expr> Rhs;               ///< Binop rhs
+  std::unique_ptr<ConstExpr> Index0;       ///< Index, Range lo
+  std::unique_ptr<ConstExpr> Index1;       ///< Range hi
+  std::vector<std::unique_ptr<Expr>> Elems; ///< Tuple, Call args
+  BinopKind Binop = BinopKind::And;        ///< Binop
+  ShiftKind Shift = ShiftKind::Lshift;     ///< Shift
+  std::unique_ptr<ConstExpr> Amount;       ///< Shift amount
+  std::vector<unsigned> Pattern;           ///< Shuffle permutation
+
+  explicit Expr(Kind K, SourceLoc Loc = {}) : K(K), Loc(Loc) {}
+
+  static std::unique_ptr<Expr> makeVar(std::string Name, SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeInt(uint64_t Value, SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeIndex(std::unique_ptr<Expr> Base,
+                                         ConstExpr Index,
+                                         SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeRange(std::unique_ptr<Expr> Base,
+                                         ConstExpr Lo, ConstExpr Hi,
+                                         SourceLoc Loc = {});
+  static std::unique_ptr<Expr>
+  makeTuple(std::vector<std::unique_ptr<Expr>> Elems, SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeNot(std::unique_ptr<Expr> Operand,
+                                       SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeBinop(BinopKind K,
+                                         std::unique_ptr<Expr> Lhs,
+                                         std::unique_ptr<Expr> Rhs,
+                                         SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeShift(ShiftKind K,
+                                         std::unique_ptr<Expr> Operand,
+                                         ConstExpr Amount,
+                                         SourceLoc Loc = {});
+  static std::unique_ptr<Expr>
+  makeCall(std::string Callee, std::vector<std::unique_ptr<Expr>> Args,
+           SourceLoc Loc = {});
+  static std::unique_ptr<Expr> makeShuffle(std::unique_ptr<Expr> Operand,
+                                           std::vector<unsigned> Pattern,
+                                           SourceLoc Loc = {});
+
+  std::unique_ptr<Expr> clone() const;
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Equations
+//===----------------------------------------------------------------------===//
+
+/// Left-hand side of an equation: a variable with a (possibly empty) chain
+/// of index/range accesses, e.g. `out`, `round[i+1]`, `state[0..3]`.
+struct LValue {
+  struct Access {
+    bool IsRange = false;
+    ConstExpr Index; ///< index, or range lower bound
+    ConstExpr Hi;    ///< range upper bound (inclusive)
+  };
+
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<Access> Accesses;
+
+  LValue clone() const;
+  std::string str() const;
+};
+
+/// An equation: either a (multi-)assignment or a `forall` group.
+struct Equation {
+  enum class Kind : uint8_t { Assign, ForAll };
+
+  Kind K = Kind::Assign;
+  SourceLoc Loc;
+
+  // Assign.
+  std::vector<LValue> Lhs;
+  std::unique_ptr<Expr> Rhs;
+  /// `x := e` imperative-assignment sugar: desugared by normalization into
+  /// SSA by introducing a fresh name.
+  bool Imperative = false;
+  /// Which top-level `forall` iteration produced this equation (0 when the
+  /// equation is outside any loop). Set by forall expansion; used to model
+  /// "no unrolling" as scheduling barriers between rounds.
+  unsigned IterGroup = 0;
+
+  // ForAll.
+  std::string IndexName;
+  ConstExpr Lo, Hi; ///< inclusive bounds
+  std::vector<Equation> Body;
+
+  Equation() = default;
+  Equation(Equation &&) = default;
+  Equation &operator=(Equation &&) = default;
+
+  Equation clone() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A typed variable declaration (parameter, return or local).
+struct VarDecl {
+  std::string Name;
+  Type Ty = Type::nat();
+  SourceLoc Loc;
+};
+
+/// A top-level definition: a computational node, a lookup table or a
+/// permutation. Tables/permutations carry their raw data and are elaborated
+/// into circuit nodes by the front-end.
+struct Node {
+  enum class Kind : uint8_t { Fun, Table, Perm };
+
+  Kind K = Kind::Fun;
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<VarDecl> Params;
+  std::vector<VarDecl> Returns;
+  std::vector<VarDecl> Vars;          ///< Fun only
+  std::vector<Equation> Eqns;         ///< Fun only
+  std::vector<uint64_t> TableEntries; ///< Table only: 2^inBits outputs
+  std::vector<unsigned> PermIndices;  ///< Perm only: 1-based source bits
+
+  Node clone() const;
+};
+
+/// A whole program: a totally ordered set of nodes, the last of which is
+/// the main entry point (paper Section 2.2).
+struct Program {
+  std::vector<Node> Nodes;
+
+  const Node *findNode(const std::string &Name) const {
+    for (const Node &N : Nodes)
+      if (N.Name == Name)
+        return &N;
+    return nullptr;
+  }
+  const Node &entry() const {
+    assert(!Nodes.empty() && "empty program has no entry node");
+    return Nodes.back();
+  }
+
+  Program clone() const;
+};
+
+} // namespace ast
+} // namespace usuba
+
+#endif // USUBA_FRONTEND_AST_H

@@ -1,0 +1,145 @@
+//===- AstPrinter.cpp - Printing programs back to Usuba syntax ------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/AstPrinter.h"
+
+using namespace usuba;
+using namespace usuba::ast;
+
+std::string usuba::printType(const Type &T) {
+  if (T.isNat())
+    return "nat";
+  // Collect vector dimensions from the outside in.
+  std::vector<unsigned> Dims;
+  const Type *Cur = &T;
+  while (Cur->isVector()) {
+    Dims.push_back(Cur->length());
+    Cur = &Cur->elementType();
+  }
+  // Innermost base name, possibly absorbing the innermost dimension into
+  /// the `b<n>` / `v<n>` / `u<m>x<n>` abbreviations.
+  std::string Base;
+  WordSize W = Cur->wordSize();
+  Dir D = Cur->direction();
+  unsigned Absorbed = 0;
+  if (W.IsParam && D == Dir::Param) {
+    if (!Dims.empty()) {
+      Base = "v" + std::to_string(Dims.back());
+      Absorbed = 1;
+    } else {
+      Base = "v1";
+    }
+  } else if (!W.IsParam && W.Bits == 1 && D == Dir::Param) {
+    if (!Dims.empty()) {
+      Base = "b" + std::to_string(Dims.back());
+      Absorbed = 1;
+    } else {
+      Base = "b1";
+    }
+  } else {
+    Base = "u";
+    if (D == Dir::Vert)
+      Base += "V";
+    else if (D == Dir::Horiz)
+      Base += "H";
+    Base += std::to_string(W.Bits);
+    if (!Dims.empty()) {
+      Base += "x" + std::to_string(Dims.back());
+      Absorbed = 1;
+    }
+  }
+  std::string Out = Base;
+  for (size_t I = 0; I + Absorbed < Dims.size(); ++I)
+    Out += "[" + std::to_string(Dims[I]) + "]";
+  return Out;
+}
+
+namespace {
+
+std::string printDecls(const std::vector<VarDecl> &Decls) {
+  std::string Out;
+  for (size_t I = 0; I < Decls.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += Decls[I].Name + ":" + printType(Decls[I].Ty);
+  }
+  return Out;
+}
+
+void printEquations(const std::vector<Equation> &Eqns, unsigned Indent,
+                    std::string &Out) {
+  std::string Pad(Indent, ' ');
+  for (size_t I = 0; I < Eqns.size(); ++I) {
+    const Equation &E = Eqns[I];
+    if (E.K == Equation::Kind::ForAll) {
+      Out += Pad + "forall " + E.IndexName + " in [" + E.Lo.str() + ", " +
+             E.Hi.str() + "] {\n";
+      printEquations(E.Body, Indent + 2, Out);
+      Out += Pad + "}";
+    } else {
+      Out += Pad;
+      if (E.Lhs.size() > 1)
+        Out += "(";
+      for (size_t L = 0; L < E.Lhs.size(); ++L) {
+        if (L != 0)
+          Out += ", ";
+        Out += E.Lhs[L].str();
+      }
+      if (E.Lhs.size() > 1)
+        Out += ")";
+      Out += E.Imperative ? " := " : " = ";
+      Out += E.Rhs->str();
+    }
+    Out += I + 1 < Eqns.size() ? ";\n" : "\n";
+  }
+}
+
+std::string printNumbers(const std::vector<uint64_t> &Values) {
+  std::string Out = "{\n  ";
+  for (size_t I = 0; I < Values.size(); ++I) {
+    Out += std::to_string(Values[I]);
+    if (I + 1 != Values.size())
+      Out += I % 16 == 15 ? ",\n  " : ", ";
+  }
+  return Out + "\n}";
+}
+
+} // namespace
+
+std::string usuba::printNode(const Node &N) {
+  switch (N.K) {
+  case Node::Kind::Table:
+    return "table " + N.Name + " (" + printDecls(N.Params) +
+           ") returns (" + printDecls(N.Returns) + ") " +
+           printNumbers(N.TableEntries) + "\n";
+  case Node::Kind::Perm: {
+    std::vector<uint64_t> Values(N.PermIndices.begin(),
+                                 N.PermIndices.end());
+    return "perm " + N.Name + " (" + printDecls(N.Params) + ") returns (" +
+           printDecls(N.Returns) + ") " + printNumbers(Values) + "\n";
+  }
+  case Node::Kind::Fun: {
+    std::string Out = "node " + N.Name + " (" + printDecls(N.Params) +
+                      ") returns (" + printDecls(N.Returns) + ")\n";
+    if (!N.Vars.empty())
+      Out += "vars " + printDecls(N.Vars) + "\n";
+    Out += "let\n";
+    printEquations(N.Eqns, 2, Out);
+    Out += "tel\n";
+    return Out;
+  }
+  }
+  return "";
+}
+
+std::string usuba::printProgram(const Program &Prog) {
+  std::string Out;
+  for (const Node &N : Prog.Nodes) {
+    Out += printNode(N);
+    Out += "\n";
+  }
+  return Out;
+}

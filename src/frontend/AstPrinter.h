@@ -1,0 +1,32 @@
+//===- AstPrinter.h - Printing programs back to Usuba syntax ----*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back into parseable Usuba surface syntax. Used by the
+/// usubac CLI (-dump-ast, e.g. to inspect forall expansion or table
+/// elaboration) and by the parser round-trip tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_FRONTEND_ASTPRINTER_H
+#define USUBA_FRONTEND_ASTPRINTER_H
+
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace usuba {
+
+/// Renders \p T in surface syntax ("u16x4[26]", "v4", "b64", "uV32"...).
+std::string printType(const Type &T);
+
+/// Renders one definition / a whole program as parseable source.
+std::string printNode(const ast::Node &N);
+std::string printProgram(const ast::Program &Prog);
+
+} // namespace usuba
+
+#endif // USUBA_FRONTEND_ASTPRINTER_H

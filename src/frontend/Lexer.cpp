@@ -1,0 +1,309 @@
+//===- Lexer.cpp - Usuba lexer --------------------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+
+using namespace usuba;
+
+const char *usuba::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::KwNode:
+    return "'node'";
+  case TokenKind::KwTable:
+    return "'table'";
+  case TokenKind::KwPerm:
+    return "'perm'";
+  case TokenKind::KwReturns:
+    return "'returns'";
+  case TokenKind::KwVars:
+    return "'vars'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwTel:
+    return "'tel'";
+  case TokenKind::KwForall:
+    return "'forall'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwShuffle:
+    return "'Shuffle'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::ColonEq:
+    return "':='";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::Rotl:
+    return "'<<<'";
+  case TokenKind::Rotr:
+    return "'>>>'";
+  }
+  return "token";
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '(' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      unsigned Depth = 1;
+      while (!atEnd() && Depth != 0) {
+        if (peek() == '(' && peek(1) == '*') {
+          advance();
+          advance();
+          ++Depth;
+        } else if (peek() == '*' && peek(1) == ')') {
+          advance();
+          advance();
+          --Depth;
+        } else {
+          advance();
+        }
+      }
+      if (Depth != 0)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+static TokenKind keywordKind(const std::string &Text) {
+  if (Text == "node")
+    return TokenKind::KwNode;
+  if (Text == "table")
+    return TokenKind::KwTable;
+  if (Text == "perm")
+    return TokenKind::KwPerm;
+  if (Text == "returns")
+    return TokenKind::KwReturns;
+  if (Text == "vars")
+    return TokenKind::KwVars;
+  if (Text == "let")
+    return TokenKind::KwLet;
+  if (Text == "tel")
+    return TokenKind::KwTel;
+  if (Text == "forall")
+    return TokenKind::KwForall;
+  if (Text == "in")
+    return TokenKind::KwIn;
+  if (Text == "Shuffle")
+    return TokenKind::KwShuffle;
+  return TokenKind::Ident;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc Start = loc();
+  if (atEnd())
+    return makeToken(TokenKind::Eof, Start);
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_' || peek() == '\''))
+      Text += advance();
+    TokenKind Kind = keywordKind(Text);
+    return makeToken(Kind, Start, std::move(Text));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text(1, C);
+    bool Hex = false;
+    if (C == '0' && (peek() == 'x' || peek() == 'X')) {
+      Hex = true;
+      Text += advance();
+      while (!atEnd() &&
+             std::isxdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+      if (Text.size() == 2) {
+        Diags.error(Start, "expected hexadecimal digits after '0x'");
+        return makeToken(TokenKind::Error, Start, std::move(Text));
+      }
+    } else {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+    Token T = makeToken(TokenKind::IntLit, Start, Text);
+    T.IntValue = std::strtoull(Text.c_str(), nullptr, Hex ? 16 : 10);
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start);
+  case ')':
+    return makeToken(TokenKind::RParen, Start);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start);
+  case ',':
+    return makeToken(TokenKind::Comma, Start);
+  case ';':
+    return makeToken(TokenKind::Semi, Start);
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::ColonEq, Start);
+    }
+    return makeToken(TokenKind::Colon, Start);
+  case '.':
+    if (peek() == '.') {
+      advance();
+      return makeToken(TokenKind::DotDot, Start);
+    }
+    break;
+  case '=':
+    return makeToken(TokenKind::Eq, Start);
+  case '&':
+    return makeToken(TokenKind::Amp, Start);
+  case '|':
+    return makeToken(TokenKind::Pipe, Start);
+  case '^':
+    return makeToken(TokenKind::Caret, Start);
+  case '~':
+    return makeToken(TokenKind::Tilde, Start);
+  case '+':
+    return makeToken(TokenKind::Plus, Start);
+  case '-':
+    return makeToken(TokenKind::Minus, Start);
+  case '*':
+    return makeToken(TokenKind::Star, Start);
+  case '/':
+    return makeToken(TokenKind::Slash, Start);
+  case '%':
+    return makeToken(TokenKind::Percent, Start);
+  case '<':
+    if (peek() == '<' && peek(1) == '<') {
+      advance();
+      advance();
+      return makeToken(TokenKind::Rotl, Start);
+    }
+    if (peek() == '<') {
+      advance();
+      return makeToken(TokenKind::Shl, Start);
+    }
+    break;
+  case '>':
+    if (peek() == '>' && peek(1) == '>') {
+      advance();
+      advance();
+      return makeToken(TokenKind::Rotr, Start);
+    }
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Shr, Start);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Start, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Start, std::string(1, C));
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,53 @@
+//===- Lexer.h - Usuba lexer ------------------------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Usuba surface syntax. Comments use `//` to
+/// end of line or `(* ... *)` blocks (the concrete syntax of the public
+/// Usuba implementation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_FRONTEND_LEXER_H
+#define USUBA_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace usuba {
+
+/// Scans an Usuba source buffer into a token vector (terminated by Eof).
+/// Lexical errors are reported to \p Diags and produce Error tokens.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the whole buffer. The result always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text = "");
+  void skipWhitespaceAndComments();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc loc() const { return SourceLoc(Line, Column); }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace usuba
+
+#endif // USUBA_FRONTEND_LEXER_H

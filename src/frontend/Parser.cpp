@@ -1,0 +1,737 @@
+//===- Parser.cpp - Usuba parser ------------------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace usuba;
+using namespace usuba::ast;
+using detail::Parser;
+
+//===----------------------------------------------------------------------===//
+// Type names
+//===----------------------------------------------------------------------===//
+
+/// Parses `u[V|H]<m>[x<n>]`, `b<n>`, `v<n>` or `nat` (see Ast.h for the
+/// abbreviation conventions).
+std::optional<Type> usuba::parseTypeName(const std::string &Text) {
+  if (Text == "nat")
+    return Type::nat();
+  if (Text.empty())
+    return std::nullopt;
+
+  size_t Pos = 1;
+  auto ParseNumber = [&](unsigned &Out) -> bool {
+    if (Pos >= Text.size() ||
+        !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return false;
+    unsigned Value = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      Value = Value * 10 + static_cast<unsigned>(Text[Pos] - '0');
+      ++Pos;
+    }
+    Out = Value;
+    return Value >= 1;
+  };
+
+  char First = Text[0];
+  if (First == 'b' || First == 'v') {
+    // b<n> = u'D1[n];  v<n> = u'D'm[n]  (n = 1 yields the bare atom).
+    unsigned Len = 0;
+    if (!ParseNumber(Len) || Pos != Text.size())
+      return std::nullopt;
+    Type Atom = First == 'b'
+                    ? Type::base(Dir::Param, WordSize::fixed(1))
+                    : Type::base(Dir::Param, WordSize::param());
+    return Len == 1 ? Atom : Type::vector(Atom, Len);
+  }
+
+  if (First != 'u')
+    return std::nullopt;
+  Dir D = Dir::Param;
+  if (Pos < Text.size() && (Text[Pos] == 'V' || Text[Pos] == 'H')) {
+    D = Text[Pos] == 'V' ? Dir::Vert : Dir::Horiz;
+    ++Pos;
+  }
+  unsigned MBits = 0;
+  if (!ParseNumber(MBits))
+    return std::nullopt;
+  Type Base = Type::base(D, WordSize::fixed(MBits));
+  if (Pos == Text.size())
+    return Base;
+  // Optional `x<n>` matrix suffix.
+  if (Text[Pos] != 'x')
+    return std::nullopt;
+  ++Pos;
+  unsigned Len = 0;
+  if (!ParseNumber(Len) || Pos != Text.size())
+    return std::nullopt;
+  return Type::vector(Base, Len);
+}
+
+//===----------------------------------------------------------------------===//
+// Token-stream helpers
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // Eof
+  return Tokens[Index];
+}
+
+Token Parser::advance() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") +
+                                 tokenKindName(Kind) + " " + Context +
+                                 ", found " + tokenKindName(current().Kind));
+  return false;
+}
+
+/// `in` is a keyword only inside `forall ... in [..]`; elsewhere it is a
+/// popular parameter name (the paper's own examples use it), so name
+/// positions accept it as an identifier.
+static bool isNameToken(const Token &T) {
+  return T.is(TokenKind::Ident) || T.is(TokenKind::KwIn);
+}
+
+void Parser::skipToTopLevel() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::KwNode) &&
+         !check(TokenKind::KwTable) && !check(TokenKind::KwPerm))
+    advance();
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::optional<Program> Parser::parseProgram() {
+  Program Prog;
+  while (!check(TokenKind::Eof)) {
+    if (!parseDefinition(Prog))
+      skipToTopLevel();
+  }
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (Prog.Nodes.empty()) {
+    Diags.error({}, "program contains no definitions");
+    return std::nullopt;
+  }
+  return Prog;
+}
+
+bool Parser::parseDefinition(Program &Prog) {
+  if (check(TokenKind::KwNode))
+    return parseNodeDef(Prog);
+  if (check(TokenKind::KwTable))
+    return parseTableDef(Prog);
+  if (check(TokenKind::KwPerm))
+    return parsePermDef(Prog);
+  Diags.error(current().Loc,
+              "expected 'node', 'table' or 'perm' at top level, found " +
+                  std::string(tokenKindName(current().Kind)));
+  return false;
+}
+
+bool Parser::parseParamList(std::vector<VarDecl> &Out) {
+  if (!expect(TokenKind::LParen, "to open a parameter list"))
+    return false;
+  if (match(TokenKind::RParen))
+    return true;
+  for (;;) {
+    // One group: name (, name)* ':' type.
+    std::vector<Token> Names;
+    for (;;) {
+      if (!isNameToken(current())) {
+        Diags.error(current().Loc, "expected parameter name");
+        return false;
+      }
+      Names.push_back(advance());
+      if (!match(TokenKind::Comma))
+        break;
+    }
+    if (!expect(TokenKind::Colon, "after parameter name(s)"))
+      return false;
+    std::optional<Type> Ty = parseType();
+    if (!Ty)
+      return false;
+    for (Token &Name : Names)
+      Out.push_back({Name.Text, *Ty, Name.Loc});
+    if (match(TokenKind::Comma))
+      continue;
+    return expect(TokenKind::RParen, "to close the parameter list");
+  }
+}
+
+bool Parser::parseVarDecls(std::vector<VarDecl> &Out) {
+  // Same shape as a parameter list but terminated by 'let'.
+  for (;;) {
+    std::vector<Token> Names;
+    for (;;) {
+      if (!isNameToken(current())) {
+        Diags.error(current().Loc, "expected variable name in 'vars'");
+        return false;
+      }
+      Names.push_back(advance());
+      if (!match(TokenKind::Comma))
+        break;
+    }
+    if (!expect(TokenKind::Colon, "after variable name(s)"))
+      return false;
+    std::optional<Type> Ty = parseType();
+    if (!Ty)
+      return false;
+    for (Token &Name : Names)
+      Out.push_back({Name.Text, *Ty, Name.Loc});
+    if (match(TokenKind::Comma))
+      continue;
+    return true;
+  }
+}
+
+std::optional<Type> Parser::parseType() {
+  if (!check(TokenKind::Ident)) {
+    Diags.error(current().Loc, "expected a type name");
+    return std::nullopt;
+  }
+  Token Name = advance();
+  std::optional<Type> Ty = parseTypeName(Name.Text);
+  if (!Ty) {
+    Diags.error(Name.Loc, "malformed type name '" + Name.Text + "'");
+    return std::nullopt;
+  }
+  // `[n]` suffixes: leftmost suffix is the outermost dimension, so collect
+  // then fold from the right.
+  std::vector<unsigned> Dims;
+  while (match(TokenKind::LBracket)) {
+    if (!check(TokenKind::IntLit)) {
+      Diags.error(current().Loc, "expected a vector length");
+      return std::nullopt;
+    }
+    Token Len = advance();
+    if (Len.IntValue == 0) {
+      Diags.error(Len.Loc, "vector length must be positive");
+      return std::nullopt;
+    }
+    Dims.push_back(static_cast<unsigned>(Len.IntValue));
+    if (!expect(TokenKind::RBracket, "to close the vector length"))
+      return std::nullopt;
+  }
+  Type Result = *Ty;
+  for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+    Result = Type::vector(Result, *It);
+  return Result;
+}
+
+bool Parser::parseNodeDef(Program &Prog) {
+  Token Kw = advance(); // 'node'
+  Node N;
+  N.K = Node::Kind::Fun;
+  N.Loc = Kw.Loc;
+  if (!check(TokenKind::Ident)) {
+    Diags.error(current().Loc, "expected node name");
+    return false;
+  }
+  N.Name = advance().Text;
+  if (!parseParamList(N.Params))
+    return false;
+  if (!expect(TokenKind::KwReturns, "after the parameter list"))
+    return false;
+  if (!parseParamList(N.Returns))
+    return false;
+  if (match(TokenKind::KwVars))
+    if (!parseVarDecls(N.Vars))
+      return false;
+  if (!expect(TokenKind::KwLet, "to open the node body"))
+    return false;
+  if (!parseEquations(N.Eqns, TokenKind::KwTel))
+    return false;
+  if (!expect(TokenKind::KwTel, "to close the node body"))
+    return false;
+  Prog.Nodes.push_back(std::move(N));
+  return true;
+}
+
+bool Parser::parseTableDef(Program &Prog) {
+  Token Kw = advance(); // 'table'
+  Node N;
+  N.K = Node::Kind::Table;
+  N.Loc = Kw.Loc;
+  if (!check(TokenKind::Ident)) {
+    Diags.error(current().Loc, "expected table name");
+    return false;
+  }
+  N.Name = advance().Text;
+  if (!parseParamList(N.Params) ||
+      !expect(TokenKind::KwReturns, "after the parameter list") ||
+      !parseParamList(N.Returns))
+    return false;
+  if (!expect(TokenKind::LBrace, "to open the table entries"))
+    return false;
+  for (;;) {
+    if (!check(TokenKind::IntLit)) {
+      Diags.error(current().Loc, "expected a table entry");
+      return false;
+    }
+    N.TableEntries.push_back(advance().IntValue);
+    if (match(TokenKind::Comma))
+      continue;
+    break;
+  }
+  if (!expect(TokenKind::RBrace, "to close the table entries"))
+    return false;
+  Prog.Nodes.push_back(std::move(N));
+  return true;
+}
+
+bool Parser::parsePermDef(Program &Prog) {
+  Token Kw = advance(); // 'perm'
+  Node N;
+  N.K = Node::Kind::Perm;
+  N.Loc = Kw.Loc;
+  if (!check(TokenKind::Ident)) {
+    Diags.error(current().Loc, "expected permutation name");
+    return false;
+  }
+  N.Name = advance().Text;
+  if (!parseParamList(N.Params) ||
+      !expect(TokenKind::KwReturns, "after the parameter list") ||
+      !parseParamList(N.Returns))
+    return false;
+  if (!expect(TokenKind::LBrace, "to open the permutation indices"))
+    return false;
+  for (;;) {
+    if (!check(TokenKind::IntLit)) {
+      Diags.error(current().Loc, "expected a permutation index");
+      return false;
+    }
+    Token Index = advance();
+    if (Index.IntValue == 0) {
+      Diags.error(Index.Loc, "permutation indices are 1-based");
+      return false;
+    }
+    N.PermIndices.push_back(static_cast<unsigned>(Index.IntValue));
+    if (match(TokenKind::Comma))
+      continue;
+    break;
+  }
+  if (!expect(TokenKind::RBrace, "to close the permutation indices"))
+    return false;
+  Prog.Nodes.push_back(std::move(N));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Equations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseEquations(std::vector<Equation> &Out, TokenKind EndKind) {
+  while (!check(EndKind) && !check(TokenKind::Eof)) {
+    if (match(TokenKind::Semi))
+      continue; // tolerate stray separators
+    std::optional<Equation> Eqn = parseEquation();
+    if (!Eqn)
+      return false;
+    Out.push_back(std::move(*Eqn));
+    match(TokenKind::Semi);
+  }
+  return true;
+}
+
+std::optional<Equation> Parser::parseEquation() {
+  if (check(TokenKind::KwForall)) {
+    Token Kw = advance();
+    Equation Eqn;
+    Eqn.K = Equation::Kind::ForAll;
+    Eqn.Loc = Kw.Loc;
+    if (!check(TokenKind::Ident)) {
+      Diags.error(current().Loc, "expected 'forall' index name");
+      return std::nullopt;
+    }
+    Eqn.IndexName = advance().Text;
+    if (!expect(TokenKind::KwIn, "after the 'forall' index") ||
+        !expect(TokenKind::LBracket, "to open the 'forall' bounds"))
+      return std::nullopt;
+    std::optional<ConstExpr> Lo = parseConstExpr();
+    if (!Lo || !expect(TokenKind::Comma, "between the 'forall' bounds"))
+      return std::nullopt;
+    std::optional<ConstExpr> Hi = parseConstExpr();
+    if (!Hi || !expect(TokenKind::RBracket, "to close the 'forall' bounds"))
+      return std::nullopt;
+    Eqn.Lo = std::move(*Lo);
+    Eqn.Hi = std::move(*Hi);
+    if (!expect(TokenKind::LBrace, "to open the 'forall' body"))
+      return std::nullopt;
+    if (!parseEquations(Eqn.Body, TokenKind::RBrace))
+      return std::nullopt;
+    if (!expect(TokenKind::RBrace, "to close the 'forall' body"))
+      return std::nullopt;
+    return Eqn;
+  }
+
+  // Assignment: lvalues '=' expr | lvalue ':=' expr.
+  Equation Eqn;
+  Eqn.K = Equation::Kind::Assign;
+  Eqn.Loc = current().Loc;
+  if (match(TokenKind::LParen)) {
+    for (;;) {
+      std::optional<LValue> L = parseLValue();
+      if (!L)
+        return std::nullopt;
+      Eqn.Lhs.push_back(std::move(*L));
+      if (match(TokenKind::Comma))
+        continue;
+      break;
+    }
+    if (!expect(TokenKind::RParen, "to close the left-hand side tuple"))
+      return std::nullopt;
+  } else {
+    std::optional<LValue> L = parseLValue();
+    if (!L)
+      return std::nullopt;
+    Eqn.Lhs.push_back(std::move(*L));
+  }
+  if (match(TokenKind::ColonEq)) {
+    Eqn.Imperative = true;
+    if (Eqn.Lhs.size() != 1) {
+      Diags.error(Eqn.Loc, "':=' takes a single left-hand side");
+      return std::nullopt;
+    }
+  } else if (!expect(TokenKind::Eq, "in equation")) {
+    return std::nullopt;
+  }
+  Eqn.Rhs = parseExpr();
+  if (!Eqn.Rhs)
+    return std::nullopt;
+  return Eqn;
+}
+
+std::optional<LValue> Parser::parseLValue() {
+  if (!isNameToken(current())) {
+    Diags.error(current().Loc, "expected a variable on the left-hand side");
+    return std::nullopt;
+  }
+  Token Name = advance();
+  LValue L;
+  L.Name = Name.Text;
+  L.Loc = Name.Loc;
+  while (match(TokenKind::LBracket)) {
+    LValue::Access A;
+    std::optional<ConstExpr> Index = parseConstExpr();
+    if (!Index)
+      return std::nullopt;
+    A.Index = std::move(*Index);
+    if (match(TokenKind::DotDot)) {
+      A.IsRange = true;
+      std::optional<ConstExpr> Hi = parseConstExpr();
+      if (!Hi)
+        return std::nullopt;
+      A.Hi = std::move(*Hi);
+    }
+    if (!expect(TokenKind::RBracket, "to close the index"))
+      return std::nullopt;
+    L.Accesses.push_back(std::move(A));
+  }
+  return L;
+}
+
+//===----------------------------------------------------------------------===//
+// Compile-time integer expressions
+//===----------------------------------------------------------------------===//
+
+std::optional<ConstExpr> Parser::parseConstExpr() {
+  std::optional<ConstExpr> Lhs = parseConstTerm();
+  if (!Lhs)
+    return std::nullopt;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    Token Op = advance();
+    std::optional<ConstExpr> Rhs = parseConstTerm();
+    if (!Rhs)
+      return std::nullopt;
+    Lhs = ConstExpr::makeBin(Op.is(TokenKind::Plus) ? ConstExpr::Kind::Add
+                                                    : ConstExpr::Kind::Sub,
+                             std::move(*Lhs), std::move(*Rhs), Op.Loc);
+  }
+  return Lhs;
+}
+
+std::optional<ConstExpr> Parser::parseConstTerm() {
+  std::optional<ConstExpr> Lhs = parseConstAtom();
+  if (!Lhs)
+    return std::nullopt;
+  while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+         check(TokenKind::Percent)) {
+    Token Op = advance();
+    std::optional<ConstExpr> Rhs = parseConstAtom();
+    if (!Rhs)
+      return std::nullopt;
+    ConstExpr::Kind K = Op.is(TokenKind::Star)    ? ConstExpr::Kind::Mul
+                        : Op.is(TokenKind::Slash) ? ConstExpr::Kind::Div
+                                                  : ConstExpr::Kind::Mod;
+    Lhs = ConstExpr::makeBin(K, std::move(*Lhs), std::move(*Rhs), Op.Loc);
+  }
+  return Lhs;
+}
+
+std::optional<ConstExpr> Parser::parseConstAtom() {
+  if (check(TokenKind::IntLit)) {
+    Token T = advance();
+    return ConstExpr::makeInt(static_cast<int64_t>(T.IntValue), T.Loc);
+  }
+  if (isNameToken(current())) {
+    Token T = advance();
+    return ConstExpr::makeVar(T.Text, T.Loc);
+  }
+  if (match(TokenKind::LParen)) {
+    std::optional<ConstExpr> Inner = parseConstExpr();
+    if (!Inner || !expect(TokenKind::RParen, "in index expression"))
+      return std::nullopt;
+    return Inner;
+  }
+  Diags.error(current().Loc, "expected a compile-time integer expression");
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Word-level expressions
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Expr> Parser::parseExpr() { return parseOrExpr(); }
+
+std::unique_ptr<Expr> Parser::parseOrExpr() {
+  std::unique_ptr<Expr> Lhs = parseXorExpr();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Pipe)) {
+    Token Op = advance();
+    std::unique_ptr<Expr> Rhs = parseXorExpr();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Expr::makeBinop(BinopKind::Or, std::move(Lhs), std::move(Rhs),
+                          Op.Loc);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseXorExpr() {
+  std::unique_ptr<Expr> Lhs = parseAndExpr();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Caret)) {
+    Token Op = advance();
+    std::unique_ptr<Expr> Rhs = parseAndExpr();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Expr::makeBinop(BinopKind::Xor, std::move(Lhs), std::move(Rhs),
+                          Op.Loc);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseAndExpr() {
+  std::unique_ptr<Expr> Lhs = parseAddExpr();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Amp)) {
+    Token Op = advance();
+    std::unique_ptr<Expr> Rhs = parseAddExpr();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Expr::makeBinop(BinopKind::And, std::move(Lhs), std::move(Rhs),
+                          Op.Loc);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseAddExpr() {
+  std::unique_ptr<Expr> Lhs = parseMulExpr();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    Token Op = advance();
+    std::unique_ptr<Expr> Rhs = parseMulExpr();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Expr::makeBinop(Op.is(TokenKind::Plus) ? BinopKind::Add
+                                                 : BinopKind::Sub,
+                          std::move(Lhs), std::move(Rhs), Op.Loc);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseMulExpr() {
+  std::unique_ptr<Expr> Lhs = parseShiftExpr();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Star)) {
+    Token Op = advance();
+    std::unique_ptr<Expr> Rhs = parseShiftExpr();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Expr::makeBinop(BinopKind::Mul, std::move(Lhs), std::move(Rhs),
+                          Op.Loc);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseShiftExpr() {
+  std::unique_ptr<Expr> Lhs = parseUnaryExpr();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Shl) || check(TokenKind::Shr) ||
+         check(TokenKind::Rotl) || check(TokenKind::Rotr)) {
+    Token Op = advance();
+    std::optional<ConstExpr> Amount = parseConstExpr();
+    if (!Amount)
+      return nullptr;
+    ShiftKind K = Op.is(TokenKind::Shl)    ? ShiftKind::Lshift
+                  : Op.is(TokenKind::Shr)  ? ShiftKind::Rshift
+                  : Op.is(TokenKind::Rotl) ? ShiftKind::Lrotate
+                                           : ShiftKind::Rrotate;
+    Lhs = Expr::makeShift(K, std::move(Lhs), std::move(*Amount), Op.Loc);
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseUnaryExpr() {
+  if (check(TokenKind::Tilde)) {
+    Token Op = advance();
+    std::unique_ptr<Expr> Operand = parseUnaryExpr();
+    if (!Operand)
+      return nullptr;
+    return Expr::makeNot(std::move(Operand), Op.Loc);
+  }
+  return parsePostfixExpr();
+}
+
+std::unique_ptr<Expr> Parser::parsePostfixExpr() {
+  std::unique_ptr<Expr> Base = parseAtomExpr();
+  if (!Base)
+    return nullptr;
+  while (match(TokenKind::LBracket)) {
+    SourceLoc Loc = Base->Loc;
+    std::optional<ConstExpr> Index = parseConstExpr();
+    if (!Index)
+      return nullptr;
+    if (match(TokenKind::DotDot)) {
+      std::optional<ConstExpr> Hi = parseConstExpr();
+      if (!Hi || !expect(TokenKind::RBracket, "to close the range"))
+        return nullptr;
+      Base = Expr::makeRange(std::move(Base), std::move(*Index),
+                             std::move(*Hi), Loc);
+    } else {
+      if (!expect(TokenKind::RBracket, "to close the index"))
+        return nullptr;
+      Base = Expr::makeIndex(std::move(Base), std::move(*Index), Loc);
+    }
+  }
+  return Base;
+}
+
+std::unique_ptr<Expr> Parser::parseAtomExpr() {
+  if (check(TokenKind::IntLit)) {
+    Token T = advance();
+    return Expr::makeInt(T.IntValue, T.Loc);
+  }
+  if (check(TokenKind::KwShuffle)) {
+    Token Kw = advance();
+    if (!expect(TokenKind::LParen, "after 'Shuffle'"))
+      return nullptr;
+    std::unique_ptr<Expr> Operand = parseExpr();
+    if (!Operand || !expect(TokenKind::Comma, "after the Shuffle operand") ||
+        !expect(TokenKind::LBracket, "to open the Shuffle pattern"))
+      return nullptr;
+    std::vector<unsigned> Pattern;
+    for (;;) {
+      if (!check(TokenKind::IntLit)) {
+        Diags.error(current().Loc, "expected a Shuffle pattern index");
+        return nullptr;
+      }
+      Pattern.push_back(static_cast<unsigned>(advance().IntValue));
+      if (match(TokenKind::Comma))
+        continue;
+      break;
+    }
+    if (!expect(TokenKind::RBracket, "to close the Shuffle pattern") ||
+        !expect(TokenKind::RParen, "to close the Shuffle call"))
+      return nullptr;
+    return Expr::makeShuffle(std::move(Operand), std::move(Pattern), Kw.Loc);
+  }
+  if (isNameToken(current())) {
+    Token Name = advance();
+    if (match(TokenKind::LParen)) {
+      std::vector<std::unique_ptr<Expr>> Args;
+      if (!check(TokenKind::RParen)) {
+        for (;;) {
+          std::unique_ptr<Expr> Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+          if (match(TokenKind::Comma))
+            continue;
+          break;
+        }
+      }
+      if (!expect(TokenKind::RParen, "to close the call"))
+        return nullptr;
+      return Expr::makeCall(Name.Text, std::move(Args), Name.Loc);
+    }
+    return Expr::makeVar(Name.Text, Name.Loc);
+  }
+  if (match(TokenKind::LParen)) {
+    std::vector<std::unique_ptr<Expr>> Elems;
+    for (;;) {
+      std::unique_ptr<Expr> Elem = parseExpr();
+      if (!Elem)
+        return nullptr;
+      Elems.push_back(std::move(Elem));
+      if (match(TokenKind::Comma))
+        continue;
+      break;
+    }
+    if (!expect(TokenKind::RParen, "to close the expression"))
+      return nullptr;
+    if (Elems.size() == 1)
+      return std::move(Elems[0]);
+    return Expr::makeTuple(std::move(Elems));
+  }
+  Diags.error(current().Loc, "expected an expression, found " +
+                                 std::string(tokenKindName(current().Kind)));
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+std::optional<Program> usuba::parseProgram(std::string_view Source,
+                                           DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  Parser P(std::move(Tokens), Diags);
+  return P.parseProgram();
+}

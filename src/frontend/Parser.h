@@ -1,0 +1,95 @@
+//===- Parser.h - Usuba parser ----------------------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Usuba surface syntax of Section 2.2:
+/// nodes, tables, permutations, `forall` groups, imperative assignments,
+/// tuples, vector indexing/slicing and the word-level operator set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_FRONTEND_PARSER_H
+#define USUBA_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace usuba {
+
+/// Parses a complete Usuba program from source text. Errors are reported
+/// to \p Diags; parsing attempts to recover at top-level definition
+/// boundaries so several errors can be reported in one run.
+std::optional<ast::Program> parseProgram(std::string_view Source,
+                                         DiagnosticEngine &Diags);
+
+/// Parses a type written in surface syntax ("u16", "uV32", "b64", "v4",
+/// "u16x4[26]", "nat"). Exposed for tests and the CLI. Returns
+/// std::nullopt on malformed input.
+std::optional<Type> parseTypeName(const std::string &Text);
+
+namespace detail {
+
+/// The parser proper; exposed in a detail namespace for unit tests that
+/// want to drive individual productions.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::optional<ast::Program> parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(); }
+  Token advance();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToTopLevel();
+
+  // Productions.
+  bool parseDefinition(ast::Program &Prog);
+  bool parseNodeDef(ast::Program &Prog);
+  bool parseTableDef(ast::Program &Prog);
+  bool parsePermDef(ast::Program &Prog);
+  bool parseParamList(std::vector<ast::VarDecl> &Out);
+  bool parseVarDecls(std::vector<ast::VarDecl> &Out);
+  std::optional<Type> parseType();
+  bool parseEquations(std::vector<ast::Equation> &Out, TokenKind EndKind);
+  std::optional<ast::Equation> parseEquation();
+  std::optional<ast::LValue> parseLValue();
+  std::optional<ast::ConstExpr> parseConstExpr();
+  std::optional<ast::ConstExpr> parseConstTerm();
+  std::optional<ast::ConstExpr> parseConstAtom();
+
+  // Expression precedence levels (loosest to tightest):
+  //   | , ^ , & , + -, *, shifts, unary, postfix, atom
+  std::unique_ptr<ast::Expr> parseExpr();
+  std::unique_ptr<ast::Expr> parseOrExpr();
+  std::unique_ptr<ast::Expr> parseXorExpr();
+  std::unique_ptr<ast::Expr> parseAndExpr();
+  std::unique_ptr<ast::Expr> parseAddExpr();
+  std::unique_ptr<ast::Expr> parseMulExpr();
+  std::unique_ptr<ast::Expr> parseShiftExpr();
+  std::unique_ptr<ast::Expr> parseUnaryExpr();
+  std::unique_ptr<ast::Expr> parsePostfixExpr();
+  std::unique_ptr<ast::Expr> parseAtomExpr();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace detail
+} // namespace usuba
+
+#endif // USUBA_FRONTEND_PARSER_H

@@ -1,0 +1,85 @@
+//===- Token.h - Usuba lexical tokens ---------------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Usuba lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_FRONTEND_TOKEN_H
+#define USUBA_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace usuba {
+
+enum class TokenKind : uint8_t {
+  // Meta.
+  Eof,
+  Error,
+  // Literals and identifiers.
+  Ident,
+  IntLit,
+  // Keywords.
+  KwNode,
+  KwTable,
+  KwPerm,
+  KwReturns,
+  KwVars,
+  KwLet,
+  KwTel,
+  KwForall,
+  KwIn,
+  KwShuffle,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Colon,
+  DotDot,
+  // Operators.
+  Eq,       // =
+  ColonEq,  // :=
+  Amp,      // &
+  Pipe,     // |
+  Caret,    // ^
+  Tilde,    // ~
+  Plus,     // +
+  Minus,    // -
+  Star,     // *
+  Slash,    // /
+  Percent,  // %
+  Shl,      // <<
+  Shr,      // >>
+  Rotl,     // <<<
+  Rotr,     // >>>
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexical token. \c Text holds the identifier spelling or the raw
+/// literal; \c IntValue is the decoded value of an IntLit.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  uint64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace usuba
+
+#endif // USUBA_FRONTEND_TOKEN_H

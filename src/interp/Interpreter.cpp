@@ -1,0 +1,101 @@
+//===- Interpreter.cpp - Usuba0 reference execution -----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+using namespace usuba;
+
+Interpreter::Interpreter(const U0Program &Prog)
+    : Prog(Prog),
+      Words((Prog.Target ? Prog.Target->SliceBits : 64) / 64),
+      Scratch(Prog.entry().NumRegs) {
+  assert(verifyU0(Prog).empty() && "interpreting ill-formed program");
+}
+
+void Interpreter::run(const SimdReg *Inputs, SimdReg *Outputs) {
+  const U0Function &Entry = Prog.entry();
+  for (unsigned I = 0; I < Entry.NumInputs; ++I)
+    Scratch[I] = Inputs[I];
+  runFunction(Entry, Scratch);
+  for (size_t I = 0; I < Entry.Outputs.size(); ++I)
+    Outputs[I] = Scratch[Entry.Outputs[I]];
+}
+
+void Interpreter::runFunction(const U0Function &F,
+                              std::vector<SimdReg> &Regs) {
+  const unsigned W = Words;
+  const unsigned MBits = Prog.MBits;
+  for (const U0Instr &I : F.Instrs) {
+    switch (I.Op) {
+    case U0Op::Mov:
+      Regs[I.Dests[0]] = Regs[I.Srcs[0]];
+      break;
+    case U0Op::Const:
+      if (Prog.Direction == Dir::Horiz && MBits > 1)
+        simd::broadcastHorizontal(Regs[I.Dests[0]], I.Imm, W, MBits);
+      else
+        simd::broadcastVertical(Regs[I.Dests[0]], I.Imm, W, MBits);
+      break;
+    case U0Op::Not:
+      simd::bitNot(Regs[I.Dests[0]], Regs[I.Srcs[0]], W);
+      break;
+    case U0Op::And:
+      simd::bitAnd(Regs[I.Dests[0]], Regs[I.Srcs[0]], Regs[I.Srcs[1]], W);
+      break;
+    case U0Op::Or:
+      simd::bitOr(Regs[I.Dests[0]], Regs[I.Srcs[0]], Regs[I.Srcs[1]], W);
+      break;
+    case U0Op::Xor:
+      simd::bitXor(Regs[I.Dests[0]], Regs[I.Srcs[0]], Regs[I.Srcs[1]], W);
+      break;
+    case U0Op::Andn:
+      simd::bitAndn(Regs[I.Dests[0]], Regs[I.Srcs[0]], Regs[I.Srcs[1]], W);
+      break;
+    case U0Op::Add:
+      simd::addElems(Regs[I.Dests[0]], Regs[I.Srcs[0]], Regs[I.Srcs[1]], W,
+                     MBits);
+      break;
+    case U0Op::Sub:
+      simd::subElems(Regs[I.Dests[0]], Regs[I.Srcs[0]], Regs[I.Srcs[1]], W,
+                     MBits);
+      break;
+    case U0Op::Mul:
+      simd::mulElems(Regs[I.Dests[0]], Regs[I.Srcs[0]], Regs[I.Srcs[1]], W,
+                     MBits);
+      break;
+    case U0Op::Lshift:
+      simd::shlElems(Regs[I.Dests[0]], Regs[I.Srcs[0]], I.Amount, W, MBits);
+      break;
+    case U0Op::Rshift:
+      simd::shrElems(Regs[I.Dests[0]], Regs[I.Srcs[0]], I.Amount, W, MBits);
+      break;
+    case U0Op::Lrotate:
+      simd::rotlElems(Regs[I.Dests[0]], Regs[I.Srcs[0]], I.Amount, W,
+                      MBits);
+      break;
+    case U0Op::Rrotate:
+      simd::rotrElems(Regs[I.Dests[0]], Regs[I.Srcs[0]], I.Amount, W,
+                      MBits);
+      break;
+    case U0Op::Shuffle:
+      simd::shuffle(Regs[I.Dests[0]], Regs[I.Srcs[0]], I.Pattern.data(),
+                    MBits, W);
+      break;
+    case U0Op::Call: {
+      const U0Function &Callee = Prog.Funcs[I.Callee];
+      std::vector<SimdReg> Frame(Callee.NumRegs);
+      for (unsigned A = 0; A < Callee.NumInputs; ++A)
+        Frame[A] = Regs[I.Srcs[A]];
+      runFunction(Callee, Frame);
+      for (size_t R = 0; R < I.Dests.size(); ++R)
+        Regs[I.Dests[R]] = Frame[Callee.Outputs[R]];
+      break;
+    }
+    case U0Op::Barrier:
+      break;
+    }
+  }
+}

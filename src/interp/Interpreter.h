@@ -1,0 +1,54 @@
+//===- Interpreter.h - Usuba0 reference execution ---------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct execution of Usuba0 kernels over the SIMD simulator. This is
+/// the semantic reference for the whole system: the C backend, every
+/// optimization pass and every cipher test validate against it (and it
+/// validates against independent cipher implementations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_INTERP_INTERPRETER_H
+#define USUBA_INTERP_INTERPRETER_H
+
+#include "core/Usuba0.h"
+#include "interp/SimdReg.h"
+
+#include <vector>
+
+namespace usuba {
+
+/// Executes the entry function of an Usuba0 program. One instance owns
+/// scratch space sized for the program, so repeated runs do not allocate.
+class Interpreter {
+public:
+  explicit Interpreter(const U0Program &Prog);
+
+  /// Runs the entry kernel: \p Inputs must hold entry().NumInputs
+  /// registers, \p Outputs receives entry().Outputs.size() registers.
+  void run(const SimdReg *Inputs, SimdReg *Outputs);
+
+  unsigned numInputs() const { return Prog.entry().NumInputs; }
+  unsigned numOutputs() const {
+    return static_cast<unsigned>(Prog.entry().Outputs.size());
+  }
+
+  /// Effective register width in 64-bit words (from the target
+  /// architecture).
+  unsigned widthWords() const { return Words; }
+
+private:
+  void runFunction(const U0Function &F, std::vector<SimdReg> &Regs);
+
+  const U0Program &Prog;
+  unsigned Words;
+  std::vector<SimdReg> Scratch; ///< entry frame, reused across runs
+};
+
+} // namespace usuba
+
+#endif // USUBA_INTERP_INTERPRETER_H

@@ -1,0 +1,163 @@
+//===- SimdReg.cpp - Portable SIMD register simulator ---------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdReg.h"
+
+using namespace usuba;
+
+/// A word whose every m-bit element equals \p Elem.
+static uint64_t repeatElem(uint64_t Elem, unsigned MBits) {
+  if (MBits == 64)
+    return Elem;
+  uint64_t Word = 0;
+  for (unsigned Low = 0; Low < 64; Low += MBits)
+    Word |= Elem << Low;
+  return Word;
+}
+
+void simd::addElems(SimdReg &D, const SimdReg &A, const SimdReg &B,
+                    unsigned W, unsigned MBits) {
+  assert(isPowerOf2(MBits) && MBits <= 64 && "unsupported element size");
+  if (MBits == 64) {
+    for (unsigned I = 0; I < W; ++I)
+      D.Words[I] = A.Words[I] + B.Words[I];
+    return;
+  }
+  // Carry isolation: add the low m-1 bits, then fix the top bit with xor.
+  uint64_t High = repeatElem(uint64_t{1} << (MBits - 1), MBits);
+  for (unsigned I = 0; I < W; ++I) {
+    uint64_t X = A.Words[I], Y = B.Words[I];
+    D.Words[I] = ((X & ~High) + (Y & ~High)) ^ ((X ^ Y) & High);
+  }
+}
+
+void simd::subElems(SimdReg &D, const SimdReg &A, const SimdReg &B,
+                    unsigned W, unsigned MBits) {
+  assert(isPowerOf2(MBits) && MBits <= 64 && "unsupported element size");
+  if (MBits == 64) {
+    for (unsigned I = 0; I < W; ++I)
+      D.Words[I] = A.Words[I] - B.Words[I];
+    return;
+  }
+  // a - b = a + ~b + 1, elementwise: use the borrow-isolation dual of the
+  // addition formula.
+  uint64_t High = repeatElem(uint64_t{1} << (MBits - 1), MBits);
+  for (unsigned I = 0; I < W; ++I) {
+    uint64_t X = A.Words[I], Y = B.Words[I];
+    uint64_t Diff = (X | High) - (Y & ~High);
+    D.Words[I] = Diff ^ ((X ^ ~Y) & High);
+  }
+}
+
+void simd::mulElems(SimdReg &D, const SimdReg &A, const SimdReg &B,
+                    unsigned W, unsigned MBits) {
+  assert(isPowerOf2(MBits) && MBits <= 64 && "unsupported element size");
+  SimdReg Out{};
+  for (unsigned Low = 0; Low < W * 64; Low += MBits) {
+    uint64_t X = A.field(Low, MBits);
+    uint64_t Y = B.field(Low, MBits);
+    Out.setField(Low, MBits, (X * Y) & lowBitMask(MBits));
+  }
+  D = Out;
+}
+
+void simd::shlElems(SimdReg &D, const SimdReg &A, unsigned Amount,
+                    unsigned W, unsigned MBits) {
+  assert(isPowerOf2(MBits) && MBits <= 64 && "unsupported element size");
+  if (Amount >= MBits) {
+    for (unsigned I = 0; I < W; ++I)
+      D.Words[I] = 0;
+    return;
+  }
+  // Shift whole words, then clear the bits that crossed an element
+  // boundary: surviving bits of each element are those at positions
+  // >= Amount.
+  uint64_t Keep = repeatElem((lowBitMask(MBits) << Amount) &
+                                 lowBitMask(MBits),
+                             MBits);
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = (A.Words[I] << Amount) & Keep;
+}
+
+void simd::shrElems(SimdReg &D, const SimdReg &A, unsigned Amount,
+                    unsigned W, unsigned MBits) {
+  assert(isPowerOf2(MBits) && MBits <= 64 && "unsupported element size");
+  if (Amount >= MBits) {
+    for (unsigned I = 0; I < W; ++I)
+      D.Words[I] = 0;
+    return;
+  }
+  uint64_t Keep = repeatElem(lowBitMask(MBits) >> Amount, MBits);
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = (A.Words[I] >> Amount) & Keep;
+}
+
+void simd::rotlElems(SimdReg &D, const SimdReg &A, unsigned Amount,
+                     unsigned W, unsigned MBits) {
+  Amount %= MBits;
+  if (Amount == 0) {
+    for (unsigned I = 0; I < W; ++I)
+      D.Words[I] = A.Words[I];
+    return;
+  }
+  SimdReg Hi, Lo;
+  shlElems(Hi, A, Amount, W, MBits);
+  shrElems(Lo, A, MBits - Amount, W, MBits);
+  bitOr(D, Hi, Lo, W);
+}
+
+void simd::rotrElems(SimdReg &D, const SimdReg &A, unsigned Amount,
+                     unsigned W, unsigned MBits) {
+  Amount %= MBits;
+  rotlElems(D, A, Amount == 0 ? 0 : MBits - Amount, W, MBits);
+}
+
+void simd::shuffle(SimdReg &D, const SimdReg &A, const uint8_t *Pattern,
+                   unsigned MBits, unsigned W) {
+  unsigned GroupBits = (W * 64) / MBits;
+  assert(GroupBits >= 1 && GroupBits * MBits == W * 64 &&
+         "atom size must divide the register width");
+  SimdReg Out{};
+  for (unsigned J = 0; J < MBits; ++J) {
+    if (Pattern[J] == 0xFF)
+      continue;
+    unsigned From = Pattern[J] * GroupBits;
+    unsigned To = J * GroupBits;
+    if (GroupBits >= 64) {
+      assert(GroupBits % 64 == 0 && From % 64 == 0 && To % 64 == 0 &&
+             "group straddles words");
+      for (unsigned K = 0; K < GroupBits / 64; ++K)
+        Out.Words[To / 64 + K] = A.Words[From / 64 + K];
+    } else {
+      Out.setField(To, GroupBits, A.field(From, GroupBits));
+    }
+  }
+  D = Out;
+}
+
+void simd::broadcastVertical(SimdReg &D, uint64_t Imm, unsigned W,
+                             unsigned MBits) {
+  uint64_t Word = repeatElem(Imm & lowBitMask(MBits), MBits);
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = Word;
+}
+
+void simd::broadcastHorizontal(SimdReg &D, uint64_t Imm, unsigned W,
+                               unsigned MBits) {
+  unsigned GroupBits = (W * 64) / MBits;
+  D = SimdReg{};
+  for (unsigned J = 0; J < MBits; ++J) {
+    if (!getBit(Imm, MBits - 1 - J))
+      continue;
+    unsigned To = J * GroupBits;
+    if (GroupBits >= 64) {
+      for (unsigned K = 0; K < GroupBits / 64; ++K)
+        D.Words[To / 64 + K] = ~uint64_t{0};
+    } else {
+      D.setField(To, GroupBits, lowBitMask(GroupBits));
+    }
+  }
+}

@@ -1,0 +1,141 @@
+//===- SimdReg.h - Portable SIMD register simulator -------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A portable simulation of one SIMD register of up to 512 bits, with the
+/// operations Usuba0 needs: bitwise logic, vertical (packed) arithmetic
+/// and shifts on m-bit elements, and horizontal element shuffles. This is
+/// the substitution for running on the paper's Intel SIMD testbed: the
+/// native C backend uses real intrinsics when a host compiler is
+/// available, while this simulator guarantees that every kernel runs —
+/// bit-exactly — everywhere.
+///
+/// Layout conventions (shared with runtime/Layout.h):
+///  * vertical element e (one slice) occupies bits [e*m, (e+1)*m);
+///  * horizontal position j (one atom bit, vector index j = the atom's
+///    MSB at j = 0) occupies bits [j*g, (j+1)*g) where g = width/m.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_INTERP_SIMDREG_H
+#define USUBA_INTERP_SIMDREG_H
+
+#include "support/BitUtils.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace usuba {
+
+/// One simulated register. Capacity is fixed at 512 bits; the effective
+/// width is carried by the operations (the interpreter knows the target).
+struct SimdReg {
+  static constexpr unsigned MaxWords = 8;
+  std::array<uint64_t, MaxWords> Words{};
+
+  static SimdReg zero() { return SimdReg{}; }
+
+  bool operator==(const SimdReg &O) const { return Words == O.Words; }
+
+  /// Gets/sets a single bit (LSB-first across words). \p Value must be 0
+  /// or 1. Branchless: transposition runs on secret data, so even the
+  /// packing code must not branch on bit values (our dudect harness
+  /// catches the data-dependent branch-predictor timing otherwise).
+  uint64_t bit(unsigned Index) const {
+    return (Words[Index / 64] >> (Index % 64)) & 1;
+  }
+  void setBit(unsigned Index, uint64_t Value) {
+    assert(Value <= 1 && "setBit takes a single bit");
+    uint64_t &Word = Words[Index / 64];
+    unsigned Shift = Index % 64;
+    Word = (Word & ~(uint64_t{1} << Shift)) | (Value << Shift);
+  }
+
+  /// Extracts the \p Bits-wide field starting at bit \p Low (field must
+  /// not straddle a word boundary; all Usuba element sizes are powers of
+  /// two, so they never do).
+  uint64_t field(unsigned Low, unsigned Bits) const {
+    assert(Low / 64 == (Low + Bits - 1) / 64 && "field straddles words");
+    return (Words[Low / 64] >> (Low % 64)) & lowBitMask(Bits);
+  }
+  void setField(unsigned Low, unsigned Bits, uint64_t Value) {
+    assert(Low / 64 == (Low + Bits - 1) / 64 && "field straddles words");
+    uint64_t Mask = lowBitMask(Bits) << (Low % 64);
+    Words[Low / 64] =
+        (Words[Low / 64] & ~Mask) | ((Value << (Low % 64)) & Mask);
+  }
+};
+
+/// The register-wide operations, parameterized by the effective width in
+/// 64-bit words (W) and the element size m where relevant. Results only
+/// depend on the low W*64 bits; higher bits are left zero.
+namespace simd {
+
+inline void bitAnd(SimdReg &D, const SimdReg &A, const SimdReg &B,
+                   unsigned W) {
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = A.Words[I] & B.Words[I];
+}
+inline void bitOr(SimdReg &D, const SimdReg &A, const SimdReg &B,
+                  unsigned W) {
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = A.Words[I] | B.Words[I];
+}
+inline void bitXor(SimdReg &D, const SimdReg &A, const SimdReg &B,
+                   unsigned W) {
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = A.Words[I] ^ B.Words[I];
+}
+inline void bitNot(SimdReg &D, const SimdReg &A, unsigned W) {
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = ~A.Words[I];
+}
+inline void bitAndn(SimdReg &D, const SimdReg &A, const SimdReg &B,
+                    unsigned W) {
+  for (unsigned I = 0; I < W; ++I)
+    D.Words[I] = ~A.Words[I] & B.Words[I];
+}
+
+/// Packed addition of m-bit elements (m a power of two <= 64): the
+/// classic carry-isolation formula keeps carries from crossing element
+/// boundaries.
+void addElems(SimdReg &D, const SimdReg &A, const SimdReg &B, unsigned W,
+              unsigned MBits);
+void subElems(SimdReg &D, const SimdReg &A, const SimdReg &B, unsigned W,
+              unsigned MBits);
+void mulElems(SimdReg &D, const SimdReg &A, const SimdReg &B, unsigned W,
+              unsigned MBits);
+
+/// Packed logical shifts / rotates of m-bit elements.
+void shlElems(SimdReg &D, const SimdReg &A, unsigned Amount, unsigned W,
+              unsigned MBits);
+void shrElems(SimdReg &D, const SimdReg &A, unsigned Amount, unsigned W,
+              unsigned MBits);
+void rotlElems(SimdReg &D, const SimdReg &A, unsigned Amount, unsigned W,
+               unsigned MBits);
+void rotrElems(SimdReg &D, const SimdReg &A, unsigned Amount, unsigned W,
+               unsigned MBits);
+
+/// Horizontal shuffle: position j of the result takes position
+/// Pattern[j] of A (0xFF = zero). Positions are g-bit groups with
+/// g = (W*64)/MBits.
+void shuffle(SimdReg &D, const SimdReg &A, const uint8_t *Pattern,
+             unsigned MBits, unsigned W);
+
+/// Broadcast of an atom constant (see SimdReg.h conventions):
+/// vertical — every m-bit element receives Imm; horizontal — position j
+/// is filled with ones when bit (m-1-j) of Imm is set.
+void broadcastVertical(SimdReg &D, uint64_t Imm, unsigned W,
+                       unsigned MBits);
+void broadcastHorizontal(SimdReg &D, uint64_t Imm, unsigned W,
+                         unsigned MBits);
+
+} // namespace simd
+} // namespace usuba
+
+#endif // USUBA_INTERP_SIMDREG_H

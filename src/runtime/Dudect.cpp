@@ -1,0 +1,111 @@
+//===- Dudect.cpp - Statistical constant-time validation ------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Dudect.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+using namespace usuba;
+
+void WelchTTest::push(unsigned Class, double Value) {
+  // Welford's online mean/variance.
+  ++N[Class];
+  double Delta = Value - Mean[Class];
+  Mean[Class] += Delta / static_cast<double>(N[Class]);
+  M2[Class] += Delta * (Value - Mean[Class]);
+}
+
+double WelchTTest::statistic() const {
+  if (N[0] < 2 || N[1] < 2)
+    return 0;
+  double Var0 = M2[0] / static_cast<double>(N[0] - 1);
+  double Var1 = M2[1] / static_cast<double>(N[1] - 1);
+  double Denominator = std::sqrt(Var0 / static_cast<double>(N[0]) +
+                                 Var1 / static_cast<double>(N[1]));
+  if (Denominator == 0)
+    return 0;
+  return (Mean[0] - Mean[1]) / Denominator;
+}
+
+uint64_t usuba::readTimestampCounter() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned Aux;
+  return __rdtscp(&Aux); // serializes prior loads/stores
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+DudectResult usuba::dudect(
+    const DudectConfig &Config, size_t InputBytes,
+    const std::function<void(unsigned Class, uint8_t *Input,
+                             uint64_t Seed)> &FillInput,
+    const std::function<void(const uint8_t *Input)> &Target) {
+  std::mt19937_64 Rng(Config.Seed);
+
+  // Pre-generate the input pool and a random class label per entry, so
+  // nothing class-dependent executes between timed regions.
+  const size_t Pool = std::max<size_t>(Config.PoolEntries, 2);
+  std::vector<uint8_t> Inputs(Pool * InputBytes);
+  std::vector<uint8_t> Classes(Pool);
+  for (size_t I = 0; I < Pool; ++I) {
+    Classes[I] = static_cast<uint8_t>(Rng() & 1);
+    FillInput(Classes[I], &Inputs[I * InputBytes], Rng());
+  }
+
+  // Warm-up.
+  for (size_t I = 0; I < std::min<size_t>(Pool, 64); ++I)
+    Target(&Inputs[I * InputBytes]);
+
+  struct Sample {
+    uint8_t Class;
+    uint64_t Cycles;
+  };
+  std::vector<Sample> Samples;
+  Samples.reserve(Config.Measurements);
+  for (size_t I = 0; I < Config.Measurements; ++I) {
+    size_t Entry = I % Pool;
+    uint64_t Start = readTimestampCounter();
+    Target(&Inputs[Entry * InputBytes]);
+    uint64_t End = readTimestampCounter();
+    Samples.push_back({Classes[Entry], End - Start});
+  }
+
+  // Crop the slow tail (interrupts, frequency transitions), as dudect
+  // does, then run the t-test on the surviving population.
+  std::vector<uint64_t> Sorted;
+  Sorted.reserve(Samples.size());
+  for (const Sample &S : Samples)
+    Sorted.push_back(S.Cycles);
+  std::sort(Sorted.begin(), Sorted.end());
+  uint64_t Threshold =
+      Sorted[std::min(Sorted.size() - 1,
+                      static_cast<size_t>(static_cast<double>(Sorted.size()) *
+                                          Config.CropPercentile))];
+
+  WelchTTest Test;
+  size_t Used = 0;
+  for (const Sample &S : Samples) {
+    if (S.Cycles > Threshold)
+      continue;
+    Test.push(S.Class, static_cast<double>(S.Cycles));
+    ++Used;
+  }
+
+  DudectResult Result;
+  Result.TStatistic = Test.statistic();
+  Result.Used = Used;
+  return Result;
+}

@@ -1,0 +1,84 @@
+//===- Dudect.h - Statistical constant-time validation ----------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of the dudect methodology (Reparaz, Balasch,
+/// Verbauwhede, DATE 2017) the paper uses to validate its constant-time
+/// claim (Section 4): measure execution time over two input classes —
+/// fixed versus random — and run Welch's t-test on the two timing
+/// populations. |t| below ~4.5 means no evidence of input-dependent
+/// timing ("a green flag").
+///
+/// All inputs are pre-generated into a pool before any timing happens and
+/// the two classes are interleaved in random order, so the code path
+/// leading into each timed region is identical for both classes — the
+/// preparation itself must not perturb the microarchitectural state
+/// differently per class (the classic false-positive trap). Measurements
+/// are cropped at a high percentile to tame interrupt noise, as in
+/// dudect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_RUNTIME_DUDECT_H
+#define USUBA_RUNTIME_DUDECT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace usuba {
+
+/// Welch's t-statistic accumulator over two populations.
+class WelchTTest {
+public:
+  void push(unsigned Class, double Value);
+  /// The t statistic (0 when either class is under-populated).
+  double statistic() const;
+  size_t count(unsigned Class) const { return N[Class]; }
+
+private:
+  double Mean[2] = {0, 0};
+  double M2[2] = {0, 0}; ///< sum of squared deviations (Welford)
+  size_t N[2] = {0, 0};
+};
+
+/// Configuration of one dudect run.
+struct DudectConfig {
+  size_t Measurements = 20000;  ///< total timed executions
+  size_t PoolEntries = 512;     ///< pre-generated inputs per run
+  double CropPercentile = 0.95; ///< discard the slowest tail
+  uint64_t Seed = 0xD0DEC7;
+};
+
+/// Result: the t statistic and the dudect-style verdict.
+struct DudectResult {
+  double TStatistic = 0;
+  size_t Used = 0; ///< measurements surviving the crop
+  /// dudect's conventional threshold: |t| > 4.5 flags a leak.
+  bool leakDetected() const {
+    return TStatistic > 4.5 || TStatistic < -4.5;
+  }
+};
+
+/// Runs the fixed-vs-random experiment on \p Target.
+///
+/// \p FillInput populates one pool entry of \p InputBytes bytes for the
+/// given class (0 = the fixed input, 1 = fresh random bytes); it runs
+/// during setup, never between timings. \p Target executes the operation
+/// under test on one pool entry; only it is timed.
+DudectResult
+dudect(const DudectConfig &Config, size_t InputBytes,
+       const std::function<void(unsigned Class, uint8_t *Input,
+                                uint64_t Seed)> &FillInput,
+       const std::function<void(const uint8_t *Input)> &Target);
+
+/// Reads the CPU timestamp counter (serialized), or a monotonic clock on
+/// non-x86 hosts.
+uint64_t readTimestampCounter();
+
+} // namespace usuba
+
+#endif // USUBA_RUNTIME_DUDECT_H

@@ -1,0 +1,91 @@
+//===- KernelRunner.cpp - Batched execution of compiled kernels -----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/KernelRunner.h"
+
+using namespace usuba;
+
+KernelRunner::KernelRunner(CompiledKernel KernelIn)
+    : Kernel(std::move(KernelIn)),
+      Layout(Kernel.Prog.Direction, Kernel.Prog.MBits, *Kernel.Prog.Target),
+      Interp(Kernel.Prog) {
+  Slices = Layout.slices();
+  BlocksPerCall = Slices * Kernel.Prog.InterleaveFactor;
+  for (const Type &T : Kernel.ParamTypes)
+    ParamLens.push_back(T.flattenedLength());
+  OutLen = 0;
+  for (const Type &T : Kernel.ReturnTypes) {
+    ReturnLens.push_back(T.flattenedLength());
+    OutLen += T.flattenedLength();
+  }
+  InRegs.resize(Kernel.Prog.entry().NumInputs);
+  OutRegs.resize(Kernel.Prog.entry().Outputs.size());
+
+  [[maybe_unused]] unsigned TotalIn = 0;
+  for (unsigned L : ParamLens)
+    TotalIn += L;
+  assert(TotalIn * Kernel.Prog.InterleaveFactor ==
+             Kernel.Prog.entry().NumInputs &&
+         "parameter shapes disagree with the kernel ABI");
+}
+
+void KernelRunner::kernelOnly() {
+  if (Native) {
+    const unsigned W = Layout.widthWords();
+    if (DenseIn.empty()) {
+      DenseIn.resize(size_t{W} * InRegs.size());
+      DenseOut.resize(size_t{W} * OutRegs.size());
+    }
+    Native(DenseIn.data(), DenseOut.data());
+    return;
+  }
+  Interp.run(InRegs.data(), OutRegs.data());
+}
+
+void KernelRunner::runBatch(const std::vector<ParamData> &Params,
+                            uint64_t *OutAtoms) {
+  assert(Params.size() == ParamLens.size() && "wrong parameter count");
+  const unsigned K = Kernel.Prog.InterleaveFactor;
+
+  // Pack: interleave instance t consumes blocks [t*Slices, (t+1)*Slices).
+  unsigned Reg = 0;
+  for (unsigned T = 0; T < K; ++T) {
+    for (size_t P = 0; P < Params.size(); ++P) {
+      unsigned Len = ParamLens[P];
+      if (Params[P].Broadcast)
+        Layout.packBroadcast(Params[P].Atoms, Len, &InRegs[Reg]);
+      else
+        Layout.pack(Params[P].Atoms + size_t{T} * Slices * Len, Len,
+                    &InRegs[Reg]);
+      Reg += Len;
+    }
+  }
+
+  if (Native) {
+    // The native ABI is dense: widthWords() words per register.
+    const unsigned W = Layout.widthWords();
+    if (DenseIn.empty()) {
+      DenseIn.resize(size_t{W} * InRegs.size());
+      DenseOut.resize(size_t{W} * OutRegs.size());
+    }
+    for (size_t I = 0; I < InRegs.size(); ++I)
+      for (unsigned J = 0; J < W; ++J)
+        DenseIn[I * W + J] = InRegs[I].Words[J];
+    Native(DenseIn.data(), DenseOut.data());
+    for (size_t I = 0; I < OutRegs.size(); ++I) {
+      OutRegs[I] = SimdReg{};
+      for (unsigned J = 0; J < W; ++J)
+        OutRegs[I].Words[J] = DenseOut[I * W + J];
+    }
+  } else {
+    Interp.run(InRegs.data(), OutRegs.data());
+  }
+
+  // Unpack: outputs of instance t are the t-th group of return registers.
+  for (unsigned T = 0; T < K; ++T)
+    Layout.unpack(&OutRegs[size_t{T} * OutLen], OutLen,
+                  OutAtoms + size_t{T} * Slices * OutLen);
+}

@@ -1,0 +1,93 @@
+//===- KernelRunner.h - Batched execution of compiled kernels ---*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the cryptographic runtime and a compiled kernel: owns the
+/// transposition layout and an execution engine, feeds
+/// slices-times-interleave blocks per kernel invocation, and broadcasts
+/// uniform inputs (round keys) to every slice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_RUNTIME_KERNELRUNNER_H
+#define USUBA_RUNTIME_KERNELRUNNER_H
+
+#include "core/Compiler.h"
+#include "interp/Interpreter.h"
+#include "runtime/Layout.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace usuba {
+
+/// Executes a compiled kernel over batches of blocks.
+///
+/// Parameters are classified by the caller: PerBlock inputs differ per
+/// block (plaintext, counters); Broadcast inputs are shared by every
+/// block in flight (expanded keys).
+class KernelRunner {
+public:
+  /// An optional native entry point (from NativeJit): consumes and
+  /// produces the same register layout as the interpreter, as raw
+  /// uint64_t words (widthWords() words per register).
+  using NativeFn = void (*)(const uint64_t *Inputs, uint64_t *Outputs);
+
+  explicit KernelRunner(CompiledKernel Kernel);
+
+  /// Blocks consumed per kernel invocation: slices x interleave factor.
+  unsigned blocksPerCall() const { return BlocksPerCall; }
+
+  /// Atom counts of each parameter / return value.
+  const std::vector<unsigned> &paramLens() const { return ParamLens; }
+  const std::vector<unsigned> &returnLens() const { return ReturnLens; }
+  unsigned outputAtomsPerBlock() const { return OutLen; }
+
+  const CompiledKernel &kernel() const { return Kernel; }
+
+  /// Routes execution through \p Fn (a JIT-compiled native kernel)
+  /// instead of the interpreter. Pass nullptr to restore interpretation.
+  void setNativeFn(NativeFn Fn) { Native = Fn; }
+  bool usingNative() const { return Native != nullptr; }
+
+  /// One input parameter for a batch.
+  struct ParamData {
+    /// When true, \c Atoms holds one block's worth of atoms shared by all
+    /// blocks; otherwise blocksPerCall() blocks' worth, block-major.
+    bool Broadcast;
+    const uint64_t *Atoms;
+  };
+
+  /// Runs one batch: packs inputs, executes, unpacks blocksPerCall()
+  /// output blocks (block-major atoms) into \p OutAtoms.
+  void runBatch(const std::vector<ParamData> &Params, uint64_t *OutAtoms);
+
+  /// Executes only the kernel (no packing/unpacking) on whatever register
+  /// contents are currently staged — the benchmark harness uses this to
+  /// measure the primitive alone, as the paper's Figures 3/4 do.
+  void kernelOnly();
+
+  /// Packing-only entry points for the transposition benchmarks.
+  const SliceLayout &layout() const { return Layout; }
+
+private:
+  CompiledKernel Kernel;
+  SliceLayout Layout;
+  Interpreter Interp;
+  NativeFn Native = nullptr;
+  unsigned BlocksPerCall;
+  unsigned Slices;
+  unsigned OutLen;
+  std::vector<unsigned> ParamLens;
+  std::vector<unsigned> ReturnLens;
+  std::vector<SimdReg> InRegs, OutRegs;
+  std::vector<uint64_t> DenseIn, DenseOut; ///< native-ABI staging
+};
+
+} // namespace usuba
+
+#endif // USUBA_RUNTIME_KERNELRUNNER_H

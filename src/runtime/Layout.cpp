@@ -1,0 +1,143 @@
+//===- Layout.cpp - Slicing data layouts and transposition ----------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Layout.h"
+
+using namespace usuba;
+
+void SliceLayout::pack(const uint64_t *Blocks, unsigned Len,
+                       SimdReg *Regs) const {
+  const unsigned S = slices();
+  const unsigned W = widthWords();
+  if (MBits == 1) {
+    // Bitslicing: register r bit b = atom r of block b. Fast path for the
+    // classic 64x64 transpose shape.
+    if (S == 64 && Len == 64) {
+      uint64_t M[64];
+      for (unsigned B = 0; B < 64; ++B) {
+        uint64_t Row = 0;
+        for (unsigned R = 0; R < 64; ++R)
+          Row |= (Blocks[B * 64 + R] & 1) << R;
+        M[B] = Row;
+      }
+      // M[b] bit r = atom r of block b; transposing gives M[r] bit b.
+      transpose64x64(M);
+      for (unsigned R = 0; R < 64; ++R) {
+        Regs[R] = SimdReg{};
+        Regs[R].Words[0] = M[R];
+      }
+      return;
+    }
+    for (unsigned R = 0; R < Len; ++R) {
+      Regs[R] = SimdReg{};
+      for (unsigned B = 0; B < S; ++B)
+        Regs[R].setBit(B, Blocks[B * Len + R] & 1);
+    }
+    return;
+  }
+
+  if (Direction == Dir::Horiz) {
+    const unsigned GroupBits = (W * 64) / MBits;
+    for (unsigned R = 0; R < Len; ++R) {
+      Regs[R] = SimdReg{};
+      for (unsigned B = 0; B < S; ++B) {
+        uint64_t Atom = Blocks[B * Len + R];
+        for (unsigned J = 0; J < MBits; ++J)
+          Regs[R].setBit(J * GroupBits + B, getBit(Atom, MBits - 1 - J));
+      }
+    }
+    return;
+  }
+
+  // Vertical: assemble whole 64-bit words (MBits is a power of two, so
+  // elements never straddle words).
+  const unsigned PerWord = 64 / MBits;
+  const uint64_t Mask = lowBitMask(MBits);
+  for (unsigned R = 0; R < Len; ++R) {
+    Regs[R] = SimdReg{};
+    unsigned B = 0;
+    for (unsigned Word = 0; B < S; ++Word) {
+      uint64_t Value = 0;
+      for (unsigned E = 0; E < PerWord && B < S; ++E, ++B)
+        Value |= (Blocks[size_t{B} * Len + R] & Mask) << (E * MBits);
+      Regs[R].Words[Word] = Value;
+    }
+  }
+}
+
+void SliceLayout::unpack(const SimdReg *Regs, unsigned Len,
+                         uint64_t *Blocks) const {
+  const unsigned S = slices();
+  const unsigned W = widthWords();
+  if (MBits == 1) {
+    if (S == 64 && Len == 64) {
+      uint64_t M[64];
+      for (unsigned R = 0; R < 64; ++R)
+        M[R] = Regs[R].Words[0];
+      transpose64x64(M);
+      for (unsigned B = 0; B < 64; ++B)
+        for (unsigned R = 0; R < 64; ++R)
+          Blocks[B * 64 + R] = getBit(M[B], R);
+      return;
+    }
+    for (unsigned R = 0; R < Len; ++R)
+      for (unsigned B = 0; B < S; ++B)
+        Blocks[B * Len + R] = Regs[R].bit(B);
+    return;
+  }
+
+  if (Direction == Dir::Horiz) {
+    const unsigned GroupBits = (W * 64) / MBits;
+    for (unsigned R = 0; R < Len; ++R)
+      for (unsigned B = 0; B < S; ++B) {
+        uint64_t Atom = 0;
+        for (unsigned J = 0; J < MBits; ++J)
+          Atom = setBit(Atom, MBits - 1 - J,
+                        Regs[R].bit(J * GroupBits + B));
+        Blocks[B * Len + R] = Atom;
+      }
+    return;
+  }
+
+  const unsigned PerWord = 64 / MBits;
+  const uint64_t Mask = lowBitMask(MBits);
+  for (unsigned R = 0; R < Len; ++R) {
+    unsigned B = 0;
+    for (unsigned Word = 0; B < S; ++Word) {
+      uint64_t Value = Regs[R].Words[Word];
+      for (unsigned E = 0; E < PerWord && B < S; ++E, ++B)
+        Blocks[size_t{B} * Len + R] = (Value >> (E * MBits)) & Mask;
+    }
+  }
+}
+
+void usuba::expandAtomsToBits(const uint64_t *Atoms, unsigned Count,
+                              unsigned MBits, uint64_t *Bits) {
+  for (unsigned A = 0; A < Count; ++A)
+    for (unsigned J = 0; J < MBits; ++J)
+      Bits[A * MBits + J] = getBit(Atoms[A], MBits - 1 - J);
+}
+
+void usuba::collapseBitsToAtoms(const uint64_t *Bits, unsigned Count,
+                                unsigned MBits, uint64_t *Atoms) {
+  for (unsigned A = 0; A < Count; ++A) {
+    uint64_t Atom = 0;
+    for (unsigned J = 0; J < MBits; ++J)
+      Atom = setBit(Atom, MBits - 1 - J, Bits[A * MBits + J] & 1);
+    Atoms[A] = Atom;
+  }
+}
+
+void SliceLayout::packBroadcast(const uint64_t *Atoms, unsigned Len,
+                                SimdReg *Regs) const {
+  const unsigned W = widthWords();
+  for (unsigned R = 0; R < Len; ++R) {
+    if (Direction == Dir::Horiz && MBits > 1)
+      simd::broadcastHorizontal(Regs[R], Atoms[R], W, MBits);
+    else
+      simd::broadcastVertical(Regs[R], Atoms[R], W, MBits);
+  }
+}

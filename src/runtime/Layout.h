@@ -1,0 +1,79 @@
+//===- Layout.h - Slicing data layouts and transposition --------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data layouts of paper Figure 2 and the transposition routines that
+/// move blocks in and out of them (Section 4.3 measures their cost).
+///
+/// Blocks are represented structurally as vectors of *atom values*: a
+/// parameter of distilled type uDm[L] takes L atoms of m bits per block.
+/// Packing S blocks (S = slices per register) produces L registers:
+///
+///  * vertical:   register r, element b  <- atom r of block b;
+///  * horizontal: register r, position j, bit b <- bit (m-1-j) of atom r
+///    of block b (position 0 carries the atom's MSB, matching the
+///    vector-index convention of the compiler);
+///  * bitslice:   register r, bit b <- atom r (one bit) of block b.
+///
+/// Broadcast packing fills every slice with the same atom (used for keys,
+/// which are shared by all blocks in flight).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_RUNTIME_LAYOUT_H
+#define USUBA_RUNTIME_LAYOUT_H
+
+#include "interp/SimdReg.h"
+#include "types/Arch.h"
+#include "types/Type.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace usuba {
+
+/// Packing/unpacking for one slicing configuration.
+class SliceLayout {
+public:
+  SliceLayout(Dir Direction, unsigned MBits, const Arch &Target)
+      : Direction(Direction), MBits(MBits), Target(&Target) {}
+
+  /// Independent blocks per register (Figure 2 / Section 4.3: 1 for
+  /// vertical slicing on GP64, width/m otherwise, width for bitslicing).
+  unsigned slices() const {
+    return Target->slicesFor(MBits, Direction == Dir::Horiz);
+  }
+
+  unsigned widthWords() const { return Target->SliceBits / 64; }
+
+  /// Packs \p Blocks (slices() blocks, each \p Len atoms, atom r of block
+  /// b at Blocks[b*Len + r]) into \p Regs (Len registers).
+  void pack(const uint64_t *Blocks, unsigned Len, SimdReg *Regs) const;
+
+  /// Inverse of pack.
+  void unpack(const SimdReg *Regs, unsigned Len, uint64_t *Blocks) const;
+
+  /// Packs one block into every slice (keys and other uniform inputs).
+  void packBroadcast(const uint64_t *Atoms, unsigned Len,
+                     SimdReg *Regs) const;
+
+private:
+  Dir Direction;
+  unsigned MBits;
+  const Arch *Target;
+};
+
+/// Conversions between m-bit atom values and their -B (bitslice) form:
+/// flattening maps an m-bit atom to m single-bit atoms, most significant
+/// bit first (the compiler's vector-index convention).
+void expandAtomsToBits(const uint64_t *Atoms, unsigned Count,
+                       unsigned MBits, uint64_t *Bits);
+void collapseBitsToAtoms(const uint64_t *Bits, unsigned Count,
+                         unsigned MBits, uint64_t *Atoms);
+
+} // namespace usuba
+
+#endif // USUBA_RUNTIME_LAYOUT_H

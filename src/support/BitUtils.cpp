@@ -1,0 +1,27 @@
+//===- BitUtils.cpp - Bit-twiddling helpers -------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitUtils.h"
+
+using namespace usuba;
+
+void usuba::transpose64x64(uint64_t M[64]) {
+  // Swap progressively smaller off-diagonal blocks: 32x32, 16x16, ... 1x1.
+  // After round k, blocks of size 2^k along the diagonal are transposed.
+  unsigned BlockSize = 32;
+  uint64_t Mask = 0x00000000FFFFFFFFull;
+  while (BlockSize != 0) {
+    // Visit every row whose BlockSize bit is clear; it pairs with the row
+    // BlockSize above it.
+    for (unsigned Row = 0; Row < 64; Row = (Row + BlockSize + 1) & ~BlockSize) {
+      uint64_t Delta = (M[Row] >> BlockSize ^ M[Row + BlockSize]) & Mask;
+      M[Row] ^= Delta << BlockSize;
+      M[Row + BlockSize] ^= Delta;
+    }
+    BlockSize >>= 1;
+    Mask ^= Mask << BlockSize;
+  }
+}

@@ -1,0 +1,74 @@
+//===- BitUtils.h - Bit-twiddling helpers -----------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small bit-manipulation helpers shared by the SIMD simulator, the
+/// transposition runtime and the reference ciphers. Bit index conventions:
+/// unless stated otherwise, bit 0 is the least-significant bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_SUPPORT_BITUTILS_H
+#define USUBA_SUPPORT_BITUTILS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace usuba {
+
+/// A mask with the low \p Bits bits set. \p Bits must be in [1, 64].
+constexpr uint64_t lowBitMask(unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "mask width out of range");
+  return Bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << Bits) - 1);
+}
+
+/// Extracts bit \p Index (LSB = 0) of \p Value.
+constexpr uint64_t getBit(uint64_t Value, unsigned Index) {
+  assert(Index < 64 && "bit index out of range");
+  return (Value >> Index) & 1;
+}
+
+/// Returns \p Value with bit \p Index set to \p Bit (0 or 1).
+constexpr uint64_t setBit(uint64_t Value, unsigned Index, uint64_t Bit) {
+  assert(Index < 64 && "bit index out of range");
+  assert(Bit <= 1 && "bit value must be 0 or 1");
+  return (Value & ~(uint64_t{1} << Index)) | (Bit << Index);
+}
+
+/// Rotates the low \p Width bits of \p Value left by \p Amount. Bits above
+/// \p Width must be zero and stay zero.
+constexpr uint64_t rotateLeft(uint64_t Value, unsigned Amount,
+                              unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "rotate width out of range");
+  assert((Value & ~lowBitMask(Width)) == 0 && "value wider than Width");
+  Amount %= Width;
+  if (Amount == 0)
+    return Value;
+  return ((Value << Amount) | (Value >> (Width - Amount))) &
+         lowBitMask(Width);
+}
+
+/// Rotates the low \p Width bits of \p Value right by \p Amount.
+constexpr uint64_t rotateRight(uint64_t Value, unsigned Amount,
+                               unsigned Width) {
+  Amount %= Width;
+  return rotateLeft(Value, Width - Amount == Width ? 0 : Width - Amount,
+                    Width);
+}
+
+/// In-place transposition of a 64x64 bit matrix stored as 64 row words
+/// (row r bit c == M[r] bit c). Classic Hacker's Delight block-swap; used
+/// by the bitslice transposition fast path.
+void transpose64x64(uint64_t M[64]);
+
+/// True if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+} // namespace usuba
+
+#endif // USUBA_SUPPORT_BITUTILS_H

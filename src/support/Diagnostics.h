@@ -1,0 +1,73 @@
+//===- Diagnostics.h - Error reporting for the Usubac pipeline --*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Every front-end stage (lexer, parser, type
+/// checker, elaboration) reports through a DiagnosticEngine instead of
+/// printing or throwing; callers inspect hasErrors() to decide whether the
+/// pipeline may continue. This mirrors the recoverable-error discipline of
+/// production compilers without using exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_SUPPORT_DIAGNOSTICS_H
+#define USUBA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace usuba {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic: severity, position and rendered message.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "error: 3:14: message" in the style used by the CLI driver.
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted during a compilation. The engine is passed
+/// by reference through the pipeline; it never aborts the process.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line (used by tests and the CLI).
+  std::string str() const;
+
+  /// Drops all collected diagnostics, e.g. between independent compiles.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace usuba
+
+#endif // USUBA_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,48 @@
+//===- SourceLoc.h - Source positions for diagnostics ----------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source positions attached to tokens, AST nodes and
+/// diagnostics. Usuba programs are small (a few hundred lines), so a plain
+/// line/column pair is all we need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_SUPPORT_SOURCELOC_H
+#define USUBA_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace usuba {
+
+/// A (line, column) position within an Usuba source buffer. Lines and
+/// columns are 1-based; a default-constructed location is "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  constexpr bool isValid() const { return Line != 0; }
+
+  friend constexpr bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+
+  /// Renders "line:column", or "<unknown>" for an invalid location.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace usuba
+
+#endif // USUBA_SUPPORT_SOURCELOC_H

@@ -1,0 +1,92 @@
+//===- Arch.cpp - SIMD architecture model ---------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/Arch.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace usuba;
+
+// Register counts follow the paper (Section 4.2): 16 GPRs on x86-64, 8 XMM
+// registers architecturally addressable in 32-bit-era SSE code... we use the
+// 64-bit counts: 16 XMM/YMM registers up to AVX2 and 32 ZMM registers on
+// AVX512.
+static const Arch GP64Arch = {ArchKind::GP64, "gp64", 64, 16,
+                              /*ThreeOperand=*/false,
+                              /*HasVectorArith=*/false,
+                              /*HasShuffle=*/false,
+                              /*HasTernaryLogic=*/false};
+static const Arch SSEArch = {ArchKind::SSE, "sse", 128, 16,
+                             /*ThreeOperand=*/false,
+                             /*HasVectorArith=*/true,
+                             /*HasShuffle=*/true,
+                             /*HasTernaryLogic=*/false};
+static const Arch AVXArch = {ArchKind::AVX, "avx", 128, 16,
+                             /*ThreeOperand=*/true,
+                             /*HasVectorArith=*/true,
+                             /*HasShuffle=*/true,
+                             /*HasTernaryLogic=*/false};
+static const Arch AVX2Arch = {ArchKind::AVX2, "avx2", 256, 16,
+                              /*ThreeOperand=*/true,
+                              /*HasVectorArith=*/true,
+                              /*HasShuffle=*/true,
+                              /*HasTernaryLogic=*/false};
+static const Arch AVX512Arch = {ArchKind::AVX512, "avx512", 512, 32,
+                                /*ThreeOperand=*/true,
+                                /*HasVectorArith=*/true,
+                                /*HasShuffle=*/true,
+                                /*HasTernaryLogic=*/true};
+static const Arch NeonArch = {ArchKind::Neon, "neon", 128, 32,
+                              /*ThreeOperand=*/true,
+                              /*HasVectorArith=*/true,
+                              /*HasShuffle=*/true, // vtbl
+                              /*HasTernaryLogic=*/false};
+
+const Arch &usuba::archGP64() { return GP64Arch; }
+const Arch &usuba::archSSE() { return SSEArch; }
+const Arch &usuba::archAVX() { return AVXArch; }
+const Arch &usuba::archAVX2() { return AVX2Arch; }
+const Arch &usuba::archAVX512() { return AVX512Arch; }
+const Arch &usuba::archNeon() { return NeonArch; }
+
+const Arch &usuba::archFor(ArchKind Kind) {
+  switch (Kind) {
+  case ArchKind::GP64:
+    return GP64Arch;
+  case ArchKind::SSE:
+    return SSEArch;
+  case ArchKind::AVX:
+    return AVXArch;
+  case ArchKind::AVX2:
+    return AVX2Arch;
+  case ArchKind::AVX512:
+    return AVX512Arch;
+  case ArchKind::Neon:
+    return NeonArch;
+  }
+  return GP64Arch;
+}
+
+static const Arch *const AllArchs[] = {&GP64Arch, &SSEArch, &AVXArch,
+                                       &AVX2Arch, &AVX512Arch};
+
+const Arch *const *usuba::allArchs(unsigned &Count) {
+  Count = 5;
+  return AllArchs;
+}
+
+const Arch *usuba::archByName(const std::string &Name) {
+  std::string Lower = Name;
+  std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  for (const Arch *A : AllArchs)
+    if (Lower == A->Name)
+      return A;
+  if (Lower == NeonArch.Name)
+    return &NeonArch;
+  return nullptr;
+}

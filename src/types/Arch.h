@@ -1,0 +1,146 @@
+//===- Arch.h - SIMD architecture model -------------------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of the target instruction sets of the paper's evaluation (x86-64
+/// general-purpose registers, SSE, AVX, AVX2, AVX512). The model drives
+/// type-class instance resolution (Table 1), the interleaving heuristic
+/// (number of architectural registers), the m-slice scheduler (execution
+/// port classes) and C code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_TYPES_ARCH_H
+#define USUBA_TYPES_ARCH_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace usuba {
+
+enum class ArchKind : uint8_t {
+  GP64,
+  SSE,
+  AVX,
+  AVX2,
+  AVX512,
+  /// Arm Neon (128-bit): the paper's introduction names it among the
+  /// SIMD families bitslicing scales to. Type checking and the SIMD
+  /// simulator support it fully; the C backend covers the x86 family
+  /// only, so Neon kernels always run on the simulator here.
+  Neon,
+};
+
+/// Description of one target instruction set.
+struct Arch {
+  ArchKind Kind;
+  const char *Name;
+  /// Register width in bits (the paper distinguishes AVX, which still
+  /// slices on 128 bits, from AVX2 which slices on 256).
+  unsigned SliceBits;
+  /// Number of architectural SIMD (or general-purpose) registers, used by
+  /// the interleaving heuristic of Section 3.2.
+  unsigned NumRegisters;
+  /// Three-operand non-destructive instructions (VEX encoding).
+  bool ThreeOperand;
+  /// Packed (vertical) integer arithmetic and shifts on sub-register
+  /// elements. x86-64 GPRs have none, which is why vsliced code on GP64
+  /// processes a single block at a time (Section 4.3).
+  bool HasVectorArith;
+  /// Byte-shuffle within 128-bit lanes (pshufb/vpshufb), required by
+  /// horizontal slicing.
+  bool HasShuffle;
+  /// vpternlogq-style 3-input Boolean instruction (AVX512), which fuses
+  /// nested logic gates (Section 4.2).
+  bool HasTernaryLogic;
+
+  /// True when vertical (packed) arithmetic exists at element size MBits.
+  /// Per Table 1: 8/16/32-bit arithmetic from SSE on, 64-bit from AVX2 on.
+  /// On GP64 scalar arithmetic covers 8/16/32/64 bits (one slice).
+  bool supportsVerticalArith(unsigned MBits) const {
+    if (MBits != 8 && MBits != 16 && MBits != 32 && MBits != 64)
+      return false;
+    if (Kind == ArchKind::GP64)
+      return true; // scalar, single-slice
+    if (MBits == 64)
+      return Kind == ArchKind::AVX2 || Kind == ArchKind::AVX512 ||
+             Kind == ArchKind::Neon;
+    return true;
+  }
+
+  /// True when vertical (packed) shifts exist at element size MBits.
+  /// Table 1: uV16/uV32 from SSE, uV64 from AVX2. GP64 shifts a single
+  /// scalar slice.
+  bool supportsVerticalShift(unsigned MBits) const {
+    if (Kind == ArchKind::GP64)
+      return MBits == 8 || MBits == 16 || MBits == 32 || MBits == 64;
+    if (Kind == ArchKind::Neon)
+      return MBits == 8 || MBits == 16 || MBits == 32 || MBits == 64;
+    if (MBits == 16 || MBits == 32)
+      return true;
+    if (MBits == 64)
+      return Kind == ArchKind::AVX2 || Kind == ArchKind::AVX512;
+    return false;
+  }
+
+  /// True when horizontal shifts/rotates (element shuffles) exist at atom
+  /// size MBits. Table 1: uH2..uH16 from SSE (pshufb within a 16-byte
+  /// lane), uH32/uH64 from AVX512. Bitslicing (m = 1) never reaches here:
+  /// shifting a b1 is meaningless, and vector-level shifts are free.
+  bool supportsHorizontalShift(unsigned MBits) const {
+    if (!HasShuffle)
+      return false;
+    if (MBits == 2 || MBits == 4 || MBits == 8 || MBits == 16)
+      return true;
+    if (MBits == 32 || MBits == 64)
+      return Kind == ArchKind::AVX512;
+    return false;
+  }
+
+  /// Maximum word size of Table 1's Logic instances for this architecture
+  /// (the register width: logic is width-agnostic).
+  unsigned maxLogicWordBits() const { return SliceBits; }
+
+  /// Number of independent cipher instances ("slices") a register holds
+  /// for a given slicing. Bitslice: one per bit. Vertical: one per m-bit
+  /// element, except on GP64 where the lack of packed ops forces a single
+  /// slice. Horizontal: the m bits of an atom occupy m packed elements;
+  /// the remaining bits of each element hold further slices.
+  unsigned slicesFor(unsigned MBits, bool Horizontal) const {
+    assert(MBits >= 1 && MBits <= SliceBits && "atom wider than register");
+    if (MBits == 1)
+      return SliceBits; // bitslicing
+    if (Kind == ArchKind::GP64)
+      return 1;
+    (void)Horizontal;
+    return SliceBits / MBits;
+  }
+};
+
+/// The five targets of the paper's evaluation, plus Arm Neon.
+const Arch &archGP64();
+const Arch &archSSE();
+const Arch &archAVX();
+const Arch &archAVX2();
+const Arch &archAVX512();
+const Arch &archNeon();
+
+/// Lookup by kind.
+const Arch &archFor(ArchKind Kind);
+
+/// Lookup by name ("gp64", "sse", "avx", "avx2", "avx512"), nullptr when
+/// unknown. Case-insensitive.
+const Arch *archByName(const std::string &Name);
+
+/// The five x86-family architectures of the paper's evaluation, in
+/// increasing capability order (Neon is looked up by name/kind and kept
+/// out of the x86 scaling sweeps).
+const Arch *const *allArchs(unsigned &Count);
+
+} // namespace usuba
+
+#endif // USUBA_TYPES_ARCH_H

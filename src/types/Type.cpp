@@ -1,0 +1,111 @@
+//===- Type.cpp - Usuba surface and distilled types -----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/Type.h"
+
+using namespace usuba;
+
+const char *usuba::dirName(Dir D) {
+  switch (D) {
+  case Dir::Param:
+    return "'D";
+  case Dir::Vert:
+    return "V";
+  case Dir::Horiz:
+    return "H";
+  }
+  return "?";
+}
+
+bool Type::isPolymorphic() const {
+  switch (K) {
+  case Kind::Nat:
+    return false;
+  case Kind::Base:
+    return Direction == Dir::Param || Word.IsParam;
+  case Kind::Vector:
+    return Elem->isPolymorphic();
+  }
+  return false;
+}
+
+unsigned Type::flattenedLength() const {
+  switch (K) {
+  case Kind::Nat:
+    assert(false && "flattenedLength of nat");
+    return 0;
+  case Kind::Base:
+    return 1;
+  case Kind::Vector:
+    return Len * Elem->flattenedLength();
+  }
+  return 0;
+}
+
+const Type &Type::scalarType() const {
+  const Type *T = this;
+  while (T->isVector())
+    T = T->Elem.get();
+  assert(T->isBase() && "scalarType of nat");
+  return *T;
+}
+
+unsigned Type::bitWidth() const {
+  const Type &Scalar = scalarType();
+  assert(!Scalar.wordSize().IsParam && "bitWidth of polymorphic type");
+  return Scalar.wordSize().Bits * flattenedLength();
+}
+
+bool usuba::operator==(const Type &A, const Type &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Type::Kind::Nat:
+    return true;
+  case Type::Kind::Base:
+    return A.Direction == B.Direction && A.Word == B.Word;
+  case Type::Kind::Vector:
+    return A.Len == B.Len && *A.Elem == *B.Elem;
+  }
+  return false;
+}
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Nat:
+    return "nat";
+  case Kind::Base: {
+    std::string Out = "u";
+    Out += dirName(Direction);
+    if (Word.IsParam)
+      Out += "'m";
+    else
+      Out += std::to_string(Word.Bits);
+    return Out;
+  }
+  case Kind::Vector:
+    return Elem->str() + "[" + std::to_string(Len) + "]";
+  }
+  return "?";
+}
+
+Type usuba::substituteType(const Type &T, Dir D, unsigned MBits) {
+  switch (T.kind()) {
+  case Type::Kind::Nat:
+    return T;
+  case Type::Kind::Base: {
+    Dir NewDir = T.direction() == Dir::Param ? D : T.direction();
+    WordSize NewWord = T.wordSize();
+    if (NewWord.IsParam && MBits != 0)
+      NewWord = WordSize::fixed(MBits);
+    return Type::base(NewDir, NewWord);
+  }
+  case Type::Kind::Vector:
+    return Type::vector(substituteType(T.elementType(), D, MBits),
+                        T.length());
+  }
+  return T;
+}

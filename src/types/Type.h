@@ -1,0 +1,155 @@
+//===- Type.h - Usuba surface and distilled types ---------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Usuba type grammar of the paper (Section 2.3):
+///
+/// \code
+///   τ ::= u<D><m>        base type: word of m bits, direction D
+///       | τ[n]           vector of n elements
+///       | nat            compile-time integer (shift amounts, indices)
+///   m ::= 'm | n         parametric or fixed word size
+///   D ::= 'D | V | H     parametric, vertical or horizontal direction
+/// \endcode
+///
+/// Surface abbreviations (resolved by the parser): `um` = u'D m,
+/// `bn` = u'D1[n], `vn` = u'D'm[n]. The matricial type uDm×n of the paper
+/// is represented as the vector type uDm[n]: the paper itself notes that
+/// after type checking both collapse to the same distilled type.
+///
+/// After monomorphization every type is *distilled*: direction and word
+/// size are concrete and nested vectors are flattened, so each variable has
+/// shape uDm[L] for concrete D, m, L.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_TYPES_TYPE_H
+#define USUBA_TYPES_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace usuba {
+
+/// Slicing direction of a base type (paper Figure 2).
+enum class Dir : uint8_t {
+  Param, ///< 'D — direction-polymorphic (Boolean circuits)
+  Vert,  ///< V — vertical slicing (packed-element SIMD ops)
+  Horiz, ///< H — horizontal slicing (intra-register shuffles)
+};
+
+/// Renders "'D", "V" or "H".
+const char *dirName(Dir D);
+
+/// Word size of a base type: either the parameter 'm or a fixed positive
+/// number of bits.
+struct WordSize {
+  bool IsParam = true; ///< true for 'm
+  unsigned Bits = 0;   ///< meaningful only when !IsParam
+
+  static WordSize param() { return {true, 0}; }
+  static WordSize fixed(unsigned Bits) {
+    assert(Bits >= 1 && "word size must be positive");
+    return {false, Bits};
+  }
+
+  friend bool operator==(const WordSize &A, const WordSize &B) {
+    return A.IsParam == B.IsParam && (A.IsParam || A.Bits == B.Bits);
+  }
+};
+
+/// An Usuba type. Value-semantic; vectors share their element type through
+/// a const shared_ptr, so copies are cheap.
+class Type {
+public:
+  enum class Kind : uint8_t { Base, Vector, Nat };
+
+  /// Builds the base type u<D><m>.
+  static Type base(Dir D, WordSize M) {
+    Type T(Kind::Base);
+    T.Direction = D;
+    T.Word = M;
+    return T;
+  }
+  /// Builds the vector type Elem[Len].
+  static Type vector(Type Elem, unsigned Len) {
+    assert(Len >= 1 && "vector length must be positive");
+    Type T(Kind::Vector);
+    T.Elem = std::make_shared<const Type>(std::move(Elem));
+    T.Len = Len;
+    return T;
+  }
+  /// Builds the compile-time integer type.
+  static Type nat() { return Type(Kind::Nat); }
+
+  Kind kind() const { return K; }
+  bool isBase() const { return K == Kind::Base; }
+  bool isVector() const { return K == Kind::Vector; }
+  bool isNat() const { return K == Kind::Nat; }
+
+  Dir direction() const {
+    assert(isBase() && "direction of non-base type");
+    return Direction;
+  }
+  WordSize wordSize() const {
+    assert(isBase() && "word size of non-base type");
+    return Word;
+  }
+  const Type &elementType() const {
+    assert(isVector() && "element type of non-vector");
+    return *Elem;
+  }
+  unsigned length() const {
+    assert(isVector() && "length of non-vector");
+    return Len;
+  }
+
+  /// True if the type mentions the word-size parameter 'm or the direction
+  /// parameter 'D anywhere.
+  bool isPolymorphic() const;
+
+  /// Total number of base-type elements after full flattening: 1 for a
+  /// base type, product of vector lengths otherwise.
+  unsigned flattenedLength() const;
+
+  /// The innermost base type (asserts the type is not nat).
+  const Type &scalarType() const;
+
+  /// Total number of *bits* in one block of this type: word size times
+  /// flattened length. Only valid for monomorphic types.
+  unsigned bitWidth() const;
+
+  /// Structural equality (parameters only equal parameters).
+  friend bool operator==(const Type &A, const Type &B);
+  friend bool operator!=(const Type &A, const Type &B) { return !(A == B); }
+
+  /// Renders the type in surface syntax, e.g. "uV16[4]" or "u'D'm[3]".
+  std::string str() const;
+
+private:
+  explicit Type(Kind K) : K(K) {}
+
+  Kind K;
+  // Base payload.
+  Dir Direction = Dir::Param;
+  WordSize Word = WordSize::param();
+  // Vector payload.
+  std::shared_ptr<const Type> Elem;
+  unsigned Len = 0;
+};
+
+/// Structural type equality (see the friend declaration in Type).
+bool operator==(const Type &A, const Type &B);
+
+/// Substitutes concrete values for the type parameters: 'D -> D and
+/// 'm -> MBits (when MBits != 0). Used by monomorphization.
+Type substituteType(const Type &T, Dir D, unsigned MBits);
+
+} // namespace usuba
+
+#endif // USUBA_TYPES_TYPE_H

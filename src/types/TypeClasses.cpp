@@ -1,0 +1,125 @@
+//===- TypeClasses.cpp - Table 1 operator-instance resolution -------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeClasses.h"
+
+using namespace usuba;
+
+const char *usuba::opClassName(OpClass C) {
+  switch (C) {
+  case OpClass::Logic:
+    return "Logic";
+  case OpClass::Arith:
+    return "Arith";
+  case OpClass::Shift:
+    return "Shift";
+  }
+  return "?";
+}
+
+static InstanceResolution resolveLogicBase(const Type &T,
+                                           const Arch &Target) {
+  WordSize W = T.wordSize();
+  assert(!W.IsParam && "logic resolution requires a concrete word size");
+  // Table 1: Logic(u'Dm) exists for every m up to the register width of
+  // the architecture; the direction is irrelevant for bitwise operations.
+  if (W.Bits <= Target.maxLogicWordBits())
+    return InstanceResolution::ok(InstanceImpl::Native);
+  return InstanceResolution::fail(
+      "no Logic instance at " + T.str() + " on " + Target.Name +
+      ": words of " + std::to_string(W.Bits) + " bits exceed the " +
+      std::to_string(Target.SliceBits) + "-bit registers");
+}
+
+static InstanceResolution resolveArithBase(const Type &T,
+                                           const Arch &Target) {
+  WordSize W = T.wordSize();
+  assert(!W.IsParam && "arith resolution requires a concrete word size");
+  if (W.Bits == 1)
+    return InstanceResolution::fail(
+        "no Arith instance at " + T.str() +
+        ": arithmetic cannot be bitsliced (a software adder circuit would "
+        "be required); this program cannot be compiled with -B");
+  if (T.direction() == Dir::Horiz)
+    return InstanceResolution::fail(
+        "no Arith instance at " + T.str() +
+        ": packed arithmetic operates vertically; use vertical slicing");
+  // A parametric direction would need an instance at every direction, and
+  // Arith only has vertical ones.
+  if (T.direction() == Dir::Param)
+    return InstanceResolution::fail(
+        "no Arith instance at direction-polymorphic type " + T.str() +
+        ": arithmetic instances exist only at direction V");
+  if (!Target.supportsVerticalArith(W.Bits))
+    return InstanceResolution::fail(
+        "no Arith instance at " + T.str() + " on " + Target.Name +
+        ": packed " + std::to_string(W.Bits) +
+        "-bit arithmetic is not available on this instruction set");
+  return InstanceResolution::ok(InstanceImpl::Native);
+}
+
+static InstanceResolution resolveShiftBase(const Type &T,
+                                           const Arch &Target) {
+  WordSize W = T.wordSize();
+  assert(!W.IsParam && "shift resolution requires a concrete word size");
+  if (W.Bits == 1)
+    return InstanceResolution::fail(
+        "no Shift instance at " + T.str() +
+        ": a single bit cannot be shifted; shift the enclosing vector "
+        "instead (which is free)");
+  switch (T.direction()) {
+  case Dir::Vert:
+    if (Target.supportsVerticalShift(W.Bits))
+      return InstanceResolution::ok(InstanceImpl::Native);
+    return InstanceResolution::fail(
+        "no Shift instance at " + T.str() + " on " + Target.Name +
+        ": packed " + std::to_string(W.Bits) +
+        "-bit shifts are not available on this instruction set");
+  case Dir::Horiz:
+    if (Target.supportsHorizontalShift(W.Bits))
+      return InstanceResolution::ok(InstanceImpl::Native);
+    return InstanceResolution::fail(
+        "no Shift instance at " + T.str() + " on " + Target.Name +
+        ": element shuffles at " + std::to_string(W.Bits) +
+        " elements are not available on this instruction set");
+  case Dir::Param:
+    // Table 1: Shift(uV'm), Shift(uH'm) => Shift(u'D'm); remaining
+    // parametric after monomorphization means both must exist.
+    if (Target.supportsVerticalShift(W.Bits) &&
+        Target.supportsHorizontalShift(W.Bits))
+      return InstanceResolution::ok(InstanceImpl::Native);
+    return InstanceResolution::fail(
+        "no Shift instance at direction-polymorphic type " + T.str() +
+        " on " + std::string(Target.Name));
+  }
+  return InstanceResolution::fail("unreachable");
+}
+
+InstanceResolution usuba::resolveInstance(OpClass C, const Type &T,
+                                          const Arch &Target) {
+  assert(!T.isNat() && "operators do not apply to nat");
+  if (T.isVector()) {
+    // Shifting a vector renames its elements: 0 instructions, always
+    // available (Table 1, first Shift row).
+    if (C == OpClass::Shift)
+      return InstanceResolution::ok(InstanceImpl::Renaming);
+    // Logic(τ) => Logic(τ[n]) and Arith(τ) => Arith(τ[n]): homomorphic
+    // application, provided the element instance exists.
+    InstanceResolution Elem = resolveInstance(C, T.elementType(), Target);
+    if (!Elem.Found)
+      return Elem;
+    return InstanceResolution::ok(InstanceImpl::Homomorphic);
+  }
+  switch (C) {
+  case OpClass::Logic:
+    return resolveLogicBase(T, Target);
+  case OpClass::Arith:
+    return resolveArithBase(T, Target);
+  case OpClass::Shift:
+    return resolveShiftBase(T, Target);
+  }
+  return InstanceResolution::fail("unreachable");
+}

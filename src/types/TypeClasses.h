@@ -1,0 +1,78 @@
+//===- TypeClasses.h - Table 1 operator-instance resolution -----*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's bounded polymorphism (Section 2.3, Table 1): the Logic,
+/// Arith and Shift type classes, with instances determined by the operand
+/// type and the target architecture. Resolution is coherent by
+/// construction — the instance set is non-overlapping — and failure
+/// produces the user-facing explanation the paper advertises ("which
+/// operator is incompatible with (efficient) bitslicing").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_TYPES_TYPECLASSES_H
+#define USUBA_TYPES_TYPECLASSES_H
+
+#include "types/Arch.h"
+#include "types/Type.h"
+
+#include <string>
+
+namespace usuba {
+
+/// The three operator classes of the paper.
+enum class OpClass : uint8_t { Logic, Arith, Shift };
+
+const char *opClassName(OpClass C);
+
+/// How a resolved operator instance is implemented (Table 1, rightmost
+/// column).
+enum class InstanceImpl : uint8_t {
+  /// One (or a handful of) machine instruction(s) on a full register:
+  /// and/or/xor, vpadd, vpsll, vpshufb...
+  Native,
+  /// Homomorphic application over the elements of a vector type
+  /// (n instructions).
+  Homomorphic,
+  /// Shifting a vector amounts to statically renaming registers
+  /// (0 instructions).
+  Renaming,
+};
+
+/// Result of instance resolution: either an implementation strategy or a
+/// diagnostic explaining why no instance exists.
+struct InstanceResolution {
+  bool Found = false;
+  InstanceImpl Impl = InstanceImpl::Native;
+  std::string Reason; ///< set when !Found
+
+  static InstanceResolution ok(InstanceImpl Impl) {
+    InstanceResolution R;
+    R.Found = true;
+    R.Impl = Impl;
+    return R;
+  }
+  static InstanceResolution fail(std::string Reason) {
+    InstanceResolution R;
+    R.Reason = std::move(Reason);
+    return R;
+  }
+};
+
+/// Resolves the instance of class \p C at operand type \p T on \p Target.
+///
+/// \p T must be monomorphic (concrete direction and word size) except that
+/// a parametric *direction* is accepted for Logic, whose instances are
+/// direction-blind. The checker calls this after monomorphization and for
+/// "would this slicing type-check?" queries (used when reporting which
+/// slicings a cipher supports).
+InstanceResolution resolveInstance(OpClass C, const Type &T,
+                                   const Arch &Target);
+
+} // namespace usuba
+
+#endif // USUBA_TYPES_TYPECLASSES_H

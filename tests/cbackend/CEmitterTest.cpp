@@ -1,0 +1,125 @@
+//===- CEmitterTest.cpp - C emission tests --------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cbackend/CEmitter.h"
+
+#include "ciphers/UsubaSources.h"
+#include "core/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+CompiledKernel compile(std::string_view Source, Dir Direction,
+                       unsigned WordBits, bool Bitslice, const Arch &Target,
+                       bool Inline = true) {
+  CompileOptions Options;
+  Options.Direction = Direction;
+  Options.WordBits = WordBits;
+  Options.Bitslice = Bitslice;
+  Options.Target = &Target;
+  Options.Inline = Inline;
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(Source, Options, Diags);
+  EXPECT_TRUE(Kernel.has_value()) << Diags.str();
+  return std::move(*Kernel);
+}
+
+TEST(CEmitter, TargetSelectsTypesAndFlags) {
+  CompiledKernel K =
+      compile(rectangleSource(), Dir::Vert, 16, false, archAVX2());
+  EmittedC C = emitC(K.Prog);
+  EXPECT_NE(C.Code.find("typedef __m256i word_t;"), std::string::npos);
+  EXPECT_NE(C.Code.find("usuba_kernel"), std::string::npos);
+  EXPECT_NE(C.Code.find("_mm256_xor_si256"), std::string::npos);
+  ASSERT_FALSE(C.CompilerFlags.empty());
+  EXPECT_EQ(C.CompilerFlags[0], "-mavx2");
+}
+
+TEST(CEmitter, VerticalRotationsUseShiftOrPairs) {
+  CompiledKernel K =
+      compile(rectangleSource(), Dir::Vert, 16, false, archSSE());
+  EmittedC C = emitC(K.Prog);
+  EXPECT_NE(C.Code.find("_mm_slli_epi16"), std::string::npos);
+  EXPECT_NE(C.Code.find("_mm_srli_epi16"), std::string::npos);
+}
+
+TEST(CEmitter, Avx512UsesNativeRotates) {
+  CompiledKernel K =
+      compile(chacha20Source(), Dir::Vert, 32, false, archAVX512());
+  EmittedC C = emitC(K.Prog);
+  EXPECT_NE(C.Code.find("_mm512_rol_epi32"), std::string::npos);
+  EXPECT_NE(C.Code.find("_mm512_add_epi32"), std::string::npos);
+}
+
+TEST(CEmitter, HorizontalShufflesPerTarget) {
+  CompiledKernel Sse =
+      compile(aesSource(), Dir::Horiz, 16, false, archSSE());
+  EXPECT_NE(emitC(Sse.Prog).Code.find("_mm_shuffle_epi8"),
+            std::string::npos);
+  CompiledKernel Avx2 =
+      compile(aesSource(), Dir::Horiz, 16, false, archAVX2());
+  std::string Code = emitC(Avx2.Prog).Code;
+  EXPECT_NE(Code.find("_mm256_shuffle_epi8"), std::string::npos);
+  EXPECT_NE(Code.find("_mm256_permute2x128_si256"), std::string::npos)
+      << "cross-lane sources need the lane-swap fix-up";
+  CompiledKernel Avx512 =
+      compile(aesSource(), Dir::Horiz, 16, false, archAVX512());
+  EXPECT_NE(emitC(Avx512.Prog).Code.find("_mm512_maskz_permutexvar_epi32"),
+            std::string::npos);
+}
+
+TEST(CEmitter, ScalarUsesExactWidthIntegers) {
+  CompiledKernel K =
+      compile(chacha20Source(), Dir::Vert, 32, false, archGP64());
+  std::string Code = emitC(K.Prog).Code;
+  EXPECT_NE(Code.find("typedef uint32_t word_t;"), std::string::npos);
+  // Rotations use the (x << k) | (x >> (m-k)) idiom.
+  EXPECT_NE(Code.find("<< 16) | ("), std::string::npos);
+  // GP64 must not silently auto-vectorize.
+  bool NoVec = false;
+  for (const std::string &Flag : emitC(K.Prog).CompilerFlags)
+    NoVec |= Flag == "-fno-tree-vectorize";
+  EXPECT_TRUE(NoVec);
+}
+
+TEST(CEmitter, BitsliceUsesFullWords) {
+  CompiledKernel K =
+      compile(desSource(), Dir::Vert, 1, false, archGP64());
+  EXPECT_NE(emitC(K.Prog).Code.find("typedef uint64_t word_t;"),
+            std::string::npos);
+}
+
+TEST(CEmitter, NonInlinedCallsBecomeFunctions) {
+  CompiledKernel K = compile(rectangleSource(), Dir::Vert, 16, false,
+                             archAVX2(), /*Inline=*/false);
+  std::string Code = emitC(K.Prog).Code;
+  EXPECT_NE(Code.find("static void f0"), std::string::npos);
+  EXPECT_NE(Code.find("f0("), std::string::npos);
+}
+
+TEST(CEmitter, ConstantsAreDeduplicated) {
+  // Rectangle uses ~ repeatedly: the all-ones constant appears once.
+  CompiledKernel K =
+      compile(rectangleSource(), Dir::Vert, 16, false, archAVX2());
+  std::string Code = emitC(K.Prog).Code;
+  size_t First = Code.find("0xffffffffffffffffull");
+  ASSERT_NE(First, std::string::npos);
+  // Count constant-array definitions holding all-ones.
+  unsigned Defs = 0;
+  size_t Pos = 0;
+  while ((Pos = Code.find("static const uint64_t", Pos)) !=
+         std::string::npos) {
+    ++Defs;
+    ++Pos;
+  }
+  EXPECT_EQ(Defs, 1u);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+//===- UsubaCipherTest.cpp - High-level API tests -------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaCipher.h"
+
+#include "ciphers/RefAes.h"
+#include "ciphers/RefChacha20.h"
+#include "ciphers/RefDes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+std::mt19937_64 &rng() {
+  static std::mt19937_64 Rng(0xFACADE);
+  return Rng;
+}
+
+UsubaCipher make(CipherId Id, SlicingMode Mode, bool Native = false) {
+  CipherConfig Config;
+  Config.Id = Id;
+  Config.Slicing = Mode;
+  Config.Target = &archAVX2();
+  Config.PreferNative = Native;
+  std::string Error;
+  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
+  EXPECT_TRUE(Cipher.has_value()) << Error;
+  return std::move(*Cipher);
+}
+
+TEST(UsubaCipher, CtrIsInvolutive) {
+  for (CipherId Id : {CipherId::Rectangle, CipherId::Des, CipherId::Aes128,
+                      CipherId::Chacha20, CipherId::Serpent,
+                      CipherId::Present}) {
+    SlicingMode Mode = Id == CipherId::Des || Id == CipherId::Present
+                           ? SlicingMode::Bitslice
+                       : Id == CipherId::Aes128 ? SlicingMode::Hslice
+                                                : SlicingMode::Vslice;
+    UsubaCipher Cipher = make(Id, Mode);
+    std::vector<uint8_t> Key(Cipher.keyBytes());
+    for (uint8_t &B : Key)
+      B = static_cast<uint8_t>(rng()());
+    Cipher.setKey(Key.data(), Key.size());
+    uint8_t Nonce[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    std::vector<uint8_t> Data(1000), Original;
+    for (uint8_t &B : Data)
+      B = static_cast<uint8_t>(rng()());
+    Original = Data;
+    Cipher.ctrXor(Data.data(), Data.size(), Nonce, 5);
+    EXPECT_NE(Data, Original) << cipherName(Id);
+    Cipher.ctrXor(Data.data(), Data.size(), Nonce, 5);
+    EXPECT_EQ(Data, Original) << cipherName(Id);
+  }
+}
+
+TEST(UsubaCipher, CtrIsPositionIndependent) {
+  // Encrypting a long buffer equals encrypting it in two halves with the
+  // right starting counters.
+  UsubaCipher Cipher = make(CipherId::Aes128, SlicingMode::Hslice);
+  std::vector<uint8_t> Key(16, 0x11);
+  Cipher.setKey(Key.data(), Key.size());
+  uint8_t Nonce[12] = {};
+  std::vector<uint8_t> Whole(4096, 0), Halves(4096, 0);
+  Cipher.ctrXor(Whole.data(), Whole.size(), Nonce, 0);
+  Cipher.ctrXor(Halves.data(), 2048, Nonce, 0);
+  Cipher.ctrXor(Halves.data() + 2048, 2048, Nonce, 2048 / 16);
+  EXPECT_EQ(Whole, Halves);
+}
+
+TEST(UsubaCipher, EcbMatchesDesReference) {
+  UsubaCipher Cipher = make(CipherId::Des, SlicingMode::Bitslice);
+  uint8_t Key[8] = {0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1};
+  Cipher.setKey(Key, 8);
+  uint64_t Subkeys[16];
+  desKeySchedule(0x133457799BBCDFF1ull, Subkeys);
+
+  const size_t Blocks = 300; // several partial batches
+  std::vector<uint8_t> In(Blocks * 8), Out(Blocks * 8);
+  for (uint8_t &B : In)
+    B = static_cast<uint8_t>(rng()());
+  Cipher.ecbEncrypt(In.data(), Out.data(), Blocks);
+  for (size_t B = 0; B < Blocks; ++B) {
+    uint64_t Block = 0;
+    for (unsigned I = 0; I < 8; ++I)
+      Block = (Block << 8) | In[B * 8 + I];
+    uint64_t Expected = desEncryptBlock(Block, Subkeys);
+    for (unsigned I = 0; I < 8; ++I)
+      EXPECT_EQ(Out[B * 8 + I],
+                static_cast<uint8_t>(Expected >> (8 * (7 - I))))
+          << "block " << B << " byte " << I;
+  }
+}
+
+TEST(UsubaCipher, ChachaMatchesReferenceStream) {
+  UsubaCipher Cipher = make(CipherId::Chacha20, SlicingMode::Vslice);
+  uint8_t Key[32], Nonce[12];
+  for (uint8_t &B : Key)
+    B = static_cast<uint8_t>(rng()());
+  for (uint8_t &B : Nonce)
+    B = static_cast<uint8_t>(rng()());
+  Cipher.setKey(Key, 32);
+  std::vector<uint8_t> Ours(777, 0), Theirs(777, 0);
+  Cipher.ctrXor(Ours.data(), Ours.size(), Nonce, 3);
+  chacha20Xor(Theirs.data(), Theirs.size(), Key, 3, Nonce);
+  EXPECT_EQ(Ours, Theirs);
+}
+
+TEST(UsubaCipher, AllSlicingsOfOneCipherAgree) {
+  std::vector<uint8_t> Key(16, 0x77);
+  uint8_t Nonce[12] = {9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2};
+  std::vector<std::vector<uint8_t>> Results;
+  for (SlicingMode Mode : UsubaCipher::supportedSlicings(
+           CipherId::Aes128, archAVX2())) {
+    UsubaCipher Cipher = make(CipherId::Aes128, Mode);
+    Cipher.setKey(Key.data(), Key.size());
+    std::vector<uint8_t> Data(512, 0xAB);
+    Cipher.ctrXor(Data.data(), Data.size(), Nonce, 0);
+    Results.push_back(std::move(Data));
+  }
+  ASSERT_GE(Results.size(), 2u);
+  for (size_t I = 1; I < Results.size(); ++I)
+    EXPECT_EQ(Results[I], Results[0]);
+}
+
+TEST(UsubaCipher, NativeAgreesWithSimulator) {
+  UsubaCipher Sim = make(CipherId::Serpent, SlicingMode::Vslice, false);
+  UsubaCipher Native = make(CipherId::Serpent, SlicingMode::Vslice, true);
+  std::vector<uint8_t> Key(16, 0x3C);
+  Sim.setKey(Key.data(), Key.size());
+  Native.setKey(Key.data(), Key.size());
+  uint8_t Nonce[12] = {};
+  std::vector<uint8_t> A(999, 0x55), B(999, 0x55);
+  Sim.ctrXor(A.data(), A.size(), Nonce, 0);
+  Native.ctrXor(B.data(), B.size(), Nonce, 0);
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(Sim.isNative());
+}
+
+TEST(UsubaCipher, EcbDecryptInvertsEncrypt) {
+  for (CipherId Id : {CipherId::Rectangle, CipherId::Des, CipherId::Aes128,
+                      CipherId::Serpent, CipherId::Present}) {
+    SlicingMode Mode = Id == CipherId::Des || Id == CipherId::Present
+                           ? SlicingMode::Bitslice
+                       : Id == CipherId::Aes128 ? SlicingMode::Hslice
+                                                : SlicingMode::Vslice;
+    UsubaCipher Cipher = make(Id, Mode);
+    std::vector<uint8_t> Key(Cipher.keyBytes());
+    for (uint8_t &B : Key)
+      B = static_cast<uint8_t>(rng()());
+    Cipher.setKey(Key.data(), Key.size());
+
+    const size_t Blocks = 70; // several partial batches
+    std::vector<uint8_t> Plain(Blocks * Cipher.blockBytes()),
+        Enc(Plain.size()), Dec(Plain.size());
+    for (uint8_t &B : Plain)
+      B = static_cast<uint8_t>(rng()());
+    Cipher.ecbEncrypt(Plain.data(), Enc.data(), Blocks);
+    EXPECT_NE(Enc, Plain) << cipherName(Id);
+    Cipher.ecbDecrypt(Enc.data(), Dec.data(), Blocks);
+    EXPECT_EQ(Dec, Plain) << cipherName(Id);
+  }
+}
+
+TEST(UsubaCipher, EcbDecryptMatchesAesReference) {
+  UsubaCipher Cipher = make(CipherId::Aes128, SlicingMode::Hslice);
+  uint8_t Key[16];
+  for (uint8_t &B : Key)
+    B = static_cast<uint8_t>(rng()());
+  Cipher.setKey(Key, 16);
+  uint8_t RoundKeys[11][16];
+  aes128KeySchedule(Key, RoundKeys);
+
+  const size_t Blocks = 40;
+  std::vector<uint8_t> In(Blocks * 16), Out(Blocks * 16);
+  for (uint8_t &B : In)
+    B = static_cast<uint8_t>(rng()());
+  Cipher.ecbDecrypt(In.data(), Out.data(), Blocks);
+  for (size_t B = 0; B < Blocks; ++B) {
+    uint8_t Block[16];
+    std::memcpy(Block, &In[B * 16], 16);
+    aesDecryptBlock(Block, RoundKeys);
+    EXPECT_EQ(std::memcmp(Block, &Out[B * 16], 16), 0) << "block " << B;
+  }
+}
+
+TEST(UsubaCipher, PresentEcbMatchesReference) {
+  UsubaCipher Cipher = make(CipherId::Present, SlicingMode::Bitslice);
+  uint8_t Key[10] = {};
+  Cipher.setKey(Key, 10);
+  uint8_t In[8] = {}, Out[8];
+  Cipher.ecbEncrypt(In, Out, 1);
+  // CHES 2007 vector: all-zero key and plaintext.
+  const uint8_t Expected[8] = {0x55, 0x79, 0xC1, 0x38,
+                               0x7B, 0x22, 0x84, 0x45};
+  for (unsigned I = 0; I < 8; ++I)
+    EXPECT_EQ(Out[I], Expected[I]) << "byte " << I;
+}
+
+TEST(UsubaCipher, RejectsInvalidSlicings) {
+  CipherConfig Config;
+  Config.Id = CipherId::Chacha20;
+  Config.Slicing = SlicingMode::Bitslice;
+  Config.Target = &archAVX2();
+  std::string Error;
+  EXPECT_FALSE(UsubaCipher::create(Config, &Error).has_value());
+  EXPECT_NE(Error.find("Arith"), std::string::npos);
+}
+
+TEST(UsubaCipher, SupportedSlicingsMatchThePaper) {
+  const Arch &T = archAVX2();
+  auto Has = [](const std::vector<SlicingMode> &Modes, SlicingMode M) {
+    for (SlicingMode Mode : Modes)
+      if (Mode == M)
+        return true;
+    return false;
+  };
+  auto Rect = UsubaCipher::supportedSlicings(CipherId::Rectangle, T);
+  EXPECT_TRUE(Has(Rect, SlicingMode::Bitslice));
+  EXPECT_TRUE(Has(Rect, SlicingMode::Vslice));
+  EXPECT_TRUE(Has(Rect, SlicingMode::Hslice));
+  auto Chacha = UsubaCipher::supportedSlicings(CipherId::Chacha20, T);
+  EXPECT_FALSE(Has(Chacha, SlicingMode::Bitslice));
+  EXPECT_TRUE(Has(Chacha, SlicingMode::Vslice));
+  EXPECT_FALSE(Has(Chacha, SlicingMode::Hslice));
+  auto Aes = UsubaCipher::supportedSlicings(CipherId::Aes128, T);
+  EXPECT_FALSE(Has(Aes, SlicingMode::Vslice));
+  EXPECT_TRUE(Has(Aes, SlicingMode::Hslice));
+  EXPECT_TRUE(Has(Aes, SlicingMode::Bitslice));
+  auto Des = UsubaCipher::supportedSlicings(CipherId::Des, T);
+  EXPECT_TRUE(Has(Des, SlicingMode::Bitslice));
+}
+
+} // namespace

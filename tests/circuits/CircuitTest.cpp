@@ -1,0 +1,150 @@
+//===- CircuitTest.cpp - Logic synthesis tests ----------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuits/AesTowerSbox.h"
+#include "circuits/Circuit.h"
+
+#include "ciphers/DesTables.h"
+#include "ciphers/RefAes.h"
+#include "support/BitUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+TEST(Circuit, EvaluateBasicGates) {
+  // out0 = a & b, out1 = a ^ ~b.
+  Circuit C(2);
+  unsigned NotB = C.addGate(Circuit::GateKind::Not, 1);
+  unsigned AndAB = C.addGate(Circuit::GateKind::And, 0, 1);
+  unsigned XorA = C.addGate(Circuit::GateKind::Xor, 0, NotB);
+  C.addOutput(AndAB);
+  C.addOutput(XorA);
+  for (unsigned A = 0; A < 2; ++A)
+    for (unsigned B = 0; B < 2; ++B) {
+      uint64_t Out = C.evaluate(A | (B << 1));
+      EXPECT_EQ(Out & 1, A & B);
+      EXPECT_EQ((Out >> 1) & 1, A ^ (B ^ 1));
+    }
+}
+
+TEST(Synthesis, RandomTablesAreExact) {
+  std::mt19937_64 Rng(123);
+  for (unsigned Trial = 0; Trial < 20; ++Trial) {
+    TruthTable Table;
+    Table.InBits = 1 + static_cast<unsigned>(Rng() % 8);
+    Table.OutBits = 1 + static_cast<unsigned>(Rng() % 8);
+    Table.Entries.resize(size_t{1} << Table.InBits);
+    for (uint64_t &E : Table.Entries)
+      E = Rng() & lowBitMask(Table.OutBits);
+    Circuit C = synthesizeTable(Table);
+    EXPECT_TRUE(C.matchesTable(Table))
+        << "in=" << Table.InBits << " out=" << Table.OutBits;
+  }
+}
+
+TEST(Synthesis, ConstantAndIdentityTables) {
+  // All-zero output.
+  TruthTable Zero{2, 1, {0, 0, 0, 0}};
+  EXPECT_TRUE(synthesizeTable(Zero).matchesTable(Zero));
+  // All-ones output.
+  TruthTable Ones{2, 1, {1, 1, 1, 1}};
+  EXPECT_TRUE(synthesizeTable(Ones).matchesTable(Ones));
+  // Identity: output bit j = input bit j; should cost zero gates beyond
+  // wiring (the BDD collapses to the input variables).
+  TruthTable Id{3, 3, {0, 1, 2, 3, 4, 5, 6, 7}};
+  Circuit C = synthesizeTable(Id);
+  EXPECT_TRUE(C.matchesTable(Id));
+  EXPECT_EQ(C.numGates(), 0u);
+}
+
+TEST(Synthesis, XorParityIsCompact) {
+  // Parity of 6 bits: the classic BDD-friendly function (linear chain).
+  TruthTable Parity;
+  Parity.InBits = 6;
+  Parity.OutBits = 1;
+  Parity.Entries.resize(64);
+  for (unsigned I = 0; I < 64; ++I)
+    Parity.Entries[I] = __builtin_popcount(I) & 1;
+  Circuit C = synthesizeTable(Parity);
+  EXPECT_TRUE(C.matchesTable(Parity));
+  EXPECT_LE(C.numGates(), 24u)
+      << "parity is a linear BDD chain: a handful of muxes";
+}
+
+TEST(KnownCircuits, RectangleSboxFromThePaper) {
+  TruthTable Table;
+  Table.InBits = 4;
+  Table.OutBits = 4;
+  Table.Entries = {6, 5, 12, 10, 1, 14, 7, 9, 11, 0, 3, 13, 8, 15, 4, 2};
+  const Circuit *Known = lookupKnownCircuit(Table);
+  ASSERT_NE(Known, nullptr);
+  EXPECT_TRUE(Known->matchesTable(Table));
+  EXPECT_EQ(Known->numGates(), 12u) << "the paper's 12-operation circuit";
+  // circuitForTable prefers the database hit over synthesis.
+  EXPECT_EQ(circuitForTable(Table).numGates(), 12u);
+  // A different table misses the database.
+  Table.Entries[0] ^= 1;
+  EXPECT_EQ(lookupKnownCircuit(Table), nullptr);
+}
+
+TEST(KnownCircuits, DesSboxesSynthesizeCorrectly) {
+  for (unsigned Box = 0; Box < 8; ++Box) {
+    TruthTable Table;
+    Table.InBits = 6;
+    Table.OutBits = 4;
+    Table.Entries.resize(64);
+    for (unsigned Index = 0; Index < 64; ++Index) {
+      unsigned B1 = Index & 1, B6 = (Index >> 5) & 1;
+      unsigned Row = (B1 << 1) | B6;
+      unsigned Col = (Index >> 1) & 0xF;
+      unsigned Value = des::Sboxes[Box][Row][Col], Entry = 0;
+      for (unsigned J = 0; J < 4; ++J)
+        Entry |= ((Value >> (3 - J)) & 1u) << J;
+      Table.Entries[Index] = Entry;
+    }
+    Circuit C = circuitForTable(Table);
+    EXPECT_TRUE(C.matchesTable(Table)) << "S" << Box + 1;
+    EXPECT_LE(C.numGates(), 220u) << "S" << Box + 1;
+  }
+}
+
+TEST(TowerSbox, MatchesAesTableExactly) {
+  TruthTable Table;
+  Table.InBits = 8;
+  Table.OutBits = 8;
+  Table.Entries.resize(256);
+  for (unsigned I = 0; I < 256; ++I)
+    Table.Entries[I] = aesSbox()[I];
+  std::optional<Circuit> Tower = buildAesTowerSbox(Table);
+  ASSERT_TRUE(Tower.has_value());
+  EXPECT_TRUE(Tower->matchesTable(Table));
+  // The composite-field construction is several times smaller than the
+  // generic BDD circuit (and self-verified above).
+  EXPECT_LE(Tower->numGates(), 300u);
+  Circuit Bdd = synthesizeTable(Table);
+  EXPECT_LT(Tower->numGates(), Bdd.numGates() / 2);
+  // circuitForTable picks the structural construction.
+  EXPECT_EQ(circuitForTable(Table).numGates(), Tower->numGates());
+}
+
+TEST(TowerSbox, RejectsNonAesTables) {
+  TruthTable Table;
+  Table.InBits = 8;
+  Table.OutBits = 8;
+  Table.Entries.assign(256, 0);
+  EXPECT_FALSE(buildAesTowerSbox(Table).has_value());
+  Table.InBits = 4;
+  Table.OutBits = 4;
+  Table.Entries.assign(16, 0);
+  EXPECT_FALSE(buildAesTowerSbox(Table).has_value());
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- NormalizeTest.cpp - AST -> Usuba0 lowering tests -------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Normalize.h"
+
+#include "core/AstPasses.h"
+#include "core/Compiler.h"
+#include "core/Passes.h"
+#include "core/TypeChecker.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+U0Program lower(std::string_view Source, Dir Direction, unsigned MBits,
+                const Arch &Target, bool Barriers = false) {
+  DiagnosticEngine Diags;
+  std::optional<ast::Program> Prog = parseProgram(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  EXPECT_TRUE(expandProgram(*Prog, Diags) && elaborateTables(*Prog, Diags))
+      << Diags.str();
+  monomorphizeProgram(*Prog, Direction, MBits);
+  EXPECT_TRUE(checkProgram(*Prog, Target, Diags)) << Diags.str();
+  U0Program U0 = normalizeProgram(*Prog, Direction, MBits, Target, Barriers);
+  EXPECT_EQ(verifyU0(U0), "");
+  return U0;
+}
+
+unsigned countOp(const U0Function &F, U0Op Op) {
+  unsigned Count = 0;
+  for (const U0Instr &I : F.Instrs)
+    Count += I.Op == Op;
+  return Count;
+}
+
+TEST(Normalize, ScalarOpsBecomeInstructions) {
+  U0Program U0 = lower(R"(
+node F (a:u16, b:u16) returns (y:u16)
+let y = (a ^ b) & ~a tel
+)",
+                       Dir::Vert, 16, archAVX2());
+  const U0Function &F = U0.entry();
+  EXPECT_EQ(F.NumInputs, 2u);
+  EXPECT_EQ(F.Outputs.size(), 1u);
+  EXPECT_EQ(countOp(F, U0Op::Xor), 1u);
+  EXPECT_EQ(countOp(F, U0Op::And), 1u);
+  EXPECT_EQ(countOp(F, U0Op::Not), 1u);
+}
+
+TEST(Normalize, VectorOpsApplyHomomorphically) {
+  U0Program U0 = lower(R"(
+node F (a:u16x4, b:u16x4) returns (y:u16x4)
+let y = a + b tel
+)",
+                       Dir::Vert, 16, archAVX2());
+  EXPECT_EQ(countOp(U0.entry(), U0Op::Add), 4u);
+}
+
+TEST(Normalize, VectorRotationIsFree) {
+  // `x <<< 1` on a vector is register renaming: zero instructions after
+  // copy propagation (Table 1's "0 instr." row).
+  U0Program U0 = lower(R"(
+node F (x:u16[4]) returns (y:u16[4])
+let y = x <<< 1 tel
+)",
+                       Dir::Vert, 16, archAVX2());
+  cleanupProgram(U0);
+  EXPECT_TRUE(U0.entry().Instrs.empty());
+  // y[i] = x[(i+1) mod 4]: outputs are renamed inputs.
+  std::vector<unsigned> Expected = {1, 2, 3, 0};
+  EXPECT_EQ(U0.entry().Outputs, Expected);
+}
+
+TEST(Normalize, VectorShiftZeroFills) {
+  U0Program U0 = lower(R"(
+node F (x:u16[4]) returns (y:u16[4])
+let y = x << 2 tel
+)",
+                       Dir::Vert, 16, archAVX2());
+  cleanupProgram(U0);
+  // y[0] = x[2], y[1] = x[3], y[2] = y[3] = zero constant.
+  ASSERT_EQ(countOp(U0.entry(), U0Op::Const), 1u);
+  EXPECT_EQ(U0.entry().Outputs[0], 2u);
+  EXPECT_EQ(U0.entry().Outputs[1], 3u);
+  EXPECT_EQ(U0.entry().Outputs[2], U0.entry().Outputs[3]);
+}
+
+TEST(Normalize, AtomShiftsByDirection) {
+  // Vertical: a shift instruction; horizontal: a Shuffle.
+  U0Program V = lower("node F (x:u16) returns (y:u16) let y = x <<< 3 tel",
+                      Dir::Vert, 16, archAVX2());
+  EXPECT_EQ(countOp(V.entry(), U0Op::Lrotate), 1u);
+  U0Program H = lower("node F (x:u16) returns (y:u16) let y = x <<< 3 tel",
+                      Dir::Horiz, 16, archAVX2());
+  EXPECT_EQ(countOp(H.entry(), U0Op::Shuffle), 1u);
+  // The H pattern is the rotation of positions: out[j] = in[(j+3)%16].
+  for (const U0Instr &I : H.entry().Instrs)
+    if (I.Op == U0Op::Shuffle) {
+      ASSERT_EQ(I.Pattern.size(), 16u);
+      EXPECT_EQ(I.Pattern[0], 3u);
+      EXPECT_EQ(I.Pattern[15], 2u);
+    }
+}
+
+TEST(Normalize, AtomHorizontalShiftZeroesViaSentinel) {
+  U0Program H = lower("node F (x:u16) returns (y:u16) let y = x << 2 tel",
+                      Dir::Horiz, 16, archAVX2());
+  bool Found = false;
+  for (const U0Instr &I : H.entry().Instrs)
+    if (I.Op == U0Op::Shuffle) {
+      Found = true;
+      EXPECT_EQ(I.Pattern[0], 2u);
+      EXPECT_EQ(I.Pattern[14], 0xFFu); // zero-fill sentinel
+      EXPECT_EQ(I.Pattern[15], 0xFFu);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Normalize, LiteralSplitsAcrossAtoms) {
+  U0Program U0 = lower(R"(
+node F (x:u8[2]) returns (y:u8[2])
+let y = x ^ 0x1234 tel
+)",
+                       Dir::Vert, 8, archAVX2());
+  // Atom 0 is the most significant chunk: 0x12 then 0x34.
+  std::vector<uint64_t> Imms;
+  for (const U0Instr &I : U0.entry().Instrs)
+    if (I.Op == U0Op::Const)
+      Imms.push_back(I.Imm);
+  ASSERT_EQ(Imms.size(), 2u);
+  EXPECT_EQ(Imms[0], 0x12u);
+  EXPECT_EQ(Imms[1], 0x34u);
+}
+
+TEST(Normalize, CallsCarryFlattenedArguments) {
+  U0Program U0 = lower(R"(
+node G (a:u16x4) returns (b:u16x4) let b = a <<< 1 tel
+node F (x:u16x4) returns (y:u16x4) let y = G(x) tel
+)",
+                       Dir::Vert, 16, archAVX2());
+  const U0Function &F = U0.entry();
+  unsigned Calls = 0;
+  for (const U0Instr &I : F.Instrs)
+    if (I.Op == U0Op::Call) {
+      ++Calls;
+      EXPECT_EQ(I.Srcs.size(), 4u);
+      EXPECT_EQ(I.Dests.size(), 4u);
+      EXPECT_EQ(U0.Funcs[I.Callee].Name, "G");
+    }
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(Normalize, BarriersBetweenIterations) {
+  const char *Source = R"(
+node F (x:u16) returns (y:u16)
+vars r:u16[4]
+let
+  r[0] = x;
+  forall i in [0,2] { r[i+1] = r[i] <<< 1 }
+  y = r[3]
+tel
+)";
+  U0Program WithBarriers =
+      lower(Source, Dir::Vert, 16, archAVX2(), /*Barriers=*/true);
+  // Fences at every iteration-group change: before round 1, between the
+  // three rounds (2 fences), and before the trailing equation.
+  EXPECT_EQ(countOp(WithBarriers.entry(), U0Op::Barrier), 4u);
+  U0Program Without = lower(Source, Dir::Vert, 16, archAVX2());
+  EXPECT_EQ(countOp(Without.entry(), U0Op::Barrier), 0u);
+}
+
+TEST(Verifier, CatchesIllFormedPrograms) {
+  U0Program Prog;
+  Prog.MBits = 16;
+  Prog.Target = &archAVX2();
+  U0Function F;
+  F.Name = "bad";
+  F.NumRegs = 2;
+  F.NumInputs = 1;
+  F.Outputs = {1};
+  // Use before definition.
+  F.Instrs.push_back(U0Instr::binary(U0Op::And, 1, 0, 1));
+  Prog.Funcs.push_back(F);
+  EXPECT_NE(verifyU0(Prog).find("before definition"), std::string::npos);
+  // Double definition.
+  Prog.Funcs[0].Instrs = {U0Instr::unary(U0Op::Mov, 1, 0),
+                          U0Instr::unary(U0Op::Mov, 1, 0)};
+  EXPECT_NE(verifyU0(Prog).find("second definition"), std::string::npos);
+  // Undefined output.
+  Prog.Funcs[0].Instrs.clear();
+  EXPECT_NE(verifyU0(Prog).find("undefined output"), std::string::npos);
+  // Well-formed after fixing.
+  Prog.Funcs[0].Instrs = {U0Instr::unary(U0Op::Not, 1, 0)};
+  EXPECT_EQ(verifyU0(Prog), "");
+  EXPECT_TRUE(verifyConstantTime(Prog));
+}
+
+} // namespace

@@ -1,0 +1,276 @@
+//===- PassesTest.cpp - Back-end pass tests -------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+
+#include "core/Compiler.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+/// Compiles a small program and returns the U0 for pass-level testing.
+CompiledKernel compileRect(bool Inline, bool Schedule, bool Interleave) {
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &archAVX2();
+  Options.Inline = Inline;
+  Options.Schedule = Schedule;
+  Options.Interleave = Interleave;
+  DiagnosticEngine Diags;
+  const char *Source = R"(
+table S (in:v4) returns (out:v4) {
+  6, 5, 12, 10, 1, 14, 7, 9, 11, 0, 3, 13, 8, 15, 4, 2
+}
+node F (x:u16x4, k:u16x4[3]) returns (y:u16x4)
+vars r:u16x4[3]
+let
+  r[0] = x;
+  forall i in [0,1] { r[i+1] = S(r[i] ^ k[i]) <<< 1 }
+  y = r[2] ^ k[2]
+tel
+)";
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(Source, Options, Diags);
+  EXPECT_TRUE(Kernel.has_value()) << Diags.str();
+  return std::move(*Kernel);
+}
+
+/// Runs a program on fixed pseudo-random inputs and returns the outputs.
+std::vector<SimdReg> execute(const U0Program &Prog, uint64_t Seed) {
+  Interpreter Interp(Prog);
+  std::mt19937_64 Rng(Seed);
+  std::vector<SimdReg> In(Interp.numInputs()), Out(Interp.numOutputs());
+  for (SimdReg &R : In)
+    for (unsigned W = 0; W < Interp.widthWords(); ++W)
+      R.Words[W] = Rng();
+  Interp.run(In.data(), Out.data());
+  return Out;
+}
+
+TEST(CopyProp, ErasesAllMovs) {
+  CompiledKernel K = compileRect(true, false, false);
+  for (const U0Instr &I : K.Prog.entry().Instrs)
+    EXPECT_NE(I.Op, U0Op::Mov);
+}
+
+TEST(Inline, RemovesAllCalls) {
+  CompiledKernel Inlined = compileRect(true, false, false);
+  for (const U0Instr &I : Inlined.Prog.entry().Instrs)
+    EXPECT_NE(I.Op, U0Op::Call);
+  CompiledKernel Outlined = compileRect(false, false, false);
+  unsigned Calls = 0;
+  for (const U0Instr &I : Outlined.Prog.entry().Instrs)
+    Calls += I.Op == U0Op::Call;
+  EXPECT_EQ(Calls, 2u) << "two S-box applications stay as calls";
+}
+
+TEST(Inline, PreservesSemantics) {
+  CompiledKernel A = compileRect(true, false, false);
+  CompiledKernel B = compileRect(false, false, false);
+  EXPECT_EQ(execute(A.Prog, 7), execute(B.Prog, 7));
+}
+
+TEST(Schedule, PreservesSemanticsAndShape) {
+  CompiledKernel Plain = compileRect(true, false, false);
+  CompiledKernel Scheduled = compileRect(true, true, false);
+  EXPECT_EQ(Plain.Prog.entry().Instrs.size(),
+            Scheduled.Prog.entry().Instrs.size())
+      << "scheduling permutes, never adds or removes";
+  EXPECT_EQ(execute(Plain.Prog, 13), execute(Scheduled.Prog, 13));
+}
+
+TEST(Interleave, DoublesAbiAndPreservesEachInstance) {
+  CompiledKernel Single = compileRect(true, true, false);
+  CompiledKernel Doubled = compileRect(true, true, true);
+  ASSERT_EQ(Doubled.Prog.InterleaveFactor, 2u);
+  const U0Function &S = Single.Prog.entry();
+  const U0Function &D = Doubled.Prog.entry();
+  EXPECT_EQ(D.NumInputs, 2 * S.NumInputs);
+  EXPECT_EQ(D.Outputs.size(), 2 * S.Outputs.size());
+  EXPECT_EQ(D.Instrs.size(), 2 * S.Instrs.size());
+
+  // Feed two different blocks; each instance must equal the single-run.
+  Interpreter SingleInterp(Single.Prog);
+  Interpreter DoubleInterp(Doubled.Prog);
+  std::mt19937_64 Rng(99);
+  std::vector<SimdReg> InA(S.NumInputs), InB(S.NumInputs);
+  for (unsigned R = 0; R < S.NumInputs; ++R)
+    for (unsigned W = 0; W < 4; ++W) {
+      InA[R].Words[W] = Rng();
+      InB[R].Words[W] = Rng();
+    }
+  std::vector<SimdReg> OutA(S.Outputs.size()), OutB(S.Outputs.size());
+  SingleInterp.run(InA.data(), OutA.data());
+  SingleInterp.run(InB.data(), OutB.data());
+
+  std::vector<SimdReg> InD(D.NumInputs), OutD(D.Outputs.size());
+  for (unsigned R = 0; R < S.NumInputs; ++R) {
+    InD[R] = InA[R];
+    InD[S.NumInputs + R] = InB[R];
+  }
+  DoubleInterp.run(InD.data(), OutD.data());
+  for (unsigned R = 0; R < S.Outputs.size(); ++R) {
+    EXPECT_EQ(OutD[R], OutA[R]) << "instance 0 reg " << R;
+    EXPECT_EQ(OutD[S.Outputs.size() + R], OutB[R]) << "instance 1 reg "
+                                                   << R;
+  }
+}
+
+TEST(Interleave, AlternatesBlocksOfTen) {
+  U0Program Prog;
+  Prog.Target = &archAVX2();
+  Prog.MBits = 16;
+  U0Function F;
+  F.Name = "chain";
+  F.NumRegs = 26;
+  F.NumInputs = 1;
+  for (unsigned I = 0; I < 25; ++I)
+    F.Instrs.push_back(U0Instr::unary(U0Op::Not, I + 1, I));
+  F.Outputs = {25};
+  Prog.Funcs.push_back(std::move(F));
+
+  interleaveEntry(Prog, 2, /*BlockSize=*/10);
+  const U0Function &Entry = Prog.entry();
+  ASSERT_EQ(Entry.Instrs.size(), 50u);
+  // Pattern: 10 from instance 0, 10 from instance 1, 10 from 0, ...
+  // Instance is identifiable from the destination register range.
+  auto InstanceOf = [&](const U0Instr &I) {
+    return I.Dests[0] < 2 + 25 ? 0 : 1; // inputs 0..1, locals0 2..26
+  };
+  // 25 instructions per instance in blocks of 10: 10xA 10xB 10xA 10xB
+  // then the 5-instruction tails 5xA 5xB.
+  std::vector<int> Expected;
+  for (int Round = 0; Round < 2; ++Round)
+    for (int T = 0; T < 2; ++T)
+      for (int I = 0; I < 10; ++I)
+        Expected.push_back(T);
+  for (int T = 0; T < 2; ++T)
+    for (int I = 0; I < 5; ++I)
+      Expected.push_back(T);
+  for (unsigned I = 0; I < 50; ++I)
+    EXPECT_EQ(InstanceOf(Entry.Instrs[I]), Expected[I]) << "instr " << I;
+}
+
+TEST(DeadCode, RemovesUnusedComputation) {
+  U0Program Prog;
+  Prog.Target = &archAVX2();
+  Prog.MBits = 16;
+  U0Function F;
+  F.NumRegs = 4;
+  F.NumInputs = 1;
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 1, 0)); // used
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 2, 1)); // dead
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 3, 0, 1));
+  F.Outputs = {3};
+  Prog.Funcs.push_back(std::move(F));
+  eliminateDeadCode(Prog.entry());
+  compactRegisters(Prog.entry());
+  EXPECT_EQ(Prog.entry().Instrs.size(), 2u);
+  EXPECT_EQ(verifyU0(Prog), "");
+}
+
+TEST(FuseAndNot, RewritesSingleUseNot) {
+  U0Program Prog;
+  Prog.Target = &archAVX2();
+  Prog.MBits = 16;
+  U0Function F;
+  F.NumRegs = 4;
+  F.NumInputs = 2;
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 2, 0));
+  F.Instrs.push_back(U0Instr::binary(U0Op::And, 3, 2, 1));
+  F.Outputs = {3};
+  Prog.Funcs.push_back(std::move(F));
+  U0Program Before = Prog;
+  fuseAndNot(Prog.entry());
+  compactRegisters(Prog.entry());
+  ASSERT_EQ(Prog.entry().Instrs.size(), 1u);
+  EXPECT_EQ(Prog.entry().Instrs[0].Op, U0Op::Andn);
+  EXPECT_EQ(execute(Prog, 3), execute(Before, 3));
+}
+
+TEST(FuseAndNot, KeepsMultiUseNot) {
+  U0Program Prog;
+  Prog.Target = &archAVX2();
+  Prog.MBits = 16;
+  U0Function F;
+  F.NumRegs = 5;
+  F.NumInputs = 2;
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 2, 0));
+  F.Instrs.push_back(U0Instr::binary(U0Op::And, 3, 2, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 4, 2, 3));
+  F.Outputs = {4};
+  Prog.Funcs.push_back(std::move(F));
+  fuseAndNot(Prog.entry());
+  EXPECT_EQ(Prog.entry().Instrs.size(), 3u);
+}
+
+TEST(Cse, FoldsStructuralDuplicates) {
+  U0Program Prog;
+  Prog.Target = &archAVX2();
+  Prog.MBits = 16;
+  U0Function F;
+  F.NumRegs = 6;
+  F.NumInputs = 2;
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 3, 1, 0)); // commutative dup
+  F.Instrs.push_back(U0Instr::binary(U0Op::Sub, 4, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Sub, 5, 1, 0)); // NOT a dup
+  F.Outputs = {2, 3, 4, 5};
+  Prog.Funcs.push_back(std::move(F));
+  U0Program Before = Prog;
+  EXPECT_EQ(eliminateCommonSubexpressions(Prog.entry()), 1u);
+  EXPECT_EQ(Prog.entry().Instrs.size(), 3u);
+  EXPECT_EQ(Prog.entry().Outputs[0], Prog.entry().Outputs[1]);
+  EXPECT_EQ(verifyU0(Prog), "");
+  EXPECT_EQ(execute(Prog, 21), execute(Before, 21));
+}
+
+TEST(Cse, DistinguishesAmountsAndImmediates) {
+  U0Program Prog;
+  Prog.Target = &archAVX2();
+  Prog.MBits = 16;
+  U0Function F;
+  F.NumRegs = 5;
+  F.NumInputs = 1;
+  F.Instrs.push_back(U0Instr::shift(U0Op::Lrotate, 1, 0, 3));
+  F.Instrs.push_back(U0Instr::shift(U0Op::Lrotate, 2, 0, 5));
+  F.Instrs.push_back(U0Instr::constant(3, 7));
+  F.Instrs.push_back(U0Instr::constant(4, 8));
+  F.Outputs = {1, 2, 3, 4};
+  Prog.Funcs.push_back(std::move(F));
+  EXPECT_EQ(eliminateCommonSubexpressions(Prog.entry()), 0u);
+}
+
+TEST(Liveness, CountsOverlappingRanges) {
+  U0Function F;
+  F.NumRegs = 5;
+  F.NumInputs = 2;
+  // t2 = a^b; t3 = ~t2; t4 = t2 & t3 — at the And, t2 and t3 are live.
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 3, 2));
+  F.Instrs.push_back(U0Instr::binary(U0Op::And, 4, 2, 3));
+  F.Outputs = {4};
+  // At the final And, its two sources and its destination all coexist.
+  EXPECT_EQ(maxLiveRegisters(F, /*CountInputs=*/false), 3u);
+  EXPECT_EQ(maxLiveRegisters(F, /*CountInputs=*/true), 3u);
+}
+
+TEST(Heuristics, InterleaveFactor) {
+  EXPECT_EQ(interleaveFactorFor(7, archAVX2()), 2u);  // the paper's case
+  EXPECT_EQ(interleaveFactorFor(16, archAVX2()), 1u);
+  EXPECT_EQ(interleaveFactorFor(3, archAVX2()), 4u);  // clamped
+  EXPECT_EQ(interleaveFactorFor(8, archAVX512()), 4u);
+  EXPECT_EQ(interleaveFactorFor(0, archAVX2()), 1u);
+}
+
+} // namespace

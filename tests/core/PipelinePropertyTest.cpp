@@ -1,0 +1,198 @@
+//===- PipelinePropertyTest.cpp - Random-program pipeline properties ------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based testing of the whole compiler: random straight-line
+/// Usuba programs are generated, compiled under every combination of
+/// back-end toggles and under every slicing the program admits, and all
+/// variants must compute the same function (the unoptimized
+/// interpretation is the reference). This is the broadest invariant the
+/// paper's approach rests on: optimizations and slicings never change
+/// semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "runtime/KernelRunner.h"
+#include "runtime/Layout.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+/// Generates a random straight-line node over u16 atoms: K inputs, a
+/// chain of random logic/arith/rotate equations, 4 outputs.
+std::string randomProgram(std::mt19937_64 &Rng, bool WithArith,
+                          bool WithTable) {
+  const unsigned Inputs = 3, Temps = 10;
+  std::string Source;
+  if (WithTable)
+    Source += "table T (in:v4) returns (out:v4) {\n"
+              "  7, 12, 1, 9, 0, 5, 14, 3, 11, 4, 13, 2, 15, 8, 6, 10\n"
+              "}\n";
+  Source += "node F (x:u16x" + std::to_string(Inputs) +
+            ") returns (y:u16x4)\nvars ";
+  for (unsigned T = 0; T < Temps; ++T)
+    Source += "t" + std::to_string(T) + (T + 1 < Temps ? ":u16, " : ":u16");
+  Source += "\nlet\n";
+
+  auto Operand = [&](unsigned Defined) {
+    // A previously defined temp or an input element.
+    if (Defined > 0 && Rng() % 2)
+      return "t" + std::to_string(Rng() % Defined);
+    return "x[" + std::to_string(Rng() % Inputs) + "]";
+  };
+  for (unsigned T = 0; T < Temps; ++T) {
+    std::string Lhs = "t" + std::to_string(T);
+    unsigned Kind = static_cast<unsigned>(Rng() % (WithArith ? 7 : 5));
+    std::string Rhs;
+    switch (Kind) {
+    case 0:
+      Rhs = "(" + Operand(T) + " ^ " + Operand(T) + ")";
+      break;
+    case 1:
+      Rhs = "(" + Operand(T) + " & " + Operand(T) + ")";
+      break;
+    case 2:
+      Rhs = "(" + Operand(T) + " | ~" + Operand(T) + ")";
+      break;
+    case 3:
+      Rhs = "(" + Operand(T) + " <<< " + std::to_string(1 + Rng() % 15) +
+            ")";
+      break;
+    case 4:
+      Rhs = "(" + Operand(T) + " >> " + std::to_string(Rng() % 17) + ")";
+      break;
+    case 5:
+      Rhs = "(" + Operand(T) + " + " + Operand(T) + ")";
+      break;
+    default:
+      Rhs = "(" + Operand(T) + " - " + Operand(T) + ")";
+      break;
+    }
+    Source += "  " + Lhs + " = " + Rhs + ";\n";
+  }
+  if (WithTable) {
+    Source += "  y = T((t6, t7, t8, t9))\n";
+  } else {
+    Source += "  y = (t6, t7, t8, t9)\n";
+  }
+  Source += "tel\n";
+  return Source;
+}
+
+/// Encrypt-style evaluation through the full runtime: returns the output
+/// atoms for a fixed set of input blocks.
+std::vector<uint64_t> runVariant(const std::string &Source,
+                                 const CompileOptions &Options,
+                                 unsigned NumBlocksWanted) {
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(Source, Options, Diags);
+  EXPECT_TRUE(Kernel.has_value()) << Diags.str() << "\n" << Source;
+  if (!Kernel)
+    return {};
+  bool Flat = Options.Bitslice;
+  KernelRunner Runner(std::move(*Kernel));
+
+  const unsigned Blocks = Runner.blocksPerCall();
+  std::mt19937_64 Rng(0xB10C5);
+  std::vector<uint64_t> AllAtoms(size_t{NumBlocksWanted} * 3);
+  for (uint64_t &A : AllAtoms)
+    A = Rng() & 0xFFFF;
+
+  std::vector<uint64_t> Result;
+  std::vector<uint64_t> OutAtoms;
+  for (unsigned Base = 0; Base < NumBlocksWanted; Base += Blocks) {
+    std::vector<uint64_t> Batch(size_t{Blocks} * 3, 0);
+    for (unsigned B = 0; B < Blocks && Base + B < NumBlocksWanted; ++B)
+      for (unsigned A = 0; A < 3; ++A)
+        Batch[size_t{B} * 3 + A] = AllAtoms[size_t{Base + B} * 3 + A];
+
+    std::vector<uint64_t> In = Batch;
+    if (Flat) {
+      In.resize(Batch.size() * 16);
+      expandAtomsToBits(Batch.data(), static_cast<unsigned>(Batch.size()),
+                        16, In.data());
+    }
+    OutAtoms.assign(size_t{Blocks} * 4 * (Flat ? 16 : 1), 0);
+    Runner.runBatch({{false, In.data()}}, OutAtoms.data());
+    std::vector<uint64_t> OutWords(size_t{Blocks} * 4);
+    if (Flat)
+      collapseBitsToAtoms(OutAtoms.data(),
+                          static_cast<unsigned>(OutWords.size()), 16,
+                          OutWords.data());
+    else
+      OutWords = OutAtoms;
+    for (unsigned B = 0; B < Blocks && Base + B < NumBlocksWanted; ++B)
+      for (unsigned A = 0; A < 4; ++A)
+        Result.push_back(OutWords[size_t{B} * 4 + A]);
+  }
+  return Result;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PipelineProperty, AllConfigurationsAgree) {
+  std::mt19937_64 Rng(0x9E3779B9u + GetParam());
+  bool WithArith = GetParam() % 2;      // arith programs cannot bitslice
+  bool WithTable = (GetParam() / 2) % 2;
+  std::string Source = randomProgram(Rng, WithArith, WithTable);
+
+  // Reference: everything off, GP64, simulator.
+  CompileOptions Ref;
+  Ref.Direction = Dir::Vert;
+  Ref.WordBits = 16;
+  Ref.Target = &archGP64();
+  Ref.Inline = false;
+  Ref.Unroll = false;
+  Ref.Schedule = false;
+  Ref.FuseAndn = false;
+  const unsigned Blocks = 40;
+  std::vector<uint64_t> Expected = runVariant(Source, Ref, Blocks);
+  ASSERT_FALSE(Expected.empty());
+
+  // Sweep back-end toggles and targets.
+  for (unsigned Mask = 0; Mask < 16; ++Mask) {
+    CompileOptions Options;
+    Options.Direction = Dir::Vert;
+    Options.WordBits = 16;
+    Options.Target = Mask % 2 ? &archAVX512() : &archSSE();
+    Options.Inline = Mask & 1;
+    Options.Schedule = Mask & 2;
+    Options.Interleave = Mask & 4;
+    Options.FuseAndn = Mask & 8;
+    EXPECT_EQ(runVariant(Source, Options, Blocks), Expected)
+        << "mask " << Mask << "\n"
+        << Source;
+  }
+
+  // Horizontal slicing (if the program has no arithmetic) and bitslicing
+  // must agree too: the cross-slicing property of Section 2.
+  if (!WithArith) {
+    CompileOptions H;
+    H.Direction = Dir::Horiz;
+    H.WordBits = 16;
+    H.Target = &archAVX2();
+    EXPECT_EQ(runVariant(Source, H, Blocks), Expected) << Source;
+
+    CompileOptions B;
+    B.Direction = Dir::Vert;
+    B.WordBits = 16;
+    B.Bitslice = true;
+    B.Target = &archAVX2();
+    EXPECT_EQ(runVariant(Source, B, Blocks), Expected) << Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, PipelineProperty,
+                         ::testing::Range(0u, 12u));
+
+} // namespace

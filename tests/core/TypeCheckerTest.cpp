@@ -1,0 +1,235 @@
+//===- TypeCheckerTest.cpp - Type checking tests --------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TypeChecker.h"
+
+#include "ciphers/UsubaSources.h"
+#include "core/AstPasses.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+using namespace usuba::ast;
+
+namespace {
+
+/// Runs the front-end up to and including checkProgram.
+bool check(std::string_view Source, Dir Direction, unsigned MBits,
+           bool Flatten, const Arch &Target, std::string *Errors = nullptr) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  if (!Prog)
+    return false;
+  bool Ok = expandProgram(*Prog, Diags) && elaborateTables(*Prog, Diags);
+  if (Ok) {
+    monomorphizeProgram(*Prog, Direction, MBits);
+    if (Flatten)
+      flattenProgram(*Prog);
+    Ok = checkProgram(*Prog, Target, Diags);
+  }
+  if (Errors)
+    *Errors = Diags.str();
+  return Ok;
+}
+
+bool checkV(std::string_view Source, std::string *Errors = nullptr) {
+  return check(Source, Dir::Vert, 16, false, archAVX2(), Errors);
+}
+
+TEST(TypeChecker, AcceptsWellTypedNode) {
+  EXPECT_TRUE(checkV(R"(
+node F (x:u16x4, k:u16x4) returns (y:u16x4)
+vars t:u16x4
+let t = x ^ k; y = t tel
+)"));
+}
+
+TEST(TypeChecker, RejectsUnknownVariable) {
+  std::string Errors;
+  EXPECT_FALSE(checkV("node F (x:u16) returns (y:u16) let y = z tel",
+                      &Errors));
+  EXPECT_NE(Errors.find("unknown variable 'z'"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsOutOfBoundsIndex) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(
+      "node F (x:u16[4]) returns (y:u16) let y = x[4] tel", &Errors));
+  EXPECT_NE(Errors.find("out of bounds"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsLengthMismatch) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(
+      "node F (x:u16[4]) returns (y:u16[3]) let y = x tel", &Errors));
+  EXPECT_NE(Errors.find("mismatch"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsDoubleDefinition) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(R"(
+node F (x:u16) returns (y:u16)
+let y = x; y = x tel
+)",
+                      &Errors));
+  EXPECT_NE(Errors.find("more than once"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsPartiallyDefinedReturn) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(
+      "node F (x:u16) returns (y:u16[2]) let y[0] = x tel", &Errors));
+  EXPECT_NE(Errors.find("not fully defined"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsUseOfUndefined) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(R"(
+node F (x:u16) returns (y:u16)
+vars t:u16[2]
+let t[0] = x; y = t[1] tel
+)",
+                      &Errors));
+  EXPECT_NE(Errors.find("never defined"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsFeedbackLoop) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(R"(
+node F (x:u16) returns (y:u16)
+vars a:u16, b:u16
+let a = b ^ x; b = a ^ x; y = a tel
+)",
+                      &Errors));
+  EXPECT_NE(Errors.find("cycle"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsSelfDependence) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(
+      "node F (x:u16) returns (y:u16) let y = y ^ x tel", &Errors));
+  EXPECT_NE(Errors.find("own result"), std::string::npos);
+}
+
+TEST(TypeChecker, ReordersOutOfOrderEquations) {
+  // Dataflow semantics: the system is unordered; the checker schedules.
+  EXPECT_TRUE(checkV(R"(
+node F (x:u16) returns (y:u16)
+vars a:u16, b:u16
+let y = b; b = a ^ x; a = x tel
+)"));
+}
+
+TEST(TypeChecker, RejectsArithOnHorizontalAtoms) {
+  std::string Errors;
+  EXPECT_FALSE(check("node F (x:u16) returns (y:u16) let y = x + x tel",
+                     Dir::Horiz, 16, false, archAVX2(), &Errors));
+  EXPECT_NE(Errors.find("Arith"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsBitslicedArithmetic) {
+  // The paper's flattening story: addition has no b1 instance and the
+  // error names the operator.
+  std::string Errors;
+  EXPECT_FALSE(check(chacha20Source(), Dir::Vert, 32, true, archAVX2(),
+                     &Errors));
+  EXPECT_NE(Errors.find("Arith"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsCallArityMismatch) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(R"(
+node G (a:u16, b:u16) returns (c:u16) let c = a ^ b tel
+node F (x:u16) returns (y:u16) let y = G(x) tel
+)",
+                      &Errors));
+  EXPECT_NE(Errors.find("expects 2"), std::string::npos);
+}
+
+TEST(TypeChecker, RejectsCallToLaterNode) {
+  std::string Errors;
+  EXPECT_FALSE(checkV(R"(
+node F (x:u16) returns (y:u16) let y = G(x) tel
+node G (a:u16) returns (c:u16) let c = a tel
+)",
+                      &Errors));
+  EXPECT_NE(Errors.find("later-defined"), std::string::npos);
+}
+
+TEST(TypeChecker, LiteralsTakeContextType) {
+  EXPECT_TRUE(checkV(
+      "node F (x:u16) returns (y:u16) let y = x ^ 0xFFFF tel"));
+  std::string Errors;
+  EXPECT_FALSE(checkV(
+      "node F (x:u16) returns (y:u16) let y = x ^ 0x10000 tel", &Errors));
+  EXPECT_NE(Errors.find("does not fit"), std::string::npos);
+  // Two literals still work when the assignment provides the context.
+  EXPECT_TRUE(checkV("node F (x:u16) returns (y:u16) let y = 1 ^ 2 tel"));
+  // Call arguments reject bare literals (bind them to a variable).
+  EXPECT_FALSE(checkV(R"(
+node G (a:u16) returns (c:u16) let c = a tel
+node F (x:u16) returns (y:u16) let y = G(1) tel
+)",
+                      &Errors));
+  EXPECT_NE(Errors.find("literal arguments"), std::string::npos);
+}
+
+TEST(TypeChecker, ShuffleRules) {
+  // Vector shuffle: any direction (it is a renaming).
+  EXPECT_TRUE(checkV(R"(
+node F (x:u16[4]) returns (y:u16[4])
+let y = Shuffle(x, [3, 0, 1, 2]) tel
+)"));
+  // Atom shuffle needs horizontal slicing.
+  std::string Errors;
+  EXPECT_FALSE(checkV(R"(
+node F (x:u16) returns (y:u16)
+let y = Shuffle(x, [0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]) tel
+)",
+                      &Errors));
+  EXPECT_NE(Errors.find("horizontal"), std::string::npos);
+  EXPECT_TRUE(check(R"(
+node F (x:u16) returns (y:u16)
+let y = Shuffle(x, [0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]) tel
+)",
+                    Dir::Horiz, 16, false, archAVX2()));
+  // Pattern arity must match.
+  EXPECT_FALSE(checkV(R"(
+node F (x:u16[4]) returns (y:u16[4])
+let y = Shuffle(x, [3, 0, 1]) tel
+)",
+                      &Errors));
+}
+
+TEST(TypeChecker, SlicingSupportedQueries) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Aes = parseProgram(aesSource(), Diags);
+  ASSERT_TRUE(Aes.has_value()) << Diags.str();
+  std::string Why;
+  EXPECT_TRUE(slicingSupported(*Aes, Dir::Horiz, 16, false, archAVX2()));
+  EXPECT_FALSE(
+      slicingSupported(*Aes, Dir::Vert, 16, false, archAVX2(), &Why));
+  EXPECT_TRUE(slicingSupported(*Aes, Dir::Horiz, 16, true, archGP64()))
+      << "AES flattens to bitslice (shuffles become renamings)";
+  std::optional<Program> Chacha = parseProgram(chacha20Source(), Diags);
+  ASSERT_TRUE(Chacha.has_value());
+  EXPECT_TRUE(
+      slicingSupported(*Chacha, Dir::Vert, 32, false, archGP64()));
+  EXPECT_FALSE(
+      slicingSupported(*Chacha, Dir::Vert, 32, true, archAVX512(), &Why));
+  EXPECT_NE(Why.find("Arith"), std::string::npos);
+}
+
+TEST(TypeChecker, PolymorphicLeftoversAreRejected) {
+  std::string Errors;
+  EXPECT_FALSE(check("node F (x:v4) returns (y:v4) let y = x tel",
+                     Dir::Vert, /*MBits=*/0, false, archAVX2(), &Errors));
+  EXPECT_NE(Errors.find("-w"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- LexerTest.cpp - Usuba lexer tests ----------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source, bool ExpectErrors = false) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Tokens = lex("node table perm returns vars let tel forall in "
+                    "Shuffle rectangle _x x'");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwNode,    TokenKind::KwTable,   TokenKind::KwPerm,
+      TokenKind::KwReturns, TokenKind::KwVars,    TokenKind::KwLet,
+      TokenKind::KwTel,     TokenKind::KwForall,  TokenKind::KwIn,
+      TokenKind::KwShuffle, TokenKind::Ident,     TokenKind::Ident,
+      TokenKind::Ident,     TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+  EXPECT_EQ(Tokens[10].Text, "rectangle");
+  EXPECT_EQ(Tokens[12].Text, "x'");
+}
+
+TEST(Lexer, Operators) {
+  auto Tokens = lex("= := & | ^ ~ + - * / % << >> <<< >>> ..");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Eq,      TokenKind::ColonEq, TokenKind::Amp,
+      TokenKind::Pipe,    TokenKind::Caret,   TokenKind::Tilde,
+      TokenKind::Plus,    TokenKind::Minus,   TokenKind::Star,
+      TokenKind::Slash,   TokenKind::Percent, TokenKind::Shl,
+      TokenKind::Shr,     TokenKind::Rotl,    TokenKind::Rotr,
+      TokenKind::DotDot,  TokenKind::Eof};
+  EXPECT_EQ(kinds(Tokens), Expected);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Tokens = lex("0 42 0xFF 0x1b");
+  EXPECT_EQ(Tokens[0].IntValue, 0u);
+  EXPECT_EQ(Tokens[1].IntValue, 42u);
+  EXPECT_EQ(Tokens[2].IntValue, 0xFFu);
+  EXPECT_EQ(Tokens[3].IntValue, 0x1Bu);
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  auto Tokens = lex("a // comment with node table\nb (* block (* nested *) "
+                    "still *) c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(Lexer, TracksPositions) {
+  auto Tokens = lex("ab\n  cd");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, ReportsUnexpectedCharacter) {
+  auto Tokens = lex("a @ b", /*ExpectErrors=*/true);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, ReportsUnterminatedBlockComment) {
+  lex("a (* never closed", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, ReportsBareHexPrefix) {
+  lex("0x", /*ExpectErrors=*/true);
+}
+
+TEST(Lexer, RotationsNeedThreeChars) {
+  auto Tokens = lex("a <<< 1 >> 2");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Rotl);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Shr);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+//===- ParserFuzzTest.cpp - Parser robustness -----------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness property: the front-end must reject arbitrary garbage with
+/// diagnostics, never crash, hang or accept it. Inputs are random byte
+/// soups, random token soups, and random mutations of valid programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+#include "core/Compiler.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+TEST(ParserFuzz, RandomBytesNeverCrash) {
+  std::mt19937_64 Rng(0xF022);
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    std::string Input;
+    unsigned Length = static_cast<unsigned>(Rng() % 200);
+    for (unsigned I = 0; I < Length; ++I)
+      Input += static_cast<char>(0x20 + Rng() % 95);
+    DiagnosticEngine Diags;
+    std::optional<ast::Program> Prog = parseProgram(Input, Diags);
+    if (!Prog) {
+      EXPECT_TRUE(Diags.hasErrors()) << Input;
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomTokenSoupsNeverCrash) {
+  static const char *Tokens[] = {
+      "node", "table",  "perm", "returns", "vars", "let",  "tel",
+      "forall", "in",   "(",    ")",       "[",    "]",    "{",
+      "}",    ",",      ";",    ":",       "=",    ":=",   "&",
+      "|",    "^",      "~",    "+",       "-",    "*",    "<<",
+      ">>",   "<<<",    ">>>",  "..",      "x",    "y",    "u16",
+      "b4",   "v4",     "0",    "1",       "42",   "Shuffle"};
+  std::mt19937_64 Rng(0xF033);
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    std::string Input;
+    unsigned Length = static_cast<unsigned>(Rng() % 60);
+    for (unsigned I = 0; I < Length; ++I) {
+      Input += Tokens[Rng() % (sizeof(Tokens) / sizeof(*Tokens))];
+      Input += ' ';
+    }
+    DiagnosticEngine Diags;
+    parseProgram(Input, Diags); // must terminate without crashing
+  }
+}
+
+TEST(ParserFuzz, MutatedProgramsNeverCrashTheWholePipeline) {
+  // Mutate a valid program and push whatever still parses through the
+  // entire compiler; it must either compile or diagnose, never crash.
+  std::mt19937_64 Rng(0xF044);
+  const std::string &Base = rectangleSource();
+  for (unsigned Trial = 0; Trial < 60; ++Trial) {
+    std::string Mutated = Base;
+    for (unsigned Edit = 0; Edit < 1 + Rng() % 4; ++Edit) {
+      size_t Pos = Rng() % Mutated.size();
+      switch (Rng() % 3) {
+      case 0:
+        Mutated[Pos] = static_cast<char>(0x20 + Rng() % 95);
+        break;
+      case 1:
+        Mutated.erase(Pos, 1 + Rng() % 5);
+        break;
+      default:
+        Mutated.insert(Pos, 1, static_cast<char>('0' + Rng() % 10));
+        break;
+      }
+    }
+    CompileOptions Options;
+    Options.Direction = Dir::Vert;
+    Options.WordBits = 16;
+    Options.Target = &archAVX2();
+    DiagnosticEngine Diags;
+    std::optional<CompiledKernel> Kernel =
+        compileUsuba(Mutated, Options, Diags);
+    if (!Kernel) {
+      EXPECT_TRUE(Diags.hasErrors());
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- ParserTest.cpp - Usuba parser tests --------------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "ciphers/UsubaSources.h"
+#include "frontend/AstPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+using namespace usuba::ast;
+
+namespace {
+
+Program parseOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.str();
+  return Prog ? std::move(*Prog) : Program{};
+}
+
+void parseFails(std::string_view Source, const char *ErrorFragment) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  EXPECT_FALSE(Prog.has_value());
+  EXPECT_NE(Diags.str().find(ErrorFragment), std::string::npos)
+      << "wanted '" << ErrorFragment << "' in:\n"
+      << Diags.str();
+}
+
+TEST(TypeNames, SurfaceAbbreviations) {
+  EXPECT_EQ(parseTypeName("u16")->str(), "u'D16");
+  EXPECT_EQ(parseTypeName("uV32")->str(), "uV32");
+  EXPECT_EQ(parseTypeName("uH4")->str(), "uH4");
+  EXPECT_EQ(parseTypeName("b1")->str(), "u'D1");
+  EXPECT_EQ(parseTypeName("b64")->str(), "u'D1[64]");
+  EXPECT_EQ(parseTypeName("v1")->str(), "u'D'm");
+  EXPECT_EQ(parseTypeName("v4")->str(), "u'D'm[4]");
+  EXPECT_EQ(parseTypeName("u16x4")->str(), "u'D16[4]");
+  EXPECT_EQ(parseTypeName("uV16x4")->str(), "uV16[4]");
+  EXPECT_EQ(parseTypeName("nat")->str(), "nat");
+  EXPECT_FALSE(parseTypeName("u").has_value());
+  EXPECT_FALSE(parseTypeName("w8").has_value());
+  EXPECT_FALSE(parseTypeName("u16x").has_value());
+  EXPECT_FALSE(parseTypeName("b0").has_value());
+}
+
+TEST(Parser, FigureOneRectangleParses) {
+  Program Prog = parseOk(rectangleSource());
+  ASSERT_EQ(Prog.Nodes.size(), 3u);
+  EXPECT_EQ(Prog.Nodes[0].Name, "SubColumn");
+  EXPECT_EQ(Prog.Nodes[0].K, Node::Kind::Table);
+  EXPECT_EQ(Prog.Nodes[0].TableEntries.size(), 16u);
+  EXPECT_EQ(Prog.Nodes[1].Name, "ShiftRows");
+  EXPECT_EQ(Prog.entry().Name, "Rectangle");
+  // key : u16x4[26] flattens to 104 atoms.
+  EXPECT_EQ(Prog.entry().Params[1].Ty.flattenedLength(), 104u);
+}
+
+TEST(Parser, AllBundledProgramsParse) {
+  for (const BundledProgram &P : bundledPrograms()) {
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(parseProgram(P.Source, Diags).has_value())
+        << P.Name << ":\n"
+        << Diags.str();
+  }
+}
+
+TEST(Parser, MultiReturnAndTuples) {
+  Program Prog = parseOk(R"(
+node Swap (a:u8, b:u8) returns (x:u8, y:u8)
+let (x, y) = (b, a) tel
+)");
+  const Node &N = Prog.entry();
+  ASSERT_EQ(N.Eqns.size(), 1u);
+  EXPECT_EQ(N.Eqns[0].Lhs.size(), 2u);
+  EXPECT_EQ(N.Eqns[0].Rhs->K, Expr::Kind::Tuple);
+}
+
+TEST(Parser, ForallAndIndexArithmetic) {
+  Program Prog = parseOk(R"(
+node F (x:u8[4]) returns (y:u8[4])
+let forall i in [0,2] { y[i+1] = x[3-i] } y[0] = x[0] tel
+)");
+  const Equation &Loop = Prog.entry().Eqns[0];
+  ASSERT_EQ(Loop.K, Equation::Kind::ForAll);
+  EXPECT_EQ(Loop.IndexName, "i");
+  EXPECT_EQ(Loop.Body.size(), 1u);
+  EXPECT_EQ(Loop.Body[0].Lhs[0].str(), "y[(i + 1)]");
+}
+
+TEST(Parser, ImperativeAssignment) {
+  Program Prog = parseOk(R"(
+node F (x:u8) returns (y:u8)
+vars t:u8
+let t = x; t := t ^ x; y = t tel
+)");
+  EXPECT_TRUE(Prog.entry().Eqns[1].Imperative);
+}
+
+TEST(Parser, RangesAndShuffle) {
+  Program Prog = parseOk(R"(
+node F (x:b8) returns (y:b8)
+let
+  y[0..3] = x[4..7];
+  y[4..7] = Shuffle(x[0..3], [3, 2, 1, 0])
+tel
+)");
+  const Node &N = Prog.entry();
+  EXPECT_EQ(N.Eqns[0].Lhs[0].str(), "y[0..3]");
+  EXPECT_EQ(N.Eqns[1].Rhs->K, Expr::Kind::Shuffle);
+  EXPECT_EQ(N.Eqns[1].Rhs->Pattern.size(), 4u);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // a ^ b & c parses as a ^ (b & c); shifts bind tighter than &.
+  Program Prog = parseOk(R"(
+node F (a:u8, b:u8, c:u8) returns (y:u8)
+let y = a ^ b & c << 1 tel
+)");
+  const Expr &Root = *Prog.entry().Eqns[0].Rhs;
+  ASSERT_EQ(Root.K, Expr::Kind::Binop);
+  EXPECT_EQ(Root.Binop, BinopKind::Xor);
+  const Expr &Rhs = *Root.Rhs;
+  ASSERT_EQ(Rhs.K, Expr::Kind::Binop);
+  EXPECT_EQ(Rhs.Binop, BinopKind::And);
+  EXPECT_EQ(Rhs.Rhs->K, Expr::Kind::Shift);
+}
+
+TEST(Parser, InAsParameterName) {
+  // The paper's own example uses `in` as a parameter name.
+  parseOk("table S (in:v4) returns (out:v4) { 0,1,2,3,4,5,6,7,8,9,10,11,"
+          "12,13,14,15 }");
+}
+
+TEST(Parser, Errors) {
+  parseFails("node F x:u8) returns (y:u8) let y = x tel", "expected '('");
+  parseFails("node F (x:u8) returns (y:u8) let y = tel",
+             "expected an expression");
+  parseFails("table T (in:v4) returns (out:v4) { 1, 2, }",
+             "expected a table entry");
+  parseFails("perm P (in:b4) returns (out:b4) { 0, 1, 2, 3 }", "1-based");
+  parseFails("node F (x:u8) returns (y:u8) let y = x", "'tel'");
+  parseFails("", "no definitions");
+  parseFails("node F (x:u8) returns (y:u8, z:u8) let (y, z) := x tel",
+             "single");
+}
+
+TEST(Parser, RecoversAtTopLevel) {
+  // Two errors in two definitions should both be reported.
+  DiagnosticEngine Diags;
+  parseProgram("node A ( let tel node B ( let tel", Diags);
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+TEST(Ast, CloneIsDeep) {
+  Program Prog = parseOk(rectangleSource());
+  Program Copy = Prog.clone();
+  Copy.Nodes[0].TableEntries[0] = 99;
+  Copy.Nodes[2].Name = "Changed";
+  EXPECT_EQ(Prog.Nodes[0].TableEntries[0], 6u);
+  EXPECT_EQ(Prog.Nodes[2].Name, "Rectangle");
+}
+
+TEST(AstPrinter, TypeNamesRoundTrip) {
+  for (const char *Name : {"u16", "uV32", "uH4", "b1", "b64", "v1", "v4",
+                           "u16x4", "uV16x4", "nat", "u16x4[26]",
+                           "b48[16]"}) {
+    std::optional<Type> Ty = parseTypeName(Name);
+    std::string Printed;
+    if (Ty) {
+      Printed = printType(*Ty);
+    } else {
+      // Types with [n] suffixes go through the full type parser.
+      Program Prog = parseOk(std::string("node F (x:") + Name +
+                             ") returns (y:" + Name + ") let y = x tel");
+      Printed = printType(Prog.entry().Params[0].Ty);
+    }
+    EXPECT_EQ(Printed, Name);
+  }
+}
+
+TEST(AstPrinter, BundledProgramsRoundTrip) {
+  // parse . print must be idempotent, and the reparsed program must be
+  // structurally identical (same printed form).
+  for (const BundledProgram &P : bundledPrograms()) {
+    DiagnosticEngine Diags;
+    std::optional<Program> First = parseProgram(P.Source, Diags);
+    ASSERT_TRUE(First.has_value()) << P.Name << "\n" << Diags.str();
+    std::string Printed = printProgram(*First);
+    std::optional<Program> Second = parseProgram(Printed, Diags);
+    ASSERT_TRUE(Second.has_value()) << P.Name << "\n" << Diags.str()
+                                    << "\n" << Printed;
+    EXPECT_EQ(printProgram(*Second), Printed) << P.Name;
+  }
+}
+
+TEST(Ast, ConstExprEvaluation) {
+  std::map<std::string, int64_t> Env = {{"i", 5}};
+  ConstExpr E = ConstExpr::makeBin(
+      ConstExpr::Kind::Add, ConstExpr::makeVar("i"),
+      ConstExpr::makeBin(ConstExpr::Kind::Mul, ConstExpr::makeInt(3),
+                         ConstExpr::makeInt(4)));
+  bool Ok = true;
+  EXPECT_EQ(E.evaluate(Env, Ok), 17);
+  EXPECT_TRUE(Ok);
+  ConstExpr Div = ConstExpr::makeBin(
+      ConstExpr::Kind::Div, ConstExpr::makeInt(1), ConstExpr::makeInt(0));
+  Div.evaluate(Env, Ok);
+  EXPECT_FALSE(Ok);
+}
+
+} // namespace

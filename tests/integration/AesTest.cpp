@@ -1,0 +1,191 @@
+//===- AesTest.cpp - End-to-end AES-128 validation ------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FIPS-197 known-answer tests for the reference AES, agreement between
+/// the hsliced/bitsliced Usuba kernels and the reference, and round
+/// trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefAes.h"
+#include "ciphers/UsubaSources.h"
+#include "runtime/Layout.h"
+#include "tests/integration/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+using test::compileOrFail;
+using test::rng;
+
+namespace {
+
+TEST(AesReference, Fips197AppendixC) {
+  const uint8_t Key[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                           0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  uint8_t Block[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                       0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const uint8_t Expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                0x70, 0xb4, 0xc5, 0x5a};
+  uint8_t RoundKeys[11][16];
+  aes128KeySchedule(Key, RoundKeys);
+  aesEncryptBlock(Block, RoundKeys);
+  for (unsigned I = 0; I < 16; ++I)
+    EXPECT_EQ(Block[I], Expected[I]) << "byte " << I;
+}
+
+TEST(AesReference, Fips197AppendixB) {
+  const uint8_t Key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  uint8_t Block[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const uint8_t Expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                0x19, 0x6a, 0x0b, 0x32};
+  uint8_t RoundKeys[11][16];
+  aes128KeySchedule(Key, RoundKeys);
+  aesEncryptBlock(Block, RoundKeys);
+  for (unsigned I = 0; I < 16; ++I)
+    EXPECT_EQ(Block[I], Expected[I]) << "byte " << I;
+}
+
+TEST(AesReference, SboxKnownValues) {
+  EXPECT_EQ(aesSbox()[0x00], 0x63);
+  EXPECT_EQ(aesSbox()[0x01], 0x7c);
+  EXPECT_EQ(aesSbox()[0x53], 0xed);
+  EXPECT_EQ(aesSbox()[0xff], 0x16);
+  for (unsigned A = 0; A < 256; ++A)
+    EXPECT_EQ(aesInvSbox()[aesSbox()[A]], A);
+}
+
+TEST(AesReference, DecryptInvertsEncrypt) {
+  uint8_t Key[16], RoundKeys[11][16];
+  for (uint8_t &B : Key)
+    B = static_cast<uint8_t>(rng()());
+  aes128KeySchedule(Key, RoundKeys);
+  for (unsigned Trial = 0; Trial < 50; ++Trial) {
+    uint8_t Block[16], Original[16];
+    for (unsigned I = 0; I < 16; ++I)
+      Original[I] = Block[I] = static_cast<uint8_t>(rng()());
+    aesEncryptBlock(Block, RoundKeys);
+    aesDecryptBlock(Block, RoundKeys);
+    for (unsigned I = 0; I < 16; ++I)
+      EXPECT_EQ(Block[I], Original[I]);
+  }
+}
+
+TEST(AesReference, AtomConversionRoundTrips) {
+  for (unsigned Trial = 0; Trial < 50; ++Trial) {
+    uint8_t Block[16], Back[16];
+    for (uint8_t &B : Block)
+      B = static_cast<uint8_t>(rng()());
+    uint64_t Atoms[8];
+    aesBlockToAtoms(Block, Atoms);
+    aesAtomsToBlock(Atoms, Back);
+    for (unsigned I = 0; I < 16; ++I)
+      EXPECT_EQ(Back[I], Block[I]);
+  }
+}
+
+struct AesCase {
+  const char *Name;
+  bool Bitslice;
+  ArchKind Target;
+};
+
+class AesKernel : public ::testing::TestWithParam<AesCase> {};
+
+TEST_P(AesKernel, MatchesReference) {
+  const AesCase &Case = GetParam();
+  std::optional<CompiledKernel> Kernel =
+      compileOrFail(aesSource(), Dir::Horiz, /*WordBits=*/16,
+                    Case.Bitslice, archFor(Case.Target));
+  ASSERT_TRUE(Kernel.has_value());
+  KernelRunner Runner(std::move(*Kernel));
+
+  const unsigned AtomScale = Case.Bitslice ? 16 : 1;
+  ASSERT_EQ(Runner.outputAtomsPerBlock(), 8u * AtomScale);
+
+  uint8_t Key[16], RoundKeys[11][16];
+  for (uint8_t &B : Key)
+    B = static_cast<uint8_t>(rng()());
+  aes128KeySchedule(Key, RoundKeys);
+  std::vector<uint64_t> KeyWords(11 * 8);
+  for (unsigned R = 0; R < 11; ++R)
+    aesBlockToAtoms(RoundKeys[R], &KeyWords[size_t{R} * 8]);
+  std::vector<uint64_t> KeyAtoms(KeyWords.size() * AtomScale);
+  if (Case.Bitslice)
+    expandAtomsToBits(KeyWords.data(), 11 * 8, 16, KeyAtoms.data());
+  else
+    KeyAtoms = KeyWords;
+
+  const unsigned Blocks = Runner.blocksPerCall();
+  std::vector<uint64_t> PlainWords(size_t{Blocks} * 8);
+  std::vector<std::array<uint8_t, 16>> Expected(Blocks);
+  for (unsigned B = 0; B < Blocks; ++B) {
+    uint8_t Block[16];
+    for (uint8_t &Byte : Block)
+      Byte = static_cast<uint8_t>(rng()());
+    aesBlockToAtoms(Block, &PlainWords[size_t{B} * 8]);
+    aesEncryptBlock(Block, RoundKeys);
+    for (unsigned I = 0; I < 16; ++I)
+      Expected[B][I] = Block[I];
+  }
+  std::vector<uint64_t> PlainAtoms(PlainWords.size() * AtomScale);
+  if (Case.Bitslice)
+    expandAtomsToBits(PlainWords.data(),
+                      static_cast<unsigned>(PlainWords.size()), 16,
+                      PlainAtoms.data());
+  else
+    PlainAtoms = PlainWords;
+
+  std::vector<uint64_t> OutAtoms(PlainAtoms.size());
+  Runner.runBatch({{false, PlainAtoms.data()}, {true, KeyAtoms.data()}},
+                  OutAtoms.data());
+
+  std::vector<uint64_t> OutWords(PlainWords.size());
+  if (Case.Bitslice)
+    collapseBitsToAtoms(OutAtoms.data(),
+                        static_cast<unsigned>(OutWords.size()), 16,
+                        OutWords.data());
+  else
+    OutWords = OutAtoms;
+
+  for (unsigned B = 0; B < Blocks; ++B) {
+    uint8_t Block[16];
+    aesAtomsToBlock(&OutWords[size_t{B} * 8], Block);
+    for (unsigned I = 0; I < 16; ++I)
+      EXPECT_EQ(Block[I], Expected[B][I])
+          << "block " << B << " byte " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Slicings, AesKernel,
+    ::testing::Values(AesCase{"hslice_sse", false, ArchKind::SSE},
+                      AesCase{"hslice_avx", false, ArchKind::AVX},
+                      AesCase{"hslice_avx2", false, ArchKind::AVX2},
+                      AesCase{"hslice_avx512", false, ArchKind::AVX512},
+                      AesCase{"bitslice_gp64", true, ArchKind::GP64},
+                      AesCase{"bitslice_avx2", true, ArchKind::AVX2}),
+    [](const ::testing::TestParamInfo<AesCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(AesKernel, RejectsVerticalSlicing) {
+  // ShiftRows needs atom-level shuffles, which vertical elements cannot
+  // express (paper Section 2.3 / Table 1).
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &archAVX2();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(compileUsuba(aesSource(), Options, Diags).has_value());
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- Chacha20Test.cpp - End-to-end ChaCha20 validation ------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RFC 8439 known-answer test for the reference ChaCha20, agreement
+/// between the vsliced Usuba kernel and the reference, and the expected
+/// type errors for the unsupported slicings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/RefChacha20.h"
+#include "ciphers/UsubaSources.h"
+#include "tests/integration/TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+using test::compileOrFail;
+using test::rng;
+
+namespace {
+
+TEST(Chacha20Reference, Rfc8439BlockFunction) {
+  uint8_t Key[32], Nonce[12] = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  for (unsigned I = 0; I < 32; ++I)
+    Key[I] = static_cast<uint8_t>(I);
+  uint32_t State[16], Block[16];
+  chacha20InitState(State, Key, /*Counter=*/1, Nonce);
+  chacha20Block(State, Block);
+  const uint8_t Expected[64] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  for (unsigned I = 0; I < 64; ++I)
+    EXPECT_EQ(static_cast<uint8_t>(Block[I / 4] >> (8 * (I % 4))),
+              Expected[I])
+        << "byte " << I;
+}
+
+TEST(Chacha20Reference, XorIsInvolutive) {
+  uint8_t Key[32], Nonce[12];
+  for (uint8_t &B : Key)
+    B = static_cast<uint8_t>(rng()());
+  for (uint8_t &B : Nonce)
+    B = static_cast<uint8_t>(rng()());
+  std::vector<uint8_t> Data(1000), Original;
+  for (uint8_t &B : Data)
+    B = static_cast<uint8_t>(rng()());
+  Original = Data;
+  chacha20Xor(Data.data(), Data.size(), Key, 7, Nonce);
+  EXPECT_NE(Data, Original);
+  chacha20Xor(Data.data(), Data.size(), Key, 7, Nonce);
+  EXPECT_EQ(Data, Original);
+}
+
+class Chacha20Kernel : public ::testing::TestWithParam<ArchKind> {};
+
+TEST_P(Chacha20Kernel, MatchesReference) {
+  std::optional<CompiledKernel> Kernel =
+      compileOrFail(chacha20Source(), Dir::Vert, /*WordBits=*/32,
+                    /*Bitslice=*/false, archFor(GetParam()));
+  ASSERT_TRUE(Kernel.has_value());
+  KernelRunner Runner(std::move(*Kernel));
+  ASSERT_EQ(Runner.outputAtomsPerBlock(), 16u);
+
+  // Each block is an independent state (in CTR use, states differ only in
+  // the counter word; random states test more).
+  const unsigned Blocks = Runner.blocksPerCall();
+  std::vector<uint64_t> InAtoms(size_t{Blocks} * 16);
+  std::vector<uint32_t> Expected(size_t{Blocks} * 16);
+  for (unsigned B = 0; B < Blocks; ++B) {
+    uint32_t State[16], Out[16];
+    for (unsigned W = 0; W < 16; ++W) {
+      State[W] = static_cast<uint32_t>(rng()());
+      InAtoms[size_t{B} * 16 + W] = State[W];
+    }
+    chacha20Block(State, Out);
+    for (unsigned W = 0; W < 16; ++W)
+      Expected[size_t{B} * 16 + W] = Out[W];
+  }
+  std::vector<uint64_t> OutAtoms(InAtoms.size());
+  Runner.runBatch({{false, InAtoms.data()}}, OutAtoms.data());
+  for (size_t I = 0; I < OutAtoms.size(); ++I)
+    EXPECT_EQ(OutAtoms[I], Expected[I]) << "atom " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, Chacha20Kernel,
+                         ::testing::Values(ArchKind::GP64, ArchKind::SSE,
+                                           ArchKind::AVX2,
+                                           ArchKind::AVX512),
+                         [](const ::testing::TestParamInfo<ArchKind> &Info) {
+                           return archFor(Info.param).Name;
+                         });
+
+TEST(Chacha20Kernel, RejectsBitslicing) {
+  // 32-bit addition has no b1 instance: the paper's flattening error.
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 32;
+  Options.Bitslice = true;
+  Options.Target = &archAVX2();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(compileUsuba(chacha20Source(), Options, Diags).has_value());
+  EXPECT_NE(Diags.str().find("Arith"), std::string::npos) << Diags.str();
+}
+
+TEST(Chacha20Kernel, RejectsHorizontalSlicing) {
+  CompileOptions Options;
+  Options.Direction = Dir::Horiz;
+  Options.WordBits = 32;
+  Options.Target = &archAVX2();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(compileUsuba(chacha20Source(), Options, Diags).has_value());
+}
+
+} // namespace

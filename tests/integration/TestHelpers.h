@@ -1,0 +1,47 @@
+//===- TestHelpers.h - Shared integration-test utilities --------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_TESTS_INTEGRATION_TESTHELPERS_H
+#define USUBA_TESTS_INTEGRATION_TESTHELPERS_H
+
+#include "core/Compiler.h"
+#include "runtime/KernelRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <string_view>
+
+namespace usuba {
+namespace test {
+
+inline std::mt19937_64 &rng() {
+  static std::mt19937_64 Rng(0xC0FFEE123ULL);
+  return Rng;
+}
+
+/// Compiles \p Source with the given slicing or fails the current test.
+inline std::optional<CompiledKernel>
+compileOrFail(std::string_view Source, Dir Direction, unsigned WordBits,
+              bool Bitslice, const Arch &Target,
+              CompileOptions Extra = CompileOptions()) {
+  CompileOptions Options = Extra;
+  Options.Direction = Direction;
+  Options.WordBits = WordBits;
+  Options.Bitslice = Bitslice;
+  Options.Target = &Target;
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(Source, Options, Diags);
+  EXPECT_TRUE(Kernel.has_value()) << Diags.str();
+  return Kernel;
+}
+
+} // namespace test
+} // namespace usuba
+
+#endif // USUBA_TESTS_INTEGRATION_TESTHELPERS_H

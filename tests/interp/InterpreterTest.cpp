@@ -1,0 +1,159 @@
+//===- InterpreterTest.cpp - Usuba0 interpreter tests ---------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+/// Builds a one-function program over the given target/atom size.
+U0Program makeProgram(const Arch &Target, unsigned MBits, Dir Direction,
+                      U0Function F) {
+  U0Program Prog;
+  Prog.Target = &Target;
+  Prog.MBits = MBits;
+  Prog.Direction = Direction;
+  Prog.Funcs.push_back(std::move(F));
+  EXPECT_EQ(verifyU0(Prog), "");
+  return Prog;
+}
+
+TEST(Interpreter, LogicAndArith) {
+  U0Function F;
+  F.Name = "f";
+  F.NumRegs = 5;
+  F.NumInputs = 2;
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Add, 3, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Andn, 4, 0, 1));
+  F.Outputs = {2, 3, 4};
+  U0Program Prog = makeProgram(archSSE(), 16, Dir::Vert, std::move(F));
+
+  Interpreter Interp(Prog);
+  SimdReg In[2], Out[3];
+  In[0].Words = {0x1234ABCD00010002ull, 0xFFFF000012345678ull, 0, 0, 0,
+                 0, 0, 0};
+  In[1].Words = {0x00010002FFFF0001ull, 0x0001FFFF00010001ull, 0, 0, 0,
+                 0, 0, 0};
+  Interp.run(In, Out);
+  EXPECT_EQ(Out[0].Words[0], In[0].Words[0] ^ In[1].Words[0]);
+  // Element 0 of the Add: 0x0002 + 0x0001 (mod 2^16).
+  EXPECT_EQ(Out[1].field(0, 16), 0x0003u);
+  // Element 3: 0x1234 + 0x0001.
+  EXPECT_EQ(Out[1].field(48, 16), 0x1235u);
+  EXPECT_EQ(Out[2].Words[1], ~In[0].Words[1] & In[1].Words[1]);
+}
+
+TEST(Interpreter, ConstBroadcastPerDirection) {
+  U0Function F;
+  F.Name = "f";
+  F.NumRegs = 2;
+  F.NumInputs = 1;
+  F.Instrs.push_back(U0Instr::constant(1, 0x8001));
+  F.Outputs = {1};
+
+  // Vertical: every 16-bit element holds the immediate.
+  {
+    U0Program Prog =
+        makeProgram(archSSE(), 16, Dir::Vert, F);
+    Interpreter Interp(Prog);
+    SimdReg In, Out;
+    Interp.run(&In, &Out);
+    for (unsigned E = 0; E < 8; ++E)
+      EXPECT_EQ(Out.field(E * 16, 16), 0x8001u);
+  }
+  // Horizontal: position j is all-ones when bit (15-j) of the immediate
+  // is set — positions 0 (MSB) and 15 (LSB) here.
+  {
+    U0Program Prog =
+        makeProgram(archSSE(), 16, Dir::Horiz, std::move(F));
+    Interpreter Interp(Prog);
+    SimdReg In, Out;
+    Interp.run(&In, &Out);
+    EXPECT_EQ(Out.field(0, 8), 0xFFu);
+    EXPECT_EQ(Out.field(8, 8), 0x00u);
+    EXPECT_EQ(Out.field(15 * 8, 8), 0xFFu);
+  }
+}
+
+TEST(Interpreter, CallsExecuteCalleeFrames) {
+  // g(a, b) = (a ^ b); f(x, y) = g(g(x, y), y).
+  U0Program Prog;
+  Prog.Target = &archGP64();
+  Prog.MBits = 16;
+  Prog.Direction = Dir::Vert;
+  U0Function G;
+  G.Name = "g";
+  G.NumRegs = 3;
+  G.NumInputs = 2;
+  G.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  G.Outputs = {2};
+  Prog.Funcs.push_back(std::move(G));
+  U0Function F;
+  F.Name = "f";
+  F.NumRegs = 4;
+  F.NumInputs = 2;
+  F.Instrs.push_back(U0Instr::call(0, {2}, {0, 1}));
+  F.Instrs.push_back(U0Instr::call(0, {3}, {2, 1}));
+  F.Outputs = {3};
+  Prog.Funcs.push_back(std::move(F));
+  ASSERT_EQ(verifyU0(Prog), "");
+
+  Interpreter Interp(Prog);
+  SimdReg In[2], Out;
+  In[0].Words[0] = 0xAAAA;
+  In[1].Words[0] = 0x0F0F;
+  Interp.run(In, &Out);
+  EXPECT_EQ(Out.Words[0], (0xAAAAull ^ 0x0F0F) ^ 0x0F0F);
+}
+
+TEST(Interpreter, ShuffleWithZeroSentinel) {
+  U0Function F;
+  F.Name = "f";
+  F.NumRegs = 2;
+  F.NumInputs = 1;
+  // 4 positions of 32 bits on SSE (m = 4, horizontal).
+  F.Instrs.push_back(U0Instr::shuffle(1, 0, {1, 0xFF, 3, 2}));
+  F.Outputs = {1};
+  U0Program Prog = makeProgram(archSSE(), 4, Dir::Horiz, std::move(F));
+  Interpreter Interp(Prog);
+  SimdReg In, Out;
+  In.Words = {0x2222222211111111ull, 0x4444444433333333ull, 0, 0,
+              0, 0, 0, 0};
+  Interp.run(&In, &Out);
+  EXPECT_EQ(Out.field(0, 32), 0x22222222u);
+  EXPECT_EQ(Out.field(32, 32), 0u);
+  EXPECT_EQ(Out.field(64, 32), 0x44444444u);
+  EXPECT_EQ(Out.field(96, 32), 0x33333333u);
+}
+
+TEST(Interpreter, WidthFollowsTarget) {
+  U0Function F;
+  F.Name = "f";
+  F.NumRegs = 2;
+  F.NumInputs = 1;
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 1, 0));
+  F.Outputs = {1};
+  {
+    U0Program Prog = makeProgram(archGP64(), 1, Dir::Vert, F);
+    Interpreter Interp(Prog);
+    EXPECT_EQ(Interp.widthWords(), 1u);
+    SimdReg In{}, Out;
+    Interp.run(&In, &Out);
+    EXPECT_EQ(Out.Words[0], ~uint64_t{0});
+    EXPECT_EQ(Out.Words[1], 0u) << "bits beyond the register stay clear";
+  }
+  {
+    U0Program Prog = makeProgram(archAVX512(), 1, Dir::Vert, std::move(F));
+    Interpreter Interp(Prog);
+    EXPECT_EQ(Interp.widthWords(), 8u);
+  }
+}
+
+} // namespace

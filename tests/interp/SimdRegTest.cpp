@@ -1,0 +1,173 @@
+//===- SimdRegTest.cpp - SIMD simulator primitive tests -------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive-by-element validation of the SWAR formulas against scalar
+/// models: every packed operation applied to random registers must equal
+/// the per-element scalar computation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdReg.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+struct ElemCase {
+  unsigned Words; ///< register width in 64-bit words
+  unsigned MBits;
+};
+
+class PackedOps : public ::testing::TestWithParam<ElemCase> {
+protected:
+  void SetUp() override {
+    std::mt19937_64 Rng(0xE1e000 + GetParam().MBits * GetParam().Words);
+    for (unsigned I = 0; I < 8; ++I) {
+      A.Words[I] = Rng();
+      B.Words[I] = Rng();
+    }
+  }
+
+  uint64_t elem(const SimdReg &R, unsigned E) const {
+    return R.field(E * GetParam().MBits, GetParam().MBits);
+  }
+  unsigned numElems() const {
+    return GetParam().Words * 64 / GetParam().MBits;
+  }
+
+  SimdReg A, B, D;
+};
+
+TEST_P(PackedOps, AddMatchesScalar) {
+  auto [W, M] = GetParam();
+  simd::addElems(D, A, B, W, M);
+  for (unsigned E = 0; E < numElems(); ++E)
+    EXPECT_EQ(elem(D, E), (elem(A, E) + elem(B, E)) & lowBitMask(M))
+        << "element " << E;
+}
+
+TEST_P(PackedOps, SubMatchesScalar) {
+  auto [W, M] = GetParam();
+  simd::subElems(D, A, B, W, M);
+  for (unsigned E = 0; E < numElems(); ++E)
+    EXPECT_EQ(elem(D, E), (elem(A, E) - elem(B, E)) & lowBitMask(M))
+        << "element " << E;
+}
+
+TEST_P(PackedOps, MulMatchesScalar) {
+  auto [W, M] = GetParam();
+  simd::mulElems(D, A, B, W, M);
+  for (unsigned E = 0; E < numElems(); ++E)
+    EXPECT_EQ(elem(D, E), (elem(A, E) * elem(B, E)) & lowBitMask(M))
+        << "element " << E;
+}
+
+TEST_P(PackedOps, ShiftsMatchScalar) {
+  auto [W, M] = GetParam();
+  for (unsigned Amount = 0; Amount <= M; ++Amount) {
+    simd::shlElems(D, A, Amount, W, M);
+    for (unsigned E = 0; E < numElems(); ++E)
+      EXPECT_EQ(elem(D, E),
+                Amount >= M ? 0
+                            : (elem(A, E) << Amount) & lowBitMask(M))
+          << "shl " << Amount << " elem " << E;
+    simd::shrElems(D, A, Amount, W, M);
+    for (unsigned E = 0; E < numElems(); ++E)
+      EXPECT_EQ(elem(D, E), Amount >= M ? 0 : elem(A, E) >> Amount)
+          << "shr " << Amount << " elem " << E;
+  }
+}
+
+TEST_P(PackedOps, RotationsMatchScalar) {
+  auto [W, M] = GetParam();
+  for (unsigned Amount = 0; Amount < 2 * M; Amount += 3) {
+    simd::rotlElems(D, A, Amount, W, M);
+    for (unsigned E = 0; E < numElems(); ++E)
+      EXPECT_EQ(elem(D, E), rotateLeft(elem(A, E), Amount, M))
+          << "rotl " << Amount << " elem " << E;
+    simd::rotrElems(D, A, Amount, W, M);
+    for (unsigned E = 0; E < numElems(); ++E)
+      EXPECT_EQ(elem(D, E), rotateRight(elem(A, E), Amount, M))
+          << "rotr " << Amount << " elem " << E;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackedOps,
+    ::testing::Values(ElemCase{1, 8}, ElemCase{1, 16}, ElemCase{1, 32},
+                      ElemCase{1, 64}, ElemCase{2, 16}, ElemCase{4, 32},
+                      ElemCase{8, 8}, ElemCase{8, 64}),
+    [](const ::testing::TestParamInfo<ElemCase> &Info) {
+      return "w" + std::to_string(Info.param.Words) + "m" +
+             std::to_string(Info.param.MBits);
+    });
+
+TEST(Shuffle, PermutesGroups) {
+  // 4 positions of 32 bits each on a 128-bit register (m = 4, horizontal).
+  SimdReg A{}, D{};
+  A.Words[0] = 0x1111111122222222ull;
+  A.Words[1] = 0x3333333344444444ull;
+  const uint8_t Pattern[4] = {3, 2, 0xFF, 0};
+  simd::shuffle(D, A, Pattern, /*MBits=*/4, /*W=*/2);
+  EXPECT_EQ(D.field(0, 32), 0x33333333u);  // position 0 <- position 3
+  EXPECT_EQ(D.field(32, 32), 0x44444444u); // position 1 <- position 2
+  EXPECT_EQ(D.field(64, 32), 0u);          // zero fill
+  EXPECT_EQ(D.field(96, 32), 0x22222222u); // position 3 <- position 0
+}
+
+TEST(Shuffle, IdentityAndWordGroups) {
+  SimdReg A{}, D{};
+  std::mt19937_64 Rng(5);
+  for (unsigned I = 0; I < 8; ++I)
+    A.Words[I] = Rng();
+  // m = 8 on 512 bits: 64-bit groups, whole-word moves.
+  uint8_t Identity[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  simd::shuffle(D, A, Identity, 8, 8);
+  EXPECT_EQ(D, A);
+  uint8_t Reverse[8] = {7, 6, 5, 4, 3, 2, 1, 0};
+  simd::shuffle(D, A, Reverse, 8, 8);
+  for (unsigned I = 0; I < 8; ++I)
+    EXPECT_EQ(D.Words[I], A.Words[7 - I]);
+}
+
+TEST(Broadcast, VerticalFillsEveryElement) {
+  SimdReg D;
+  simd::broadcastVertical(D, 0xAB, 4, 8);
+  for (unsigned I = 0; I < 4; ++I)
+    EXPECT_EQ(D.Words[I], 0xABABABABABABABABull);
+  simd::broadcastVertical(D, 1, 2, 1);
+  EXPECT_EQ(D.Words[0], ~uint64_t{0});
+  EXPECT_EQ(D.Words[1], ~uint64_t{0});
+}
+
+TEST(Broadcast, HorizontalSpreadsAtomBits) {
+  // m = 4 on 128 bits: positions of 32 bits; position j carries bit
+  // (3 - j) of the immediate.
+  SimdReg D;
+  simd::broadcastHorizontal(D, 0b1010, 2, 4);
+  EXPECT_EQ(D.field(0, 32), 0xFFFFFFFFu);  // position 0 = MSB = 1
+  EXPECT_EQ(D.field(32, 32), 0u);          // bit 2 = 0
+  EXPECT_EQ(D.field(64, 32), 0xFFFFFFFFu); // bit 1 = 1
+  EXPECT_EQ(D.field(96, 32), 0u);          // bit 0 = 0
+}
+
+TEST(SimdReg, BranchlessSetBit) {
+  SimdReg R{};
+  R.setBit(7, 1);
+  R.setBit(64, 1);
+  EXPECT_EQ(R.Words[0], 0x80u);
+  EXPECT_EQ(R.Words[1], 0x1u);
+  R.setBit(7, 0);
+  EXPECT_EQ(R.Words[0], 0u);
+  EXPECT_EQ(R.bit(64), 1u);
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+//===- KernelRunnerTest.cpp - Batched kernel execution tests --------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/KernelRunner.h"
+
+#include "core/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+/// xor-with-key kernel: y = x ^ k (x per-block, k broadcast).
+CompiledKernel xorKernel(const Arch &Target, bool Interleave = false) {
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &Target;
+  Options.Interleave = Interleave;
+  Options.InterleaveFactorOverride = Interleave ? 2 : 0;
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel = compileUsuba(
+      "node F (x:u16x2, k:u16x2) returns (y:u16x2) let y = x ^ k tel",
+      Options, Diags);
+  EXPECT_TRUE(Kernel.has_value()) << Diags.str();
+  return std::move(*Kernel);
+}
+
+TEST(KernelRunner, PerBlockAndBroadcastParams) {
+  KernelRunner Runner(xorKernel(archSSE()));
+  const unsigned Blocks = Runner.blocksPerCall();
+  EXPECT_EQ(Blocks, 8u);
+  ASSERT_EQ(Runner.paramLens(), (std::vector<unsigned>{2, 2}));
+
+  std::mt19937_64 Rng(404);
+  std::vector<uint64_t> Plain(size_t{Blocks} * 2), Out(Plain.size());
+  uint64_t Key[2] = {Rng() & 0xFFFF, Rng() & 0xFFFF};
+  for (uint64_t &A : Plain)
+    A = Rng() & 0xFFFF;
+  Runner.runBatch({{false, Plain.data()}, {true, Key}}, Out.data());
+  for (unsigned B = 0; B < Blocks; ++B)
+    for (unsigned A = 0; A < 2; ++A)
+      EXPECT_EQ(Out[size_t{B} * 2 + A],
+                Plain[size_t{B} * 2 + A] ^ Key[A])
+          << "block " << B << " atom " << A;
+}
+
+TEST(KernelRunner, InterleaveRoutesBlockGroups) {
+  KernelRunner Runner(xorKernel(archSSE(), /*Interleave=*/true));
+  // Two interleaved instances: twice the blocks per call, blocks routed
+  // to instance 0 then instance 1.
+  EXPECT_EQ(Runner.blocksPerCall(), 16u);
+  std::mt19937_64 Rng(505);
+  std::vector<uint64_t> Plain(16 * 2), Out(Plain.size());
+  uint64_t Key[2] = {0x1111, 0x2222};
+  for (uint64_t &A : Plain)
+    A = Rng() & 0xFFFF;
+  Runner.runBatch({{false, Plain.data()}, {true, Key}}, Out.data());
+  for (unsigned B = 0; B < 16; ++B)
+    for (unsigned A = 0; A < 2; ++A)
+      EXPECT_EQ(Out[size_t{B} * 2 + A], Plain[size_t{B} * 2 + A] ^ Key[A]);
+}
+
+TEST(KernelRunner, KernelOnlyRunsWithoutPacking) {
+  KernelRunner Runner(xorKernel(archAVX2()));
+  // Just exercises the benchmark entry point; results land in internal
+  // staging, so the contract is simply "does not crash or corrupt".
+  for (unsigned I = 0; I < 10; ++I)
+    Runner.kernelOnly();
+  std::vector<uint64_t> Plain(size_t{Runner.blocksPerCall()} * 2, 7),
+      Out(Plain.size());
+  uint64_t Key[2] = {0, 0};
+  Runner.runBatch({{false, Plain.data()}, {true, Key}}, Out.data());
+  EXPECT_EQ(Out, Plain);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- LayoutTest.cpp - Transposition layout tests ------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Layout.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+struct LayoutCase {
+  Dir Direction;
+  unsigned MBits;
+  ArchKind Target;
+  unsigned Len; ///< atoms per block
+};
+
+class LayoutRoundTrip : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(LayoutRoundTrip, UnpackInvertsPack) {
+  const LayoutCase &C = GetParam();
+  SliceLayout Layout(C.Direction, C.MBits, archFor(C.Target));
+  const unsigned S = Layout.slices();
+  std::mt19937_64 Rng(0x107 + C.MBits);
+  std::vector<uint64_t> Blocks(size_t{S} * C.Len), Back(Blocks.size());
+  for (uint64_t &B : Blocks)
+    B = Rng() & lowBitMask(C.MBits);
+  std::vector<SimdReg> Regs(C.Len);
+  Layout.pack(Blocks.data(), C.Len, Regs.data());
+  Layout.unpack(Regs.data(), C.Len, Back.data());
+  EXPECT_EQ(Back, Blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutRoundTrip,
+    ::testing::Values(
+        LayoutCase{Dir::Vert, 16, ArchKind::GP64, 4},
+        LayoutCase{Dir::Vert, 16, ArchKind::SSE, 4},
+        LayoutCase{Dir::Vert, 16, ArchKind::AVX512, 4},
+        LayoutCase{Dir::Vert, 32, ArchKind::AVX2, 16},
+        LayoutCase{Dir::Vert, 8, ArchKind::SSE, 7},
+        LayoutCase{Dir::Vert, 64, ArchKind::AVX512, 3},
+        LayoutCase{Dir::Horiz, 16, ArchKind::SSE, 8},
+        LayoutCase{Dir::Horiz, 16, ArchKind::AVX512, 8},
+        LayoutCase{Dir::Horiz, 4, ArchKind::AVX2, 5},
+        LayoutCase{Dir::Vert, 1, ArchKind::GP64, 64},
+        LayoutCase{Dir::Vert, 1, ArchKind::GP64, 61},
+        LayoutCase{Dir::Vert, 1, ArchKind::AVX512, 64},
+        LayoutCase{Dir::Vert, 1, ArchKind::SSE, 13}),
+    [](const ::testing::TestParamInfo<LayoutCase> &Info) {
+      return std::string(dirName(Info.param.Direction) + 1) + "m" +
+             std::to_string(Info.param.MBits) + "_" +
+             archFor(Info.param.Target).Name + "_len" +
+             std::to_string(Info.param.Len);
+    });
+
+TEST(Layout, VerticalPlacesBlockInElement) {
+  SliceLayout Layout(Dir::Vert, 16, archSSE());
+  ASSERT_EQ(Layout.slices(), 8u);
+  std::vector<uint64_t> Blocks(8, 0);
+  Blocks[0 * 1 + 0] = 0x1234; // block 0, atom 0
+  Blocks[3 * 1 + 0] = 0xBEEF; // block 3
+  SimdReg Reg;
+  Layout.pack(Blocks.data(), 1, &Reg);
+  EXPECT_EQ(Reg.field(0, 16), 0x1234u);
+  EXPECT_EQ(Reg.field(3 * 16, 16), 0xBEEFu);
+}
+
+TEST(Layout, HorizontalSpreadsAtomBitsAcrossPositions) {
+  // uH16 on SSE: 16 positions of 8 bits; slice b is bit b of each group;
+  // position 0 holds the atom's MSB.
+  SliceLayout Layout(Dir::Horiz, 16, archSSE());
+  ASSERT_EQ(Layout.slices(), 8u);
+  std::vector<uint64_t> Blocks(8, 0);
+  Blocks[0] = 0x8001; // block 0: MSB and LSB set
+  SimdReg Reg;
+  Layout.pack(Blocks.data(), 1, &Reg);
+  EXPECT_EQ(Reg.bit(0 * 8 + 0), 1u);  // position 0 bit 0 <- MSB
+  EXPECT_EQ(Reg.bit(15 * 8 + 0), 1u); // position 15 <- LSB
+  EXPECT_EQ(Reg.bit(1 * 8 + 0), 0u);
+}
+
+TEST(Layout, BitsliceFastPathMatchesGeneric) {
+  // 64 blocks x 64 bit-atoms on GP64 hits the transpose64x64 fast path;
+  // compare against a SliceLayout shape that uses the generic loop.
+  SliceLayout Fast(Dir::Vert, 1, archGP64());
+  ASSERT_EQ(Fast.slices(), 64u);
+  std::mt19937_64 Rng(77);
+  std::vector<uint64_t> Blocks(64 * 64);
+  for (uint64_t &B : Blocks)
+    B = Rng() & 1;
+  std::vector<SimdReg> Regs(64);
+  Fast.pack(Blocks.data(), 64, Regs.data());
+  for (unsigned R = 0; R < 64; ++R)
+    for (unsigned B = 0; B < 64; ++B)
+      EXPECT_EQ(Regs[R].bit(B), Blocks[B * 64 + R])
+          << "reg " << R << " slice " << B;
+}
+
+TEST(Layout, BroadcastFillsEverySlice) {
+  SliceLayout Layout(Dir::Vert, 16, archAVX2());
+  uint64_t Atom = 0xCAFE;
+  SimdReg Reg;
+  Layout.packBroadcast(&Atom, 1, &Reg);
+  for (unsigned E = 0; E < 16; ++E)
+    EXPECT_EQ(Reg.field(E * 16, 16), 0xCAFEu);
+}
+
+TEST(Layout, BitExpansionRoundTrips) {
+  std::mt19937_64 Rng(31337);
+  std::vector<uint64_t> Atoms(20), Back(20);
+  for (uint64_t &A : Atoms)
+    A = Rng() & 0xFFFF;
+  std::vector<uint64_t> Bits(20 * 16);
+  expandAtomsToBits(Atoms.data(), 20, 16, Bits.data());
+  collapseBitsToAtoms(Bits.data(), 20, 16, Back.data());
+  EXPECT_EQ(Back, Atoms);
+  // MSB-first: bit atom 0 of the first atom is its bit 15.
+  EXPECT_EQ(Bits[0], (Atoms[0] >> 15) & 1);
+  EXPECT_EQ(Bits[15], Atoms[0] & 1);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- BitUtilsTest.cpp - Bit-twiddling helper tests ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+TEST(BitUtils, LowBitMask) {
+  EXPECT_EQ(lowBitMask(1), 0x1u);
+  EXPECT_EQ(lowBitMask(8), 0xFFu);
+  EXPECT_EQ(lowBitMask(16), 0xFFFFu);
+  EXPECT_EQ(lowBitMask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(lowBitMask(64), ~uint64_t{0});
+}
+
+TEST(BitUtils, GetSetBit) {
+  uint64_t Value = 0;
+  Value = setBit(Value, 0, 1);
+  Value = setBit(Value, 63, 1);
+  EXPECT_EQ(Value, 0x8000000000000001ull);
+  EXPECT_EQ(getBit(Value, 0), 1u);
+  EXPECT_EQ(getBit(Value, 1), 0u);
+  EXPECT_EQ(getBit(Value, 63), 1u);
+  Value = setBit(Value, 63, 0);
+  EXPECT_EQ(Value, 1u);
+}
+
+class RotateWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RotateWidth, LeftInverseOfRight) {
+  const unsigned Width = GetParam();
+  std::mt19937_64 Rng(42);
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    uint64_t Value = Rng() & lowBitMask(Width);
+    unsigned Amount = static_cast<unsigned>(Rng() % (2 * Width));
+    EXPECT_EQ(rotateRight(rotateLeft(Value, Amount, Width), Amount, Width),
+              Value);
+  }
+}
+
+TEST_P(RotateWidth, FullRotationIsIdentity) {
+  const unsigned Width = GetParam();
+  std::mt19937_64 Rng(43);
+  uint64_t Value = Rng() & lowBitMask(Width);
+  EXPECT_EQ(rotateLeft(Value, Width, Width), Value);
+  EXPECT_EQ(rotateLeft(Value, 0, Width), Value);
+}
+
+TEST_P(RotateWidth, MatchesNaiveBitMoves) {
+  const unsigned Width = GetParam();
+  std::mt19937_64 Rng(44);
+  for (unsigned Trial = 0; Trial < 50; ++Trial) {
+    uint64_t Value = Rng() & lowBitMask(Width);
+    unsigned Amount = static_cast<unsigned>(Rng() % Width);
+    uint64_t Naive = 0;
+    for (unsigned Bit = 0; Bit < Width; ++Bit)
+      Naive = setBit(Naive, (Bit + Amount) % Width, getBit(Value, Bit));
+    EXPECT_EQ(rotateLeft(Value, Amount, Width), Naive)
+        << "width " << Width << " amount " << Amount;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RotateWidth,
+                         ::testing::Values(1u, 2u, 4u, 7u, 8u, 13u, 16u,
+                                           32u, 63u, 64u));
+
+TEST(BitUtils, Transpose64x64IsInvolution) {
+  uint64_t M[64], Original[64];
+  std::mt19937_64 Rng(7);
+  for (unsigned I = 0; I < 64; ++I)
+    Original[I] = M[I] = Rng();
+  transpose64x64(M);
+  transpose64x64(M);
+  for (unsigned I = 0; I < 64; ++I)
+    EXPECT_EQ(M[I], Original[I]) << "row " << I;
+}
+
+TEST(BitUtils, Transpose64x64MovesEveryBit) {
+  uint64_t M[64] = {};
+  std::mt19937_64 Rng(8);
+  // Set a scattering of bits and check each lands transposed.
+  struct Point {
+    unsigned Row, Col;
+  };
+  std::vector<Point> Points;
+  for (unsigned I = 0; I < 100; ++I) {
+    Point P = {static_cast<unsigned>(Rng() % 64),
+               static_cast<unsigned>(Rng() % 64)};
+    Points.push_back(P);
+    M[P.Row] |= uint64_t{1} << P.Col;
+  }
+  transpose64x64(M);
+  for (const Point &P : Points)
+    EXPECT_EQ((M[P.Col] >> P.Row) & 1, 1u)
+        << "bit (" << P.Row << "," << P.Col << ")";
+}
+
+TEST(BitUtils, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(1ull << 63));
+  EXPECT_FALSE(isPowerOf2((1ull << 63) + 1));
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+//===- DiagnosticsTest.cpp - Diagnostic engine tests ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.note({1, 1}, "just so you know");
+  Diags.warning({2, 2}, "careful");
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 0u);
+  Diags.error({3, 3}, "boom");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, Rendering) {
+  DiagnosticEngine Diags;
+  Diags.error({4, 7}, "unexpected character '@'");
+  EXPECT_EQ(Diags.diagnostics()[0].str(),
+            "error: 4:7: unexpected character '@'");
+  Diags.warning({}, "no location");
+  EXPECT_EQ(Diags.diagnostics()[1].str(), "warning: no location");
+  EXPECT_NE(Diags.str().find("error: 4:7"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error({1, 1}, "x");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(SourceLoc, Validity) {
+  EXPECT_FALSE(SourceLoc().isValid());
+  EXPECT_TRUE(SourceLoc(1, 1).isValid());
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_EQ(SourceLoc(12, 34).str(), "12:34");
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- TypesTest.cpp - Type, Arch and Table 1 instance tests --------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the type grammar, the architecture model, and — most
+/// importantly — the Table 1 operator-instance matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#include "types/Arch.h"
+#include "types/Type.h"
+#include "types/TypeClasses.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+TEST(Type, ConstructionAndQueries) {
+  Type Atom = Type::base(Dir::Vert, WordSize::fixed(16));
+  EXPECT_TRUE(Atom.isBase());
+  EXPECT_EQ(Atom.flattenedLength(), 1u);
+  EXPECT_EQ(Atom.bitWidth(), 16u);
+  EXPECT_FALSE(Atom.isPolymorphic());
+
+  Type Matrix = Type::vector(Type::vector(Atom, 4), 26);
+  EXPECT_EQ(Matrix.flattenedLength(), 104u);
+  EXPECT_EQ(Matrix.bitWidth(), 104u * 16u);
+  EXPECT_EQ(Matrix.scalarType(), Atom);
+  EXPECT_EQ(Matrix.str(), "uV16[4][26]");
+
+  Type Poly = Type::base(Dir::Param, WordSize::param());
+  EXPECT_TRUE(Poly.isPolymorphic());
+  EXPECT_TRUE(Type::vector(Poly, 3).isPolymorphic());
+}
+
+TEST(Type, Substitution) {
+  Type Poly = Type::vector(Type::base(Dir::Param, WordSize::param()), 4);
+  Type Mono = substituteType(Poly, Dir::Horiz, 16);
+  EXPECT_FALSE(Mono.isPolymorphic());
+  EXPECT_EQ(Mono.str(), "uH16[4]");
+  // Concrete pieces are untouched.
+  Type Fixed = Type::base(Dir::Vert, WordSize::fixed(8));
+  EXPECT_EQ(substituteType(Fixed, Dir::Horiz, 32), Fixed);
+  // MBits == 0 leaves 'm in place.
+  EXPECT_TRUE(substituteType(Poly, Dir::Vert, 0).isPolymorphic());
+}
+
+TEST(Type, Equality) {
+  Type A = Type::vector(Type::base(Dir::Vert, WordSize::fixed(16)), 4);
+  Type B = Type::vector(Type::base(Dir::Vert, WordSize::fixed(16)), 4);
+  Type C = Type::vector(Type::base(Dir::Horiz, WordSize::fixed(16)), 4);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, Type::nat());
+}
+
+TEST(Arch, Lookup) {
+  EXPECT_EQ(archByName("avx2"), &archAVX2());
+  EXPECT_EQ(archByName("AVX512"), &archAVX512());
+  EXPECT_EQ(archByName("neon"), &archNeon());
+  EXPECT_EQ(archByName("bogus"), nullptr);
+  unsigned Count = 0;
+  allArchs(Count);
+  EXPECT_EQ(Count, 5u) << "the x86 sweep excludes neon";
+}
+
+Type atom(Dir D, unsigned M);
+
+TEST(Arch, NeonInstances) {
+  // Neon: 128-bit, packed arithmetic at every element size (including
+  // 64-bit, unlike SSE), byte shuffles via vtbl.
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Arith, atom(Dir::Vert, 64), archNeon())
+          .Found);
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Shift, atom(Dir::Vert, 8), archNeon())
+          .Found);
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Shift, atom(Dir::Horiz, 16), archNeon())
+          .Found);
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Logic, atom(Dir::Vert, 256), archNeon())
+          .Found);
+}
+
+TEST(Arch, SlicesPerRegister) {
+  // Figure 2 / Section 4.3: bitslicing fills the register; vertical
+  // slicing fills width/m except on GP64 (one block).
+  EXPECT_EQ(archGP64().slicesFor(1, false), 64u);
+  EXPECT_EQ(archAVX512().slicesFor(1, false), 512u);
+  EXPECT_EQ(archGP64().slicesFor(16, false), 1u);
+  EXPECT_EQ(archSSE().slicesFor(16, false), 8u);
+  EXPECT_EQ(archAVX2().slicesFor(16, true), 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1: the operator-instance matrix
+//===----------------------------------------------------------------------===//
+
+Type atom(Dir D, unsigned M) { return Type::base(D, WordSize::fixed(M)); }
+
+TEST(Table1, LogicExistsUpToRegisterWidth) {
+  for (unsigned M : {1u, 8u, 13u, 64u})
+    EXPECT_TRUE(resolveInstance(OpClass::Logic, atom(Dir::Vert, M),
+                                archGP64())
+                    .Found)
+        << M;
+  // Words wider than the registers have no instance.
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Logic, atom(Dir::Vert, 128), archGP64())
+          .Found);
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Logic, atom(Dir::Vert, 128), archSSE())
+          .Found);
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Logic, atom(Dir::Vert, 512), archAVX512())
+          .Found);
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Logic, atom(Dir::Vert, 512), archAVX2())
+          .Found);
+}
+
+TEST(Table1, ArithInstanceRows) {
+  // Arith(uV8/16/32) from SSE on; uV64 needs AVX2.
+  for (unsigned M : {8u, 16u, 32u})
+    EXPECT_TRUE(
+        resolveInstance(OpClass::Arith, atom(Dir::Vert, M), archSSE())
+            .Found)
+        << M;
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Arith, atom(Dir::Vert, 64), archSSE())
+          .Found);
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Arith, atom(Dir::Vert, 64), archAVX2())
+          .Found);
+  // "arithmetic on 13-bit words is impossible, even in vertical mode".
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Arith, atom(Dir::Vert, 13), archAVX512())
+          .Found);
+  // No bitsliced arithmetic (the flattening error of Section 3.1).
+  InstanceResolution B1 =
+      resolveInstance(OpClass::Arith, atom(Dir::Vert, 1), archAVX2());
+  EXPECT_FALSE(B1.Found);
+  EXPECT_NE(B1.Reason.find("-B"), std::string::npos);
+  // No horizontal arithmetic.
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Arith, atom(Dir::Horiz, 16), archAVX2())
+          .Found);
+}
+
+TEST(Table1, ShiftInstanceRows) {
+  // Vertical shifts: uV16/uV32 from SSE, uV64 from AVX2.
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Shift, atom(Dir::Vert, 16), archSSE())
+          .Found);
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Shift, atom(Dir::Vert, 64), archSSE())
+          .Found);
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Shift, atom(Dir::Vert, 64), archAVX2())
+          .Found);
+  // Horizontal shifts: uH2..uH16 from SSE; uH32/uH64 only on AVX512.
+  for (unsigned M : {2u, 4u, 8u, 16u})
+    EXPECT_TRUE(
+        resolveInstance(OpClass::Shift, atom(Dir::Horiz, M), archSSE())
+            .Found)
+        << M;
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Shift, atom(Dir::Horiz, 32), archAVX2())
+          .Found);
+  EXPECT_TRUE(
+      resolveInstance(OpClass::Shift, atom(Dir::Horiz, 32), archAVX512())
+          .Found);
+  // No shuffles at all on GP64.
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Shift, atom(Dir::Horiz, 16), archGP64())
+          .Found);
+  // Single bits cannot be shifted (vector-level shifts are free instead).
+  EXPECT_FALSE(
+      resolveInstance(OpClass::Shift, atom(Dir::Vert, 1), archAVX2())
+          .Found);
+}
+
+TEST(Table1, VectorInstances) {
+  Type Vec = Type::vector(atom(Dir::Vert, 16), 4);
+  // Logic/Arith lift homomorphically; Shift on vectors is a renaming.
+  EXPECT_EQ(resolveInstance(OpClass::Logic, Vec, archSSE()).Impl,
+            InstanceImpl::Homomorphic);
+  EXPECT_EQ(resolveInstance(OpClass::Arith, Vec, archSSE()).Impl,
+            InstanceImpl::Homomorphic);
+  EXPECT_EQ(resolveInstance(OpClass::Shift, Vec, archGP64()).Impl,
+            InstanceImpl::Renaming);
+  // The homomorphic lift requires the element instance.
+  Type BitVec = Type::vector(atom(Dir::Vert, 1), 8);
+  EXPECT_FALSE(resolveInstance(OpClass::Arith, BitVec, archAVX2()).Found);
+  EXPECT_TRUE(resolveInstance(OpClass::Shift, BitVec, archGP64()).Found);
+}
+
+TEST(Table1, FailureReasonsAreInformative) {
+  InstanceResolution R =
+      resolveInstance(OpClass::Arith, atom(Dir::Horiz, 16), archAVX2());
+  EXPECT_NE(R.Reason.find("vertical"), std::string::npos) << R.Reason;
+  R = resolveInstance(OpClass::Shift, atom(Dir::Vert, 64), archSSE());
+  EXPECT_NE(R.Reason.find("sse"), std::string::npos) << R.Reason;
+}
+
+} // namespace
