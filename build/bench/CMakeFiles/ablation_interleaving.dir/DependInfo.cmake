@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_interleaving.cpp" "bench/CMakeFiles/ablation_interleaving.dir/ablation_interleaving.cpp.o" "gcc" "bench/CMakeFiles/ablation_interleaving.dir/ablation_interleaving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/usuba_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ciphers/CMakeFiles/usuba_ciphers.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbackend/CMakeFiles/usuba_cbackend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/usuba_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/usuba_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/usuba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/usuba_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/usuba_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/usuba_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/usuba_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unrolling.dir/ablation_unrolling.cpp.o"
+  "CMakeFiles/ablation_unrolling.dir/ablation_unrolling.cpp.o.d"
+  "ablation_unrolling"
+  "ablation_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

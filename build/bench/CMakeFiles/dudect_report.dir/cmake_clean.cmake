@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dudect_report.dir/dudect_report.cpp.o"
+  "CMakeFiles/dudect_report.dir/dudect_report.cpp.o.d"
+  "dudect_report"
+  "dudect_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dudect_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

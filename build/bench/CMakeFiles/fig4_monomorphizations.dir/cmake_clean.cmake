@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_monomorphizations.dir/fig4_monomorphizations.cpp.o"
+  "CMakeFiles/fig4_monomorphizations.dir/fig4_monomorphizations.cpp.o.d"
+  "fig4_monomorphizations"
+  "fig4_monomorphizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_monomorphizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

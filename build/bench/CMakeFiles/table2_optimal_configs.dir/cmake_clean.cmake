@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_optimal_configs.dir/table2_optimal_configs.cpp.o"
+  "CMakeFiles/table2_optimal_configs.dir/table2_optimal_configs.cpp.o.d"
+  "table2_optimal_configs"
+  "table2_optimal_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_optimal_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_reference_comparison.dir/table3_reference_comparison.cpp.o"
+  "CMakeFiles/table3_reference_comparison.dir/table3_reference_comparison.cpp.o.d"
+  "table3_reference_comparison"
+  "table3_reference_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_reference_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transposition_cost.dir/transposition_cost.cpp.o"
+  "CMakeFiles/transposition_cost.dir/transposition_cost.cpp.o.d"
+  "transposition_cost"
+  "transposition_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transposition_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

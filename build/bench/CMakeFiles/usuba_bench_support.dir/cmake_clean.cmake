@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_bench_support.dir/BenchSupport.cpp.o"
+  "CMakeFiles/usuba_bench_support.dir/BenchSupport.cpp.o.d"
+  "libusuba_bench_support.a"
+  "libusuba_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

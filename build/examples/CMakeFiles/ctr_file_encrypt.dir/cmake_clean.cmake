@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctr_file_encrypt.dir/ctr_file_encrypt.cpp.o"
+  "CMakeFiles/ctr_file_encrypt.dir/ctr_file_encrypt.cpp.o.d"
+  "ctr_file_encrypt"
+  "ctr_file_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctr_file_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

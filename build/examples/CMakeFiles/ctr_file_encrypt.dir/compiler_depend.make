@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ctr_file_encrypt.
+# This may be replaced when dependencies are built.

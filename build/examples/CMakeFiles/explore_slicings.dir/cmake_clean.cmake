@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_slicings.dir/explore_slicings.cpp.o"
+  "CMakeFiles/explore_slicings.dir/explore_slicings.cpp.o.d"
+  "explore_slicings"
+  "explore_slicings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_slicings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trivium_keystream.dir/trivium_keystream.cpp.o"
+  "CMakeFiles/trivium_keystream.dir/trivium_keystream.cpp.o.d"
+  "trivium_keystream"
+  "trivium_keystream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trivium_keystream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

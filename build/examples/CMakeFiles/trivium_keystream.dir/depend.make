@@ -1,0 +1,2 @@
+# Empty dependencies file for trivium_keystream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usubac.dir/usubac.cpp.o"
+  "CMakeFiles/usubac.dir/usubac.cpp.o.d"
+  "usubac"
+  "usubac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usubac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

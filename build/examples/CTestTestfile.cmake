@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_cipher "/root/repo/build/examples/custom_cipher")
+set_tests_properties(example_custom_cipher PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trivium_keystream "/root/repo/build/examples/trivium_keystream")
+set_tests_properties(example_trivium_keystream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_usubac_emit "/root/repo/build/examples/usubac" "-V" "-w" "16" "-arch" "avx2" "rectangle" "-o" "/dev/null")
+set_tests_properties(example_usubac_emit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_usubac_dump_u0 "/root/repo/build/examples/usubac" "-B" "-w" "16" "-dump-u0" "rectangle" "-o" "/dev/null")
+set_tests_properties(example_usubac_dump_u0 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

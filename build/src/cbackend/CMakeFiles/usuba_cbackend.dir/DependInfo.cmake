@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cbackend/CEmitter.cpp" "src/cbackend/CMakeFiles/usuba_cbackend.dir/CEmitter.cpp.o" "gcc" "src/cbackend/CMakeFiles/usuba_cbackend.dir/CEmitter.cpp.o.d"
+  "/root/repo/src/cbackend/NativeJit.cpp" "src/cbackend/CMakeFiles/usuba_cbackend.dir/NativeJit.cpp.o" "gcc" "src/cbackend/CMakeFiles/usuba_cbackend.dir/NativeJit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/usuba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/usuba_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/usuba_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/usuba_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/usuba_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

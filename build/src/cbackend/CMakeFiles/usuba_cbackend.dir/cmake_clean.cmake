@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_cbackend.dir/CEmitter.cpp.o"
+  "CMakeFiles/usuba_cbackend.dir/CEmitter.cpp.o.d"
+  "CMakeFiles/usuba_cbackend.dir/NativeJit.cpp.o"
+  "CMakeFiles/usuba_cbackend.dir/NativeJit.cpp.o.d"
+  "libusuba_cbackend.a"
+  "libusuba_cbackend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_cbackend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

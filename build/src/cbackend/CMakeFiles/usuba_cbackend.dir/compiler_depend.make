@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for usuba_cbackend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ciphers/DesTables.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/DesTables.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/DesTables.cpp.o.d"
+  "/root/repo/src/ciphers/RefAes.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefAes.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefAes.cpp.o.d"
+  "/root/repo/src/ciphers/RefChacha20.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefChacha20.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefChacha20.cpp.o.d"
+  "/root/repo/src/ciphers/RefDes.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefDes.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefDes.cpp.o.d"
+  "/root/repo/src/ciphers/RefPresent.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefPresent.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefPresent.cpp.o.d"
+  "/root/repo/src/ciphers/RefRectangle.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefRectangle.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefRectangle.cpp.o.d"
+  "/root/repo/src/ciphers/RefSerpent.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefSerpent.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefSerpent.cpp.o.d"
+  "/root/repo/src/ciphers/RefTrivium.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefTrivium.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/RefTrivium.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaCipher.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaCipher.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaCipher.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSourceAes.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceAes.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceAes.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSourceChacha20.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceChacha20.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceChacha20.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSourceDes.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceDes.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceDes.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSourcePresent.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourcePresent.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourcePresent.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSourceSerpent.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceSerpent.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceSerpent.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSourceTrivium.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceTrivium.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourceTrivium.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSources.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSources.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSources.cpp.o.d"
+  "/root/repo/src/ciphers/UsubaSourcesDec.cpp" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourcesDec.cpp.o" "gcc" "src/ciphers/CMakeFiles/usuba_ciphers.dir/UsubaSourcesDec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cbackend/CMakeFiles/usuba_cbackend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/usuba_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/usuba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/usuba_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/usuba_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/usuba_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/usuba_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/usuba_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

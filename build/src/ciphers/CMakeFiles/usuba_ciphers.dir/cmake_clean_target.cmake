@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libusuba_ciphers.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for usuba_ciphers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_circuits.dir/AesTowerSbox.cpp.o"
+  "CMakeFiles/usuba_circuits.dir/AesTowerSbox.cpp.o.d"
+  "CMakeFiles/usuba_circuits.dir/Circuit.cpp.o"
+  "CMakeFiles/usuba_circuits.dir/Circuit.cpp.o.d"
+  "libusuba_circuits.a"
+  "libusuba_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AstPasses.cpp" "src/core/CMakeFiles/usuba_core.dir/AstPasses.cpp.o" "gcc" "src/core/CMakeFiles/usuba_core.dir/AstPasses.cpp.o.d"
+  "/root/repo/src/core/Compiler.cpp" "src/core/CMakeFiles/usuba_core.dir/Compiler.cpp.o" "gcc" "src/core/CMakeFiles/usuba_core.dir/Compiler.cpp.o.d"
+  "/root/repo/src/core/Normalize.cpp" "src/core/CMakeFiles/usuba_core.dir/Normalize.cpp.o" "gcc" "src/core/CMakeFiles/usuba_core.dir/Normalize.cpp.o.d"
+  "/root/repo/src/core/Passes.cpp" "src/core/CMakeFiles/usuba_core.dir/Passes.cpp.o" "gcc" "src/core/CMakeFiles/usuba_core.dir/Passes.cpp.o.d"
+  "/root/repo/src/core/TypeChecker.cpp" "src/core/CMakeFiles/usuba_core.dir/TypeChecker.cpp.o" "gcc" "src/core/CMakeFiles/usuba_core.dir/TypeChecker.cpp.o.d"
+  "/root/repo/src/core/Usuba0.cpp" "src/core/CMakeFiles/usuba_core.dir/Usuba0.cpp.o" "gcc" "src/core/CMakeFiles/usuba_core.dir/Usuba0.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/usuba_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/usuba_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/usuba_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/usuba_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_core.dir/AstPasses.cpp.o"
+  "CMakeFiles/usuba_core.dir/AstPasses.cpp.o.d"
+  "CMakeFiles/usuba_core.dir/Compiler.cpp.o"
+  "CMakeFiles/usuba_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/usuba_core.dir/Normalize.cpp.o"
+  "CMakeFiles/usuba_core.dir/Normalize.cpp.o.d"
+  "CMakeFiles/usuba_core.dir/Passes.cpp.o"
+  "CMakeFiles/usuba_core.dir/Passes.cpp.o.d"
+  "CMakeFiles/usuba_core.dir/TypeChecker.cpp.o"
+  "CMakeFiles/usuba_core.dir/TypeChecker.cpp.o.d"
+  "CMakeFiles/usuba_core.dir/Usuba0.cpp.o"
+  "CMakeFiles/usuba_core.dir/Usuba0.cpp.o.d"
+  "libusuba_core.a"
+  "libusuba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_frontend.dir/Ast.cpp.o"
+  "CMakeFiles/usuba_frontend.dir/Ast.cpp.o.d"
+  "CMakeFiles/usuba_frontend.dir/AstPrinter.cpp.o"
+  "CMakeFiles/usuba_frontend.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/usuba_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/usuba_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/usuba_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/usuba_frontend.dir/Parser.cpp.o.d"
+  "libusuba_frontend.a"
+  "libusuba_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

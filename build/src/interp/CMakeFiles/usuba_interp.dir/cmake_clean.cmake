@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/usuba_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/usuba_interp.dir/SimdReg.cpp.o"
+  "CMakeFiles/usuba_interp.dir/SimdReg.cpp.o.d"
+  "libusuba_interp.a"
+  "libusuba_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

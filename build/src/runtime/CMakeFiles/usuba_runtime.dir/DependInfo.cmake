@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Dudect.cpp" "src/runtime/CMakeFiles/usuba_runtime.dir/Dudect.cpp.o" "gcc" "src/runtime/CMakeFiles/usuba_runtime.dir/Dudect.cpp.o.d"
+  "/root/repo/src/runtime/KernelRunner.cpp" "src/runtime/CMakeFiles/usuba_runtime.dir/KernelRunner.cpp.o" "gcc" "src/runtime/CMakeFiles/usuba_runtime.dir/KernelRunner.cpp.o.d"
+  "/root/repo/src/runtime/Layout.cpp" "src/runtime/CMakeFiles/usuba_runtime.dir/Layout.cpp.o" "gcc" "src/runtime/CMakeFiles/usuba_runtime.dir/Layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/usuba_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/usuba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/usuba_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/usuba_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/usuba_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/usuba_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

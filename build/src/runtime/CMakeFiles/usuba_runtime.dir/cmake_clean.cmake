@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_runtime.dir/Dudect.cpp.o"
+  "CMakeFiles/usuba_runtime.dir/Dudect.cpp.o.d"
+  "CMakeFiles/usuba_runtime.dir/KernelRunner.cpp.o"
+  "CMakeFiles/usuba_runtime.dir/KernelRunner.cpp.o.d"
+  "CMakeFiles/usuba_runtime.dir/Layout.cpp.o"
+  "CMakeFiles/usuba_runtime.dir/Layout.cpp.o.d"
+  "libusuba_runtime.a"
+  "libusuba_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

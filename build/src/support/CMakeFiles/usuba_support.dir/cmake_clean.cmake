@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_support.dir/BitUtils.cpp.o"
+  "CMakeFiles/usuba_support.dir/BitUtils.cpp.o.d"
+  "CMakeFiles/usuba_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/usuba_support.dir/Diagnostics.cpp.o.d"
+  "libusuba_support.a"
+  "libusuba_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

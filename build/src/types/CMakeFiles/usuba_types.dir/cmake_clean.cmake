@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usuba_types.dir/Arch.cpp.o"
+  "CMakeFiles/usuba_types.dir/Arch.cpp.o.d"
+  "CMakeFiles/usuba_types.dir/Type.cpp.o"
+  "CMakeFiles/usuba_types.dir/Type.cpp.o.d"
+  "CMakeFiles/usuba_types.dir/TypeClasses.cpp.o"
+  "CMakeFiles/usuba_types.dir/TypeClasses.cpp.o.d"
+  "libusuba_types.a"
+  "libusuba_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usuba_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbackend_test.dir/cbackend/CEmitterTest.cpp.o"
+  "CMakeFiles/cbackend_test.dir/cbackend/CEmitterTest.cpp.o.d"
+  "CMakeFiles/cbackend_test.dir/cbackend/NativeJitTest.cpp.o"
+  "CMakeFiles/cbackend_test.dir/cbackend/NativeJitTest.cpp.o.d"
+  "cbackend_test"
+  "cbackend_test.pdb"
+  "cbackend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbackend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cipher_api_test.dir/ciphers/UsubaCipherTest.cpp.o"
+  "CMakeFiles/cipher_api_test.dir/ciphers/UsubaCipherTest.cpp.o.d"
+  "cipher_api_test"
+  "cipher_api_test.pdb"
+  "cipher_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cipher_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

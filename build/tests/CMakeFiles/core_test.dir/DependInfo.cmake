@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AstPassesTest.cpp" "tests/CMakeFiles/core_test.dir/core/AstPassesTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/AstPassesTest.cpp.o.d"
+  "/root/repo/tests/core/NormalizeTest.cpp" "tests/CMakeFiles/core_test.dir/core/NormalizeTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/NormalizeTest.cpp.o.d"
+  "/root/repo/tests/core/PassesTest.cpp" "tests/CMakeFiles/core_test.dir/core/PassesTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/PassesTest.cpp.o.d"
+  "/root/repo/tests/core/TypeCheckerTest.cpp" "tests/CMakeFiles/core_test.dir/core/TypeCheckerTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/TypeCheckerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ciphers/CMakeFiles/usuba_ciphers.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/usuba_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/usuba_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbackend/CMakeFiles/usuba_cbackend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/usuba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/usuba_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/usuba_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/usuba_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/usuba_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/AstPassesTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/AstPassesTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/NormalizeTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/NormalizeTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/PassesTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/PassesTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/TypeCheckerTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/TypeCheckerTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_test.dir/integration/AesTest.cpp.o"
+  "CMakeFiles/smoke_test.dir/integration/AesTest.cpp.o.d"
+  "CMakeFiles/smoke_test.dir/integration/Chacha20Test.cpp.o"
+  "CMakeFiles/smoke_test.dir/integration/Chacha20Test.cpp.o.d"
+  "CMakeFiles/smoke_test.dir/integration/DesTest.cpp.o"
+  "CMakeFiles/smoke_test.dir/integration/DesTest.cpp.o.d"
+  "CMakeFiles/smoke_test.dir/integration/ExtensionsTest.cpp.o"
+  "CMakeFiles/smoke_test.dir/integration/ExtensionsTest.cpp.o.d"
+  "CMakeFiles/smoke_test.dir/integration/RectangleTest.cpp.o"
+  "CMakeFiles/smoke_test.dir/integration/RectangleTest.cpp.o.d"
+  "CMakeFiles/smoke_test.dir/integration/SerpentTest.cpp.o"
+  "CMakeFiles/smoke_test.dir/integration/SerpentTest.cpp.o.d"
+  "smoke_test"
+  "smoke_test.pdb"
+  "smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
