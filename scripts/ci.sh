@@ -1,0 +1,39 @@
+#!/bin/sh
+# CI matrix for usuba-cpp (documented in README.md):
+#
+#   release  - the default NDEBUG build; proves the ICE channel and the
+#              pass checkpoints work without assert().
+#   debug    - asserts on, catches invariant slips early.
+#   sanitize - ASan + UBSan over the whole suite, including the parser
+#              fuzz corpus and the JIT's fork/timeout path.
+#
+# Usage: scripts/ci.sh [release|debug|sanitize|all]   (default: all)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+MATRIX=${1:-all}
+
+run_job() {
+  NAME=$1
+  shift
+  echo "==== ci job: $NAME ===="
+  cmake -B "build-ci-$NAME" -S . "$@"
+  cmake --build "build-ci-$NAME" -j "$JOBS"
+  (cd "build-ci-$NAME" && ctest --output-on-failure -j "$JOBS")
+}
+
+case "$MATRIX" in
+release) run_job release -DCMAKE_BUILD_TYPE=Release ;;
+debug) run_job debug -DCMAKE_BUILD_TYPE=Debug ;;
+sanitize) run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON ;;
+all)
+  run_job release -DCMAKE_BUILD_TYPE=Release
+  run_job debug -DCMAKE_BUILD_TYPE=Debug
+  run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON
+  ;;
+*)
+  echo "unknown job '$MATRIX' (want release|debug|sanitize|all)" >&2
+  exit 2
+  ;;
+esac

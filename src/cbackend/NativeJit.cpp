@@ -7,15 +7,18 @@
 #include "cbackend/NativeJit.h"
 
 #include <dlfcn.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
 
 using namespace usuba;
 
@@ -29,23 +32,158 @@ std::string hostCompiler() {
   return "cc";
 }
 
-/// Unique scratch path under TMPDIR for this process.
-std::string scratchPath(const std::string &Stem, const char *Ext) {
-  static std::atomic<unsigned> Counter{0};
-  const char *Base = std::getenv("TMPDIR");
-  std::string Dir = Base ? Base : "/tmp";
-  return Dir + "/" + Stem + "-" + std::to_string(getpid()) + "-" +
-         std::to_string(Counter.fetch_add(1)) + Ext;
+/// POSIX shell single-quoting: the result is one word, with no
+/// interpolation, whatever bytes the path or compiler name contains.
+std::string shellQuote(const std::string &Arg) {
+  std::string Out;
+  Out.reserve(Arg.size() + 2);
+  Out += '\'';
+  for (char C : Arg) {
+    if (C == '\'')
+      Out += "'\\''";
+    else
+      Out += C;
+  }
+  Out += '\'';
+  return Out;
 }
 
-int runCommand(const std::string &Command) {
-  int Status = std::system(Command.c_str());
-  if (Status == -1)
-    return -1;
-  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+/// Wall-clock budget for one host-compiler invocation. 0 disables the
+/// timeout.
+unsigned compileTimeoutMillis() {
+  if (const char *Env = std::getenv("USUBA_CC_TIMEOUT_MS")) {
+    char *End = nullptr;
+    unsigned long Value = std::strtoul(Env, &End, 10);
+    if (End != Env && *End == '\0')
+      return static_cast<unsigned>(Value);
+  }
+  return 120000;
+}
+
+/// An mkdtemp-created private directory, removed (with the files handed
+/// out by file()) on destruction. Keeps kernel sources out of
+/// world-readable predictable paths and never leaks scratch files, even
+/// on the error paths.
+class TempDir {
+public:
+  TempDir() {
+    const char *Base = std::getenv("TMPDIR");
+    std::string Template =
+        (Base && *Base ? std::string(Base) : std::string("/tmp")) +
+        "/usuba-jit-XXXXXX";
+    std::vector<char> Buf(Template.begin(), Template.end());
+    Buf.push_back('\0');
+    if (mkdtemp(Buf.data()))
+      Path = Buf.data();
+  }
+  ~TempDir() {
+    if (Path.empty())
+      return;
+    for (const std::string &F : Files)
+      std::remove(F.c_str());
+    rmdir(Path.c_str());
+  }
+  TempDir(const TempDir &) = delete;
+  TempDir &operator=(const TempDir &) = delete;
+
+  bool valid() const { return !Path.empty(); }
+  /// Returns Path/Name and schedules it for removal.
+  std::string file(const char *Name) {
+    Files.push_back(Path + "/" + Name);
+    return Files.back();
+  }
+
+private:
+  std::string Path;
+  std::vector<std::string> Files;
+};
+
+enum class RunResult { Ok, Failed, TimedOut };
+struct RunOutcome {
+  RunResult Result;
+  int ExitCode;
+};
+
+/// Runs \p Command through /bin/sh in its own process group. If it is
+/// still running after \p TimeoutMillis (0 = wait forever), the whole
+/// group — shell plus any compiler subprocesses — is killed.
+RunOutcome runCommandWithTimeout(const std::string &Command,
+                                 unsigned TimeoutMillis) {
+  pid_t Pid = fork();
+  if (Pid < 0)
+    return {RunResult::Failed, -1};
+  if (Pid == 0) {
+    setpgid(0, 0);
+    execl("/bin/sh", "sh", "-c", Command.c_str(),
+          static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  // Also set the group from the parent: whichever side wins, the group
+  // exists before we might need to signal it. EACCES after the child
+  // exec'd is fine — the child already placed itself.
+  setpgid(Pid, Pid);
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMillis);
+  for (;;) {
+    int Status = 0;
+    pid_t Done = waitpid(Pid, &Status, TimeoutMillis ? WNOHANG : 0);
+    if (Done == Pid) {
+      if (WIFEXITED(Status))
+        return {WEXITSTATUS(Status) == 0 ? RunResult::Ok : RunResult::Failed,
+                WEXITSTATUS(Status)};
+      return {RunResult::Failed, -1};
+    }
+    if (Done < 0)
+      return {RunResult::Failed, -1};
+    if (TimeoutMillis && std::chrono::steady_clock::now() >= Deadline) {
+      kill(-Pid, SIGKILL);
+      waitpid(Pid, &Status, 0);
+      return {RunResult::TimedOut, -1};
+    }
+    usleep(2000);
+  }
+}
+
+/// The lower optimization level tried after a failed or timed-out
+/// compile ("" = no retry): large emitted kernels occasionally hit
+/// host-compiler pathologies at high -O, and a cheap second attempt
+/// beats losing the native engine entirely.
+std::string retryLevelFor(const std::string &OptLevel) {
+  if (OptLevel == "-O0")
+    return "";
+  if (OptLevel == "-O1")
+    return "-O0";
+  return "-O1";
 }
 
 } // namespace
+
+std::string JitError::str() const {
+  const char *Name = "ok";
+  switch (Kind) {
+  case Reason::None:
+    return Detail.empty() ? "ok" : Detail;
+  case Reason::NoCompiler:
+    Name = "no-compiler";
+    break;
+  case Reason::WriteFailed:
+    Name = "write-failed";
+    break;
+  case Reason::CompileFailed:
+    Name = "compile-failed";
+    break;
+  case Reason::Timeout:
+    Name = "timeout";
+    break;
+  case Reason::LoadFailed:
+    Name = "load-failed";
+    break;
+  case Reason::SymbolMissing:
+    Name = "symbol-missing";
+    break;
+  }
+  return std::string(Name) + ": " + Detail;
+}
 
 NativeKernel::~NativeKernel() {
   if (Handle)
@@ -60,76 +198,110 @@ NativeKernel::NativeKernel(NativeKernel &&Other) noexcept
 }
 
 bool NativeKernel::hostCompilerAvailable() {
-  static const bool Available = [] {
-    std::string Probe = scratchPath("usuba-probe", ".c");
+  // Cached per compiler *name*, not once per process: tests point
+  // USUBA_CC at deliberately broken compilers and must not poison the
+  // result for the real one.
+  static std::mutex CacheMutex;
+  static std::map<std::string, bool> Cache;
+  std::string Compiler = hostCompiler();
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  auto It = Cache.find(Compiler);
+  if (It != Cache.end())
+    return It->second;
+  bool Available = [&] {
+    TempDir Dir;
+    if (!Dir.valid())
+      return false;
+    std::string Probe = Dir.file("usuba-probe.c");
     {
       std::ofstream Src(Probe);
       Src << "int usuba_probe(void){return 42;}\n";
+      if (!Src)
+        return false;
     }
-    std::string Object = Probe + ".so";
-    int Status = runCommand(hostCompiler() + " -shared -fPIC -o " + Object +
-                            " " + Probe + " >/dev/null 2>&1");
-    std::remove(Probe.c_str());
-    std::remove(Object.c_str());
-    return Status == 0;
+    std::string Object = Dir.file("usuba-probe.so");
+    RunOutcome Out = runCommandWithTimeout(
+        shellQuote(Compiler) + " -shared -fPIC -o " + shellQuote(Object) +
+            " " + shellQuote(Probe) + " >/dev/null 2>&1",
+        compileTimeoutMillis());
+    return Out.Result == RunResult::Ok;
   }();
+  Cache.emplace(std::move(Compiler), Available);
   return Available;
 }
 
 std::optional<NativeKernel> NativeKernel::compile(const EmittedC &Emitted,
                                                   const std::string &OptLevel,
-                                                  std::string *Error) {
-  auto Fail = [&](const std::string &Why) -> std::optional<NativeKernel> {
+                                                  JitError *Error) {
+  auto Fail = [&](JitError::Reason Kind,
+                  std::string Why) -> std::optional<NativeKernel> {
     if (Error)
-      *Error = Why;
+      *Error = {Kind, std::move(Why)};
     return std::nullopt;
   };
   if (!hostCompilerAvailable())
-    return Fail("no host C compiler available (set USUBA_CC)");
+    return Fail(JitError::Reason::NoCompiler,
+                "no host C compiler available (set USUBA_CC)");
 
-  std::string Source = scratchPath("usuba-kernel", ".c");
-  std::string Object = scratchPath("usuba-kernel", ".so");
+  TempDir Dir;
+  if (!Dir.valid())
+    return Fail(JitError::Reason::WriteFailed,
+                "cannot create a temporary directory under $TMPDIR");
+  std::string Source = Dir.file("usuba-kernel.c");
+  std::string Object = Dir.file("usuba-kernel.so");
   {
     std::ofstream Src(Source);
-    if (!Src)
-      return Fail("cannot write " + Source);
     Src << Emitted.Code;
+    Src.flush();
+    if (!Src)
+      return Fail(JitError::Reason::WriteFailed, "cannot write " + Source);
   }
 
-  std::string Command = hostCompiler() + " " + OptLevel +
-                        " -shared -fPIC -fno-lto";
-  for (const std::string &Flag : Emitted.CompilerFlags)
-    Command += " " + Flag;
-  Command += " -o " + Object + " " + Source + " 2>/dev/null";
+  auto CommandFor = [&](const std::string &Level) {
+    std::string Command =
+        shellQuote(hostCompiler()) + " " + Level + " -shared -fPIC -fno-lto";
+    for (const std::string &Flag : Emitted.CompilerFlags)
+      Command += " " + Flag;
+    Command +=
+        " -o " + shellQuote(Object) + " " + shellQuote(Source) + " 2>/dev/null";
+    return Command;
+  };
 
+  unsigned TimeoutMillis = compileTimeoutMillis();
   auto Start = std::chrono::steady_clock::now();
-  int Status = runCommand(Command);
+  RunOutcome Out = runCommandWithTimeout(CommandFor(OptLevel), TimeoutMillis);
+  std::string Retry = retryLevelFor(OptLevel);
+  if (Out.Result != RunResult::Ok && !Retry.empty())
+    Out = runCommandWithTimeout(CommandFor(Retry), TimeoutMillis);
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
-  std::remove(Source.c_str());
-  if (Status != 0) {
-    std::remove(Object.c_str());
-    return Fail("host compiler failed (exit " + std::to_string(Status) +
-                ")");
-  }
+  if (Out.Result == RunResult::TimedOut)
+    return Fail(JitError::Reason::Timeout,
+                "host compiler exceeded " + std::to_string(TimeoutMillis) +
+                    " ms (USUBA_CC_TIMEOUT_MS)");
+  if (Out.Result != RunResult::Ok)
+    return Fail(JitError::Reason::CompileFailed,
+                "host compiler failed (exit " + std::to_string(Out.ExitCode) +
+                    ")");
 
   void *Handle = dlopen(Object.c_str(), RTLD_NOW | RTLD_LOCAL);
-  // The object can be unlinked once mapped.
-  std::remove(Object.c_str());
+  // The object (and the whole temp dir) can be unlinked once mapped.
   if (!Handle)
-    return Fail(std::string("dlopen failed: ") + dlerror());
+    return Fail(JitError::Reason::LoadFailed,
+                std::string("dlopen failed: ") + dlerror());
   void *Sym = dlsym(Handle, "usuba_kernel");
   if (!Sym) {
     dlclose(Handle);
-    return Fail("usuba_kernel symbol not found");
+    return Fail(JitError::Reason::SymbolMissing,
+                "usuba_kernel symbol not found");
   }
   return NativeKernel(Handle, reinterpret_cast<KernelFn>(Sym), Seconds);
 }
 
 std::optional<NativeKernel> usuba::jitCompile(const CompiledKernel &Kernel,
                                               const std::string &OptLevel,
-                                              std::string *Error) {
+                                              JitError *Error) {
   return NativeKernel::compile(emitC(Kernel.Prog), OptLevel, Error);
 }
 

@@ -6,11 +6,13 @@
 ///
 /// \file
 /// Runtime compilation of the C emitted by CEmitter: write the
-/// translation unit to a temporary directory, invoke the host C compiler
-/// (${USUBA_CC}, ${CC} or cc) with the target's ISA flags, dlopen the
-/// shared object and resolve `usuba_kernel`. This is how the benchmarks
-/// obtain real-machine numbers; when no host compiler exists the callers
-/// fall back to the SIMD simulator.
+/// translation unit to a private mkdtemp directory, invoke the host C
+/// compiler (${USUBA_CC}, ${CC} or cc) with the target's ISA flags under
+/// a wall-clock timeout, dlopen the shared object and resolve
+/// `usuba_kernel`. This is how the benchmarks obtain real-machine
+/// numbers; when no host compiler exists — or it fails or hangs — the
+/// callers degrade to the SIMD simulator (see KernelRunner's
+/// degradation ladder).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +27,25 @@
 #include <string>
 
 namespace usuba {
+
+/// A structured report of why the native JIT path was not taken. The
+/// degradation ladder in KernelRunner/UsubaCipher records str() so users
+/// can see which rung failed; tests switch on Kind.
+struct JitError {
+  enum class Reason {
+    None,          ///< no error recorded
+    NoCompiler,    ///< probe found no usable host C compiler
+    WriteFailed,   ///< could not create the temp dir or source file
+    CompileFailed, ///< host compiler exited nonzero (after the retry)
+    Timeout,       ///< host compiler exceeded the wall-clock budget
+    LoadFailed,    ///< dlopen rejected the produced object
+    SymbolMissing, ///< the object does not export usuba_kernel
+  };
+  Reason Kind = Reason::None;
+  std::string Detail;
+
+  std::string str() const;
+};
 
 /// A loaded native kernel. Owns the dlopen handle; the function pointer
 /// dies with this object.
@@ -41,15 +62,20 @@ public:
   /// paper's C files are large and compiler behavior matters).
   double compileSeconds() const { return CompileSeconds; }
 
-  /// Compiles \p Emitted at the given optimization level. Returns
-  /// std::nullopt (with a reason in \p Error) when no compiler is
-  /// available or compilation fails. Extra flags are appended, letting
+  /// Compiles \p Emitted at the given optimization level. The host
+  /// compiler runs under a wall-clock timeout (USUBA_CC_TIMEOUT_MS,
+  /// default 120000; 0 disables) and a failed or timed-out compile is
+  /// retried once at a lower optimization level before giving up.
+  /// Returns std::nullopt with a structured reason in \p Error when the
+  /// kernel could not be produced. Extra flags are appended, letting
   /// benches sweep compiler options.
   static std::optional<NativeKernel>
   compile(const EmittedC &Emitted, const std::string &OptLevel = "-O3",
-          std::string *Error = nullptr);
+          JitError *Error = nullptr);
 
-  /// True when a host C compiler appears usable (cached probe).
+  /// True when a host C compiler appears usable. The probe result is
+  /// cached per compiler name, so tests can flip USUBA_CC between
+  /// probes.
   static bool hostCompilerAvailable();
 
 private:
@@ -65,7 +91,7 @@ private:
 /// the kernel's target ISA to *run* it (callers check hostSupports()).
 std::optional<NativeKernel> jitCompile(const CompiledKernel &Kernel,
                                        const std::string &OptLevel = "-O3",
-                                       std::string *Error = nullptr);
+                                       JitError *Error = nullptr);
 
 /// True when the machine running this process can execute code for
 /// \p Target (checked via CPUID-backed GCC builtins).

@@ -165,15 +165,24 @@ std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
   }
 
   UsubaCipher Cipher(Config, std::move(*Kernel));
-  if (Config.PreferNative && NativeKernel::hostCompilerAvailable() &&
-      hostSupports(*Options.Target)) {
-    std::string JitError;
-    std::optional<NativeKernel> Native =
-        jitCompile(Cipher.Runner->kernel(),
-                   jitOptLevelFor(Cipher.Runner->kernel()), &JitError);
-    if (Native) {
-      Cipher.Native = std::make_shared<NativeKernel>(std::move(*Native));
-      Cipher.Runner->setNativeFn(Cipher.Native->fn());
+  if (Config.PreferNative) {
+    // Degradation ladder rung 1: JIT the emitted C. Any failure —
+    // unsupported host ISA, missing compiler, compile error, timeout —
+    // leaves execution on the interpreter with the reason recorded.
+    if (!hostSupports(*Options.Target)) {
+      Cipher.Runner->noteFallback(std::string("host CPU cannot execute ") +
+                                  Options.Target->Name + " code");
+    } else {
+      JitError Err;
+      std::optional<NativeKernel> Native =
+          jitCompile(Cipher.Runner->kernel(),
+                     jitOptLevelFor(Cipher.Runner->kernel()), &Err);
+      if (Native) {
+        Cipher.Native = std::make_shared<NativeKernel>(std::move(*Native));
+        Cipher.Runner->setNativeFn(Cipher.Native->fn());
+      } else {
+        Cipher.Runner->noteFallback(Err.str());
+      }
     }
   }
   return Cipher;
@@ -192,14 +201,20 @@ bool UsubaCipher::ensureDecryptRunner() {
   if (!Kernel)
     return false;
   DecRunner = std::make_unique<KernelRunner>(std::move(*Kernel));
-  if (Config.PreferNative && NativeKernel::hostCompilerAvailable() &&
-      hostSupports(*Options.Target)) {
-    std::optional<NativeKernel> Native =
-        jitCompile(DecRunner->kernel(),
-                   jitOptLevelFor(DecRunner->kernel()));
-    if (Native) {
-      DecNative = std::make_shared<NativeKernel>(std::move(*Native));
-      DecRunner->setNativeFn(DecNative->fn());
+  if (Config.PreferNative) {
+    if (!hostSupports(*Options.Target)) {
+      DecRunner->noteFallback(std::string("host CPU cannot execute ") +
+                              Options.Target->Name + " code");
+    } else {
+      JitError Err;
+      std::optional<NativeKernel> Native = jitCompile(
+          DecRunner->kernel(), jitOptLevelFor(DecRunner->kernel()), &Err);
+      if (Native) {
+        DecNative = std::make_shared<NativeKernel>(std::move(*Native));
+        DecRunner->setNativeFn(DecNative->fn());
+      } else {
+        DecRunner->noteFallback(Err.str());
+      }
     }
   }
   return true;

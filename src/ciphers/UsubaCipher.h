@@ -92,6 +92,9 @@ public:
   unsigned blocksPerCall() const { return Runner->blocksPerCall(); }
   /// True when running JIT-compiled native code (vs the simulator).
   bool isNative() const { return Runner->usingNative(); }
+  /// When not native: which rung of the degradation ladder was taken and
+  /// why (JIT failure, timeout, self-check demotion). Empty when native.
+  const std::string &engineNote() const { return Runner->fallbackReason(); }
 
   /// Installs the key (expands the key schedule — which, as in the
   /// paper's benchmarks, lives outside the measured primitive).

@@ -118,12 +118,16 @@ struct BddNode {
   unsigned High;
 };
 
+/// Thrown (and caught inside this file) when a node budget is exhausted;
+/// never escapes the circuits library.
+struct BddBudgetExceeded {};
+
 /// Builds hash-consed BDDs bottom-up from truth-table bitsets, then emits
 /// each node once as a mux of hash-consed gates.
 class Synthesizer {
 public:
-  explicit Synthesizer(const TruthTable &Table)
-      : Table(Table), Result(Table.InBits) {}
+  explicit Synthesizer(const TruthTable &Table, size_t MaxBddNodes = 0)
+      : Table(Table), MaxBddNodes(MaxBddNodes), Result(Table.InBits) {}
 
   Circuit run() {
     for (unsigned OutBit = 0; OutBit < Table.OutBits; ++OutBit) {
@@ -193,6 +197,8 @@ private:
     auto It = NodeCache.find(Key);
     if (It != NodeCache.end())
       return It->second;
+    if (MaxBddNodes && Nodes.size() >= MaxBddNodes)
+      throw BddBudgetExceeded{};
     Nodes.push_back({Var, Low, High});
     unsigned Id = static_cast<unsigned>(Nodes.size()) - 1 + 2;
     NodeCache.emplace(Key, Id);
@@ -263,6 +269,7 @@ private:
   }
 
   const TruthTable &Table;
+  size_t MaxBddNodes; ///< 0 = unlimited
   Circuit Result;
   std::vector<BddNode> Nodes;
   std::map<FuncBits, unsigned> FuncCache;
@@ -306,6 +313,13 @@ static Circuit remapInputs(const Circuit &C,
 }
 
 Circuit usuba::synthesizeTable(const TruthTable &Table) {
+  std::optional<Circuit> C = synthesizeTableBudgeted(Table, 0);
+  assert(C && "unbudgeted synthesis cannot fail");
+  return std::move(*C);
+}
+
+std::optional<Circuit>
+usuba::synthesizeTableBudgeted(const TruthTable &Table, size_t MaxBddNodes) {
   assert(Table.isValid() && "malformed truth table");
   // BDD sizes are highly sensitive to the variable order; try a small
   // portfolio of orders (identity, reverse, rotations, a few deterministic
@@ -344,13 +358,19 @@ Circuit usuba::synthesizeTable(const TruthTable &Table) {
   bool HaveBest = false;
   for (const std::vector<unsigned> &Perm : Orders) {
     TruthTable Permuted = permuteInputs(Table, Perm);
-    Synthesizer Synth(Permuted);
-    Circuit Candidate = remapInputs(Synth.run(), Perm);
-    if (!HaveBest || Candidate.numGates() < Best.numGates()) {
-      Best = std::move(Candidate);
-      HaveBest = true;
+    try {
+      Synthesizer Synth(Permuted, MaxBddNodes);
+      Circuit Candidate = remapInputs(Synth.run(), Perm);
+      if (!HaveBest || Candidate.numGates() < Best.numGates()) {
+        Best = std::move(Candidate);
+        HaveBest = true;
+      }
+    } catch (const BddBudgetExceeded &) {
+      // This variable order blew the budget; another may still fit.
     }
   }
+  if (!HaveBest)
+    return std::nullopt;
   assert(Best.matchesTable(Table) && "synthesized circuit is wrong");
   return Best;
 }
@@ -418,10 +438,17 @@ const Circuit *usuba::lookupKnownCircuit(const TruthTable &Table) {
 }
 
 Circuit usuba::circuitForTable(const TruthTable &Table) {
+  std::optional<Circuit> C = circuitForTableBudgeted(Table, 0);
+  assert(C && "unbudgeted elaboration cannot fail");
+  return std::move(*C);
+}
+
+std::optional<Circuit>
+usuba::circuitForTableBudgeted(const TruthTable &Table, size_t MaxBddNodes) {
   if (const Circuit *Known = lookupKnownCircuit(Table))
     return *Known;
   // Structural constructions beat generic synthesis where they apply.
   if (std::optional<Circuit> Tower = buildAesTowerSbox(Table))
-    return *Tower;
-  return synthesizeTable(Table);
+    return Tower;
+  return synthesizeTableBudgeted(Table, MaxBddNodes);
 }

@@ -19,6 +19,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace usuba {
@@ -107,6 +108,12 @@ private:
 /// input; gate count is decent but not optimal.
 Circuit synthesizeTable(const TruthTable &Table);
 
+/// Same, but gives up (returns std::nullopt) once more than
+/// \p MaxBddNodes BDD nodes have been interned — a resource guard so a
+/// hostile table produces a diagnostic instead of an OOM. 0 = unlimited.
+std::optional<Circuit> synthesizeTableBudgeted(const TruthTable &Table,
+                                               size_t MaxBddNodes);
+
 /// Looks \p Table up in the database of known hand-optimized circuits
 /// (paper: "Usuba integrates these hard-won results into a database of
 /// known circuits"). Returns nullptr when the table is not known.
@@ -114,6 +121,11 @@ const Circuit *lookupKnownCircuit(const TruthTable &Table);
 
 /// Database lookup, falling back to BDD synthesis.
 Circuit circuitForTable(const TruthTable &Table);
+
+/// Database lookup, falling back to budgeted BDD synthesis; std::nullopt
+/// when the node budget is exhausted.
+std::optional<Circuit> circuitForTableBudgeted(const TruthTable &Table,
+                                               size_t MaxBddNodes);
 
 } // namespace usuba
 

@@ -8,6 +8,7 @@
 
 #include "circuits/Circuit.h"
 #include "support/BitUtils.h"
+#include "support/Diagnostics.h"
 
 #include <map>
 #include <set>
@@ -83,9 +84,16 @@ void substEquation(Equation &Eqn, const std::string &Name, int64_t Value) {
 /// barriers between rounds.
 bool expandEquations(std::vector<Equation> &In, std::vector<Equation> &Out,
                      DiagnosticEngine &Diags, unsigned Depth,
-                     unsigned &NextGroup, unsigned CurGroup) {
+                     unsigned &NextGroup, unsigned CurGroup,
+                     size_t &Remaining) {
   for (Equation &Eqn : In) {
     if (Eqn.K == Equation::Kind::Assign) {
+      if (Remaining == 0) {
+        Diags.error(Eqn.Loc,
+                    "'forall' expansion exceeds the unrolling budget");
+        return false;
+      }
+      --Remaining;
       Eqn.IterGroup = CurGroup;
       Out.push_back(std::move(Eqn));
       continue;
@@ -95,7 +103,8 @@ bool expandEquations(std::vector<Equation> &In, std::vector<Equation> &Out,
     int64_t Lo = Eqn.Lo.evaluate(Empty, Ok);
     int64_t Hi = Eqn.Hi.evaluate(Empty, Ok);
     if (!Ok) {
-      Diags.error(Eqn.Loc, "division by zero in 'forall' bounds");
+      Diags.error(Eqn.Loc, "'forall' bounds cannot be evaluated (division "
+                           "by zero or unbound index variable)");
       return false;
     }
     if (Hi < Lo) {
@@ -103,8 +112,13 @@ bool expandEquations(std::vector<Equation> &In, std::vector<Equation> &Out,
                                std::to_string(Hi) + "] is empty");
       return false;
     }
-    if (Hi - Lo > 1 << 20) {
-      Diags.error(Eqn.Loc, "'forall' range too large");
+    // Cheap pre-check before cloning any bodies: even one equation per
+    // iteration would blow the budget.
+    if (static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) >=
+        static_cast<uint64_t>(Remaining)) {
+      Diags.error(Eqn.Loc, "'forall' range [" + std::to_string(Lo) + "," +
+                               std::to_string(Hi) +
+                               "] exceeds the unrolling budget");
       return false;
     }
     for (int64_t I = Lo; I <= Hi; ++I) {
@@ -116,7 +130,7 @@ bool expandEquations(std::vector<Equation> &In, std::vector<Equation> &Out,
       }
       unsigned Group = Depth == 0 ? ++NextGroup : CurGroup;
       if (!expandEquations(Iteration, Out, Diags, Depth + 1, NextGroup,
-                           Group))
+                           Group, Remaining))
         return false;
     }
   }
@@ -160,7 +174,8 @@ bool desugarImperative(Node &N, DiagnosticEngine &Diags) {
   std::vector<Equation> Out;
 
   for (Equation &Eqn : N.Eqns) {
-    assert(Eqn.K == Equation::Kind::Assign && "foralls must be expanded");
+    USUBA_ICE_CHECK(Eqn.K == Equation::Kind::Assign,
+                    "foralls must be expanded");
     renameExprVars(*Eqn.Rhs, Current);
     if (!Eqn.Imperative) {
       // Reads in lvalue indices are compile-time and unaffected. A plain
@@ -180,12 +195,15 @@ bool desugarImperative(Node &N, DiagnosticEngine &Diags) {
     }
 
     LValue &Target = Eqn.Lhs[0];
-    const Type *VarTy = lookupVarType(N, Target.Name);
-    if (!VarTy) {
+    const Type *VarTyPtr = lookupVarType(N, Target.Name);
+    if (!VarTyPtr) {
       Diags.error(Target.Loc,
                   "':=' target '" + Target.Name + "' is not declared");
       return false;
     }
+    // Copy the type out: VarTyPtr aims into N.Vars, which the push_back
+    // below may reallocate.
+    const Type VarTy = *VarTyPtr;
     auto CurIt = Current.find(Target.Name);
     if (CurIt == Current.end() && Target.Accesses.empty() &&
         !Defined.count(Target.Name)) {
@@ -199,7 +217,7 @@ bool desugarImperative(Node &N, DiagnosticEngine &Diags) {
     std::string Old = CurIt == Current.end() ? Target.Name : CurIt->second;
     std::string Fresh = Target.Name + "__v" +
                         std::to_string(++VersionCount[Target.Name]);
-    N.Vars.push_back({Fresh, *VarTy, Target.Loc});
+    N.Vars.push_back({Fresh, VarTy, Target.Loc});
     Current[Target.Name] = Fresh;
 
     if (Target.Accesses.empty()) {
@@ -220,7 +238,7 @@ bool desugarImperative(Node &N, DiagnosticEngine &Diags) {
     // vector is supported (that is what imperative ciphers need): define
     // fresh[i] = e and copy the other elements.
     if (Target.Accesses.size() != 1 || Target.Accesses[0].IsRange ||
-        !VarTy->isVector()) {
+        !VarTy.isVector()) {
       Diags.error(Target.Loc,
                   "':=' with indices supports exactly one index into a "
                   "vector");
@@ -230,11 +248,11 @@ bool desugarImperative(Node &N, DiagnosticEngine &Diags) {
     std::map<std::string, int64_t> Empty;
     int64_t Index = Target.Accesses[0].Index.evaluate(Empty, Ok);
     if (!Ok || Index < 0 ||
-        Index >= static_cast<int64_t>(VarTy->length())) {
+        Index >= static_cast<int64_t>(VarTy.length())) {
       Diags.error(Target.Loc, "':=' index out of bounds");
       return false;
     }
-    for (unsigned I = 0; I < VarTy->length(); ++I) {
+    for (unsigned I = 0; I < VarTy.length(); ++I) {
       Equation Def;
       Def.K = Equation::Kind::Assign;
       Def.Loc = Eqn.Loc;
@@ -278,13 +296,15 @@ bool desugarImperative(Node &N, DiagnosticEngine &Diags) {
 
 } // namespace
 
-bool usuba::expandProgram(Program &Prog, DiagnosticEngine &Diags) {
+bool usuba::expandProgram(Program &Prog, DiagnosticEngine &Diags,
+                          size_t MaxEquations) {
   for (Node &N : Prog.Nodes) {
     if (N.K != Node::Kind::Fun)
       continue;
     std::vector<Equation> Flat;
     unsigned NextGroup = 0;
-    if (!expandEquations(N.Eqns, Flat, Diags, 0, NextGroup, 0))
+    size_t Remaining = MaxEquations ? MaxEquations : ~size_t{0};
+    if (!expandEquations(N.Eqns, Flat, Diags, 0, NextGroup, 0, Remaining))
       return false;
     N.Eqns = std::move(Flat);
     if (!desugarImperative(N, Diags))
@@ -302,14 +322,15 @@ namespace {
 /// Reference to logical wire \p Index of a single-parameter node.
 std::unique_ptr<Expr> wireRef(const VarDecl &Decl, unsigned Index) {
   if (!Decl.Ty.isVector()) {
-    assert(Index == 0 && "indexing a scalar wire");
+    USUBA_ICE_CHECK(Index == 0, "indexing a scalar wire");
     return Expr::makeVar(Decl.Name);
   }
   return Expr::makeIndex(Expr::makeVar(Decl.Name),
                          ConstExpr::makeInt(Index));
 }
 
-bool elaborateTableNode(Node &N, DiagnosticEngine &Diags) {
+bool elaborateTableNode(Node &N, DiagnosticEngine &Diags,
+                        size_t MaxBddNodes) {
   if (N.Params.size() != 1 || N.Returns.size() != 1) {
     Diags.error(N.Loc, "table '" + N.Name +
                            "' must have exactly one input and one output");
@@ -342,7 +363,15 @@ bool elaborateTableNode(Node &N, DiagnosticEngine &Diags) {
   Table.InBits = InBits;
   Table.OutBits = OutBits;
   Table.Entries = N.TableEntries;
-  Circuit C = circuitForTable(Table);
+  std::optional<Circuit> Synthesized =
+      circuitForTableBudgeted(Table, MaxBddNodes);
+  if (!Synthesized) {
+    Diags.error(N.Loc, "table '" + N.Name +
+                           "' is too complex to synthesize within the "
+                           "BDD node budget");
+    return false;
+  }
+  Circuit &C = *Synthesized;
 
   // Scalar type for gate temporaries: the atom type of the input.
   Type TempTy = In.Ty.scalarType();
@@ -464,9 +493,11 @@ bool elaboratePermNode(Node &N, DiagnosticEngine &Diags) {
 
 } // namespace
 
-bool usuba::elaborateTables(Program &Prog, DiagnosticEngine &Diags) {
+bool usuba::elaborateTables(Program &Prog, DiagnosticEngine &Diags,
+                            size_t MaxBddNodes) {
   for (Node &N : Prog.Nodes) {
-    if (N.K == Node::Kind::Table && !elaborateTableNode(N, Diags))
+    if (N.K == Node::Kind::Table &&
+        !elaborateTableNode(N, Diags, MaxBddNodes))
       return false;
     if (N.K == Node::Kind::Perm && !elaboratePermNode(N, Diags))
       return false;
@@ -492,7 +523,8 @@ static Type flattenType(const Type &T) {
     return T;
   case Type::Kind::Base: {
     WordSize W = T.wordSize();
-    assert(!W.IsParam && "flattening requires monomorphized word sizes");
+    USUBA_ICE_CHECK(!W.IsParam,
+                    "flattening requires monomorphized word sizes");
     Type Bit = Type::base(T.direction(), WordSize::fixed(1));
     return W.Bits == 1 ? Bit : Type::vector(Bit, W.Bits);
   }

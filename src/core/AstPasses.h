@@ -29,18 +29,29 @@
 
 namespace usuba {
 
+/// Default unrolling budget: at most this many expanded equations per
+/// node (hostile `forall` nests diagnose instead of exhausting memory).
+inline constexpr size_t DefaultUnrollBudget = size_t{1} << 20;
+
+/// Default cap on BDD nodes built while synthesizing one table.
+inline constexpr size_t DefaultBddNodeBudget = size_t{1} << 22;
+
 /// Expands every `forall` by cloning its body once per index value
 /// (substituting the index into compile-time expressions) and desugars
 /// `:=` into fresh single-assignment variables. After this pass every
 /// compile-time expression in the program is closed. Returns false (with
-/// diagnostics) on malformed bounds or `:=` misuse.
-bool expandProgram(ast::Program &Prog, DiagnosticEngine &Diags);
+/// diagnostics) on malformed bounds, `:=` misuse, or when a node expands
+/// to more than \p MaxEquations equations (resource guard).
+bool expandProgram(ast::Program &Prog, DiagnosticEngine &Diags,
+                   size_t MaxEquations = DefaultUnrollBudget);
 
 /// Replaces each table with its Boolean circuit (database hit or BDD
 /// synthesis) and each permutation with explicit wiring equations.
 /// Both become plain nodes; the rest of the pipeline never sees
-/// Table/Perm definitions again. Returns false on arity/size errors.
-bool elaborateTables(ast::Program &Prog, DiagnosticEngine &Diags);
+/// Table/Perm definitions again. Returns false on arity/size errors or
+/// when synthesis would exceed \p MaxBddNodes BDD nodes (resource guard).
+bool elaborateTables(ast::Program &Prog, DiagnosticEngine &Diags,
+                     size_t MaxBddNodes = DefaultBddNodeBudget);
 
 /// Substitutes 'D -> \p Direction and (when \p MBits != 0) 'm -> MBits in
 /// every declaration of the program.

@@ -13,24 +13,93 @@
 #include "support/BitUtils.h"
 #include "frontend/Parser.h"
 
+#include <chrono>
+#include <functional>
+
 using namespace usuba;
 
-std::optional<CompiledKernel>
-usuba::compileUsuba(std::string_view Source, const CompileOptions &Options,
-                    DiagnosticEngine &Diags) {
-  std::optional<ast::Program> Prog = parseProgram(Source, Diags);
-  if (!Prog)
-    return std::nullopt;
-  return compileAst(std::move(*Prog), Options, Diags);
-}
+namespace {
 
-std::optional<CompiledKernel> usuba::compileAst(ast::Program Prog,
-                                                const CompileOptions &Options,
-                                                DiagnosticEngine &Diags) {
+/// Runs each back-end optimization under a verified checkpoint: the
+/// U0Program is snapshotted before the pass, then re-verified (structure
+/// and constant-time) after it. A pass that raises an ICE or produces
+/// ill-formed IR is rolled back — the kernel is still compiled, just
+/// without that optimization — and the incident is recorded in
+/// CompiledKernel::SkippedPasses plus a warning diagnostic. Optimizations
+/// are optional by design (every one is an ablation toggle already), so
+/// dropping one can never change results, only performance.
+class CheckpointedPassRunner {
+public:
+  CheckpointedPassRunner(U0Program &Prog, const CompileOptions &Options,
+                         DiagnosticEngine &Diags,
+                         std::vector<std::string> &Skipped)
+      : Prog(Prog), Options(Options), Diags(Diags), Skipped(Skipped),
+        Deadline(std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Options.Budgets.MaxOptimizeMillis)) {
+  }
+
+  /// Runs \p Pass under a checkpoint. \p Pass returns an empty string on
+  /// success or a refusal reason (e.g. a budget it will not fit in), in
+  /// which case it must leave the program untouched. Returns true when
+  /// the pass ran and was kept.
+  bool run(const char *Name, const std::function<std::string(U0Program &)> &Pass) {
+    if (Options.Budgets.MaxOptimizeMillis &&
+        std::chrono::steady_clock::now() > Deadline) {
+      skip(Name, "optimization time budget exhausted");
+      return false;
+    }
+    U0Program Snapshot = Prog;
+    std::string Reason;
+    try {
+      Reason = Pass(Prog);
+      if (Reason.empty() && Options.DebugIcePass &&
+          std::string_view(Options.DebugIcePass) == Name)
+        USUBA_ICE("deliberate test ICE after pass '" + std::string(Name) +
+                  "'");
+      if (Reason.empty() && Options.DebugBreakPass &&
+          std::string_view(Options.DebugBreakPass) == Name)
+        Prog.entry().Instrs.push_back(
+            U0Instr::unary(U0Op::Mov, Prog.entry().NumRegs + 7, 0));
+    } catch (const InternalCompilerError &E) {
+      Reason = E.str();
+    }
+    if (Reason.empty()) {
+      std::string VerifyError = verifyU0(Prog);
+      if (!VerifyError.empty())
+        Reason = "post-pass verification failed: " + VerifyError;
+      else if (!verifyConstantTime(Prog))
+        Reason = "post-pass constant-time verification failed";
+    }
+    if (Reason.empty())
+      return true;
+    Prog = std::move(Snapshot);
+    skip(Name, Reason);
+    return false;
+  }
+
+private:
+  void skip(const char *Name, const std::string &Reason) {
+    Skipped.push_back(Name);
+    Diags.warning({}, "optimization pass '" + std::string(Name) +
+                          "' skipped: " + Reason +
+                          "; the kernel is unoptimized but correct");
+  }
+
+  U0Program &Prog;
+  const CompileOptions &Options;
+  DiagnosticEngine &Diags;
+  std::vector<std::string> &Skipped;
+  std::chrono::steady_clock::time_point Deadline;
+};
+
+std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
+                                             const CompileOptions &Options,
+                                             DiagnosticEngine &Diags) {
   const Arch &Target = Options.Target ? *Options.Target : archGP64();
 
   // --- Front-end (Section 3.1) -------------------------------------------
-  if (!expandProgram(Prog, Diags) || !elaborateTables(Prog, Diags))
+  if (!expandProgram(Prog, Diags, Options.Budgets.MaxUnrolledEquations) ||
+      !elaborateTables(Prog, Diags, Options.Budgets.MaxBddNodes))
     return std::nullopt;
   monomorphizeProgram(Prog, Options.Direction, Options.WordBits);
   if (Options.Bitslice)
@@ -50,6 +119,7 @@ std::optional<CompiledKernel> usuba::compileAst(ast::Program Prog,
   // above one bit would need per-instruction element widths, which the
   // instruction sets of Table 1 do not offer either.
   unsigned MBits = 1;
+  SourceLoc MBitsLoc;
   for (const ast::Node &N : Prog.Nodes)
     for (const auto *List : {&N.Params, &N.Returns, &N.Vars})
       for (const ast::VarDecl &D : *List) {
@@ -64,10 +134,12 @@ std::optional<CompiledKernel> usuba::compileAst(ast::Program Prog,
           return std::nullopt;
         }
         MBits = Bits;
+        MBitsLoc = D.Loc;
       }
   if (MBits != 1 && !isPowerOf2(MBits)) {
-    Diags.error({}, "atom size " + std::to_string(MBits) +
-                        " is not a power of two; no packed layout exists");
+    Diags.error(MBitsLoc, "atom size " + std::to_string(MBits) +
+                              " is not a power of two; no packed layout "
+                              "exists");
     return std::nullopt;
   }
 
@@ -81,60 +153,117 @@ std::optional<CompiledKernel> usuba::compileAst(ast::Program Prog,
   // ("Serpent and Rectangle use respectively 8 and 7 AVX registers").
   {
     U0Program Pressure = U0;
-    inlineAllCalls(Pressure);
-    cleanupProgram(Pressure);
+    if (inlineAllCalls(Pressure, Options.Budgets.MaxInstrs))
+      cleanupProgram(Pressure);
     Result.MaxLive =
         maxLiveRegisters(Pressure.entry(), /*CountInputs=*/false);
   }
 
   // --- Back-end (Section 3.2) --------------------------------------------
+  // Every optimization below runs under a verified checkpoint (see
+  // CheckpointedPassRunner). Passes required for execution — barrier
+  // stripping and the final whole-program verification — stay outside it.
   bool BitsliceMode = MBits == 1;
-  if (BitsliceMode) {
+  CheckpointedPassRunner Runner(U0, Options, Diags, Result.SkippedPasses);
+  auto NoRefusal = [](auto Fn) {
+    return [Fn](U0Program &P) {
+      Fn(P);
+      return std::string();
+    };
+  };
+
+  if (BitsliceMode && Options.Schedule)
     // The bitslice scheduler works on the call structure (Algorithm 1
     // applies "regardless of whether those functions will be inlined"),
     // so run it before inlining.
-    if (Options.Schedule)
-      scheduleBitslice(U0.entry());
-    if (Options.Inline) {
-      inlineAllCalls(U0);
-      cleanupProgram(U0);
-    }
-  } else {
-    if (Options.Inline) {
-      inlineAllCalls(U0);
-      cleanupProgram(U0);
-    }
-  }
-  for (U0Function &F : U0.Funcs)
-    if (eliminateCommonSubexpressions(F))
-      eliminateDeadCode(F), compactRegisters(F);
+    Runner.run("schedule-bitslice",
+               NoRefusal([](U0Program &P) { scheduleBitslice(P.entry()); }));
+  if (Options.Inline)
+    Runner.run("inline", [&](U0Program &P) {
+      if (!inlineAllCalls(P, Options.Budgets.MaxInstrs))
+        return std::string(
+            "projected inlined size exceeds the instruction budget");
+      cleanupProgram(P);
+      return std::string();
+    });
+  Runner.run("cse", NoRefusal([](U0Program &P) {
+               for (U0Function &F : P.Funcs)
+                 if (eliminateCommonSubexpressions(F)) {
+                   eliminateDeadCode(F);
+                   compactRegisters(F);
+                 }
+             }));
   if (!BitsliceMode && Options.Schedule)
-    scheduleMSlice(U0.entry(), Target);
-
+    Runner.run("schedule-mslice", NoRefusal([&](U0Program &P) {
+                 scheduleMSlice(P.entry(), Target);
+               }));
   if (Options.FuseAndn)
-    for (U0Function &F : U0.Funcs)
-      fuseAndNot(F);
-
-  if (Options.Interleave) {
-    unsigned Factor = Options.InterleaveFactorOverride
-                          ? Options.InterleaveFactorOverride
-                          : interleaveFactorFor(Result.MaxLive, Target);
-    interleaveEntry(U0, Factor);
-  }
+    Runner.run("fuse-andn", NoRefusal([](U0Program &P) {
+                 for (U0Function &F : P.Funcs)
+                   fuseAndNot(F);
+               }));
+  if (Options.Interleave)
+    Runner.run("interleave", [&](U0Program &P) {
+      unsigned Factor = Options.InterleaveFactorOverride
+                            ? Options.InterleaveFactorOverride
+                            : interleaveFactorFor(Result.MaxLive, Target);
+      if (Factor > 1 && Options.Budgets.MaxInstrs &&
+          P.entry().Instrs.size() * Factor > Options.Budgets.MaxInstrs)
+        return std::string("interleaving by factor " +
+                           std::to_string(Factor) +
+                           " exceeds the instruction budget");
+      interleaveEntry(P, Factor);
+      return std::string();
+    });
 
   for (U0Function &F : U0.Funcs)
     stripBarriers(F);
 
+  // A failure here is a compiler bug, not a user error: the checkpoints
+  // above guarantee every optimization left well-formed IR, so only the
+  // mandatory tail (or normalization itself) can be at fault. Report it
+  // as a fatal diagnostic and honor the std::optional contract instead of
+  // aborting the host process.
   std::string VerifyError = verifyU0(U0);
   if (!VerifyError.empty()) {
-    // A verifier failure here is a compiler bug, not a user error; still
-    // report it gracefully in release builds.
-    assert(false && "pipeline produced ill-formed Usuba0");
-    Diags.error({}, "internal error: " + VerifyError);
+    Diags.fatal({}, "internal compiler error: pipeline produced ill-formed "
+                    "Usuba0: " +
+                        VerifyError);
+    return std::nullopt;
+  }
+  if (!verifyConstantTime(U0)) {
+    Diags.fatal({}, "internal compiler error: pipeline produced "
+                    "non-constant-time Usuba0");
     return std::nullopt;
   }
 
   Result.InstrCount = U0.entry().Instrs.size();
   Result.Prog = std::move(U0);
   return Result;
+}
+
+} // namespace
+
+std::optional<CompiledKernel>
+usuba::compileUsuba(std::string_view Source, const CompileOptions &Options,
+                    DiagnosticEngine &Diags) {
+  std::optional<ast::Program> Prog = parseProgram(Source, Diags);
+  if (!Prog)
+    return std::nullopt;
+  return compileAst(std::move(*Prog), Options, Diags);
+}
+
+std::optional<CompiledKernel> usuba::compileAst(ast::Program Prog,
+                                                const CompileOptions &Options,
+                                                DiagnosticEngine &Diags) {
+  // The ICE boundary: any USUBA_ICE raised by the front-end, normalization
+  // or a non-checkpointed pass unwinds to here and becomes a fatal
+  // diagnostic — callers keep the "std::nullopt + diagnostics" contract
+  // even for compiler bugs, in every build type.
+  try {
+    return compileAstImpl(std::move(Prog), Options, Diags);
+  } catch (const InternalCompilerError &E) {
+    Diags.fatal({}, E.str());
+    return std::nullopt;
+  }
 }

@@ -51,6 +51,33 @@ struct CompileOptions {
   /// 0 = use the registers/max-live heuristic.
   unsigned InterleaveFactorOverride = 0;
 
+  /// Resource guards: hostile or degenerate inputs produce a diagnostic
+  /// (or a skipped optimization with a warning) instead of an OOM or a
+  /// hang. 0 disables the corresponding guard.
+  struct ResourceBudgets {
+    /// Cap on `forall`-expanded equations per node (front-end unrolling).
+    size_t MaxUnrolledEquations = size_t{1} << 20;
+    /// Cap on BDD nodes built while synthesizing one lookup table.
+    size_t MaxBddNodes = size_t{1} << 22;
+    /// Cap on the projected instruction count of any function after a
+    /// growth pass (inlining, interleaving). Exceeding it skips the pass.
+    size_t MaxInstrs = size_t{1} << 22;
+    /// Soft wall-clock deadline for the back-end optimization pipeline:
+    /// once exceeded, remaining optional passes are skipped (with
+    /// warnings). Correctness passes always run.
+    unsigned MaxOptimizeMillis = 60000;
+  };
+  ResourceBudgets Budgets;
+
+  /// Test-only hooks for the checkpoint machinery. When a back-end pass
+  /// name matches DebugBreakPass, the pass's output IR is deliberately
+  /// corrupted after it runs (the checkpoint must detect this and roll
+  /// back). When it matches DebugIcePass, an ICE is raised right after
+  /// the pass (the checkpoint must catch and roll back). Production
+  /// callers leave both null.
+  const char *DebugBreakPass = nullptr;
+  const char *DebugIcePass = nullptr;
+
   /// The effective atom size after optional flattening.
   unsigned effectiveWordBits() const { return Bitslice ? 1 : WordBits; }
 };
@@ -68,6 +95,11 @@ struct CompiledKernel {
 
   unsigned MaxLive = 0;        ///< before interleaving
   size_t InstrCount = 0;       ///< entry instruction count (code size proxy)
+  /// Back-end optimization passes dropped by a post-pass verification
+  /// checkpoint (rolled back after producing ill-formed IR) or by a
+  /// resource budget. Empty in healthy compilations; each entry was also
+  /// reported as a warning diagnostic.
+  std::vector<std::string> SkippedPasses;
   unsigned InterleaveFactor() const { return Prog.InterleaveFactor; }
 };
 

@@ -7,6 +7,7 @@
 #include "core/Normalize.h"
 
 #include "support/BitUtils.h"
+#include "support/Diagnostics.h"
 
 #include <map>
 
@@ -43,7 +44,8 @@ private:
 
   VarInfo &varInfo(const std::string &Name) {
     auto It = Vars.find(Name);
-    assert(It != Vars.end() && "unknown variable after type checking");
+    USUBA_ICE_CHECK(It != Vars.end(),
+                    "unknown variable '" + Name + "' after type checking");
     return It->second;
   }
 
@@ -51,7 +53,7 @@ private:
     bool Ok = true;
     std::map<std::string, int64_t> Empty;
     int64_t V = CE.evaluate(Empty, Ok);
-    assert(Ok && "const evaluation failed after type checking");
+    USUBA_ICE_CHECK(Ok, "const evaluation failed after type checking");
     return V;
   }
 
@@ -112,7 +114,7 @@ Type NodeNormalizer::resolveAccess(const Expr &E, unsigned &Reg,
   }
   case Expr::Kind::Index: {
     Type BaseTy = resolveAccess(*E.Base, Reg, Len);
-    assert(BaseTy.isVector() && "indexing non-vector after checking");
+    USUBA_ICE_CHECK(BaseTy.isVector(), "indexing non-vector after checking");
     unsigned ElemLen = BaseTy.elementType().flattenedLength();
     Reg += static_cast<unsigned>(evalConst(*E.Index0)) * ElemLen;
     Len = ElemLen;
@@ -120,7 +122,7 @@ Type NodeNormalizer::resolveAccess(const Expr &E, unsigned &Reg,
   }
   case Expr::Kind::Range: {
     Type BaseTy = resolveAccess(*E.Base, Reg, Len);
-    assert(BaseTy.isVector() && "slicing non-vector after checking");
+    USUBA_ICE_CHECK(BaseTy.isVector(), "slicing non-vector after checking");
     unsigned ElemLen = BaseTy.elementType().flattenedLength();
     int64_t Lo = evalConst(*E.Index0);
     int64_t Hi = evalConst(*E.Index1);
@@ -130,8 +132,7 @@ Type NodeNormalizer::resolveAccess(const Expr &E, unsigned &Reg,
                         static_cast<unsigned>(Hi - Lo + 1));
   }
   default:
-    assert(false && "not an access chain");
-    return Type::nat();
+    USUBA_ICE("expression is not an access chain");
   }
 }
 
@@ -259,7 +260,8 @@ bool NodeNormalizer::emitComputation(const Expr &E,
   case Expr::Kind::Not: {
     Value Operand = emitExpr(*E.Base, &ExpectedScalar,
                              static_cast<unsigned>(Dests.size()));
-    assert(Operand.Regs.size() == Dests.size() && "arity after checking");
+    USUBA_ICE_CHECK(Operand.Regs.size() == Dests.size(),
+                    "arity after checking");
     for (size_t I = 0; I < Dests.size(); ++I)
       emit(U0Instr::unary(U0Op::Not, Dests[I], Operand.Regs[I]));
     return true;
@@ -274,8 +276,9 @@ bool NodeNormalizer::emitComputation(const Expr &E,
       Lhs = emitExpr(*E.Base, &ExpectedScalar, L);
       Rhs = emitExpr(*E.Rhs, &Lhs.Scalar, L);
     }
-    assert(Lhs.Regs.size() == Dests.size() &&
-           Rhs.Regs.size() == Dests.size() && "arity after checking");
+    USUBA_ICE_CHECK(Lhs.Regs.size() == Dests.size() &&
+                        Rhs.Regs.size() == Dests.size(),
+                    "binop arity after checking");
     U0Op Op = binopOpcode(E.Binop);
     for (size_t I = 0; I < Dests.size(); ++I)
       emit(U0Instr::binary(Op, Dests[I], Lhs.Regs[I], Rhs.Regs[I]));
@@ -297,7 +300,7 @@ bool NodeNormalizer::emitComputation(const Expr &E,
       return true;
     }
     // Atom shift.
-    assert(MBits > 1 && "bit shifts rejected by checking");
+    USUBA_ICE_CHECK(MBits > 1, "bit shifts rejected by checking");
     if (Operand.Scalar.direction() == Dir::Horiz) {
       emit(U0Instr::shuffle(
           Dests[0], Operand.Regs[0],
@@ -328,8 +331,9 @@ bool NodeNormalizer::emitComputation(const Expr &E,
   }
   case Expr::Kind::Call: {
     auto It = FuncIds.find(E.Name);
-    assert(It != FuncIds.end() && "unknown callee after checking");
-    [[maybe_unused]] const U0Function &Callee = Prog.Funcs[It->second];
+    USUBA_ICE_CHECK(It != FuncIds.end(),
+                    "unknown callee '" + E.Name + "' after checking");
+    const U0Function &Callee = Prog.Funcs[It->second];
     std::vector<unsigned> Args;
     // Arguments match callee parameters positionally; emitExpr flattens.
     unsigned ParamOffset = 0;
@@ -340,7 +344,8 @@ bool NodeNormalizer::emitComputation(const Expr &E,
       Args.insert(Args.end(), V.Regs.begin(), V.Regs.end());
       ParamOffset += static_cast<unsigned>(V.Regs.size());
     }
-    assert(Args.size() == Callee.NumInputs && "call arity after checking");
+    USUBA_ICE_CHECK(Args.size() == Callee.NumInputs,
+                    "call arity after checking");
     (void)ParamOffset;
     emit(U0Instr::call(It->second, Dests, std::move(Args)));
     return true;
@@ -362,8 +367,8 @@ std::pair<unsigned, Type> NodeNormalizer::measure(const Expr &E,
     return {Len, Ty.scalarType()};
   }
   case Expr::Kind::IntLit:
-    assert(ExpectedScalar && ExpectedLen > 0 &&
-           "literal context after checking");
+    USUBA_ICE_CHECK(ExpectedScalar && ExpectedLen > 0,
+                    "literal context after checking");
     return {ExpectedLen, *ExpectedScalar};
   case Expr::Kind::Tuple: {
     unsigned Total = 0;
@@ -385,7 +390,8 @@ std::pair<unsigned, Type> NodeNormalizer::measure(const Expr &E,
     return measure(*E.Base, ExpectedScalar, ExpectedLen);
   case Expr::Kind::Call: {
     auto It = FuncIds.find(E.Name);
-    assert(It != FuncIds.end() && "unknown callee after checking");
+    USUBA_ICE_CHECK(It != FuncIds.end(),
+                    "unknown callee '" + E.Name + "' after checking");
     return {static_cast<unsigned>(Prog.Funcs[It->second].Outputs.size()),
             CalleeScalars.at(E.Name)};
   }
@@ -427,8 +433,7 @@ NodeNormalizer::Value NodeNormalizer::emitExpr(const Expr &E,
     for (unsigned I = 0; I < Len; ++I)
       Out.Regs[I] = freshReg();
     bool Emitted = emitComputation(E, Out.Regs, Out.Scalar);
-    assert(Emitted && "expression kind not handled");
-    (void)Emitted;
+    USUBA_ICE_CHECK(Emitted, "expression kind not handled");
     return Out;
   }
   }
@@ -442,7 +447,8 @@ void NodeNormalizer::emitExprInto(const Expr &E,
   // Wiring expression: copy sources into targets.
   Value V = emitExpr(E, &ExpectedScalar,
                      static_cast<unsigned>(Targets.size()));
-  assert(V.Regs.size() == Targets.size() && "arity after checking");
+  USUBA_ICE_CHECK(V.Regs.size() == Targets.size(),
+                  "wiring arity after checking");
   for (size_t I = 0; I < Targets.size(); ++I)
     emit(U0Instr::unary(U0Op::Mov, Targets[I], V.Regs[I]));
 }
@@ -470,7 +476,8 @@ U0Function NodeNormalizer::run() {
   unsigned LastGroup = 0;
   bool First = true;
   for (const Equation &Eqn : N.Eqns) {
-    assert(Eqn.K == Equation::Kind::Assign && "foralls must be expanded");
+    USUBA_ICE_CHECK(Eqn.K == Equation::Kind::Assign,
+                    "foralls must be expanded");
     if (RoundBarriers && !First && Eqn.IterGroup != LastGroup)
       emit(U0Instr::barrier());
     First = false;
@@ -484,7 +491,7 @@ U0Function NodeNormalizer::run() {
       unsigned Offset = 0;
       unsigned Len = Info.Len;
       for (const LValue::Access &A : L.Accesses) {
-        assert(Cur.isVector() && "lvalue access after checking");
+        USUBA_ICE_CHECK(Cur.isVector(), "lvalue access after checking");
         unsigned ElemLen = Cur.elementType().flattenedLength();
         int64_t Lo = evalConst(A.Index);
         int64_t Hi = A.IsRange ? evalConst(A.Hi) : Lo;
@@ -517,11 +524,12 @@ U0Program usuba::normalizeProgram(const ast::Program &Prog, Dir Direction,
   std::map<std::string, unsigned> FuncIds;
   std::map<std::string, Type> CalleeScalars;
   for (const Node &N : Prog.Nodes) {
-    assert(N.K == ast::Node::Kind::Fun && "tables must be elaborated");
+    USUBA_ICE_CHECK(N.K == ast::Node::Kind::Fun,
+                    "tables must be elaborated");
     NodeNormalizer Norm(N, Out, FuncIds, CalleeScalars, RoundBarriers);
     Out.Funcs.push_back(Norm.run());
     FuncIds.emplace(N.Name, static_cast<unsigned>(Out.Funcs.size()) - 1);
-    assert(!N.Returns.empty() && "checked nodes return something");
+    USUBA_ICE_CHECK(!N.Returns.empty(), "checked nodes return something");
     CalleeScalars.emplace(N.Name, N.Returns[0].Ty.scalarType());
   }
   return Out;

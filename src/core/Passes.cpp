@@ -6,6 +6,8 @@
 
 #include "core/Passes.h"
 
+#include "support/Diagnostics.h"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -78,19 +80,19 @@ void usuba::compactRegisters(U0Function &F) {
     Map[R] = Next++;
   for (const U0Instr &I : F.Instrs)
     for (unsigned D : I.Dests) {
-      assert(Map[D] == Unmapped && "register defined twice");
+      USUBA_ICE_CHECK(Map[D] == Unmapped, "register defined twice");
       Map[D] = Next++;
     }
   for (U0Instr &I : F.Instrs) {
     for (unsigned &S : I.Srcs) {
-      assert(Map[S] != Unmapped && "use of unmapped register");
+      USUBA_ICE_CHECK(Map[S] != Unmapped, "use of unmapped register");
       S = Map[S];
     }
     for (unsigned &D : I.Dests)
       D = Map[D];
   }
   for (unsigned &R : F.Outputs) {
-    assert(Map[R] != Unmapped && "unmapped output register");
+    USUBA_ICE_CHECK(Map[R] != Unmapped, "unmapped output register");
     R = Map[R];
   }
   F.NumRegs = Next;
@@ -143,9 +145,27 @@ static void inlineCallsIn(U0Program &Prog, U0Function &F) {
   F.Instrs = std::move(Out);
 }
 
-void usuba::inlineAllCalls(U0Program &Prog) {
+bool usuba::inlineAllCalls(U0Program &Prog, size_t MaxInstrs) {
+  if (MaxInstrs) {
+    // Project the fully inlined instruction count before rewriting
+    // anything (callees precede callers, so sizes resolve in one sweep).
+    std::vector<size_t> Size(Prog.Funcs.size(), 0);
+    for (size_t F = 0; F < Prog.Funcs.size(); ++F) {
+      size_t Total = 0;
+      for (const U0Instr &I : Prog.Funcs[F].Instrs) {
+        if (I.Op == U0Op::Call)
+          Total += Size[I.Callee] + I.Dests.size(); // body + result Movs
+        else
+          ++Total;
+        if (Total > MaxInstrs)
+          return false;
+      }
+      Size[F] = Total;
+    }
+  }
   for (U0Function &F : Prog.Funcs)
     inlineCallsIn(Prog, F);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -289,7 +309,8 @@ unsigned usuba::interleaveFactorFor(unsigned MaxLive, const Arch &Target) {
 
 void usuba::interleaveEntry(U0Program &Prog, unsigned Factor,
                             unsigned BlockSize) {
-  assert(Factor >= 1 && BlockSize >= 1 && "bad interleave parameters");
+  USUBA_ICE_CHECK(Factor >= 1 && BlockSize >= 1,
+                  "bad interleave parameters");
   if (Factor == 1)
     return;
   U0Function &F = Prog.entry();
@@ -559,7 +580,8 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
       if (--InDegree[User] == 0)
         Ready.insert(User);
   }
-  assert(Order.size() == Segment.size() && "scheduler dropped instructions");
+  USUBA_ICE_CHECK(Order.size() == Segment.size(),
+                  "scheduler dropped instructions");
 
   std::vector<U0Instr> Sorted;
   Sorted.reserve(Segment.size());

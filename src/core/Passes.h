@@ -40,7 +40,12 @@ void cleanupProgram(U0Program &Prog);
 /// forward sweep suffices). After this pass the entry function is pure
 /// straight-line code. The paper motivates this aggressively for bitsliced
 /// code, where a round function takes hundreds of register arguments.
-void inlineAllCalls(U0Program &Prog);
+///
+/// When \p MaxInstrs is nonzero, the fully inlined size is projected
+/// first; if any function would exceed the budget the program is left
+/// untouched and false is returned (resource guard — the interpreter and
+/// C backend both handle residual calls).
+bool inlineAllCalls(U0Program &Prog, size_t MaxInstrs = 0);
 
 /// Fuses `t = ~x; d = t & y` into `d = x &~ y` when the Not has a single
 /// use (pandn/vpandn on every x86 SIMD level).

@@ -82,7 +82,8 @@ private:
     std::map<std::string, int64_t> Empty;
     Out = CE.evaluate(Empty, Ok);
     if (!Ok)
-      Diags.error(CE.Loc, "division by zero in compile-time expression");
+      Diags.error(CE.Loc, "compile-time expression cannot be evaluated "
+                          "(division by zero or unbound index variable)");
     return Ok;
   }
 

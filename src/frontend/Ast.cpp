@@ -58,7 +58,12 @@ int64_t ConstExpr::evaluate(const std::map<std::string, int64_t> &Env,
     return Value;
   case Kind::Var: {
     auto It = Env.find(Name);
-    assert(It != Env.end() && "unbound forall index (checked earlier)");
+    if (It == Env.end()) {
+      // Reachable from hostile sources (an index naming a variable that is
+      // not a forall counter); report instead of asserting.
+      Ok = false;
+      return 0;
+    }
     return It->second;
   }
   case Kind::Add:

@@ -136,7 +136,7 @@ std::optional<Program> Parser::parseProgram() {
   if (Diags.hasErrors())
     return std::nullopt;
   if (Prog.Nodes.empty()) {
-    Diags.error({}, "program contains no definitions");
+    Diags.error({1, 1}, "program contains no definitions");
     return std::nullopt;
   }
   return Prog;

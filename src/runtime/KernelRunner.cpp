@@ -6,6 +6,8 @@
 
 #include "runtime/KernelRunner.h"
 
+#include <algorithm>
+
 using namespace usuba;
 
 KernelRunner::KernelRunner(CompiledKernel KernelIn)
@@ -45,6 +47,24 @@ void KernelRunner::kernelOnly() {
   Interp.run(InRegs.data(), OutRegs.data());
 }
 
+void KernelRunner::runNativeStaged() {
+  // The native ABI is dense: widthWords() words per register.
+  const unsigned W = Layout.widthWords();
+  if (DenseIn.empty()) {
+    DenseIn.resize(size_t{W} * InRegs.size());
+    DenseOut.resize(size_t{W} * OutRegs.size());
+  }
+  for (size_t I = 0; I < InRegs.size(); ++I)
+    for (unsigned J = 0; J < W; ++J)
+      DenseIn[I * W + J] = InRegs[I].Words[J];
+  Native(DenseIn.data(), DenseOut.data());
+  for (size_t I = 0; I < OutRegs.size(); ++I) {
+    OutRegs[I] = SimdReg{};
+    for (unsigned J = 0; J < W; ++J)
+      OutRegs[I].Words[J] = DenseOut[I * W + J];
+  }
+}
+
 void KernelRunner::runBatch(const std::vector<ParamData> &Params,
                             uint64_t *OutAtoms) {
   assert(Params.size() == ParamLens.size() && "wrong parameter count");
@@ -64,28 +84,38 @@ void KernelRunner::runBatch(const std::vector<ParamData> &Params,
     }
   }
 
-  if (Native) {
-    // The native ABI is dense: widthWords() words per register.
-    const unsigned W = Layout.widthWords();
-    if (DenseIn.empty()) {
-      DenseIn.resize(size_t{W} * InRegs.size());
-      DenseOut.resize(size_t{W} * OutRegs.size());
-    }
-    for (size_t I = 0; I < InRegs.size(); ++I)
-      for (unsigned J = 0; J < W; ++J)
-        DenseIn[I * W + J] = InRegs[I].Words[J];
-    Native(DenseIn.data(), DenseOut.data());
-    for (size_t I = 0; I < OutRegs.size(); ++I) {
-      OutRegs[I] = SimdReg{};
-      for (unsigned J = 0; J < W; ++J)
-        OutRegs[I].Words[J] = DenseOut[I * W + J];
-    }
-  } else {
-    Interp.run(InRegs.data(), OutRegs.data());
+  // Unpack: outputs of instance t are the t-th group of return registers.
+  auto UnpackInto = [&](const SimdReg *Regs, uint64_t *Atoms) {
+    for (unsigned T = 0; T < K; ++T)
+      Layout.unpack(Regs + size_t{T} * OutLen, OutLen,
+                    Atoms + size_t{T} * Slices * OutLen);
+  };
+
+  if (Native && !SelfChecked) {
+    // First-batch differential self-check (the last rung guard of the
+    // degradation ladder): run the batch on both engines and compare
+    // the unpacked atoms — a miscompiled or ABI-confused native kernel
+    // is demoted before any wrong ciphertext escapes. One extra
+    // interpreter run on the first batch only.
+    SelfChecked = true;
+    runNativeStaged();
+    std::vector<SimdReg> RefRegs(OutRegs.size());
+    Interp.run(InRegs.data(), RefRegs.data());
+    std::vector<uint64_t> NativeAtoms(size_t{BlocksPerCall} * OutLen);
+    UnpackInto(OutRegs.data(), NativeAtoms.data());
+    UnpackInto(RefRegs.data(), OutAtoms);
+    if (std::equal(NativeAtoms.begin(), NativeAtoms.end(), OutAtoms))
+      return;
+    Native = nullptr;
+    OutRegs = std::move(RefRegs);
+    noteFallback("self-check: native kernel output disagrees with the "
+                 "interpreter on the first batch");
+    return; // OutAtoms already holds the interpreter's (trusted) result
   }
 
-  // Unpack: outputs of instance t are the t-th group of return registers.
-  for (unsigned T = 0; T < K; ++T)
-    Layout.unpack(&OutRegs[size_t{T} * OutLen], OutLen,
-                  OutAtoms + size_t{T} * Slices * OutLen);
+  if (Native)
+    runNativeStaged();
+  else
+    Interp.run(InRegs.data(), OutRegs.data());
+  UnpackInto(OutRegs.data(), OutAtoms);
 }

@@ -49,10 +49,34 @@ public:
 
   const CompiledKernel &kernel() const { return Kernel; }
 
+  /// The degradation ladder: execution prefers the JIT-compiled native
+  /// kernel and drops to the interpreter when the JIT is unavailable,
+  /// fails, times out, or the first-batch differential self-check
+  /// disagrees with the interpreter. Every demotion leaves a reason in
+  /// fallbackReason(); results are correct on every rung.
+  enum class Engine { Native, Interpreter };
+
   /// Routes execution through \p Fn (a JIT-compiled native kernel)
   /// instead of the interpreter. Pass nullptr to restore interpretation.
-  void setNativeFn(NativeFn Fn) { Native = Fn; }
+  /// Installing a (non-null) kernel re-arms the first-batch self-check
+  /// and clears any previous fallback reason.
+  void setNativeFn(NativeFn Fn) {
+    Native = Fn;
+    SelfChecked = false;
+    if (Fn)
+      FallbackReason.clear();
+  }
   bool usingNative() const { return Native != nullptr; }
+  Engine engine() const {
+    return Native ? Engine::Native : Engine::Interpreter;
+  }
+
+  /// Records why the native rung was abandoned (or never reached) — the
+  /// owner calls this with the JitError, and the self-check demotion
+  /// calls it internally.
+  void noteFallback(std::string Reason) { FallbackReason = std::move(Reason); }
+  /// Empty while on the native rung (or when native was never requested).
+  const std::string &fallbackReason() const { return FallbackReason; }
 
   /// One input parameter for a batch.
   struct ParamData {
@@ -75,10 +99,16 @@ public:
   const SliceLayout &layout() const { return Layout; }
 
 private:
+  /// Executes the native kernel on the staged InRegs, refreshing the
+  /// dense ABI buffers and writing the results back into OutRegs.
+  void runNativeStaged();
+
   CompiledKernel Kernel;
   SliceLayout Layout;
   Interpreter Interp;
   NativeFn Native = nullptr;
+  bool SelfChecked = false;
+  std::string FallbackReason;
   unsigned BlocksPerCall;
   unsigned Slices;
   unsigned OutLen;

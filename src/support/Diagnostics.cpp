@@ -16,6 +16,8 @@ static const char *severityName(DiagSeverity Severity) {
     return "warning";
   case DiagSeverity::Error:
     return "error";
+  case DiagSeverity::Fatal:
+    return "fatal";
   }
   return "error";
 }
@@ -29,6 +31,43 @@ std::string Diagnostic::str() const {
   }
   Out += Message;
   return Out;
+}
+
+std::string InternalCompilerError::str() const {
+  std::string Out = "internal compiler error: ";
+  Out += Message;
+  Out += " [";
+  Out += File;
+  Out += ":";
+  Out += std::to_string(Line);
+  Out += "]";
+  return Out;
+}
+
+void usuba::reportInternalError(const char *File, unsigned Line,
+                                std::string Message) {
+  throw InternalCompilerError{File, Line, std::move(Message)};
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  ++NumErrors;
+  if (ErrorLimit && NumErrors > ErrorLimit) {
+    if (!Saturated) {
+      Saturated = true;
+      Diags.push_back({DiagSeverity::Error, Loc,
+                       "too many errors (" + std::to_string(ErrorLimit) +
+                           "), further errors suppressed"});
+    }
+    return;
+  }
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::fatal(SourceLoc Loc, std::string Message) {
+  // Fatal diagnostics mark compiler bugs; never suppress them.
+  ++NumErrors;
+  ++NumFatals;
+  Diags.push_back({DiagSeverity::Fatal, Loc, std::move(Message)});
 }
 
 std::string DiagnosticEngine::str() const {

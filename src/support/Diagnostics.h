@@ -9,7 +9,14 @@
 /// checker, elaboration) reports through a DiagnosticEngine instead of
 /// printing or throwing; callers inspect hasErrors() to decide whether the
 /// pipeline may continue. This mirrors the recoverable-error discipline of
-/// production compilers without using exceptions.
+/// production compilers without using exceptions for *user* errors.
+///
+/// Compiler-invariant violations are a separate channel: USUBA_ICE raises
+/// an InternalCompilerError that unwinds to the nearest pipeline boundary
+/// (compileUsuba / a pass checkpoint), where it is converted into a
+/// DiagSeverity::Fatal diagnostic. Unlike assert(), ICEs stay armed in
+/// NDEBUG builds — a malformed IR in a Release build must fail loudly,
+/// never miscompile a cipher silently.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,7 +30,9 @@
 
 namespace usuba {
 
-enum class DiagSeverity { Note, Warning, Error };
+/// Fatal is reserved for internal compiler errors surfaced through the
+/// ICE channel; user-facing problems are at most Error.
+enum class DiagSeverity { Note, Warning, Error, Fatal };
 
 /// One reported diagnostic: severity, position and rendered message.
 struct Diagnostic {
@@ -35,14 +44,48 @@ struct Diagnostic {
   std::string str() const;
 };
 
+/// The exception raised by USUBA_ICE. It never escapes the public
+/// compiler entry points: compileUsuba/compileAst (and every pass
+/// checkpoint) catch it and degrade into diagnostics, so callers keep the
+/// plain std::optional contract.
+struct InternalCompilerError {
+  const char *File = "";
+  unsigned Line = 0;
+  std::string Message;
+
+  /// Renders "internal compiler error: message [File:Line]".
+  std::string str() const;
+};
+
+/// Raises an InternalCompilerError. Out of line so the cold path does not
+/// bloat the checks sprinkled through the passes.
+[[noreturn]] void reportInternalError(const char *File, unsigned Line,
+                                      std::string Message);
+
+/// Signals a broken compiler invariant. Active regardless of NDEBUG.
+#define USUBA_ICE(Message)                                                   \
+  ::usuba::reportInternalError(__FILE__, __LINE__, (Message))
+
+/// assert()-shaped ICE check for invariants that would otherwise
+/// miscompile in Release builds.
+#define USUBA_ICE_CHECK(Cond, Message)                                      \
+  do {                                                                      \
+    if (!(Cond))                                                            \
+      USUBA_ICE(Message);                                                   \
+  } while (false)
+
 /// Collects diagnostics emitted during a compilation. The engine is passed
 /// by reference through the pipeline; it never aborts the process.
+///
+/// Errors are capped (default 50): once the cap is reached further errors
+/// are counted but not stored, and a single "too many errors" diagnostic
+/// marks the truncation — hostile inputs cannot flood memory.
 class DiagnosticEngine {
 public:
-  void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
-    ++NumErrors;
-  }
+  static constexpr unsigned DefaultErrorLimit = 50;
+
+  void error(SourceLoc Loc, std::string Message);
+  void fatal(SourceLoc Loc, std::string Message);
   void warning(SourceLoc Loc, std::string Message) {
     Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
   }
@@ -51,8 +94,14 @@ public:
   }
 
   bool hasErrors() const { return NumErrors != 0; }
+  bool hasFatal() const { return NumFatals != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Caps the number of *stored* errors; 0 means unlimited. Fatal
+  /// diagnostics are always stored.
+  void setErrorLimit(unsigned Limit) { ErrorLimit = Limit; }
+  unsigned errorLimit() const { return ErrorLimit; }
 
   /// Renders every diagnostic, one per line (used by tests and the CLI).
   std::string str() const;
@@ -61,11 +110,16 @@ public:
   void clear() {
     Diags.clear();
     NumErrors = 0;
+    NumFatals = 0;
+    Saturated = false;
   }
 
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned NumFatals = 0;
+  unsigned ErrorLimit = DefaultErrorLimit;
+  bool Saturated = false;
 };
 
 } // namespace usuba

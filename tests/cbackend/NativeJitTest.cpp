@@ -56,10 +56,10 @@ TEST_P(JitAgreement, NativeMatchesSimulator) {
       compileUsuba(Case.Source(), Options, Diags);
   ASSERT_TRUE(Kernel.has_value()) << Diags.str();
 
-  std::string Error;
+  JitError Error;
   std::optional<NativeKernel> Native =
       jitCompile(*Kernel, "-O2", &Error);
-  ASSERT_TRUE(Native.has_value()) << Error;
+  ASSERT_TRUE(Native.has_value()) << Error.str();
 
   Interpreter Interp(Kernel->Prog);
   const unsigned W = Interp.widthWords();
@@ -148,12 +148,13 @@ TEST(NativeJit, ReportsMissingCompilerGracefully) {
   // override path through an explicit bad command.
   EmittedC Bad;
   Bad.Code = "this is not C";
-  std::string Error;
+  JitError Error;
   std::optional<NativeKernel> Result =
       NativeKernel::compile(Bad, "-O0", &Error);
   if (NativeKernel::hostCompilerAvailable()) {
     EXPECT_FALSE(Result.has_value());
-    EXPECT_FALSE(Error.empty());
+    EXPECT_EQ(Error.Kind, JitError::Reason::CompileFailed) << Error.str();
+    EXPECT_FALSE(Error.Detail.empty());
   }
 }
 

@@ -1,0 +1,227 @@
+//===- PipelineHardeningTest.cpp - Checkpoints, budgets and ICEs ----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness properties of the hardened pipeline: a back-end pass that
+/// corrupts the IR or raises an ICE is rolled back (the kernel still
+/// compiles, with identical semantics and a warning); resource budgets
+/// turn hostile inputs into diagnostics; the ICE channel itself stays
+/// armed in every build type.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaSources.h"
+#include "core/Compiler.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+CompileOptions rectangleOptions() {
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &archGP64();
+  return Options;
+}
+
+/// Runs \p Kernel on deterministic pseudo-random inputs and returns the
+/// output register words — two kernels compiled from the same source must
+/// agree, whatever optimizations were kept or rolled back.
+std::vector<uint64_t> runOnFixedInputs(const CompiledKernel &Kernel,
+                                       uint64_t Seed) {
+  Interpreter Interp(Kernel.Prog);
+  const unsigned W = Interp.widthWords();
+  std::mt19937_64 Rng(Seed);
+  std::vector<SimdReg> In(Interp.numInputs()), Out(Interp.numOutputs());
+  for (SimdReg &R : In)
+    for (unsigned J = 0; J < W; ++J)
+      R.Words[J] = Rng();
+  Interp.run(In.data(), Out.data());
+  std::vector<uint64_t> Words;
+  for (const SimdReg &R : Out)
+    for (unsigned J = 0; J < W; ++J)
+      Words.push_back(R.Words[J]);
+  return Words;
+}
+
+bool skippedPass(const CompiledKernel &Kernel, const std::string &Name) {
+  return std::find(Kernel.SkippedPasses.begin(), Kernel.SkippedPasses.end(),
+                   Name) != Kernel.SkippedPasses.end();
+}
+
+bool hasWarningMentioning(const DiagnosticEngine &Diags,
+                          const std::string &Needle) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Severity == DiagSeverity::Warning &&
+        D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(InternalErrors, IceThrowsStructuredException) {
+  try {
+    USUBA_ICE("invariant X violated");
+    FAIL() << "USUBA_ICE returned";
+  } catch (const InternalCompilerError &E) {
+    EXPECT_NE(E.str().find("internal compiler error"), std::string::npos);
+    EXPECT_NE(E.str().find("invariant X violated"), std::string::npos);
+    EXPECT_NE(E.str().find("PipelineHardeningTest"), std::string::npos);
+    EXPECT_GT(E.Line, 0u);
+  }
+}
+
+TEST(InternalErrors, IceCheckPassesAndFails) {
+  EXPECT_NO_THROW(USUBA_ICE_CHECK(1 + 1 == 2, "arithmetic works"));
+  EXPECT_THROW(USUBA_ICE_CHECK(false, "deliberately false"),
+               InternalCompilerError);
+}
+
+TEST(PassCheckpoints, BrokenPassIsRolledBack) {
+  // The test hook corrupts the IR right after schedule-mslice runs; the
+  // checkpoint must detect the ill-formed result, restore the snapshot
+  // and keep compiling. This works in Release builds too — the whole
+  // point of the ICE/verify channel over assert().
+  DiagnosticEngine CleanDiags;
+  std::optional<CompiledKernel> Clean =
+      compileUsuba(rectangleSource(), rectangleOptions(), CleanDiags);
+  ASSERT_TRUE(Clean.has_value()) << CleanDiags.str();
+  EXPECT_TRUE(Clean->SkippedPasses.empty());
+
+  CompileOptions Options = rectangleOptions();
+  Options.DebugBreakPass = "schedule-mslice";
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), Options, Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(skippedPass(*Kernel, "schedule-mslice"));
+  EXPECT_TRUE(hasWarningMentioning(Diags, "schedule-mslice"));
+  EXPECT_TRUE(verifyU0(Kernel->Prog).empty());
+
+  EXPECT_EQ(runOnFixedInputs(*Kernel, 0xC0FFEE),
+            runOnFixedInputs(*Clean, 0xC0FFEE));
+}
+
+TEST(PassCheckpoints, IceInPassIsRolledBack) {
+  DiagnosticEngine CleanDiags;
+  std::optional<CompiledKernel> Clean =
+      compileUsuba(rectangleSource(), rectangleOptions(), CleanDiags);
+  ASSERT_TRUE(Clean.has_value()) << CleanDiags.str();
+
+  CompileOptions Options = rectangleOptions();
+  Options.DebugIcePass = "cse";
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), Options, Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(skippedPass(*Kernel, "cse"));
+  EXPECT_TRUE(hasWarningMentioning(Diags, "internal compiler error"));
+
+  EXPECT_EQ(runOnFixedInputs(*Kernel, 0xBEEF), runOnFixedInputs(*Clean, 0xBEEF));
+}
+
+TEST(ResourceBudgets, UnrollBudgetDiagnosesInsteadOfExploding) {
+  CompileOptions Options = rectangleOptions();
+  Options.Budgets.MaxUnrolledEquations = 4; // Rectangle's forall needs 25
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), Options, Diags);
+  EXPECT_FALSE(Kernel.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("unrolling budget"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(ResourceBudgets, InlineBudgetSkipsPassButStaysCorrect) {
+  DiagnosticEngine CleanDiags;
+  std::optional<CompiledKernel> Clean =
+      compileUsuba(rectangleSource(), rectangleOptions(), CleanDiags);
+  ASSERT_TRUE(Clean.has_value()) << CleanDiags.str();
+
+  CompileOptions Options = rectangleOptions();
+  Options.Budgets.MaxInstrs = 10; // far below Rectangle's inlined size
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), Options, Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(skippedPass(*Kernel, "inline"));
+  EXPECT_TRUE(hasWarningMentioning(Diags, "instruction budget"));
+  // The program keeps its calls; the interpreter executes them directly.
+  EXPECT_GT(Kernel->Prog.Funcs.size(), 1u);
+  EXPECT_EQ(runOnFixedInputs(*Kernel, 0xABBA), runOnFixedInputs(*Clean, 0xABBA));
+}
+
+TEST(ResourceBudgets, BddBudgetDiagnosesHostileTable) {
+  // A table absent from the known-circuit database, so elaboration must
+  // synthesize — and give up against a 1-node budget.
+  static const char *Source = R"(
+table S (in:v4) returns (out:v4) {
+  1, 0, 3, 2, 5, 4, 7, 6, 9, 8, 11, 10, 13, 12, 15, 14
+}
+node F (x:v4) returns (y:v4) let y = S(x) tel
+)";
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &archGP64();
+  Options.Budgets.MaxBddNodes = 1;
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel = compileUsuba(Source, Options, Diags);
+  EXPECT_FALSE(Kernel.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("BDD node budget"), std::string::npos)
+      << Diags.str();
+
+  // The same table compiles fine under the default budget.
+  CompileOptions Relaxed;
+  Relaxed.Direction = Dir::Vert;
+  Relaxed.WordBits = 16;
+  Relaxed.Target = &archGP64();
+  DiagnosticEngine RelaxedDiags;
+  EXPECT_TRUE(compileUsuba(Source, Relaxed, RelaxedDiags).has_value())
+      << RelaxedDiags.str();
+}
+
+TEST(ResourceBudgets, DefaultBudgetsDoNotPerturbRealCiphers) {
+  // The bundled ciphers must compile untouched under the default
+  // budgets: no skipped passes, no warnings.
+  struct Case {
+    const char *Name;
+    const std::string &(*Source)();
+    Dir Direction;
+    unsigned WordBits;
+    const Arch *Target;
+  };
+  const Case Cases[] = {
+      {"rectangle", rectangleSource, Dir::Vert, 16, &archGP64()},
+      {"chacha20", chacha20Source, Dir::Vert, 32, &archGP64()},
+      {"serpent", serpentSource, Dir::Vert, 32, &archGP64()},
+      {"des", desSource, Dir::Vert, 1, &archGP64()},
+      {"aes", aesSource, Dir::Horiz, 16, &archSSE()},
+  };
+  for (const Case &C : Cases) {
+    CompileOptions Options;
+    Options.Direction = C.Direction;
+    Options.WordBits = C.WordBits;
+    Options.Target = C.Target;
+    DiagnosticEngine Diags;
+    std::optional<CompiledKernel> Kernel =
+        compileUsuba(C.Source(), Options, Diags);
+    ASSERT_TRUE(Kernel.has_value()) << C.Name << ": " << Diags.str();
+    EXPECT_TRUE(Kernel->SkippedPasses.empty()) << C.Name;
+  }
+}
+
+} // namespace

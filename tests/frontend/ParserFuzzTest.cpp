@@ -60,37 +60,69 @@ TEST(ParserFuzz, RandomTokenSoupsNeverCrash) {
 }
 
 TEST(ParserFuzz, MutatedProgramsNeverCrashTheWholePipeline) {
-  // Mutate a valid program and push whatever still parses through the
-  // entire compiler; it must either compile or diagnose, never crash.
+  // Mutate every bundled cipher source and push whatever still parses
+  // through the entire compiler; each of the 560 inputs must either
+  // compile to verified Usuba0 or diagnose, never crash, hang or abort.
+  // Tight resource budgets both keep degenerate mutants fast and
+  // exercise the budget diagnostics under fire.
+  struct Corpus {
+    const std::string &(*Source)();
+    Dir Direction;
+    unsigned WordBits;
+    unsigned Trials;
+  };
+  const Corpus Sources[] = {
+      {rectangleSource, Dir::Vert, 16, 140},
+      {desSource, Dir::Vert, 1, 70},
+      {aesSource, Dir::Horiz, 16, 70},
+      {chacha20Source, Dir::Vert, 32, 70},
+      {serpentSource, Dir::Vert, 32, 70},
+      {presentSource, Dir::Vert, 16, 70},
+      {triviumSource, Dir::Vert, 1, 70},
+  };
   std::mt19937_64 Rng(0xF044);
-  const std::string &Base = rectangleSource();
-  for (unsigned Trial = 0; Trial < 60; ++Trial) {
-    std::string Mutated = Base;
-    for (unsigned Edit = 0; Edit < 1 + Rng() % 4; ++Edit) {
-      size_t Pos = Rng() % Mutated.size();
-      switch (Rng() % 3) {
-      case 0:
-        Mutated[Pos] = static_cast<char>(0x20 + Rng() % 95);
-        break;
-      case 1:
-        Mutated.erase(Pos, 1 + Rng() % 5);
-        break;
-      default:
-        Mutated.insert(Pos, 1, static_cast<char>('0' + Rng() % 10));
-        break;
+  unsigned Total = 0, Compiled = 0;
+  for (const Corpus &C : Sources) {
+    const std::string &Base = C.Source();
+    for (unsigned Trial = 0; Trial < C.Trials; ++Trial, ++Total) {
+      std::string Mutated = Base;
+      for (unsigned Edit = 0; Edit < 1 + Rng() % 4; ++Edit) {
+        size_t Pos = Rng() % Mutated.size();
+        switch (Rng() % 3) {
+        case 0:
+          Mutated[Pos] = static_cast<char>(0x20 + Rng() % 95);
+          break;
+        case 1:
+          Mutated.erase(Pos, 1 + Rng() % 5);
+          break;
+        default:
+          Mutated.insert(Pos, 1, static_cast<char>('0' + Rng() % 10));
+          break;
+        }
+      }
+      CompileOptions Options;
+      Options.Direction = C.Direction;
+      Options.WordBits = C.WordBits;
+      Options.Target = &archAVX2();
+      Options.Budgets.MaxUnrolledEquations = 1u << 14;
+      Options.Budgets.MaxBddNodes = 1u << 16;
+      Options.Budgets.MaxInstrs = 1u << 18;
+      Options.Budgets.MaxOptimizeMillis = 10000;
+      DiagnosticEngine Diags;
+      std::optional<CompiledKernel> Kernel =
+          compileUsuba(Mutated, Options, Diags);
+      if (Kernel) {
+        ++Compiled;
+        EXPECT_TRUE(verifyU0(Kernel->Prog).empty());
+        EXPECT_TRUE(verifyConstantTime(Kernel->Prog));
+      } else {
+        EXPECT_TRUE(Diags.hasErrors()) << Mutated;
       }
     }
-    CompileOptions Options;
-    Options.Direction = Dir::Vert;
-    Options.WordBits = 16;
-    Options.Target = &archAVX2();
-    DiagnosticEngine Diags;
-    std::optional<CompiledKernel> Kernel =
-        compileUsuba(Mutated, Options, Diags);
-    if (!Kernel) {
-      EXPECT_TRUE(Diags.hasErrors());
-    }
   }
+  EXPECT_GE(Total, 500u);
+  // Sanity: the mutator is not so destructive that nothing survives.
+  EXPECT_GT(Compiled, 0u);
 }
 
 } // namespace

@@ -6,10 +6,16 @@
 
 #include "runtime/KernelRunner.h"
 
+#include "cbackend/NativeJit.h"
+#include "ciphers/UsubaCipher.h"
 #include "core/Compiler.h"
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <fstream>
 #include <random>
 
 using namespace usuba;
@@ -65,6 +71,137 @@ TEST(KernelRunner, InterleaveRoutesBlockGroups) {
   for (unsigned B = 0; B < 16; ++B)
     for (unsigned A = 0; A < 2; ++A)
       EXPECT_EQ(Out[size_t{B} * 2 + A], Plain[size_t{B} * 2 + A] ^ Key[A]);
+}
+
+/// A deliberately wrong native kernel: leaves the outputs zeroed.
+void bogusNativeKernel(const uint64_t *, uint64_t *) {}
+
+TEST(KernelRunner, SelfCheckDemotesWrongNativeKernel) {
+  KernelRunner Runner(xorKernel(archSSE()));
+  Runner.setNativeFn(&bogusNativeKernel);
+  EXPECT_TRUE(Runner.usingNative());
+  EXPECT_EQ(Runner.engine(), KernelRunner::Engine::Native);
+
+  const unsigned Blocks = Runner.blocksPerCall();
+  std::vector<uint64_t> Plain(size_t{Blocks} * 2, 0x1234), Out(Plain.size());
+  uint64_t Key[2] = {0x00FF, 0x0F0F};
+  Runner.runBatch({{false, Plain.data()}, {true, Key}}, Out.data());
+
+  // The first-batch differential self-check must have caught the bogus
+  // kernel: the batch result comes from the interpreter (correct), the
+  // engine is demoted, and the demotion reason is recorded.
+  for (unsigned B = 0; B < Blocks; ++B)
+    for (unsigned A = 0; A < 2; ++A)
+      EXPECT_EQ(Out[size_t{B} * 2 + A], 0x1234u ^ Key[A]);
+  EXPECT_FALSE(Runner.usingNative());
+  EXPECT_EQ(Runner.engine(), KernelRunner::Engine::Interpreter);
+  EXPECT_NE(Runner.fallbackReason().find("self-check"), std::string::npos)
+      << Runner.fallbackReason();
+}
+
+/// Scoped environment override, restored on destruction.
+class EnvGuard {
+public:
+  EnvGuard(const char *Name, const std::string &Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name))
+      Saved = Old;
+    setenv(Name, Value.c_str(), 1);
+  }
+  ~EnvGuard() {
+    if (Saved)
+      setenv(Name, Saved->c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+/// Writes an executable fake-compiler script that passes the
+/// availability probe through to the real `cc` but sabotages kernel
+/// compiles with \p KernelBehavior.
+std::string writeFakeCompiler(const char *FileName,
+                              const char *KernelBehavior) {
+  std::string Path = ::testing::TempDir() + FileName;
+  {
+    std::ofstream Script(Path);
+    Script << "#!/bin/sh\ncase \"$*\" in\n  *usuba-probe*) exec cc \"$@\" ;;\n"
+           << "esac\n"
+           << KernelBehavior << "\n";
+  }
+  chmod(Path.c_str(), 0755);
+  return Path;
+}
+
+std::vector<uint8_t> rectangleEcb(const CipherConfig &Config) {
+  std::string Error;
+  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
+  EXPECT_TRUE(Cipher.has_value()) << Error;
+  uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Cipher->setKey(Key, sizeof(Key));
+  const size_t Blocks = 64;
+  std::vector<uint8_t> In(Blocks * Cipher->blockBytes()), Out(In.size());
+  for (size_t I = 0; I < In.size(); ++I)
+    In[I] = static_cast<uint8_t>(I * 37 + 11);
+  Cipher->ecbEncrypt(In.data(), Out.data(), Blocks);
+  return Out;
+}
+
+TEST(DegradationLadder, FailingCompilerFallsBackToInterpreter) {
+  if (!NativeKernel::hostCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler to pass the probe through to";
+  std::vector<uint8_t> Reference =
+      rectangleEcb({CipherId::Rectangle, SlicingMode::Vslice, &archGP64(),
+                    true, true, false, true, 0, /*PreferNative=*/false});
+
+  EnvGuard Cc("USUBA_CC",
+              writeFakeCompiler("usuba-fake-cc-fail.sh", "exit 1"));
+  CipherConfig Config{CipherId::Rectangle, SlicingMode::Vslice, &archGP64()};
+  std::string Error;
+  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
+  ASSERT_TRUE(Cipher.has_value()) << Error;
+  EXPECT_FALSE(Cipher->isNative());
+  EXPECT_NE(Cipher->engineNote().find("compile-failed"), std::string::npos)
+      << Cipher->engineNote();
+
+  uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Cipher->setKey(Key, sizeof(Key));
+  const size_t Blocks = 64;
+  std::vector<uint8_t> In(Blocks * Cipher->blockBytes()), Out(In.size());
+  for (size_t I = 0; I < In.size(); ++I)
+    In[I] = static_cast<uint8_t>(I * 37 + 11);
+  Cipher->ecbEncrypt(In.data(), Out.data(), Blocks);
+  EXPECT_EQ(Out, Reference); // byte-identical ciphertext on the fallback rung
+}
+
+TEST(DegradationLadder, HangingCompilerTimesOutAndFallsBack) {
+  if (!NativeKernel::hostCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler to pass the probe through to";
+  std::vector<uint8_t> Reference =
+      rectangleEcb({CipherId::Rectangle, SlicingMode::Vslice, &archGP64(),
+                    true, true, false, true, 0, /*PreferNative=*/false});
+
+  EnvGuard Cc("USUBA_CC",
+              writeFakeCompiler("usuba-fake-cc-hang.sh", "sleep 30"));
+  EnvGuard Timeout("USUBA_CC_TIMEOUT_MS", "200");
+  CipherConfig Config{CipherId::Rectangle, SlicingMode::Vslice, &archGP64()};
+  std::string Error;
+  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
+  ASSERT_TRUE(Cipher.has_value()) << Error;
+  EXPECT_FALSE(Cipher->isNative());
+  EXPECT_NE(Cipher->engineNote().find("timeout"), std::string::npos)
+      << Cipher->engineNote();
+
+  uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Cipher->setKey(Key, sizeof(Key));
+  const size_t Blocks = 64;
+  std::vector<uint8_t> In(Blocks * Cipher->blockBytes()), Out(In.size());
+  for (size_t I = 0; I < In.size(); ++I)
+    In[I] = static_cast<uint8_t>(I * 37 + 11);
+  Cipher->ecbEncrypt(In.data(), Out.data(), Blocks);
+  EXPECT_EQ(Out, Reference);
 }
 
 TEST(KernelRunner, KernelOnlyRunsWithoutPacking) {

@@ -6,6 +6,8 @@
 
 #include "support/Diagnostics.h"
 
+#include "core/Compiler.h"
+
 #include <gtest/gtest.h>
 
 using namespace usuba;
@@ -41,6 +43,83 @@ TEST(Diagnostics, ClearResets) {
   Diags.clear();
   EXPECT_FALSE(Diags.hasErrors());
   EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(Diagnostics, ErrorCapCollapsesFloods) {
+  DiagnosticEngine Diags;
+  for (unsigned I = 0; I < 100; ++I)
+    Diags.error({I + 1, 1}, "error " + std::to_string(I));
+  // Every error is counted, but storage stops at the cap plus one
+  // collapse marker — hostile inputs cannot flood memory.
+  EXPECT_EQ(Diags.errorCount(), 100u);
+  ASSERT_EQ(Diags.diagnostics().size(),
+            size_t{DiagnosticEngine::DefaultErrorLimit} + 1);
+  EXPECT_NE(Diags.diagnostics().back().Message.find("too many errors"),
+            std::string::npos);
+  // clear() re-arms the cap.
+  Diags.clear();
+  Diags.error({1, 1}, "fresh");
+  EXPECT_EQ(Diags.diagnostics().size(), 1u);
+  EXPECT_EQ(Diags.diagnostics()[0].Message, "fresh");
+}
+
+TEST(Diagnostics, ErrorLimitIsConfigurable) {
+  DiagnosticEngine Diags;
+  Diags.setErrorLimit(2);
+  for (unsigned I = 0; I < 10; ++I)
+    Diags.error({1, 1}, "e");
+  EXPECT_EQ(Diags.diagnostics().size(), 3u); // 2 stored + marker
+  DiagnosticEngine Unlimited;
+  Unlimited.setErrorLimit(0);
+  for (unsigned I = 0; I < 100; ++I)
+    Unlimited.error({1, 1}, "e");
+  EXPECT_EQ(Unlimited.diagnostics().size(), 100u);
+}
+
+TEST(Diagnostics, FatalBypassesTheCapAndSetsHasFatal) {
+  DiagnosticEngine Diags;
+  Diags.setErrorLimit(1);
+  Diags.error({1, 1}, "a");
+  Diags.error({2, 1}, "b"); // saturates
+  EXPECT_FALSE(Diags.hasFatal());
+  Diags.fatal({}, "internal compiler error: invariant violated");
+  EXPECT_TRUE(Diags.hasFatal());
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics().back().Severity, DiagSeverity::Fatal);
+  EXPECT_EQ(Diags.diagnostics().back().str(),
+            "fatal: internal compiler error: invariant violated");
+}
+
+TEST(Diagnostics, FrontEndErrorsCarryRealLocations) {
+  // A corpus of bad programs covering the lexer, the parser, the
+  // expander and the type checker: every user-facing diagnostic must
+  // point at a real source position (Fatal, the ICE channel, is exempt
+  // — it has no user location by nature).
+  const char *Corpus[] = {
+      "node F (x:u1) returns (y:u1) let y = x @ x tel", // lexer: bad char
+      "node F (x:u16",                                  // parser: truncated
+      "node F (x:u16) returns (y:u16) let y = tel",     // parser: no expr
+      "",                                               // empty program
+      "node F (x:u16) returns (y:u16) let y = z tel",   // unknown variable
+      "node F (x:u16) returns (y:u16) let y = x + 1; y = x tel", // reassign
+      "node F (x:u16) returns (y:u16) let forall i in [3,1] { y = x } tel",
+      "table S (in:v4) returns (out:v4) { 1, 2, 3 }\n"
+      "node F (x:v4) returns (y:v4) let y = S(x) tel", // bad entry count
+  };
+  for (const char *Source : Corpus) {
+    CompileOptions Options;
+    Options.Direction = Dir::Vert;
+    Options.WordBits = 16;
+    DiagnosticEngine Diags;
+    std::optional<CompiledKernel> Kernel =
+        compileUsuba(Source, Options, Diags);
+    EXPECT_FALSE(Kernel.has_value()) << Source;
+    EXPECT_TRUE(Diags.hasErrors()) << Source;
+    for (const Diagnostic &D : Diags.diagnostics())
+      if (D.Severity != DiagSeverity::Fatal)
+        EXPECT_TRUE(D.Loc.isValid())
+            << "missing location on \"" << D.Message << "\" for: " << Source;
+  }
 }
 
 TEST(SourceLoc, Validity) {
