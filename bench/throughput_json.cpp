@@ -1,0 +1,194 @@
+//===- throughput_json.cpp - Machine-readable throughput report -----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits end-to-end CTR and kernel-only throughput as JSON, one record
+/// per (cipher, slicing, arch, engine, threads) — the machine-readable
+/// companion to the table benches, consumed by CI's perf-smoke step and
+/// checked in as BENCH_throughput.json.
+///
+/// Usage: throughput_json [--out FILE] [--ciphers a,b,...]
+///                        [--archs a,b,...] [--threads n,m,...]
+/// Defaults: stdout; every bundled cipher at its best-performing slicing
+/// on sse/avx2/avx512; threads 1 plus the machine default when > 1.
+/// USUBA_BENCH_BYTES scales the workload (default 2 MiB).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/ThreadPool.h"
+
+using namespace usuba;
+using namespace usuba::bench;
+
+namespace {
+
+struct Measurement {
+  double CyclesPerByte;
+  double GibPerSec;
+};
+
+/// Runs \p Fn (processing \p BytesPerCall per call) repeatedly, taking
+/// the best cycles/byte and the matching wall-clock GiB/s over Trials.
+Measurement measureThroughput(const std::function<void()> &Fn,
+                              size_t BytesPerCall, unsigned Trials = 3) {
+  Measurement Best = {1e300, 0};
+  for (unsigned T = 0; T < Trials; ++T) {
+    size_t Bytes = 0;
+    uint64_t C0 = cycles();
+    auto W0 = std::chrono::steady_clock::now();
+    // At least three calls and ~20 ms per trial (USUBA_BENCH_BYTES
+    // scales the per-call workload).
+    while (Bytes < BytesPerCall * 3 ||
+           std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         W0)
+                   .count() < 0.02) {
+      Fn();
+      Bytes += BytesPerCall;
+    }
+    uint64_t C1 = cycles();
+    auto W1 = std::chrono::steady_clock::now();
+    double Cpb = static_cast<double>(C1 - C0) / static_cast<double>(Bytes);
+    double Secs = std::chrono::duration<double>(W1 - W0).count();
+    if (Cpb < Best.CyclesPerByte)
+      Best = {Cpb, static_cast<double>(Bytes) / Secs / (1024.0 * 1024.0 *
+                                                        1024.0)};
+  }
+  return Best;
+}
+
+std::vector<std::string> splitList(const char *Arg) {
+  std::vector<std::string> Out;
+  std::string Item;
+  for (const char *P = Arg;; ++P) {
+    if (*P == ',' || *P == '\0') {
+      if (!Item.empty())
+        Out.push_back(Item);
+      Item.clear();
+      if (*P == '\0')
+        break;
+    } else {
+      Item += *P;
+    }
+  }
+  return Out;
+}
+
+bool contains(const std::vector<std::string> &List, const char *Name) {
+  if (List.empty())
+    return true;
+  for (const std::string &S : List)
+    if (S == Name)
+      return true;
+  return false;
+}
+
+struct ConfigRow {
+  CipherId Id;
+  SlicingMode Slicing;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = nullptr;
+  std::vector<std::string> Ciphers, Archs, ThreadsArg;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--ciphers") && I + 1 < Argc)
+      Ciphers = splitList(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--archs") && I + 1 < Argc)
+      Archs = splitList(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
+      ThreadsArg = splitList(Argv[++I]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--ciphers a,b] [--archs a,b] "
+                   "[--threads n,m]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  // Each cipher at its best-performing slicing (Table 2's optima).
+  const ConfigRow Rows[] = {
+      {CipherId::Rectangle, SlicingMode::Vslice},
+      {CipherId::Des, SlicingMode::Bitslice},
+      {CipherId::Aes128, SlicingMode::Hslice},
+      {CipherId::Chacha20, SlicingMode::Vslice},
+      {CipherId::Serpent, SlicingMode::Vslice},
+      {CipherId::Present, SlicingMode::Bitslice},
+  };
+  const Arch *Targets[] = {&archSSE(), &archAVX2(), &archAVX512()};
+
+  std::vector<unsigned> ThreadCounts;
+  if (ThreadsArg.empty()) {
+    ThreadCounts.push_back(1);
+    if (ThreadPool::defaultThreads() > 1)
+      ThreadCounts.push_back(ThreadPool::defaultThreads());
+  } else {
+    for (const std::string &S : ThreadsArg)
+      ThreadCounts.push_back(
+          static_cast<unsigned>(std::strtoul(S.c_str(), nullptr, 10)));
+  }
+
+  FILE *Out = OutPath ? std::fopen(OutPath, "w") : stdout;
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", OutPath);
+    return 1;
+  }
+
+  std::fprintf(Out, "{\n  \"workload_bytes\": %zu,\n  \"results\": [",
+               workloadBytes());
+  bool FirstRecord = true;
+  for (const ConfigRow &Row : Rows) {
+    if (!contains(Ciphers, cipherName(Row.Id)))
+      continue;
+    for (const Arch *Target : Targets) {
+      if (!contains(Archs, Target->Name))
+        continue;
+      std::optional<UsubaCipher> Cipher =
+          makeCipher(Row.Id, Row.Slicing, *Target);
+      if (!Cipher)
+        continue; // slicing does not type-check on this target
+
+      std::vector<uint8_t> Key(Cipher->keyBytes(), 0x5A);
+      Cipher->setKey(Key.data(), Key.size());
+      const uint8_t Nonce[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+      std::vector<uint8_t> Data(workloadBytes(), 0x33);
+      double KernelCpb = kernelCyclesPerByte(*Cipher);
+
+      for (unsigned Threads : ThreadCounts) {
+        Cipher->setThreadCount(Threads);
+        Measurement Ctr = measureThroughput(
+            [&] { Cipher->ctrXor(Data.data(), Data.size(), Nonce, 0); },
+            Data.size());
+        std::fprintf(
+            Out,
+            "%s\n    {\"cipher\": \"%s\", \"slicing\": \"%s\", "
+            "\"arch\": \"%s\", \"engine\": \"%s\", \"threads\": %u, "
+            "\"ctr_cycles_per_byte\": %.4f, \"ctr_gib_per_s\": %.4f, "
+            "\"kernel_cycles_per_byte\": %.4f}",
+            FirstRecord ? "" : ",", cipherName(Row.Id),
+            slicingName(Row.Slicing), Target->Name, engineTag(*Cipher),
+            Threads, Ctr.CyclesPerByte, Ctr.GibPerSec, KernelCpb);
+        FirstRecord = false;
+      }
+    }
+  }
+  std::fprintf(Out, "\n  ]\n}\n");
+  if (OutPath)
+    std::fclose(Out);
+  return 0;
+}

@@ -5,9 +5,15 @@
 #              pass checkpoints work without assert().
 #   debug    - asserts on, catches invariant slips early.
 #   sanitize - ASan + UBSan over the whole suite, including the parser
-#              fuzz corpus and the JIT's fork/timeout path.
+#              fuzz corpus, the JIT's fork/timeout path, and the layout
+#              property tests (SWAR transposition vs the naive oracle).
+#   perf     - perf smoke: Release build of the JSON throughput bench,
+#              run on two small configs single- and multi-threaded, and
+#              the output validated (well-formed JSON, every field
+#              present, positive rates). Catches runtime-path breakage
+#              that correctness tests alone would miss.
 #
-# Usage: scripts/ci.sh [release|debug|sanitize|all]   (default: all)
+# Usage: scripts/ci.sh [release|debug|sanitize|perf|all]   (default: all)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,17 +29,43 @@ run_job() {
   (cd "build-ci-$NAME" && ctest --output-on-failure -j "$JOBS")
 }
 
+perf_smoke() {
+  echo "==== ci job: perf ===="
+  cmake -B build-ci-perf -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "build-ci-perf" -j "$JOBS" --target throughput_json
+  USUBA_BENCH_BYTES=262144 ./build-ci-perf/bench/throughput_json \
+    --ciphers rectangle,chacha20 --archs sse --threads 1,2 \
+    --out build-ci-perf/BENCH_throughput.json
+  python3 - build-ci-perf/BENCH_throughput.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+results = doc["results"]
+assert results, "perf-smoke produced no results"
+for r in results:
+    for key in ("cipher", "slicing", "arch", "engine", "threads",
+                "ctr_cycles_per_byte", "ctr_gib_per_s",
+                "kernel_cycles_per_byte"):
+        assert key in r, "missing field: " + key
+    assert r["ctr_cycles_per_byte"] > 0, "non-positive cycles/byte"
+    assert r["ctr_gib_per_s"] > 0, "non-positive GiB/s"
+print("perf-smoke OK: %d records" % len(results))
+EOF
+}
+
 case "$MATRIX" in
 release) run_job release -DCMAKE_BUILD_TYPE=Release ;;
 debug) run_job debug -DCMAKE_BUILD_TYPE=Debug ;;
 sanitize) run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON ;;
+perf) perf_smoke ;;
 all)
   run_job release -DCMAKE_BUILD_TYPE=Release
   run_job debug -DCMAKE_BUILD_TYPE=Debug
   run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON
+  perf_smoke
   ;;
 *)
-  echo "unknown job '$MATRIX' (want release|debug|sanitize|all)" >&2
+  echo "unknown job '$MATRIX' (want release|debug|sanitize|perf|all)" >&2
   exit 2
   ;;
 esac

@@ -1,0 +1,111 @@
+//===- KernelCache.cpp - Process-wide compiled-kernel cache ---------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/KernelCache.h"
+
+#include "cbackend/NativeJit.h"
+#include "ciphers/UsubaCipher.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace usuba;
+
+namespace {
+
+struct CacheState {
+  std::mutex M;
+  std::map<std::string, std::shared_ptr<const CachedKernel>> Entries;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+CacheState &state() {
+  static CacheState *S = new CacheState; // leaked: dlopen handles inside
+                                         // entries must outlive users
+  return *S;
+}
+
+void appendEnv(std::string &Key, const char *Name) {
+  Key += '|';
+  Key += Name;
+  Key += '=';
+  if (const char *Value = std::getenv(Name))
+    Key += Value;
+}
+
+} // namespace
+
+bool usuba::kernelCacheEnabled() {
+  const char *Env = std::getenv("USUBA_KERNEL_CACHE");
+  return !(Env && Env[0] == '0');
+}
+
+std::string usuba::kernelCacheKey(const CipherConfig &Config,
+                                  const char *Variant) {
+  const Arch &Target = Config.Target ? *Config.Target : archGP64();
+  std::string Key;
+  Key += cipherName(Config.Id);
+  Key += '|';
+  Key += slicingName(Config.Slicing);
+  Key += '|';
+  Key += Target.Name;
+  Key += '|';
+  Key += Config.Inline ? 'I' : 'i';
+  Key += Config.Unroll ? 'U' : 'u';
+  Key += Config.Interleave ? 'L' : 'l';
+  Key += Config.Schedule ? 'S' : 's';
+  Key += Config.PreferNative ? 'N' : 'n';
+  Key += '|';
+  Key += std::to_string(Config.InterleaveFactorOverride);
+  Key += '|';
+  Key += Variant;
+  // The JIT shells out to an environment-selected compiler: its identity
+  // and policy are part of what the cached artifact depends on.
+  appendEnv(Key, "USUBA_CC");
+  appendEnv(Key, "CC");
+  appendEnv(Key, "USUBA_JIT_OPT");
+  appendEnv(Key, "USUBA_CC_TIMEOUT_MS");
+  return Key;
+}
+
+std::shared_ptr<const CachedKernel>
+usuba::kernelCacheLookup(const std::string &Key) {
+  if (!kernelCacheEnabled())
+    return nullptr;
+  CacheState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Entries.find(Key);
+  if (It == S.Entries.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  ++S.Hits;
+  return It->second;
+}
+
+void usuba::kernelCacheStore(const std::string &Key, CachedKernel Entry) {
+  if (!kernelCacheEnabled())
+    return;
+  CacheState &S = state();
+  auto Shared = std::make_shared<const CachedKernel>(std::move(Entry));
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Entries.emplace(Key, std::move(Shared)); // first writer wins
+}
+
+void usuba::kernelCacheClear() {
+  CacheState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Entries.clear();
+  S.Hits = S.Misses = 0;
+}
+
+KernelCacheStats usuba::kernelCacheStats() {
+  CacheState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  return {S.Hits, S.Misses, static_cast<uint64_t>(S.Entries.size())};
+}

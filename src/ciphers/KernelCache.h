@@ -1,0 +1,86 @@
+//===- KernelCache.h - Process-wide compiled-kernel cache -------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide cache of compiled cipher kernels, keyed on a
+/// canonicalized CipherConfig. Benches and servers that instantiate the
+/// same cipher repeatedly (the ablation sweeps re-create each
+/// configuration per measurement, a server re-creates one per
+/// connection) skip both the Usubac pipeline and the host-compiler JIT
+/// on every hit.
+///
+/// The key covers everything that changes the compiled artifact: cipher,
+/// slicing, target architecture, the back-end toggles, the JIT policy
+/// (PreferNative) and — because the JIT shells out to an
+/// environment-selected host compiler — the USUBA_CC / USUBA_JIT_OPT /
+/// USUBA_CC_TIMEOUT_MS environment values in effect. Entries store the
+/// CompiledKernel (copied out per cipher instance; a KernelRunner owns
+/// its program) plus the shared dlopen'd NativeKernel, which is
+/// re-entrant and safely shared across instances and threads. A failed
+/// JIT attempt is cached too (as a null NativeKernel with the fallback
+/// note) so a fleet of instances does not re-run a doomed host-compiler
+/// invocation; changing the JIT environment changes the key and retries.
+///
+/// Disable with USUBA_KERNEL_CACHE=0 (checked per lookup/store, so tests
+/// can flip it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_KERNELCACHE_H
+#define USUBA_CIPHERS_KERNELCACHE_H
+
+#include "core/Compiler.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace usuba {
+
+class NativeKernel;
+struct CipherConfig;
+
+/// One cached compilation result.
+struct CachedKernel {
+  CompiledKernel Kernel;
+  /// Shared native code (may be null when the JIT failed, was skipped,
+  /// or the host cannot run the target ISA).
+  std::shared_ptr<NativeKernel> Native;
+  /// The degradation-ladder note to install when Native is null but
+  /// native execution was requested.
+  std::string EngineNote;
+};
+
+/// The canonical cache key for \p Config compiling \p Variant
+/// ("enc"/"dec"). Includes the JIT-relevant environment.
+std::string kernelCacheKey(const CipherConfig &Config, const char *Variant);
+
+/// True unless USUBA_KERNEL_CACHE=0.
+bool kernelCacheEnabled();
+
+/// Returns the cached entry for \p Key, or null on a miss (or when the
+/// cache is disabled). Thread-safe.
+std::shared_ptr<const CachedKernel> kernelCacheLookup(const std::string &Key);
+
+/// Stores \p Entry under \p Key (no-op when the cache is disabled).
+/// Thread-safe; an existing entry is kept (first writer wins).
+void kernelCacheStore(const std::string &Key, CachedKernel Entry);
+
+/// Drops every entry (tests; also frees the dlopen handles of unused
+/// kernels).
+void kernelCacheClear();
+
+/// Cache observability for tests and benches.
+struct KernelCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Entries = 0;
+};
+KernelCacheStats kernelCacheStats();
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_KERNELCACHE_H

@@ -7,6 +7,7 @@
 #include "ciphers/UsubaCipher.h"
 
 #include "cbackend/NativeJit.h"
+#include "ciphers/KernelCache.h"
 #include "ciphers/RefAes.h"
 #include "ciphers/RefChacha20.h"
 #include "ciphers/RefDes.h"
@@ -15,7 +16,9 @@
 #include "ciphers/RefSerpent.h"
 #include "ciphers/UsubaSources.h"
 #include "runtime/Layout.h"
+#include "runtime/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -147,13 +150,68 @@ UsubaCipher::UsubaCipher(CipherConfig ConfigIn, CompiledKernel Kernel)
   CipherMeta Meta = metaFor(Config.Id);
   AtomsPerBlockStructured = Meta.AtomsPerBlock;
   StructuredBits = Meta.WordBits;
+  ThreadsRequested = Config.Threads;
 }
+
+namespace {
+
+/// JITs \p Runner's kernel when \p Config asks for native execution,
+/// recording a ladder note on any failure. Returns the shared native
+/// handle (null when not native).
+std::shared_ptr<NativeKernel> attachNative(const CipherConfig &Config,
+                                           KernelRunner &Runner) {
+  if (!Config.PreferNative)
+    return nullptr;
+  const Arch &Target = Config.Target ? *Config.Target : archGP64();
+  // Degradation ladder rung 1: JIT the emitted C. Any failure —
+  // unsupported host ISA, missing compiler, compile error, timeout —
+  // leaves execution on the interpreter with the reason recorded.
+  if (!hostSupports(Target)) {
+    Runner.noteFallback(std::string("host CPU cannot execute ") + Target.Name +
+                        " code");
+    return nullptr;
+  }
+  JitError Err;
+  std::optional<NativeKernel> Native =
+      jitCompile(Runner.kernel(), jitOptLevelFor(Runner.kernel()), &Err);
+  if (!Native) {
+    Runner.noteFallback(Err.str());
+    return nullptr;
+  }
+  auto Shared = std::make_shared<NativeKernel>(std::move(*Native));
+  Runner.setNativeFn(Shared->fn());
+  return Shared;
+}
+
+/// Installs a cache entry's native code / ladder note on \p Runner.
+std::shared_ptr<NativeKernel> attachCached(const CipherConfig &Config,
+                                           const CachedKernel &Cached,
+                                           KernelRunner &Runner) {
+  if (!Config.PreferNative)
+    return nullptr;
+  if (Cached.Native) {
+    Runner.setNativeFn(Cached.Native->fn());
+    return Cached.Native;
+  }
+  Runner.noteFallback(Cached.EngineNote);
+  return nullptr;
+}
+
+} // namespace
 
 std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
                                                std::string *Error) {
   CipherMeta Meta = metaFor(Config.Id);
-  CompileOptions Options = optionsFor(Config);
 
+  std::string CacheKey = kernelCacheKey(Config, "enc");
+  if (std::shared_ptr<const CachedKernel> Cached =
+          kernelCacheLookup(CacheKey)) {
+    UsubaCipher Cipher(Config, Cached->Kernel);
+    Cipher.Native = attachCached(Config, *Cached, *Cipher.Runner);
+    return Cipher;
+  }
+
+  CompileOptions Options = optionsFor(Config);
   DiagnosticEngine Diags;
   std::optional<CompiledKernel> Kernel =
       compileUsuba(Meta.Source(), Options, Diags);
@@ -165,26 +223,9 @@ std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
   }
 
   UsubaCipher Cipher(Config, std::move(*Kernel));
-  if (Config.PreferNative) {
-    // Degradation ladder rung 1: JIT the emitted C. Any failure —
-    // unsupported host ISA, missing compiler, compile error, timeout —
-    // leaves execution on the interpreter with the reason recorded.
-    if (!hostSupports(*Options.Target)) {
-      Cipher.Runner->noteFallback(std::string("host CPU cannot execute ") +
-                                  Options.Target->Name + " code");
-    } else {
-      JitError Err;
-      std::optional<NativeKernel> Native =
-          jitCompile(Cipher.Runner->kernel(),
-                     jitOptLevelFor(Cipher.Runner->kernel()), &Err);
-      if (Native) {
-        Cipher.Native = std::make_shared<NativeKernel>(std::move(*Native));
-        Cipher.Runner->setNativeFn(Cipher.Native->fn());
-      } else {
-        Cipher.Runner->noteFallback(Err.str());
-      }
-    }
-  }
+  Cipher.Native = attachNative(Config, *Cipher.Runner);
+  kernelCacheStore(CacheKey, {Cipher.Runner->kernel(), Cipher.Native,
+                              Cipher.Runner->fallbackReason()});
   return Cipher;
 }
 
@@ -194,6 +235,15 @@ bool UsubaCipher::ensureDecryptRunner() {
   CipherMeta Meta = metaFor(Config.Id);
   if (!Meta.DecSource)
     return Config.Id == CipherId::Des; // DES reuses the forward kernel
+
+  std::string CacheKey = kernelCacheKey(Config, "dec");
+  if (std::shared_ptr<const CachedKernel> Cached =
+          kernelCacheLookup(CacheKey)) {
+    DecRunner = std::make_unique<KernelRunner>(Cached->Kernel);
+    DecNative = attachCached(Config, *Cached, *DecRunner);
+    return true;
+  }
+
   CompileOptions Options = optionsFor(Config);
   DiagnosticEngine Diags;
   std::optional<CompiledKernel> Kernel =
@@ -201,23 +251,42 @@ bool UsubaCipher::ensureDecryptRunner() {
   if (!Kernel)
     return false;
   DecRunner = std::make_unique<KernelRunner>(std::move(*Kernel));
-  if (Config.PreferNative) {
-    if (!hostSupports(*Options.Target)) {
-      DecRunner->noteFallback(std::string("host CPU cannot execute ") +
-                              Options.Target->Name + " code");
-    } else {
-      JitError Err;
-      std::optional<NativeKernel> Native = jitCompile(
-          DecRunner->kernel(), jitOptLevelFor(DecRunner->kernel()), &Err);
-      if (Native) {
-        DecNative = std::make_shared<NativeKernel>(std::move(*Native));
-        DecRunner->setNativeFn(DecNative->fn());
-      } else {
-        DecRunner->noteFallback(Err.str());
-      }
-    }
-  }
+  DecNative = attachNative(Config, *DecRunner);
+  kernelCacheStore(CacheKey, {DecRunner->kernel(), DecNative,
+                              DecRunner->fallbackReason()});
   return true;
+}
+
+unsigned UsubaCipher::threadCount() const {
+  if (ThreadsRequested)
+    return std::min(ThreadsRequested, ThreadPool::MaxThreads);
+  return ThreadPool::defaultThreads();
+}
+
+unsigned UsubaCipher::effectiveThreads(size_t NumBatches) const {
+  unsigned Threads = threadCount();
+  if (Threads <= 1)
+    return 1;
+  // Auto mode keeps small calls on the fast single-threaded path; an
+  // explicit request (setThreadCount / USUBA_THREADS on a small machine)
+  // engages from two batches, which is how the tests exercise the
+  // threaded engine on tiny inputs.
+  const size_t MinBatches = ThreadsRequested ? 2 : 8;
+  if (NumBatches < MinBatches)
+    return 1;
+  return static_cast<unsigned>(std::min<size_t>(Threads, NumBatches));
+}
+
+void UsubaCipher::ensureWorkers(KernelRunner &Proto, EngineWorkers &Workers,
+                                unsigned Threads) {
+  if (Workers.Scratch.size() < Threads)
+    Workers.Scratch.resize(Threads);
+  if (Workers.Runners.size() < Threads)
+    Workers.Runners.resize(Threads);
+  // Slot 0 stays empty: the calling thread drives Proto directly.
+  for (unsigned T = 1; T < Threads; ++T)
+    if (!Workers.Runners[T])
+      Workers.Runners[T] = Proto.clone();
 }
 
 unsigned UsubaCipher::keyBytes() const { return metaFor(Config.Id).KeyBytes; }
@@ -228,6 +297,8 @@ unsigned UsubaCipher::blockBytes() const {
 void UsubaCipher::setKey(const uint8_t *Key, size_t Length) {
   assert(Length == keyBytes() && "wrong key length");
   (void)Length;
+  // New epoch: runners drop their cached broadcast of the old keys.
+  ++KeyEpoch;
   const bool Flat = Config.Slicing == SlicingMode::Bitslice;
   std::vector<uint64_t> Structured;
 
@@ -367,7 +438,7 @@ void UsubaCipher::atomsToBlock(const uint64_t *Atoms,
 void UsubaCipher::ecbEncrypt(const uint8_t *In, uint8_t *Out,
                              size_t NumBlocks) {
   assert(Config.Id != CipherId::Chacha20 && "ChaCha20 is a stream cipher");
-  processBlocks(*Runner, KeyAtoms, In, Out, NumBlocks);
+  processBlocks(*Runner, EncWorkers, KeyAtoms, In, Out, NumBlocks);
 }
 
 void UsubaCipher::ecbDecrypt(const uint8_t *In, uint8_t *Out,
@@ -376,26 +447,58 @@ void UsubaCipher::ecbDecrypt(const uint8_t *In, uint8_t *Out,
   [[maybe_unused]] bool Ok = ensureDecryptRunner();
   assert(Ok && "decryption kernel failed to compile");
   if (Config.Id == CipherId::Des) {
-    processBlocks(*Runner, DecKeyAtoms, In, Out, NumBlocks);
+    // Same forward kernel, reversed subkeys: the broadcast cache keys on
+    // the atoms pointer, so flipping between KeyAtoms and DecKeyAtoms
+    // repacks correctly.
+    processBlocks(*Runner, EncWorkers, DecKeyAtoms, In, Out, NumBlocks);
     return;
   }
-  processBlocks(*DecRunner, KeyAtoms, In, Out, NumBlocks);
+  processBlocks(*DecRunner, DecWorkers, KeyAtoms, In, Out, NumBlocks);
 }
 
-void UsubaCipher::processBlocks(KernelRunner &R,
+void UsubaCipher::processBlocks(KernelRunner &R, EngineWorkers &Workers,
                                 const std::vector<uint64_t> &Keys,
                                 const uint8_t *In, uint8_t *Out,
                                 size_t NumBlocks) {
   const unsigned Batch = R.blocksPerCall();
   const unsigned BlockLen = blockBytes();
+  const size_t NumBatches = (NumBlocks + Batch - 1) / Batch;
+  const unsigned Threads = effectiveThreads(NumBatches);
+  ensureWorkers(R, Workers, Threads);
+  if (Threads <= 1) {
+    processRange(R, Workers.Scratch[0], Keys, In, Out, NumBlocks);
+    return;
+  }
+  // Contiguous batch-aligned spans: each worker reads and writes only its
+  // own span, so In == Out aliasing stays safe and the output is
+  // bit-identical to the single-threaded engine.
+  ThreadPool::global().run(Threads, [&](unsigned T) {
+    const size_t B0 = NumBatches * T / Threads;
+    const size_t B1 = NumBatches * (T + 1) / Threads;
+    if (B0 == B1)
+      return;
+    const size_t Block0 = B0 * Batch;
+    const size_t BlockEnd = std::min(NumBlocks, B1 * Batch);
+    KernelRunner &WR = T == 0 ? R : *Workers.Runners[T];
+    processRange(WR, Workers.Scratch[T], Keys, In + Block0 * BlockLen,
+                 Out + Block0 * BlockLen, BlockEnd - Block0);
+  });
+}
+
+void UsubaCipher::processRange(KernelRunner &R, BatchScratch &S,
+                               const std::vector<uint64_t> &Keys,
+                               const uint8_t *In, uint8_t *Out,
+                               size_t NumBlocks) {
+  const unsigned Batch = R.blocksPerCall();
+  const unsigned BlockLen = blockBytes();
   for (size_t Base = 0; Base < NumBlocks; Base += Batch) {
     size_t Count = std::min<size_t>(Batch, NumBlocks - Base);
-    processBatch(R, Keys, In + Base * BlockLen, Out + Base * BlockLen,
+    processBatch(R, S, Keys, In + Base * BlockLen, Out + Base * BlockLen,
                  Count);
   }
 }
 
-void UsubaCipher::processBatch(KernelRunner &R,
+void UsubaCipher::processBatch(KernelRunner &R, BatchScratch &S,
                                const std::vector<uint64_t> &Keys,
                                const uint8_t *In, uint8_t *Out,
                                size_t Count) {
@@ -407,33 +510,33 @@ void UsubaCipher::processBatch(KernelRunner &R,
   const unsigned BlockLen = blockBytes();
   assert(Count >= 1 && Count <= Batch && "batch size out of range");
 
-  if (StructuredScratch.size() < size_t{Batch} * AtomsStructured) {
-    StructuredScratch.resize(size_t{Batch} * AtomsStructured);
-    InAtomsScratch.resize(size_t{Batch} * AtomsFlat);
-    OutAtomsScratch.resize(size_t{Batch} * AtomsFlat);
+  if (S.Structured.size() < size_t{Batch} * AtomsStructured) {
+    S.Structured.resize(size_t{Batch} * AtomsStructured);
+    S.InAtoms.resize(size_t{Batch} * AtomsFlat);
+    S.OutAtoms.resize(size_t{Batch} * AtomsFlat);
   }
   if (Count < Batch)
-    std::fill(StructuredScratch.begin(), StructuredScratch.end(), 0);
+    std::fill(S.Structured.begin(), S.Structured.end(), 0);
   for (size_t B = 0; B < Count; ++B)
-    blockToAtoms(In + B * BlockLen, &StructuredScratch[B * AtomsStructured]);
-  const uint64_t *InAtoms = StructuredScratch.data();
+    blockToAtoms(In + B * BlockLen, &S.Structured[B * AtomsStructured]);
+  const uint64_t *InAtoms = S.Structured.data();
   if (Scale > 1) {
-    expandAtomsToBits(StructuredScratch.data(),
+    expandAtomsToBits(S.Structured.data(),
                       static_cast<unsigned>(size_t{Batch} * AtomsStructured),
-                      StructuredBits, InAtomsScratch.data());
-    InAtoms = InAtomsScratch.data();
+                      StructuredBits, S.InAtoms.data());
+    InAtoms = S.InAtoms.data();
   }
   std::vector<KernelRunner::ParamData> Params;
   Params.push_back({/*Broadcast=*/false, InAtoms});
   if (Config.Id != CipherId::Chacha20)
-    Params.push_back({/*Broadcast=*/true, Keys.data()});
-  R.runBatch(Params, OutAtomsScratch.data());
-  const uint64_t *OutAtoms = OutAtomsScratch.data();
+    Params.push_back({/*Broadcast=*/true, Keys.data(), KeyEpoch});
+  R.runBatch(Params, S.OutAtoms.data());
+  const uint64_t *OutAtoms = S.OutAtoms.data();
   if (Scale > 1) {
-    collapseBitsToAtoms(OutAtomsScratch.data(),
+    collapseBitsToAtoms(S.OutAtoms.data(),
                         static_cast<unsigned>(size_t{Batch} * AtomsStructured),
-                        StructuredBits, StructuredScratch.data());
-    OutAtoms = StructuredScratch.data();
+                        StructuredBits, S.Structured.data());
+    OutAtoms = S.Structured.data();
   }
   for (size_t B = 0; B < Count; ++B)
     atomsToBlock(OutAtoms + B * AtomsStructured, Out + B * BlockLen);
@@ -444,9 +547,38 @@ void UsubaCipher::ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
   const unsigned BlockLen = blockBytes();
   const unsigned Batch = blocksPerCall();
   const size_t BatchBytes = size_t{Batch} * BlockLen;
-  if (CounterScratch.size() != BatchBytes) {
-    CounterScratch.resize(BatchBytes);
-    KeystreamScratch.resize(BatchBytes);
+  const size_t NumBatches = (Length + BatchBytes - 1) / BatchBytes;
+  const unsigned Threads = effectiveThreads(NumBatches);
+  ensureWorkers(*Runner, EncWorkers, Threads);
+  if (Threads <= 1) {
+    ctrChunk(*Runner, EncWorkers.Scratch[0], Data, Length, Nonce, Counter);
+    return;
+  }
+  // Contiguous batch-aligned spans; the counter is position-derived, so
+  // worker T's span starts at Counter + firstBatch * Batch and the
+  // keystream is bit-identical to the single-threaded engine.
+  ThreadPool::global().run(Threads, [&](unsigned T) {
+    const size_t B0 = NumBatches * T / Threads;
+    const size_t B1 = NumBatches * (T + 1) / Threads;
+    if (B0 == B1)
+      return;
+    const size_t Off0 = B0 * BatchBytes;
+    const size_t OffEnd = std::min(Length, B1 * BatchBytes);
+    KernelRunner &WR = T == 0 ? *Runner : *EncWorkers.Runners[T];
+    ctrChunk(WR, EncWorkers.Scratch[T], Data + Off0, OffEnd - Off0, Nonce,
+             Counter + B0 * Batch);
+  });
+}
+
+void UsubaCipher::ctrChunk(KernelRunner &R, BatchScratch &S, uint8_t *Data,
+                           size_t Length, const uint8_t *Nonce,
+                           uint64_t Counter) {
+  const unsigned BlockLen = blockBytes();
+  const unsigned Batch = R.blocksPerCall();
+  const size_t BatchBytes = size_t{Batch} * BlockLen;
+  if (S.Counter.size() != BatchBytes) {
+    S.Counter.resize(BatchBytes);
+    S.Keystream.resize(BatchBytes);
   }
 
   size_t Offset = 0;
@@ -463,18 +595,18 @@ void UsubaCipher::ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
                           static_cast<uint32_t>(Counter + B), Nonce);
         for (unsigned W = 0; W < 16; ++W)
           for (unsigned Byte = 0; Byte < 4; ++Byte)
-            CounterScratch[B * 64 + 4 * W + Byte] =
+            S.Counter[B * 64 + 4 * W + Byte] =
                 static_cast<uint8_t>(State[W] >> (8 * Byte));
       }
     } else if (BlockLen == 8) {
       // 64-bit blocks: the counter block is nonce-as-integer plus index.
       uint64_t Base = load64be(Nonce);
       for (size_t B = 0; B < NumBlocks; ++B)
-        store64be(Base + Counter + B, &CounterScratch[B * BlockLen]);
+        store64be(Base + Counter + B, &S.Counter[B * BlockLen]);
     } else {
       // 128-bit blocks: 12-byte nonce followed by a 32-bit counter.
       for (size_t B = 0; B < NumBlocks; ++B) {
-        uint8_t *Block = &CounterScratch[B * BlockLen];
+        uint8_t *Block = &S.Counter[B * BlockLen];
         std::memcpy(Block, Nonce, 12);
         uint32_t Ctr = static_cast<uint32_t>(Counter + B);
         for (unsigned I = 0; I < 4; ++I)
@@ -482,12 +614,12 @@ void UsubaCipher::ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
       }
     }
 
-    processBatch(*Runner, KeyAtoms, CounterScratch.data(),
-                 KeystreamScratch.data(), NumBlocks);
+    processBatch(R, S, KeyAtoms, S.Counter.data(), S.Keystream.data(),
+                 NumBlocks);
 
     // Word-wise keystream XOR; the scalar tail is at most 7 bytes.
     uint8_t *Dst = Data + Offset;
-    const uint8_t *Ks = KeystreamScratch.data();
+    const uint8_t *Ks = S.Keystream.data();
     size_t I = 0;
     for (; I + 8 <= Chunk; I += 8) {
       uint64_t D, K;

@@ -70,6 +70,11 @@ struct CipherConfig {
   /// JIT the emitted C and run natively when the host supports the
   /// target; otherwise (or on failure) fall back to the simulator.
   bool PreferNative = true;
+  /// Worker threads for ctrXor / ecbEncrypt / ecbDecrypt: 0 = auto
+  /// (USUBA_THREADS, else hardware concurrency). 1 forces the
+  /// single-threaded engine. Small calls always run single-threaded
+  /// regardless (see DESIGN.md on the threading model).
+  unsigned Threads = 0;
 };
 
 /// A ready-to-use sliced cipher.
@@ -92,6 +97,11 @@ public:
   unsigned blocksPerCall() const { return Runner->blocksPerCall(); }
   /// True when running JIT-compiled native code (vs the simulator).
   bool isNative() const { return Runner->usingNative(); }
+  /// Worker threads the batched entry points may use (0 = auto). The
+  /// effective count is additionally capped by the work available per
+  /// call; outputs are bit-identical for every thread count.
+  void setThreadCount(unsigned N) { ThreadsRequested = N; }
+  unsigned threadCount() const;
   /// When not native: which rung of the degradation ladder was taken and
   /// why (JIT failure, timeout, self-check demotion). Empty when native.
   const std::string &engineNote() const { return Runner->fallbackReason(); }
@@ -130,12 +140,44 @@ public:
 private:
   UsubaCipher(CipherConfig Config, CompiledKernel Kernel);
 
-  /// Batched block transform (shared by ECB and CTR paths).
-  void processBlocks(KernelRunner &R, const std::vector<uint64_t> &Keys,
-                     const uint8_t *In, uint8_t *Out, size_t NumBlocks);
+  /// Per-worker batch scratch: the threaded engine gives every worker
+  /// its own copy (plus a KernelRunner clone), so workers never share
+  /// mutable state. Worker 0 is the calling thread, driving the main
+  /// Runner.
+  struct BatchScratch {
+    std::vector<uint64_t> Structured, InAtoms, OutAtoms;
+    std::vector<uint8_t> Counter, Keystream;
+  };
+  /// Workers for one kernel (forward or inverse): runner clones (slot 0
+  /// unused — the main runner serves the calling thread) and scratch.
+  struct EngineWorkers {
+    std::vector<std::unique_ptr<KernelRunner>> Runners;
+    std::vector<BatchScratch> Scratch;
+  };
+
+  /// Batched block transform (shared by ECB and CTR paths); splits the
+  /// call across worker threads on blocksPerCall() boundaries.
+  void processBlocks(KernelRunner &R, EngineWorkers &Workers,
+                     const std::vector<uint64_t> &Keys, const uint8_t *In,
+                     uint8_t *Out, size_t NumBlocks);
+  /// A contiguous run of batches on one worker.
+  void processRange(KernelRunner &R, BatchScratch &S,
+                    const std::vector<uint64_t> &Keys, const uint8_t *In,
+                    uint8_t *Out, size_t NumBlocks);
   /// One kernel invocation's worth of blocks (Count <= R.blocksPerCall()).
-  void processBatch(KernelRunner &R, const std::vector<uint64_t> &Keys,
-                    const uint8_t *In, uint8_t *Out, size_t Count);
+  void processBatch(KernelRunner &R, BatchScratch &S,
+                    const std::vector<uint64_t> &Keys, const uint8_t *In,
+                    uint8_t *Out, size_t Count);
+  /// A contiguous CTR span on one worker; \p Counter is the absolute
+  /// counter of the span's first block.
+  void ctrChunk(KernelRunner &R, BatchScratch &S, uint8_t *Data,
+                size_t Length, const uint8_t *Nonce, uint64_t Counter);
+  /// Threads to actually use for a call of \p NumBatches kernel batches
+  /// (1 when the call is too small to amortize the fork-join).
+  unsigned effectiveThreads(size_t NumBatches) const;
+  /// Clones \p Proto into \p Workers up to \p Threads workers.
+  void ensureWorkers(KernelRunner &Proto, EngineWorkers &Workers,
+                     unsigned Threads);
   /// Builds the decryption runner on first use; false when unsupported.
   bool ensureDecryptRunner();
 
@@ -151,11 +193,11 @@ private:
   std::vector<uint64_t> KeyAtoms;    ///< broadcast key material
   std::vector<uint64_t> DecKeyAtoms; ///< DES: reversed subkeys
   std::vector<uint8_t> RawKey;          ///< ChaCha20 keeps the raw key
+  uint64_t KeyEpoch = 0; ///< bumped per setKey; keys broadcast-cache tag
+  unsigned ThreadsRequested = 0;        ///< 0 = auto
   unsigned AtomsPerBlockStructured = 0; ///< pre-flattening atom count
   unsigned StructuredBits = 0;          ///< atom size pre-flattening
-  // Reused batch scratch (kept hot across calls).
-  std::vector<uint64_t> StructuredScratch, InAtomsScratch, OutAtomsScratch;
-  std::vector<uint8_t> CounterScratch, KeystreamScratch;
+  EngineWorkers EncWorkers, DecWorkers; ///< per-thread runners + scratch
 };
 
 } // namespace usuba

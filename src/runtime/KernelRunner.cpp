@@ -25,6 +25,12 @@ KernelRunner::KernelRunner(CompiledKernel KernelIn)
   }
   InRegs.resize(Kernel.Prog.entry().NumInputs);
   OutRegs.resize(Kernel.Prog.entry().Outputs.size());
+  // The dense native-ABI buffers are allocated (zeroed) up front so
+  // kernelOnly() is deterministic even before the first batch.
+  const unsigned W = Layout.widthWords();
+  DenseIn.resize(size_t{W} * InRegs.size());
+  DenseOut.resize(size_t{W} * OutRegs.size());
+  Broadcasts.resize(ParamLens.size());
 
   [[maybe_unused]] unsigned TotalIn = 0;
   for (unsigned L : ParamLens)
@@ -34,88 +40,125 @@ KernelRunner::KernelRunner(CompiledKernel KernelIn)
          "parameter shapes disagree with the kernel ABI");
 }
 
+std::unique_ptr<KernelRunner> KernelRunner::clone() const {
+  auto Copy = std::make_unique<KernelRunner>(Kernel);
+  if (Native)
+    Copy->setNativeFn(Native); // re-arms the clone's own self-check
+  else
+    Copy->FallbackReason = FallbackReason;
+  return Copy;
+}
+
 void KernelRunner::kernelOnly() {
   if (Native) {
-    const unsigned W = Layout.widthWords();
-    if (DenseIn.empty()) {
-      DenseIn.resize(size_t{W} * InRegs.size());
-      DenseOut.resize(size_t{W} * OutRegs.size());
-    }
     Native(DenseIn.data(), DenseOut.data());
     return;
   }
   Interp.run(InRegs.data(), OutRegs.data());
 }
 
-void KernelRunner::runNativeStaged() {
-  // The native ABI is dense: widthWords() words per register.
+void KernelRunner::packInputs(const std::vector<ParamData> &Params,
+                              bool IntoDense, bool IntoRegs) {
+  const unsigned K = Kernel.Prog.InterleaveFactor;
   const unsigned W = Layout.widthWords();
-  if (DenseIn.empty()) {
-    DenseIn.resize(size_t{W} * InRegs.size());
-    DenseOut.resize(size_t{W} * OutRegs.size());
+
+  // Decide per-parameter whether the broadcast cache already covers the
+  // requested buffers (a broadcast's registers are identical across
+  // interleave instances and batches).
+  for (size_t P = 0; P < Params.size(); ++P) {
+    BroadcastSlot &Slot = Broadcasts[P];
+    if (!Params[P].Broadcast) {
+      Slot = BroadcastSlot{};
+      continue;
+    }
+    if (Slot.Atoms != Params[P].Atoms || Slot.Epoch != Params[P].Epoch) {
+      Slot.Atoms = Params[P].Atoms;
+      Slot.Epoch = Params[P].Epoch;
+      Slot.InDense = Slot.InRegs = false;
+    }
   }
-  for (size_t I = 0; I < InRegs.size(); ++I)
-    for (unsigned J = 0; J < W; ++J)
-      DenseIn[I * W + J] = InRegs[I].Words[J];
-  Native(DenseIn.data(), DenseOut.data());
-  for (size_t I = 0; I < OutRegs.size(); ++I) {
-    OutRegs[I] = SimdReg{};
-    for (unsigned J = 0; J < W; ++J)
-      OutRegs[I].Words[J] = DenseOut[I * W + J];
+
+  // Pack: interleave instance t consumes blocks [t*Slices, (t+1)*Slices).
+  unsigned Reg = 0;
+  for (unsigned T = 0; T < K; ++T) {
+    for (size_t P = 0; P < Params.size(); ++P) {
+      const unsigned Len = ParamLens[P];
+      const ParamData &Param = Params[P];
+      if (Param.Broadcast) {
+        BroadcastSlot &Slot = Broadcasts[P];
+        if (IntoDense && !Slot.InDense)
+          Layout.packBroadcastDense(Param.Atoms, Len,
+                                    &DenseIn[size_t{Reg} * W]);
+        if (IntoRegs && !Slot.InRegs)
+          Layout.packBroadcast(Param.Atoms, Len, &InRegs[Reg]);
+      } else {
+        const uint64_t *Blocks = Param.Atoms + size_t{T} * Slices * Len;
+        if (IntoDense)
+          Layout.packDense(Blocks, Len, &DenseIn[size_t{Reg} * W]);
+        if (IntoRegs)
+          Layout.pack(Blocks, Len, &InRegs[Reg]);
+      }
+      Reg += Len;
+    }
   }
+  for (size_t P = 0; P < Params.size(); ++P)
+    if (Params[P].Broadcast) {
+      Broadcasts[P].InDense = Broadcasts[P].InDense || IntoDense;
+      Broadcasts[P].InRegs = Broadcasts[P].InRegs || IntoRegs;
+    }
 }
 
 void KernelRunner::runBatch(const std::vector<ParamData> &Params,
                             uint64_t *OutAtoms) {
   assert(Params.size() == ParamLens.size() && "wrong parameter count");
   const unsigned K = Kernel.Prog.InterleaveFactor;
+  const unsigned W = Layout.widthWords();
+  const bool WantNative = Native != nullptr;
+  const bool Check = WantNative && !SelfChecked;
 
-  // Pack: interleave instance t consumes blocks [t*Slices, (t+1)*Slices).
-  unsigned Reg = 0;
-  for (unsigned T = 0; T < K; ++T) {
-    for (size_t P = 0; P < Params.size(); ++P) {
-      unsigned Len = ParamLens[P];
-      if (Params[P].Broadcast)
-        Layout.packBroadcast(Params[P].Atoms, Len, &InRegs[Reg]);
-      else
-        Layout.pack(Params[P].Atoms + size_t{T} * Slices * Len, Len,
-                    &InRegs[Reg]);
-      Reg += Len;
-    }
-  }
+  // Zero-copy data path: the native rung packs straight into the dense
+  // ABI buffer (no SimdReg staging); the interpreter rung packs into
+  // SimdRegs. The first native batch packs both for the differential
+  // self-check.
+  packInputs(Params, /*IntoDense=*/WantNative, /*IntoRegs=*/!WantNative ||
+                                                   Check);
 
-  // Unpack: outputs of instance t are the t-th group of return registers.
-  auto UnpackInto = [&](const SimdReg *Regs, uint64_t *Atoms) {
+  auto UnpackRegs = [&](const SimdReg *Regs, uint64_t *Atoms) {
     for (unsigned T = 0; T < K; ++T)
       Layout.unpack(Regs + size_t{T} * OutLen, OutLen,
                     Atoms + size_t{T} * Slices * OutLen);
   };
+  auto UnpackDense = [&](const uint64_t *Dense, uint64_t *Atoms) {
+    for (unsigned T = 0; T < K; ++T)
+      Layout.unpackDense(Dense + size_t{T} * OutLen * W, OutLen,
+                         Atoms + size_t{T} * Slices * OutLen);
+  };
 
-  if (Native && !SelfChecked) {
+  if (Check) {
     // First-batch differential self-check (the last rung guard of the
     // degradation ladder): run the batch on both engines and compare
     // the unpacked atoms — a miscompiled or ABI-confused native kernel
     // is demoted before any wrong ciphertext escapes. One extra
     // interpreter run on the first batch only.
     SelfChecked = true;
-    runNativeStaged();
-    std::vector<SimdReg> RefRegs(OutRegs.size());
-    Interp.run(InRegs.data(), RefRegs.data());
+    Native(DenseIn.data(), DenseOut.data());
+    Interp.run(InRegs.data(), OutRegs.data());
     std::vector<uint64_t> NativeAtoms(size_t{BlocksPerCall} * OutLen);
-    UnpackInto(OutRegs.data(), NativeAtoms.data());
-    UnpackInto(RefRegs.data(), OutAtoms);
+    UnpackDense(DenseOut.data(), NativeAtoms.data());
+    UnpackRegs(OutRegs.data(), OutAtoms);
     if (std::equal(NativeAtoms.begin(), NativeAtoms.end(), OutAtoms))
       return;
     Native = nullptr;
-    OutRegs = std::move(RefRegs);
     noteFallback("self-check: native kernel output disagrees with the "
                  "interpreter on the first batch");
     return; // OutAtoms already holds the interpreter's (trusted) result
   }
 
-  if (Native)
-    runNativeStaged();
-  else
-    Interp.run(InRegs.data(), OutRegs.data());
-  UnpackInto(OutRegs.data(), OutAtoms);
+  if (WantNative) {
+    Native(DenseIn.data(), DenseOut.data());
+    UnpackDense(DenseOut.data(), OutAtoms);
+    return;
+  }
+  Interp.run(InRegs.data(), OutRegs.data());
+  UnpackRegs(OutRegs.data(), OutAtoms);
 }

@@ -10,6 +10,22 @@
 /// slices-times-interleave blocks per kernel invocation, and broadcasts
 /// uniform inputs (round keys) to every slice.
 ///
+/// Data path: on the native rung, blocks are packed straight into the
+/// dense uint64_t buffer the JIT ABI consumes and unpacked straight out
+/// of the kernel's output buffer — there is no intermediate SimdReg
+/// staging. The interpreter rung packs into SimdReg arrays as before.
+/// Broadcast parameters (round keys) are packed once and reused across
+/// batches until the caller bumps their epoch.
+///
+/// Thread-safety contract: a KernelRunner is single-threaded — it owns
+/// mutable staging buffers. Concurrent batch execution uses one clone()
+/// per thread; clones share the (immutable, re-entrant) native kernel
+/// function and copy the compiled program, so each clone runs its own
+/// degradation ladder (including the first-batch self-check)
+/// independently. Demotion of one clone never affects another, and
+/// output ordering is preserved because every batch writes only the
+/// caller-provided output range.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef USUBA_RUNTIME_KERNELRUNNER_H
@@ -21,6 +37,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace usuba {
@@ -38,6 +55,14 @@ public:
   using NativeFn = void (*)(const uint64_t *Inputs, uint64_t *Outputs);
 
   explicit KernelRunner(CompiledKernel Kernel);
+
+  /// Clones this runner for use on another thread: copies the compiled
+  /// program, shares the native function pointer (the emitted code is
+  /// re-entrant — it writes only through its output argument), and
+  /// re-arms the clone's own first-batch self-check. The caller must
+  /// keep whatever owns the native code (NativeKernel) alive for the
+  /// clone's lifetime.
+  std::unique_ptr<KernelRunner> clone() const;
 
   /// Blocks consumed per kernel invocation: slices x interleave factor.
   unsigned blocksPerCall() const { return BlocksPerCall; }
@@ -84,24 +109,36 @@ public:
     /// blocks; otherwise blocksPerCall() blocks' worth, block-major.
     bool Broadcast;
     const uint64_t *Atoms;
+    /// Broadcast reuse: a broadcast parameter whose (Atoms, Epoch) pair
+    /// matches the previous batch is NOT re-packed — its packed
+    /// registers are reused. Callers bump the epoch whenever the pointed
+    /// to atoms change (e.g. on setKey); 0 works fine for callers that
+    /// never mutate in place.
+    uint64_t Epoch = 0;
   };
 
   /// Runs one batch: packs inputs, executes, unpacks blocksPerCall()
   /// output blocks (block-major atoms) into \p OutAtoms.
   void runBatch(const std::vector<ParamData> &Params, uint64_t *OutAtoms);
 
-  /// Executes only the kernel (no packing/unpacking) on whatever register
-  /// contents are currently staged — the benchmark harness uses this to
-  /// measure the primitive alone, as the paper's Figures 3/4 do.
+  /// Executes only the kernel (no packing/unpacking) on the engine's
+  /// staged input buffer — the benchmark harness uses this to measure
+  /// the primitive alone, as the paper's Figures 3/4 do. Buffer
+  /// contract: the staging buffers (DenseIn for the native engine,
+  /// InRegs for the interpreter) are allocated zeroed at construction
+  /// and hold the last runBatch's packed inputs afterwards, so
+  /// kernel-only timing is deterministic: all-zero inputs before any
+  /// batch ran, the last batch's inputs after.
   void kernelOnly();
 
   /// Packing-only entry points for the transposition benchmarks.
   const SliceLayout &layout() const { return Layout; }
 
 private:
-  /// Executes the native kernel on the staged InRegs, refreshing the
-  /// dense ABI buffers and writing the results back into OutRegs.
-  void runNativeStaged();
+  /// Packs \p Params into the dense native buffer and/or the
+  /// interpreter's SimdReg array, honoring the broadcast reuse cache.
+  void packInputs(const std::vector<ParamData> &Params, bool IntoDense,
+                  bool IntoRegs);
 
   CompiledKernel Kernel;
   SliceLayout Layout;
@@ -114,8 +151,17 @@ private:
   unsigned OutLen;
   std::vector<unsigned> ParamLens;
   std::vector<unsigned> ReturnLens;
-  std::vector<SimdReg> InRegs, OutRegs;
-  std::vector<uint64_t> DenseIn, DenseOut; ///< native-ABI staging
+  std::vector<SimdReg> InRegs, OutRegs;       ///< interpreter registers
+  std::vector<uint64_t> DenseIn, DenseOut;    ///< native-ABI buffers
+  /// Broadcast reuse cache, one slot per parameter: which (Atoms, Epoch)
+  /// is currently packed, and into which buffer(s).
+  struct BroadcastSlot {
+    const uint64_t *Atoms = nullptr;
+    uint64_t Epoch = 0;
+    bool InDense = false;
+    bool InRegs = false;
+  };
+  std::vector<BroadcastSlot> Broadcasts;
 };
 
 } // namespace usuba

@@ -6,35 +6,244 @@
 
 #include "runtime/Layout.h"
 
+#include <algorithm>
+
 using namespace usuba;
+
+// All transposition works on whole 64-bit words. Three facts make the
+// word-level shapes line up exactly (so packWords always writes all
+// widthWords() words of a register and no more):
+//
+//  * bitslice: slices() == SliceBits == 64 * widthWords() — the slice
+//    dimension tiles into whole words;
+//  * vertical: slices() * MBits == SliceBits on SIMD targets (ceil fill),
+//    and a single MBits-wide element in word 0 on GP64 (widthWords()==1);
+//  * horizontal: MBits groups of GroupBits == SliceBits/MBits bits each;
+//    either GroupBits is a multiple of 64 (whole-word groups) or 64 is a
+//    multiple of GroupBits (whole groups per word).
+
+void SliceLayout::packWords(const uint64_t *Blocks, unsigned Len,
+                            uint64_t *Regs, unsigned Stride) const {
+  const unsigned S = slices();
+  const unsigned W = widthWords();
+
+  if (MBits == 1) {
+    // Bitslicing: register r bit b = atom r of block b. S is always a
+    // multiple of 64, so tile the (S x Len) bit matrix into 64x64 blocks
+    // and run the Hacker's-Delight word transpose on each; ragged Len
+    // edges are zero-padded in the tile.
+    for (unsigned BT = 0; BT < S; BT += 64) {
+      const unsigned Word = BT / 64;
+      for (unsigned RT = 0; RT < Len; RT += 64) {
+        const unsigned RN = std::min(64u, Len - RT);
+        uint64_t M[64];
+        for (unsigned BB = 0; BB < 64; ++BB) {
+          const uint64_t *Src = Blocks + size_t{BT + BB} * Len + RT;
+          uint64_t Row = 0;
+          for (unsigned RR = 0; RR < RN; ++RR)
+            Row |= (Src[RR] & 1) << RR;
+          M[BB] = Row;
+        }
+        // M[b] bit r = atom RT+r of block BT+b; transposing gives
+        // M[r] bit b.
+        transpose64x64(M);
+        for (unsigned RR = 0; RR < RN; ++RR)
+          Regs[size_t{RT + RR} * Stride + Word] = M[RR];
+      }
+    }
+    return;
+  }
+
+  if (Direction == Dir::Horiz) {
+    // Horizontal: for a fixed register r, the register content is the
+    // S x MBits atom bit-matrix transposed, with position j carrying
+    // atom bit MBits-1-j across GroupBits-bit groups. One 64x64
+    // transpose serves a *tile* of 64/MBits registers at once (their
+    // atoms side by side in the matrix columns), so the transpose cost
+    // amortizes even for narrow atoms.
+    const unsigned G = (W * 64) / MBits; // == S on SIMD, >= S on GP64
+    const unsigned RegsPerTile = 64 / MBits;
+    const uint64_t AtomMask = lowBitMask(MBits);
+    for (unsigned R0 = 0; R0 < Len; R0 += RegsPerTile) {
+      const unsigned RN = std::min(RegsPerTile, Len - R0);
+      for (unsigned BT = 0; BT < S; BT += 64) {
+        const unsigned BN = std::min(64u, S - BT);
+        uint64_t M[64] = {}; // rows >= BN stay zero: the transpose must
+                             // not leak garbage into used group bits
+        for (unsigned BB = 0; BB < BN; ++BB) {
+          const uint64_t *Src = Blocks + size_t{BT + BB} * Len + R0;
+          uint64_t Row = 0;
+          for (unsigned RR = 0; RR < RN; ++RR)
+            Row |= (Src[RR] & AtomMask) << (RR * MBits);
+          M[BB] = Row;
+        }
+        // M[b] bit (r*MBits + k) = atom bit k of register R0+r, block
+        // BT+b; transposing gives M[r*MBits + k] bit b.
+        transpose64x64(M);
+        if (G >= 64) {
+          // Wide groups (G a multiple of 64, S == G): each matrix row
+          // lands as one whole register word.
+          const unsigned WordsPerGroup = G / 64;
+          const unsigned T = BT / 64;
+          for (unsigned RR = 0; RR < RN; ++RR) {
+            uint64_t *Dst = Regs + size_t{R0 + RR} * Stride;
+            for (unsigned J = 0; J < MBits; ++J)
+              Dst[J * WordsPerGroup + T] = M[RR * MBits + MBits - 1 - J];
+          }
+        } else {
+          // Narrow groups (G divides 64, S <= G <= 64, so one block
+          // tile): assemble 64/G groups per output word.
+          const unsigned PerWord = 64 / G;
+          for (unsigned RR = 0; RR < RN; ++RR) {
+            uint64_t *Dst = Regs + size_t{R0 + RR} * Stride;
+            for (unsigned Word = 0; Word < W; ++Word) {
+              uint64_t Value = 0;
+              for (unsigned E = 0; E < PerWord; ++E) {
+                const unsigned J = Word * PerWord + E;
+                Value |= M[RR * MBits + MBits - 1 - J] << (E * G);
+              }
+              Dst[Word] = Value;
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // Vertical: assemble whole 64-bit words (MBits is a power of two, so
+  // elements never straddle words).
+  const unsigned PerWord = 64 / MBits;
+  const uint64_t Mask = lowBitMask(MBits);
+  for (unsigned R = 0; R < Len; ++R) {
+    uint64_t *Dst = Regs + size_t{R} * Stride;
+    unsigned B = 0;
+    for (unsigned Word = 0; B < S; ++Word) {
+      uint64_t Value = 0;
+      for (unsigned E = 0; E < PerWord && B < S; ++E, ++B)
+        Value |= (Blocks[size_t{B} * Len + R] & Mask) << (E * MBits);
+      Dst[Word] = Value;
+    }
+  }
+}
+
+void SliceLayout::unpackWords(const uint64_t *Regs, unsigned Stride,
+                              unsigned Len, uint64_t *Blocks) const {
+  const unsigned S = slices();
+  const unsigned W = widthWords();
+  (void)W;
+
+  if (MBits == 1) {
+    for (unsigned BT = 0; BT < S; BT += 64) {
+      const unsigned Word = BT / 64;
+      for (unsigned RT = 0; RT < Len; RT += 64) {
+        const unsigned RN = std::min(64u, Len - RT);
+        uint64_t M[64];
+        for (unsigned RR = 0; RR < RN; ++RR)
+          M[RR] = Regs[size_t{RT + RR} * Stride + Word];
+        for (unsigned RR = RN; RR < 64; ++RR)
+          M[RR] = 0;
+        transpose64x64(M);
+        for (unsigned BB = 0; BB < 64; ++BB) {
+          uint64_t *Dst = Blocks + size_t{BT + BB} * Len + RT;
+          for (unsigned RR = 0; RR < RN; ++RR)
+            Dst[RR] = (M[BB] >> RR) & 1;
+        }
+      }
+    }
+    return;
+  }
+
+  if (Direction == Dir::Horiz) {
+    // Inverse of the tiled pack: gather 64/MBits registers' position
+    // rows into one matrix, transpose once, and peel each block's atoms
+    // out of the row's MBits-wide fields.
+    const unsigned G = (W * 64) / MBits;
+    const unsigned RegsPerTile = 64 / MBits;
+    const uint64_t AtomMask = lowBitMask(MBits);
+    for (unsigned R0 = 0; R0 < Len; R0 += RegsPerTile) {
+      const unsigned RN = std::min(RegsPerTile, Len - R0);
+      for (unsigned BT = 0; BT < S; BT += 64) {
+        const unsigned BN = std::min(64u, S - BT);
+        uint64_t M[64] = {};
+        if (G >= 64) {
+          const unsigned WordsPerGroup = G / 64;
+          const unsigned T = BT / 64;
+          for (unsigned RR = 0; RR < RN; ++RR) {
+            const uint64_t *Src = Regs + size_t{R0 + RR} * Stride;
+            for (unsigned J = 0; J < MBits; ++J)
+              M[RR * MBits + MBits - 1 - J] = Src[J * WordsPerGroup + T];
+          }
+        } else {
+          const unsigned PerWord = 64 / G;
+          const uint64_t GroupMask = lowBitMask(G);
+          for (unsigned RR = 0; RR < RN; ++RR) {
+            const uint64_t *Src = Regs + size_t{R0 + RR} * Stride;
+            for (unsigned Word = 0; Word < W; ++Word)
+              for (unsigned E = 0; E < PerWord; ++E) {
+                const unsigned J = Word * PerWord + E;
+                M[RR * MBits + MBits - 1 - J] =
+                    (Src[Word] >> (E * G)) & GroupMask;
+              }
+          }
+        }
+        transpose64x64(M);
+        for (unsigned BB = 0; BB < BN; ++BB) {
+          uint64_t *Dst = Blocks + size_t{BT + BB} * Len + R0;
+          for (unsigned RR = 0; RR < RN; ++RR)
+            Dst[RR] = (M[BB] >> (RR * MBits)) & AtomMask;
+        }
+      }
+    }
+    return;
+  }
+
+  const unsigned PerWord = 64 / MBits;
+  const uint64_t Mask = lowBitMask(MBits);
+  for (unsigned R = 0; R < Len; ++R) {
+    const uint64_t *Src = Regs + size_t{R} * Stride;
+    unsigned B = 0;
+    for (unsigned Word = 0; B < S; ++Word) {
+      const uint64_t Value = Src[Word];
+      for (unsigned E = 0; E < PerWord && B < S; ++E, ++B)
+        Blocks[size_t{B} * Len + R] = (Value >> (E * MBits)) & Mask;
+    }
+  }
+}
 
 void SliceLayout::pack(const uint64_t *Blocks, unsigned Len,
                        SimdReg *Regs) const {
+  for (unsigned R = 0; R < Len; ++R)
+    Regs[R] = SimdReg{};
+  packWords(Blocks, Len, reinterpret_cast<uint64_t *>(Regs),
+            SimdReg::MaxWords);
+}
+
+void SliceLayout::unpack(const SimdReg *Regs, unsigned Len,
+                         uint64_t *Blocks) const {
+  unpackWords(reinterpret_cast<const uint64_t *>(Regs), SimdReg::MaxWords,
+              Len, Blocks);
+}
+
+void SliceLayout::packDense(const uint64_t *Blocks, unsigned Len,
+                            uint64_t *Dense) const {
+  packWords(Blocks, Len, Dense, widthWords());
+}
+
+void SliceLayout::unpackDense(const uint64_t *Dense, unsigned Len,
+                              uint64_t *Blocks) const {
+  unpackWords(Dense, widthWords(), Len, Blocks);
+}
+
+void SliceLayout::packNaive(const uint64_t *Blocks, unsigned Len,
+                            SimdReg *Regs) const {
   const unsigned S = slices();
   const unsigned W = widthWords();
   if (MBits == 1) {
-    // Bitslicing: register r bit b = atom r of block b. Fast path for the
-    // classic 64x64 transpose shape.
-    if (S == 64 && Len == 64) {
-      uint64_t M[64];
-      for (unsigned B = 0; B < 64; ++B) {
-        uint64_t Row = 0;
-        for (unsigned R = 0; R < 64; ++R)
-          Row |= (Blocks[B * 64 + R] & 1) << R;
-        M[B] = Row;
-      }
-      // M[b] bit r = atom r of block b; transposing gives M[r] bit b.
-      transpose64x64(M);
-      for (unsigned R = 0; R < 64; ++R) {
-        Regs[R] = SimdReg{};
-        Regs[R].Words[0] = M[R];
-      }
-      return;
-    }
     for (unsigned R = 0; R < Len; ++R) {
       Regs[R] = SimdReg{};
       for (unsigned B = 0; B < S; ++B)
-        Regs[R].setBit(B, Blocks[B * Len + R] & 1);
+        Regs[R].setBit(B, Blocks[size_t{B} * Len + R] & 1);
     }
     return;
   }
@@ -44,7 +253,7 @@ void SliceLayout::pack(const uint64_t *Blocks, unsigned Len,
     for (unsigned R = 0; R < Len; ++R) {
       Regs[R] = SimdReg{};
       for (unsigned B = 0; B < S; ++B) {
-        uint64_t Atom = Blocks[B * Len + R];
+        uint64_t Atom = Blocks[size_t{B} * Len + R];
         for (unsigned J = 0; J < MBits; ++J)
           Regs[R].setBit(J * GroupBits + B, getBit(Atom, MBits - 1 - J));
       }
@@ -52,8 +261,6 @@ void SliceLayout::pack(const uint64_t *Blocks, unsigned Len,
     return;
   }
 
-  // Vertical: assemble whole 64-bit words (MBits is a power of two, so
-  // elements never straddle words).
   const unsigned PerWord = 64 / MBits;
   const uint64_t Mask = lowBitMask(MBits);
   for (unsigned R = 0; R < Len; ++R) {
@@ -68,24 +275,14 @@ void SliceLayout::pack(const uint64_t *Blocks, unsigned Len,
   }
 }
 
-void SliceLayout::unpack(const SimdReg *Regs, unsigned Len,
-                         uint64_t *Blocks) const {
+void SliceLayout::unpackNaive(const SimdReg *Regs, unsigned Len,
+                              uint64_t *Blocks) const {
   const unsigned S = slices();
   const unsigned W = widthWords();
   if (MBits == 1) {
-    if (S == 64 && Len == 64) {
-      uint64_t M[64];
-      for (unsigned R = 0; R < 64; ++R)
-        M[R] = Regs[R].Words[0];
-      transpose64x64(M);
-      for (unsigned B = 0; B < 64; ++B)
-        for (unsigned R = 0; R < 64; ++R)
-          Blocks[B * 64 + R] = getBit(M[B], R);
-      return;
-    }
     for (unsigned R = 0; R < Len; ++R)
       for (unsigned B = 0; B < S; ++B)
-        Blocks[B * Len + R] = Regs[R].bit(B);
+        Blocks[size_t{B} * Len + R] = Regs[R].bit(B);
     return;
   }
 
@@ -97,7 +294,7 @@ void SliceLayout::unpack(const SimdReg *Regs, unsigned Len,
         for (unsigned J = 0; J < MBits; ++J)
           Atom = setBit(Atom, MBits - 1 - J,
                         Regs[R].bit(J * GroupBits + B));
-        Blocks[B * Len + R] = Atom;
+        Blocks[size_t{B} * Len + R] = Atom;
       }
     return;
   }
@@ -118,7 +315,7 @@ void usuba::expandAtomsToBits(const uint64_t *Atoms, unsigned Count,
                               unsigned MBits, uint64_t *Bits) {
   for (unsigned A = 0; A < Count; ++A)
     for (unsigned J = 0; J < MBits; ++J)
-      Bits[A * MBits + J] = getBit(Atoms[A], MBits - 1 - J);
+      Bits[size_t{A} * MBits + J] = getBit(Atoms[A], MBits - 1 - J);
 }
 
 void usuba::collapseBitsToAtoms(const uint64_t *Bits, unsigned Count,
@@ -126,7 +323,7 @@ void usuba::collapseBitsToAtoms(const uint64_t *Bits, unsigned Count,
   for (unsigned A = 0; A < Count; ++A) {
     uint64_t Atom = 0;
     for (unsigned J = 0; J < MBits; ++J)
-      Atom = setBit(Atom, MBits - 1 - J, Bits[A * MBits + J] & 1);
+      Atom = setBit(Atom, MBits - 1 - J, Bits[size_t{A} * MBits + J] & 1);
     Atoms[A] = Atom;
   }
 }
@@ -139,5 +336,19 @@ void SliceLayout::packBroadcast(const uint64_t *Atoms, unsigned Len,
       simd::broadcastHorizontal(Regs[R], Atoms[R], W, MBits);
     else
       simd::broadcastVertical(Regs[R], Atoms[R], W, MBits);
+  }
+}
+
+void SliceLayout::packBroadcastDense(const uint64_t *Atoms, unsigned Len,
+                                     uint64_t *Dense) const {
+  const unsigned W = widthWords();
+  SimdReg Reg;
+  for (unsigned R = 0; R < Len; ++R) {
+    if (Direction == Dir::Horiz && MBits > 1)
+      simd::broadcastHorizontal(Reg, Atoms[R], W, MBits);
+    else
+      simd::broadcastVertical(Reg, Atoms[R], W, MBits);
+    for (unsigned J = 0; J < W; ++J)
+      Dense[size_t{R} * W + J] = Reg.Words[J];
   }
 }

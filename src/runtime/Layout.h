@@ -21,6 +21,23 @@
 /// Broadcast packing fills every slice with the same atom (used for keys,
 /// which are shared by all blocks in flight).
 ///
+/// Two register representations are supported, sharing one word-level
+/// transposition core:
+///
+///  * SimdReg arrays — the interpreter's registers (8 words each,
+///    whatever the target width);
+///  * dense word buffers — the native JIT ABI: widthWords() consecutive
+///    uint64_t per register, no padding. packDense/unpackDense move
+///    blocks directly between user atoms and the buffers a JIT-compiled
+///    kernel consumes, with no intermediate SimdReg staging.
+///
+/// Every layout runs through SWAR fast paths that assemble whole 64-bit
+/// words per step (Hacker's-Delight 64x64 bit-matrix transposes for
+/// bitslice and horizontal shapes, element-packing loops for vertical
+/// shapes). The original bit-at-a-time loops are retained as
+/// packNaive/unpackNaive — the oracle the layout property tests check
+/// every fast path against.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef USUBA_RUNTIME_LAYOUT_H
@@ -60,7 +77,33 @@ public:
   void packBroadcast(const uint64_t *Atoms, unsigned Len,
                      SimdReg *Regs) const;
 
+  /// Dense native-ABI variants: \p Dense holds Len registers of
+  /// widthWords() words each, back to back (the layout NativeJit's
+  /// usuba_kernel consumes). All widthWords() words of every register are
+  /// written; none beyond are touched.
+  void packDense(const uint64_t *Blocks, unsigned Len,
+                 uint64_t *Dense) const;
+  void unpackDense(const uint64_t *Dense, unsigned Len,
+                   uint64_t *Blocks) const;
+  void packBroadcastDense(const uint64_t *Atoms, unsigned Len,
+                          uint64_t *Dense) const;
+
+  /// The original bit-at-a-time reference loops, kept as the oracle for
+  /// the randomized layout property tests (and for differential debugging
+  /// of the SWAR paths). Semantically identical to pack/unpack, just
+  /// slow.
+  void packNaive(const uint64_t *Blocks, unsigned Len, SimdReg *Regs) const;
+  void unpackNaive(const SimdReg *Regs, unsigned Len,
+                   uint64_t *Blocks) const;
+
 private:
+  /// The shared word-level core: registers are \p Stride words apart,
+  /// the first widthWords() of each carrying data.
+  void packWords(const uint64_t *Blocks, unsigned Len, uint64_t *Regs,
+                 unsigned Stride) const;
+  void unpackWords(const uint64_t *Regs, unsigned Stride, unsigned Len,
+                   uint64_t *Blocks) const;
+
   Dir Direction;
   unsigned MBits;
   const Arch *Target;

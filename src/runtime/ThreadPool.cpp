@@ -1,0 +1,107 @@
+//===- ThreadPool.cpp - Worker pool for batched cipher calls --------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace usuba;
+
+ThreadPool &ThreadPool::global() {
+  // Leaked on purpose: worker threads must not be joined during static
+  // destruction (they may hold the mutex), and the process is exiting
+  // anyway.
+  static ThreadPool *Pool = new ThreadPool;
+  return *Pool;
+}
+
+unsigned ThreadPool::defaultThreads() {
+  if (const char *Env = std::getenv("USUBA_THREADS")) {
+    unsigned long Value = std::strtoul(Env, nullptr, 10);
+    if (Value >= 1)
+      return static_cast<unsigned>(std::min<unsigned long>(Value, MaxThreads));
+    return 1;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? std::min(HW, MaxThreads) : 1;
+}
+
+void ThreadPool::ensureWorkers(unsigned Count) {
+  Count = std::min(Count, MaxThreads - 1);
+  while (Workers.size() < Count) {
+    unsigned Index = static_cast<unsigned>(Workers.size());
+    // A new worker must ignore every job that was posted before it
+    // existed, so it starts from the current sequence number.
+    uint64_t Seen;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Seen = JobSeq;
+    }
+    Workers.emplace_back([this, Index, Seen] { workerMain(Index, Seen); });
+    Workers.back().detach(); // parked workers die with the process
+  }
+}
+
+void ThreadPool::workerMain(unsigned Index, uint64_t Seen) {
+  for (;;) {
+    const std::function<void(unsigned)> *Fn = nullptr;
+    unsigned N = 0;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCV.wait(Lock, [&] { return JobSeq != Seen; });
+      Seen = JobSeq;
+      Fn = Job;
+      N = JobN;
+    }
+    if (Index + 1 < N) {
+      try {
+        (*Fn)(Index + 1);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(M);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (--Outstanding == 0)
+        DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(unsigned N, const std::function<void(unsigned)> &Fn) {
+  N = std::min(N, MaxThreads);
+  if (N <= 1) {
+    Fn(0);
+    return;
+  }
+  std::lock_guard<std::mutex> Gate(JobGate);
+  ensureWorkers(N - 1);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Job = &Fn;
+    JobN = N;
+    Outstanding = static_cast<unsigned>(Workers.size());
+    FirstError = nullptr;
+    ++JobSeq;
+  }
+  WorkCV.notify_all();
+  std::exception_ptr CallerError;
+  try {
+    Fn(0);
+  } catch (...) {
+    CallerError = std::current_exception();
+  }
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [&] { return Outstanding == 0; });
+  Job = nullptr;
+  std::exception_ptr Error = CallerError ? CallerError : FirstError;
+  Lock.unlock();
+  if (Error)
+    std::rethrow_exception(Error);
+}

@@ -1,0 +1,75 @@
+//===- ThreadPool.h - Worker pool for batched cipher calls ------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small process-wide worker pool the threaded CTR/ECB engine splits
+/// cipher calls over. Design goals, in order: deterministic results
+/// (each worker writes only its own output span), zero cost when unused
+/// (threads spawn lazily, only up to what a call requests), and
+/// simplicity (one fork-join job at a time; concurrent run() calls
+/// serialize).
+///
+/// The pool intentionally over-subscribes when asked: USUBA_THREADS (or
+/// an explicit thread count on the cipher) may exceed the hardware
+/// concurrency, which is how the correctness tests exercise the threaded
+/// path on small machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_RUNTIME_THREADPOOL_H
+#define USUBA_RUNTIME_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace usuba {
+
+class ThreadPool {
+public:
+  /// Workers a single job may use (a safety cap, far above any sensible
+  /// USUBA_THREADS value).
+  static constexpr unsigned MaxThreads = 64;
+
+  /// The process-wide pool (created on first use, never destroyed — the
+  /// workers park between jobs and die with the process).
+  static ThreadPool &global();
+
+  /// The default parallelism for cipher calls: USUBA_THREADS when set
+  /// (clamped to [1, MaxThreads]), else std::thread::hardware_concurrency.
+  static unsigned defaultThreads();
+
+  /// Fork-join: invokes Fn(0) on the calling thread and Fn(1..N-1) on
+  /// pool workers, returning when all have finished. Spawns workers on
+  /// demand up to N-1 (capped at MaxThreads-1). Exceptions from any
+  /// invocation are captured and the first one rethrown on the caller.
+  /// Concurrent run() calls from different threads serialize.
+  void run(unsigned N, const std::function<void(unsigned)> &Fn);
+
+private:
+  ThreadPool() = default;
+
+  void ensureWorkers(unsigned Count);
+  void workerMain(unsigned Index, uint64_t Seen);
+
+  std::mutex JobGate; ///< serializes whole jobs
+
+  std::mutex M;
+  std::condition_variable WorkCV, DoneCV;
+  std::vector<std::thread> Workers;
+  const std::function<void(unsigned)> *Job = nullptr;
+  unsigned JobN = 0;       ///< total participants (incl. the caller)
+  uint64_t JobSeq = 0;     ///< bumped per job; workers wait for a new seq
+  unsigned Outstanding = 0;
+  std::exception_ptr FirstError;
+};
+
+} // namespace usuba
+
+#endif // USUBA_RUNTIME_THREADPOOL_H

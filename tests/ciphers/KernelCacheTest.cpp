@@ -1,0 +1,146 @@
+//===- KernelCacheTest.cpp - Compiled-kernel cache tests ------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/KernelCache.h"
+
+#include "cbackend/NativeJit.h"
+#include "ciphers/UsubaCipher.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+/// Scoped environment override, restored on destruction.
+class EnvGuard {
+public:
+  EnvGuard(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name))
+      Saved = Old;
+    if (Value)
+      setenv(Name, Value, 1);
+    else
+      unsetenv(Name);
+  }
+  ~EnvGuard() {
+    if (Saved)
+      setenv(Name, Saved->c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+CipherConfig rectangleConfig() {
+  CipherConfig Config;
+  Config.Id = CipherId::Rectangle;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archSSE();
+  Config.PreferNative = false;
+  return Config;
+}
+
+std::vector<uint8_t> encryptSample(UsubaCipher &Cipher) {
+  uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Cipher.setKey(Key, sizeof(Key));
+  const size_t Blocks = 32;
+  std::vector<uint8_t> In(Blocks * Cipher.blockBytes()), Out(In.size());
+  for (size_t I = 0; I < In.size(); ++I)
+    In[I] = static_cast<uint8_t>(I * 31 + 5);
+  Cipher.ecbEncrypt(In.data(), Out.data(), Blocks);
+  return Out;
+}
+
+TEST(KernelCache, SecondCreateHitsAndMatches) {
+  kernelCacheClear();
+  CipherConfig Config = rectangleConfig();
+
+  std::optional<UsubaCipher> First = UsubaCipher::create(Config);
+  ASSERT_TRUE(First.has_value());
+  KernelCacheStats AfterFirst = kernelCacheStats();
+  EXPECT_GE(AfterFirst.Misses, 1u);
+  EXPECT_GE(AfterFirst.Entries, 1u);
+  EXPECT_EQ(AfterFirst.Hits, 0u);
+
+  std::optional<UsubaCipher> Second = UsubaCipher::create(Config);
+  ASSERT_TRUE(Second.has_value());
+  KernelCacheStats AfterSecond = kernelCacheStats();
+  EXPECT_GE(AfterSecond.Hits, 1u);
+  EXPECT_EQ(AfterSecond.Entries, AfterFirst.Entries); // no recompile
+
+  EXPECT_EQ(encryptSample(*First), encryptSample(*Second));
+  kernelCacheClear();
+}
+
+TEST(KernelCache, DisabledByEnvironment) {
+  kernelCacheClear();
+  EnvGuard Off("USUBA_KERNEL_CACHE", "0");
+  CipherConfig Config = rectangleConfig();
+  ASSERT_TRUE(UsubaCipher::create(Config).has_value());
+  ASSERT_TRUE(UsubaCipher::create(Config).has_value());
+  KernelCacheStats Stats = kernelCacheStats();
+  EXPECT_EQ(Stats.Entries, 0u);
+  EXPECT_EQ(Stats.Hits, 0u);
+  EXPECT_EQ(Stats.Misses, 0u);
+}
+
+TEST(KernelCache, KeyCoversConfigVariantAndJitEnvironment) {
+  CipherConfig Config = rectangleConfig();
+  std::string Enc = kernelCacheKey(Config, "enc");
+  EXPECT_NE(Enc, kernelCacheKey(Config, "dec"));
+
+  CipherConfig Bitslice = Config;
+  Bitslice.Slicing = SlicingMode::Bitslice;
+  EXPECT_NE(Enc, kernelCacheKey(Bitslice, "enc"));
+
+  CipherConfig Native = Config;
+  Native.PreferNative = true;
+  EXPECT_NE(Enc, kernelCacheKey(Native, "enc"));
+
+  CipherConfig Avx = Config;
+  Avx.Target = &archAVX2();
+  EXPECT_NE(Enc, kernelCacheKey(Avx, "enc"));
+
+  // Changing the JIT's environment must change the key: the degradation
+  // ladder tests flip USUBA_CC between creates of the same config and
+  // expect a fresh JIT attempt.
+  std::string Before = kernelCacheKey(Config, "enc");
+  EnvGuard Cc("USUBA_CC", "/nonexistent/compiler");
+  EXPECT_NE(Before, kernelCacheKey(Config, "enc"));
+
+  // Threads is an execution knob, not a compilation input: same key.
+  CipherConfig Threaded = Config;
+  Threaded.Threads = 8;
+  EXPECT_EQ(kernelCacheKey(Config, "enc"), kernelCacheKey(Threaded, "enc"));
+}
+
+TEST(KernelCache, NativeKernelIsSharedAcrossInstances) {
+  if (!NativeKernel::hostCompilerAvailable())
+    GTEST_SKIP() << "no host C compiler for the JIT";
+  kernelCacheClear();
+  CipherConfig Config = rectangleConfig();
+  Config.PreferNative = true;
+
+  std::optional<UsubaCipher> First = UsubaCipher::create(Config);
+  ASSERT_TRUE(First.has_value());
+  std::optional<UsubaCipher> Second = UsubaCipher::create(Config);
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_GE(kernelCacheStats().Hits, 1u);
+  EXPECT_EQ(First->isNative(), Second->isNative());
+  EXPECT_EQ(First->engineNote(), Second->engineNote());
+  EXPECT_EQ(encryptSample(*First), encryptSample(*Second));
+  kernelCacheClear();
+}
+
+} // namespace

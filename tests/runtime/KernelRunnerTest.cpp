@@ -99,6 +99,34 @@ TEST(KernelRunner, SelfCheckDemotesWrongNativeKernel) {
       << Runner.fallbackReason();
 }
 
+TEST(KernelRunner, CloneRearmsSelfCheckIndependently) {
+  KernelRunner Runner(xorKernel(archSSE()));
+  Runner.setNativeFn(&bogusNativeKernel);
+  std::unique_ptr<KernelRunner> Clone = Runner.clone();
+  EXPECT_TRUE(Clone->usingNative());
+
+  const unsigned Blocks = Runner.blocksPerCall();
+  std::vector<uint64_t> Plain(size_t{Blocks} * 2, 0x4321), Out(Plain.size());
+  uint64_t Key[2] = {0x0F0F, 0x00FF};
+
+  // The clone runs its own first-batch self-check and demotes itself
+  // without touching the original.
+  Clone->runBatch({{false, Plain.data()}, {true, Key}}, Out.data());
+  for (unsigned B = 0; B < Blocks; ++B)
+    for (unsigned A = 0; A < 2; ++A)
+      EXPECT_EQ(Out[size_t{B} * 2 + A], 0x4321u ^ Key[A]);
+  EXPECT_FALSE(Clone->usingNative());
+  EXPECT_TRUE(Runner.usingNative());
+
+  // The original's own ladder still works, and a clone taken after a
+  // demotion inherits the interpreter rung with its reason.
+  Runner.runBatch({{false, Plain.data()}, {true, Key}}, Out.data());
+  EXPECT_FALSE(Runner.usingNative());
+  std::unique_ptr<KernelRunner> Demoted = Runner.clone();
+  EXPECT_FALSE(Demoted->usingNative());
+  EXPECT_EQ(Demoted->fallbackReason(), Runner.fallbackReason());
+}
+
 /// Scoped environment override, restored on destruction.
 class EnvGuard {
 public:
