@@ -69,7 +69,10 @@ std::optional<UsubaCipher> usuba::bench::makeCipher(
   Config.Target = &Target;
   // The facade auto-selects the host-compiler effort by kernel size and
   // falls back to the simulator when the host cannot run the target ISA.
-  return UsubaCipher::create(Config);
+  CipherResult Result = UsubaCipher::compile(Config);
+  if (!Result)
+    return std::nullopt;
+  return std::move(Result).take();
 }
 
 double usuba::bench::ctrCyclesPerByte(UsubaCipher &Cipher) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "runtime/ThreadPool.h"
+#include "support/Telemetry.h"
 
 using namespace usuba;
 using namespace usuba::bench;
@@ -187,7 +188,12 @@ int main(int Argc, char **Argv) {
       }
     }
   }
-  std::fprintf(Out, "\n  ]\n}\n");
+  // The process-wide telemetry snapshot rides along with every report:
+  // empty counters when telemetry is off, full cycle attribution
+  // (pack/kernel/unpack, threadpool utilization, cache hits) under
+  // USUBA_TELEMETRY=1.
+  std::fprintf(Out, "\n  ],\n  \"telemetry\": %s\n}\n",
+               Telemetry::instance().snapshotJson().c_str());
   if (OutPath)
     std::fclose(Out);
   return 0;

@@ -73,12 +73,14 @@ int main(int argc, char **argv) {
   Config.Id = CipherId::Chacha20;
   Config.Slicing = SlicingMode::Vslice;
   Config.Target = &archAVX2();
-  std::string Error;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
-  if (!Cipher) {
-    std::fprintf(stderr, "compilation failed: %s\n", Error.c_str());
+  CipherResult Result = UsubaCipher::compile(Config);
+  if (!Result) {
+    std::fprintf(stderr, "compilation failed:\n%s\n",
+                 Result.errorText().c_str());
     return 1;
   }
+  // Keep the optional shape: the rest of the example uses Cipher->.
+  std::optional<UsubaCipher> Cipher = std::move(Result).take();
   Cipher->setKey(Key, 32);
   std::printf("chacha20/vslice on %s: %u blocks per call, %s execution\n",
               Config.Target->Name, Cipher->blocksPerCall(),

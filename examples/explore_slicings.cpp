@@ -59,17 +59,17 @@ int main() {
       Config.Id = Id;
       Config.Slicing = Mode;
       Config.Target = &Target;
-      std::string Error;
-      std::optional<UsubaCipher> Cipher =
-          UsubaCipher::create(Config, &Error);
-      if (!Cipher) {
+      CipherResult Result = UsubaCipher::compile(Config);
+      if (!Result) {
         // The type error explains exactly which operator is missing —
-        // the paper's "meaningful feedback" (Section 3.1).
+        // the paper's "meaningful feedback" (Section 3.1). The result
+        // carries the diagnostics structurally; render the first one.
         std::printf("%-11s %-10s rejected: %s\n", cipherName(Id),
                     slicingName(Mode),
-                    Error.substr(0, 80).c_str());
+                    Result.diagnostics()[0].str().substr(0, 80).c_str());
         continue;
       }
+      std::optional<UsubaCipher> Cipher = std::move(Result).take();
       Key.resize(Cipher->keyBytes(), 0x33);
       Cipher->setKey(Key.data(), Key.size());
 

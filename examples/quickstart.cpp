@@ -33,39 +33,46 @@ int main() {
   Config.Target = &archAVX2();
   Config.Interleave = true; // Table 2's winning flag for Rectangle
 
-  std::string Error;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
-  if (!Cipher) {
-    std::fprintf(stderr, "compilation failed: %s\n", Error.c_str());
+  CipherResult Result = UsubaCipher::compile(Config);
+  if (!Result) {
+    // On failure the result carries the compiler's diagnostics (with
+    // source locations), not just a flat string.
+    std::fprintf(stderr, "compilation failed:\n%s\n",
+                 Result.errorText().c_str());
     return 1;
   }
+  UsubaCipher Cipher = std::move(Result).take();
 
+  CipherStats Stats = Cipher.stats();
   std::printf("compiled rectangle/vslice for %s: %zu instructions, "
               "%u blocks per call, interleave x%u, %s execution\n",
-              Config.Target->Name, Cipher->kernel().InstrCount,
-              Cipher->blocksPerCall(), Cipher->kernel().InterleaveFactor(),
-              Cipher->isNative() ? "native (JIT-compiled C)"
-                                 : "simulated");
+              Config.Target->Name, Cipher.kernel().InstrCount,
+              Cipher.blocksPerCall(), Cipher.kernel().InterleaveFactor(),
+              Stats.Native ? "native (JIT-compiled C)" : "simulated");
+  if (!Stats.Native)
+    std::printf("  (fallback: %s — %s)\n",
+                engineFallbackName(Stats.Fallback),
+                Stats.FallbackDetail.c_str());
 
   // 2. Encrypt. Counter mode turns the block cipher into a stream cipher
   //    (and is what makes slicing shine: every block is independent).
   const uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   const uint8_t Nonce[8] = {0x4e, 0x4f, 0x4e, 0x43, 0x45, 0x21, 0x21, 0x21};
-  Cipher->setKey(Key, sizeof(Key));
+  Cipher.setKey(Key, sizeof(Key));
 
   std::string Message = "Usuba: high-throughput and constant-time "
                         "ciphers, by construction.";
   std::string Buffer = Message;
-  Cipher->ctrXor(reinterpret_cast<uint8_t *>(Buffer.data()), Buffer.size(),
-                 Nonce, /*Counter=*/0);
+  Cipher.ctrXor(reinterpret_cast<uint8_t *>(Buffer.data()), Buffer.size(),
+                Nonce, /*Counter=*/0);
   std::printf("ciphertext (hex): ");
   for (unsigned char C : Buffer.substr(0, 24))
     std::printf("%02x", C);
   std::printf("...\n");
 
   // 3. Decrypt: counter mode is its own inverse.
-  Cipher->ctrXor(reinterpret_cast<uint8_t *>(Buffer.data()), Buffer.size(),
-                 Nonce, /*Counter=*/0);
+  Cipher.ctrXor(reinterpret_cast<uint8_t *>(Buffer.data()), Buffer.size(),
+                Nonce, /*Counter=*/0);
   std::printf("roundtrip: %s\n",
               Buffer == Message ? "ok" : "MISMATCH (bug!)");
 

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for usuba-cpp.
+
+Compares a freshly produced bench/throughput_json report against the
+checked-in baseline (BENCH_throughput.json), row by row. Rows are keyed
+by (cipher, slicing, arch, threads) and judged on ctr_cycles_per_byte:
+a row fails when
+
+    fresh_cycles_per_byte > baseline_cycles_per_byte * tolerance
+
+The tolerance is a ratio (3.0 = "no more than 3x slower"), deliberately
+loose by default because CI machines differ from the machine that
+produced the baseline; it bounds catastrophic regressions (a kernel
+silently falling off the native engine, an accidental O(n^2) in the
+transposition) rather than chasing single-digit percent noise. Override
+per run with --tolerance or USUBA_BENCH_TOLERANCE.
+
+Rows whose engine differs between baseline and fresh (e.g. "native" vs
+"interp" on a machine without a host C compiler) are reported and
+skipped: cross-engine cycle counts are not comparable, and engine
+availability is a property of the machine, not the change under test.
+
+--self-test runs the gate's own logic machine-independently: the
+baseline must pass against itself, and must fail once a synthetic 2x
+slowdown is injected into one row. CI runs this before the real
+comparison so a broken gate cannot silently wave regressions through.
+
+Exit codes: 0 pass, 1 regression (or failed self-test), 2 usage/IO.
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print("bench_gate: cannot read %s: %s" % (path, e), file=sys.stderr)
+        sys.exit(2)
+    if "results" not in doc or not isinstance(doc["results"], list):
+        print("bench_gate: %s has no results array" % path, file=sys.stderr)
+        sys.exit(2)
+    # Older reports have no "telemetry" key; nothing here depends on it.
+    return doc
+
+
+def row_key(row):
+    return (row["cipher"], row["slicing"], row["arch"], row["threads"])
+
+
+def index_rows(doc, path):
+    rows = {}
+    for row in doc["results"]:
+        try:
+            key = row_key(row)
+        except KeyError as e:
+            print("bench_gate: %s: row missing %s" % (path, e),
+                  file=sys.stderr)
+            sys.exit(2)
+        if key in rows:
+            print("bench_gate: %s: duplicate row %s" % (path, key),
+                  file=sys.stderr)
+            sys.exit(2)
+        rows[key] = row
+    return rows
+
+
+def compare(baseline, fresh, tolerance, quiet=False):
+    """Returns (failures, compared, skipped) comparing fresh vs baseline."""
+    base_rows = index_rows(baseline, "baseline")
+    fresh_rows = index_rows(fresh, "fresh")
+    failures = []
+    compared = 0
+    skipped = []
+
+    for key, base in sorted(base_rows.items()):
+        name = "%s/%s/%s/t%d" % key
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            skipped.append((name, "not measured in fresh report"))
+            continue
+        if base.get("engine") != fresh_row.get("engine"):
+            skipped.append((name, "engine %s -> %s (not comparable)" %
+                            (base.get("engine"), fresh_row.get("engine"))))
+            continue
+        base_cpb = base["ctr_cycles_per_byte"]
+        fresh_cpb = fresh_row["ctr_cycles_per_byte"]
+        if base_cpb <= 0 or fresh_cpb <= 0:
+            skipped.append((name, "non-positive cycles/byte"))
+            continue
+        compared += 1
+        ratio = fresh_cpb / base_cpb
+        verdict = "ok" if ratio <= tolerance else "FAIL"
+        if not quiet:
+            print("  %-32s %8.4f -> %8.4f cpb  (%.2fx, limit %.2fx)  %s" %
+                  (name, base_cpb, fresh_cpb, ratio, tolerance, verdict))
+        if ratio > tolerance:
+            failures.append((name, ratio))
+
+    for name, why in skipped:
+        print("  %-32s skipped: %s" % (name, why))
+    return failures, compared, skipped
+
+
+def self_test(baseline, tolerance):
+    """Machine-independent gate validation: baseline passes against
+    itself; an injected 2x slowdown in one row must fail."""
+    failures, compared, _ = compare(baseline, baseline, tolerance, quiet=True)
+    if failures or compared == 0:
+        print("bench_gate self-test FAILED: baseline vs itself gave %d "
+              "failures over %d rows" % (len(failures), compared))
+        return False
+
+    slowed = copy.deepcopy(baseline)
+    victim = slowed["results"][0]
+    victim["ctr_cycles_per_byte"] *= 2.0 * max(tolerance, 1.0)
+    failures, _, _ = compare(baseline, slowed, tolerance, quiet=True)
+    if len(failures) != 1:
+        print("bench_gate self-test FAILED: injected slowdown in %s "
+              "produced %d failures (want 1)" %
+              (row_key(victim), len(failures)))
+        return False
+    print("bench_gate self-test OK: clean baseline passes, injected "
+          "%.1fx slowdown in %s fails" %
+          (2.0 * max(tolerance, 1.0), failures[0][0]))
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare a fresh throughput report against the baseline")
+    parser.add_argument("baseline", help="checked-in BENCH_throughput.json")
+    parser.add_argument("fresh", nargs="?",
+                        help="freshly produced report (omit with --self-test)")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("USUBA_BENCH_TOLERANCE",
+                                                     "3.0")),
+                        help="max allowed fresh/baseline cycles-per-byte "
+                             "ratio (default: USUBA_BENCH_TOLERANCE or 3.0)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the gate against the baseline alone")
+    args = parser.parse_args()
+
+    if args.tolerance <= 0:
+        print("bench_gate: tolerance must be positive", file=sys.stderr)
+        return 2
+
+    baseline = load_report(args.baseline)
+    if args.self_test:
+        return 0 if self_test(baseline, args.tolerance) else 1
+
+    if not args.fresh:
+        parser.error("fresh report required unless --self-test")
+    fresh = load_report(args.fresh)
+    print("bench_gate: %s vs %s (tolerance %.2fx)" %
+          (args.fresh, args.baseline, args.tolerance))
+    failures, compared, skipped = compare(baseline, fresh, args.tolerance)
+    if compared == 0:
+        print("bench_gate: no comparable rows (%d skipped) — treating as "
+              "pass; the gate needs at least one shared (cipher, slicing, "
+              "arch, threads) row with matching engines" % len(skipped))
+        return 0
+    if failures:
+        print("bench_gate: %d of %d rows regressed beyond %.2fx:" %
+              (len(failures), compared, args.tolerance))
+        for name, ratio in failures:
+            print("  %s: %.2fx" % (name, ratio))
+        return 1
+    print("bench_gate: OK (%d rows compared, %d skipped)" %
+          (compared, len(skipped)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,15 @@
 #              fuzz corpus, the JIT's fork/timeout path, and the layout
 #              property tests (SWAR transposition vs the naive oracle).
 #   perf     - perf smoke: Release build of the JSON throughput bench,
-#              run on two small configs single- and multi-threaded, and
-#              the output validated (well-formed JSON, every field
-#              present, positive rates). Catches runtime-path breakage
-#              that correctness tests alone would miss.
+#              run on two small configs single- and multi-threaded with
+#              telemetry on, the output validated (well-formed JSON,
+#              every field present, positive rates, telemetry snapshot
+#              attached), the chrome://tracing trace archived as a CI
+#              artifact, and the fresh numbers gated against the
+#              checked-in BENCH_throughput.json by scripts/bench_gate.py
+#              (tolerance: USUBA_BENCH_TOLERANCE, default 3.0x). Catches
+#              runtime-path breakage and catastrophic slowdowns that
+#              correctness tests alone would miss.
 #
 # Usage: scripts/ci.sh [release|debug|sanitize|perf|all]   (default: all)
 set -eu
@@ -33,7 +38,11 @@ perf_smoke() {
   echo "==== ci job: perf ===="
   cmake -B build-ci-perf -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "build-ci-perf" -j "$JOBS" --target throughput_json
-  USUBA_BENCH_BYTES=262144 ./build-ci-perf/bench/throughput_json \
+  # Telemetry on: the report carries the cycle-attribution snapshot and
+  # the run leaves a chrome://tracing trace behind as the CI artifact.
+  USUBA_BENCH_BYTES=262144 USUBA_TELEMETRY=1 \
+    USUBA_TRACE_FILE=build-ci-perf/usuba_trace.json \
+    ./build-ci-perf/bench/throughput_json \
     --ciphers rectangle,chacha20 --archs sse --threads 1,2 \
     --out build-ci-perf/BENCH_throughput.json
   python3 - build-ci-perf/BENCH_throughput.json <<'EOF'
@@ -49,8 +58,20 @@ for r in results:
         assert key in r, "missing field: " + key
     assert r["ctr_cycles_per_byte"] > 0, "non-positive cycles/byte"
     assert r["ctr_gib_per_s"] > 0, "non-positive GiB/s"
-print("perf-smoke OK: %d records" % len(results))
+telemetry = doc["telemetry"]
+assert telemetry["enabled"], "telemetry snapshot missing from report"
+assert telemetry["counters"], "telemetry enabled but no counters recorded"
+print("perf-smoke OK: %d records, %d telemetry counters"
+      % (len(results), len(telemetry["counters"])))
 EOF
+  test -s build-ci-perf/usuba_trace.json ||
+    { echo "perf-smoke: trace artifact missing" >&2; exit 1; }
+  echo "perf-smoke: trace artifact at build-ci-perf/usuba_trace.json"
+  # The gate validates itself machine-independently first, then holds
+  # the fresh numbers against the checked-in baseline.
+  python3 scripts/bench_gate.py BENCH_throughput.json --self-test
+  python3 scripts/bench_gate.py BENCH_throughput.json \
+    build-ci-perf/BENCH_throughput.json
 }
 
 case "$MATRIX" in

@@ -6,6 +6,8 @@
 
 #include "cbackend/NativeJit.h"
 
+#include "support/Telemetry.h"
+
 #include <dlfcn.h>
 #include <signal.h>
 #include <sys/stat.h>
@@ -232,9 +234,13 @@ bool NativeKernel::hostCompilerAvailable() {
 
 std::optional<NativeKernel> NativeKernel::compile(const EmittedC &Emitted,
                                                   const std::string &OptLevel,
-                                                  JitError *Error) {
+                                                  JitError *Error,
+                                                  unsigned TimeoutMillis) {
+  TelemetrySpan JitSpan("jit.compile");
+  telemetryCount("jit.attempts");
   auto Fail = [&](JitError::Reason Kind,
                   std::string Why) -> std::optional<NativeKernel> {
+    telemetryCount("jit.failures");
     if (Error)
       *Error = {Kind, std::move(Why)};
     return std::nullopt;
@@ -267,7 +273,8 @@ std::optional<NativeKernel> NativeKernel::compile(const EmittedC &Emitted,
     return Command;
   };
 
-  unsigned TimeoutMillis = compileTimeoutMillis();
+  if (!TimeoutMillis)
+    TimeoutMillis = compileTimeoutMillis();
   auto Start = std::chrono::steady_clock::now();
   RunOutcome Out = runCommandWithTimeout(CommandFor(OptLevel), TimeoutMillis);
   std::string Retry = retryLevelFor(OptLevel);
@@ -279,7 +286,7 @@ std::optional<NativeKernel> NativeKernel::compile(const EmittedC &Emitted,
   if (Out.Result == RunResult::TimedOut)
     return Fail(JitError::Reason::Timeout,
                 "host compiler exceeded " + std::to_string(TimeoutMillis) +
-                    " ms (USUBA_CC_TIMEOUT_MS)");
+                    " ms (CcTimeoutMillis / USUBA_CC_TIMEOUT_MS)");
   if (Out.Result != RunResult::Ok)
     return Fail(JitError::Reason::CompileFailed,
                 "host compiler failed (exit " + std::to_string(Out.ExitCode) +
@@ -301,8 +308,10 @@ std::optional<NativeKernel> NativeKernel::compile(const EmittedC &Emitted,
 
 std::optional<NativeKernel> usuba::jitCompile(const CompiledKernel &Kernel,
                                               const std::string &OptLevel,
-                                              JitError *Error) {
-  return NativeKernel::compile(emitC(Kernel.Prog), OptLevel, Error);
+                                              JitError *Error,
+                                              unsigned TimeoutMillis) {
+  return NativeKernel::compile(emitC(Kernel.Prog), OptLevel, Error,
+                               TimeoutMillis);
 }
 
 bool usuba::hostSupports(const Arch &Target) {

@@ -63,15 +63,17 @@ public:
   double compileSeconds() const { return CompileSeconds; }
 
   /// Compiles \p Emitted at the given optimization level. The host
-  /// compiler runs under a wall-clock timeout (USUBA_CC_TIMEOUT_MS,
-  /// default 120000; 0 disables) and a failed or timed-out compile is
-  /// retried once at a lower optimization level before giving up.
-  /// Returns std::nullopt with a structured reason in \p Error when the
-  /// kernel could not be produced. Extra flags are appended, letting
-  /// benches sweep compiler options.
+  /// compiler runs under a wall-clock timeout and a failed or timed-out
+  /// compile is retried once at a lower optimization level before giving
+  /// up. \p TimeoutMillis = 0 defers to USUBA_CC_TIMEOUT_MS (default
+  /// 120000 ms); callers with a typed CipherConfig pass
+  /// effectiveCcTimeoutMillis() explicitly. Returns std::nullopt with a
+  /// structured reason in \p Error when the kernel could not be
+  /// produced. Extra flags are appended, letting benches sweep compiler
+  /// options.
   static std::optional<NativeKernel>
   compile(const EmittedC &Emitted, const std::string &OptLevel = "-O3",
-          JitError *Error = nullptr);
+          JitError *Error = nullptr, unsigned TimeoutMillis = 0);
 
   /// True when a host C compiler appears usable. The probe result is
   /// cached per compiler name, so tests can flip USUBA_CC between
@@ -89,9 +91,11 @@ private:
 
 /// Convenience: emit C for \p Kernel and JIT it. The host must support
 /// the kernel's target ISA to *run* it (callers check hostSupports()).
+/// \p TimeoutMillis = 0 defers to USUBA_CC_TIMEOUT_MS / the default.
 std::optional<NativeKernel> jitCompile(const CompiledKernel &Kernel,
                                        const std::string &OptLevel = "-O3",
-                                       JitError *Error = nullptr);
+                                       JitError *Error = nullptr,
+                                       unsigned TimeoutMillis = 0);
 
 /// True when the machine running this process can execute code for
 /// \p Target (checked via CPUID-backed GCC builtins).

@@ -8,6 +8,7 @@
 
 #include "cbackend/NativeJit.h"
 #include "ciphers/UsubaCipher.h"
+#include "support/Telemetry.h"
 
 #include <cstdlib>
 #include <map>
@@ -65,32 +66,44 @@ std::string usuba::kernelCacheKey(const CipherConfig &Config,
   Key += '|';
   Key += Variant;
   // The JIT shells out to an environment-selected compiler: its identity
-  // and policy are part of what the cached artifact depends on.
+  // is part of what the cached artifact depends on.
   appendEnv(Key, "USUBA_CC");
   appendEnv(Key, "CC");
-  appendEnv(Key, "USUBA_JIT_OPT");
-  appendEnv(Key, "USUBA_CC_TIMEOUT_MS");
+  // JIT policy as the typed knobs resolve it (explicit > env > default).
+  // An empty opt level means the per-kernel size heuristic, which is
+  // deterministic from the kernel and so safe to share under one key.
+  Key += "|opt=";
+  if (!Config.JitOptLevel.empty())
+    Key += Config.JitOptLevel;
+  else if (const char *Env = std::getenv("USUBA_JIT_OPT"))
+    Key += Env;
+  Key += "|ccms=";
+  Key += std::to_string(Config.effectiveCcTimeoutMillis());
   return Key;
 }
 
 std::shared_ptr<const CachedKernel>
-usuba::kernelCacheLookup(const std::string &Key) {
-  if (!kernelCacheEnabled())
+usuba::kernelCacheLookup(const std::string &Key, bool Enabled) {
+  if (!Enabled)
     return nullptr;
   CacheState &S = state();
   std::lock_guard<std::mutex> Lock(S.M);
   auto It = S.Entries.find(Key);
   if (It == S.Entries.end()) {
     ++S.Misses;
+    telemetryCount("kernelcache.misses");
     return nullptr;
   }
   ++S.Hits;
+  telemetryCount("kernelcache.hits");
   return It->second;
 }
 
-void usuba::kernelCacheStore(const std::string &Key, CachedKernel Entry) {
-  if (!kernelCacheEnabled())
+void usuba::kernelCacheStore(const std::string &Key, CachedKernel Entry,
+                             bool Enabled) {
+  if (!Enabled)
     return;
+  telemetryCount("kernelcache.stores");
   CacheState &S = state();
   auto Shared = std::make_shared<const CachedKernel>(std::move(Entry));
   std::lock_guard<std::mutex> Lock(S.M);

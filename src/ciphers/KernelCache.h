@@ -14,18 +14,22 @@
 ///
 /// The key covers everything that changes the compiled artifact: cipher,
 /// slicing, target architecture, the back-end toggles, the JIT policy
-/// (PreferNative) and — because the JIT shells out to an
-/// environment-selected host compiler — the USUBA_CC / USUBA_JIT_OPT /
-/// USUBA_CC_TIMEOUT_MS environment values in effect. Entries store the
+/// (PreferNative), the *effective* JIT knobs (the typed CipherConfig
+/// fields JitOptLevel / CcTimeoutMillis after environment fallback) and
+/// — because the JIT shells out to an environment-selected host compiler
+/// — the USUBA_CC / CC environment values in effect. Entries store the
 /// CompiledKernel (copied out per cipher instance; a KernelRunner owns
 /// its program) plus the shared dlopen'd NativeKernel, which is
 /// re-entrant and safely shared across instances and threads. A failed
 /// JIT attempt is cached too (as a null NativeKernel with the fallback
-/// note) so a fleet of instances does not re-run a doomed host-compiler
-/// invocation; changing the JIT environment changes the key and retries.
+/// kind and note) so a fleet of instances does not re-run a doomed
+/// host-compiler invocation; changing the JIT knobs changes the key and
+/// retries.
 ///
-/// Disable with USUBA_KERNEL_CACHE=0 (checked per lookup/store, so tests
-/// can flip it).
+/// Participation: CipherConfig::UseKernelCache when set, else enabled
+/// unless USUBA_KERNEL_CACHE=0 (checked per lookup/store, so tests can
+/// flip it). Lookups and stores feed the kernelcache.* telemetry
+/// counters when telemetry is enabled.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +46,7 @@ namespace usuba {
 
 class NativeKernel;
 struct CipherConfig;
+enum class EngineFallback : uint8_t;
 
 /// One cached compilation result.
 struct CachedKernel {
@@ -52,22 +57,30 @@ struct CachedKernel {
   /// The degradation-ladder note to install when Native is null but
   /// native execution was requested.
   std::string EngineNote;
+  /// The structured fallback kind matching EngineNote (value-initialized
+  /// to EngineFallback::None).
+  EngineFallback FallbackKind{};
 };
 
 /// The canonical cache key for \p Config compiling \p Variant
-/// ("enc"/"dec"). Includes the JIT-relevant environment.
+/// ("enc"/"dec"). Includes the effective JIT knobs and the compiler
+/// identity environment.
 std::string kernelCacheKey(const CipherConfig &Config, const char *Variant);
 
-/// True unless USUBA_KERNEL_CACHE=0.
+/// The environment default: true unless USUBA_KERNEL_CACHE=0. Callers
+/// holding a CipherConfig should pass Config.effectiveKernelCache() to
+/// lookup/store instead, which lets the typed knob override this.
 bool kernelCacheEnabled();
 
-/// Returns the cached entry for \p Key, or null on a miss (or when the
-/// cache is disabled). Thread-safe.
-std::shared_ptr<const CachedKernel> kernelCacheLookup(const std::string &Key);
+/// Returns the cached entry for \p Key, or null on a miss (or when
+/// \p Enabled is false). Thread-safe.
+std::shared_ptr<const CachedKernel>
+kernelCacheLookup(const std::string &Key, bool Enabled = kernelCacheEnabled());
 
-/// Stores \p Entry under \p Key (no-op when the cache is disabled).
+/// Stores \p Entry under \p Key (no-op when \p Enabled is false).
 /// Thread-safe; an existing entry is kept (first writer wins).
-void kernelCacheStore(const std::string &Key, CachedKernel Entry);
+void kernelCacheStore(const std::string &Key, CachedKernel Entry,
+                      bool Enabled = kernelCacheEnabled());
 
 /// Drops every entry (tests; also frees the dlopen handles of unused
 /// kernels).

@@ -17,6 +17,7 @@
 #include "ciphers/UsubaSources.h"
 #include "runtime/Layout.h"
 #include "runtime/ThreadPool.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -86,15 +87,6 @@ CipherMeta metaFor(CipherId Id) {
   return {rectangleSource, rectangleDecSource, Dir::Vert, 16, 10, 8, 4};
 }
 
-/// Host-compiler effort: -O3 normally, degrading for enormous bitsliced
-/// kernels; USUBA_JIT_OPT overrides.
-std::string jitOptLevelFor(const CompiledKernel &Kernel) {
-  std::string Opt = Kernel.InstrCount > 50000 ? "-O0" : "-O3";
-  if (const char *Env = std::getenv("USUBA_JIT_OPT"))
-    Opt = Env;
-  return Opt;
-}
-
 /// The compile options a CipherConfig denotes (shared by the forward and
 /// inverse kernels).
 CompileOptions optionsFor(const CipherConfig &Config) {
@@ -144,6 +136,49 @@ uint32_t load32le(const uint8_t *Bytes) {
 
 } // namespace
 
+std::string CipherConfig::effectiveJitOptLevel(size_t InstrCount) const {
+  if (!JitOptLevel.empty())
+    return JitOptLevel;
+  if (const char *Env = std::getenv("USUBA_JIT_OPT"))
+    return Env;
+  // Size heuristic: -O3 normally, degrading for enormous bitsliced
+  // kernels where high -O hits host-compiler pathologies.
+  return InstrCount > 50000 ? "-O0" : "-O3";
+}
+
+unsigned CipherConfig::effectiveCcTimeoutMillis() const {
+  if (CcTimeoutMillis)
+    return CcTimeoutMillis;
+  if (const char *Env = std::getenv("USUBA_CC_TIMEOUT_MS")) {
+    char *End = nullptr;
+    unsigned long Value = std::strtoul(Env, &End, 10);
+    // "0" is a valid setting: it disables the timeout entirely.
+    if (End != Env && *End == '\0')
+      return static_cast<unsigned>(Value);
+  }
+  return 120000;
+}
+
+bool CipherConfig::effectiveKernelCache() const {
+  if (UseKernelCache)
+    return *UseKernelCache;
+  return kernelCacheEnabled();
+}
+
+std::string CipherStats::telemetryJson() const {
+  return Telemetry::instance().snapshotJson();
+}
+
+std::string CipherResult::errorText() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}
+
 UsubaCipher::UsubaCipher(CipherConfig ConfigIn, CompiledKernel Kernel)
     : Config(ConfigIn),
       Runner(std::make_unique<KernelRunner>(std::move(Kernel))) {
@@ -155,27 +190,54 @@ UsubaCipher::UsubaCipher(CipherConfig ConfigIn, CompiledKernel Kernel)
 
 namespace {
 
+/// The structured fallback kind for a JIT failure.
+EngineFallback fallbackKindFor(JitError::Reason Kind) {
+  switch (Kind) {
+  case JitError::Reason::None:
+    return EngineFallback::None;
+  case JitError::Reason::NoCompiler:
+    return EngineFallback::NoCompiler;
+  case JitError::Reason::WriteFailed:
+    return EngineFallback::WriteFailed;
+  case JitError::Reason::CompileFailed:
+    return EngineFallback::CompileFailed;
+  case JitError::Reason::Timeout:
+    return EngineFallback::Timeout;
+  case JitError::Reason::LoadFailed:
+    return EngineFallback::LoadFailed;
+  case JitError::Reason::SymbolMissing:
+    return EngineFallback::SymbolMissing;
+  }
+  return EngineFallback::None;
+}
+
 /// JITs \p Runner's kernel when \p Config asks for native execution,
 /// recording a ladder note on any failure. Returns the shared native
 /// handle (null when not native).
 std::shared_ptr<NativeKernel> attachNative(const CipherConfig &Config,
                                            KernelRunner &Runner) {
-  if (!Config.PreferNative)
+  if (!Config.PreferNative) {
+    Runner.noteFallback(EngineFallback::NativeDisabled,
+                        "native execution disabled by configuration");
     return nullptr;
+  }
   const Arch &Target = Config.Target ? *Config.Target : archGP64();
   // Degradation ladder rung 1: JIT the emitted C. Any failure —
   // unsupported host ISA, missing compiler, compile error, timeout —
   // leaves execution on the interpreter with the reason recorded.
   if (!hostSupports(Target)) {
-    Runner.noteFallback(std::string("host CPU cannot execute ") + Target.Name +
-                        " code");
+    Runner.noteFallback(EngineFallback::HostUnsupported,
+                        std::string("host CPU cannot execute ") + Target.Name +
+                            " code");
     return nullptr;
   }
   JitError Err;
-  std::optional<NativeKernel> Native =
-      jitCompile(Runner.kernel(), jitOptLevelFor(Runner.kernel()), &Err);
+  std::optional<NativeKernel> Native = jitCompile(
+      Runner.kernel(),
+      Config.effectiveJitOptLevel(Runner.kernel().InstrCount), &Err,
+      Config.effectiveCcTimeoutMillis());
   if (!Native) {
-    Runner.noteFallback(Err.str());
+    Runner.noteFallback(fallbackKindFor(Err.Kind), Err.str());
     return nullptr;
   }
   auto Shared = std::make_shared<NativeKernel>(std::move(*Native));
@@ -187,28 +249,33 @@ std::shared_ptr<NativeKernel> attachNative(const CipherConfig &Config,
 std::shared_ptr<NativeKernel> attachCached(const CipherConfig &Config,
                                            const CachedKernel &Cached,
                                            KernelRunner &Runner) {
-  if (!Config.PreferNative)
+  if (!Config.PreferNative) {
+    Runner.noteFallback(EngineFallback::NativeDisabled,
+                        "native execution disabled by configuration");
     return nullptr;
+  }
   if (Cached.Native) {
     Runner.setNativeFn(Cached.Native->fn());
     return Cached.Native;
   }
-  Runner.noteFallback(Cached.EngineNote);
+  Runner.noteFallback(Cached.FallbackKind, Cached.EngineNote);
   return nullptr;
 }
 
 } // namespace
 
-std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
-                                               std::string *Error) {
+CipherResult UsubaCipher::compile(const CipherConfig &Config) {
+  TelemetrySpan CompileSpan("cipher.compile");
   CipherMeta Meta = metaFor(Config.Id);
+  const bool CacheOn = Config.effectiveKernelCache();
 
   std::string CacheKey = kernelCacheKey(Config, "enc");
   if (std::shared_ptr<const CachedKernel> Cached =
-          kernelCacheLookup(CacheKey)) {
+          kernelCacheLookup(CacheKey, CacheOn)) {
     UsubaCipher Cipher(Config, Cached->Kernel);
     Cipher.Native = attachCached(Config, *Cached, *Cipher.Runner);
-    return Cipher;
+    Cipher.FromCache = true;
+    return CipherResult(std::move(Cipher));
   }
 
   CompileOptions Options = optionsFor(Config);
@@ -216,17 +283,44 @@ std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
   std::optional<CompiledKernel> Kernel =
       compileUsuba(Meta.Source(), Options, Diags);
   if (!Kernel) {
-    if (Error)
-      *Error = Diags.diagnostics().empty() ? "compilation failed"
-                                           : Diags.diagnostics()[0].str();
-    return std::nullopt;
+    telemetryCount("cipher.compile_failures");
+    std::vector<Diagnostic> Out = Diags.diagnostics();
+    if (Out.empty())
+      Out.push_back({DiagSeverity::Error, SourceLoc(), "compilation failed"});
+    return CipherResult(std::move(Out));
   }
 
   UsubaCipher Cipher(Config, std::move(*Kernel));
   Cipher.Native = attachNative(Config, *Cipher.Runner);
-  kernelCacheStore(CacheKey, {Cipher.Runner->kernel(), Cipher.Native,
-                              Cipher.Runner->fallbackReason()});
-  return Cipher;
+  kernelCacheStore(CacheKey,
+                   {Cipher.Runner->kernel(), Cipher.Native,
+                    Cipher.Runner->fallbackReason(),
+                    Cipher.Runner->fallbackKind()},
+                   CacheOn);
+  return CipherResult(std::move(Cipher));
+}
+
+std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
+                                               std::string *Error) {
+  CipherResult Result = compile(Config);
+  if (!Result) {
+    if (Error)
+      *Error = Result.diagnostics()[0].str();
+    return std::nullopt;
+  }
+  return std::move(Result).take();
+}
+
+CipherStats UsubaCipher::stats() const {
+  CipherStats S;
+  S.Native = Runner->usingNative();
+  S.Fallback = Runner->fallbackKind();
+  S.FallbackDetail = Runner->fallbackReason();
+  S.FromKernelCache = FromCache;
+  S.InstrCount = Runner->kernel().InstrCount;
+  S.SkippedPasses = Runner->kernel().SkippedPasses;
+  S.PassStats = Runner->kernel().PassStats;
+  return S;
 }
 
 bool UsubaCipher::ensureDecryptRunner() {
@@ -236,9 +330,10 @@ bool UsubaCipher::ensureDecryptRunner() {
   if (!Meta.DecSource)
     return Config.Id == CipherId::Des; // DES reuses the forward kernel
 
+  const bool CacheOn = Config.effectiveKernelCache();
   std::string CacheKey = kernelCacheKey(Config, "dec");
   if (std::shared_ptr<const CachedKernel> Cached =
-          kernelCacheLookup(CacheKey)) {
+          kernelCacheLookup(CacheKey, CacheOn)) {
     DecRunner = std::make_unique<KernelRunner>(Cached->Kernel);
     DecNative = attachCached(Config, *Cached, *DecRunner);
     return true;
@@ -252,8 +347,10 @@ bool UsubaCipher::ensureDecryptRunner() {
     return false;
   DecRunner = std::make_unique<KernelRunner>(std::move(*Kernel));
   DecNative = attachNative(Config, *DecRunner);
-  kernelCacheStore(CacheKey, {DecRunner->kernel(), DecNative,
-                              DecRunner->fallbackReason()});
+  kernelCacheStore(CacheKey,
+                   {DecRunner->kernel(), DecNative,
+                    DecRunner->fallbackReason(), DecRunner->fallbackKind()},
+                   CacheOn);
   return true;
 }
 
@@ -646,7 +743,7 @@ std::vector<SlicingMode> UsubaCipher::supportedSlicings(CipherId Id,
     Config.Slicing = Mode;
     Config.Target = &Target;
     Config.PreferNative = false;
-    if (create(Config))
+    if (compile(Config))
       Out.push_back(Mode);
   }
   return Out;

@@ -12,10 +12,13 @@
 /// transposition runtime in ECB or CTR mode.
 ///
 /// \code
-///   auto Cipher = UsubaCipher::create(
+///   CipherResult Result = UsubaCipher::compile(
 ///       {CipherId::Chacha20, SlicingMode::Vslice, &archAVX2()});
-///   Cipher->setKey(Key, 32);
-///   Cipher->ctrXor(Buffer, Size, Nonce, /*Counter=*/0);
+///   if (!Result)
+///     report(Result.errorText()); // structured diagnostics available too
+///   UsubaCipher &Cipher = Result.cipher();
+///   Cipher.setKey(Key, 32);
+///   Cipher.ctrXor(Buffer, Size, Nonce, /*Counter=*/0);
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -25,6 +28,7 @@
 
 #include "core/Compiler.h"
 #include "runtime/KernelRunner.h"
+#include "support/Diagnostics.h"
 
 #include <cstdint>
 #include <memory>
@@ -35,6 +39,7 @@
 namespace usuba {
 
 class NativeKernel;
+class CipherResult;
 
 /// The bundled primitives of the paper's evaluation.
 enum class CipherId : uint8_t {
@@ -75,13 +80,74 @@ struct CipherConfig {
   /// single-threaded engine. Small calls always run single-threaded
   /// regardless (see DESIGN.md on the threading model).
   unsigned Threads = 0;
+
+  // --- Typed runtime knobs. Each resolves as: explicit field value >
+  // environment variable > built-in default; the effective*() helpers
+  // below implement the precedence. New fields are appended so existing
+  // aggregate initializers keep their meaning.
+
+  /// Optimization level handed to the JIT's host-compiler invocation
+  /// ("-O0".."-O3"). Empty = USUBA_JIT_OPT when set, else a per-kernel
+  /// size heuristic (-O0 for enormous bitsliced kernels, -O3 otherwise).
+  std::string JitOptLevel;
+  /// Wall-clock budget for one host-compiler invocation, in
+  /// milliseconds. 0 = USUBA_CC_TIMEOUT_MS when set (where "0" disables
+  /// the timeout), else 120000.
+  unsigned CcTimeoutMillis = 0;
+  /// Process-wide kernel-cache participation. Unset = enabled unless
+  /// USUBA_KERNEL_CACHE=0.
+  std::optional<bool> UseKernelCache;
+
+  /// The opt level the JIT will actually use for a kernel of
+  /// \p InstrCount instructions.
+  std::string effectiveJitOptLevel(size_t InstrCount) const;
+  /// The host-compiler timeout the JIT will actually use (0 = no
+  /// timeout, reachable only via USUBA_CC_TIMEOUT_MS=0).
+  unsigned effectiveCcTimeoutMillis() const;
+  /// Whether kernel-cache lookups/stores happen for this config.
+  bool effectiveKernelCache() const;
+};
+
+/// Stable per-cipher statistics (satellite of the telemetry subsystem):
+/// which engine rung execution is on and why, whether creation hit the
+/// process-wide kernel cache, and what the compiler pipeline did.
+/// Callers switch on the enums instead of string-matching the old
+/// engineNote() text.
+struct CipherStats {
+  /// True when running JIT-compiled native code.
+  bool Native = false;
+  /// Why execution is not on the native rung (None when it is).
+  EngineFallback Fallback = EngineFallback::None;
+  /// Human-readable detail for Fallback (empty when None).
+  std::string FallbackDetail;
+  /// True when creation was served by the process-wide kernel cache
+  /// (no Usubac pipeline or host-compiler run).
+  bool FromKernelCache = false;
+  /// Final instruction count of the compiled forward kernel.
+  uint64_t InstrCount = 0;
+  /// Back-end passes the budget/checkpoint machinery skipped.
+  std::vector<std::string> SkippedPasses;
+  /// Per-pass wall time / instruction delta (see PassStat).
+  std::vector<PassStat> PassStats;
+
+  /// The process-wide telemetry snapshot (Telemetry::snapshotJson()) —
+  /// the handle tying per-cipher stats to the global counters/spans.
+  /// "{}"-like minimal object when telemetry is disabled.
+  std::string telemetryJson() const;
 };
 
 /// A ready-to-use sliced cipher.
 class UsubaCipher {
 public:
-  /// Compiles the cipher; returns std::nullopt with \p Error set when the
-  /// slicing is unsupported (a type error, e.g. bitsliced ChaCha20).
+  /// Compiles the cipher. The result either holds a ready cipher or the
+  /// structured diagnostics explaining why the (cipher, slicing, target)
+  /// combination was rejected (a type error, e.g. bitsliced ChaCha20).
+  static CipherResult compile(const CipherConfig &Config);
+
+  /// Deprecated null-on-failure facade: compile() flattened to
+  /// std::optional plus a rendered first diagnostic in \p Error.
+  [[deprecated("use UsubaCipher::compile(), which returns structured "
+               "diagnostics")]]
   static std::optional<UsubaCipher> create(const CipherConfig &Config,
                                            std::string *Error = nullptr);
 
@@ -102,8 +168,12 @@ public:
   /// call; outputs are bit-identical for every thread count.
   void setThreadCount(unsigned N) { ThreadsRequested = N; }
   unsigned threadCount() const;
-  /// When not native: which rung of the degradation ladder was taken and
-  /// why (JIT failure, timeout, self-check demotion). Empty when native.
+  /// Stable statistics: engine rung + structured fallback kind, kernel
+  /// cache hit, pass skips/timings — see CipherStats.
+  CipherStats stats() const;
+  /// Deprecated free-text form of stats().FallbackDetail. When not
+  /// native: which rung of the degradation ladder was taken and why.
+  [[deprecated("switch on stats().Fallback instead of string-matching")]]
   const std::string &engineNote() const { return Runner->fallbackReason(); }
 
   /// Installs the key (expands the key schedule — which, as in the
@@ -197,7 +267,37 @@ private:
   unsigned ThreadsRequested = 0;        ///< 0 = auto
   unsigned AtomsPerBlockStructured = 0; ///< pre-flattening atom count
   unsigned StructuredBits = 0;          ///< atom size pre-flattening
+  bool FromCache = false; ///< creation was served by the kernel cache
   EngineWorkers EncWorkers, DecWorkers; ///< per-thread runners + scratch
+};
+
+/// What UsubaCipher::compile returns: a ready cipher, or the compiler's
+/// structured diagnostics. Testable as a boolean; the diagnostics are
+/// the DiagnosticEngine's verbatim output, so callers can inspect
+/// severities and locations instead of parsing a flat string.
+class CipherResult {
+public:
+  /*implicit*/ CipherResult(UsubaCipher Cipher) : Value(std::move(Cipher)) {}
+  explicit CipherResult(std::vector<Diagnostic> Diags)
+      : Diags(std::move(Diags)) {}
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The compiled cipher; only valid when ok().
+  UsubaCipher &cipher() & { return *Value; }
+  const UsubaCipher &cipher() const & { return *Value; }
+  /// Moves the cipher out (for callers that outlive the result).
+  UsubaCipher take() && { return std::move(*Value); }
+
+  /// Empty when ok().
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  /// Every diagnostic rendered one per line ("" when ok()).
+  std::string errorText() const;
+
+private:
+  std::optional<UsubaCipher> Value;
+  std::vector<Diagnostic> Diags;
 };
 
 } // namespace usuba

@@ -11,6 +11,7 @@
 #include "core/Passes.h"
 #include "core/TypeChecker.h"
 #include "support/BitUtils.h"
+#include "support/Telemetry.h"
 #include "frontend/Parser.h"
 
 #include <chrono>
@@ -32,8 +33,10 @@ class CheckpointedPassRunner {
 public:
   CheckpointedPassRunner(U0Program &Prog, const CompileOptions &Options,
                          DiagnosticEngine &Diags,
-                         std::vector<std::string> &Skipped)
+                         std::vector<std::string> &Skipped,
+                         std::vector<PassStat> &Stats)
       : Prog(Prog), Options(Options), Diags(Diags), Skipped(Skipped),
+        Stats(Stats),
         Deadline(std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(Options.Budgets.MaxOptimizeMillis)) {
   }
@@ -41,13 +44,20 @@ public:
   /// Runs \p Pass under a checkpoint. \p Pass returns an empty string on
   /// success or a refusal reason (e.g. a budget it will not fit in), in
   /// which case it must leave the program untouched. Returns true when
-  /// the pass ran and was kept.
+  /// the pass ran and was kept. Every attempt — kept, rolled back or
+  /// refused — is accounted in CompiledKernel::PassStats (wall time,
+  /// instruction-count delta, budget consumption) and, when telemetry is
+  /// enabled, as a "usubac.pass.<name>" span.
   bool run(const char *Name, const std::function<std::string(U0Program &)> &Pass) {
     if (Options.Budgets.MaxOptimizeMillis &&
         std::chrono::steady_clock::now() > Deadline) {
       skip(Name, "optimization time budget exhausted");
+      recordStat(Name, 0, 0, /*Kept=*/false);
       return false;
     }
+    const int64_t InstrsBefore = totalInstrs();
+    const uint64_t StartNs = telemetry_detail::nowNanos();
+    const auto Start = std::chrono::steady_clock::now();
     U0Program Snapshot = Prog;
     std::string Reason;
     try {
@@ -70,14 +80,45 @@ public:
       else if (!verifyConstantTime(Prog))
         Reason = "post-pass constant-time verification failed";
     }
-    if (Reason.empty())
+    const bool Kept = Reason.empty();
+    if (!Kept)
+      Prog = std::move(Snapshot);
+    const double Millis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
+    recordStat(Name, Millis, Kept ? totalInstrs() - InstrsBefore : 0, Kept);
+    if (telemetryEnabled())
+      Telemetry::instance().span(std::string("usubac.pass.") + Name, StartNs,
+                                 telemetry_detail::nowNanos() - StartNs,
+                                 telemetry_detail::threadTag());
+    if (Kept)
       return true;
-    Prog = std::move(Snapshot);
     skip(Name, Reason);
     return false;
   }
 
 private:
+  int64_t totalInstrs() const {
+    int64_t Total = 0;
+    for (const U0Function &F : Prog.Funcs)
+      Total += static_cast<int64_t>(F.Instrs.size());
+    return Total;
+  }
+
+  void recordStat(const char *Name, double Millis, int64_t InstrDelta,
+                  bool Kept) {
+    double Remaining = 0;
+    if (Options.Budgets.MaxOptimizeMillis) {
+      Remaining = std::chrono::duration<double, std::milli>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (Remaining < 0)
+        Remaining = 0;
+    }
+    Stats.push_back({Name, Millis, InstrDelta, Kept, Remaining});
+  }
+
   void skip(const char *Name, const std::string &Reason) {
     Skipped.push_back(Name);
     Diags.warning({}, "optimization pass '" + std::string(Name) +
@@ -89,12 +130,14 @@ private:
   const CompileOptions &Options;
   DiagnosticEngine &Diags;
   std::vector<std::string> &Skipped;
+  std::vector<PassStat> &Stats;
   std::chrono::steady_clock::time_point Deadline;
 };
 
 std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
                                              const CompileOptions &Options,
                                              DiagnosticEngine &Diags) {
+  TelemetrySpan CompileSpan("usubac.compile");
   const Arch &Target = Options.Target ? *Options.Target : archGP64();
 
   // --- Front-end (Section 3.1) -------------------------------------------
@@ -164,7 +207,8 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
   // CheckpointedPassRunner). Passes required for execution — barrier
   // stripping and the final whole-program verification — stay outside it.
   bool BitsliceMode = MBits == 1;
-  CheckpointedPassRunner Runner(U0, Options, Diags, Result.SkippedPasses);
+  CheckpointedPassRunner Runner(U0, Options, Diags, Result.SkippedPasses,
+                                Result.PassStats);
   auto NoRefusal = [](auto Fn) {
     return [Fn](U0Program &P) {
       Fn(P);

@@ -82,6 +82,25 @@ struct CompileOptions {
   unsigned effectiveWordBits() const { return Bitslice ? 1 : WordBits; }
 };
 
+/// Per-pass accounting recorded by the checkpointed back-end runner:
+/// what ran, for how long, what it did to the code size, and how much of
+/// the optimization time budget was left when it finished. The benches
+/// and CipherStats surface these so ablation numbers are attributable
+/// pass by pass.
+struct PassStat {
+  std::string Name;
+  /// Wall time of the pass body (including its post-pass verification).
+  double WallMillis = 0;
+  /// Instruction-count change across all functions (negative = shrank).
+  int64_t InstrDelta = 0;
+  /// False when the pass was rolled back or refused (it then also
+  /// appears in SkippedPasses).
+  bool Kept = true;
+  /// Milliseconds left of Budgets.MaxOptimizeMillis when the pass
+  /// finished (0 when no budget is configured).
+  double BudgetMillisRemaining = 0;
+};
+
 /// A compiled kernel: the optimized Usuba0 program plus the entry node's
 /// interface types (needed by the transposition runtime) and a few
 /// statistics the benches report.
@@ -100,6 +119,9 @@ struct CompiledKernel {
   /// resource budget. Empty in healthy compilations; each entry was also
   /// reported as a warning diagnostic.
   std::vector<std::string> SkippedPasses;
+  /// One entry per checkpointed back-end pass that was attempted, in
+  /// execution order (see PassStat).
+  std::vector<PassStat> PassStats;
   unsigned InterleaveFactor() const { return Prog.InterleaveFactor; }
 };
 

@@ -6,9 +6,37 @@
 
 #include "runtime/KernelRunner.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 
 using namespace usuba;
+
+const char *usuba::engineFallbackName(EngineFallback Kind) {
+  switch (Kind) {
+  case EngineFallback::None:
+    return "none";
+  case EngineFallback::NativeDisabled:
+    return "native-disabled";
+  case EngineFallback::HostUnsupported:
+    return "host-unsupported";
+  case EngineFallback::NoCompiler:
+    return "no-compiler";
+  case EngineFallback::WriteFailed:
+    return "write-failed";
+  case EngineFallback::CompileFailed:
+    return "compile-failed";
+  case EngineFallback::Timeout:
+    return "timeout";
+  case EngineFallback::LoadFailed:
+    return "load-failed";
+  case EngineFallback::SymbolMissing:
+    return "symbol-missing";
+  case EngineFallback::SelfCheckMismatch:
+    return "self-check-mismatch";
+  }
+  return "?";
+}
 
 KernelRunner::KernelRunner(CompiledKernel KernelIn)
     : Kernel(std::move(KernelIn)),
@@ -42,10 +70,12 @@ KernelRunner::KernelRunner(CompiledKernel KernelIn)
 
 std::unique_ptr<KernelRunner> KernelRunner::clone() const {
   auto Copy = std::make_unique<KernelRunner>(Kernel);
-  if (Native)
+  if (Native) {
     Copy->setNativeFn(Native); // re-arms the clone's own self-check
-  else
+  } else {
     Copy->FallbackReason = FallbackReason;
+    Copy->FallbackKind = FallbackKind;
+  }
   return Copy;
 }
 
@@ -56,6 +86,25 @@ void KernelRunner::kernelOnly() {
   }
   Interp.run(InRegs.data(), OutRegs.data());
 }
+
+namespace {
+/// One enabled-ness decision per batch: cycle reads and counter flushes
+/// only happen in profiling mode; the disabled path costs one relaxed
+/// load at construction.
+struct BatchProfile {
+  BatchProfile() : On(telemetryEnabled()), Last(On ? telemetryCycles() : 0) {}
+  /// Attributes the cycles since the previous mark to \p Counter.
+  void mark(const char *Counter) {
+    if (!On)
+      return;
+    uint64_t Now = telemetryCycles();
+    Telemetry::instance().count(Counter, Now - Last);
+    Last = Now;
+  }
+  const bool On;
+  uint64_t Last;
+};
+} // namespace
 
 void KernelRunner::packInputs(const std::vector<ParamData> &Params,
                               bool IntoDense, bool IntoRegs) {
@@ -116,12 +165,17 @@ void KernelRunner::runBatch(const std::vector<ParamData> &Params,
   const bool WantNative = Native != nullptr;
   const bool Check = WantNative && !SelfChecked;
 
+  BatchProfile Profile;
+  if (Profile.On)
+    Telemetry::instance().count("runner.batches", 1);
+
   // Zero-copy data path: the native rung packs straight into the dense
   // ABI buffer (no SimdReg staging); the interpreter rung packs into
   // SimdRegs. The first native batch packs both for the differential
   // self-check.
   packInputs(Params, /*IntoDense=*/WantNative, /*IntoRegs=*/!WantNative ||
                                                    Check);
+  Profile.mark("runner.pack_cycles");
 
   auto UnpackRegs = [&](const SimdReg *Regs, uint64_t *Atoms) {
     for (unsigned T = 0; T < K; ++T)
@@ -149,16 +203,23 @@ void KernelRunner::runBatch(const std::vector<ParamData> &Params,
     if (std::equal(NativeAtoms.begin(), NativeAtoms.end(), OutAtoms))
       return;
     Native = nullptr;
-    noteFallback("self-check: native kernel output disagrees with the "
+    if (Profile.On)
+      Telemetry::instance().count("runner.selfcheck_demotions", 1);
+    noteFallback(EngineFallback::SelfCheckMismatch,
+                 "self-check: native kernel output disagrees with the "
                  "interpreter on the first batch");
     return; // OutAtoms already holds the interpreter's (trusted) result
   }
 
   if (WantNative) {
     Native(DenseIn.data(), DenseOut.data());
+    Profile.mark("runner.kernel_cycles");
     UnpackDense(DenseOut.data(), OutAtoms);
+    Profile.mark("runner.unpack_cycles");
     return;
   }
   Interp.run(InRegs.data(), OutRegs.data());
+  Profile.mark("runner.kernel_cycles");
   UnpackRegs(OutRegs.data(), OutAtoms);
+  Profile.mark("runner.unpack_cycles");
 }

@@ -42,6 +42,26 @@
 
 namespace usuba {
 
+/// Why execution is not on the native rung — the structured counterpart
+/// of the free-text fallback reason, stable for callers (CipherStats)
+/// and tests to switch on instead of string-matching. The first seven
+/// values mirror JitError::Reason; the last two are runtime demotions.
+enum class EngineFallback : uint8_t {
+  None,              ///< on the native rung (or never requested)
+  NativeDisabled,    ///< PreferNative was false
+  HostUnsupported,   ///< host CPU cannot execute the target ISA
+  NoCompiler,        ///< no usable host C compiler
+  WriteFailed,       ///< JIT scratch files could not be created
+  CompileFailed,     ///< host compiler exited nonzero
+  Timeout,           ///< host compiler exceeded the wall-clock budget
+  LoadFailed,        ///< dlopen rejected the produced object
+  SymbolMissing,     ///< the object does not export usuba_kernel
+  SelfCheckMismatch, ///< first-batch output disagreed with the interpreter
+};
+
+/// Stable name of a fallback kind ("none", "compile-failed", ...).
+const char *engineFallbackName(EngineFallback Kind);
+
 /// Executes a compiled kernel over batches of blocks.
 ///
 /// Parameters are classified by the caller: PerBlock inputs differ per
@@ -88,8 +108,10 @@ public:
   void setNativeFn(NativeFn Fn) {
     Native = Fn;
     SelfChecked = false;
-    if (Fn)
+    if (Fn) {
       FallbackReason.clear();
+      FallbackKind = EngineFallback::None;
+    }
   }
   bool usingNative() const { return Native != nullptr; }
   Engine engine() const {
@@ -97,11 +119,16 @@ public:
   }
 
   /// Records why the native rung was abandoned (or never reached) — the
-  /// owner calls this with the JitError, and the self-check demotion
-  /// calls it internally.
-  void noteFallback(std::string Reason) { FallbackReason = std::move(Reason); }
+  /// owner calls this with the JitError's kind and rendering, and the
+  /// self-check demotion calls it internally.
+  void noteFallback(EngineFallback Kind, std::string Reason) {
+    FallbackKind = Kind;
+    FallbackReason = std::move(Reason);
+  }
   /// Empty while on the native rung (or when native was never requested).
   const std::string &fallbackReason() const { return FallbackReason; }
+  /// EngineFallback::None while on the native rung.
+  EngineFallback fallbackKind() const { return FallbackKind; }
 
   /// One input parameter for a batch.
   struct ParamData {
@@ -146,6 +173,7 @@ private:
   NativeFn Native = nullptr;
   bool SelfChecked = false;
   std::string FallbackReason;
+  EngineFallback FallbackKind = EngineFallback::None;
   unsigned BlocksPerCall;
   unsigned Slices;
   unsigned OutLen;

@@ -6,6 +6,8 @@
 
 #include "runtime/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <cstdlib>
 
@@ -80,6 +82,40 @@ void ThreadPool::run(unsigned N, const std::function<void(unsigned)> &Fn) {
     Fn(0);
     return;
   }
+  // Profiling mode: wrap the job so every participant records its busy
+  // span ("threadpool.worker", tid = participant index) and the job its
+  // wall time. Span utilization = worker_busy_ns / slot_ns — how much of
+  // the fork-join window the workers actually computed for.
+  if (telemetryEnabled()) {
+    const uint64_t JobStart = telemetry_detail::nowNanos();
+    std::atomic<uint64_t> BusyNs{0};
+    std::function<void(unsigned)> Wrapped = [&](unsigned T) {
+      const uint64_t Start = telemetry_detail::nowNanos();
+      try {
+        Fn(T);
+      } catch (...) {
+        BusyNs.fetch_add(telemetry_detail::nowNanos() - Start,
+                         std::memory_order_relaxed);
+        throw;
+      }
+      const uint64_t Dur = telemetry_detail::nowNanos() - Start;
+      BusyNs.fetch_add(Dur, std::memory_order_relaxed);
+      Telemetry::instance().span("threadpool.worker", Start, Dur, T);
+    };
+    runJob(N, Wrapped);
+    const uint64_t Wall = telemetry_detail::nowNanos() - JobStart;
+    Telemetry &T = Telemetry::instance();
+    T.count("threadpool.jobs", 1);
+    T.count("threadpool.job_wall_ns", Wall);
+    T.count("threadpool.worker_busy_ns",
+            BusyNs.load(std::memory_order_relaxed));
+    T.count("threadpool.slot_ns", Wall * N);
+    return;
+  }
+  runJob(N, Fn);
+}
+
+void ThreadPool::runJob(unsigned N, const std::function<void(unsigned)> &Fn) {
   std::lock_guard<std::mutex> Gate(JobGate);
   ensureWorkers(N - 1);
   {

@@ -50,11 +50,18 @@ public:
   /// demand up to N-1 (capped at MaxThreads-1). Exceptions from any
   /// invocation are captured and the first one rethrown on the caller.
   /// Concurrent run() calls from different threads serialize.
+  ///
+  /// When telemetry is enabled, every participant's busy time is
+  /// recorded as a "threadpool.worker" span and the job contributes to
+  /// the threadpool.job_wall_ns / worker_busy_ns / slot_ns utilization
+  /// counters; disabled, the instrumentation costs one relaxed load.
   void run(unsigned N, const std::function<void(unsigned)> &Fn);
 
 private:
   ThreadPool() = default;
 
+  /// The uninstrumented fork-join (run() wraps it with telemetry).
+  void runJob(unsigned N, const std::function<void(unsigned)> &Fn);
   void ensureWorkers(unsigned Count);
   void workerMain(unsigned Index, uint64_t Seen);
 

@@ -1,0 +1,231 @@
+//===- Telemetry.cpp - Counters, spans and trace events -------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace usuba;
+
+namespace usuba {
+namespace telemetry_detail {
+
+std::atomic<bool> Enabled{[] {
+  const char *Env = std::getenv("USUBA_TELEMETRY");
+  return Env && Env[0] == '1';
+}()};
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t threadTag() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Tag = Next.fetch_add(1, std::memory_order_relaxed);
+  return Tag;
+}
+
+} // namespace telemetry_detail
+} // namespace usuba
+
+namespace {
+
+/// JSON string escaping for counter/span names (they are ASCII
+/// identifiers in practice, but the sink must never emit broken JSON).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Registered once, the first time telemetry is constructed with
+/// USUBA_TRACE_FILE set: dumps the trace on normal process exit so CLI
+/// tools and benches need no explicit sink call.
+void writeTraceAtExit() {
+  if (const char *Path = std::getenv("USUBA_TRACE_FILE"))
+    usuba::Telemetry::instance().writeTrace(Path);
+}
+
+} // namespace
+
+Telemetry &Telemetry::instance() {
+  static Telemetry *T = [] {
+    auto *Instance = new Telemetry; // leaked: probes may run during exit
+    if (std::getenv("USUBA_TRACE_FILE"))
+      std::atexit(writeTraceAtExit);
+    return Instance;
+  }();
+  return *T;
+}
+
+void Telemetry::setEnabled(bool On) {
+  telemetry_detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+void Telemetry::count(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters[Name] += Delta;
+}
+
+void Telemetry::span(const std::string &Name, uint64_t StartNs,
+                     uint64_t DurNs, uint32_t Tid) {
+  std::lock_guard<std::mutex> Lock(M);
+  SpanStat &Stat = Spans[Name];
+  ++Stat.Calls;
+  Stat.TotalNs += DurNs;
+  if (Events.size() < MaxTraceEvents)
+    Events.push_back({Name, StartNs, DurNs, Tid});
+  else
+    ++DroppedEvents;
+}
+
+uint64_t Telemetry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+Telemetry::SpanStat Telemetry::spanStat(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Spans.find(Name);
+  return It == Spans.end() ? SpanStat{} : It->second;
+}
+
+size_t Telemetry::counterCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters.size();
+}
+
+size_t Telemetry::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters.clear();
+  Spans.clear();
+  Events.clear();
+  DroppedEvents = 0;
+}
+
+std::string Telemetry::snapshotJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::ostringstream Out;
+  Out << "{\"enabled\": " << (telemetryEnabled() ? "true" : "false")
+      << ", \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    Out << (First ? "" : ", ") << '"' << jsonEscape(Name) << "\": " << Value;
+    First = false;
+  }
+  Out << "}, \"spans\": {";
+  First = true;
+  for (const auto &[Name, Stat] : Spans) {
+    Out << (First ? "" : ", ") << '"' << jsonEscape(Name)
+        << "\": {\"calls\": " << Stat.Calls
+        << ", \"total_ns\": " << Stat.TotalNs << "}";
+    First = false;
+  }
+  Out << "}, \"trace_events\": " << Events.size()
+      << ", \"dropped_events\": " << DroppedEvents << "}";
+  return Out.str();
+}
+
+bool Telemetry::writeTrace(const std::string &Path) const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  // Timestamps are microseconds relative to the earliest recorded span,
+  // which is what chrome://tracing / Perfetto lay out best.
+  uint64_t Epoch = UINT64_MAX;
+  for (const Event &E : Events)
+    Epoch = std::min(Epoch, E.StartNs);
+  if (Epoch == UINT64_MAX)
+    Epoch = 0;
+  Out << "{\"traceEvents\": [";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const Event &E = Events[I];
+    char Buf[64];
+    Out << (I ? ",\n  " : "\n  ") << "{\"name\": \"" << jsonEscape(E.Name)
+        << "\", \"cat\": \"usuba\", \"ph\": \"X\"";
+    std::snprintf(Buf, sizeof(Buf), ", \"ts\": %.3f, \"dur\": %.3f",
+                  static_cast<double>(E.StartNs - Epoch) / 1000.0,
+                  static_cast<double>(E.DurNs) / 1000.0);
+    Out << Buf << ", \"pid\": 1, \"tid\": " << E.Tid << "}";
+  }
+  Out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Out.flush();
+  return static_cast<bool>(Out);
+}
+
+std::string Telemetry::summary() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::ostringstream Out;
+  Out << "telemetry " << (telemetryEnabled() ? "enabled" : "disabled")
+      << ": " << Spans.size() << " span names, " << Counters.size()
+      << " counters, " << Events.size() << " trace events";
+  if (DroppedEvents)
+    Out << " (" << DroppedEvents << " dropped)";
+  Out << "\n";
+  if (!Spans.empty()) {
+    Out << "  spans (name, calls, total ms, avg us):\n";
+    for (const auto &[Name, Stat] : Spans) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "    %-32s %8llu %10.3f %10.3f\n",
+                    Name.c_str(),
+                    static_cast<unsigned long long>(Stat.Calls),
+                    static_cast<double>(Stat.TotalNs) / 1e6,
+                    Stat.Calls ? static_cast<double>(Stat.TotalNs) /
+                                     static_cast<double>(Stat.Calls) / 1e3
+                               : 0.0);
+      Out << Buf;
+    }
+  }
+  if (!Counters.empty()) {
+    Out << "  counters:\n";
+    for (const auto &[Name, Value] : Counters) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "    %-32s %12llu\n", Name.c_str(),
+                    static_cast<unsigned long long>(Value));
+      Out << Buf;
+    }
+  }
+  return Out.str();
+}

@@ -1,0 +1,172 @@
+//===- Telemetry.h - Counters, spans and trace events -----------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead, process-wide telemetry registry for the whole stack:
+/// the compiler passes, the transposition runtime, the threaded engine
+/// and the kernel cache all report through it, and the benches embed its
+/// snapshot so a throughput number is always accompanied by *where* the
+/// cycles went (pack/unpack vs kernel vs threading overhead).
+///
+/// Overhead contract: telemetry is disabled by default, and a disabled
+/// probe costs one relaxed atomic load (the counters, maps and the
+/// event ring are untouched). The contract is enforced by
+/// TelemetryTest.DisabledProbeIsCheap and the "zero observable
+/// counters" test; the enabled path takes a mutex and is a profiling
+/// mode, not a production default.
+///
+/// Three sinks:
+///  * snapshotJson()  — structured JSON of every counter and span
+///    aggregate (embedded in BENCH_throughput.json by the bench);
+///  * writeTrace()    — a chrome://tracing / Perfetto "trace events"
+///    file of the recorded spans;
+///  * summary()       — a human-readable table for terminals.
+///
+/// Enabling: Telemetry::instance().setEnabled(true), or the environment
+/// (USUBA_TELEMETRY=1). USUBA_TRACE_FILE=path additionally dumps the
+/// trace at process exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_SUPPORT_TELEMETRY_H
+#define USUBA_SUPPORT_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace usuba {
+
+namespace telemetry_detail {
+/// The global gate. Out of class so the inline fast path needs no
+/// function call into Telemetry.
+extern std::atomic<bool> Enabled;
+
+/// Monotonic nanoseconds (steady_clock).
+uint64_t nowNanos();
+
+/// A small dense id for the calling thread (0 for the first thread to
+/// ask, 1 for the next, ...) — the "tid" of trace events.
+uint32_t threadTag();
+} // namespace telemetry_detail
+
+/// The disabled-path check every probe starts with: one relaxed load.
+inline bool telemetryEnabled() {
+  return telemetry_detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// Serialized cycle counter for attribution counters (falls back to
+/// nanoseconds off x86 — the *ratios* between pack/kernel/unpack are
+/// what matters, and both units are monotonic).
+inline uint64_t telemetryCycles() {
+#if defined(__x86_64__)
+  return __builtin_ia32_rdtsc();
+#else
+  return telemetry_detail::nowNanos();
+#endif
+}
+
+/// The process-wide registry. All methods are thread-safe; the enabled
+/// hot-path cost is one mutex acquisition per probe.
+class Telemetry {
+public:
+  /// Trace-event ring capacity: recording stops (and
+  /// telemetry.dropped_events counts) once full, bounding memory on
+  /// long profiled runs.
+  static constexpr size_t MaxTraceEvents = size_t{1} << 16;
+
+  static Telemetry &instance();
+
+  bool enabled() const { return telemetryEnabled(); }
+  void setEnabled(bool On);
+
+  /// Adds \p Delta to the named monotonic counter.
+  void count(const std::string &Name, uint64_t Delta = 1);
+
+  /// Records one completed span: aggregates into (calls, total_ns) under
+  /// \p Name and appends a trace event (until the ring is full).
+  void span(const std::string &Name, uint64_t StartNs, uint64_t DurNs,
+            uint32_t Tid);
+
+  /// Aggregate of every span recorded under one name.
+  struct SpanStat {
+    uint64_t Calls = 0;
+    uint64_t TotalNs = 0;
+  };
+
+  /// Observability for tests: current counter value (0 when absent),
+  /// span aggregate, and how many counters / events exist at all.
+  uint64_t counter(const std::string &Name) const;
+  SpanStat spanStat(const std::string &Name) const;
+  size_t counterCount() const;
+  size_t eventCount() const;
+
+  /// Drops every counter, span aggregate and trace event (tests and
+  /// per-run bench isolation). The enabled flag is unchanged.
+  void reset();
+
+  /// Sink 1: structured JSON snapshot of counters and span aggregates.
+  std::string snapshotJson() const;
+
+  /// Sink 2: chrome://tracing "trace events" JSON. Returns false when
+  /// the file cannot be written.
+  bool writeTrace(const std::string &Path) const;
+
+  /// Sink 3: a human-readable summary table.
+  std::string summary() const;
+
+private:
+  Telemetry() = default;
+
+  struct Event {
+    std::string Name;
+    uint64_t StartNs;
+    uint64_t DurNs;
+    uint32_t Tid;
+  };
+
+  mutable std::mutex M;
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, SpanStat> Spans;
+  std::vector<Event> Events;
+  uint64_t DroppedEvents = 0;
+};
+
+/// Counter probe: no-op (one relaxed load) when telemetry is disabled.
+inline void telemetryCount(const char *Name, uint64_t Delta = 1) {
+  if (telemetryEnabled())
+    Telemetry::instance().count(Name, Delta);
+}
+
+/// RAII span probe: captures the start time at construction and records
+/// the span at destruction. Decides enabled-ness once, at construction
+/// (a span straddling an enable/disable flip is attributed to its start
+/// state).
+class TelemetrySpan {
+public:
+  explicit TelemetrySpan(const char *Name)
+      : Name(telemetryEnabled() ? Name : nullptr),
+        StartNs(this->Name ? telemetry_detail::nowNanos() : 0) {}
+  ~TelemetrySpan() {
+    if (Name)
+      Telemetry::instance().span(Name, StartNs,
+                                 telemetry_detail::nowNanos() - StartNs,
+                                 telemetry_detail::threadTag());
+  }
+  TelemetrySpan(const TelemetrySpan &) = delete;
+  TelemetrySpan &operator=(const TelemetrySpan &) = delete;
+
+private:
+  const char *Name;
+  uint64_t StartNs;
+};
+
+} // namespace usuba
+
+#endif // USUBA_SUPPORT_TELEMETRY_H

@@ -1,0 +1,230 @@
+//===- CipherApiTest.cpp - Redesigned facade tests ------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The redesigned creation API: UsubaCipher::compile() returning a
+/// CipherResult (cipher or structured diagnostics), the typed
+/// CipherConfig knobs with explicit > environment > default precedence,
+/// and the stable CipherStats replacing free-text engine notes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaCipher.h"
+
+#include "ciphers/KernelCache.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+using namespace usuba;
+
+namespace {
+
+/// Scoped environment override, restored on destruction.
+class EnvGuard {
+public:
+  EnvGuard(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name))
+      Saved = Old;
+    if (Value)
+      setenv(Name, Value, 1);
+    else
+      unsetenv(Name);
+  }
+  ~EnvGuard() {
+    if (Saved)
+      setenv(Name, Saved->c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+TEST(CipherApi, CompileFailureCarriesStructuredDiagnostics) {
+  // Bitsliced ChaCha20 is the paper's canonical type rejection: the
+  // additions cannot be expressed on single bits.
+  CipherConfig Config;
+  Config.Id = CipherId::Chacha20;
+  Config.Slicing = SlicingMode::Bitslice;
+  Config.Target = &archAVX2();
+  Config.PreferNative = false;
+  CipherResult Result = UsubaCipher::compile(Config);
+
+  ASSERT_FALSE(Result.ok());
+  ASSERT_FALSE(static_cast<bool>(Result));
+  ASSERT_FALSE(Result.diagnostics().empty());
+  bool SawError = false;
+  for (const Diagnostic &D : Result.diagnostics())
+    if (D.Severity == DiagSeverity::Error || D.Severity == DiagSeverity::Fatal)
+      SawError = true;
+  EXPECT_TRUE(SawError);
+  // The rendered text is the same diagnostics, one per line.
+  EXPECT_NE(Result.errorText().find("Arith"), std::string::npos)
+      << Result.errorText();
+  EXPECT_NE(Result.errorText().find(Result.diagnostics()[0].str()),
+            std::string::npos);
+}
+
+TEST(CipherApi, CompileSuccessHasNoDiagnostics) {
+  CipherConfig Config;
+  Config.Id = CipherId::Rectangle;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archSSE();
+  Config.PreferNative = false;
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+  EXPECT_TRUE(Result.diagnostics().empty());
+  EXPECT_TRUE(Result.errorText().empty());
+  EXPECT_EQ(Result.cipher().blockBytes(), 8u);
+}
+
+TEST(CipherApi, JitOptLevelPrecedence) {
+  CipherConfig Config;
+
+  // Default: the per-kernel size heuristic.
+  {
+    EnvGuard Unset("USUBA_JIT_OPT", nullptr);
+    EXPECT_EQ(Config.effectiveJitOptLevel(100), "-O3");
+    EXPECT_EQ(Config.effectiveJitOptLevel(100'000), "-O0");
+  }
+  // Environment beats the heuristic.
+  {
+    EnvGuard Env("USUBA_JIT_OPT", "-O1");
+    EXPECT_EQ(Config.effectiveJitOptLevel(100), "-O1");
+    EXPECT_EQ(Config.effectiveJitOptLevel(100'000), "-O1");
+    // Explicit config beats the environment.
+    Config.JitOptLevel = "-O2";
+    EXPECT_EQ(Config.effectiveJitOptLevel(100), "-O2");
+  }
+}
+
+TEST(CipherApi, CcTimeoutPrecedence) {
+  CipherConfig Config;
+  {
+    EnvGuard Unset("USUBA_CC_TIMEOUT_MS", nullptr);
+    EXPECT_EQ(Config.effectiveCcTimeoutMillis(), 120000u);
+  }
+  {
+    EnvGuard Env("USUBA_CC_TIMEOUT_MS", "5000");
+    EXPECT_EQ(Config.effectiveCcTimeoutMillis(), 5000u);
+    // "0" keeps its historical meaning: no timeout.
+    EnvGuard Zero("USUBA_CC_TIMEOUT_MS", "0");
+    EXPECT_EQ(Config.effectiveCcTimeoutMillis(), 0u);
+  }
+  {
+    EnvGuard Env("USUBA_CC_TIMEOUT_MS", "5000");
+    Config.CcTimeoutMillis = 777;
+    EXPECT_EQ(Config.effectiveCcTimeoutMillis(), 777u);
+  }
+  // Garbage in the environment falls back to the default.
+  {
+    CipherConfig Fresh;
+    EnvGuard Env("USUBA_CC_TIMEOUT_MS", "not-a-number");
+    EXPECT_EQ(Fresh.effectiveCcTimeoutMillis(), 120000u);
+  }
+}
+
+TEST(CipherApi, KernelCachePrecedence) {
+  CipherConfig Config;
+  {
+    EnvGuard Unset("USUBA_KERNEL_CACHE", nullptr);
+    EXPECT_TRUE(Config.effectiveKernelCache());
+  }
+  {
+    EnvGuard Off("USUBA_KERNEL_CACHE", "0");
+    EXPECT_FALSE(Config.effectiveKernelCache());
+    Config.UseKernelCache = true; // explicit beats the environment
+    EXPECT_TRUE(Config.effectiveKernelCache());
+  }
+  {
+    EnvGuard Unset("USUBA_KERNEL_CACHE", nullptr);
+    Config.UseKernelCache = false;
+    EXPECT_FALSE(Config.effectiveKernelCache());
+  }
+}
+
+TEST(CipherApi, StatsReportEngineRungAndPipeline) {
+  kernelCacheClear();
+  CipherConfig Config;
+  Config.Id = CipherId::Rectangle;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archSSE();
+  Config.PreferNative = false;
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+  CipherStats Stats = Result.cipher().stats();
+
+  // Native execution was declined by configuration: a structured kind,
+  // not a string to grep.
+  EXPECT_FALSE(Stats.Native);
+  EXPECT_EQ(Stats.Fallback, EngineFallback::NativeDisabled);
+  EXPECT_FALSE(Stats.FallbackDetail.empty());
+  EXPECT_STREQ(engineFallbackName(Stats.Fallback), "native-disabled");
+  EXPECT_FALSE(Stats.FromKernelCache);
+  EXPECT_GT(Stats.InstrCount, 0u);
+  // The checkpointed pipeline reports per-pass timings unconditionally.
+  EXPECT_FALSE(Stats.PassStats.empty());
+  for (const PassStat &P : Stats.PassStats)
+    EXPECT_FALSE(P.Name.empty());
+
+  // Second compile of the same config is served by the kernel cache.
+  CipherResult Cached = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Cached.ok());
+  EXPECT_TRUE(Cached.cipher().stats().FromKernelCache);
+  kernelCacheClear();
+}
+
+TEST(CipherApi, StatsTelemetryHandleIsAlwaysValidJson) {
+  CipherConfig Config;
+  Config.Id = CipherId::Rectangle;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archSSE();
+  Config.PreferNative = false;
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+  std::string Json = Result.cipher().stats().telemetryJson();
+  ASSERT_FALSE(Json.empty());
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+  EXPECT_NE(Json.find("\"enabled\""), std::string::npos);
+}
+
+TEST(CipherApi, CompileUnderTelemetryRecordsPipelineSpans) {
+  // Enable telemetry for the scope of this test only.
+  bool Was = telemetryEnabled();
+  Telemetry::instance().reset();
+  Telemetry::instance().setEnabled(true);
+
+  kernelCacheClear();
+  CipherConfig Config;
+  Config.Id = CipherId::Rectangle;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archSSE();
+  Config.PreferNative = false;
+  Config.UseKernelCache = false; // force a full pipeline run
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+
+  Telemetry &T = Telemetry::instance();
+  EXPECT_GE(T.spanStat("cipher.compile").Calls, 1u);
+  EXPECT_GE(T.spanStat("usubac.compile").Calls, 1u);
+  EXPECT_GE(T.counter("kernelcache.misses") + T.counter("kernelcache.hits"),
+            0u); // cache disabled: no cache counters required
+  EXPECT_GT(T.eventCount(), 0u);
+
+  Telemetry::instance().setEnabled(Was);
+  Telemetry::instance().reset();
+  kernelCacheClear();
+}
+
+} // namespace

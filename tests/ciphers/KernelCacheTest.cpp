@@ -51,6 +51,13 @@ CipherConfig rectangleConfig() {
   return Config;
 }
 
+std::optional<UsubaCipher> makeCipher(const CipherConfig &Config) {
+  CipherResult Result = UsubaCipher::compile(Config);
+  if (!Result)
+    return std::nullopt;
+  return std::move(Result).take();
+}
+
 std::vector<uint8_t> encryptSample(UsubaCipher &Cipher) {
   uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   Cipher.setKey(Key, sizeof(Key));
@@ -66,15 +73,17 @@ TEST(KernelCache, SecondCreateHitsAndMatches) {
   kernelCacheClear();
   CipherConfig Config = rectangleConfig();
 
-  std::optional<UsubaCipher> First = UsubaCipher::create(Config);
+  std::optional<UsubaCipher> First = makeCipher(Config);
   ASSERT_TRUE(First.has_value());
+  EXPECT_FALSE(First->stats().FromKernelCache);
   KernelCacheStats AfterFirst = kernelCacheStats();
   EXPECT_GE(AfterFirst.Misses, 1u);
   EXPECT_GE(AfterFirst.Entries, 1u);
   EXPECT_EQ(AfterFirst.Hits, 0u);
 
-  std::optional<UsubaCipher> Second = UsubaCipher::create(Config);
+  std::optional<UsubaCipher> Second = makeCipher(Config);
   ASSERT_TRUE(Second.has_value());
+  EXPECT_TRUE(Second->stats().FromKernelCache);
   KernelCacheStats AfterSecond = kernelCacheStats();
   EXPECT_GE(AfterSecond.Hits, 1u);
   EXPECT_EQ(AfterSecond.Entries, AfterFirst.Entries); // no recompile
@@ -87,12 +96,32 @@ TEST(KernelCache, DisabledByEnvironment) {
   kernelCacheClear();
   EnvGuard Off("USUBA_KERNEL_CACHE", "0");
   CipherConfig Config = rectangleConfig();
-  ASSERT_TRUE(UsubaCipher::create(Config).has_value());
-  ASSERT_TRUE(UsubaCipher::create(Config).has_value());
+  ASSERT_TRUE(makeCipher(Config).has_value());
+  ASSERT_TRUE(makeCipher(Config).has_value());
   KernelCacheStats Stats = kernelCacheStats();
   EXPECT_EQ(Stats.Entries, 0u);
   EXPECT_EQ(Stats.Hits, 0u);
   EXPECT_EQ(Stats.Misses, 0u);
+}
+
+TEST(KernelCache, TypedKnobOverridesEnvironment) {
+  kernelCacheClear();
+  CipherConfig Config = rectangleConfig();
+
+  // Explicit opt-out wins over an enabling (unset) environment.
+  Config.UseKernelCache = false;
+  ASSERT_TRUE(makeCipher(Config).has_value());
+  EXPECT_EQ(kernelCacheStats().Entries, 0u);
+
+  // Explicit opt-in wins over USUBA_KERNEL_CACHE=0.
+  EnvGuard Off("USUBA_KERNEL_CACHE", "0");
+  Config.UseKernelCache = true;
+  ASSERT_TRUE(makeCipher(Config).has_value());
+  EXPECT_GE(kernelCacheStats().Entries, 1u);
+  std::optional<UsubaCipher> Again = makeCipher(Config);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_TRUE(Again->stats().FromKernelCache);
+  kernelCacheClear();
 }
 
 TEST(KernelCache, KeyCoversConfigVariantAndJitEnvironment) {
@@ -123,6 +152,14 @@ TEST(KernelCache, KeyCoversConfigVariantAndJitEnvironment) {
   CipherConfig Threaded = Config;
   Threaded.Threads = 8;
   EXPECT_EQ(kernelCacheKey(Config, "enc"), kernelCacheKey(Threaded, "enc"));
+
+  // The typed JIT knobs are compilation inputs: each changes the key.
+  CipherConfig Opt = Config;
+  Opt.JitOptLevel = "-O1";
+  EXPECT_NE(kernelCacheKey(Config, "enc"), kernelCacheKey(Opt, "enc"));
+  CipherConfig Budget = Config;
+  Budget.CcTimeoutMillis = 1234;
+  EXPECT_NE(kernelCacheKey(Config, "enc"), kernelCacheKey(Budget, "enc"));
 }
 
 TEST(KernelCache, NativeKernelIsSharedAcrossInstances) {
@@ -132,13 +169,16 @@ TEST(KernelCache, NativeKernelIsSharedAcrossInstances) {
   CipherConfig Config = rectangleConfig();
   Config.PreferNative = true;
 
-  std::optional<UsubaCipher> First = UsubaCipher::create(Config);
+  std::optional<UsubaCipher> First = makeCipher(Config);
   ASSERT_TRUE(First.has_value());
-  std::optional<UsubaCipher> Second = UsubaCipher::create(Config);
+  std::optional<UsubaCipher> Second = makeCipher(Config);
   ASSERT_TRUE(Second.has_value());
   EXPECT_GE(kernelCacheStats().Hits, 1u);
-  EXPECT_EQ(First->isNative(), Second->isNative());
-  EXPECT_EQ(First->engineNote(), Second->engineNote());
+  CipherStats FirstStats = First->stats(), SecondStats = Second->stats();
+  EXPECT_EQ(FirstStats.Native, SecondStats.Native);
+  // A cached failure replays both the kind and the detail.
+  EXPECT_EQ(FirstStats.Fallback, SecondStats.Fallback);
+  EXPECT_EQ(FirstStats.FallbackDetail, SecondStats.FallbackDetail);
   EXPECT_EQ(encryptSample(*First), encryptSample(*Second));
   kernelCacheClear();
 }

@@ -57,10 +57,9 @@ UsubaCipher make(CipherId Id, SlicingMode Mode, bool Native = false) {
   Config.Slicing = Mode;
   Config.Target = &archAVX2();
   Config.PreferNative = Native;
-  std::string Error;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
-  EXPECT_TRUE(Cipher.has_value()) << Error;
-  return std::move(*Cipher);
+  CipherResult Result = UsubaCipher::compile(Config);
+  EXPECT_TRUE(Result.ok()) << Result.errorText();
+  return std::move(Result).take();
 }
 
 std::vector<uint8_t> randomBytes(size_t Size, uint64_t Seed) {
@@ -164,9 +163,9 @@ TEST(ThreadedEngine, ConfigThreadsFieldSeedsTheRequest) {
   Config.Target = &archSSE();
   Config.PreferNative = false;
   Config.Threads = 5;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config);
-  ASSERT_TRUE(Cipher.has_value());
-  EXPECT_EQ(Cipher->threadCount(), 5u);
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Result.ok());
+  EXPECT_EQ(Result.cipher().threadCount(), 5u);
 }
 
 TEST(ThreadedEngine, NativeThreadedCtrMatchesSingleThread) {

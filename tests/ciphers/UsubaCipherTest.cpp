@@ -30,10 +30,9 @@ UsubaCipher make(CipherId Id, SlicingMode Mode, bool Native = false) {
   Config.Slicing = Mode;
   Config.Target = &archAVX2();
   Config.PreferNative = Native;
-  std::string Error;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
-  EXPECT_TRUE(Cipher.has_value()) << Error;
-  return std::move(*Cipher);
+  CipherResult Result = UsubaCipher::compile(Config);
+  EXPECT_TRUE(Result.ok()) << Result.errorText();
+  return std::move(Result).take();
 }
 
 TEST(UsubaCipher, CtrIsInvolutive) {
@@ -209,8 +208,35 @@ TEST(UsubaCipher, RejectsInvalidSlicings) {
   Config.Id = CipherId::Chacha20;
   Config.Slicing = SlicingMode::Bitslice;
   Config.Target = &archAVX2();
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_FALSE(Result.ok());
+  // The failure carries real compiler diagnostics: an Error-severity
+  // entry whose message names the missing typeclass instance.
+  ASSERT_FALSE(Result.diagnostics().empty());
+  bool SawError = false;
+  for (const Diagnostic &D : Result.diagnostics())
+    SawError = SawError || D.Severity == DiagSeverity::Error ||
+               D.Severity == DiagSeverity::Fatal;
+  EXPECT_TRUE(SawError);
+  EXPECT_NE(Result.errorText().find("Arith"), std::string::npos)
+      << Result.errorText();
+}
+
+TEST(UsubaCipher, DeprecatedCreateStillWorks) {
+  // Back-compat facade: the old null-on-failure shape keeps compiling
+  // (with a deprecation warning) and flattens the first diagnostic.
+  CipherConfig Config;
+  Config.Id = CipherId::Chacha20;
+  Config.Slicing = SlicingMode::Bitslice;
+  Config.Target = &archAVX2();
   std::string Error;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_FALSE(UsubaCipher::create(Config, &Error).has_value());
+  Config.Slicing = SlicingMode::Vslice;
+  Config.PreferNative = false;
+  EXPECT_TRUE(UsubaCipher::create(Config).has_value());
+#pragma GCC diagnostic pop
   EXPECT_NE(Error.find("Arith"), std::string::npos);
 }
 

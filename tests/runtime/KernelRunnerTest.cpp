@@ -95,6 +95,7 @@ TEST(KernelRunner, SelfCheckDemotesWrongNativeKernel) {
       EXPECT_EQ(Out[size_t{B} * 2 + A], 0x1234u ^ Key[A]);
   EXPECT_FALSE(Runner.usingNative());
   EXPECT_EQ(Runner.engine(), KernelRunner::Engine::Interpreter);
+  EXPECT_EQ(Runner.fallbackKind(), EngineFallback::SelfCheckMismatch);
   EXPECT_NE(Runner.fallbackReason().find("self-check"), std::string::npos)
       << Runner.fallbackReason();
 }
@@ -125,6 +126,7 @@ TEST(KernelRunner, CloneRearmsSelfCheckIndependently) {
   std::unique_ptr<KernelRunner> Demoted = Runner.clone();
   EXPECT_FALSE(Demoted->usingNative());
   EXPECT_EQ(Demoted->fallbackReason(), Runner.fallbackReason());
+  EXPECT_EQ(Demoted->fallbackKind(), Runner.fallbackKind());
 }
 
 /// Scoped environment override, restored on destruction.
@@ -163,17 +165,26 @@ std::string writeFakeCompiler(const char *FileName,
   return Path;
 }
 
+CipherConfig rectangleGP64(bool PreferNative) {
+  CipherConfig Config;
+  Config.Id = CipherId::Rectangle;
+  Config.Slicing = SlicingMode::Vslice;
+  Config.Target = &archGP64();
+  Config.PreferNative = PreferNative;
+  return Config;
+}
+
 std::vector<uint8_t> rectangleEcb(const CipherConfig &Config) {
-  std::string Error;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
-  EXPECT_TRUE(Cipher.has_value()) << Error;
+  CipherResult Result = UsubaCipher::compile(Config);
+  EXPECT_TRUE(Result.ok()) << Result.errorText();
+  UsubaCipher &Cipher = Result.cipher();
   uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  Cipher->setKey(Key, sizeof(Key));
+  Cipher.setKey(Key, sizeof(Key));
   const size_t Blocks = 64;
-  std::vector<uint8_t> In(Blocks * Cipher->blockBytes()), Out(In.size());
+  std::vector<uint8_t> In(Blocks * Cipher.blockBytes()), Out(In.size());
   for (size_t I = 0; I < In.size(); ++I)
     In[I] = static_cast<uint8_t>(I * 37 + 11);
-  Cipher->ecbEncrypt(In.data(), Out.data(), Blocks);
+  Cipher.ecbEncrypt(In.data(), Out.data(), Blocks);
   return Out;
 }
 
@@ -181,26 +192,27 @@ TEST(DegradationLadder, FailingCompilerFallsBackToInterpreter) {
   if (!NativeKernel::hostCompilerAvailable())
     GTEST_SKIP() << "no host C compiler to pass the probe through to";
   std::vector<uint8_t> Reference =
-      rectangleEcb({CipherId::Rectangle, SlicingMode::Vslice, &archGP64(),
-                    true, true, false, true, 0, /*PreferNative=*/false});
+      rectangleEcb(rectangleGP64(/*PreferNative=*/false));
 
   EnvGuard Cc("USUBA_CC",
               writeFakeCompiler("usuba-fake-cc-fail.sh", "exit 1"));
-  CipherConfig Config{CipherId::Rectangle, SlicingMode::Vslice, &archGP64()};
-  std::string Error;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
-  ASSERT_TRUE(Cipher.has_value()) << Error;
-  EXPECT_FALSE(Cipher->isNative());
-  EXPECT_NE(Cipher->engineNote().find("compile-failed"), std::string::npos)
-      << Cipher->engineNote();
+  CipherConfig Config = rectangleGP64(/*PreferNative=*/true);
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+  UsubaCipher &Cipher = Result.cipher();
+  CipherStats Stats = Cipher.stats();
+  EXPECT_FALSE(Stats.Native);
+  // Structured kind instead of string-matching the old engineNote().
+  EXPECT_EQ(Stats.Fallback, EngineFallback::CompileFailed)
+      << Stats.FallbackDetail;
 
   uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  Cipher->setKey(Key, sizeof(Key));
+  Cipher.setKey(Key, sizeof(Key));
   const size_t Blocks = 64;
-  std::vector<uint8_t> In(Blocks * Cipher->blockBytes()), Out(In.size());
+  std::vector<uint8_t> In(Blocks * Cipher.blockBytes()), Out(In.size());
   for (size_t I = 0; I < In.size(); ++I)
     In[I] = static_cast<uint8_t>(I * 37 + 11);
-  Cipher->ecbEncrypt(In.data(), Out.data(), Blocks);
+  Cipher.ecbEncrypt(In.data(), Out.data(), Blocks);
   EXPECT_EQ(Out, Reference); // byte-identical ciphertext on the fallback rung
 }
 
@@ -208,27 +220,27 @@ TEST(DegradationLadder, HangingCompilerTimesOutAndFallsBack) {
   if (!NativeKernel::hostCompilerAvailable())
     GTEST_SKIP() << "no host C compiler to pass the probe through to";
   std::vector<uint8_t> Reference =
-      rectangleEcb({CipherId::Rectangle, SlicingMode::Vslice, &archGP64(),
-                    true, true, false, true, 0, /*PreferNative=*/false});
+      rectangleEcb(rectangleGP64(/*PreferNative=*/false));
 
   EnvGuard Cc("USUBA_CC",
               writeFakeCompiler("usuba-fake-cc-hang.sh", "sleep 30"));
-  EnvGuard Timeout("USUBA_CC_TIMEOUT_MS", "200");
-  CipherConfig Config{CipherId::Rectangle, SlicingMode::Vslice, &archGP64()};
-  std::string Error;
-  std::optional<UsubaCipher> Cipher = UsubaCipher::create(Config, &Error);
-  ASSERT_TRUE(Cipher.has_value()) << Error;
-  EXPECT_FALSE(Cipher->isNative());
-  EXPECT_NE(Cipher->engineNote().find("timeout"), std::string::npos)
-      << Cipher->engineNote();
+  // The typed knob overrides the (absent) USUBA_CC_TIMEOUT_MS.
+  CipherConfig Config = rectangleGP64(/*PreferNative=*/true);
+  Config.CcTimeoutMillis = 200;
+  CipherResult Result = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+  UsubaCipher &Cipher = Result.cipher();
+  CipherStats Stats = Cipher.stats();
+  EXPECT_FALSE(Stats.Native);
+  EXPECT_EQ(Stats.Fallback, EngineFallback::Timeout) << Stats.FallbackDetail;
 
   uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  Cipher->setKey(Key, sizeof(Key));
+  Cipher.setKey(Key, sizeof(Key));
   const size_t Blocks = 64;
-  std::vector<uint8_t> In(Blocks * Cipher->blockBytes()), Out(In.size());
+  std::vector<uint8_t> In(Blocks * Cipher.blockBytes()), Out(In.size());
   for (size_t I = 0; I < In.size(); ++I)
     In[I] = static_cast<uint8_t>(I * 37 + 11);
-  Cipher->ecbEncrypt(In.data(), Out.data(), Blocks);
+  Cipher.ecbEncrypt(In.data(), Out.data(), Blocks);
   EXPECT_EQ(Out, Reference);
 }
 

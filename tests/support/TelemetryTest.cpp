@@ -1,0 +1,231 @@
+//===- TelemetryTest.cpp - Telemetry registry tests -----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry subsystem's contract: disabled probes observe nothing
+/// and cost (almost) nothing; enabled probes aggregate into counters and
+/// span stats; the three sinks emit well-formed output, and the trace
+/// sink round-trips through the chrome://tracing "trace events" schema.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace usuba;
+
+namespace {
+
+/// Restores the global enabled flag (and wipes recorded data) so tests
+/// do not leak profiling state into each other.
+class TelemetryGuard {
+public:
+  TelemetryGuard() : WasEnabled(telemetryEnabled()) {
+    Telemetry::instance().reset();
+  }
+  ~TelemetryGuard() {
+    Telemetry::instance().setEnabled(WasEnabled);
+    Telemetry::instance().reset();
+  }
+
+private:
+  bool WasEnabled;
+};
+
+/// A crude structural JSON check: quotes balance out of escapes, and
+/// every brace/bracket closes in order. Enough to catch a malformed
+/// sink without a JSON library.
+bool looksLikeJson(const std::string &S) {
+  std::string Stack;
+  bool InString = false;
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (InString) {
+      if (C == '\\')
+        ++I; // skip the escaped char
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      Stack += C;
+      break;
+    case '}':
+      if (Stack.empty() || Stack.back() != '{')
+        return false;
+      Stack.pop_back();
+      break;
+    case ']':
+      if (Stack.empty() || Stack.back() != '[')
+        return false;
+      Stack.pop_back();
+      break;
+    default:
+      break;
+    }
+  }
+  return !InString && Stack.empty() && !S.empty() && S[0] == '{';
+}
+
+TEST(Telemetry, DisabledProbesObserveNothing) {
+  TelemetryGuard Guard;
+  Telemetry::instance().setEnabled(false);
+
+  telemetryCount("test.counter", 5);
+  { TelemetrySpan Span("test.span"); }
+
+  Telemetry &T = Telemetry::instance();
+  EXPECT_EQ(T.counter("test.counter"), 0u);
+  EXPECT_EQ(T.spanStat("test.span").Calls, 0u);
+  EXPECT_EQ(T.counterCount(), 0u);
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+TEST(Telemetry, DisabledProbeIsCheap) {
+  TelemetryGuard Guard;
+  Telemetry::instance().setEnabled(false);
+
+  // The documented contract is one relaxed atomic load per disabled
+  // probe — roughly a nanosecond. The bound here is deliberately loose
+  // (25 ns averaged over millions of probes) so a loaded CI machine
+  // cannot flake it, while a regression to "always take the mutex"
+  // (~20-80 ns + contention) still trips it. Relative to the ~microseconds
+  // a kernel batch takes, this keeps instrumentation under 1% overhead.
+  constexpr int Iters = 2'000'000;
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < Iters; ++I)
+    telemetryCount("hot.counter");
+  auto End = std::chrono::steady_clock::now();
+  double NsPerProbe =
+      std::chrono::duration<double, std::nano>(End - Start).count() / Iters;
+  EXPECT_LT(NsPerProbe, 25.0) << "disabled probe too expensive";
+  EXPECT_EQ(Telemetry::instance().counterCount(), 0u);
+}
+
+TEST(Telemetry, EnabledCountersAndSpansAggregate) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  telemetryCount("agg.counter", 2);
+  telemetryCount("agg.counter", 3);
+  { TelemetrySpan Span("agg.span"); }
+  { TelemetrySpan Span("agg.span"); }
+
+  EXPECT_EQ(T.counter("agg.counter"), 5u);
+  Telemetry::SpanStat Stat = T.spanStat("agg.span");
+  EXPECT_EQ(Stat.Calls, 2u);
+  EXPECT_EQ(T.eventCount(), 2u);
+
+  T.reset();
+  EXPECT_EQ(T.counter("agg.counter"), 0u);
+  EXPECT_EQ(T.spanStat("agg.span").Calls, 0u);
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+TEST(Telemetry, SpanStraddlingDisableIsAttributedToItsStart) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+
+  // Constructed disabled, destroyed enabled: records nothing.
+  T.setEnabled(false);
+  {
+    TelemetrySpan Span("straddle.off");
+    T.setEnabled(true);
+  }
+  EXPECT_EQ(T.spanStat("straddle.off").Calls, 0u);
+
+  // Constructed enabled, destroyed disabled: still records.
+  {
+    TelemetrySpan Span("straddle.on");
+    T.setEnabled(false);
+  }
+  EXPECT_EQ(T.spanStat("straddle.on").Calls, 1u);
+}
+
+TEST(Telemetry, SnapshotJsonShape) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+  telemetryCount("snap.counter", 7);
+  { TelemetrySpan Span("snap.span"); }
+
+  std::string Json = T.snapshotJson();
+  EXPECT_TRUE(looksLikeJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(Json.find("\"snap.counter\": 7"), std::string::npos);
+  EXPECT_NE(Json.find("\"snap.span\""), std::string::npos);
+  EXPECT_NE(Json.find("\"calls\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"total_ns\""), std::string::npos);
+  EXPECT_NE(Json.find("\"trace_events\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"dropped_events\": 0"), std::string::npos);
+
+  // Names that need escaping must not break the JSON.
+  T.count("weird\"name\\with\ncontrol", 1);
+  EXPECT_TRUE(looksLikeJson(T.snapshotJson())) << T.snapshotJson();
+}
+
+TEST(Telemetry, TraceExportRoundtrip) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+  { TelemetrySpan Span("trace.alpha"); }
+  { TelemetrySpan Span("trace.beta"); }
+
+  std::string Path =
+      testing::TempDir() + "/usuba_telemetry_trace_test.json";
+  ASSERT_TRUE(T.writeTrace(Path));
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Trace = Buf.str();
+  std::remove(Path.c_str());
+
+  // The chrome://tracing "trace events" schema: a traceEvents array of
+  // complete ("ph": "X") events, each with name/ts/dur/pid/tid.
+  EXPECT_TRUE(looksLikeJson(Trace)) << Trace;
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\": \"trace.alpha\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\": \"trace.beta\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"cat\": \"usuba\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(Trace.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(Trace.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(Trace.find("\"tid\": "), std::string::npos);
+  EXPECT_NE(Trace.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+
+  EXPECT_FALSE(T.writeTrace("/nonexistent-dir/trace.json"));
+}
+
+TEST(Telemetry, SummaryMentionsRecordedNames) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+  telemetryCount("sum.counter", 3);
+  { TelemetrySpan Span("sum.span"); }
+
+  std::string Text = T.summary();
+  EXPECT_NE(Text.find("enabled"), std::string::npos);
+  EXPECT_NE(Text.find("sum.counter"), std::string::npos);
+  EXPECT_NE(Text.find("sum.span"), std::string::npos);
+}
+
+} // namespace
