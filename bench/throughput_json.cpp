@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "runtime/ThreadPool.h"
+#include "support/Remarks.h"
 #include "support/Telemetry.h"
 
 using namespace usuba;
@@ -94,6 +95,14 @@ bool contains(const std::vector<std::string> &List, const char *Name) {
   return false;
 }
 
+/// A JSON array of strings: ["a", "b"]. Empty list = no filter.
+std::string jsonStringArray(const std::vector<std::string> &List) {
+  std::string Out = "[";
+  for (size_t I = 0; I < List.size(); ++I)
+    Out += (I ? ", \"" : "\"") + List[I] + "\"";
+  return Out + "]";
+}
+
 struct ConfigRow {
   CipherId Id;
   SlicingMode Slicing;
@@ -150,9 +159,18 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  std::fprintf(Out, "{\n  \"workload_bytes\": %zu,\n  \"results\": [",
-               workloadBytes());
+  // The filters that produced this report. bench_gate.py uses them to
+  // know which baseline rows a partial run (CI's perf-smoke subset) is
+  // accountable for; empty arrays mean "no filter" (full coverage).
+  std::fprintf(Out,
+               "{\n  \"workload_bytes\": %zu,\n  \"filters\": "
+               "{\"ciphers\": %s, \"archs\": %s, \"threads\": %s},\n"
+               "  \"results\": [",
+               workloadBytes(), jsonStringArray(Ciphers).c_str(),
+               jsonStringArray(Archs).c_str(),
+               jsonStringArray(ThreadsArg).c_str());
   bool FirstRecord = true;
+  std::vector<Remark> AllRemarks;
   for (const ConfigRow &Row : Rows) {
     if (!contains(Ciphers, cipherName(Row.Id)))
       continue;
@@ -163,6 +181,11 @@ int main(int Argc, char **Argv) {
           makeCipher(Row.Id, Row.Slicing, *Target);
       if (!Cipher)
         continue; // slicing does not type-check on this target
+      if (remarksEnabled()) {
+        CipherStats Stats = Cipher->stats();
+        AllRemarks.insert(AllRemarks.end(), Stats.CompileRemarks.begin(),
+                          Stats.CompileRemarks.end());
+      }
 
       std::vector<uint8_t> Key(Cipher->keyBytes(), 0x5A);
       Cipher->setKey(Key.data(), Key.size());
@@ -192,7 +215,11 @@ int main(int Argc, char **Argv) {
   // empty counters when telemetry is off, full cycle attribution
   // (pack/kernel/unpack, threadpool utilization, cache hits) under
   // USUBA_TELEMETRY=1.
-  std::fprintf(Out, "\n  ],\n  \"telemetry\": %s\n}\n",
+  // Compile remarks ride along like the telemetry snapshot: an empty
+  // array unless USUBA_REMARKS=1, in which case every remark recorded
+  // while the benched kernels compiled is embedded.
+  std::fprintf(Out, "\n  ],\n  \"remarks\": %s,\n  \"telemetry\": %s\n}\n",
+               RemarkEngine::jsonArray(AllRemarks).c_str(),
                Telemetry::instance().snapshotJson().c_str());
   if (OutPath)
     std::fclose(Out);

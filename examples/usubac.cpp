@@ -18,6 +18,15 @@
 ///   -list          list the bundled programs and exit
 ///   -o <file>      write output to a file (default stdout)
 ///
+/// Observability (Section "Explaining a compile" in the README):
+///
+///   -Rpass[=<pass>]    print optimization remarks (optionally only for
+///                      one back-end pass) to stderr
+///   --remarks=<file>   write every remark of the compile as JSON
+///   -dump-after=<p>    dump the IR after back-end pass <p> (or `all`),
+///                      as a line diff against the previous snapshot
+///   -telemetry         enable telemetry and print its summary on exit
+///
 /// `usubac -V -w 16 -arch avx2 rectangle` prints the C-with-intrinsics
 /// translation unit Usubac would hand to the C compiler.
 ///
@@ -28,12 +37,16 @@
 #include "frontend/Parser.h"
 #include "ciphers/UsubaSources.h"
 #include "core/Compiler.h"
+#include "support/Remarks.h"
+#include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace usuba;
 
@@ -45,8 +58,69 @@ void usage() {
       "usage: usubac [-V|-H] [-B] [-w m] [-arch name] [-no-inline]\n"
       "              [-no-unroll] [-no-sched] [-interleave] [-dump-u0]\n"
       "              [-dump-ast] [-dump-source] [-o out]\n"
-      "              <file.ua | bundled-name>\n"
+      "              [-Rpass[=pass]] [--remarks=file] [-dump-after=pass]\n"
+      "              [-telemetry] <file.ua | bundled-name>\n"
       "       usubac -list\n");
+}
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string::npos) {
+      if (Start < Text.size())
+        Lines.push_back(Text.substr(Start));
+      break;
+    }
+    Lines.push_back(Text.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+/// Prints a minimal -/+ line diff of two IR dumps to stderr. Plain LCS;
+/// when the quadratic table would exceed ~4e6 cells both dumps are large
+/// enough that a diff would be unreadable anyway, so the new dump is
+/// printed whole instead.
+void printLineDiff(const std::string &Old, const std::string &New) {
+  std::vector<std::string> A = splitLines(Old), B = splitLines(New);
+  if (A.size() * B.size() > 4000000) {
+    std::fprintf(stderr, "  (dump too large to diff; full IR follows)\n%s",
+                 New.c_str());
+    return;
+  }
+  // Trim the common prefix/suffix first — pass output usually differs in
+  // one region.
+  size_t Pre = 0;
+  while (Pre < A.size() && Pre < B.size() && A[Pre] == B[Pre])
+    ++Pre;
+  size_t Suf = 0;
+  while (Suf + Pre < A.size() && Suf + Pre < B.size() &&
+         A[A.size() - 1 - Suf] == B[B.size() - 1 - Suf])
+    ++Suf;
+  size_t N = A.size() - Pre - Suf, M = B.size() - Pre - Suf;
+  std::vector<std::vector<unsigned>> L(N + 1, std::vector<unsigned>(M + 1, 0));
+  for (size_t I = N; I-- > 0;)
+    for (size_t J = M; J-- > 0;)
+      L[I][J] = A[Pre + I] == B[Pre + J]
+                    ? L[I + 1][J + 1] + 1
+                    : std::max(L[I + 1][J], L[I][J + 1]);
+  size_t I = 0, J = 0;
+  unsigned Changed = 0;
+  while (I < N || J < M) {
+    if (I < N && J < M && A[Pre + I] == B[Pre + J]) {
+      ++I, ++J;
+    } else if (J < M && (I == N || L[I][J + 1] >= L[I + 1][J])) {
+      std::fprintf(stderr, "  +%s\n", B[Pre + J++].c_str());
+      ++Changed;
+    } else {
+      std::fprintf(stderr, "  -%s\n", A[Pre + I++].c_str());
+      ++Changed;
+    }
+  }
+  if (!Changed)
+    std::fprintf(stderr, "  (no IR change)\n");
 }
 
 std::string loadSource(const std::string &Name, bool &Ok) {
@@ -71,6 +145,10 @@ int main(int argc, char **argv) {
   Options.Target = &archGP64();
   std::string Input, Output;
   bool DumpU0 = false, DumpAst = false, DumpSource = false;
+  bool PrintRemarks = false, WantTelemetry = false;
+  std::string RemarkPassFilter; // empty = all passes
+  std::string RemarksOut;       // --remarks=<file>
+  std::string DumpAfter;        // -dump-after=<pass|all>
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -97,6 +175,25 @@ int main(int argc, char **argv) {
       Options.Schedule = false;
     } else if (Arg == "-interleave") {
       Options.Interleave = true;
+    } else if (Arg == "-Rpass" || Arg.rfind("-Rpass=", 0) == 0) {
+      PrintRemarks = true;
+      if (Arg.size() > 7)
+        RemarkPassFilter = Arg.substr(7);
+    } else if (Arg.rfind("--remarks=", 0) == 0) {
+      RemarksOut = Arg.substr(10);
+      if (RemarksOut.empty()) {
+        std::fprintf(stderr, "error: --remarks= needs a file name\n");
+        return 1;
+      }
+    } else if (Arg.rfind("-dump-after=", 0) == 0) {
+      DumpAfter = Arg.substr(12);
+      if (DumpAfter.empty()) {
+        std::fprintf(stderr,
+                     "error: -dump-after= needs a pass name or 'all'\n");
+        return 1;
+      }
+    } else if (Arg == "-telemetry") {
+      WantTelemetry = true;
     } else if (Arg == "-dump-u0") {
       DumpU0 = true;
     } else if (Arg == "-dump-ast") {
@@ -148,6 +245,29 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  if (PrintRemarks || !RemarksOut.empty())
+    RemarkEngine::instance().setEnabled(true);
+  if (WantTelemetry)
+    Telemetry::instance().setEnabled(true);
+  std::string PrevDump;
+  bool DumpedOnce = false;
+  if (!DumpAfter.empty()) {
+    Options.PassObserver = [&](const PassStat &S, const U0Program &Prog) {
+      if (DumpAfter != "all" && DumpAfter != S.Name)
+        return;
+      std::string Dump = Prog.str(/*WithLocs=*/true);
+      std::fprintf(stderr, "*** IR after %s (%s, %+lld instrs) ***\n",
+                   S.Name.c_str(), S.Kept ? "kept" : "rolled back",
+                   static_cast<long long>(S.InstrDelta));
+      if (!DumpedOnce)
+        std::fputs(Dump.c_str(), stderr);
+      else
+        printLineDiff(PrevDump, Dump);
+      PrevDump = std::move(Dump);
+      DumpedOnce = true;
+    };
+  }
+
   DiagnosticEngine Diags;
   std::optional<CompiledKernel> Kernel =
       compileUsuba(Source, Options, Diags);
@@ -157,6 +277,26 @@ int main(int argc, char **argv) {
   }
   for (const Diagnostic &D : Diags.diagnostics())
     std::fprintf(stderr, "%s\n", D.str().c_str());
+
+  if (PrintRemarks) {
+    for (const Remark &R : Kernel->Remarks) {
+      if (!RemarkPassFilter.empty() && R.Pass != RemarkPassFilter)
+        continue;
+      std::fprintf(stderr, "%s: %s\n", Input.c_str(), R.render().c_str());
+    }
+  }
+  if (!RemarksOut.empty()) {
+    std::ofstream File(RemarksOut);
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", RemarksOut.c_str());
+      return 1;
+    }
+    File << "{\n \"input\": \"" << Input << "\",\n \"passes\": [";
+    for (size_t I = 0; I < Kernel->PassStats.size(); ++I)
+      File << (I ? ", " : "") << '"' << Kernel->PassStats[I].Name << '"';
+    File << "],\n \"remarks\": " << RemarkEngine::jsonArray(Kernel->Remarks)
+         << "\n}\n";
+  }
 
   if (Options.Target->Kind == ArchKind::Neon && !DumpU0) {
     std::fprintf(stderr, "error: the C backend targets the x86 family; "
@@ -191,5 +331,7 @@ int main(int argc, char **argv) {
                "interleave x%u\n",
                Input.c_str(), Kernel->InstrCount, Kernel->MaxLive,
                Kernel->InterleaveFactor());
+  if (WantTelemetry)
+    std::fputs(Telemetry::instance().summary().c_str(), stderr);
   return 0;
 }

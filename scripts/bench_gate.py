@@ -20,9 +20,20 @@ Rows whose engine differs between baseline and fresh (e.g. "native" vs
 skipped: cross-engine cycle counts are not comparable, and engine
 availability is a property of the machine, not the change under test.
 
+A baseline row that is absent from the fresh report is a FAILURE, not a
+skip, whenever the fresh report's "filters" key says the row was in
+scope (a cipher/arch/threads combination the run was asked to measure).
+Silently vanished rows are how a cipher that stops compiling — or a
+(cipher, arch) pair that falls off the bench matrix — used to slip
+through the gate. Rows excluded by the filters (CI's perf-smoke only
+measures a subset) are still skipped; a fresh report with no "filters"
+key at all is held to full coverage.
+
 --self-test runs the gate's own logic machine-independently: the
-baseline must pass against itself, and must fail once a synthetic 2x
-slowdown is injected into one row. CI runs this before the real
+baseline must pass against itself, must fail once a synthetic 2x
+slowdown is injected into one row, must fail when an in-scope row is
+deleted from the fresh report, and must pass when the deleted row is
+excluded by the fresh report's filters. CI runs this before the real
 comparison so a broken gate cannot silently wave regressions through.
 
 Exit codes: 0 pass, 1 regression (or failed self-test), 2 usage/IO.
@@ -70,10 +81,38 @@ def index_rows(doc, path):
     return rows
 
 
+def row_in_scope(key, filters):
+    """Whether the fresh run was asked to measure this baseline row.
+
+    `filters` is the fresh report's "filters" object ({"ciphers": [...],
+    "archs": [...], "threads": [...]}, empty list = no filter). None
+    (older report without the key) means full coverage: every baseline
+    row is in scope.
+    """
+    if filters is None:
+        return True
+    cipher, _slicing, arch, threads = key
+    ciphers = filters.get("ciphers") or []
+    archs = filters.get("archs") or []
+    thread_list = filters.get("threads") or []
+    if ciphers and cipher not in ciphers:
+        return False
+    if archs and arch not in archs:
+        return False
+    if thread_list and str(threads) not in [str(t) for t in thread_list]:
+        return False
+    return True
+
+
 def compare(baseline, fresh, tolerance, quiet=False):
-    """Returns (failures, compared, skipped) comparing fresh vs baseline."""
+    """Returns (failures, compared, skipped) comparing fresh vs baseline.
+
+    failures is a list of (row name, reason) strings covering both
+    regressions and in-scope rows missing from the fresh report.
+    """
     base_rows = index_rows(baseline, "baseline")
     fresh_rows = index_rows(fresh, "fresh")
+    filters = fresh.get("filters")
     failures = []
     compared = 0
     skipped = []
@@ -82,7 +121,11 @@ def compare(baseline, fresh, tolerance, quiet=False):
         name = "%s/%s/%s/t%d" % key
         fresh_row = fresh_rows.get(key)
         if fresh_row is None:
-            skipped.append((name, "not measured in fresh report"))
+            if row_in_scope(key, filters):
+                failures.append((name, "in-scope baseline row missing from "
+                                       "fresh report"))
+            else:
+                skipped.append((name, "excluded by fresh report filters"))
             continue
         if base.get("engine") != fresh_row.get("engine"):
             skipped.append((name, "engine %s -> %s (not comparable)" %
@@ -100,16 +143,19 @@ def compare(baseline, fresh, tolerance, quiet=False):
             print("  %-32s %8.4f -> %8.4f cpb  (%.2fx, limit %.2fx)  %s" %
                   (name, base_cpb, fresh_cpb, ratio, tolerance, verdict))
         if ratio > tolerance:
-            failures.append((name, ratio))
+            failures.append((name, "%.2fx slower (limit %.2fx)" %
+                             (ratio, tolerance)))
 
-    for name, why in skipped:
-        print("  %-32s skipped: %s" % (name, why))
+    if not quiet:
+        for name, why in skipped:
+            print("  %-32s skipped: %s" % (name, why))
     return failures, compared, skipped
 
 
 def self_test(baseline, tolerance):
     """Machine-independent gate validation: baseline passes against
-    itself; an injected 2x slowdown in one row must fail."""
+    itself; an injected 2x slowdown must fail; a deleted in-scope row
+    must fail; the same deletion under excluding filters must pass."""
     failures, compared, _ = compare(baseline, baseline, tolerance, quiet=True)
     if failures or compared == 0:
         print("bench_gate self-test FAILED: baseline vs itself gave %d "
@@ -125,9 +171,38 @@ def self_test(baseline, tolerance):
               "produced %d failures (want 1)" %
               (row_key(victim), len(failures)))
         return False
+
+    # Deleting an in-scope row must fail: a cipher silently falling off
+    # the bench matrix is a regression, not noise.
+    gutted = copy.deepcopy(baseline)
+    dropped = gutted["results"].pop(0)
+    failures, _, _ = compare(baseline, gutted, tolerance, quiet=True)
+    if len(failures) != 1 or "missing" not in failures[0][1]:
+        print("bench_gate self-test FAILED: deleted row %s produced "
+              "failures %r (want exactly one 'missing' failure)" %
+              (row_key(dropped), failures))
+        return False
+
+    # ... but the same deletion is fine when the fresh report's filters
+    # say the row was never in scope (CI's perf-smoke subset runs).
+    kept_ciphers = sorted({r["cipher"] for r in gutted["results"]} -
+                          {dropped["cipher"]})
+    if kept_ciphers:
+        gutted["filters"] = {"ciphers": kept_ciphers, "archs": [],
+                             "threads": []}
+        gutted["results"] = [r for r in gutted["results"]
+                             if r["cipher"] in kept_ciphers]
+        failures, compared, _ = compare(baseline, gutted, tolerance,
+                                        quiet=True)
+        if failures or compared == 0:
+            print("bench_gate self-test FAILED: filtered deletion of %s "
+                  "gave failures %r over %d rows (want clean pass)" %
+                  (row_key(dropped), failures, compared))
+            return False
+
     print("bench_gate self-test OK: clean baseline passes, injected "
-          "%.1fx slowdown in %s fails" %
-          (2.0 * max(tolerance, 1.0), failures[0][0]))
+          "%.1fx slowdown fails, deleted in-scope row fails, filtered "
+          "deletion passes" % (2.0 * max(tolerance, 1.0)))
     return True
 
 
@@ -160,17 +235,17 @@ def main():
     print("bench_gate: %s vs %s (tolerance %.2fx)" %
           (args.fresh, args.baseline, args.tolerance))
     failures, compared, skipped = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print("bench_gate: %d failing rows (of %d compared, tolerance "
+              "%.2fx):" % (len(failures), compared, args.tolerance))
+        for name, reason in failures:
+            print("  %s: %s" % (name, reason))
+        return 1
     if compared == 0:
         print("bench_gate: no comparable rows (%d skipped) — treating as "
               "pass; the gate needs at least one shared (cipher, slicing, "
               "arch, threads) row with matching engines" % len(skipped))
         return 0
-    if failures:
-        print("bench_gate: %d of %d rows regressed beyond %.2fx:" %
-              (len(failures), compared, args.tolerance))
-        for name, ratio in failures:
-            print("  %s: %.2fx" % (name, ratio))
-        return 1
     print("bench_gate: OK (%d rows compared, %d skipped)" %
           (compared, len(skipped)))
     return 0

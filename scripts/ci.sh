@@ -16,7 +16,11 @@
 #              checked-in BENCH_throughput.json by scripts/bench_gate.py
 #              (tolerance: USUBA_BENCH_TOLERANCE, default 3.0x). Catches
 #              runtime-path breakage and catastrophic slowdowns that
-#              correctness tests alone would miss.
+#              correctness tests alone would miss. Also compiles every
+#              bundled program with usubac --remarks=<json>, validates
+#              each report (JSON parses, >= 1 remark per back-end pass
+#              that ran), and archives the reports as an artifact at
+#              build-ci-perf/remarks/.
 #
 # Usage: scripts/ci.sh [release|debug|sanitize|perf|all]   (default: all)
 set -eu
@@ -72,6 +76,62 @@ EOF
   python3 scripts/bench_gate.py BENCH_throughput.json --self-test
   python3 scripts/bench_gate.py BENCH_throughput.json \
     build-ci-perf/BENCH_throughput.json
+  remarks_report
+}
+
+# Compile every bundled program with remarks on, dump each compile's
+# remarks as JSON, validate the reports, and leave them behind as the CI
+# artifact explaining what the compiler did to each cipher this build.
+remarks_report() {
+  echo "==== ci job: perf (remarks reports) ===="
+  cmake --build build-ci-perf -j "$JOBS" --target usubac
+  USUBAC=./build-ci-perf/examples/usubac
+  REMARKS_DIR=build-ci-perf/remarks
+  mkdir -p "$REMARKS_DIR"
+  # Each program at a slicing that type-checks (Table 2's configs; AES's
+  # hslice needs an arch with a shuffle instance).
+  for spec in \
+    "rectangle -V -w 16" \
+    "rectangle_dec -V -w 16" \
+    "des -B" \
+    "aes -H -w 16 -arch sse" \
+    "aes_dec -H -w 16 -arch sse" \
+    "chacha20 -V -w 32" \
+    "serpent -V -w 32" \
+    "serpent_dec -V -w 32" \
+    "present -B" \
+    "present_dec -B" \
+    "trivium -V -w 64"; do
+    set -- $spec
+    prog=$1
+    shift
+    "$USUBAC" "$@" --remarks="$REMARKS_DIR/$prog.json" "$prog" \
+      -o /dev/null
+  done
+  python3 - "$REMARKS_DIR" <<'EOF'
+import json, os, sys
+remarks_dir = sys.argv[1]
+reports = sorted(f for f in os.listdir(remarks_dir) if f.endswith(".json"))
+assert reports, "no remark reports produced"
+total = 0
+for name in reports:
+    with open(os.path.join(remarks_dir, name)) as f:
+        doc = json.load(f)  # must parse: the dump is hand-rendered JSON
+    assert doc["input"], name + ": no input recorded"
+    assert isinstance(doc["remarks"], list), name + ": remarks not a list"
+    passes = set(doc["passes"])
+    covered = {r["pass"] for r in doc["remarks"]}
+    missing = passes - covered
+    assert not missing, "%s: passes ran without a remark: %s" % (
+        name, sorted(missing))
+    for r in doc["remarks"]:
+        for key in ("kind", "pass", "name", "message"):
+            assert key in r, "%s: remark missing %s" % (name, key)
+    total += len(doc["remarks"])
+print("remarks OK: %d reports, %d remarks, every executed pass covered"
+      % (len(reports), total))
+EOF
+  echo "remarks artifact at $REMARKS_DIR/"
 }
 
 case "$MATRIX" in

@@ -169,6 +169,10 @@ std::string CipherStats::telemetryJson() const {
   return Telemetry::instance().snapshotJson();
 }
 
+std::string CipherStats::remarksJson() const {
+  return RemarkEngine::jsonArray(CompileRemarks);
+}
+
 std::string CipherResult::errorText() const {
   std::string Out;
   for (const Diagnostic &D : Diags) {
@@ -320,6 +324,7 @@ CipherStats UsubaCipher::stats() const {
   S.InstrCount = Runner->kernel().InstrCount;
   S.SkippedPasses = Runner->kernel().SkippedPasses;
   S.PassStats = Runner->kernel().PassStats;
+  S.CompileRemarks = Runner->kernel().Remarks;
   return S;
 }
 

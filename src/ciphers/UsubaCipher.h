@@ -129,6 +129,14 @@ struct CipherStats {
   std::vector<std::string> SkippedPasses;
   /// Per-pass wall time / instruction delta (see PassStat).
   std::vector<PassStat> PassStats;
+  /// Optimization remarks recorded while this cipher's kernel compiled
+  /// (empty unless remarks were enabled — see support/Remarks.h). A
+  /// kernel-cache hit reuses the remarks captured when the kernel was
+  /// first compiled.
+  std::vector<Remark> CompileRemarks;
+
+  /// CompileRemarks rendered as a JSON array (RemarkEngine::jsonArray).
+  std::string remarksJson() const;
 
   /// The process-wide telemetry snapshot (Telemetry::snapshotJson()) —
   /// the handle tying per-cipher stats to the global counters/spans.

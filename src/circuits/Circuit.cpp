@@ -138,6 +138,9 @@ public:
     return std::move(Result);
   }
 
+  /// BDD nodes interned so far (decision material for remarks).
+  size_t numBddNodes() const { return Nodes.size(); }
+
 private:
   FuncBits outputFunction(unsigned OutBit) const {
     uint64_t Count = uint64_t{1} << Table.InBits;
@@ -318,8 +321,21 @@ Circuit usuba::synthesizeTable(const TruthTable &Table) {
   return std::move(*C);
 }
 
+const char *usuba::tableSynthesisSourceName(TableSynthesisInfo::Source S) {
+  switch (S) {
+  case TableSynthesisInfo::Source::Database:
+    return "database";
+  case TableSynthesisInfo::Source::Structural:
+    return "structural";
+  case TableSynthesisInfo::Source::Synthesized:
+    return "synthesized";
+  }
+  return "synthesized";
+}
+
 std::optional<Circuit>
-usuba::synthesizeTableBudgeted(const TruthTable &Table, size_t MaxBddNodes) {
+usuba::synthesizeTableBudgeted(const TruthTable &Table, size_t MaxBddNodes,
+                               TableSynthesisInfo *Info) {
   assert(Table.isValid() && "malformed truth table");
   // BDD sizes are highly sensitive to the variable order; try a small
   // portfolio of orders (identity, reverse, rotations, a few deterministic
@@ -356,6 +372,7 @@ usuba::synthesizeTableBudgeted(const TruthTable &Table, size_t MaxBddNodes) {
 
   Circuit Best(0);
   bool HaveBest = false;
+  size_t BestBddNodes = 0;
   for (const std::vector<unsigned> &Perm : Orders) {
     TruthTable Permuted = permuteInputs(Table, Perm);
     try {
@@ -363,11 +380,18 @@ usuba::synthesizeTableBudgeted(const TruthTable &Table, size_t MaxBddNodes) {
       Circuit Candidate = remapInputs(Synth.run(), Perm);
       if (!HaveBest || Candidate.numGates() < Best.numGates()) {
         Best = std::move(Candidate);
+        BestBddNodes = Synth.numBddNodes();
         HaveBest = true;
       }
     } catch (const BddBudgetExceeded &) {
       // This variable order blew the budget; another may still fit.
     }
+  }
+  if (Info) {
+    Info->From = TableSynthesisInfo::Source::Synthesized;
+    Info->OrdersTried = static_cast<unsigned>(Orders.size());
+    Info->Gates = HaveBest ? Best.numGates() : 0;
+    Info->BddNodes = BestBddNodes;
   }
   if (!HaveBest)
     return std::nullopt;
@@ -444,11 +468,19 @@ Circuit usuba::circuitForTable(const TruthTable &Table) {
 }
 
 std::optional<Circuit>
-usuba::circuitForTableBudgeted(const TruthTable &Table, size_t MaxBddNodes) {
-  if (const Circuit *Known = lookupKnownCircuit(Table))
+usuba::circuitForTableBudgeted(const TruthTable &Table, size_t MaxBddNodes,
+                               TableSynthesisInfo *Info) {
+  if (const Circuit *Known = lookupKnownCircuit(Table)) {
+    if (Info)
+      *Info = {TableSynthesisInfo::Source::Database, Known->numGates(), 0, 0};
     return *Known;
+  }
   // Structural constructions beat generic synthesis where they apply.
-  if (std::optional<Circuit> Tower = buildAesTowerSbox(Table))
+  if (std::optional<Circuit> Tower = buildAesTowerSbox(Table)) {
+    if (Info)
+      *Info = {TableSynthesisInfo::Source::Structural, Tower->numGates(), 0,
+               0};
     return Tower;
-  return synthesizeTableBudgeted(Table, MaxBddNodes);
+  }
+  return synthesizeTableBudgeted(Table, MaxBddNodes, Info);
 }

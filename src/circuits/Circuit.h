@@ -102,6 +102,23 @@ private:
   std::vector<unsigned> Outputs;
 };
 
+/// How a table became a circuit — the raw material of the elaborator's
+/// "table-circuit" optimization remarks.
+struct TableSynthesisInfo {
+  enum class Source : uint8_t {
+    Database,   ///< hand-optimized known-circuit database hit
+    Structural, ///< structural construction (AES tower field S-box)
+    Synthesized ///< generic BDD synthesis
+  };
+  Source From = Source::Synthesized;
+  unsigned Gates = 0;       ///< gate count of the chosen circuit
+  size_t BddNodes = 0;      ///< BDD nodes interned for the winning order
+  unsigned OrdersTried = 0; ///< variable orders attempted (synthesis only)
+};
+
+/// "database" / "structural" / "synthesized".
+const char *tableSynthesisSourceName(TableSynthesisInfo::Source S);
+
 /// Synthesizes a circuit for \p Table with the hash-consed BDD/Shannon
 /// method (paper Section 2.2: "an elementary logic synthesis algorithm
 /// based on binary decision diagrams"). The result is correct for every
@@ -112,7 +129,9 @@ Circuit synthesizeTable(const TruthTable &Table);
 /// \p MaxBddNodes BDD nodes have been interned — a resource guard so a
 /// hostile table produces a diagnostic instead of an OOM. 0 = unlimited.
 std::optional<Circuit> synthesizeTableBudgeted(const TruthTable &Table,
-                                               size_t MaxBddNodes);
+                                               size_t MaxBddNodes,
+                                               TableSynthesisInfo *Info =
+                                                   nullptr);
 
 /// Looks \p Table up in the database of known hand-optimized circuits
 /// (paper: "Usuba integrates these hard-won results into a database of
@@ -125,7 +144,9 @@ Circuit circuitForTable(const TruthTable &Table);
 /// Database lookup, falling back to budgeted BDD synthesis; std::nullopt
 /// when the node budget is exhausted.
 std::optional<Circuit> circuitForTableBudgeted(const TruthTable &Table,
-                                               size_t MaxBddNodes);
+                                               size_t MaxBddNodes,
+                                               TableSynthesisInfo *Info =
+                                                   nullptr);
 
 } // namespace usuba
 

@@ -9,6 +9,7 @@
 #include "circuits/Circuit.h"
 #include "support/BitUtils.h"
 #include "support/Diagnostics.h"
+#include "support/Remarks.h"
 
 #include <map>
 #include <set>
@@ -89,6 +90,11 @@ bool expandEquations(std::vector<Equation> &In, std::vector<Equation> &Out,
   for (Equation &Eqn : In) {
     if (Eqn.K == Equation::Kind::Assign) {
       if (Remaining == 0) {
+        if (remarksEnabled())
+          RemarkEngine::instance().record(
+              Remark::missed("unroll", "UnrollBudget")
+                  .at(Eqn.Loc)
+                  .note("'forall' expansion exceeds the unrolling budget"));
         Diags.error(Eqn.Loc,
                     "'forall' expansion exceeds the unrolling budget");
         return false;
@@ -116,6 +122,14 @@ bool expandEquations(std::vector<Equation> &In, std::vector<Equation> &Out,
     // iteration would blow the budget.
     if (static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) >=
         static_cast<uint64_t>(Remaining)) {
+      if (remarksEnabled())
+        RemarkEngine::instance().record(
+            Remark::missed("unroll", "UnrollBudget")
+                .at(Eqn.Loc)
+                .note("'forall' range exceeds the unrolling budget")
+                .arg("lo", Lo)
+                .arg("hi", Hi)
+                .arg("budget_remaining", Remaining));
       Diags.error(Eqn.Loc, "'forall' range [" + std::to_string(Lo) + "," +
                                std::to_string(Hi) +
                                "] exceeds the unrolling budget");
@@ -301,12 +315,22 @@ bool usuba::expandProgram(Program &Prog, DiagnosticEngine &Diags,
   for (Node &N : Prog.Nodes) {
     if (N.K != Node::Kind::Fun)
       continue;
+    size_t Before = N.Eqns.size();
     std::vector<Equation> Flat;
     unsigned NextGroup = 0;
     size_t Remaining = MaxEquations ? MaxEquations : ~size_t{0};
     if (!expandEquations(N.Eqns, Flat, Diags, 0, NextGroup, 0, Remaining))
       return false;
     N.Eqns = std::move(Flat);
+    if (remarksEnabled() && N.Eqns.size() != Before)
+      RemarkEngine::instance().record(
+          Remark::analysis("unroll", "Expanded")
+              .in(N.Name)
+              .at(N.Loc)
+              .note("'forall' loops fully unrolled")
+              .arg("equations_before", Before)
+              .arg("equations_after", N.Eqns.size())
+              .arg("round_groups", NextGroup));
     if (!desugarImperative(N, Diags))
       return false;
   }
@@ -363,15 +387,39 @@ bool elaborateTableNode(Node &N, DiagnosticEngine &Diags,
   Table.InBits = InBits;
   Table.OutBits = OutBits;
   Table.Entries = N.TableEntries;
+  TableSynthesisInfo Info;
   std::optional<Circuit> Synthesized =
-      circuitForTableBudgeted(Table, MaxBddNodes);
+      circuitForTableBudgeted(Table, MaxBddNodes, &Info);
   if (!Synthesized) {
+    if (remarksEnabled())
+      RemarkEngine::instance().record(
+          Remark::missed("table-circuit", "BddBudget")
+              .in(N.Name)
+              .at(N.Loc)
+              .note("table is too complex to synthesize within the BDD "
+                    "node budget")
+              .arg("in_bits", InBits)
+              .arg("out_bits", OutBits)
+              .arg("max_bdd_nodes", MaxBddNodes)
+              .arg("orders_tried", Info.OrdersTried));
     Diags.error(N.Loc, "table '" + N.Name +
                            "' is too complex to synthesize within the "
                            "BDD node budget");
     return false;
   }
   Circuit &C = *Synthesized;
+  if (remarksEnabled())
+    RemarkEngine::instance().record(
+        Remark::passed("table-circuit", "Lowered")
+            .in(N.Name)
+            .at(N.Loc)
+            .note("lookup table lowered to a constant-time circuit")
+            .arg("source", tableSynthesisSourceName(Info.From))
+            .arg("in_bits", InBits)
+            .arg("out_bits", OutBits)
+            .arg("gates", C.numGates())
+            .arg("bdd_nodes", Info.BddNodes)
+            .arg("orders_tried", Info.OrdersTried));
 
   // Scalar type for gate temporaries: the atom type of the input.
   Type TempTy = In.Ty.scalarType();

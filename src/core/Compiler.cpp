@@ -11,6 +11,7 @@
 #include "core/Passes.h"
 #include "core/TypeChecker.h"
 #include "support/BitUtils.h"
+#include "support/Remarks.h"
 #include "support/Telemetry.h"
 #include "frontend/Parser.h"
 
@@ -20,6 +21,19 @@
 using namespace usuba;
 
 namespace {
+
+/// The most meaningful `.ua` anchor a whole-function remark can carry:
+/// the first call site (pass decisions revolve around the call
+/// structure), else the first instruction with provenance at all.
+SourceLoc firstCallLoc(const U0Function &F) {
+  for (const U0Instr &I : F.Instrs)
+    if (I.Op == U0Op::Call && I.Loc.isValid())
+      return I.Loc;
+  for (const U0Instr &I : F.Instrs)
+    if (I.Loc.isValid())
+      return I.Loc;
+  return {};
+}
 
 /// Runs each back-end optimization under a verified checkpoint: the
 /// U0Program is snapshotted before the pass, then re-verified (structure
@@ -53,6 +67,7 @@ public:
         std::chrono::steady_clock::now() > Deadline) {
       skip(Name, "optimization time budget exhausted");
       recordStat(Name, 0, 0, /*Kept=*/false);
+      noteAttempt(Name, "optimization time budget exhausted");
       return false;
     }
     const int64_t InstrsBefore = totalInstrs();
@@ -92,6 +107,7 @@ public:
       Telemetry::instance().span(std::string("usubac.pass.") + Name, StartNs,
                                  telemetry_detail::nowNanos() - StartNs,
                                  telemetry_detail::threadTag());
+    noteAttempt(Name, Reason);
     if (Kept)
       return true;
     skip(Name, Reason);
@@ -119,6 +135,33 @@ private:
     Stats.push_back({Name, Millis, InstrDelta, Kept, Remaining});
   }
 
+  /// Post-attempt bookkeeping shared by every run() exit: one
+  /// "PassSummary" analysis remark per attempt (the CI validator's
+  /// guarantee of >= 1 remark per PassStats entry), a "NotApplied"
+  /// missed remark carrying the refusal reason, and the PassObserver
+  /// callback. Expects recordStat() to have pushed the attempt already.
+  void noteAttempt(const char *Name, const std::string &Reason) {
+    const PassStat &S = Stats.back();
+    if (remarksEnabled()) {
+      RemarkEngine::instance().record(
+          Remark::analysis(Name, "PassSummary")
+              .in(Prog.entry().Name)
+              .at(firstCallLoc(Prog.entry()))
+              .note(S.Kept ? "pass ran and was kept" : "pass was not applied")
+              .arg("wall_ms", S.WallMillis)
+              .arg("instr_delta", S.InstrDelta)
+              .arg("kept", S.Kept ? "true" : "false")
+              .arg("budget_ms_remaining", S.BudgetMillisRemaining));
+      if (!S.Kept)
+        RemarkEngine::instance().record(Remark::missed(Name, "NotApplied")
+                                            .in(Prog.entry().Name)
+                                            .at(firstCallLoc(Prog.entry()))
+                                            .note(Reason));
+    }
+    if (Options.PassObserver)
+      Options.PassObserver(S, Prog);
+  }
+
   void skip(const char *Name, const std::string &Reason) {
     Skipped.push_back(Name);
     Diags.warning({}, "optimization pass '" + std::string(Name) +
@@ -139,6 +182,13 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
                                              DiagnosticEngine &Diags) {
   TelemetrySpan CompileSpan("usubac.compile");
   const Arch &Target = Options.Target ? *Options.Target : archGP64();
+  // Capture the remark high-water mark so CompiledKernel::Remarks holds
+  // exactly this compile's slice (concurrent compiles may interleave in
+  // the global buffer; a slice that includes a neighbor's remarks is
+  // still correct attribution-wise since every remark names its pass and
+  // function).
+  const size_t RemarkBase =
+      remarksEnabled() ? RemarkEngine::instance().size() : 0;
 
   // --- Front-end (Section 3.1) -------------------------------------------
   if (!expandProgram(Prog, Diags, Options.Budgets.MaxUnrolledEquations) ||
@@ -220,31 +270,101 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
     // The bitslice scheduler works on the call structure (Algorithm 1
     // applies "regardless of whether those functions will be inlined"),
     // so run it before inlining.
-    Runner.run("schedule-bitslice",
-               NoRefusal([](U0Program &P) { scheduleBitslice(P.entry()); }));
+    Runner.run("schedule-bitslice", NoRefusal([](U0Program &P) {
+                 BitsliceScheduleStats SS;
+                 scheduleBitslice(P.entry(),
+                                  remarksEnabled() ? &SS : nullptr);
+                 if (remarksEnabled())
+                   RemarkEngine::instance().record(
+                       Remark::passed("schedule-bitslice", "Algorithm1")
+                           .in(P.entry().Name)
+                           .at(firstCallLoc(P.entry()))
+                           .note("scheduled call arguments and result "
+                                 "consumers next to their calls to shrink "
+                                 "live ranges")
+                           .arg("segments", SS.Segments)
+                           .arg("calls", SS.Calls)
+                           .arg("consumers_hoisted", SS.ConsumersHoisted)
+                           .arg("instructions_moved", SS.Moved));
+               }));
   if (Options.Inline)
     Runner.run("inline", [&](U0Program &P) {
-      if (!inlineAllCalls(P, Options.Budgets.MaxInstrs))
+      unsigned Calls = 0;
+      if (remarksEnabled())
+        for (const U0Function &F : P.Funcs)
+          for (const U0Instr &I : F.Instrs)
+            Calls += I.Op == U0Op::Call;
+      if (!inlineAllCalls(P, Options.Budgets.MaxInstrs)) {
+        if (remarksEnabled())
+          RemarkEngine::instance().record(
+              Remark::missed("inline", "InstrBudget")
+                  .in(P.entry().Name)
+                  .at(firstCallLoc(P.entry()))
+                  .note("projected inlined size exceeds the instruction "
+                        "budget")
+                  .arg("max_instrs", Options.Budgets.MaxInstrs)
+                  .arg("calls", Calls));
         return std::string(
             "projected inlined size exceeds the instruction budget");
+      }
       cleanupProgram(P);
+      if (remarksEnabled())
+        RemarkEngine::instance().record(
+            Remark::passed("inline", "AllCallsInlined")
+                .in(P.entry().Name)
+                .at(firstCallLoc(P.entry()))
+                .note("every call inlined; the entry is straight-line code")
+                .arg("calls_inlined", Calls)
+                .arg("entry_instrs", P.entry().Instrs.size()));
       return std::string();
     });
   Runner.run("cse", NoRefusal([](U0Program &P) {
+               unsigned Removed = 0;
                for (U0Function &F : P.Funcs)
-                 if (eliminateCommonSubexpressions(F)) {
+                 if (unsigned N = eliminateCommonSubexpressions(F)) {
+                   Removed += N;
                    eliminateDeadCode(F);
                    compactRegisters(F);
                  }
+               if (remarksEnabled())
+                 RemarkEngine::instance().record(
+                     Remark::analysis("cse", "Subexpressions")
+                         .in(P.entry().Name)
+                         .at(firstCallLoc(P.entry()))
+                         .note("structurally identical instructions folded")
+                         .arg("removed", Removed));
              }));
   if (!BitsliceMode && Options.Schedule)
     Runner.run("schedule-mslice", NoRefusal([&](U0Program &P) {
-                 scheduleMSlice(P.entry(), Target);
+                 MSliceScheduleStats SS;
+                 scheduleMSlice(P.entry(), Target,
+                                remarksEnabled() ? &SS : nullptr);
+                 if (remarksEnabled())
+                   RemarkEngine::instance().record(
+                       Remark::passed("schedule-mslice", "LookBehindWindow")
+                           .in(P.entry().Name)
+                           .at(firstCallLoc(P.entry()))
+                           .note("greedy list scheduling around data "
+                                 "hazards and the shuffle port")
+                           .arg("segments", SS.Segments)
+                           .arg("window_limit", SS.WindowLimit)
+                           .arg("window_hits", SS.WindowHits)
+                           .arg("window_misses", SS.WindowMisses)
+                           .arg("forced_picks", SS.ForcedPicks)
+                           .arg("max_lookahead", SS.MaxLookahead));
                }));
   if (Options.FuseAndn)
     Runner.run("fuse-andn", NoRefusal([](U0Program &P) {
+                 unsigned Fused = 0;
                  for (U0Function &F : P.Funcs)
-                   fuseAndNot(F);
+                   Fused += fuseAndNot(F);
+                 if (remarksEnabled())
+                   RemarkEngine::instance().record(
+                       Remark::analysis("fuse-andn", "Peephole")
+                           .in(P.entry().Name)
+                           .at(firstCallLoc(P.entry()))
+                           .note("single-use Not+And pairs fused into andn")
+                           .arg("fused", Fused));
                }));
   if (Options.Interleave)
     Runner.run("interleave", [&](U0Program &P) {
@@ -252,11 +372,32 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
                             ? Options.InterleaveFactorOverride
                             : interleaveFactorFor(Result.MaxLive, Target);
       if (Factor > 1 && Options.Budgets.MaxInstrs &&
-          P.entry().Instrs.size() * Factor > Options.Budgets.MaxInstrs)
+          P.entry().Instrs.size() * Factor > Options.Budgets.MaxInstrs) {
+        if (remarksEnabled())
+          RemarkEngine::instance().record(
+              Remark::missed("interleave", "InstrBudget")
+                  .in(P.entry().Name)
+                  .at(firstCallLoc(P.entry()))
+                  .note("interleaving exceeds the instruction budget")
+                  .arg("factor", Factor)
+                  .arg("max_instrs", Options.Budgets.MaxInstrs));
         return std::string("interleaving by factor " +
                            std::to_string(Factor) +
                            " exceeds the instruction budget");
+      }
       interleaveEntry(P, Factor);
+      if (remarksEnabled())
+        RemarkEngine::instance().record(
+            Remark::passed("interleave", "FactorChosen")
+                .in(P.entry().Name)
+                .at(firstCallLoc(P.entry()))
+                .note(Options.InterleaveFactorOverride
+                          ? "interleave factor forced by override"
+                          : "interleave factor from the registers / "
+                            "max-live heuristic")
+                .arg("factor", Factor)
+                .arg("max_live", Result.MaxLive)
+                .arg("target_registers", Target.NumRegisters));
       return std::string();
     });
 
@@ -283,6 +424,8 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
 
   Result.InstrCount = U0.entry().Instrs.size();
   Result.Prog = std::move(U0);
+  if (remarksEnabled())
+    Result.Remarks = RemarkEngine::instance().snapshotSince(RemarkBase);
   return Result;
 }
 

@@ -20,13 +20,17 @@
 #include "core/Usuba0.h"
 #include "frontend/Ast.h"
 #include "support/Diagnostics.h"
+#include "support/Remarks.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace usuba {
+
+struct PassStat;
 
 /// Compilation flags, mirroring the Usubac command line.
 struct CompileOptions {
@@ -78,6 +82,12 @@ struct CompileOptions {
   const char *DebugBreakPass = nullptr;
   const char *DebugIcePass = nullptr;
 
+  /// Observer invoked after every checkpointed back-end pass attempt,
+  /// with the PassStat just recorded and the IR as the pass left it
+  /// (post-rollback when the pass was refused or undone). Powers
+  /// usubac's -dump-after per-pass IR snapshots. Null = no observation.
+  std::function<void(const PassStat &, const U0Program &)> PassObserver;
+
   /// The effective atom size after optional flattening.
   unsigned effectiveWordBits() const { return Bitslice ? 1 : WordBits; }
 };
@@ -122,6 +132,10 @@ struct CompiledKernel {
   /// One entry per checkpointed back-end pass that was attempted, in
   /// execution order (see PassStat).
   std::vector<PassStat> PassStats;
+  /// Optimization remarks recorded while compiling this kernel. Empty
+  /// unless remarks were enabled (USUBA_REMARKS=1 or
+  /// RemarkEngine::setEnabled) — see support/Remarks.h.
+  std::vector<Remark> Remarks;
   unsigned InterleaveFactor() const { return Prog.InterleaveFactor; }
 };
 

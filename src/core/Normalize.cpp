@@ -84,7 +84,13 @@ private:
 
   unsigned zeroReg(unsigned MBits);
   unsigned freshReg() { return F.addReg(); }
-  void emit(U0Instr I) { F.Instrs.push_back(std::move(I)); }
+  void emit(U0Instr I) {
+    // Provenance: every instruction descends from the equation being
+    // normalized, so stamp its location unless a sub-emitter already did.
+    if (!I.Loc.isValid())
+      I.Loc = CurLoc;
+    F.Instrs.push_back(std::move(I));
+  }
 
   /// Computes the register renaming of a vector shift/rotate/shuffle.
   std::vector<unsigned> renameVector(const std::vector<unsigned> &Src,
@@ -101,6 +107,9 @@ private:
   std::map<std::string, VarInfo> Vars;
   int ZeroReg = -1;
   unsigned ZeroBits = 0;
+  /// Location of the equation currently being normalized; stamped onto
+  /// every emitted instruction.
+  SourceLoc CurLoc;
 };
 
 Type NodeNormalizer::resolveAccess(const Expr &E, unsigned &Reg,
@@ -478,6 +487,7 @@ U0Function NodeNormalizer::run() {
   for (const Equation &Eqn : N.Eqns) {
     USUBA_ICE_CHECK(Eqn.K == Equation::Kind::Assign,
                     "foralls must be expanded");
+    CurLoc = Eqn.Loc;
     if (RoundBarriers && !First && Eqn.IterGroup != LastGroup)
       emit(U0Instr::barrier());
     First = false;

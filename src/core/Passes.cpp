@@ -138,9 +138,12 @@ static void inlineCallsIn(U0Program &Prog, U0Function &F) {
         D = Map[D];
       Out.push_back(std::move(Copy));
     }
-    for (size_t J = 0; J < I.Dests.size(); ++J)
-      Out.push_back(
-          U0Instr::unary(U0Op::Mov, I.Dests[J], Map[Callee.Outputs[J]]));
+    for (size_t J = 0; J < I.Dests.size(); ++J) {
+      U0Instr Mv =
+          U0Instr::unary(U0Op::Mov, I.Dests[J], Map[Callee.Outputs[J]]);
+      Mv.Loc = I.Loc; // result wiring descends from the call site
+      Out.push_back(std::move(Mv));
+    }
   }
   F.Instrs = std::move(Out);
 }
@@ -222,7 +225,7 @@ unsigned usuba::eliminateCommonSubexpressions(U0Function &F) {
 // Peephole: and-not fusion
 //===----------------------------------------------------------------------===//
 
-void usuba::fuseAndNot(U0Function &F) {
+unsigned usuba::fuseAndNot(U0Function &F) {
   // Count uses of every register and remember the defining Not.
   std::vector<unsigned> UseCount(F.NumRegs, 0);
   std::vector<int> NotDef(F.NumRegs, -1);
@@ -236,6 +239,7 @@ void usuba::fuseAndNot(U0Function &F) {
     ++UseCount[R];
 
   std::vector<bool> Dead(F.Instrs.size(), false);
+  unsigned Fused = 0;
   for (U0Instr &I : F.Instrs) {
     if (I.Op != U0Op::And)
       continue;
@@ -250,6 +254,7 @@ void usuba::fuseAndNot(U0Function &F) {
       I.Op = U0Op::Andn;
       I.Srcs = {F.Instrs[Def].Srcs[0], Other}; // dest = ~a & b
       Dead[Def] = true;
+      ++Fused;
       break;
     }
   }
@@ -259,6 +264,7 @@ void usuba::fuseAndNot(U0Function &F) {
     if (!Dead[I])
       Kept.push_back(std::move(F.Instrs[I]));
   F.Instrs = std::move(Kept);
+  return Fused;
 }
 
 //===----------------------------------------------------------------------===//
@@ -413,8 +419,8 @@ Unit unitOf(const U0Instr &I) {
   return Unit::Other;
 }
 
-void scheduleBitsliceSegment(std::vector<U0Instr> &Segment,
-                             unsigned NumRegs) {
+void scheduleBitsliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
+                             BitsliceScheduleStats *Stats) {
   std::vector<int> Def = definersOf(Segment, NumRegs);
   std::vector<std::vector<unsigned>> Users(Segment.size());
   for (size_t I = 0; I < Segment.size(); ++I)
@@ -476,6 +482,8 @@ void scheduleBitsliceSegment(std::vector<U0Instr> &Segment,
   for (size_t I = 0; I < Segment.size(); ++I) {
     if (Segment[I].Op != U0Op::Call)
       continue;
+    if (Stats)
+      ++Stats->Calls;
     // Lines 2-6: pull the arguments' definitions next to the call.
     ScheduleWithDeps(static_cast<unsigned>(I));
     // Lines 7-10: schedule the consumers of the results while they are
@@ -484,11 +492,19 @@ void scheduleBitsliceSegment(std::vector<U0Instr> &Segment,
       if (IsReady(User)) {
         Scheduled[User] = true;
         Order.push_back(User);
+        if (Stats)
+          ++Stats->ConsumersHoisted;
       }
   }
   for (size_t I = 0; I < Segment.size(); ++I)
     ScheduleWithDeps(static_cast<unsigned>(I));
 
+  if (Stats) {
+    ++Stats->Segments;
+    for (size_t I = 0; I < Order.size(); ++I)
+      if (Order[I] != I)
+        ++Stats->Moved;
+  }
   std::vector<U0Instr> Sorted;
   Sorted.reserve(Segment.size());
   for (unsigned I : Order)
@@ -497,7 +513,9 @@ void scheduleBitsliceSegment(std::vector<U0Instr> &Segment,
 }
 
 void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
-                           unsigned WindowLimit) {
+                           unsigned WindowLimit, MSliceScheduleStats *Stats) {
+  if (Stats)
+    ++Stats->Segments;
   std::vector<int> Def = definersOf(Segment, NumRegs);
   std::vector<std::vector<unsigned>> Users(Segment.size());
   std::vector<unsigned> InDegree(Segment.size(), 0);
@@ -551,6 +569,7 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
 
   while (!Ready.empty()) {
     int Picked = -1;
+    int PickedPass = -1;
     // Pass 0: no hazard, no shuffle-after-shuffle. Pass 1: no hazard.
     // Pass 2: first ready (original order).
     for (int Pass = 0; Pass < 2 && Picked < 0; ++Pass) {
@@ -564,11 +583,22 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
             unitOf(Segment[Cand]) == Unit::Shuffle)
           continue;
         Picked = static_cast<int>(Cand);
+        PickedPass = Pass;
+        if (Stats)
+          Stats->MaxLookahead = std::max(Stats->MaxLookahead, Seen);
         break;
       }
     }
     if (Picked < 0)
       Picked = static_cast<int>(*Ready.begin());
+    if (Stats) {
+      if (PickedPass == 0)
+        ++Stats->WindowHits;
+      else if (PickedPass == 1)
+        ++Stats->WindowMisses;
+      else
+        ++Stats->ForcedPicks;
+    }
 
     Ready.erase(static_cast<unsigned>(Picked));
     Order.push_back(static_cast<unsigned>(Picked));
@@ -592,22 +622,26 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
 
 } // namespace
 
-void usuba::scheduleBitslice(U0Function &F) {
+void usuba::scheduleBitslice(U0Function &F, BitsliceScheduleStats *Stats) {
   unsigned NumRegs = F.NumRegs;
-  forEachSegment(F, [NumRegs](std::vector<U0Instr> &Segment) {
-    scheduleBitsliceSegment(Segment, NumRegs);
+  forEachSegment(F, [NumRegs, Stats](std::vector<U0Instr> &Segment) {
+    scheduleBitsliceSegment(Segment, NumRegs, Stats);
   });
 }
 
-void usuba::scheduleMSlice(U0Function &F, const Arch &Target) {
+void usuba::scheduleMSlice(U0Function &F, const Arch &Target,
+                           MSliceScheduleStats *Stats) {
   // "a look-behind window of the previous 16 instructions (which
   // corresponds to the maximal number of registers available on Intel
   // platforms without AVX512)".
   unsigned WindowLimit = Target.NumRegisters >= 32 ? 32 : 16;
+  if (Stats)
+    Stats->WindowLimit = WindowLimit;
   unsigned NumRegs = F.NumRegs;
-  forEachSegment(F, [NumRegs, WindowLimit](std::vector<U0Instr> &Segment) {
-    scheduleMSliceSegment(Segment, NumRegs, WindowLimit);
-  });
+  forEachSegment(F,
+                 [NumRegs, WindowLimit, Stats](std::vector<U0Instr> &Segment) {
+                   scheduleMSliceSegment(Segment, NumRegs, WindowLimit, Stats);
+                 });
 }
 
 void usuba::stripBarriers(U0Function &F) {

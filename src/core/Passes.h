@@ -48,8 +48,9 @@ void cleanupProgram(U0Program &Prog);
 bool inlineAllCalls(U0Program &Prog, size_t MaxInstrs = 0);
 
 /// Fuses `t = ~x; d = t & y` into `d = x &~ y` when the Not has a single
-/// use (pandn/vpandn on every x86 SIMD level).
-void fuseAndNot(U0Function &F);
+/// use (pandn/vpandn on every x86 SIMD level). Returns the number of
+/// fusions performed.
+unsigned fuseAndNot(U0Function &F);
 
 /// Common-subexpression elimination: structurally identical instructions
 /// (same opcode, operands, immediate/amount/pattern) compute the same
@@ -79,17 +80,39 @@ unsigned interleaveFactorFor(unsigned MaxLive, const Arch &Target);
 void interleaveEntry(U0Program &Prog, unsigned Factor,
                      unsigned BlockSize = 10);
 
+/// Decision counters from one scheduleBitslice run, reported as
+/// optimization remarks by the compiler driver.
+struct BitsliceScheduleStats {
+  unsigned Segments = 0;         ///< barrier-delimited segments scheduled
+  unsigned Calls = 0;            ///< calls anchoring Algorithm 1
+  unsigned ConsumersHoisted = 0; ///< result consumers scheduled while hot
+  unsigned Moved = 0;            ///< instructions whose position changed
+};
+
 /// The bitslice scheduler (paper Algorithm 1): shrinks live ranges of
 /// call arguments and results to reduce spilling. Operates on the
 /// pre-inlining call structure; barriers delimit independently scheduled
 /// segments.
-void scheduleBitslice(U0Function &F);
+void scheduleBitslice(U0Function &F, BitsliceScheduleStats *Stats = nullptr);
+
+/// Decision counters from one scheduleMSlice run: how often the window
+/// found a hazard-free (and port-clean) candidate vs how often it had to
+/// accept a conflict, plus how deep into the ready set it looked.
+struct MSliceScheduleStats {
+  unsigned Segments = 0;     ///< barrier-delimited segments scheduled
+  unsigned WindowHits = 0;   ///< picks with no hazard and no port conflict
+  unsigned WindowMisses = 0; ///< picks accepting a shuffle-port conflict
+  unsigned ForcedPicks = 0;  ///< picks forced despite a data hazard
+  unsigned WindowLimit = 0;  ///< look-behind window size used
+  unsigned MaxLookahead = 0; ///< deepest scan into the ready set
+};
 
 /// The m-slice scheduler (Section 3.2): greedy list scheduling with a
 /// 16-instruction look-behind window, avoiding data hazards and
 /// consecutive dispatches to the same (modelled) execution unit — the
 /// shuffle unit is the scarce one on Skylake.
-void scheduleMSlice(U0Function &F, const Arch &Target);
+void scheduleMSlice(U0Function &F, const Arch &Target,
+                    MSliceScheduleStats *Stats = nullptr);
 
 /// Removes Barrier instructions (done after scheduling, before
 /// execution/emission).

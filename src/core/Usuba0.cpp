@@ -102,12 +102,16 @@ static std::string instrStr(const U0Instr &I) {
   return Out;
 }
 
-std::string U0Function::str() const {
+std::string U0Function::str(bool WithLocs) const {
   std::string Out = "func " + Name + " (inputs " +
                     std::to_string(NumInputs) + ", regs " +
                     std::to_string(NumRegs) + ")\n";
-  for (const U0Instr &I : Instrs)
-    Out += "  " + instrStr(I) + "\n";
+  for (const U0Instr &I : Instrs) {
+    Out += "  " + instrStr(I);
+    if (WithLocs && I.Loc.isValid())
+      Out += " ; ua:" + I.Loc.str();
+    Out += "\n";
+  }
   Out += "  ret";
   for (unsigned R : Outputs)
     Out += " r" + std::to_string(R);
@@ -115,10 +119,10 @@ std::string U0Function::str() const {
   return Out;
 }
 
-std::string U0Program::str() const {
+std::string U0Program::str(bool WithLocs) const {
   std::string Out;
   for (const U0Function &F : Funcs) {
-    Out += F.str();
+    Out += F.str(WithLocs);
     Out += "\n";
   }
   return Out;

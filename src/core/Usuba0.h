@@ -24,6 +24,7 @@
 #ifndef USUBA_CORE_USUBA0_H
 #define USUBA_CORE_USUBA0_H
 
+#include "support/SourceLoc.h"
 #include "types/Arch.h"
 #include "types/Type.h"
 
@@ -82,6 +83,12 @@ struct U0Instr {
   uint64_t Imm = 0;              ///< Const
   unsigned Callee = 0;           ///< Call: function index in the program
   std::vector<uint8_t> Pattern;  ///< Shuffle positions (size = m)
+  /// Provenance: the `.ua` source position this instruction descends
+  /// from. Stamped by the normalizer from equation locations, preserved
+  /// verbatim by every back-end pass (inlined instructions keep their
+  /// callee-body locations; copy propagation and CSE never synthesize
+  /// instructions). May be invalid for purely synthetic code.
+  SourceLoc Loc;
 
   static U0Instr unary(U0Op Op, unsigned Dest, unsigned Src) {
     U0Instr I;
@@ -146,7 +153,9 @@ struct U0Function {
   unsigned addReg() { return NumRegs++; }
 
   /// Renders the function as readable text (for tests and -dump-u0).
-  std::string str() const;
+  /// With \p WithLocs, instructions carrying provenance gain a trailing
+  /// "; ua:line:col" annotation.
+  std::string str(bool WithLocs = false) const;
 };
 
 /// A monomorphic Usuba0 program: the functions (entry last), the slicing
@@ -173,7 +182,7 @@ struct U0Program {
     return static_cast<unsigned>(Funcs.size()) - 1;
   }
 
-  std::string str() const;
+  std::string str(bool WithLocs = false) const;
 };
 
 /// Structural sanity check: operand counts per opcode, register indices in

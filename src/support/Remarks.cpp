@@ -1,0 +1,193 @@
+//===- Remarks.cpp - Structured optimization remarks ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Remarks.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace usuba;
+
+namespace usuba {
+namespace remarks_detail {
+
+std::atomic<bool> Enabled{[] {
+  const char *Env = std::getenv("USUBA_REMARKS");
+  return Env && Env[0] == '1';
+}()};
+
+} // namespace remarks_detail
+} // namespace usuba
+
+namespace {
+
+/// JSON string escaping (pass names and messages are ASCII in practice,
+/// but the sink must never emit broken JSON).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+const char *usuba::remarkKindName(Remark::Kind K) {
+  switch (K) {
+  case Remark::Kind::Passed:
+    return "passed";
+  case Remark::Kind::Missed:
+    return "missed";
+  case Remark::Kind::Analysis:
+    return "analysis";
+  }
+  return "analysis";
+}
+
+Remark Remark::make(Kind K, std::string Pass, std::string Name) {
+  Remark R;
+  R.K = K;
+  R.Pass = std::move(Pass);
+  R.Name = std::move(Name);
+  return R;
+}
+
+Remark &Remark::arg(std::string Key, double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Value);
+  Args.push_back({std::move(Key), Buf, true});
+  return *this;
+}
+
+std::string Remark::render() const {
+  std::string Out = Loc.str();
+  Out += ": remark [";
+  Out += Pass;
+  Out += "] ";
+  Out += remarkKindName(K);
+  Out += ' ';
+  Out += Name;
+  if (!Function.empty()) {
+    Out += " (";
+    Out += Function;
+    Out += ')';
+  }
+  if (!Message.empty()) {
+    Out += ": ";
+    Out += Message;
+  }
+  if (!Args.empty()) {
+    Out += " {";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I].Key;
+      Out += '=';
+      Out += Args[I].Value;
+    }
+    Out += '}';
+  }
+  return Out;
+}
+
+std::string Remark::json() const {
+  std::ostringstream Out;
+  Out << "{\"kind\": \"" << remarkKindName(K) << "\", \"pass\": \""
+      << jsonEscape(Pass) << "\", \"name\": \"" << jsonEscape(Name) << "\"";
+  if (!Function.empty())
+    Out << ", \"function\": \"" << jsonEscape(Function) << "\"";
+  Out << ", \"line\": " << Loc.Line << ", \"col\": " << Loc.Column
+      << ", \"message\": \"" << jsonEscape(Message) << "\", \"args\": {";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    Out << (I ? ", " : "") << '"' << jsonEscape(Args[I].Key) << "\": ";
+    if (Args[I].IsNumber)
+      Out << Args[I].Value;
+    else
+      Out << '"' << jsonEscape(Args[I].Value) << '"';
+  }
+  Out << "}}";
+  return Out.str();
+}
+
+RemarkEngine &RemarkEngine::instance() {
+  static RemarkEngine *E = new RemarkEngine; // leaked: probes may run at exit
+  return *E;
+}
+
+void RemarkEngine::setEnabled(bool On) {
+  remarks_detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+void RemarkEngine::record(Remark R) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Buffer.size() < MaxRemarks)
+    Buffer.push_back(std::move(R));
+  else
+    ++Dropped;
+}
+
+size_t RemarkEngine::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Buffer.size();
+}
+
+size_t RemarkEngine::dropped() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Dropped;
+}
+
+std::vector<Remark> RemarkEngine::snapshotSince(size_t Begin) const {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Begin >= Buffer.size())
+    return {};
+  return std::vector<Remark>(Buffer.begin() + static_cast<long>(Begin),
+                             Buffer.end());
+}
+
+void RemarkEngine::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  Buffer.clear();
+  Dropped = 0;
+}
+
+std::string RemarkEngine::json() const {
+  return jsonArray(snapshot());
+}
+
+std::string RemarkEngine::jsonArray(const std::vector<Remark> &Remarks) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Remarks.size(); ++I) {
+    if (I)
+      Out += ",\n ";
+    Out += Remarks[I].json();
+  }
+  Out += "]";
+  return Out;
+}

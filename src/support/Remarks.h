@@ -1,0 +1,186 @@
+//===- Remarks.h - Structured optimization remarks --------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style structured optimization remarks: every pass decision the
+/// compiler makes (inline accepted/refused and why, the interleave
+/// factor chosen, scheduler window hits and misses, a table lowered to
+/// a circuit of N gates, a budget trip) is recorded as a Remark with a
+/// pass name, a source location and key/value arguments, so a perf or
+/// constant-time finding can always be traced back to a line of `.ua`
+/// source and the decision that produced it.
+///
+/// Overhead contract: identical to Telemetry — disabled by default, and
+/// a disabled probe costs one relaxed atomic load. Call sites must gate
+/// on remarksEnabled() *before* building any remark (the Remark fluent
+/// API allocates strings); the pattern is
+///
+///   if (remarksEnabled())
+///     RemarkEngine::instance().record(
+///         Remark::missed("inline", "Budget").at(Loc).note("..."));
+///
+/// Sinks:
+///  * Remark::render()          — one human-readable line (usubac -Rpass);
+///  * RemarkEngine::json()      — structured JSON array (--remarks=out.json,
+///    embedded in BENCH_throughput.json and CipherStats);
+///  * CompiledKernel::Remarks   — the per-compile slice, captured by the
+///    compiler via snapshotSince().
+///
+/// Enabling: RemarkEngine::instance().setEnabled(true), or the
+/// environment (USUBA_REMARKS=1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_SUPPORT_REMARKS_H
+#define USUBA_SUPPORT_REMARKS_H
+
+#include "support/SourceLoc.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace usuba {
+
+namespace remarks_detail {
+/// The global gate. Out of class so the inline fast path needs no
+/// function call into RemarkEngine.
+extern std::atomic<bool> Enabled;
+} // namespace remarks_detail
+
+/// The disabled-path check every probe starts with: one relaxed load.
+inline bool remarksEnabled() {
+  return remarks_detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// One structured remark: a pass decision with a reason. Mirrors LLVM's
+/// OptimizationRemark / OptimizationRemarkMissed / OptimizationRemarkAnalysis
+/// taxonomy:
+///  * Passed   — a transformation was applied ("inlined 3 calls");
+///  * Missed   — a transformation was refused, with the reason
+///               ("projected size exceeds the instruction budget");
+///  * Analysis — a measurement that explains behavior without implying a
+///               decision either way ("scheduler window hits/misses").
+struct Remark {
+  enum class Kind : uint8_t { Passed, Missed, Analysis };
+
+  /// One key/value argument. Numbers render unquoted in JSON.
+  struct Arg {
+    std::string Key;
+    std::string Value;
+    bool IsNumber = false;
+  };
+
+  Kind K = Kind::Analysis;
+  std::string Pass;     ///< Pass name ("inline", "schedule-bitslice", ...).
+  std::string Name;     ///< Remark identifier within the pass.
+  std::string Function; ///< Usuba node the remark is about (may be empty).
+  SourceLoc Loc;        ///< `.ua` source position (may be invalid).
+  std::string Message;  ///< Human-readable reason.
+  std::vector<Arg> Args;
+
+  static Remark passed(std::string Pass, std::string Name) {
+    return make(Kind::Passed, std::move(Pass), std::move(Name));
+  }
+  static Remark missed(std::string Pass, std::string Name) {
+    return make(Kind::Missed, std::move(Pass), std::move(Name));
+  }
+  static Remark analysis(std::string Pass, std::string Name) {
+    return make(Kind::Analysis, std::move(Pass), std::move(Name));
+  }
+
+  Remark &in(std::string Fn) {
+    Function = std::move(Fn);
+    return *this;
+  }
+  Remark &at(SourceLoc L) {
+    Loc = L;
+    return *this;
+  }
+  Remark &note(std::string Msg) {
+    Message = std::move(Msg);
+    return *this;
+  }
+  Remark &arg(std::string Key, std::string Value) {
+    Args.push_back({std::move(Key), std::move(Value), false});
+    return *this;
+  }
+  Remark &arg(std::string Key, const char *Value) {
+    Args.push_back({std::move(Key), Value, false});
+    return *this;
+  }
+  template <typename T,
+            typename std::enable_if<std::is_integral<T>::value, int>::type = 0>
+  Remark &arg(std::string Key, T Value) {
+    Args.push_back({std::move(Key), std::to_string(Value), true});
+    return *this;
+  }
+  Remark &arg(std::string Key, double Value);
+
+  /// "12:3: remark [inline] missed Budget (rectangle): reason {k=v, ...}"
+  std::string render() const;
+
+  /// One JSON object; numbers (including line/col) are unquoted.
+  std::string json() const;
+
+private:
+  static Remark make(Kind K, std::string Pass, std::string Name);
+};
+
+/// "passed" / "missed" / "analysis".
+const char *remarkKindName(Remark::Kind K);
+
+/// The process-wide remark buffer. All methods are thread-safe; the
+/// enabled hot-path cost is one mutex acquisition per record().
+class RemarkEngine {
+public:
+  /// Buffer capacity: recording stops (and dropped() counts) once full,
+  /// bounding memory on pathological compiles.
+  static constexpr size_t MaxRemarks = size_t{1} << 16;
+
+  static RemarkEngine &instance();
+
+  bool enabled() const { return remarksEnabled(); }
+  void setEnabled(bool On);
+
+  /// Appends one remark (dropped silently past MaxRemarks).
+  void record(Remark R);
+
+  /// Number of remarks currently buffered. A caller that wants only its
+  /// own compile's remarks captures size() before and snapshotSince()
+  /// after.
+  size_t size() const;
+  size_t dropped() const;
+
+  /// Copies the remarks recorded at index \p Begin and later.
+  std::vector<Remark> snapshotSince(size_t Begin) const;
+  std::vector<Remark> snapshot() const { return snapshotSince(0); }
+
+  /// Drops every buffered remark (tests, per-run isolation). The
+  /// enabled flag is unchanged.
+  void reset();
+
+  /// JSON array of every buffered remark.
+  std::string json() const;
+
+  /// JSON array of an externally held remark slice (CipherStats).
+  static std::string jsonArray(const std::vector<Remark> &Remarks);
+
+private:
+  RemarkEngine() = default;
+
+  mutable std::mutex M;
+  std::vector<Remark> Buffer;
+  size_t Dropped = 0;
+};
+
+} // namespace usuba
+
+#endif // USUBA_SUPPORT_REMARKS_H

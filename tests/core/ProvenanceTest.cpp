@@ -1,0 +1,202 @@
+//===- ProvenanceTest.cpp - Source provenance and compile remarks ---------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end observability properties of the pipeline: every Usuba0
+/// instruction that survives compilation carries a `.ua` source
+/// location; the C emitter surfaces those locations as comments; a
+/// compile captures exactly its own remark slice; refused optimizations
+/// name the pass, the reason and the responsible source node; and the
+/// per-pass observer fires once per attempted pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cbackend/CEmitter.h"
+#include "ciphers/UsubaSources.h"
+#include "core/Compiler.h"
+#include "support/Remarks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+/// Restores the global remark state around each test (the engine is
+/// process-wide and other tests must not see our remarks).
+class RemarkGuard {
+public:
+  RemarkGuard() : WasEnabled(remarksEnabled()) {
+    RemarkEngine::instance().reset();
+  }
+  ~RemarkGuard() {
+    RemarkEngine::instance().setEnabled(WasEnabled);
+    RemarkEngine::instance().reset();
+  }
+
+private:
+  bool WasEnabled;
+};
+
+CompileOptions bitsliceOptions() {
+  CompileOptions Options;
+  Options.Bitslice = true;
+  Options.WordBits = 16;
+  Options.Target = &archGP64();
+  return Options;
+}
+
+CompileOptions vsliceOptions() {
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &archGP64();
+  return Options;
+}
+
+TEST(Provenance, EveryInstructionCarriesASourceLocation) {
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), bitsliceOptions(), Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+
+  // The whole optimized program — through normalization, flattening,
+  // inlining, scheduling and peepholes — still maps back to `.ua` lines.
+  for (const U0Function &F : Kernel->Prog.Funcs)
+    for (size_t I = 0; I < F.Instrs.size(); ++I)
+      EXPECT_TRUE(F.Instrs[I].Loc.isValid())
+          << F.Name << " instr " << I << " lost its source location";
+}
+
+TEST(Provenance, ProgramDumpShowsLocationsOnlyOnRequest) {
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), vsliceOptions(), Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+
+  // Default dump is unchanged (golden tests and log-diffing rely on
+  // it); the WithLocs form annotates every instruction.
+  EXPECT_EQ(Kernel->Prog.str().find("ua:"), std::string::npos);
+  EXPECT_NE(Kernel->Prog.str(/*WithLocs=*/true).find("; ua:"),
+            std::string::npos);
+}
+
+TEST(Provenance, EmittedCCarriesLocationComments) {
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), vsliceOptions(), Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+
+  std::string Code = emitC(Kernel->Prog).Code;
+  EXPECT_NE(Code.find("/* ua:"), std::string::npos)
+      << "JIT-compiled C lost the .ua provenance comments";
+}
+
+TEST(Remarks, CompileCapturesExactlyItsOwnSlice) {
+  RemarkGuard Guard;
+  RemarkEngine::instance().setEnabled(true);
+
+  // A remark recorded before the compile must not leak into its slice.
+  RemarkEngine::instance().record(
+      Remark::analysis("foreign-pass", "NotMine"));
+
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), bitsliceOptions(), Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+
+  ASSERT_FALSE(Kernel->Remarks.empty());
+  for (const Remark &R : Kernel->Remarks)
+    EXPECT_NE(R.Pass, "foreign-pass");
+
+  // The bitsliced compile must explain its scheduling decision with a
+  // reason and a source location (the `usubac -Rpass` acceptance path).
+  auto Sched = std::find_if(Kernel->Remarks.begin(), Kernel->Remarks.end(),
+                            [](const Remark &R) {
+                              return R.Pass == "schedule-bitslice" &&
+                                     R.K == Remark::Kind::Passed;
+                            });
+  ASSERT_NE(Sched, Kernel->Remarks.end());
+  EXPECT_FALSE(Sched->Message.empty());
+  EXPECT_TRUE(Sched->Loc.isValid());
+  EXPECT_FALSE(Sched->Function.empty());
+
+  // Every attempted back-end pass is covered by at least one remark
+  // (the CI remark-report validator relies on this invariant).
+  for (const PassStat &S : Kernel->PassStats) {
+    bool Covered = std::any_of(
+        Kernel->Remarks.begin(), Kernel->Remarks.end(),
+        [&](const Remark &R) { return R.Pass == S.Name; });
+    EXPECT_TRUE(Covered) << "pass " << S.Name << " left no remark";
+  }
+}
+
+TEST(Remarks, DisabledCompileRecordsNothing) {
+  RemarkGuard Guard;
+  RemarkEngine::instance().setEnabled(false);
+
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), vsliceOptions(), Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+  EXPECT_TRUE(Kernel->Remarks.empty());
+  EXPECT_EQ(RemarkEngine::instance().size(), 0u);
+}
+
+TEST(Remarks, BudgetTripNamesPassAndSourceNode) {
+  RemarkGuard Guard;
+  RemarkEngine::instance().setEnabled(true);
+
+  // An instruction budget far below Rectangle's inlined size: the
+  // inliner must refuse, and the remark must say which pass, why, and
+  // which source node was responsible.
+  CompileOptions Options = bitsliceOptions();
+  Options.Budgets.MaxInstrs = 100;
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), Options, Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+
+  auto Missed = std::find_if(Kernel->Remarks.begin(), Kernel->Remarks.end(),
+                             [](const Remark &R) {
+                               return R.Pass == "inline" &&
+                                      R.K == Remark::Kind::Missed;
+                             });
+  ASSERT_NE(Missed, Kernel->Remarks.end())
+      << RemarkEngine::jsonArray(Kernel->Remarks);
+  EXPECT_FALSE(Missed->Message.empty());
+  EXPECT_FALSE(Missed->Function.empty()) << "no responsible source node";
+  EXPECT_TRUE(Missed->Loc.isValid());
+  bool HasBudgetArg =
+      std::any_of(Missed->Args.begin(), Missed->Args.end(),
+                  [](const Remark::Arg &A) { return A.Key == "max_instrs"; });
+  EXPECT_TRUE(HasBudgetArg);
+}
+
+TEST(Remarks, PassObserverFiresOncePerAttemptedPass) {
+  RemarkGuard Guard;
+
+  std::vector<std::string> Observed;
+  CompileOptions Options = vsliceOptions();
+  Options.PassObserver = [&](const PassStat &S, const U0Program &Prog) {
+    Observed.push_back(S.Name);
+    EXPECT_FALSE(Prog.Funcs.empty());
+  };
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(rectangleSource(), Options, Diags);
+  ASSERT_TRUE(Kernel.has_value()) << Diags.str();
+
+  ASSERT_EQ(Observed.size(), Kernel->PassStats.size());
+  for (size_t I = 0; I < Observed.size(); ++I)
+    EXPECT_EQ(Observed[I], Kernel->PassStats[I].Name);
+}
+
+} // namespace

@@ -1,0 +1,54 @@
+# Runs usubac and compares its stdout byte-for-byte against a checked-in
+# golden file. Invoked by ctest as:
+#
+#   cmake -DUSUBAC=<usubac> "-DARGS=<;-separated args>" -DGOLDEN=<file>
+#         -P run_golden.cmake
+#
+# After an intentional output change (new emitter comment style, IR
+# printer tweak, ...), regenerate the golden with:
+#
+#   build/examples/usubac <args> -o tests/golden/<file>
+#
+# and review the diff like any other source change.
+if(NOT USUBAC OR NOT GOLDEN)
+  message(FATAL_ERROR "run_golden.cmake needs -DUSUBAC= -DARGS= -DGOLDEN=")
+endif()
+
+execute_process(
+  COMMAND "${USUBAC}" ${ARGS}
+  OUTPUT_VARIABLE ACTUAL
+  ERROR_VARIABLE STDERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "usubac ${ARGS} exited ${RC}:\n${STDERR}")
+endif()
+
+file(READ "${GOLDEN}" WANT)
+if(ACTUAL STREQUAL WANT)
+  message(STATUS "golden OK: ${GOLDEN}")
+  return()
+endif()
+
+get_filename_component(GOLDEN_NAME "${GOLDEN}" NAME)
+set(ACTUAL_FILE "${CMAKE_CURRENT_BINARY_DIR}/${GOLDEN_NAME}.actual")
+file(WRITE "${ACTUAL_FILE}" "${ACTUAL}")
+find_program(DIFF_TOOL diff)
+set(DIFF_TEXT "")
+if(DIFF_TOOL)
+  execute_process(
+    COMMAND "${DIFF_TOOL}" -u "${GOLDEN}" "${ACTUAL_FILE}"
+    OUTPUT_VARIABLE DIFF_TEXT)
+  # Keep the failure message readable: first ~60 diff lines.
+  string(REPLACE "\n" ";" DIFF_LINES "${DIFF_TEXT}")
+  list(LENGTH DIFF_LINES DIFF_LEN)
+  if(DIFF_LEN GREATER 60)
+    list(SUBLIST DIFF_LINES 0 60 DIFF_LINES)
+    list(APPEND DIFF_LINES "... (${DIFF_LEN} diff lines total)")
+  endif()
+  string(REPLACE ";" "\n" DIFF_TEXT "${DIFF_LINES}")
+endif()
+message(FATAL_ERROR
+  "usubac output diverged from ${GOLDEN}\n"
+  "actual output saved to ${ACTUAL_FILE}\n"
+  "if the change is intentional, regenerate the golden (see header)\n"
+  "${DIFF_TEXT}")

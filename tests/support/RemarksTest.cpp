@@ -1,0 +1,221 @@
+//===- RemarksTest.cpp - Structured optimization remark tests -------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The remark subsystem's contract: disabled by default with a
+/// one-relaxed-load gate; the fluent builder fills every field; render()
+/// and json() are well-formed; the engine buffers thread-safely, caps at
+/// MaxRemarks, and snapshotSince() isolates one compile's slice.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Remarks.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+using namespace usuba;
+
+namespace {
+
+/// Restores the global enabled flag (and wipes the buffer) so tests do
+/// not leak remark state into each other — the engine is process-wide.
+class RemarkGuard {
+public:
+  RemarkGuard() : WasEnabled(remarksEnabled()) {
+    RemarkEngine::instance().reset();
+  }
+  ~RemarkGuard() {
+    RemarkEngine::instance().setEnabled(WasEnabled);
+    RemarkEngine::instance().reset();
+  }
+
+private:
+  bool WasEnabled;
+};
+
+/// The same crude structural JSON check the telemetry tests use.
+bool looksLikeJson(const std::string &S, char Open = '{') {
+  std::string Stack;
+  bool InString = false;
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      Stack += C;
+      break;
+    case '}':
+      if (Stack.empty() || Stack.back() != '{')
+        return false;
+      Stack.pop_back();
+      break;
+    case ']':
+      if (Stack.empty() || Stack.back() != '[')
+        return false;
+      Stack.pop_back();
+      break;
+    default:
+      break;
+    }
+  }
+  return !InString && Stack.empty() && !S.empty() && S[0] == Open;
+}
+
+TEST(Remarks, DisabledGateRecordsNothing) {
+  RemarkGuard Guard;
+  RemarkEngine::instance().setEnabled(false);
+
+  // The documented call-site pattern: gate before building the remark.
+  if (remarksEnabled())
+    RemarkEngine::instance().record(
+        Remark::missed("inline", "Budget").note("should not be recorded"));
+
+  EXPECT_FALSE(RemarkEngine::instance().enabled());
+  EXPECT_EQ(RemarkEngine::instance().size(), 0u);
+  EXPECT_EQ(RemarkEngine::instance().dropped(), 0u);
+  EXPECT_EQ(RemarkEngine::instance().json(), "[]");
+}
+
+TEST(Remarks, DisabledProbeIsCheap) {
+  RemarkGuard Guard;
+  RemarkEngine::instance().setEnabled(false);
+
+  // Same contract as telemetry: one relaxed atomic load per disabled
+  // probe, bounded loosely so CI cannot flake it.
+  constexpr int Iters = 2'000'000;
+  int Hits = 0;
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < Iters; ++I)
+    if (remarksEnabled())
+      ++Hits;
+  auto End = std::chrono::steady_clock::now();
+  double NsPerProbe =
+      std::chrono::duration<double, std::nano>(End - Start).count() / Iters;
+  EXPECT_EQ(Hits, 0);
+  EXPECT_LT(NsPerProbe, 25.0) << "disabled remark probe too expensive";
+}
+
+TEST(Remarks, FluentBuilderFillsEveryField) {
+  Remark R = Remark::missed("inline", "InstrBudget")
+                 .in("Rectangle")
+                 .at(SourceLoc{12, 3})
+                 .note("projected size exceeds the budget")
+                 .arg("max_instrs", 4096)
+                 .arg("ratio", 1.5)
+                 .arg("source", "heuristic");
+  EXPECT_EQ(R.K, Remark::Kind::Missed);
+  EXPECT_EQ(R.Pass, "inline");
+  EXPECT_EQ(R.Name, "InstrBudget");
+  EXPECT_EQ(R.Function, "Rectangle");
+  EXPECT_EQ(R.Loc.Line, 12u);
+  EXPECT_EQ(R.Loc.Column, 3u);
+  ASSERT_EQ(R.Args.size(), 3u);
+  EXPECT_TRUE(R.Args[0].IsNumber);
+  EXPECT_EQ(R.Args[0].Value, "4096");
+  EXPECT_TRUE(R.Args[1].IsNumber);
+  EXPECT_EQ(R.Args[1].Value, "1.500");
+  EXPECT_FALSE(R.Args[2].IsNumber);
+
+  EXPECT_STREQ(remarkKindName(Remark::Kind::Passed), "passed");
+  EXPECT_STREQ(remarkKindName(Remark::Kind::Missed), "missed");
+  EXPECT_STREQ(remarkKindName(Remark::Kind::Analysis), "analysis");
+}
+
+TEST(Remarks, RenderFormat) {
+  Remark R = Remark::missed("inline", "InstrBudget")
+                 .in("Rectangle")
+                 .at(SourceLoc{12, 3})
+                 .note("budget exceeded")
+                 .arg("calls", 7);
+  EXPECT_EQ(R.render(), "12:3: remark [inline] missed InstrBudget "
+                        "(Rectangle): budget exceeded {calls=7}");
+
+  // No location, function, message or args: every optional part drops
+  // out cleanly.
+  Remark Bare = Remark::analysis("cse", "Subexpressions");
+  EXPECT_EQ(Bare.render(), "<unknown>: remark [cse] analysis Subexpressions");
+}
+
+TEST(Remarks, JsonShape) {
+  Remark R = Remark::passed("table-circuit", "Lowered")
+                 .in("SubColumn")
+                 .at(SourceLoc{4, 1})
+                 .note("lookup table lowered")
+                 .arg("gates", 12)
+                 .arg("source", "database");
+  std::string Json = R.json();
+  EXPECT_TRUE(looksLikeJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"kind\": \"passed\""), std::string::npos);
+  EXPECT_NE(Json.find("\"pass\": \"table-circuit\""), std::string::npos);
+  EXPECT_NE(Json.find("\"function\": \"SubColumn\""), std::string::npos);
+  EXPECT_NE(Json.find("\"line\": 4"), std::string::npos);
+  EXPECT_NE(Json.find("\"gates\": 12"), std::string::npos);       // unquoted
+  EXPECT_NE(Json.find("\"source\": \"database\""), std::string::npos);
+
+  // Hostile strings must not break the JSON sink.
+  Remark Weird = Remark::analysis("p\"ass\\", "na\nme")
+                     .note("ctrl\x01char")
+                     .arg("k\"ey", "v\\alue");
+  EXPECT_TRUE(looksLikeJson(Weird.json())) << Weird.json();
+}
+
+TEST(Remarks, RecordSnapshotSinceAndReset) {
+  RemarkGuard Guard;
+  RemarkEngine &E = RemarkEngine::instance();
+  E.setEnabled(true);
+
+  E.record(Remark::passed("inline", "First"));
+  const size_t Base = E.size();
+  E.record(Remark::missed("interleave", "Second"));
+  E.record(Remark::analysis("cse", "Third"));
+
+  // snapshotSince isolates "my compile's" slice the way the compiler
+  // captures CompiledKernel::Remarks.
+  std::vector<Remark> Slice = E.snapshotSince(Base);
+  ASSERT_EQ(Slice.size(), 2u);
+  EXPECT_EQ(Slice[0].Name, "Second");
+  EXPECT_EQ(Slice[1].Name, "Third");
+  EXPECT_EQ(E.snapshotSince(E.size()).size(), 0u);
+  EXPECT_EQ(E.snapshot().size(), 3u);
+
+  std::string Json = E.json();
+  EXPECT_TRUE(looksLikeJson(Json, '[')) << Json;
+  EXPECT_EQ(RemarkEngine::jsonArray(Slice).find('['), 0u);
+
+  E.reset();
+  EXPECT_EQ(E.size(), 0u);
+  EXPECT_EQ(E.json(), "[]");
+}
+
+TEST(Remarks, BufferCapsAtMaxRemarksAndCountsDrops) {
+  RemarkGuard Guard;
+  RemarkEngine &E = RemarkEngine::instance();
+  E.setEnabled(true);
+
+  for (size_t I = 0; I < RemarkEngine::MaxRemarks + 5; ++I)
+    E.record(Remark::analysis("flood", "R"));
+  EXPECT_EQ(E.size(), RemarkEngine::MaxRemarks);
+  EXPECT_EQ(E.dropped(), 5u);
+
+  E.reset();
+  EXPECT_EQ(E.size(), 0u);
+  EXPECT_EQ(E.dropped(), 0u);
+}
+
+} // namespace

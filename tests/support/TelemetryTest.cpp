@@ -16,11 +16,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace usuba;
 
@@ -213,6 +216,48 @@ TEST(Telemetry, TraceExportRoundtrip) {
   EXPECT_NE(Trace.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
 
   EXPECT_FALSE(T.writeTrace("/nonexistent-dir/trace.json"));
+}
+
+TEST(Telemetry, SinksAreSafeAgainstConcurrentUpdates) {
+  // Writer threads hammer counters and spans while the main thread
+  // exercises every sink (snapshotJson, writeTrace, summary) plus
+  // reset. Nothing here asserts on totals — the point is that the
+  // sinks never observe a torn registry. Run under TSan via
+  // -DUSUBA_SANITIZE=thread to make this test carry its full weight.
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < 4; ++W)
+    Writers.emplace_back([&, W] {
+      std::string Counter = "race.counter." + std::to_string(W % 2);
+      while (!Stop.load(std::memory_order_relaxed)) {
+        telemetryCount(Counter.c_str());
+        TelemetrySpan Span("race.span");
+      }
+    });
+
+  std::string TracePath =
+      testing::TempDir() + "/usuba_telemetry_race_trace.json";
+  for (int Round = 0; Round < 50; ++Round) {
+    std::string Json = T.snapshotJson();
+    EXPECT_TRUE(looksLikeJson(Json)) << Json;
+    EXPECT_TRUE(T.writeTrace(TracePath));
+    EXPECT_FALSE(T.summary().empty());
+    if (Round % 10 == 9)
+      T.reset();
+  }
+
+  Stop.store(true);
+  for (std::thread &W : Writers)
+    W.join();
+  std::remove(TracePath.c_str());
+
+  // The registry is still coherent after the race.
+  std::string Final = T.snapshotJson();
+  EXPECT_TRUE(looksLikeJson(Final)) << Final;
 }
 
 TEST(Telemetry, SummaryMentionsRecordedNames) {
