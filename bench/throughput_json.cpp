@@ -20,6 +20,7 @@
 
 #include "bench/BenchSupport.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -190,7 +191,21 @@ int main(int Argc, char **Argv) {
       std::vector<uint8_t> Key(Cipher->keyBytes(), 0x5A);
       Cipher->setKey(Key.data(), Key.size());
       const uint8_t Nonce[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
-      std::vector<uint8_t> Data(workloadBytes(), 0x33);
+      // Size the workload so the threaded engine engages for every
+      // requested thread count: an explicit setThreadCount() call
+      // distributes on batch boundaries, so the call must span well more
+      // batches than the largest thread count or the per-row numbers
+      // silently measure the single-threaded path.
+      unsigned MaxThreads = 1;
+      for (unsigned T : ThreadCounts)
+        MaxThreads = std::max(MaxThreads, T);
+      const size_t BatchBytes =
+          size_t{Cipher->blocksPerCall()} * Cipher->blockBytes();
+      std::vector<uint8_t> Data(
+          std::max(workloadBytes(), size_t{8} * MaxThreads * BatchBytes),
+          0x33);
+      const size_t BatchesPerCall = (Data.size() + BatchBytes - 1) /
+                                    BatchBytes;
       double KernelCpb = kernelCyclesPerByte(*Cipher);
 
       for (unsigned Threads : ThreadCounts) {
@@ -198,15 +213,35 @@ int main(int Argc, char **Argv) {
         Measurement Ctr = measureThroughput(
             [&] { Cipher->ctrXor(Data.data(), Data.size(), Nonce, 0); },
             Data.size());
+        // One untimed telemetry-on call measures how well the pool's
+        // slots were filled: worker busy time over wall * participants.
+        // 0 means the threaded engine never engaged (threads = 1 or too
+        // few batches) — exactly the diagnostic for flat thread scaling.
+        Telemetry &Tel = Telemetry::instance();
+        const bool TelWas = Tel.enabled();
+        Tel.setEnabled(true);
+        const uint64_t Busy0 = Tel.counter("threadpool.worker_busy_ns");
+        const uint64_t Slot0 = Tel.counter("threadpool.slot_ns");
+        Cipher->ctrXor(Data.data(), Data.size(), Nonce, 0);
+        const uint64_t BusyNs =
+            Tel.counter("threadpool.worker_busy_ns") - Busy0;
+        const uint64_t SlotNs = Tel.counter("threadpool.slot_ns") - Slot0;
+        Tel.setEnabled(TelWas);
+        const double Utilization =
+            SlotNs ? static_cast<double>(BusyNs) /
+                         static_cast<double>(SlotNs)
+                   : 0.0;
         std::fprintf(
             Out,
             "%s\n    {\"cipher\": \"%s\", \"slicing\": \"%s\", "
             "\"arch\": \"%s\", \"engine\": \"%s\", \"threads\": %u, "
             "\"ctr_cycles_per_byte\": %.4f, \"ctr_gib_per_s\": %.4f, "
-            "\"kernel_cycles_per_byte\": %.4f}",
+            "\"kernel_cycles_per_byte\": %.4f, "
+            "\"batches_per_call\": %zu, \"pool_utilization\": %.3f}",
             FirstRecord ? "" : ",", cipherName(Row.Id),
             slicingName(Row.Slicing), Target->Name, engineTag(*Cipher),
-            Threads, Ctr.CyclesPerByte, Ctr.GibPerSec, KernelCpb);
+            Threads, Ctr.CyclesPerByte, Ctr.GibPerSec, KernelCpb,
+            BatchesPerCall, Utilization);
         FirstRecord = false;
       }
     }

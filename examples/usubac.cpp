@@ -14,6 +14,9 @@
 ///   -w <m>         word size for the parameter 'm
 ///   -arch <name>   gp64 | sse | avx | avx2 | avx512
 ///   -no-inline -no-unroll -no-sched -interleave   back-end toggles
+///   -O0 | -O1      disable / enable (default) the Usuba0 mid-end
+///   -fno-copy-prop -fno-constant-fold -fno-cse -fno-dce
+///                  disable one mid-end pass
 ///   -dump-u0       print the optimized Usuba0 instead of C
 ///   -list          list the bundled programs and exit
 ///   -o <file>      write output to a file (default stdout)
@@ -56,7 +59,9 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: usubac [-V|-H] [-B] [-w m] [-arch name] [-no-inline]\n"
-      "              [-no-unroll] [-no-sched] [-interleave] [-dump-u0]\n"
+      "              [-no-unroll] [-no-sched] [-interleave] [-O0|-O1]\n"
+      "              [-fno-copy-prop] [-fno-constant-fold] [-fno-cse]\n"
+      "              [-fno-dce] [-dump-u0]\n"
       "              [-dump-ast] [-dump-source] [-o out]\n"
       "              [-Rpass[=pass]] [--remarks=file] [-dump-after=pass]\n"
       "              [-telemetry] <file.ua | bundled-name>\n"
@@ -175,6 +180,20 @@ int main(int argc, char **argv) {
       Options.Schedule = false;
     } else if (Arg == "-interleave") {
       Options.Interleave = true;
+    } else if (Arg == "-O0") {
+      Options.CopyProp = Options.ConstantFold = Options.Cse = Options.Dce =
+          false;
+    } else if (Arg == "-O1") {
+      Options.CopyProp = Options.ConstantFold = Options.Cse = Options.Dce =
+          true;
+    } else if (Arg == "-fno-copy-prop") {
+      Options.CopyProp = false;
+    } else if (Arg == "-fno-constant-fold") {
+      Options.ConstantFold = false;
+    } else if (Arg == "-fno-cse") {
+      Options.Cse = false;
+    } else if (Arg == "-fno-dce") {
+      Options.Dce = false;
     } else if (Arg == "-Rpass" || Arg.rfind("-Rpass=", 0) == 0) {
       PrintRemarks = true;
       if (Arg.size() > 7)
@@ -327,10 +346,10 @@ int main(int argc, char **argv) {
     File << Text;
   }
   std::fprintf(stderr,
-               "usubac: %s -> %zu instructions, %u live registers max, "
-               "interleave x%u\n",
-               Input.c_str(), Kernel->InstrCount, Kernel->MaxLive,
-               Kernel->InterleaveFactor());
+               "usubac: %s -> %zu instructions (%zu before the mid-end), "
+               "%u live registers max, interleave x%u\n",
+               Input.c_str(), Kernel->InstrCount, Kernel->InstrCountPreOpt,
+               Kernel->MaxLive, Kernel->InterleaveFactor());
   if (WantTelemetry)
     std::fputs(Telemetry::instance().summary().c_str(), stderr);
   return 0;

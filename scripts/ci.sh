@@ -20,7 +20,11 @@
 #              bundled program with usubac --remarks=<json>, validates
 #              each report (JSON parses, >= 1 remark per back-end pass
 #              that ran), and archives the reports as an artifact at
-#              build-ci-perf/remarks/.
+#              build-ci-perf/remarks/. Finally runs the opt-ablation
+#              step: the bitsliced rows measured with USUBA_MIDEND=0 and
+#              again with the mid-end on, gated so the optimized build
+#              is never slower (tolerance USUBA_ABLATION_TOLERANCE,
+#              default 1.25x).
 #
 # Usage: scripts/ci.sh [release|debug|sanitize|perf|all]   (default: all)
 set -eu
@@ -76,7 +80,31 @@ EOF
   python3 scripts/bench_gate.py BENCH_throughput.json --self-test
   python3 scripts/bench_gate.py BENCH_throughput.json \
     build-ci-perf/BENCH_throughput.json
+  opt_ablation
   remarks_report
+}
+
+# Mid-end ablation: measure the same rows with the Usuba0 optimizer off
+# (USUBA_MIDEND=0) and on, then gate the optimized run against the -O0
+# run. The tolerance (default 1.25x) is tighter than the cross-machine
+# perf gate because both runs happen back-to-back on the same machine,
+# but not zero: single-core CI boxes show ~10% run-to-run jitter, and
+# the gate exists to prove the optimizer never makes a row *meaningfully*
+# slower. The workload is larger than perf-smoke's to shrink that jitter.
+opt_ablation() {
+  echo "==== ci job: perf (opt-ablation) ===="
+  USUBA_BENCH_BYTES=1048576 USUBA_MIDEND=0 \
+    ./build-ci-perf/bench/throughput_json \
+    --ciphers des,present --archs sse --threads 1 \
+    --out build-ci-perf/BENCH_midend_off.json
+  USUBA_BENCH_BYTES=1048576 \
+    ./build-ci-perf/bench/throughput_json \
+    --ciphers des,present --archs sse --threads 1 \
+    --out build-ci-perf/BENCH_midend_on.json
+  python3 scripts/bench_gate.py build-ci-perf/BENCH_midend_off.json \
+    build-ci-perf/BENCH_midend_on.json \
+    --tolerance "${USUBA_ABLATION_TOLERANCE:-1.25}"
+  echo "opt-ablation OK: optimized build no slower than -O0 on any row"
 }
 
 # Compile every bundled program with remarks on, dump each compile's

@@ -61,6 +61,10 @@ std::string usuba::kernelCacheKey(const CipherConfig &Config,
   Key += Config.Interleave ? 'L' : 'l';
   Key += Config.Schedule ? 'S' : 's';
   Key += Config.PreferNative ? 'N' : 'n';
+  // The mid-end optimizer changes the compiled artifact like any other
+  // back-end toggle (and resolves through an env default, so it must be
+  // in the key even for default-constructed configs).
+  Key += Config.effectiveOptimize() ? 'O' : 'o';
   Key += '|';
   Key += std::to_string(Config.InterleaveFactorOverride);
   Key += '|';

@@ -8,6 +8,7 @@
 
 #include "cbackend/NativeJit.h"
 #include "ciphers/KernelCache.h"
+#include "core/Optimizer.h"
 #include "ciphers/RefAes.h"
 #include "ciphers/RefChacha20.h"
 #include "ciphers/RefDes.h"
@@ -112,6 +113,11 @@ CompileOptions optionsFor(const CipherConfig &Config) {
   Options.Interleave = Config.Interleave;
   Options.Schedule = Config.Schedule;
   Options.InterleaveFactorOverride = Config.InterleaveFactorOverride;
+  const bool MidEnd = Config.effectiveOptimize();
+  Options.CopyProp = MidEnd;
+  Options.ConstantFold = MidEnd;
+  Options.Cse = MidEnd;
+  Options.Dce = MidEnd;
   return Options;
 }
 
@@ -163,6 +169,20 @@ bool CipherConfig::effectiveKernelCache() const {
   if (UseKernelCache)
     return *UseKernelCache;
   return kernelCacheEnabled();
+}
+
+bool CipherConfig::effectiveOptimize() const {
+  if (Optimize)
+    return *Optimize;
+  const char *Env = std::getenv("USUBA_MIDEND");
+  return !(Env && Env[0] == '0');
+}
+
+bool CipherConfig::effectiveCtrFastPath() const {
+  if (CtrFastPath)
+    return *CtrFastPath;
+  const char *Env = std::getenv("USUBA_CTR_FAST");
+  return !(Env && Env[0] == '0');
 }
 
 std::string CipherStats::telemetryJson() const {
@@ -322,6 +342,7 @@ CipherStats UsubaCipher::stats() const {
   S.FallbackDetail = Runner->fallbackReason();
   S.FromKernelCache = FromCache;
   S.InstrCount = Runner->kernel().InstrCount;
+  S.InstrCountPreOpt = Runner->kernel().InstrCountPreOpt;
   S.SkippedPasses = Runner->kernel().SkippedPasses;
   S.PassStats = Runner->kernel().PassStats;
   S.CompileRemarks = Runner->kernel().Remarks;
@@ -646,14 +667,42 @@ void UsubaCipher::processBatch(KernelRunner &R, BatchScratch &S,
 
 void UsubaCipher::ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
                          uint64_t Counter) {
+  if (Length == 0)
+    return;
   const unsigned BlockLen = blockBytes();
-  const unsigned Batch = blocksPerCall();
+  // Probe for the fast path up front, on the calling thread — the worker
+  // lambdas read the probe result concurrently.
+  if (BlockLen == 8 && Config.Id != CipherId::Chacha20 &&
+      Config.effectiveCtrFastPath() && Runner->ctrFastShape())
+    ensureCtrProbe();
+
+  // Opt-in counter specialization: when the whole call stays inside one
+  // counter epoch (bits 32..63 constant), route it through a kernel with
+  // those bits and the key folded in.
+  if (Config.SpecializeCtr && CtrProbeState == CtrProbe::Ready &&
+      Config.effectiveCtrFastPath()) {
+    const uint64_t Base = load64be(Nonce) + Counter;
+    const uint64_t LastBlock = Base + (Length - 1) / BlockLen;
+    if (Base <= LastBlock && (Base >> 32) == (LastBlock >> 32) &&
+        ensureSpecRunner(Base >> 32)) {
+      ctrXorWith(*SpecRunner, SpecWorkers, Data, Length, Nonce, Counter);
+      return;
+    }
+  }
+  ctrXorWith(*Runner, EncWorkers, Data, Length, Nonce, Counter);
+}
+
+void UsubaCipher::ctrXorWith(KernelRunner &R, EngineWorkers &Workers,
+                             uint8_t *Data, size_t Length,
+                             const uint8_t *Nonce, uint64_t Counter) {
+  const unsigned BlockLen = blockBytes();
+  const unsigned Batch = R.blocksPerCall();
   const size_t BatchBytes = size_t{Batch} * BlockLen;
   const size_t NumBatches = (Length + BatchBytes - 1) / BatchBytes;
   const unsigned Threads = effectiveThreads(NumBatches);
-  ensureWorkers(*Runner, EncWorkers, Threads);
+  ensureWorkers(R, Workers, Threads);
   if (Threads <= 1) {
-    ctrChunk(*Runner, EncWorkers.Scratch[0], Data, Length, Nonce, Counter);
+    ctrChunk(R, Workers.Scratch[0], Data, Length, Nonce, Counter);
     return;
   }
   // Contiguous batch-aligned spans; the counter is position-derived, so
@@ -666,8 +715,8 @@ void UsubaCipher::ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
       return;
     const size_t Off0 = B0 * BatchBytes;
     const size_t OffEnd = std::min(Length, B1 * BatchBytes);
-    KernelRunner &WR = T == 0 ? *Runner : *EncWorkers.Runners[T];
-    ctrChunk(WR, EncWorkers.Scratch[T], Data + Off0, OffEnd - Off0, Nonce,
+    KernelRunner &WR = T == 0 ? R : *Workers.Runners[T];
+    ctrChunk(WR, Workers.Scratch[T], Data + Off0, OffEnd - Off0, Nonce,
              Counter + B0 * Batch);
   });
 }
@@ -683,10 +732,26 @@ void UsubaCipher::ctrChunk(KernelRunner &R, BatchScratch &S, uint8_t *Data,
     S.Keystream.resize(BatchBytes);
   }
 
+  // Fast path: analytic incremental counter slices with the keystream
+  // XOR fused into the untransposition (see KernelRunner::runCtrBatch).
+  // Checked per batch: the first batch of a native runner still goes
+  // through the generic path so the differential self-check runs.
+  const bool FastPath =
+      CtrProbeState == CtrProbe::Ready && Config.effectiveCtrFastPath();
+
   size_t Offset = 0;
   while (Offset < Length) {
     size_t Chunk = std::min(Length - Offset, BatchBytes);
     size_t NumBlocks = (Chunk + BlockLen - 1) / BlockLen;
+
+    if (FastPath && R.ctrFastReady()) {
+      R.runCtrBatch(CtrMap, load64be(Nonce) + Counter,
+                    {/*Broadcast=*/true, KeyAtoms.data(), KeyEpoch},
+                    Data + Offset, Chunk);
+      Counter += NumBlocks;
+      Offset += Chunk;
+      continue;
+    }
 
     if (Config.Id == CipherId::Chacha20) {
       // A ChaCha20 "counter block" is the whole 16-word input state; the
@@ -736,6 +801,136 @@ void UsubaCipher::ctrChunk(KernelRunner &R, BatchScratch &S, uint8_t *Data,
     Counter += NumBlocks;
     Offset += Chunk;
   }
+}
+
+void UsubaCipher::ensureCtrProbe() {
+  if (CtrProbeState != CtrProbe::Unknown)
+    return;
+  CtrProbeState = CtrProbe::Unsupported;
+  if (Config.Id == CipherId::Chacha20 || blockBytes() != 8 ||
+      !Runner->ctrFastShape())
+    return;
+  const bool Flat = Config.Slicing == SlicingMode::Bitslice;
+  const unsigned Scale = Flat && StructuredBits > 1 ? StructuredBits : 1;
+  if (AtomsPerBlockStructured * Scale != 64)
+    return;
+
+  // The block <-> atom conversions must be bit permutations: feeding the
+  // block integer 1<<j in must light exactly one flat atom (with all 64
+  // covered), and each flat output atom must land on exactly one block
+  // bit. The derived maps are what runCtrBatch writes and gathers by.
+  uint64_t Structured[64], FlatAtoms[64];
+  uint8_t Block[8];
+  bool InSeen[64] = {};
+  for (unsigned J = 0; J < 64; ++J) {
+    store64be(uint64_t{1} << J, Block);
+    blockToAtoms(Block, Structured);
+    const uint64_t *Atoms = Structured;
+    if (Scale > 1) {
+      expandAtomsToBits(Structured, AtomsPerBlockStructured, StructuredBits,
+                        FlatAtoms);
+      Atoms = FlatAtoms;
+    }
+    int Hot = -1;
+    for (unsigned R = 0; R < 64; ++R) {
+      if (Atoms[R] == 0)
+        continue;
+      if (Atoms[R] != 1 || Hot >= 0)
+        return;
+      Hot = static_cast<int>(R);
+    }
+    if (Hot < 0 || InSeen[Hot])
+      return;
+    InSeen[Hot] = true;
+    CtrMap.InSlice[J] = static_cast<uint8_t>(Hot);
+  }
+
+  bool OutSeen[64] = {};
+  for (unsigned R = 0; R < 64; ++R) {
+    std::memset(FlatAtoms, 0, sizeof(FlatAtoms));
+    FlatAtoms[R] = 1;
+    const uint64_t *Atoms = FlatAtoms;
+    if (Scale > 1) {
+      collapseBitsToAtoms(FlatAtoms, AtomsPerBlockStructured, StructuredBits,
+                          Structured);
+      Atoms = Structured;
+    }
+    atomsToBlock(Atoms, Block);
+    const uint64_t V = load64be(Block);
+    if (V == 0 || (V & (V - 1)) != 0)
+      return;
+    unsigned J = 0;
+    while (((V >> J) & 1) == 0)
+      ++J;
+    if (OutSeen[J])
+      return;
+    OutSeen[J] = true;
+    CtrMap.OutSlice[J] = static_cast<uint8_t>(R);
+  }
+  CtrProbeState = CtrProbe::Ready;
+}
+
+bool UsubaCipher::ensureSpecRunner(uint64_t Epoch) {
+  if (SpecRunner && SpecEpoch == Epoch && SpecKeyEpoch == KeyEpoch)
+    return true;
+  SpecRunner.reset();
+  SpecNative.reset();
+  SpecWorkers = EngineWorkers{};
+
+  // The specialized artifact depends on the exact key material and the
+  // epoch, so both go into the cache key (key material content-hashed —
+  // FNV-1a — rather than by instance epoch).
+  uint64_t Hash = 1469598103934665603ull;
+  for (uint64_t A : KeyAtoms) {
+    Hash ^= A;
+    Hash *= 1099511628211ull;
+  }
+  std::string Key = kernelCacheKey(Config, "enc");
+  Key += "|ctrspec=";
+  Key += std::to_string(Epoch);
+  Key += ':';
+  Key += std::to_string(Hash);
+
+  const bool CacheOn = Config.effectiveKernelCache();
+  if (std::shared_ptr<const CachedKernel> Cached =
+          kernelCacheLookup(Key, CacheOn)) {
+    SpecRunner = std::make_unique<KernelRunner>(Cached->Kernel);
+    SpecNative = attachCached(Config, *Cached, *SpecRunner);
+    SpecEpoch = Epoch;
+    SpecKeyEpoch = KeyEpoch;
+    return true;
+  }
+
+  // Bind the epoch's counter bits (batch-constant within the epoch) and
+  // every key broadcast bit to literals, then fold the constant cone.
+  // The entry ABI is unchanged: bound inputs become dead registers, so
+  // the fast path's counter writes and key packing stay valid.
+  CompiledKernel Kernel = Runner->kernel();
+  std::vector<std::pair<unsigned, uint64_t>> Bindings;
+  for (unsigned J = 32; J < 64; ++J)
+    Bindings.push_back({CtrMap.InSlice[J], (Epoch >> (J - 32)) & 1});
+  const unsigned KeyBase = Runner->paramLens()[0];
+  for (size_t I = 0; I < KeyAtoms.size(); ++I)
+    Bindings.push_back(
+        {static_cast<unsigned>(KeyBase + I), KeyAtoms[I] & 1});
+  specializeEntryInputs(Kernel.Prog, Bindings);
+  U0Function &Entry = Kernel.Prog.entry();
+  foldConstants(Entry, Kernel.Prog.Direction, Kernel.Prog.MBits);
+  valueNumber(Entry);
+  sweepDeadCode(Entry);
+  Kernel.InstrCount = Entry.Instrs.size();
+  if (!verifyU0(Kernel.Prog).empty())
+    return false; // never expected; keep the generic kernel on any doubt
+
+  SpecRunner = std::make_unique<KernelRunner>(std::move(Kernel));
+  SpecNative = attachNative(Config, *SpecRunner);
+  kernelCacheStore(Key,
+                   {SpecRunner->kernel(), SpecNative,
+                    SpecRunner->fallbackReason(), SpecRunner->fallbackKind()},
+                   CacheOn);
+  SpecEpoch = Epoch;
+  SpecKeyEpoch = KeyEpoch;
+  return true;
 }
 
 std::vector<SlicingMode> UsubaCipher::supportedSlicings(CipherId Id,

@@ -97,6 +97,23 @@ struct CipherConfig {
   /// Process-wide kernel-cache participation. Unset = enabled unless
   /// USUBA_KERNEL_CACHE=0.
   std::optional<bool> UseKernelCache;
+  /// The Usuba0 mid-end optimizer (copy propagation, constant folding,
+  /// value numbering, DCE — see core/Optimizer.h; usubac's -O0 / -O1).
+  /// Unset = enabled unless USUBA_MIDEND=0.
+  std::optional<bool> Optimize;
+  /// The CTR fast path: analytic incremental counter transposition with
+  /// the keystream XOR fused into the untransposition. Applies to
+  /// bitsliced 64-bit-block ciphers (DES, PRESENT, bitsliced Rectangle);
+  /// other configurations use the generic path regardless. Unset =
+  /// enabled unless USUBA_CTR_FAST=0.
+  std::optional<bool> CtrFastPath;
+  /// Counter-mode kernel specialization: clone the kernel with the
+  /// batch-constant high counter slices and the key's broadcast bits
+  /// bound to literals, fold + DCE the constant cone, and JIT the
+  /// residue, cached per (key, counter-epoch). Off by default — each new
+  /// epoch pays one host-compiler run, which only amortizes over large
+  /// streams. Requires the CTR fast path to be applicable.
+  bool SpecializeCtr = false;
 
   /// The opt level the JIT will actually use for a kernel of
   /// \p InstrCount instructions.
@@ -106,6 +123,10 @@ struct CipherConfig {
   unsigned effectiveCcTimeoutMillis() const;
   /// Whether kernel-cache lookups/stores happen for this config.
   bool effectiveKernelCache() const;
+  /// Whether the Usuba0 mid-end runs for this config.
+  bool effectiveOptimize() const;
+  /// Whether eligible CTR calls take the fast path for this config.
+  bool effectiveCtrFastPath() const;
 };
 
 /// Stable per-cipher statistics (satellite of the telemetry subsystem):
@@ -125,6 +146,10 @@ struct CipherStats {
   bool FromKernelCache = false;
   /// Final instruction count of the compiled forward kernel.
   uint64_t InstrCount = 0;
+  /// Instruction count as the mid-end optimizer found it (after inlining,
+  /// before copy-prop/fold/CSE/DCE). The optimizer never increases the
+  /// count, so InstrCount <= InstrCountPreOpt always holds.
+  uint64_t InstrCountPreOpt = 0;
   /// Back-end passes the budget/checkpoint machinery skipped.
   std::vector<std::string> SkippedPasses;
   /// Per-pass wall time / instruction delta (see PassStat).
@@ -246,10 +271,22 @@ private:
   void processBatch(KernelRunner &R, BatchScratch &S,
                     const std::vector<uint64_t> &Keys, const uint8_t *In,
                     uint8_t *Out, size_t Count);
+  /// ctrXor's engine-splitting body, parameterized over the kernel that
+  /// produces the keystream (the forward runner, or a counter-specialized
+  /// clone of it — see CipherConfig::SpecializeCtr).
+  void ctrXorWith(KernelRunner &R, EngineWorkers &Workers, uint8_t *Data,
+                  size_t Length, const uint8_t *Nonce, uint64_t Counter);
   /// A contiguous CTR span on one worker; \p Counter is the absolute
   /// counter of the span's first block.
   void ctrChunk(KernelRunner &R, BatchScratch &S, uint8_t *Data,
                 size_t Length, const uint8_t *Nonce, uint64_t Counter);
+  /// Probes blockToAtoms/atomsToBlock for the bit permutations the CTR
+  /// fast path needs (once per cipher; Unsupported when the block
+  /// conversion is not a bit permutation or the kernel shape disagrees).
+  void ensureCtrProbe();
+  /// Builds (or reuses) the counter-specialized runner for \p Epoch
+  /// (counter bits 32..63). False when specialization is unavailable.
+  bool ensureSpecRunner(uint64_t Epoch);
   /// Threads to actually use for a call of \p NumBatches kernel batches
   /// (1 when the call is too small to amortize the fork-join).
   unsigned effectiveThreads(size_t NumBatches) const;
@@ -277,6 +314,21 @@ private:
   unsigned StructuredBits = 0;          ///< atom size pre-flattening
   bool FromCache = false; ///< creation was served by the kernel cache
   EngineWorkers EncWorkers, DecWorkers; ///< per-thread runners + scratch
+
+  /// CTR fast-path probe result (structural; independent of the
+  /// CtrFastPath knob, which is consulted per call).
+  enum class CtrProbe : uint8_t { Unknown, Ready, Unsupported };
+  CtrProbe CtrProbeState = CtrProbe::Unknown;
+  KernelRunner::CtrPerm CtrMap{}; ///< valid when CtrProbeState == Ready
+
+  /// Counter-specialized kernel (CipherConfig::SpecializeCtr): the
+  /// forward kernel with the epoch's high counter slices and the key's
+  /// broadcast bits folded in, plus its own worker clones.
+  std::unique_ptr<KernelRunner> SpecRunner;
+  std::shared_ptr<NativeKernel> SpecNative;
+  uint64_t SpecEpoch = 0;
+  uint64_t SpecKeyEpoch = 0; ///< KeyEpoch the specialization captured
+  EngineWorkers SpecWorkers;
 };
 
 /// What UsubaCipher::compile returns: a ready cipher, or the compiler's

@@ -8,6 +8,7 @@
 
 #include "core/AstPasses.h"
 #include "core/Normalize.h"
+#include "core/Optimizer.h"
 #include "core/Passes.h"
 #include "core/TypeChecker.h"
 #include "support/BitUtils.h"
@@ -307,7 +308,6 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
         return std::string(
             "projected inlined size exceeds the instruction budget");
       }
-      cleanupProgram(P);
       if (remarksEnabled())
         RemarkEngine::instance().record(
             Remark::passed("inline", "AllCallsInlined")
@@ -318,22 +318,86 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
                 .arg("entry_instrs", P.entry().Instrs.size()));
       return std::string();
     });
-  Runner.run("cse", NoRefusal([](U0Program &P) {
-               unsigned Removed = 0;
-               for (U0Function &F : P.Funcs)
-                 if (unsigned N = eliminateCommonSubexpressions(F)) {
-                   Removed += N;
-                   eliminateDeadCode(F);
+  // --- Mid-end (src/core/Optimizer.h) ------------------------------------
+  // Classic scalar optimizations over the (usually inlined) straight-line
+  // code: the inliner's Mov chains, the constants the front-end reduced
+  // to, redundant gates from table synthesis, and the dead cones all
+  // three leave behind. Each pass is checkpointed and individually
+  // toggleable, and never grows the code — the pre/post entry counts are
+  // surfaced as InstrCountPreOpt/InstrCount.
+  Result.InstrCountPreOpt = U0.entry().Instrs.size();
+  if (Options.CopyProp)
+    Runner.run("copy-prop", NoRefusal([](U0Program &P) {
+                 unsigned Removed = 0;
+                 for (U0Function &F : P.Funcs)
+                   Removed += propagateCopies(F);
+                 if (remarksEnabled())
+                   RemarkEngine::instance().record(
+                       Remark::passed("copy-prop", "MovChainsCollapsed")
+                           .in(P.entry().Name)
+                           .at(firstCallLoc(P.entry()))
+                           .note("every use of a mov destination rerouted "
+                                 "to the mov's root source")
+                           .arg("movs_removed", Removed)
+                           .arg("instr_delta",
+                                -static_cast<int64_t>(Removed)));
+               }));
+  if (Options.ConstantFold)
+    Runner.run("constant-fold", NoRefusal([](U0Program &P) {
+                 ConstFoldStats Total;
+                 for (U0Function &F : P.Funcs) {
+                   ConstFoldStats S;
+                   foldConstants(F, P.Direction, P.MBits, &S);
+                   Total.Folded += S.Folded;
+                   Total.Simplified += S.Simplified;
+                 }
+                 if (remarksEnabled())
+                   RemarkEngine::instance().record(
+                       Remark::passed("constant-fold", "FoldAndSimplify")
+                           .in(P.entry().Name)
+                           .at(firstCallLoc(P.entry()))
+                           .note("constants folded and algebraic "
+                                 "identities applied in place; dce "
+                                 "collects the freed operands")
+                           .arg("folded_to_const", Total.Folded)
+                           .arg("simplified", Total.Simplified)
+                           .arg("instr_delta", 0));
+               }));
+  if (Options.Cse)
+    Runner.run("cse", NoRefusal([](U0Program &P) {
+                 unsigned Removed = 0;
+                 for (U0Function &F : P.Funcs)
+                   Removed += valueNumber(F);
+                 if (remarksEnabled())
+                   RemarkEngine::instance().record(
+                       Remark::passed("cse", "ValueNumbering")
+                           .in(P.entry().Name)
+                           .at(firstCallLoc(P.entry()))
+                           .note("hash-based local value numbering: "
+                                 "repeated computations rerouted to their "
+                                 "first occurrence")
+                           .arg("removed", Removed)
+                           .arg("instr_delta",
+                                -static_cast<int64_t>(Removed)));
+               }));
+  if (Options.Dce)
+    Runner.run("dce", NoRefusal([](U0Program &P) {
+                 unsigned Removed = 0;
+                 for (U0Function &F : P.Funcs) {
+                   Removed += sweepDeadCode(F);
                    compactRegisters(F);
                  }
-               if (remarksEnabled())
-                 RemarkEngine::instance().record(
-                     Remark::analysis("cse", "Subexpressions")
-                         .in(P.entry().Name)
-                         .at(firstCallLoc(P.entry()))
-                         .note("structurally identical instructions folded")
-                         .arg("removed", Removed));
-             }));
+                 if (remarksEnabled())
+                   RemarkEngine::instance().record(
+                       Remark::passed("dce", "MarkAndSweep")
+                           .in(P.entry().Name)
+                           .at(firstCallLoc(P.entry()))
+                           .note("definitions unreachable from the "
+                                 "outputs swept")
+                           .arg("removed", Removed)
+                           .arg("instr_delta",
+                                -static_cast<int64_t>(Removed)));
+               }));
   if (!BitsliceMode && Options.Schedule)
     Runner.run("schedule-mslice", NoRefusal([&](U0Program &P) {
                  MSliceScheduleStats SS;

@@ -55,6 +55,13 @@ struct CompileOptions {
   /// 0 = use the registers/max-live heuristic.
   unsigned InterleaveFactorOverride = 0;
 
+  // Mid-end toggles (the Usuba0 scalar optimizer, src/core/Optimizer.h;
+  // usubac -O0 clears all four, -fno-<pass> clears one).
+  bool CopyProp = true;     ///< collapse the inliner's Mov chains
+  bool ConstantFold = true; ///< constant folding + algebraic identities
+  bool Cse = true;          ///< hash-based local value numbering
+  bool Dce = true;          ///< mark-and-sweep dead code elimination
+
   /// Resource guards: hostile or degenerate inputs produce a diagnostic
   /// (or a skipped optimization with a warning) instead of an OOM or a
   /// hang. 0 disables the corresponding guard.
@@ -124,6 +131,11 @@ struct CompiledKernel {
 
   unsigned MaxLive = 0;        ///< before interleaving
   size_t InstrCount = 0;       ///< entry instruction count (code size proxy)
+  /// Entry instruction count as the mid-end optimizer found it (after
+  /// inlining, before copy-prop/constant-fold/cse/dce). InstrCount -
+  /// InstrCountPreOpt is the optimizer's net effect; the optimizer never
+  /// increases the count.
+  size_t InstrCountPreOpt = 0;
   /// Back-end optimization passes dropped by a post-pass verification
   /// checkpoint (rolled back after producing ill-formed IR) or by a
   /// resource budget. Empty in healthy compilations; each entry was also

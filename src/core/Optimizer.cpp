@@ -1,0 +1,382 @@
+//===- Optimizer.cpp - Usuba0 mid-end optimizations -----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+
+#include "support/BitUtils.h"
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+
+using namespace usuba;
+
+//===----------------------------------------------------------------------===//
+// Copy propagation
+//===----------------------------------------------------------------------===//
+
+unsigned usuba::propagateCopies(U0Function &F) {
+  // Root[R] = the oldest register holding the same value as R. Single
+  // assignment makes this a one-pass union: a Mov's source was fully
+  // resolved by the time the Mov is reached.
+  std::vector<unsigned> Root(F.NumRegs);
+  std::iota(Root.begin(), Root.end(), 0u);
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  unsigned Removed = 0;
+  for (U0Instr &I : F.Instrs) {
+    for (unsigned &S : I.Srcs)
+      S = Root[S];
+    if (I.Op == U0Op::Mov) {
+      Root[I.Dests[0]] = I.Srcs[0];
+      ++Removed;
+      continue;
+    }
+    Kept.push_back(std::move(I));
+  }
+  for (unsigned &R : F.Outputs)
+    R = Root[R];
+  F.Instrs = std::move(Kept);
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant folding + algebraic simplification
+//===----------------------------------------------------------------------===//
+
+unsigned usuba::foldConstants(U0Function &F, Dir Direction, unsigned MBits,
+                              ConstFoldStats *Stats) {
+  const uint64_t Mask = lowBitMask(MBits);
+  // Element-wise rules need "every m-bit element equals the immediate",
+  // which only the vertical/bitsliced Const encoding guarantees.
+  const bool ElementRules = Direction == Dir::Vert || MBits == 1;
+  std::vector<uint64_t> Known(F.NumRegs, 0);
+  std::vector<uint8_t> IsConst(F.NumRegs, 0);
+  std::vector<int> DefIdx(F.NumRegs, -1);
+  unsigned Folded = 0, Simplified = 0;
+
+  auto IsZero = [&](unsigned R) { return IsConst[R] && Known[R] == 0; };
+  auto IsOnes = [&](unsigned R) { return IsConst[R] && Known[R] == Mask; };
+
+  for (size_t Idx = 0; Idx < F.Instrs.size(); ++Idx) {
+    U0Instr &I = F.Instrs[Idx];
+    if (I.Op == U0Op::Barrier)
+      continue;
+    const unsigned D = I.Dests.empty() ? 0 : I.Dests[0];
+    auto ToConst = [&](uint64_t V) {
+      SourceLoc Loc = I.Loc;
+      I = U0Instr::constant(D, V & Mask);
+      I.Loc = Loc;
+      ++Folded;
+    };
+    auto ToUnary = [&](U0Op Op, unsigned Src) {
+      SourceLoc Loc = I.Loc;
+      I = U0Instr::unary(Op, D, Src);
+      I.Loc = Loc;
+      ++Simplified;
+    };
+
+    switch (I.Op) {
+    case U0Op::Not: {
+      const unsigned A = I.Srcs[0];
+      if (IsConst[A])
+        ToConst(~Known[A]);
+      else if (DefIdx[A] >= 0 && F.Instrs[DefIdx[A]].Op == U0Op::Not)
+        ToUnary(U0Op::Mov, F.Instrs[DefIdx[A]].Srcs[0]); // ~~x = x
+      break;
+    }
+    case U0Op::And: {
+      const unsigned A = I.Srcs[0], B = I.Srcs[1];
+      if (IsConst[A] && IsConst[B])
+        ToConst(Known[A] & Known[B]);
+      else if (A == B)
+        ToUnary(U0Op::Mov, A);
+      else if (IsZero(A) || IsZero(B))
+        ToConst(0);
+      else if (IsOnes(A))
+        ToUnary(U0Op::Mov, B);
+      else if (IsOnes(B))
+        ToUnary(U0Op::Mov, A);
+      break;
+    }
+    case U0Op::Or: {
+      const unsigned A = I.Srcs[0], B = I.Srcs[1];
+      if (IsConst[A] && IsConst[B])
+        ToConst(Known[A] | Known[B]);
+      else if (A == B)
+        ToUnary(U0Op::Mov, A);
+      else if (IsOnes(A) || IsOnes(B))
+        ToConst(Mask);
+      else if (IsZero(A))
+        ToUnary(U0Op::Mov, B);
+      else if (IsZero(B))
+        ToUnary(U0Op::Mov, A);
+      break;
+    }
+    case U0Op::Xor: {
+      const unsigned A = I.Srcs[0], B = I.Srcs[1];
+      if (IsConst[A] && IsConst[B])
+        ToConst(Known[A] ^ Known[B]);
+      else if (A == B)
+        ToConst(0);
+      else if (IsZero(A))
+        ToUnary(U0Op::Mov, B);
+      else if (IsZero(B))
+        ToUnary(U0Op::Mov, A);
+      else if (IsOnes(A))
+        ToUnary(U0Op::Not, B);
+      else if (IsOnes(B))
+        ToUnary(U0Op::Not, A);
+      break;
+    }
+    case U0Op::Andn: { // dest = ~a & b
+      const unsigned A = I.Srcs[0], B = I.Srcs[1];
+      if (IsConst[A] && IsConst[B])
+        ToConst(~Known[A] & Known[B]);
+      else if (A == B || IsOnes(A) || IsZero(B))
+        ToConst(0);
+      else if (IsZero(A))
+        ToUnary(U0Op::Mov, B);
+      else if (IsOnes(B))
+        ToUnary(U0Op::Not, A);
+      break;
+    }
+    case U0Op::Add: {
+      if (!ElementRules)
+        break;
+      const unsigned A = I.Srcs[0], B = I.Srcs[1];
+      if (IsConst[A] && IsConst[B])
+        ToConst(Known[A] + Known[B]);
+      else if (IsZero(A))
+        ToUnary(U0Op::Mov, B);
+      else if (IsZero(B))
+        ToUnary(U0Op::Mov, A);
+      break;
+    }
+    case U0Op::Sub: {
+      if (!ElementRules)
+        break;
+      const unsigned A = I.Srcs[0], B = I.Srcs[1];
+      if (IsConst[A] && IsConst[B])
+        ToConst(Known[A] - Known[B]);
+      else if (A == B)
+        ToConst(0);
+      else if (IsZero(B))
+        ToUnary(U0Op::Mov, A);
+      break;
+    }
+    case U0Op::Mul: {
+      if (!ElementRules)
+        break;
+      const unsigned A = I.Srcs[0], B = I.Srcs[1];
+      if (IsConst[A] && IsConst[B])
+        ToConst(Known[A] * Known[B]);
+      else if (IsZero(A) || IsZero(B))
+        ToConst(0);
+      else if (IsConst[A] && Known[A] == 1)
+        ToUnary(U0Op::Mov, B);
+      else if (IsConst[B] && Known[B] == 1)
+        ToUnary(U0Op::Mov, A);
+      break;
+    }
+    case U0Op::Lshift:
+    case U0Op::Rshift: {
+      const unsigned A = I.Srcs[0];
+      if (I.Amount == 0)
+        ToUnary(U0Op::Mov, A); // identity under both shift semantics
+      else if (ElementRules && IsConst[A] && I.Amount < MBits)
+        ToConst(I.Op == U0Op::Lshift ? (Known[A] << I.Amount)
+                                     : (Known[A] >> I.Amount));
+      break;
+    }
+    case U0Op::Lrotate:
+    case U0Op::Rrotate: {
+      const unsigned A = I.Srcs[0];
+      if (I.Amount % MBits == 0)
+        ToUnary(U0Op::Mov, A);
+      else if (ElementRules && IsConst[A])
+        ToConst(I.Op == U0Op::Lrotate
+                    ? rotateLeft(Known[A], I.Amount % MBits, MBits)
+                    : rotateRight(Known[A], I.Amount % MBits, MBits));
+      break;
+    }
+    default: // Mov, Const, Shuffle, Call: nothing to rewrite
+      break;
+    }
+
+    for (unsigned Dest : I.Dests)
+      DefIdx[Dest] = static_cast<int>(Idx);
+    if (I.Op == U0Op::Const) {
+      IsConst[D] = 1;
+      Known[D] = I.Imm & Mask;
+    } else if (I.Op == U0Op::Mov && IsConst[I.Srcs[0]]) {
+      IsConst[D] = 1;
+      Known[D] = Known[I.Srcs[0]];
+    }
+  }
+  if (Stats) {
+    Stats->Folded = Folded;
+    Stats->Simplified = Simplified;
+  }
+  return Folded + Simplified;
+}
+
+//===----------------------------------------------------------------------===//
+// Hash-based local value numbering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compact binary key for one computation: opcode, canonicalized operand
+/// numbers (commutative pairs sorted), and whichever immediates the
+/// opcode reads. Keys live in an unordered_map, replacing the ordered
+/// tuple-map of the structural CSE this pass supersedes.
+std::string vnKey(const U0Instr &I) {
+  std::string Key;
+  Key.reserve(16 + I.Srcs.size() * 4 + I.Pattern.size());
+  Key.push_back(static_cast<char>(I.Op));
+  unsigned A = I.Srcs.empty() ? 0 : I.Srcs[0];
+  unsigned B = I.Srcs.size() > 1 ? I.Srcs[1] : 0;
+  switch (I.Op) {
+  case U0Op::And:
+  case U0Op::Or:
+  case U0Op::Xor:
+  case U0Op::Add:
+  case U0Op::Mul:
+    if (B < A)
+      std::swap(A, B);
+    break;
+  default:
+    break;
+  }
+  char Buf[sizeof(unsigned) * 3 + sizeof(uint64_t)];
+  std::memcpy(Buf, &A, sizeof(unsigned));
+  std::memcpy(Buf + sizeof(unsigned), &B, sizeof(unsigned));
+  std::memcpy(Buf + 2 * sizeof(unsigned), &I.Amount, sizeof(unsigned));
+  std::memcpy(Buf + 3 * sizeof(unsigned), &I.Imm, sizeof(uint64_t));
+  Key.append(Buf, sizeof(Buf));
+  Key.append(reinterpret_cast<const char *>(I.Pattern.data()),
+             I.Pattern.size());
+  return Key;
+}
+
+} // namespace
+
+unsigned usuba::valueNumber(U0Function &F) {
+  // Canon[R] = the register whose definition computes R's value. Movs
+  // vanish into the table; repeated computations reroute to the first.
+  std::vector<unsigned> Canon(F.NumRegs);
+  std::iota(Canon.begin(), Canon.end(), 0u);
+  std::unordered_map<std::string, unsigned> Table;
+  Table.reserve(F.Instrs.size());
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  unsigned Removed = 0;
+  for (U0Instr &I : F.Instrs) {
+    for (unsigned &S : I.Srcs)
+      S = Canon[S];
+    if (I.Op == U0Op::Mov) {
+      Canon[I.Dests[0]] = I.Srcs[0];
+      ++Removed;
+      continue;
+    }
+    if (I.Op == U0Op::Call || I.Op == U0Op::Barrier) {
+      Kept.push_back(std::move(I)); // opaque: defines fresh values
+      continue;
+    }
+    auto [It, Inserted] = Table.emplace(vnKey(I), I.Dests[0]);
+    if (!Inserted) {
+      Canon[I.Dests[0]] = It->second;
+      ++Removed;
+      continue;
+    }
+    Kept.push_back(std::move(I));
+  }
+  for (unsigned &R : F.Outputs)
+    R = Canon[R];
+  F.Instrs = std::move(Kept);
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// Mark-and-sweep dead code elimination
+//===----------------------------------------------------------------------===//
+
+unsigned usuba::sweepDeadCode(U0Function &F) {
+  std::vector<int> DefIdx(F.NumRegs, -1);
+  for (size_t I = 0; I < F.Instrs.size(); ++I)
+    for (unsigned D : F.Instrs[I].Dests)
+      DefIdx[D] = static_cast<int>(I);
+
+  // Mark: seed with the output defs, chase use-def edges. Barriers are
+  // scheduling fences, not computations; they always survive.
+  std::vector<uint8_t> Marked(F.Instrs.size(), 0);
+  std::vector<unsigned> Work;
+  auto MarkReg = [&](unsigned R) {
+    int I = DefIdx[R];
+    if (I >= 0 && !Marked[I]) {
+      Marked[I] = 1;
+      Work.push_back(static_cast<unsigned>(I));
+    }
+  };
+  for (unsigned R : F.Outputs)
+    MarkReg(R);
+  while (!Work.empty()) {
+    unsigned I = Work.back();
+    Work.pop_back();
+    for (unsigned S : F.Instrs[I].Srcs)
+      MarkReg(S);
+  }
+
+  // Sweep.
+  std::vector<U0Instr> Kept;
+  Kept.reserve(F.Instrs.size());
+  unsigned Removed = 0;
+  for (size_t I = 0; I < F.Instrs.size(); ++I) {
+    if (Marked[I] || F.Instrs[I].Op == U0Op::Barrier)
+      Kept.push_back(std::move(F.Instrs[I]));
+    else
+      ++Removed;
+  }
+  F.Instrs = std::move(Kept);
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// CTR specialization: bind entry inputs to literals
+//===----------------------------------------------------------------------===//
+
+unsigned usuba::specializeEntryInputs(
+    U0Program &Prog,
+    const std::vector<std::pair<unsigned, uint64_t>> &Bindings) {
+  U0Function &F = Prog.entry();
+  const unsigned OldNumRegs = F.NumRegs;
+  std::vector<unsigned> Remap(OldNumRegs);
+  std::iota(Remap.begin(), Remap.end(), 0u);
+  std::vector<U0Instr> Prefix;
+  unsigned Bound = 0;
+  for (const auto &Binding : Bindings) {
+    const unsigned Reg = Binding.first;
+    if (Reg >= F.NumInputs)
+      continue; // only ABI inputs can be bound
+    const unsigned NewReg = F.addReg();
+    Prefix.push_back(U0Instr::constant(NewReg, Binding.second));
+    Remap[Reg] = NewReg;
+    ++Bound;
+  }
+  if (!Bound)
+    return 0;
+  for (U0Instr &I : F.Instrs)
+    for (unsigned &S : I.Srcs)
+      if (S < OldNumRegs)
+        S = Remap[S];
+  for (unsigned &R : F.Outputs)
+    if (R < OldNumRegs)
+      R = Remap[R];
+  F.Instrs.insert(F.Instrs.begin(), Prefix.begin(), Prefix.end());
+  return Bound;
+}

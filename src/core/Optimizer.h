@@ -1,0 +1,88 @@
+//===- Optimizer.h - Usuba0 mid-end optimizations ---------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Usuba0 mid-end: classic scalar optimizations run between inlining
+/// and scheduling. The inliner leaves long Mov chains and the table
+/// synthesizer emits structurally redundant gates; these passes collapse
+/// both and fold whatever the front-end reduced to constants. Every pass
+/// is a pure IR-to-IR rewrite with a count result, so the checkpointed
+/// pipeline can attribute the instruction-count delta pass by pass.
+///
+/// Folding soundness depends on the slicing direction. A `Const` register
+/// broadcasts its immediate into every m-bit element (vertical) or fills
+/// position j with ones when bit m-1-j of the immediate is set
+/// (horizontal) — see SimdReg.h. Bitwise rules (And/Or/Xor/Andn/Not and
+/// the zero / all-ones tests) hold under both encodings; element-wise
+/// rules (Add/Sub/Mul, shifts, rotates) are only applied when the
+/// program is vertical or bitsliced (m == 1), where "each element holds
+/// the immediate" is literally true.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_OPTIMIZER_H
+#define USUBA_CORE_OPTIMIZER_H
+
+#include "core/Usuba0.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace usuba {
+
+/// Copy propagation: reroutes every use of a Mov destination to the Mov's
+/// (transitively resolved) source and drops the Mov. Movs feeding function
+/// outputs are dropped too — the output list is rerouted. Returns the
+/// number of Movs removed.
+unsigned propagateCopies(U0Function &F);
+
+/// What foldConstants did, for remark attribution.
+struct ConstFoldStats {
+  unsigned Folded = 0;     ///< instructions rewritten to Const
+  unsigned Simplified = 0; ///< algebraic identities applied (Mov/Not form)
+};
+
+/// Constant folding plus algebraic simplification over the Logic, Arith
+/// and Shift op classes (x^x = 0, x&x = x, x&0 = 0, x|~0 = ~0, the andn
+/// identities, shift-by-0, double negation, ...). Rewrites in place and
+/// never grows the function; dead operands are left for DCE. \p Direction
+/// and \p MBits gate the element-wise rules (see the file comment).
+/// Returns the number of instructions rewritten.
+unsigned foldConstants(U0Function &F, Dir Direction, unsigned MBits,
+                       ConstFoldStats *Stats = nullptr);
+
+/// Hash-based local value numbering: assigns each instruction a value
+/// number over (opcode, canonicalized operand numbers, immediates),
+/// commutative-operand order normalized, and deletes every instruction
+/// whose value was already computed, rerouting its uses. Subsumes the
+/// structural CSE it replaces and additionally sees through Mov chains.
+/// Calls and barriers are opaque. Returns the number of instructions
+/// removed.
+unsigned valueNumber(U0Function &F);
+
+/// Mark-and-sweep dead-code elimination: marks the defs reachable from
+/// the function outputs through the use-def chains and sweeps the rest.
+/// Barriers are control markers and always survive. Returns the number of
+/// instructions removed.
+unsigned sweepDeadCode(U0Function &F);
+
+/// CTR specialization hook: binds entry input registers to literal atoms.
+/// For each (register, immediate) pair — the register must be one of the
+/// entry's inputs — a Const definition is prepended and every use of the
+/// input is rerouted to it. The entry ABI (NumInputs, parameter order) is
+/// deliberately unchanged: bound inputs simply become dead, so the
+/// transposition runtime can keep staging buffers as before while the
+/// folded cone disappears. Callers follow up with foldConstants /
+/// valueNumber / sweepDeadCode to collapse the cone. Returns the number
+/// of inputs bound.
+unsigned specializeEntryInputs(U0Program &Prog,
+                               const std::vector<std::pair<unsigned, uint64_t>>
+                                   &Bindings);
+
+} // namespace usuba
+
+#endif // USUBA_CORE_OPTIMIZER_H

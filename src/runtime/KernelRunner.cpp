@@ -6,9 +6,11 @@
 
 #include "runtime/KernelRunner.h"
 
+#include "support/BitUtils.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace usuba;
 
@@ -59,6 +61,8 @@ KernelRunner::KernelRunner(CompiledKernel KernelIn)
   DenseIn.resize(size_t{W} * InRegs.size());
   DenseOut.resize(size_t{W} * OutRegs.size());
   Broadcasts.resize(ParamLens.size());
+
+  invalidateCtrState();
 
   [[maybe_unused]] unsigned TotalIn = 0;
   for (unsigned L : ParamLens)
@@ -160,6 +164,9 @@ void KernelRunner::packInputs(const std::vector<ParamData> &Params,
 void KernelRunner::runBatch(const std::vector<ParamData> &Params,
                             uint64_t *OutAtoms) {
   assert(Params.size() == ParamLens.size() && "wrong parameter count");
+  // The generic pack overwrites parameter 0's registers, so the CTR fast
+  // path's incremental counter slices are no longer what it wrote.
+  invalidateCtrState();
   const unsigned K = Kernel.Prog.InterleaveFactor;
   const unsigned W = Layout.widthWords();
   const bool WantNative = Native != nullptr;
@@ -221,5 +228,157 @@ void KernelRunner::runBatch(const std::vector<ParamData> &Params,
   Interp.run(InRegs.data(), OutRegs.data());
   Profile.mark("runner.kernel_cycles");
   UnpackRegs(OutRegs.data(), OutAtoms);
+  Profile.mark("runner.unpack_cycles");
+}
+
+namespace {
+
+/// Canonical[j] bit t == bit j of t, for t in [0, 64). The low six bits
+/// of Base + t cycle with period 64, so every low counter slice is one of
+/// these words rotated by Base mod 64 — identical across word columns.
+constexpr uint64_t CtrCanonical[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
+};
+
+} // namespace
+
+void KernelRunner::runCtrBatch(const CtrPerm &Perm, uint64_t Base,
+                               const ParamData &Key, uint8_t *Data,
+                               size_t Bytes) {
+  assert(ctrFastReady() && "caller must check ctrFastReady()");
+  assert(Bytes >= 1 && Bytes <= size_t{BlocksPerCall} * 8 &&
+         "byte count out of range");
+  const unsigned W = Layout.widthWords(); // 64-block word columns
+  const bool IntoDense = Native != nullptr;
+
+  BatchProfile Profile;
+  if (Profile.On) {
+    Telemetry::instance().count("runner.batches", 1);
+    Telemetry::instance().count("runner.ctr_fast_batches", 1);
+  }
+
+  // Both engines expose their registers as raw words: the dense ABI
+  // buffer at stride widthWords(), the SimdReg array at stride MaxWords.
+  uint64_t *InWords = IntoDense ? DenseIn.data()
+                                : reinterpret_cast<uint64_t *>(InRegs.data());
+  const unsigned InStride = IntoDense ? W : SimdReg::MaxWords;
+  if (CtrIntoDense != IntoDense) {
+    invalidateCtrState();
+    CtrIntoDense = IntoDense;
+  }
+
+  // Broadcast key, cached across batches exactly like runBatch's path.
+  const unsigned KeyReg = ParamLens[0];
+  BroadcastSlot &Slot = Broadcasts[1];
+  if (Slot.Atoms != Key.Atoms || Slot.Epoch != Key.Epoch) {
+    Slot.Atoms = Key.Atoms;
+    Slot.Epoch = Key.Epoch;
+    Slot.InDense = Slot.InRegs = false;
+  }
+  if (IntoDense && !Slot.InDense) {
+    Layout.packBroadcastDense(Key.Atoms, ParamLens[1],
+                              &DenseIn[size_t{KeyReg} * W]);
+    Slot.InDense = true;
+  } else if (!IntoDense && !Slot.InRegs) {
+    Layout.packBroadcast(Key.Atoms, ParamLens[1], &InRegs[KeyReg]);
+    Slot.InRegs = true;
+  }
+
+  // Counter bits 0..5: one rotated canonical word per slice, shared by
+  // every column. Invariant while Base mod 64 is unchanged — sequential
+  // CTR advances Base by a whole batch (a multiple of 64), so after the
+  // first batch these slices are never rewritten.
+  const int LowShift = static_cast<int>(Base & 63);
+  if (CtrLowShift != LowShift) {
+    for (unsigned J = 0; J < 6; ++J) {
+      const uint64_t Word =
+          rotateRight(CtrCanonical[J], static_cast<unsigned>(LowShift), 64);
+      uint64_t *Dst = InWords + size_t{Perm.InSlice[J]} * InStride;
+      for (unsigned Col = 0; Col < W; ++Col)
+        Dst[Col] = Word;
+    }
+    CtrLowShift = LowShift;
+  }
+
+  // Counter bits 6..63: adding t < 64 carries into bit j at most once, so
+  // each column word is a broadcast of bit j of the column base or an at
+  // most two-segment word splitting where the low j bits wrap. A slice
+  // that is a batch-wide broadcast of the same bit it held last batch is
+  // skipped — with a 2^k-block batch, slice j changes only every
+  // 2^(j-k) batches.
+  for (unsigned J = 6; J < 64; ++J) {
+    const uint64_t Bit = (Base >> J) & 1;
+    const uint64_t Last = Base + (uint64_t{W} * 64 - 1);
+    const bool BatchConstant = Base <= Last && (Base >> J) == (Last >> J);
+    const int8_t NewState = BatchConstant ? static_cast<int8_t>(Bit) : -1;
+    if (NewState >= 0 && CtrHigh[J] == NewState)
+      continue;
+    uint64_t *Dst = InWords + size_t{Perm.InSlice[J]} * InStride;
+    if (NewState >= 0) {
+      const uint64_t Word = Bit ? ~uint64_t{0} : 0;
+      for (unsigned Col = 0; Col < W; ++Col)
+        Dst[Col] = Word;
+    } else {
+      const uint64_t LowMask = lowBitMask(J);
+      for (unsigned Col = 0; Col < W; ++Col) {
+        const uint64_t B0 = Base + uint64_t{Col} * 64;
+        const uint64_t V = (B0 >> J) & 1;
+        // First t with a carry into bit j; >= 64 means no flip here.
+        const uint64_t Flip = (uint64_t{1} << J) - (B0 & LowMask);
+        uint64_t Word;
+        if (Flip >= 64)
+          Word = V ? ~uint64_t{0} : 0;
+        else
+          Word = V ? lowBitMask(static_cast<unsigned>(Flip))
+                   : ~lowBitMask(static_cast<unsigned>(Flip));
+        Dst[Col] = Word;
+      }
+    }
+    CtrHigh[J] = NewState;
+  }
+  Profile.mark("runner.pack_cycles");
+
+  if (IntoDense)
+    Native(DenseIn.data(), DenseOut.data());
+  else
+    Interp.run(InRegs.data(), OutRegs.data());
+  Profile.mark("runner.kernel_cycles");
+
+  // Fused untransposition + keystream XOR: gather each column's 64
+  // output words in block-integer bit order, transpose once, and XOR the
+  // per-block big-endian integers straight into the data.
+  const uint64_t *OutWords =
+      IntoDense ? DenseOut.data()
+                : reinterpret_cast<const uint64_t *>(OutRegs.data());
+  const unsigned OutStride = IntoDense ? W : SimdReg::MaxWords;
+  const size_t NumBlocks = (Bytes + 7) / 8;
+  for (unsigned Col = 0; Col < W && size_t{Col} * 64 < NumBlocks; ++Col) {
+    uint64_t M[64];
+    for (unsigned J = 0; J < 64; ++J)
+      M[J] = OutWords[size_t{Perm.OutSlice[J]} * OutStride + Col];
+    // Row j bit b = keystream bit j of block Col*64+b; transposing makes
+    // row b that block's big-endian keystream integer.
+    transpose64x64(M);
+    const size_t Block0 = size_t{Col} * 64;
+    const size_t BlockN = std::min<size_t>(64, NumBlocks - Block0);
+    uint8_t *Dst = Data + Block0 * 8;
+    for (size_t B = 0; B < BlockN; ++B) {
+      const uint64_t Ks = byteSwap64(M[B]); // BE integer -> LE host words
+      uint8_t *P = Dst + B * 8;
+      const size_t Avail = Bytes - (Block0 + B) * 8;
+      if (Avail >= 8) {
+        uint64_t D;
+        std::memcpy(&D, P, 8);
+        D ^= Ks;
+        std::memcpy(P, &D, 8);
+      } else {
+        uint8_t KsBytes[8];
+        std::memcpy(KsBytes, &Ks, 8);
+        for (size_t I = 0; I < Avail; ++I)
+          P[I] ^= KsBytes[I];
+      }
+    }
+  }
   Profile.mark("runner.unpack_cycles");
 }

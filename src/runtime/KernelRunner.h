@@ -148,6 +148,52 @@ public:
   /// output blocks (block-major atoms) into \p OutAtoms.
   void runBatch(const std::vector<ParamData> &Params, uint64_t *OutAtoms);
 
+  /// Probe-derived bit-to-register maps for the 64-bit-block CTR fast
+  /// path (see UsubaCipher::ensureCtrProbe): InSlice[j] is the entry
+  /// register (within parameter 0) carrying bit j (LSB = 0) of the
+  /// big-endian counter-block integer; OutSlice[j] is the output register
+  /// carrying bit j of the big-endian keystream-block integer.
+  struct CtrPerm {
+    uint8_t InSlice[64];
+    uint8_t OutSlice[64];
+  };
+
+  /// Static shape requirements of the CTR fast path: a bitsliced kernel
+  /// (m == 1, no interleaving) taking one 64-atom per-block parameter
+  /// plus one broadcast parameter and producing 64 atoms per block.
+  bool ctrFastShape() const {
+    return Kernel.Prog.MBits == 1 && Kernel.Prog.InterleaveFactor == 1 &&
+           ParamLens.size() == 2 && ParamLens[0] == 64 && OutLen == 64;
+  }
+  /// ctrFastShape() plus the dynamic gate: the first batch of a native
+  /// kernel must go through runBatch so the differential self-check still
+  /// runs before any fast-path output escapes.
+  bool ctrFastReady() const {
+    return ctrFastShape() && (!Native || SelfChecked);
+  }
+
+  /// CTR fast path for 64-bit-block bitsliced kernels: instead of
+  /// materializing counter blocks and bit-transposing them, writes each
+  /// counter-bit slice analytically — bit j of (Base + t) over a 64-block
+  /// word column is a rotated canonical pattern (j < 6) or an at most
+  /// two-segment word (j >= 6) — and only rewrites the slices whose
+  /// content changed since the previous batch (the low slices are
+  /// invariant when Base advances by a multiple of 64, the high slices
+  /// are batch-constant broadcasts that change rarely). On the way out,
+  /// the keystream XOR is fused into the untransposition: each 64-block
+  /// column is gathered through \p Perm, transposed once, and XORed
+  /// straight into \p Data as big-endian block integers, so the
+  /// ciphertext is produced in one pass with no intermediate atom or
+  /// keystream buffers.
+  ///
+  /// \p Base is the counter value of the batch's first block, \p Key the
+  /// broadcast key parameter (parameter 1, cached across batches like
+  /// runBatch's), \p Bytes the number of data bytes (at most
+  /// blocksPerCall() * 8; a ragged tail is XORed bytewise). The caller
+  /// must check ctrFastReady().
+  void runCtrBatch(const CtrPerm &Perm, uint64_t Base, const ParamData &Key,
+                   uint8_t *Data, size_t Bytes);
+
   /// Executes only the kernel (no packing/unpacking) on the engine's
   /// staged input buffer — the benchmark harness uses this to measure
   /// the primitive alone, as the paper's Figures 3/4 do. Buffer
@@ -190,6 +236,22 @@ private:
     bool InRegs = false;
   };
   std::vector<BroadcastSlot> Broadcasts;
+
+  /// Incremental CTR state (runCtrBatch): what the analytically written
+  /// counter slices currently hold, so unchanged slices are skipped.
+  /// Invalidated whenever anything else writes the input buffers
+  /// (runBatch repacks parameter 0) or the engine's buffer changes.
+  void invalidateCtrState() {
+    CtrLowShift = -1;
+    for (int8_t &S : CtrHigh)
+      S = -1;
+  }
+  int CtrLowShift = -1;  ///< Base mod 64 the low-bit slices were built
+                         ///< with; -1 = not valid
+  int8_t CtrHigh[64] = {}; ///< per high slice: 0/1 = broadcast of that
+                           ///< bit, -1 = mixed or not valid (fixed in
+                           ///< the constructor)
+  bool CtrIntoDense = false; ///< which buffer the CTR state describes
 };
 
 } // namespace usuba

@@ -59,6 +59,16 @@ constexpr uint64_t rotateRight(uint64_t Value, unsigned Amount,
                     Width);
 }
 
+/// Reverses the byte order of \p Value. The swap ladder is the idiom
+/// compilers recognize and lower to a single bswap instruction.
+constexpr uint64_t byteSwap64(uint64_t Value) {
+  Value = ((Value & 0x00FF00FF00FF00FFull) << 8) |
+          ((Value >> 8) & 0x00FF00FF00FF00FFull);
+  Value = ((Value & 0x0000FFFF0000FFFFull) << 16) |
+          ((Value >> 16) & 0x0000FFFF0000FFFFull);
+  return (Value << 32) | (Value >> 32);
+}
+
 /// In-place transposition of a 64x64 bit matrix stored as 64 row words
 /// (row r bit c == M[r] bit c). Classic Hacker's Delight block-swap; used
 /// by the bitslice transposition fast path.

@@ -1,0 +1,206 @@
+//===- OptimizerTest.cpp - Usuba0 mid-end unit tests ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+
+#include "core/Compiler.h"
+#include "ciphers/UsubaSources.h"
+#include "support/Diagnostics.h"
+#include "types/Arch.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+/// A one-function program around \p F so the verifier can run.
+U0Program wrap(U0Function F, Dir Direction = Dir::Vert, unsigned MBits = 16) {
+  U0Program P;
+  P.Direction = Direction;
+  P.MBits = MBits;
+  P.Target = &archAVX2();
+  P.Funcs.push_back(std::move(F));
+  return P;
+}
+
+U0Function func(unsigned NumInputs, unsigned NumRegs,
+                std::vector<unsigned> Outputs) {
+  U0Function F;
+  F.Name = "t";
+  F.NumInputs = NumInputs;
+  F.NumRegs = NumRegs;
+  F.Outputs = std::move(Outputs);
+  return F;
+}
+
+TEST(Optimizer, CopyPropCollapsesMovChains) {
+  U0Function F = func(1, 5, {4});
+  F.Instrs.push_back(U0Instr::unary(U0Op::Mov, 1, 0));
+  F.Instrs.push_back(U0Instr::unary(U0Op::Mov, 2, 1));
+  F.Instrs.push_back(U0Instr::unary(U0Op::Mov, 3, 2));
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 4, 3));
+  EXPECT_EQ(propagateCopies(F), 3u);
+  ASSERT_EQ(F.Instrs.size(), 1u);
+  EXPECT_EQ(F.Instrs[0].Op, U0Op::Not);
+  EXPECT_EQ(F.Instrs[0].Srcs[0], 0u); // rerouted through the whole chain
+  EXPECT_TRUE(verifyU0(wrap(std::move(F))).empty());
+}
+
+TEST(Optimizer, CopyPropReroutesOutputs) {
+  U0Function F = func(1, 3, {2});
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 1, 0));
+  F.Instrs.push_back(U0Instr::unary(U0Op::Mov, 2, 1));
+  EXPECT_EQ(propagateCopies(F), 1u);
+  EXPECT_EQ(F.Outputs[0], 1u);
+  EXPECT_TRUE(verifyU0(wrap(std::move(F))).empty());
+}
+
+TEST(Optimizer, FoldsLogicIdentities) {
+  // x ^ x -> 0; y & 0 -> 0; z | ~0 -> ~0 (via constants).
+  U0Function F = func(2, 6, {2, 4, 5});
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 0));
+  F.Instrs.push_back(U0Instr::constant(3, 0));
+  F.Instrs.push_back(U0Instr::binary(U0Op::And, 4, 1, 3));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 5, 1, 3)); // x ^ 0 -> x
+  ConstFoldStats Stats;
+  EXPECT_GT(foldConstants(F, Dir::Vert, 16, &Stats), 0u);
+  // The x^x and &0 results became constants, the ^0 became a Mov.
+  EXPECT_EQ(F.Instrs[0].Op, U0Op::Const);
+  EXPECT_EQ(F.Instrs[0].Imm, 0u);
+  EXPECT_EQ(F.Instrs[2].Op, U0Op::Const);
+  EXPECT_EQ(F.Instrs[2].Imm, 0u);
+  EXPECT_EQ(F.Instrs[3].Op, U0Op::Mov);
+  EXPECT_GE(Stats.Folded + Stats.Simplified, 3u);
+  EXPECT_TRUE(verifyU0(wrap(std::move(F))).empty());
+}
+
+TEST(Optimizer, FoldsConstantArithmeticWhenVertical) {
+  U0Function F = func(0, 3, {2});
+  F.Instrs.push_back(U0Instr::constant(0, 7));
+  F.Instrs.push_back(U0Instr::constant(1, 9));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Add, 2, 0, 1));
+  EXPECT_GT(foldConstants(F, Dir::Vert, 16, nullptr), 0u);
+  EXPECT_EQ(F.Instrs[2].Op, U0Op::Const);
+  EXPECT_EQ(F.Instrs[2].Imm, 16u);
+}
+
+TEST(Optimizer, ArithFoldGatedOffHorizontal) {
+  // Horizontal m-sliced constants are positional masks; element rules
+  // must not fire there (m > 1).
+  U0Function F = func(0, 3, {2});
+  F.Instrs.push_back(U0Instr::constant(0, 7));
+  F.Instrs.push_back(U0Instr::constant(1, 9));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Add, 2, 0, 1));
+  foldConstants(F, Dir::Horiz, 16, nullptr);
+  EXPECT_EQ(F.Instrs[2].Op, U0Op::Add);
+  // Bitwise folding still applies under both encodings.
+  U0Function G = func(0, 3, {2});
+  G.Instrs.push_back(U0Instr::constant(0, 7));
+  G.Instrs.push_back(U0Instr::constant(1, 9));
+  G.Instrs.push_back(U0Instr::binary(U0Op::And, 2, 0, 1));
+  EXPECT_GT(foldConstants(G, Dir::Horiz, 16, nullptr), 0u);
+  EXPECT_EQ(G.Instrs[2].Op, U0Op::Const);
+  EXPECT_EQ(G.Instrs[2].Imm, 7u & 9u);
+}
+
+TEST(Optimizer, ShiftByZeroIsIdentityEverywhere) {
+  U0Function F = func(1, 2, {1});
+  F.Instrs.push_back(U0Instr::shift(U0Op::Lshift, 1, 0, 0));
+  EXPECT_GT(foldConstants(F, Dir::Horiz, 16, nullptr), 0u);
+  EXPECT_EQ(F.Instrs[0].Op, U0Op::Mov);
+}
+
+TEST(Optimizer, ValueNumberingRemovesCommutedDuplicates) {
+  U0Function F = func(2, 6, {4, 5});
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 3, 1, 0)); // commuted dup
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 4, 2));
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 5, 3)); // dup after VN
+  EXPECT_EQ(valueNumber(F), 2u);
+  EXPECT_EQ(F.Instrs.size(), 2u);
+  EXPECT_EQ(F.Outputs[0], F.Outputs[1]);
+  EXPECT_TRUE(verifyU0(wrap(std::move(F))).empty());
+}
+
+TEST(Optimizer, ValueNumberingKeepsNonCommutativeOrder) {
+  // Andn (dest = ~a & b) is not commutative: operands must not be sorted.
+  U0Function F = func(2, 4, {2, 3});
+  F.Instrs.push_back(U0Instr::binary(U0Op::Andn, 2, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Andn, 3, 1, 0));
+  EXPECT_EQ(valueNumber(F), 0u);
+  EXPECT_EQ(F.Instrs.size(), 2u);
+}
+
+TEST(Optimizer, DeadCodeSweepKeepsBarriersAndLiveCone) {
+  U0Function F = func(1, 4, {3});
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 1, 0)); // dead
+  F.Instrs.push_back(U0Instr::barrier());
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 2, 0)); // live
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 3, 2));
+  EXPECT_EQ(sweepDeadCode(F), 1u);
+  ASSERT_EQ(F.Instrs.size(), 3u);
+  EXPECT_EQ(F.Instrs[0].Op, U0Op::Barrier);
+  EXPECT_TRUE(verifyU0(wrap(std::move(F))).empty());
+}
+
+TEST(Optimizer, SpecializeEntryInputsFoldsTheBoundCone) {
+  // out = in0 ^ in1; binding in1 to 0 must reduce to out = Mov in0 after
+  // folding, with the ABI (NumInputs) unchanged.
+  U0Function F = func(2, 3, {2});
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  U0Program P = wrap(std::move(F), Dir::Vert, 1);
+  EXPECT_EQ(specializeEntryInputs(P, {{1, 0}}), 1u);
+  EXPECT_EQ(P.entry().NumInputs, 2u);
+  EXPECT_TRUE(verifyU0(P).empty());
+  foldConstants(P.entry(), P.Direction, P.MBits, nullptr);
+  valueNumber(P.entry());
+  sweepDeadCode(P.entry());
+  EXPECT_TRUE(verifyU0(P).empty());
+  // The Xor with a known-zero operand is gone; only the Const feeding
+  // nothing (swept) and the output routing remain.
+  for (const U0Instr &I : P.entry().Instrs)
+    EXPECT_NE(I.Op, U0Op::Xor);
+}
+
+TEST(Optimizer, NeverGrowsBundledPrograms) {
+  // Satellite guarantee: InstrCount <= InstrCountPreOpt for every bundled
+  // program, and each mid-end pass reports a non-positive delta.
+  struct Spec {
+    const std::string &(*Source)();
+    Dir Direction;
+    unsigned WordBits;
+    bool Bitslice;
+  };
+  const Spec Specs[] = {
+      {rectangleSource, Dir::Vert, 16, false},
+      {rectangleSource, Dir::Vert, 16, true},
+      {desSource, Dir::Vert, 1, true},
+      {presentSource, Dir::Vert, 1, true},
+      {chacha20Source, Dir::Vert, 32, false},
+      {serpentSource, Dir::Vert, 32, false},
+      {triviumSource, Dir::Vert, 64, false},
+  };
+  for (const Spec &S : Specs) {
+    CompileOptions Options;
+    Options.Direction = S.Direction;
+    Options.WordBits = S.WordBits;
+    Options.Bitslice = S.Bitslice;
+    Options.Target = &archAVX2();
+    DiagnosticEngine Diags;
+    std::optional<CompiledKernel> Kernel =
+        compileUsuba(S.Source(), Options, Diags);
+    ASSERT_TRUE(Kernel) << Diags.diagnostics().size();
+    EXPECT_LE(Kernel->InstrCount, Kernel->InstrCountPreOpt);
+    EXPECT_GT(Kernel->InstrCountPreOpt, 0u);
+    for (const PassStat &P : Kernel->PassStats)
+      if (P.Name == "copy-prop" || P.Name == "constant-fold" ||
+          P.Name == "cse" || P.Name == "dce")
+        EXPECT_LE(P.InstrDelta, 0) << P.Name;
+  }
+}
+
+} // namespace
