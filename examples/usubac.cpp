@@ -38,6 +38,7 @@
 #include "cbackend/CEmitter.h"
 #include "frontend/AstPrinter.h"
 #include "frontend/Parser.h"
+#include "ciphers/FuzzHarness.h"
 #include "ciphers/UsubaSources.h"
 #include "core/Compiler.h"
 #include "support/Remarks.h"
@@ -45,8 +46,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -64,7 +67,8 @@ void usage() {
       "              [-fno-dce] [-dump-u0]\n"
       "              [-dump-ast] [-dump-source] [-o out]\n"
       "              [-Rpass[=pass]] [--remarks=file] [-dump-after=pass]\n"
-      "              [-telemetry] <file.ua | bundled-name>\n"
+      "              [-telemetry] [--validate] <file.ua | bundled-name>\n"
+      "       usubac --fuzz N [--fuzz-seed S] [--validate]\n"
       "       usubac -list\n");
 }
 
@@ -151,6 +155,8 @@ int main(int argc, char **argv) {
   std::string Input, Output;
   bool DumpU0 = false, DumpAst = false, DumpSource = false;
   bool PrintRemarks = false, WantTelemetry = false;
+  unsigned FuzzCount = 0; // --fuzz N: run a differential campaign instead
+  uint64_t FuzzSeed = 1;
   std::string RemarkPassFilter; // empty = all passes
   std::string RemarksOut;       // --remarks=<file>
   std::string DumpAfter;        // -dump-after=<pass|all>
@@ -211,6 +217,16 @@ int main(int argc, char **argv) {
                      "error: -dump-after= needs a pass name or 'all'\n");
         return 1;
       }
+    } else if (Arg == "--validate") {
+      Options.ValidatePasses = true;
+    } else if (Arg == "--fuzz" && I + 1 < argc) {
+      FuzzCount = static_cast<unsigned>(std::atoi(argv[++I]));
+      if (!FuzzCount) {
+        std::fprintf(stderr, "error: --fuzz needs a positive count\n");
+        return 1;
+      }
+    } else if (Arg == "--fuzz-seed" && I + 1 < argc) {
+      FuzzSeed = std::strtoull(argv[++I], nullptr, 0);
     } else if (Arg == "-telemetry") {
       WantTelemetry = true;
     } else if (Arg == "-dump-u0") {
@@ -235,6 +251,15 @@ int main(int argc, char **argv) {
     } else {
       Input = Arg;
     }
+  }
+  if (FuzzCount) {
+    FuzzOptions Fuzz;
+    Fuzz.Seed = FuzzSeed;
+    Fuzz.Count = FuzzCount;
+    Fuzz.Validate = Options.ValidatePasses;
+    Fuzz.CorpusDir = "fuzz-repro";
+    Fuzz.Log = &std::cout;
+    return runFuzzCampaign(Fuzz).clean() ? 0 : 1;
   }
   if (Input.empty()) {
     usage();

@@ -42,8 +42,35 @@ Exit codes: 0 pass, 1 regression (or failed self-test), 2 usage/IO.
 import argparse
 import copy
 import json
+import math
 import os
 import sys
+
+
+class ReportError(Exception):
+    """A structurally broken report row: a missing or non-numeric
+    ctr_cycles_per_byte. Raised instead of letting a KeyError traceback
+    (or a silently-false NaN comparison) escape; main() turns it into a
+    clear message and exit code 2."""
+
+
+def row_cpb(row, name, which):
+    """The row's ctr_cycles_per_byte as a usable float, or ReportError."""
+    try:
+        value = row["ctr_cycles_per_byte"]
+    except KeyError:
+        raise ReportError("%s report: row %s has no ctr_cycles_per_byte "
+                          "field" % (which, name))
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ReportError("%s report: row %s has a non-numeric "
+                          "ctr_cycles_per_byte (%r)" % (which, name, value))
+    value = float(value)
+    if math.isnan(value):
+        # NaN compares false against everything, so without this check a
+        # NaN row would print "ok" and wave the gate through.
+        raise ReportError("%s report: row %s has NaN ctr_cycles_per_byte"
+                          % (which, name))
+    return value
 
 
 def load_report(path):
@@ -131,8 +158,8 @@ def compare(baseline, fresh, tolerance, quiet=False):
             skipped.append((name, "engine %s -> %s (not comparable)" %
                             (base.get("engine"), fresh_row.get("engine"))))
             continue
-        base_cpb = base["ctr_cycles_per_byte"]
-        fresh_cpb = fresh_row["ctr_cycles_per_byte"]
+        base_cpb = row_cpb(base, name, "baseline")
+        fresh_cpb = row_cpb(fresh_row, name, "fresh")
         if base_cpb <= 0 or fresh_cpb <= 0:
             skipped.append((name, "non-positive cycles/byte"))
             continue
@@ -200,9 +227,28 @@ def self_test(baseline, tolerance):
                   (row_key(dropped), failures, compared))
             return False
 
+    # A missing or NaN ctr_cycles_per_byte must be a clear ReportError,
+    # not a traceback (missing) or a silent pass (NaN compares false
+    # against the tolerance, so the row would print "ok").
+    for corruption in ("missing", "nan"):
+        broken = copy.deepcopy(baseline)
+        if corruption == "missing":
+            del broken["results"][0]["ctr_cycles_per_byte"]
+        else:
+            broken["results"][0]["ctr_cycles_per_byte"] = float("nan")
+        try:
+            compare(baseline, broken, tolerance, quiet=True)
+        except ReportError:
+            pass
+        else:
+            print("bench_gate self-test FAILED: %s ctr_cycles_per_byte "
+                  "did not raise ReportError" % corruption)
+            return False
+
     print("bench_gate self-test OK: clean baseline passes, injected "
           "%.1fx slowdown fails, deleted in-scope row fails, filtered "
-          "deletion passes" % (2.0 * max(tolerance, 1.0)))
+          "deletion passes, broken cycles-per-byte fields are rejected"
+          % (2.0 * max(tolerance, 1.0)))
     return True
 
 
@@ -226,15 +272,20 @@ def main():
         return 2
 
     baseline = load_report(args.baseline)
-    if args.self_test:
-        return 0 if self_test(baseline, args.tolerance) else 1
+    try:
+        if args.self_test:
+            return 0 if self_test(baseline, args.tolerance) else 1
 
-    if not args.fresh:
-        parser.error("fresh report required unless --self-test")
-    fresh = load_report(args.fresh)
-    print("bench_gate: %s vs %s (tolerance %.2fx)" %
-          (args.fresh, args.baseline, args.tolerance))
-    failures, compared, skipped = compare(baseline, fresh, args.tolerance)
+        if not args.fresh:
+            parser.error("fresh report required unless --self-test")
+        fresh = load_report(args.fresh)
+        print("bench_gate: %s vs %s (tolerance %.2fx)" %
+              (args.fresh, args.baseline, args.tolerance))
+        failures, compared, skipped = compare(baseline, fresh,
+                                              args.tolerance)
+    except ReportError as e:
+        print("bench_gate: %s" % e, file=sys.stderr)
+        return 2
     if failures:
         print("bench_gate: %d failing rows (of %d compared, tolerance "
               "%.2fx):" % (len(failures), compared, args.tolerance))

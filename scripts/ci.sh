@@ -6,7 +6,11 @@
 #   debug    - asserts on, catches invariant slips early.
 #   sanitize - ASan + UBSan over the whole suite, including the parser
 #              fuzz corpus, the JIT's fork/timeout path, and the layout
-#              property tests (SWAR transposition vs the naive oracle).
+#              property tests (SWAR transposition vs the naive oracle),
+#              followed by the differential fuzz smoke: a fixed-seed
+#              campaign of 200 random programs, each compiled optimized
+#              vs -O0 across the vector ISAs and diffed byte for byte
+#              (bench/fuzz_differential --seed 0xC0FFEE).
 #   perf     - perf smoke: Release build of the JSON throughput bench,
 #              run on two small configs single- and multi-threaded with
 #              telemetry on, the output validated (well-formed JSON,
@@ -40,6 +44,20 @@ run_job() {
   cmake -B "build-ci-$NAME" -S . "$@"
   cmake --build "build-ci-$NAME" -j "$JOBS"
   (cd "build-ci-$NAME" && ctest --output-on-failure -j "$JOBS")
+}
+
+# Differential fuzz smoke under the sanitized build: a fixed-seed
+# campaign of random programs, each compiled optimized vs -O0 across the
+# vector ISAs (with a sampled JIT leg) and compared byte for byte. The
+# seed is pinned so CI is deterministic; any differential writes a
+# minimized reproducer into the build tree and fails the job.
+fuzz_smoke() {
+  echo "==== ci job: sanitize (fuzz smoke) ===="
+  cmake --build build-ci-sanitize -j "$JOBS" --target fuzz_differential
+  ./build-ci-sanitize/bench/fuzz_differential \
+    --seed 0xC0FFEE --count 200 --jit-every 8 \
+    --out-dir build-ci-sanitize/fuzz-repro
+  echo "fuzz-smoke OK: 200 programs, zero differentials"
 }
 
 perf_smoke() {
@@ -165,12 +183,16 @@ EOF
 case "$MATRIX" in
 release) run_job release -DCMAKE_BUILD_TYPE=Release ;;
 debug) run_job debug -DCMAKE_BUILD_TYPE=Debug ;;
-sanitize) run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON ;;
+sanitize)
+  run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON
+  fuzz_smoke
+  ;;
 perf) perf_smoke ;;
 all)
   run_job release -DCMAKE_BUILD_TYPE=Release
   run_job debug -DCMAKE_BUILD_TYPE=Debug
   run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON
+  fuzz_smoke
   perf_smoke
   ;;
 *)

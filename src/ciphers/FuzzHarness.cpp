@@ -1,0 +1,263 @@
+//===- FuzzHarness.cpp - Differential fuzzing campaign driver -------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/FuzzHarness.h"
+
+#include "cbackend/NativeJit.h"
+#include "core/Compiler.h"
+#include "frontend/RandomProgram.h"
+#include "runtime/KernelRunner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+using namespace usuba;
+
+namespace {
+
+uint64_t splitmix64(uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+/// Blocks checked per leg (every leg pads ragged batches internally, so
+/// this need not divide blocksPerCall).
+constexpr unsigned FuzzBlocks = 24;
+
+struct LegResult {
+  std::vector<uint64_t> Out; ///< block-major output atoms
+  std::string Error;         ///< nonempty = the leg itself failed
+};
+
+/// Compiles \p Source under \p Options and runs it on deterministic
+/// inputs derived from \p InputSeed. All legs of one program share the
+/// slicing (direction/word size/bitslice), so their runtime layouts — and
+/// therefore their input atom streams — are identical and outputs compare
+/// directly.
+LegResult runLeg(const std::string &Source, const CompileOptions &Options,
+                 uint64_t InputSeed, bool Jit) {
+  LegResult R;
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel = compileUsuba(Source, Options, Diags);
+  if (!Kernel) {
+    R.Error = "compilation failed: " + Diags.str();
+    return R;
+  }
+  KernelRunner Runner(std::move(*Kernel));
+
+  std::optional<NativeKernel> Native;
+  if (Jit) {
+    const Arch &Target = Options.Target ? *Options.Target : archGP64();
+    if (hostSupports(Target)) {
+      JitError Error;
+      std::optional<NativeKernel> Jitted =
+          jitCompile(Runner.kernel(), "-O2", &Error);
+      if (!Jitted) {
+        R.Error = "jit leg unavailable: " + Error.str();
+        return R;
+      }
+      Native.emplace(std::move(*Jitted));
+      Runner.setNativeFn(Native->fn());
+    }
+  }
+
+  const unsigned MBits = Runner.kernel().Prog.MBits;
+  const uint64_t Mask =
+      MBits >= 64 ? ~uint64_t{0} : (uint64_t{1} << MBits) - 1;
+  const std::vector<unsigned> &Params = Runner.paramLens();
+  const unsigned InAtoms = std::accumulate(Params.begin(), Params.end(), 0u);
+  const unsigned OutAtomsPerBlock = Runner.outputAtomsPerBlock();
+  const unsigned Blocks = Runner.blocksPerCall();
+
+  // One flat atom stream, block-major, identical across legs.
+  uint64_t Rng = InputSeed;
+  std::vector<uint64_t> AllIn(size_t{FuzzBlocks} * InAtoms);
+  for (uint64_t &A : AllIn)
+    A = splitmix64(Rng) & Mask;
+
+  std::vector<uint64_t> OutAtoms(size_t{Blocks} * OutAtomsPerBlock);
+  for (unsigned Base = 0; Base < FuzzBlocks; Base += Blocks) {
+    // Per-parameter, block-major staging (zero-padded ragged tail).
+    std::vector<std::vector<uint64_t>> Staged(Params.size());
+    std::vector<KernelRunner::ParamData> Data;
+    for (size_t P = 0; P < Params.size(); ++P)
+      Staged[P].assign(size_t{Blocks} * Params[P], 0);
+    for (unsigned B = 0; B < Blocks && Base + B < FuzzBlocks; ++B) {
+      const uint64_t *Block = AllIn.data() + size_t{Base + B} * InAtoms;
+      unsigned Offset = 0;
+      for (size_t P = 0; P < Params.size(); ++P) {
+        for (unsigned A = 0; A < Params[P]; ++A)
+          Staged[P][size_t{B} * Params[P] + A] = Block[Offset + A];
+        Offset += Params[P];
+      }
+    }
+    for (size_t P = 0; P < Params.size(); ++P)
+      Data.push_back({/*Broadcast=*/false, Staged[P].data(), 0});
+    Runner.runBatch(Data, OutAtoms.data());
+    for (unsigned B = 0; B < Blocks && Base + B < FuzzBlocks; ++B)
+      R.Out.insert(R.Out.end(),
+                   OutAtoms.begin() + size_t{B} * OutAtomsPerBlock,
+                   OutAtoms.begin() + size_t{B + 1} * OutAtomsPerBlock);
+  }
+
+  // The native rung's first batch self-checks against the interpreter;
+  // a demotion IS the interpreter-vs-JIT differential firing.
+  if (Jit && Runner.fallbackKind() == EngineFallback::SelfCheckMismatch)
+    R.Error = "jit self-check differential: " + Runner.fallbackReason();
+  return R;
+}
+
+CompileOptions baseOptions(Dir Direction, unsigned WordBits, bool Bitslice) {
+  CompileOptions Options;
+  Options.Direction = Direction;
+  Options.WordBits = WordBits;
+  Options.Bitslice = Bitslice;
+  return Options;
+}
+
+/// The per-program differential: -O0 GP64 reference vs optimized legs on
+/// every vector ISA (and optionally the JIT rung). Returns "" when every
+/// leg agrees byte for byte, else the first failure.
+std::string diffOne(const std::string &Source, Dir Direction,
+                    unsigned WordBits, bool Bitslice, uint64_t InputSeed,
+                    bool Jit, bool Validate) {
+  // Horizontal programs use shuffles, which GP64 has no instance for
+  // (Table 1) — their reference and legs start at SSE.
+  const bool Horiz = Direction == Dir::Horiz && !Bitslice;
+  CompileOptions Ref = baseOptions(Direction, WordBits, Bitslice);
+  Ref.Target = Horiz ? &archSSE() : &archGP64();
+  Ref.Inline = false;
+  Ref.Unroll = false;
+  Ref.Schedule = false;
+  Ref.FuseAndn = false;
+  Ref.CopyProp = Ref.ConstantFold = Ref.Cse = Ref.Dce = false;
+  LegResult Reference = runLeg(Source, Ref, InputSeed, /*Jit=*/false);
+  if (!Reference.Error.empty())
+    return std::string("reference (-O0 ") + Ref.Target->Name +
+           "): " + Reference.Error;
+
+  struct Leg {
+    const char *Name;
+    const Arch *Target;
+    bool Interleave;
+    bool Jit;
+  };
+  std::vector<Leg> Legs;
+  if (!Horiz)
+    Legs.push_back({"gp64-opt", &archGP64(), false, Jit});
+  Legs.push_back({"sse-opt", &archSSE(), false, Horiz && Jit});
+  Legs.push_back({"avx2-opt", &archAVX2(), false, false});
+  Legs.push_back({"avx512-opt-interleave", &archAVX512(), true, false});
+  for (const Leg &L : Legs) {
+    CompileOptions Options = baseOptions(Direction, WordBits, Bitslice);
+    Options.Target = L.Target;
+    Options.Interleave = L.Interleave;
+    Options.ValidatePasses = Validate;
+    LegResult Result = runLeg(Source, Options, InputSeed, L.Jit);
+    if (!Result.Error.empty())
+      return std::string(L.Name) + ": " + Result.Error;
+    if (Result.Out != Reference.Out) {
+      size_t At = 0;
+      while (At < Result.Out.size() && At < Reference.Out.size() &&
+             Result.Out[At] == Reference.Out[At])
+        ++At;
+      std::ostringstream OS;
+      OS << L.Name << ": output differs from -O0 reference at atom " << At
+         << " (got 0x" << std::hex
+         << (At < Result.Out.size() ? Result.Out[At] : 0) << ", want 0x"
+         << (At < Reference.Out.size() ? Reference.Out[At] : 0) << ")";
+      return OS.str();
+    }
+  }
+  return "";
+}
+
+std::string diffSpec(const RandomProgramSpec &Spec, uint64_t InputSeed,
+                     bool Jit, bool Validate) {
+  return diffOne(Spec.render(), Spec.Direction, Spec.WordBits, Spec.Bitslice,
+                 InputSeed, Jit, Validate);
+}
+
+} // namespace
+
+FuzzResult usuba::runFuzzCampaign(const FuzzOptions &Opts) {
+  FuzzResult Result;
+  uint64_t CampaignRng = Opts.Seed;
+  for (unsigned I = 0; I < Opts.Count; ++I) {
+    const uint64_t ProgramSeed = splitmix64(CampaignRng);
+    const uint64_t InputSeed = ProgramSeed ^ 0xB10C5EED;
+    const bool Jit = Opts.JitEvery && I % Opts.JitEvery == 0;
+    RandomProgramSpec Spec = generateRandomProgram(ProgramSeed);
+    ++Result.Programs;
+    if (Jit)
+      ++Result.JitLegs;
+
+    std::string Failure = diffSpec(Spec, InputSeed, Jit, Opts.Validate);
+    if (Failure.empty())
+      continue;
+    ++Result.Failures;
+    if (Opts.Log)
+      *Opts.Log << "[fuzz] seed " << ProgramSeed << ": " << Failure << "\n";
+
+    RandomProgramSpec Minimal = Spec;
+    if (Opts.Minimize)
+      // Shrink against the interpreter-only differential (the failure
+      // must persist without the sampled JIT leg to minimize cheaply; if
+      // it is JIT-only, the original spec is kept as the reproducer).
+      Minimal = minimizeRandomProgram(
+          Spec, [&](const RandomProgramSpec &Candidate) {
+            return !diffSpec(Candidate, InputSeed, /*Jit=*/false,
+                             Opts.Validate)
+                        .empty();
+          });
+
+    if (!Opts.CorpusDir.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Opts.CorpusDir, Ec);
+      const std::string Path = Opts.CorpusDir + "/diff-seed-" +
+                               std::to_string(ProgramSeed) + ".ua";
+      std::ofstream Out(Path);
+      Out << Minimal.render();
+      Out << "\n// failure: " << Failure << "\n";
+      if (Out) {
+        Result.ReproPaths.push_back(Path);
+        if (Opts.Log)
+          *Opts.Log << "[fuzz] reproducer written: " << Path << "\n";
+      } else if (Opts.Log) {
+        *Opts.Log << "[fuzz] failed to write reproducer to " << Path << "\n";
+      }
+    }
+  }
+  if (Opts.Log)
+    *Opts.Log << "[fuzz] " << Result.Programs << " programs, "
+              << Result.JitLegs << " with a native leg, " << Result.Failures
+              << " failure(s)\n";
+  return Result;
+}
+
+std::string usuba::replayFuzzSource(const std::string &Source) {
+  std::optional<FuzzHeader> Header = parseFuzzHeader(Source);
+  if (!Header)
+    return "missing or malformed '// usuba-fuzz:' header";
+  return diffOne(Source, Header->Direction, Header->WordBits,
+                 Header->Bitslice, Header->Seed ^ 0xB10C5EED,
+                 /*Jit=*/false, /*Validate=*/false);
+}
+
+std::string usuba::replayFuzzFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return "cannot open " + Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return replayFuzzSource(Buffer.str());
+}

@@ -1,0 +1,78 @@
+//===- FuzzHarness.h - Differential fuzzing campaign driver -----*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler-trust campaign (bench/fuzz_differential.cpp, usubac
+/// --fuzz): generate random typed programs (frontend/RandomProgram.h),
+/// compile each one at -O0 on GP64 as the reference and fully optimized
+/// on sse/avx2/avx512 (plus a JIT-backed native leg every JitEvery-th
+/// program), run all legs on the same inputs through the full
+/// transposition runtime, and require byte-identical outputs. A
+/// disagreement is delta-debugged down to a minimal reproducer and
+/// written into the corpus directory with a replayable provenance
+/// header; checked-in reproducers are replayed as regression tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIPHERS_FUZZHARNESS_H
+#define USUBA_CIPHERS_FUZZHARNESS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace usuba {
+
+struct FuzzOptions {
+  /// Campaign seed: program i fuzzes with seed derived from (Seed, i),
+  /// and every failure report prints the program's own seed so one
+  /// program is replayable without rerunning the campaign.
+  uint64_t Seed = 1;
+  /// Programs to generate.
+  unsigned Count = 100;
+  /// Every JitEvery-th program also runs a JIT-compiled native leg
+  /// (host-compiler invocations dominate the campaign's wall clock, so
+  /// the native rung is sampled, not exhaustive). 0 disables the JIT leg.
+  unsigned JitEvery = 8;
+  /// Compile the optimized legs under translation validation too — the
+  /// validator then acts as a second oracle running inside the compiler.
+  bool Validate = false;
+  /// Where minimized reproducers are written. Empty = don't write.
+  std::string CorpusDir;
+  /// Delta-debug failures down to minimal reproducers before writing.
+  bool Minimize = true;
+  /// Progress/failure stream (nullptr = silent).
+  std::ostream *Log = nullptr;
+};
+
+struct FuzzResult {
+  unsigned Programs = 0;     ///< programs generated and checked
+  unsigned Failures = 0;     ///< programs with a differential (or a
+                             ///< compile failure — the generator's
+                             ///< programs are well-typed by construction)
+  unsigned JitLegs = 0;      ///< programs that exercised the native rung
+  std::vector<std::string> ReproPaths; ///< minimized reproducers written
+
+  bool clean() const { return Failures == 0; }
+};
+
+/// Runs the campaign. Deterministic for a fixed FuzzOptions (modulo the
+/// host compiler's availability for the JIT legs).
+FuzzResult runFuzzCampaign(const FuzzOptions &Opts);
+
+/// Replays one reproducer: compiles \p Source under the configuration in
+/// its `// usuba-fuzz:` header and re-runs the interpreter differential
+/// (optimized legs vs -O0). Returns "" when all legs agree, else the
+/// failure description. A missing/malformed header is a failure.
+std::string replayFuzzSource(const std::string &Source);
+
+/// replayFuzzSource over a file's contents ("" on pass).
+std::string replayFuzzFile(const std::string &Path);
+
+} // namespace usuba
+
+#endif // USUBA_CIPHERS_FUZZHARNESS_H

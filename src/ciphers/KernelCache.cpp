@@ -65,6 +65,14 @@ std::string usuba::kernelCacheKey(const CipherConfig &Config,
   // back-end toggle (and resolves through an env default, so it must be
   // in the key even for default-constructed configs).
   Key += Config.effectiveOptimize() ? 'O' : 'o';
+  // A validated compile can demote itself to -O0 mid-pipeline, and the
+  // test-only miscompile injection corrupts the artifact outright —
+  // neither may share a key with a clean compile.
+  Key += Config.effectiveValidatePasses() ? 'V' : 'v';
+  if (Config.DebugMiscompilePass) {
+    Key += "|miscompile=";
+    Key += Config.DebugMiscompilePass;
+  }
   Key += '|';
   Key += std::to_string(Config.InterleaveFactorOverride);
   Key += '|';

@@ -118,6 +118,8 @@ CompileOptions optionsFor(const CipherConfig &Config) {
   Options.ConstantFold = MidEnd;
   Options.Cse = MidEnd;
   Options.Dce = MidEnd;
+  Options.ValidatePasses = Config.effectiveValidatePasses();
+  Options.DebugMiscompilePass = Config.DebugMiscompilePass;
   return Options;
 }
 
@@ -183,6 +185,13 @@ bool CipherConfig::effectiveCtrFastPath() const {
     return *CtrFastPath;
   const char *Env = std::getenv("USUBA_CTR_FAST");
   return !(Env && Env[0] == '0');
+}
+
+bool CipherConfig::effectiveValidatePasses() const {
+  if (ValidatePasses)
+    return *ValidatePasses;
+  const char *Env = std::getenv("USUBA_VALIDATE");
+  return Env && Env[0] != '0' && Env[0] != '\0';
 }
 
 std::string CipherStats::telemetryJson() const {

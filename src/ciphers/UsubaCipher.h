@@ -107,6 +107,14 @@ struct CipherConfig {
   /// other configurations use the generic path regardless. Unset =
   /// enabled unless USUBA_CTR_FAST=0.
   std::optional<bool> CtrFastPath;
+  /// Translation validation (core/Validator.h): prove or differentially
+  /// check every mid-end/back-end pass of this compile, demoting to -O0
+  /// on a mismatch (SkippedPasses then carries the "demote-to-O0"
+  /// marker). Unset = enabled when USUBA_VALIDATE is set non-zero.
+  std::optional<bool> ValidatePasses;
+  /// Test-only fault injection forwarded to
+  /// CompileOptions::DebugMiscompilePass (see Compiler.h). Leave null.
+  const char *DebugMiscompilePass = nullptr;
   /// Counter-mode kernel specialization: clone the kernel with the
   /// batch-constant high counter slices and the key's broadcast bits
   /// bound to literals, fold + DCE the constant cone, and JIT the
@@ -127,6 +135,8 @@ struct CipherConfig {
   bool effectiveOptimize() const;
   /// Whether eligible CTR calls take the fast path for this config.
   bool effectiveCtrFastPath() const;
+  /// Whether this compile runs under translation validation.
+  bool effectiveValidatePasses() const;
 };
 
 /// Stable per-cipher statistics (satellite of the telemetry subsystem):

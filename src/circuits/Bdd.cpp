@@ -1,0 +1,96 @@
+//===- Bdd.cpp - Hash-consed reduced ordered BDDs -------------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuits/Bdd.h"
+
+using namespace usuba;
+
+namespace {
+/// Terminals carry a variable index greater than any real variable so the
+/// top-variable comparison in ite() never cofactors them.
+constexpr unsigned TerminalVar = ~0u;
+/// Field widths for the packed hash keys below. The node budget (1<<22 by
+/// default) keeps references far below 2^24; variables are capped at 2^16,
+/// orders of magnitude above what the validator's input-bit cap admits.
+constexpr unsigned MaxVars = 1u << 16;
+constexpr uint32_t MaxRefs = 1u << 24;
+
+uint64_t uniqueKey(unsigned Var, uint32_t Low, uint32_t High) {
+  return (uint64_t{Var} << 48) | (uint64_t{Low} << 24) | High;
+}
+} // namespace
+
+BddManager::BddManager(size_t MaxNodes) : MaxNodes(MaxNodes) {
+  Nodes.push_back({TerminalVar, False, False}); // 0 = false
+  Nodes.push_back({TerminalVar, True, True});   // 1 = true
+}
+
+BddManager::Ref BddManager::intern(unsigned Var, Ref Low, Ref High) {
+  if (Low == High)
+    return Low;
+  auto It = Unique.find(uniqueKey(Var, Low, High));
+  if (It != Unique.end())
+    return It->second;
+  if ((MaxNodes && Nodes.size() >= MaxNodes) || Nodes.size() >= MaxRefs)
+    throw BddBudgetExceeded{};
+  Ref R = static_cast<Ref>(Nodes.size());
+  Nodes.push_back({Var, Low, High});
+  Unique.emplace(uniqueKey(Var, Low, High), R);
+  return R;
+}
+
+BddManager::Ref BddManager::var(unsigned Var) {
+  if (Var >= MaxVars)
+    throw BddBudgetExceeded{};
+  return intern(Var, False, True);
+}
+
+BddManager::Ref BddManager::cofactor(Ref F, unsigned Var, bool High) const {
+  const Node &N = Nodes[F];
+  if (N.Var != Var)
+    return F;
+  return High ? N.High : N.Low;
+}
+
+BddManager::Ref BddManager::ite(Ref F, Ref G, Ref H) {
+  // Terminal rules.
+  if (F == True)
+    return G;
+  if (F == False)
+    return H;
+  if (G == H)
+    return G;
+  if (G == True && H == False)
+    return F;
+
+  const IteKey Key{(uint64_t{F} << 24) | G, H};
+  auto It = IteCache.find(Key);
+  if (It != IteCache.end())
+    return It->second;
+
+  unsigned Top = topVar(F);
+  if (topVar(G) < Top)
+    Top = topVar(G);
+  if (topVar(H) < Top)
+    Top = topVar(H);
+
+  Ref Low = ite(cofactor(F, Top, false), cofactor(G, Top, false),
+                cofactor(H, Top, false));
+  Ref High = ite(cofactor(F, Top, true), cofactor(G, Top, true),
+                 cofactor(H, Top, true));
+  Ref R = intern(Top, Low, High);
+  IteCache.emplace(Key, R);
+  return R;
+}
+
+bool BddManager::evaluate(Ref F, const std::vector<bool> &Assignment) const {
+  while (F != False && F != True) {
+    const Node &N = Nodes[F];
+    bool Bit = N.Var < Assignment.size() && Assignment[N.Var];
+    F = Bit ? N.High : N.Low;
+  }
+  return F == True;
+}

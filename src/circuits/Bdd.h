@@ -1,0 +1,101 @@
+//===- Bdd.h - Hash-consed reduced ordered BDDs -----------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small apply-based ROBDD engine. Unlike the truth-table synthesizer in
+/// Circuit.cpp (which cofactors an explicit 2^n-entry function and is
+/// therefore limited to lookup-table widths), this manager builds BDDs
+/// bottom-up from variables through ite(), so it can canonicalize the
+/// output cones of whole Usuba0 programs — the basis of the translation
+/// validator (core/Validator.h).
+///
+/// Canonicity is the point: nodes are hash-consed, so two functions are
+/// equivalent iff their root references are equal. Cost is bounded by a
+/// hard node budget; exceeding it throws BddBudgetExceeded, which callers
+/// treat as "this cone is too big to prove" rather than an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIRCUITS_BDD_H
+#define USUBA_CIRCUITS_BDD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace usuba {
+
+/// Thrown when a BDD operation would allocate past the manager's node
+/// budget. The partially built manager stays valid (callers usually just
+/// discard it).
+struct BddBudgetExceeded {};
+
+/// One BDD manager: a node store with hash-consing and an ite() compute
+/// cache. References are indices into the store; 0 and 1 are the
+/// constant-false and constant-true terminals.
+class BddManager {
+public:
+  using Ref = uint32_t;
+  static constexpr Ref False = 0;
+  static constexpr Ref True = 1;
+
+  /// \p MaxNodes caps the node store (terminals included); 0 means
+  /// "no budget".
+  explicit BddManager(size_t MaxNodes);
+
+  /// The BDD of variable \p Var. Variable order is the numeric order.
+  Ref var(unsigned Var);
+
+  Ref mkNot(Ref F) { return ite(F, False, True); }
+  Ref mkAnd(Ref F, Ref G) { return ite(F, G, False); }
+  Ref mkOr(Ref F, Ref G) { return ite(F, True, G); }
+  Ref mkXor(Ref F, Ref G) { return ite(F, mkNot(G), G); }
+
+  /// if-then-else: F ? G : H, the one core operation every connective
+  /// reduces to.
+  Ref ite(Ref F, Ref G, Ref H);
+
+  /// Nodes allocated so far (>= 2: the terminals).
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// Evaluates \p F under \p Assignment (indexed by variable; missing
+  /// variables read as false). For tests.
+  bool evaluate(Ref F, const std::vector<bool> &Assignment) const;
+
+private:
+  struct Node {
+    unsigned Var;
+    Ref Low, High;
+  };
+
+  unsigned topVar(Ref F) const { return Nodes[F].Var; }
+  Ref cofactor(Ref F, unsigned Var, bool High) const;
+  Ref intern(unsigned Var, Ref Low, Ref High);
+
+  /// Exact (F, G, H) triple for the ite() compute cache; references are
+  /// below 2^24, so F and G pack into one word and H keeps its own.
+  struct IteKey {
+    uint64_t FG;
+    Ref H;
+    bool operator==(const IteKey &O) const { return FG == O.FG && H == O.H; }
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey &K) const {
+      return static_cast<size_t>((K.FG ^ (uint64_t{K.H} << 24)) *
+                                 0x9E3779B97F4A7C15ull);
+    }
+  };
+
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, Ref> Unique;
+  std::unordered_map<IteKey, Ref, IteKeyHash> IteCache;
+  size_t MaxNodes;
+};
+
+} // namespace usuba
+
+#endif // USUBA_CIRCUITS_BDD_H

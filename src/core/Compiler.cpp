@@ -11,12 +11,14 @@
 #include "core/Optimizer.h"
 #include "core/Passes.h"
 #include "core/TypeChecker.h"
+#include "core/Validator.h"
 #include "support/BitUtils.h"
 #include "support/Remarks.h"
 #include "support/Telemetry.h"
 #include "frontend/Parser.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 
 using namespace usuba;
@@ -36,6 +38,39 @@ SourceLoc firstCallLoc(const U0Function &F) {
   return {};
 }
 
+/// Whether translation validation is on for this compile: the explicit
+/// option, or the environment (USUBA_VALIDATE=1).
+bool validationEnabled(const CompileOptions &Options) {
+  if (Options.ValidatePasses)
+    return true;
+  const char *Env = std::getenv("USUBA_VALIDATE");
+  return Env && Env[0] != '0' && Env[0] != '\0';
+}
+
+/// The DebugMiscompilePass fault injection: a semantics-changing but
+/// structurally well-formed corruption — flip the opcode of a logic
+/// instruction with distinct operands (or, failing that, a constant's
+/// low bit). verifyU0/verifyConstantTime cannot see it; only the
+/// translation validator (or a differential test) can.
+void injectMiscompile(U0Program &Prog) {
+  U0Function &Entry = Prog.entry();
+  for (U0Instr &I : Entry.Instrs)
+    if ((I.Op == U0Op::Xor || I.Op == U0Op::And) && I.Srcs[0] != I.Srcs[1]) {
+      I.Op = I.Op == U0Op::Xor ? U0Op::Or : U0Op::Xor;
+      return;
+    }
+  for (U0Instr &I : Entry.Instrs)
+    if (I.Op == U0Op::Or && I.Srcs[0] != I.Srcs[1]) {
+      I.Op = U0Op::And;
+      return;
+    }
+  for (U0Instr &I : Entry.Instrs)
+    if (I.Op == U0Op::Const) {
+      I.Imm ^= 1;
+      return;
+    }
+}
+
 /// Runs each back-end optimization under a verified checkpoint: the
 /// U0Program is snapshotted before the pass, then re-verified (structure
 /// and constant-time) after it. A pass that raises an ICE or produces
@@ -44,6 +79,15 @@ SourceLoc firstCallLoc(const U0Function &F) {
 /// CompiledKernel::SkippedPasses plus a warning diagnostic. Optimizations
 /// are optional by design (every one is an ablation toggle already), so
 /// dropping one can never change results, only performance.
+///
+/// With CompileOptions::ValidatePasses (or USUBA_VALIDATE=1), every kept
+/// pass is additionally *translation-validated* against its own snapshot
+/// (core/Validator.h). A mismatch — a pass that produced well-formed IR
+/// computing the wrong function — rolls the pass back like a structural
+/// failure, then demotes the whole compile to -O0: the mid-end's effects
+/// are undone from the mid-end checkpoint and every remaining optional
+/// pass is refused. Serving unoptimized-but-correct bytes beats serving
+/// fast wrong ones.
 class CheckpointedPassRunner {
 public:
   CheckpointedPassRunner(U0Program &Prog, const CompileOptions &Options,
@@ -51,9 +95,18 @@ public:
                          std::vector<std::string> &Skipped,
                          std::vector<PassStat> &Stats)
       : Prog(Prog), Options(Options), Diags(Diags), Skipped(Skipped),
-        Stats(Stats),
+        Stats(Stats), Validate(validationEnabled(Options)),
         Deadline(std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(Options.Budgets.MaxOptimizeMillis)) {
+  }
+
+  /// Marks the start of the mid-end: the demotion checkpoint. A
+  /// validation mismatch at or after this point restores this snapshot,
+  /// so a demoted compile carries exactly the -O0 mid-end state.
+  void markMidEndStart() {
+    if (Validate)
+      MidEndSnapshot = Prog;
+    MidEndStatsBase = Stats.size();
   }
 
   /// Runs \p Pass under a checkpoint. \p Pass returns an empty string on
@@ -64,6 +117,12 @@ public:
   /// instruction-count delta, budget consumption) and, when telemetry is
   /// enabled, as a "usubac.pass.<name>" span.
   bool run(const char *Name, const std::function<std::string(U0Program &)> &Pass) {
+    if (Demoted) {
+      skip(Name, DemoteReason);
+      recordStat(Name, 0, 0, /*Kept=*/false);
+      noteAttempt(Name, DemoteReason);
+      return false;
+    }
     if (Options.Budgets.MaxOptimizeMillis &&
         std::chrono::steady_clock::now() > Deadline) {
       skip(Name, "optimization time budget exhausted");
@@ -86,6 +145,9 @@ public:
           std::string_view(Options.DebugBreakPass) == Name)
         Prog.entry().Instrs.push_back(
             U0Instr::unary(U0Op::Mov, Prog.entry().NumRegs + 7, 0));
+      if (Reason.empty() && Options.DebugMiscompilePass &&
+          std::string_view(Options.DebugMiscompilePass) == Name)
+        injectMiscompile(Prog);
     } catch (const InternalCompilerError &E) {
       Reason = E.str();
     }
@@ -95,6 +157,21 @@ public:
         Reason = "post-pass verification failed: " + VerifyError;
       else if (!verifyConstantTime(Prog))
         Reason = "post-pass constant-time verification failed";
+    }
+    // Translation validation: the structurally sound result must also
+    // compute the same function the snapshot did. Interleaving is exempt
+    // (it changes the entry interface by design; output-cone comparison
+    // cannot model it).
+    ValidationOutcome Validated;
+    bool DidValidate = false;
+    if (Reason.empty() && Validate &&
+        std::string_view(Name) != "interleave") {
+      Validated =
+          validateTransformation(Snapshot, Prog, Options.Budgets.MaxBddNodes);
+      DidValidate = true;
+      noteValidation(Name, Validated);
+      if (Validated.K == ValidationOutcome::Kind::Mismatch)
+        Reason = "translation validation failed: " + Validated.Detail;
     }
     const bool Kept = Reason.empty();
     if (!Kept)
@@ -112,6 +189,8 @@ public:
     if (Kept)
       return true;
     skip(Name, Reason);
+    if (DidValidate && Validated.K == ValidationOutcome::Kind::Mismatch)
+      demoteToO0(Name);
     return false;
   }
 
@@ -170,11 +249,94 @@ private:
                           "; the kernel is unoptimized but correct");
   }
 
+  /// Per-validation bookkeeping: one telemetry counter bump
+  /// ("usubac.validate.<outcome>") and one structured remark under the
+  /// validated pass's name.
+  void noteValidation(const char *Name, const ValidationOutcome &VO) {
+    if (telemetryEnabled())
+      Telemetry::instance().count(std::string("usubac.validate.") +
+                                  [&] {
+                                    switch (VO.K) {
+                                    case ValidationOutcome::Kind::Proven:
+                                      return "proven";
+                                    case ValidationOutcome::Kind::CheckedRandom:
+                                      return "checked";
+                                    case ValidationOutcome::Kind::Mismatch:
+                                      return "mismatch";
+                                    case ValidationOutcome::Kind::Skipped:
+                                      return "skipped";
+                                    }
+                                    return "skipped";
+                                  }());
+    if (!remarksEnabled())
+      return;
+    Remark R = VO.K == ValidationOutcome::Kind::Mismatch
+                   ? Remark::missed(Name, "ValidationFailed")
+                   : Remark::analysis(Name,
+                                      VO.K == ValidationOutcome::Kind::Proven
+                                          ? "Validated"
+                                          : "ValidationSkipped");
+    R.in(Prog.entry().Name)
+        .at(firstCallLoc(Prog.entry()))
+        .note(VO.K == ValidationOutcome::Kind::Proven
+                  ? "pass proven semantics-preserving by BDD output-cone "
+                    "equivalence"
+              : VO.K == ValidationOutcome::Kind::CheckedRandom
+                  ? "proof tier unavailable; pass survived the random "
+                    "differential tier"
+              : VO.K == ValidationOutcome::Kind::Mismatch
+                  ? "pass changed the entry function's semantics"
+                  : "validation could not model this program")
+        .arg("outcome", validationKindName(VO.K))
+        .arg("bdd_nodes", VO.BddNodes)
+        .arg("random_vectors", VO.RandomVectors);
+    if (!VO.Detail.empty())
+      R.arg("detail", VO.Detail);
+    RemarkEngine::instance().record(std::move(R));
+  }
+
+  /// The graceful degradation on a validation mismatch: restore the
+  /// mid-end checkpoint (undoing every kept mid-end pass — their Kept
+  /// flags and SkippedPasses entries follow suit) and refuse whatever
+  /// optional passes remain. The caller already rolled back and skipped
+  /// the lying pass itself.
+  void demoteToO0(const char *Name) {
+    Demoted = true;
+    DemoteReason = "compile demoted to -O0: pass '" + std::string(Name) +
+                   "' failed translation validation";
+    if (MidEndSnapshot) {
+      Prog = std::move(*MidEndSnapshot);
+      MidEndSnapshot.reset();
+      for (size_t I = MidEndStatsBase; I < Stats.size(); ++I)
+        if (Stats[I].Kept) {
+          Stats[I].Kept = false;
+          Skipped.push_back(Stats[I].Name);
+        }
+    }
+    Skipped.push_back("demote-to-O0");
+    Diags.warning({}, DemoteReason +
+                          "; the kernel is unoptimized but correct");
+    if (telemetryEnabled())
+      Telemetry::instance().count("usubac.validate.demoted");
+    if (remarksEnabled())
+      RemarkEngine::instance().record(
+          Remark::missed("validator", "DemotedToO0")
+              .in(Prog.entry().Name)
+              .at(firstCallLoc(Prog.entry()))
+              .note(DemoteReason)
+              .arg("pass", Name));
+  }
+
   U0Program &Prog;
   const CompileOptions &Options;
   DiagnosticEngine &Diags;
   std::vector<std::string> &Skipped;
   std::vector<PassStat> &Stats;
+  const bool Validate;
+  bool Demoted = false;
+  std::string DemoteReason;
+  std::optional<U0Program> MidEndSnapshot;
+  size_t MidEndStatsBase = 0;
   std::chrono::steady_clock::time_point Deadline;
 };
 
@@ -326,6 +488,7 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
   // toggleable, and never grows the code — the pre/post entry counts are
   // surfaced as InstrCountPreOpt/InstrCount.
   Result.InstrCountPreOpt = U0.entry().Instrs.size();
+  Runner.markMidEndStart();
   if (Options.CopyProp)
     Runner.run("copy-prop", NoRefusal([](U0Program &P) {
                  unsigned Removed = 0;

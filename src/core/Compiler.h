@@ -80,6 +80,18 @@ struct CompileOptions {
   };
   ResourceBudgets Budgets;
 
+  /// Translation validation (core/Validator.h): after every checkpointed
+  /// pass, prove (or differentially check) that the pass preserved the
+  /// entry function's semantics by comparing pre- and post-pass BDD
+  /// output cones. On a mismatch the compile is gracefully demoted to
+  /// -O0: the mid-end's effects are undone, remaining optional passes are
+  /// refused, and the incident is recorded as a structured remark, a
+  /// telemetry counter ("usubac.validate.*") and SkippedPasses entries
+  /// (including the "demote-to-O0" marker). Also enabled by the
+  /// environment (USUBA_VALIDATE=1). Proof cost is bounded by
+  /// Budgets.MaxBddNodes.
+  bool ValidatePasses = false;
+
   /// Test-only hooks for the checkpoint machinery. When a back-end pass
   /// name matches DebugBreakPass, the pass's output IR is deliberately
   /// corrupted after it runs (the checkpoint must detect this and roll
@@ -88,6 +100,12 @@ struct CompileOptions {
   /// callers leave both null.
   const char *DebugBreakPass = nullptr;
   const char *DebugIcePass = nullptr;
+  /// Test-only fault injection for the *validator*: after the named pass
+  /// runs, its output IR is given a semantics-changing but structurally
+  /// well-formed corruption (an opcode flip), which the structural
+  /// checkpoint cannot see — only translation validation (or a
+  /// differential test) catches it. Production callers leave it null.
+  const char *DebugMiscompilePass = nullptr;
 
   /// Observer invoked after every checkpointed back-end pass attempt,
   /// with the PassStat just recorded and the IR as the pass left it
@@ -137,9 +155,11 @@ struct CompiledKernel {
   /// increases the count.
   size_t InstrCountPreOpt = 0;
   /// Back-end optimization passes dropped by a post-pass verification
-  /// checkpoint (rolled back after producing ill-formed IR) or by a
-  /// resource budget. Empty in healthy compilations; each entry was also
-  /// reported as a warning diagnostic.
+  /// checkpoint (rolled back after producing ill-formed IR), by a
+  /// resource budget, or by translation validation (rolled back after
+  /// changing semantics — the marker entry "demote-to-O0" then records
+  /// that the whole mid-end was undone). Empty in healthy compilations;
+  /// each entry was also reported as a warning diagnostic.
   std::vector<std::string> SkippedPasses;
   /// One entry per checkpointed back-end pass that was attempted, in
   /// execution order (see PassStat).

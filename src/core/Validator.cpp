@@ -1,0 +1,410 @@
+//===- Validator.cpp - Translation validation for Usuba0 passes -----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Validator.h"
+
+#include "circuits/Bdd.h"
+#include "support/BitUtils.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+/// Raised when the program uses an op/direction combination the reduced
+/// model cannot express; validation reports Skipped with this reason.
+struct UnsupportedModel {
+  std::string Why;
+};
+
+/// The symbolic walker, shared by the proof and random tiers through the
+/// Domain parameter. A Domain provides a Bit value type plus the boolean
+/// connectives; registers are vectors of M bits (M = MBits — one element
+/// for vertical/bitsliced programs, one bit per position for horizontal
+/// ones).
+///
+/// The proof domain instantiates Bit = BddManager::Ref (canonical — equal
+/// refs iff equivalent). The random domain instantiates Bit = uint64_t,
+/// where bit t of the word is independent random trial t: the bit-level
+/// formulas below are plain AND/XOR/OR networks, so evaluating them on
+/// 64-bit words runs 64 input vectors in one pass.
+template <class Domain> class SymbolicEval {
+public:
+  using Bit = typename Domain::Bit;
+  using RegValue = std::vector<Bit>;
+
+  SymbolicEval(Domain &D, const U0Program &Prog)
+      : D(D), Prog(Prog), M(Prog.MBits),
+        Horizontal(Prog.Direction == Dir::Horiz && Prog.MBits > 1) {}
+
+  /// Evaluates \p F on \p Inputs (one RegValue per input register) and
+  /// returns the output RegValues in declaration order.
+  std::vector<RegValue> evalFunction(const U0Function &F,
+                                     const std::vector<RegValue> &Inputs,
+                                     unsigned Depth = 0) {
+    if (Depth > 64)
+      throw UnsupportedModel{"call nesting deeper than 64 (cycle?)"};
+    std::vector<RegValue> Regs(F.NumRegs, RegValue(M, D.constant(false)));
+    for (unsigned I = 0; I < F.NumInputs && I < Inputs.size(); ++I)
+      Regs[I] = Inputs[I];
+    for (const U0Instr &I : F.Instrs)
+      evalInstr(I, Regs, Depth);
+    std::vector<RegValue> Outs;
+    for (unsigned R : F.Outputs)
+      Outs.push_back(Regs[R]);
+    return Outs;
+  }
+
+private:
+  void evalInstr(const U0Instr &I, std::vector<RegValue> &Regs,
+                 unsigned Depth) {
+    switch (I.Op) {
+    case U0Op::Mov:
+      Regs[I.Dests[0]] = Regs[I.Srcs[0]];
+      return;
+    case U0Op::Const: {
+      RegValue &V = Regs[I.Dests[0]];
+      for (unsigned B = 0; B < M; ++B) {
+        // Horizontal: position j is all-ones iff atom bit (m-1-j) of the
+        // immediate is set (simd::broadcastHorizontal); vertical and
+        // bitsliced: element bit i is immediate bit i.
+        unsigned ImmBit = Horizontal ? (M - 1 - B) : B;
+        V[B] = D.constant((I.Imm >> ImmBit) & 1);
+      }
+      return;
+    }
+    case U0Op::Not: {
+      const RegValue &A = Regs[I.Srcs[0]];
+      RegValue V(M, D.constant(false));
+      for (unsigned B = 0; B < M; ++B)
+        V[B] = D.mkNot(A[B]);
+      Regs[I.Dests[0]] = std::move(V);
+      return;
+    }
+    case U0Op::And:
+    case U0Op::Or:
+    case U0Op::Xor:
+    case U0Op::Andn: {
+      const RegValue &A = Regs[I.Srcs[0]];
+      const RegValue &C = Regs[I.Srcs[1]];
+      RegValue V(M, D.constant(false));
+      for (unsigned B = 0; B < M; ++B) {
+        switch (I.Op) {
+        case U0Op::And:
+          V[B] = D.mkAnd(A[B], C[B]);
+          break;
+        case U0Op::Or:
+          V[B] = D.mkOr(A[B], C[B]);
+          break;
+        case U0Op::Xor:
+          V[B] = D.mkXor(A[B], C[B]);
+          break;
+        default:
+          V[B] = D.mkAnd(D.mkNot(A[B]), C[B]); // Andn: ~a & b
+          break;
+        }
+      }
+      Regs[I.Dests[0]] = std::move(V);
+      return;
+    }
+    case U0Op::Add:
+    case U0Op::Sub:
+      requireVertical(I.Op);
+      Regs[I.Dests[0]] =
+          addSub(Regs[I.Srcs[0]], Regs[I.Srcs[1]], I.Op == U0Op::Sub);
+      return;
+    case U0Op::Mul: {
+      requireVertical(I.Op);
+      // Shift-and-add: product = sum_k (a_k ? b << k : 0), mod 2^m.
+      const RegValue A = Regs[I.Srcs[0]];
+      const RegValue C = Regs[I.Srcs[1]];
+      RegValue Acc(M, D.constant(false));
+      for (unsigned K = 0; K < M; ++K) {
+        RegValue Partial(M, D.constant(false));
+        for (unsigned B = K; B < M; ++B)
+          Partial[B] = D.mkAnd(A[K], C[B - K]);
+        Acc = addSub(Acc, Partial, /*Subtract=*/false);
+      }
+      Regs[I.Dests[0]] = std::move(Acc);
+      return;
+    }
+    case U0Op::Lshift:
+    case U0Op::Rshift: {
+      requireVertical(I.Op);
+      const RegValue A = Regs[I.Srcs[0]];
+      RegValue V(M, D.constant(false));
+      if (I.Amount < M) { // amounts >= m shift everything out (simd::shl/shr)
+        for (unsigned B = 0; B < M; ++B) {
+          if (I.Op == U0Op::Lshift && B >= I.Amount)
+            V[B] = A[B - I.Amount];
+          if (I.Op == U0Op::Rshift && B + I.Amount < M)
+            V[B] = A[B + I.Amount];
+        }
+      }
+      Regs[I.Dests[0]] = std::move(V);
+      return;
+    }
+    case U0Op::Lrotate:
+    case U0Op::Rrotate: {
+      requireVertical(I.Op);
+      const RegValue A = Regs[I.Srcs[0]];
+      unsigned R = I.Amount % M;
+      if (I.Op == U0Op::Rrotate)
+        R = R == 0 ? 0 : M - R;
+      RegValue V(M, D.constant(false));
+      for (unsigned B = 0; B < M; ++B)
+        V[B] = A[(B + M - R) % M]; // dest bit b takes src bit b - r mod m
+      Regs[I.Dests[0]] = std::move(V);
+      return;
+    }
+    case U0Op::Shuffle: {
+      if (!Horizontal)
+        throw UnsupportedModel{
+            "shuffle outside horizontal slicing is not in the per-atom "
+            "model (it would move data across slices)"};
+      const RegValue A = Regs[I.Srcs[0]];
+      RegValue V(M, D.constant(false));
+      for (unsigned J = 0; J < M && J < I.Pattern.size(); ++J)
+        if (I.Pattern[J] != 0xFF && I.Pattern[J] < M)
+          V[J] = A[I.Pattern[J]];
+      Regs[I.Dests[0]] = std::move(V);
+      return;
+    }
+    case U0Op::Call: {
+      const U0Function &Callee = Prog.Funcs[I.Callee];
+      std::vector<RegValue> Args;
+      for (unsigned A = 0; A < Callee.NumInputs; ++A)
+        Args.push_back(Regs[I.Srcs[A]]);
+      std::vector<RegValue> Rets = evalFunction(Callee, Args, Depth + 1);
+      for (size_t R = 0; R < I.Dests.size() && R < Rets.size(); ++R)
+        Regs[I.Dests[R]] = std::move(Rets[R]);
+      return;
+    }
+    case U0Op::Barrier:
+      return;
+    }
+  }
+
+  /// Ripple-carry add/sub mod 2^m, mirroring simd::addElems/subElems:
+  /// a - b = a + ~b + 1.
+  RegValue addSub(const RegValue &A, const RegValue &B, bool Subtract) {
+    RegValue V(M, D.constant(false));
+    Bit Carry = D.constant(Subtract);
+    for (unsigned I = 0; I < M; ++I) {
+      Bit Y = Subtract ? D.mkNot(B[I]) : B[I];
+      Bit AxY = D.mkXor(A[I], Y);
+      V[I] = D.mkXor(AxY, Carry);
+      // maj(a, y, c) = (a & y) | (c & (a ^ y))
+      Carry = D.mkOr(D.mkAnd(A[I], Y), D.mkAnd(Carry, AxY));
+    }
+    return V;
+  }
+
+  void requireVertical(U0Op Op) const {
+    if (Horizontal)
+      throw UnsupportedModel{std::string(u0OpName(Op)) +
+                             " in a horizontal program is outside the "
+                             "per-position model"};
+  }
+
+  Domain &D;
+  const U0Program &Prog;
+  const unsigned M;
+  const bool Horizontal;
+};
+
+/// Proof tier: bits are canonical BDD references.
+struct BddDomain {
+  using Bit = BddManager::Ref;
+  BddManager &B;
+  Bit constant(bool V) { return V ? BddManager::True : BddManager::False; }
+  Bit mkNot(Bit F) { return B.mkNot(F); }
+  Bit mkAnd(Bit F, Bit G) { return B.mkAnd(F, G); }
+  Bit mkOr(Bit F, Bit G) { return B.mkOr(F, G); }
+  Bit mkXor(Bit F, Bit G) { return B.mkXor(F, G); }
+};
+
+/// Random tier: bit t of the word is independent trial t (64 vectors per
+/// evaluation).
+struct ConcreteDomain {
+  using Bit = uint64_t;
+  Bit constant(bool V) { return V ? ~uint64_t{0} : 0; }
+  Bit mkNot(Bit F) { return ~F; }
+  Bit mkAnd(Bit F, Bit G) { return F & G; }
+  Bit mkOr(Bit F, Bit G) { return F | G; }
+  Bit mkXor(Bit F, Bit G) { return F ^ G; }
+};
+
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9E3779B97F4A7C15ull);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+std::string outputName(size_t Out, unsigned Bit) {
+  return "output " + std::to_string(Out) + " bit " + std::to_string(Bit);
+}
+
+/// The proof tier. Returns Proven/Mismatch, or a skip reason in
+/// \p FallbackWhy when the budget tripped.
+ValidationOutcome proveBdd(const U0Program &Before, const U0Program &After,
+                           size_t MaxBddNodes, std::string &FallbackWhy) {
+  BddManager B(MaxBddNodes);
+  BddDomain D{B};
+  const unsigned M = Before.MBits;
+  const U0Function &Entry = Before.entry();
+
+  std::vector<std::vector<BddManager::Ref>> Inputs(
+      Entry.NumInputs, std::vector<BddManager::Ref>(M));
+  try {
+    for (unsigned I = 0; I < Entry.NumInputs; ++I)
+      for (unsigned Bit = 0; Bit < M; ++Bit)
+        Inputs[I][Bit] = B.var(I * M + Bit);
+
+    SymbolicEval<BddDomain> EvalBefore(D, Before);
+    SymbolicEval<BddDomain> EvalAfter(D, After);
+    auto OutsBefore = EvalBefore.evalFunction(Entry, Inputs);
+    auto OutsAfter = EvalAfter.evalFunction(After.entry(), Inputs);
+
+    ValidationOutcome R;
+    R.BddNodes = B.numNodes();
+    for (size_t O = 0; O < OutsBefore.size(); ++O)
+      for (unsigned Bit = 0; Bit < M; ++Bit)
+        if (OutsBefore[O][Bit] != OutsAfter[O][Bit]) {
+          R.K = ValidationOutcome::Kind::Mismatch;
+          R.Detail = outputName(O, Bit) +
+                     " differs between the pre- and post-pass programs";
+          return R;
+        }
+    R.K = ValidationOutcome::Kind::Proven;
+    return R;
+  } catch (const BddBudgetExceeded &) {
+    FallbackWhy = "BDD node budget exceeded at " +
+                  std::to_string(B.numNodes()) + " nodes (oversized cone)";
+    ValidationOutcome R;
+    R.K = ValidationOutcome::Kind::Skipped;
+    R.BddNodes = B.numNodes();
+    return R;
+  }
+}
+
+/// The random differential tier over the same reduced model.
+/// Deterministic (fixed seed): a failure reproduces.
+ValidationOutcome checkRandom(const U0Program &Before,
+                              const U0Program &After, size_t ProofNodes,
+                              const std::string &Why) {
+  constexpr unsigned Rounds = 4; // x64 trials per round = 256 vectors
+  ConcreteDomain D;
+  const unsigned M = Before.MBits;
+  const U0Function &Entry = Before.entry();
+  uint64_t Rng = 0x5EEDBDD5EEDBDDull ^ (uint64_t{Entry.NumInputs} << 32) ^
+                 Entry.Instrs.size();
+
+  ValidationOutcome R;
+  R.BddNodes = ProofNodes;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    std::vector<std::vector<uint64_t>> Inputs(Entry.NumInputs,
+                                              std::vector<uint64_t>(M));
+    for (auto &Reg : Inputs)
+      for (uint64_t &Bit : Reg)
+        Bit = splitmix64(Rng);
+
+    SymbolicEval<ConcreteDomain> EvalBefore(D, Before);
+    SymbolicEval<ConcreteDomain> EvalAfter(D, After);
+    auto OutsBefore = EvalBefore.evalFunction(Entry, Inputs);
+    auto OutsAfter = EvalAfter.evalFunction(After.entry(), Inputs);
+    R.RandomVectors += 64;
+    for (size_t O = 0; O < OutsBefore.size(); ++O)
+      for (unsigned Bit = 0; Bit < M; ++Bit)
+        if (OutsBefore[O][Bit] != OutsAfter[O][Bit]) {
+          R.K = ValidationOutcome::Kind::Mismatch;
+          R.Detail = outputName(O, Bit) +
+                     " differs on a random input (differential tier; "
+                     "proof tier unavailable: " +
+                     Why + ")";
+          return R;
+        }
+  }
+  R.K = ValidationOutcome::Kind::CheckedRandom;
+  R.Detail = Why;
+  return R;
+}
+
+/// Whether any function carries carry-propagating arithmetic. Ripple
+/// carries under the input-major variable order (all of register A's
+/// bits before register B's) are the textbook exponential BDD ordering,
+/// so arithmetic cones get a far tighter proof-tier input cap — building
+/// millions of nodes just to trip the budget costs real compile time.
+bool containsArith(const U0Program &Prog) {
+  for (const U0Function &F : Prog.Funcs)
+    for (const U0Instr &I : F.Instrs)
+      if (I.Op == U0Op::Add || I.Op == U0Op::Sub || I.Op == U0Op::Mul)
+        return true;
+  return false;
+}
+
+} // namespace
+
+const char *usuba::validationKindName(ValidationOutcome::Kind K) {
+  switch (K) {
+  case ValidationOutcome::Kind::Proven:
+    return "proven";
+  case ValidationOutcome::Kind::CheckedRandom:
+    return "checked-random";
+  case ValidationOutcome::Kind::Mismatch:
+    return "mismatch";
+  case ValidationOutcome::Kind::Skipped:
+    return "skipped";
+  }
+  return "unknown";
+}
+
+ValidationOutcome usuba::validateTransformation(const U0Program &Before,
+                                                const U0Program &After,
+                                                size_t MaxBddNodes) {
+  ValidationOutcome R;
+
+  // Shape guards: a pass that changes the entry interface (interleaving)
+  // is outside what output-cone comparison can say anything about.
+  if (Before.MBits != After.MBits ||
+      Before.Direction != After.Direction) {
+    R.Detail = "program slicing changed across the pass";
+    return R;
+  }
+  if (Before.entry().NumInputs != After.entry().NumInputs ||
+      Before.entry().Outputs.size() != After.entry().Outputs.size()) {
+    R.Detail = "entry interface changed across the pass";
+    return R;
+  }
+
+  try {
+    const unsigned InputBits = Before.entry().NumInputs * Before.MBits;
+    const bool Arith = containsArith(Before) || containsArith(After);
+    const unsigned Cap =
+        Arith ? ValidatorMaxArithInputBits : ValidatorMaxInputBits;
+    std::string FallbackWhy;
+    if (InputBits <= Cap) {
+      ValidationOutcome Proof =
+          proveBdd(Before, After, MaxBddNodes, FallbackWhy);
+      if (Proof.K != ValidationOutcome::Kind::Skipped)
+        return Proof;
+      return checkRandom(Before, After, Proof.BddNodes, FallbackWhy);
+    }
+    FallbackWhy = std::to_string(InputBits) +
+                  " input bits exceed the proof tier's cap of " +
+                  std::to_string(Cap) +
+                  (Arith ? " for carry-propagating arithmetic cones" : "");
+    return checkRandom(Before, After, 0, FallbackWhy);
+  } catch (const UnsupportedModel &U) {
+    R.K = ValidationOutcome::Kind::Skipped;
+    R.Detail = U.Why;
+    return R;
+  }
+}

@@ -1,0 +1,97 @@
+//===- Validator.h - Translation validation for Usuba0 passes ---*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-compile translation validation in the Vale/CompCert tradition: for
+/// every checkpointed back-end pass, prove that the pass preserved the
+/// semantics of the entry function by canonicalizing the pre- and
+/// post-pass output cones as BDDs (circuits/Bdd.h) and comparing roots.
+/// Hash-consing makes the comparison exact: equal roots iff equivalent
+/// functions, over *all* inputs.
+///
+/// The proof works on a reduced per-atom model justified by the lanewise
+/// structure of the IR (see DESIGN.md section 6g):
+///  * vertical / bitsliced programs: every operation acts on each m-bit
+///    element independently and identically, so one symbolic element of m
+///    bits models every slice;
+///  * horizontal programs: every operation treats the g bits within a
+///    position identically (logic is bitwise, Const fills whole positions,
+///    Shuffle moves whole positions), so m symbolic positions of one bit
+///    each model the full register.
+///
+/// Three-tier outcome: small cones are *Proven* (or refuted) by BDD
+/// equivalence; when the cone exceeds the node budget or the input-bit
+/// cap, the validator falls back to a deterministic random differential
+/// check over the same reduced model (*CheckedRandom* — an effective lie
+/// detector, not a proof — the skip reason records why the proof tier was
+/// unavailable); programs using an op/direction combination outside the
+/// reduced model are *Skipped* entirely. A semantic difference found by
+/// either tier is a *Mismatch*; the compiler reacts by demoting the
+/// compile to -O0 (see CheckpointedPassRunner in Compiler.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CORE_VALIDATOR_H
+#define USUBA_CORE_VALIDATOR_H
+
+#include "core/Usuba0.h"
+
+#include <cstddef>
+#include <string>
+
+namespace usuba {
+
+/// What validating one pass concluded.
+struct ValidationOutcome {
+  enum class Kind : uint8_t {
+    /// BDD canonical forms of every output bit are identical: the pass is
+    /// semantics-preserving on all inputs.
+    Proven,
+    /// The proof tier was unavailable (Detail records why: node budget,
+    /// input-bit cap); the pass survived the random differential tier.
+    CheckedRandom,
+    /// The pass changed the entry function's semantics. Detail names the
+    /// first differing output bit.
+    Mismatch,
+    /// Validation could not model the program at all (Detail records the
+    /// unsupported construct). No judgement either way.
+    Skipped,
+  };
+
+  Kind K = Kind::Skipped;
+  /// Skip/fallback reason, or the mismatch witness.
+  std::string Detail;
+  /// Nodes the proof attempt allocated (0 when it never started).
+  size_t BddNodes = 0;
+  /// Random input vectors compared on the fallback tier.
+  unsigned RandomVectors = 0;
+};
+
+const char *validationKindName(ValidationOutcome::Kind K);
+
+/// Validates that \p After computes the same entry function as \p Before.
+/// Both programs must be well-formed (verifyU0); the caller is the
+/// checkpointed pass runner, which verified the post-pass program already.
+/// \p MaxBddNodes bounds the proof tier (CompileOptions::Budgets
+/// .MaxBddNodes); 0 disables the bound.
+ValidationOutcome validateTransformation(const U0Program &Before,
+                                         const U0Program &After,
+                                         size_t MaxBddNodes);
+
+/// The input-bit cap above which the proof tier is not attempted
+/// (entry inputs x model bits): real ciphers blow the BDD budget slowly
+/// and expensively, so the validator goes straight to the random tier.
+constexpr unsigned ValidatorMaxInputBits = 512;
+
+/// The far tighter cap applied when the program carries Add/Sub/Mul:
+/// ripple carries under the validator's input-major variable order are
+/// the classic exponential-BDD case, so wide arithmetic cones go
+/// straight to the random tier instead of grinding the node budget.
+constexpr unsigned ValidatorMaxArithInputBits = 24;
+
+} // namespace usuba
+
+#endif // USUBA_CORE_VALIDATOR_H

@@ -1,0 +1,362 @@
+//===- RandomProgram.cpp - Typed random Usuba program generator -----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/RandomProgram.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+using namespace usuba;
+
+namespace {
+
+/// splitmix64: the seed expander (same recurrence the validator's random
+/// tier uses — tiny, full-period, no state beyond the counter).
+uint64_t splitmix64(uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+/// The operand as source text.
+std::string operandText(const RandomProgramSpec &Spec, unsigned Sel) {
+  if (Sel < Spec.NumInputs)
+    return "x[" + std::to_string(Sel) + "]";
+  return "t" + std::to_string(Sel - Spec.NumInputs);
+}
+
+std::string hexImm(uint64_t Imm) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                static_cast<unsigned long long>(Imm));
+  return Buf;
+}
+
+} // namespace
+
+bool RandomProgramSpec::shiftsPortable() const {
+  // Bitslicing flattens atom shifts into wiring (no Shift instance
+  // needed). Horizontal programs run on SSE and up, where shuffles exist
+  // at m <= 16 (the generator never picks m = 32 for H). Vertical
+  // programs compile down to GP64 *and* SSE, whose packed shifts only
+  // overlap at 16 and 32 bits (Table 1).
+  if (Bitslice)
+    return true;
+  if (Direction == Dir::Horiz)
+    return WordBits <= 16;
+  return WordBits == 16 || WordBits == 32;
+}
+
+bool RandomProgramSpec::usesArith() const {
+  for (const RandomEquation &E : Equations)
+    if (E.Enabled &&
+        (E.K == RandomEquation::Kind::Add || E.K == RandomEquation::Kind::Sub ||
+         E.K == RandomEquation::Kind::Mul))
+      return true;
+  return false;
+}
+
+bool RandomProgramSpec::usesHelper() const {
+  if (!WithHelper)
+    return false;
+  for (const RandomEquation &E : Equations)
+    if (E.Enabled && E.K == RandomEquation::Kind::CallHelper)
+      return true;
+  return false;
+}
+
+std::string RandomProgramSpec::render() const {
+  const std::string U = "u" + std::to_string(WordBits);
+  std::string Source;
+  Source += "// usuba-fuzz: dir=";
+  Source += Direction == Dir::Horiz ? 'H' : 'V';
+  Source += " m=" + std::to_string(WordBits);
+  Source += " bitslice=";
+  Source += Bitslice ? '1' : '0';
+  Source += " seed=" + std::to_string(Seed);
+  Source += "\n";
+
+  if (WithTable) {
+    Source += "table T (in:v4) returns (out:v4) {\n  ";
+    for (unsigned I = 0; I < 16; ++I) {
+      Source += std::to_string(I < Table.size() ? Table[I] : I);
+      Source += I + 1 < 16 ? ", " : "\n";
+    }
+    Source += "}\n";
+  }
+  if (usesHelper()) {
+    // A fixed two-op body; the interesting part is the call boundary
+    // itself (inlining, scheduling around calls), not the body. The mix
+    // op degrades from a rotate to an immediate-or where Table 1 has no
+    // portable Shift instance.
+    Source += "node G (w:" + U + ") returns (r:" + U + ")\n";
+    Source += "vars g0:" + U + "\n";
+    Source += "let\n";
+    if (shiftsPortable())
+      Source += "  g0 = (w <<< " +
+                std::to_string(1 + Seed % (WordBits - 1)) + ");\n";
+    else
+      Source += "  g0 = (w | " +
+                hexImm(0x55555555555555ull &
+                       ((uint64_t{1} << WordBits) - 1)) +
+                ");\n";
+    Source += "  r = (w ^ g0)\ntel\n";
+  }
+
+  const unsigned Temps = static_cast<unsigned>(Equations.size());
+  Source += "node F (x:" + U + "x" + std::to_string(NumInputs) +
+            ") returns (y:" + U + "x" + std::to_string(NumOutputs) + ")\n";
+  Source += "vars ";
+  for (unsigned T = 0; T < Temps; ++T)
+    Source += "t" + std::to_string(T) + ":" + U + (T + 1 < Temps ? ", " : "");
+  if (WithForall)
+    Source += ", a:" + U + "[4]";
+  Source += "\nlet\n";
+
+  for (unsigned T = 0; T < Temps; ++T) {
+    const RandomEquation &E = Equations[T];
+    const std::string A = operandText(*this, E.A);
+    const std::string B = operandText(*this, E.B);
+    std::string Rhs;
+    if (!E.Enabled) {
+      Rhs = A; // passthrough: the minimizer turned this equation off
+    } else {
+      switch (E.K) {
+      case RandomEquation::Kind::Xor:
+        Rhs = "(" + A + " ^ " + B + ")";
+        break;
+      case RandomEquation::Kind::And:
+        Rhs = "(" + A + " & " + B + ")";
+        break;
+      case RandomEquation::Kind::OrNot:
+        Rhs = "(" + A + " | ~" + B + ")";
+        break;
+      case RandomEquation::Kind::XorImm:
+        Rhs = "(" + A + " ^ " + hexImm(E.Imm) + ")";
+        break;
+      case RandomEquation::Kind::Shl:
+        Rhs = "(" + A + " << " + std::to_string(E.Amount) + ")";
+        break;
+      case RandomEquation::Kind::Shr:
+        Rhs = "(" + A + " >> " + std::to_string(E.Amount) + ")";
+        break;
+      case RandomEquation::Kind::Rotl:
+        Rhs = "(" + A + " <<< " + std::to_string(E.Amount) + ")";
+        break;
+      case RandomEquation::Kind::Rotr:
+        Rhs = "(" + A + " >>> " + std::to_string(E.Amount) + ")";
+        break;
+      case RandomEquation::Kind::Add:
+        Rhs = "(" + A + " + " + B + ")";
+        break;
+      case RandomEquation::Kind::Sub:
+        Rhs = "(" + A + " - " + B + ")";
+        break;
+      case RandomEquation::Kind::Mul:
+        Rhs = "(" + A + " * " + B + ")";
+        break;
+      case RandomEquation::Kind::CallHelper:
+        Rhs = usesHelper() ? "G(" + A + ")" : A;
+        break;
+      }
+    }
+    Source += "  t" + std::to_string(T) + " = " + Rhs + ";\n";
+  }
+
+  // The forall accumulation: a tiny unrollable loop over the last temp,
+  // folding one input element back in each step.
+  if (WithForall) {
+    Source += "  a[0] = t" + std::to_string(Temps - 1) + ";\n";
+    Source += "  forall i in [0,2] {\n";
+    Source += "    a[i+1] = (a[i] ^ x[" + std::to_string(Seed % NumInputs) +
+              "])\n";
+    Source += "  }\n";
+  }
+
+  // Outputs: the last four defined values (a[3] replaces the first when
+  // the forall ran), optionally routed through the lookup table.
+  std::array<std::string, NumOutputs> Out;
+  for (unsigned I = 0; I < NumOutputs; ++I)
+    Out[I] = "t" + std::to_string(Temps - NumOutputs + I);
+  if (WithForall)
+    Out[0] = "a[3]";
+  std::string Tuple =
+      "(" + Out[0] + ", " + Out[1] + ", " + Out[2] + ", " + Out[3] + ")";
+  Source += "  y = ";
+  Source += WithTable ? "T(" + Tuple + ")" : Tuple;
+  Source += "\ntel\n";
+  return Source;
+}
+
+RandomProgramSpec usuba::generateRandomProgram(uint64_t Seed) {
+  uint64_t State = Seed;
+  RandomProgramSpec Spec;
+  Spec.Seed = Seed;
+
+  // Shape: slicing mode first, because it constrains the equation mix.
+  // Roughly half the programs are plain vertical (the only mode that
+  // admits arithmetic), the rest split between horizontal and bitslice.
+  const unsigned Mode = splitmix64(State) % 4;
+  Spec.Direction = Mode == 2 ? Dir::Horiz : Dir::Vert;
+  Spec.Bitslice = Mode == 3;
+  const bool ArithOk = Mode < 2;
+
+  // Word sizes are constrained by Table 1 instance availability across
+  // every leg the campaign compiles (see shiftsPortable's rationale):
+  // horizontal shuffles only exist at m <= 16 below AVX512.
+  static const unsigned Widths[3] = {8, 16, 32};
+  Spec.WordBits = Spec.Direction == Dir::Horiz
+                      ? Widths[splitmix64(State) % 2]
+                      : Widths[splitmix64(State) % 3];
+  Spec.NumInputs = 2 + splitmix64(State) % 3;    // 2..4
+  const unsigned Temps = 8 + splitmix64(State) % 7; // 8..14
+  Spec.WithTable = splitmix64(State) % 5 < 2;
+  Spec.WithHelper = splitmix64(State) % 5 < 2;
+  Spec.WithForall = splitmix64(State) % 4 == 0;
+
+  if (Spec.WithTable) {
+    Spec.Table.resize(16);
+    for (unsigned I = 0; I < 16; ++I)
+      Spec.Table[I] = I;
+    for (unsigned I = 15; I > 0; --I)
+      std::swap(Spec.Table[I], Spec.Table[splitmix64(State) % (I + 1)]);
+  }
+
+  using K = RandomEquation::Kind;
+  std::vector<K> Pool = {K::Xor, K::And, K::OrNot, K::XorImm};
+  if (Spec.shiftsPortable()) {
+    Pool.push_back(K::Shl);
+    Pool.push_back(K::Shr);
+    Pool.push_back(K::Rotl);
+    Pool.push_back(K::Rotr);
+  }
+  if (ArithOk) {
+    Pool.push_back(K::Add);
+    Pool.push_back(K::Sub);
+    Pool.push_back(K::Mul);
+  }
+  if (Spec.WithHelper)
+    Pool.push_back(K::CallHelper);
+
+  const unsigned M = Spec.WordBits;
+  for (unsigned T = 0; T < Temps; ++T) {
+    RandomEquation E;
+    E.K = Pool[splitmix64(State) % Pool.size()];
+    const unsigned Defined = Spec.NumInputs + T;
+    E.A = static_cast<unsigned>(splitmix64(State) % Defined);
+    E.B = static_cast<unsigned>(splitmix64(State) % Defined);
+    switch (E.K) {
+    case K::Shl:
+    case K::Shr:
+      E.Amount = static_cast<unsigned>(splitmix64(State) % (M + 1)); // 0..m
+      break;
+    case K::Rotl:
+    case K::Rotr:
+      E.Amount = 1 + static_cast<unsigned>(splitmix64(State) % (M - 1));
+      break;
+    case K::XorImm:
+      E.Imm = splitmix64(State) & ((M == 64 ? ~uint64_t{0}
+                                            : (uint64_t{1} << M) - 1));
+      break;
+    default:
+      break;
+    }
+    Spec.Equations.push_back(E);
+  }
+  return Spec;
+}
+
+RandomProgramSpec usuba::minimizeRandomProgram(
+    const RandomProgramSpec &Spec,
+    const std::function<bool(const RandomProgramSpec &)> &StillFails) {
+  RandomProgramSpec Best = Spec;
+
+  // Feature knobs first (each removes a whole construct), then a greedy
+  // equation sweep to a fixpoint. Every candidate still renders a
+  // well-typed program, so StillFails only ever sees valid inputs.
+  auto Try = [&](RandomProgramSpec Candidate) {
+    if (StillFails(Candidate))
+      Best = std::move(Candidate);
+  };
+  if (Best.WithTable) {
+    RandomProgramSpec C = Best;
+    C.WithTable = false;
+    Try(std::move(C));
+  }
+  if (Best.WithForall) {
+    RandomProgramSpec C = Best;
+    C.WithForall = false;
+    Try(std::move(C));
+  }
+  if (Best.WithHelper) {
+    RandomProgramSpec C = Best;
+    C.WithHelper = false; // CallHelper equations degrade to passthrough
+    Try(std::move(C));
+  }
+
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    for (size_t I = 0; I < Best.Equations.size(); ++I) {
+      if (!Best.Equations[I].Enabled)
+        continue;
+      RandomProgramSpec C = Best;
+      C.Equations[I].Enabled = false;
+      if (StillFails(C)) {
+        Best = std::move(C);
+        Shrunk = true;
+      }
+    }
+  }
+  return Best;
+}
+
+std::optional<FuzzHeader> usuba::parseFuzzHeader(std::string_view Source) {
+  const std::string_view Prefix = "// usuba-fuzz:";
+  if (Source.substr(0, Prefix.size()) != Prefix)
+    return std::nullopt;
+  std::string_view Line = Source.substr(Prefix.size());
+  if (size_t Eol = Line.find('\n'); Eol != std::string_view::npos)
+    Line = Line.substr(0, Eol);
+
+  FuzzHeader H;
+  bool SawDir = false, SawM = false;
+  size_t Pos = 0;
+  while (Pos < Line.size()) {
+    while (Pos < Line.size() && Line[Pos] == ' ')
+      ++Pos;
+    size_t End = Line.find(' ', Pos);
+    if (End == std::string_view::npos)
+      End = Line.size();
+    std::string_view Field = Line.substr(Pos, End - Pos);
+    Pos = End;
+    size_t Eq = Field.find('=');
+    if (Eq == std::string_view::npos)
+      continue;
+    std::string_view Key = Field.substr(0, Eq);
+    std::string Value(Field.substr(Eq + 1));
+    if (Key == "dir") {
+      if (Value != "V" && Value != "H")
+        return std::nullopt;
+      H.Direction = Value == "H" ? Dir::Horiz : Dir::Vert;
+      SawDir = true;
+    } else if (Key == "m") {
+      H.WordBits = static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+      SawM = true;
+    } else if (Key == "bitslice") {
+      H.Bitslice = Value == "1";
+    } else if (Key == "seed") {
+      H.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    }
+  }
+  if (!SawDir || !SawM || H.WordBits == 0)
+    return std::nullopt;
+  return H;
+}

@@ -1,0 +1,126 @@
+//===- RandomProgram.h - Typed random Usuba program generator ---*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grammar-aware random `.ua` program generation for differential fuzzing
+/// (bench/fuzz_differential.cpp, usubac --fuzz). A RandomProgramSpec is a
+/// structured description — slicing, word size, a chain of typed
+/// equations, optional table / helper node / forall loop — that renders
+/// to source text which type-checks by construction:
+///
+///  * arithmetic (+ - *) only in plain vertical slicing (it neither
+///    bitslices nor H-slices, Section 2 of the paper);
+///  * shifts, rotates, logic, immediates and table lookups everywhere.
+///
+/// Keeping the structure (rather than just text) is what makes the
+/// delta-debugging minimizer cheap: every equation can be disabled into
+/// a passthrough copy, so shrinking is a sequence of single-bit edits
+/// re-rendered and re-tested, no source parsing involved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_FRONTEND_RANDOMPROGRAM_H
+#define USUBA_FRONTEND_RANDOMPROGRAM_H
+
+#include "types/Type.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usuba {
+
+/// One generated equation `t<i> = <rhs>`. Operand selectors A and B pick
+/// a previously defined value: values below NumInputs are input elements
+/// `x[A]`, values at or above it are temporaries `t<A - NumInputs>`
+/// (only earlier temps are ever selected, keeping the chain SSA).
+struct RandomEquation {
+  enum class Kind : uint8_t {
+    Xor,    ///< (a ^ b)
+    And,    ///< (a & b)
+    OrNot,  ///< (a | ~b)
+    XorImm, ///< (a ^ 0x<imm>)
+    Shl,    ///< (a << amount)
+    Shr,    ///< (a >> amount)
+    Rotl,   ///< (a <<< amount)
+    Rotr,   ///< (a >>> amount)
+    Add,    ///< (a + b)     vertical slicing only
+    Sub,    ///< (a - b)     vertical slicing only
+    Mul,    ///< (a * b)     vertical slicing only
+    CallHelper, ///< G(a) — exercises Call + the inliner
+  };
+  Kind K = Kind::Xor;
+  unsigned A = 0, B = 0;
+  unsigned Amount = 0; ///< shifts/rotates
+  uint64_t Imm = 0;    ///< XorImm
+  /// Minimizer switch: a disabled equation renders as the passthrough
+  /// `t<i> = <a>`, preserving every later operand selector.
+  bool Enabled = true;
+};
+
+/// A complete random program: renders to one `.ua` translation unit with
+/// entry node F.
+struct RandomProgramSpec {
+  Dir Direction = Dir::Vert;
+  unsigned WordBits = 16;
+  bool Bitslice = false;
+  unsigned NumInputs = 3;
+  /// Output arity is fixed at 4 (matches the v4 lookup table's shape).
+  static constexpr unsigned NumOutputs = 4;
+  bool WithTable = false;  ///< route the outputs through table T
+  bool WithHelper = false; ///< emit helper node G (CallHelper equations)
+  bool WithForall = false; ///< append a forall accumulation loop
+  std::vector<RandomEquation> Equations;
+  /// 16-entry v4 lookup table contents (a permutation of 0..15).
+  std::vector<unsigned> Table;
+  /// The generator seed (recorded in the header for provenance; a
+  /// minimized spec no longer regenerates from it).
+  uint64_t Seed = 0;
+
+  /// True when atom shifts/rotates have a Table 1 instance on every leg
+  /// the campaign compiles for this slicing (see RandomProgram.cpp).
+  bool shiftsPortable() const;
+  /// True when any enabled equation is Add/Sub/Mul.
+  bool usesArith() const;
+  /// True when any enabled equation calls the helper node.
+  bool usesHelper() const;
+  /// The `.ua` source text, led by the replayable provenance header
+  /// `// usuba-fuzz: dir=<V|H> m=<bits> bitslice=<0|1> seed=<n>`.
+  std::string render() const;
+};
+
+/// Derives a full spec from \p Seed (deterministic; different seeds give
+/// different slicings, shapes and equation mixes).
+RandomProgramSpec generateRandomProgram(uint64_t Seed);
+
+/// Greedy delta-debugging: repeatedly disables equations (and the
+/// table / helper / forall features) while \p StillFails keeps returning
+/// true on the shrunk spec, to a fixpoint. \p StillFails must return
+/// true for \p Spec itself; the result is the smallest failing spec the
+/// greedy walk found.
+RandomProgramSpec minimizeRandomProgram(
+    const RandomProgramSpec &Spec,
+    const std::function<bool(const RandomProgramSpec &)> &StillFails);
+
+/// The compile configuration a corpus file replays under (parsed back
+/// from the render() header line).
+struct FuzzHeader {
+  Dir Direction = Dir::Vert;
+  unsigned WordBits = 16;
+  bool Bitslice = false;
+  uint64_t Seed = 0;
+};
+
+/// Parses the `// usuba-fuzz:` header of \p Source (first line), or
+/// nullopt when absent/malformed.
+std::optional<FuzzHeader> parseFuzzHeader(std::string_view Source);
+
+} // namespace usuba
+
+#endif // USUBA_FRONTEND_RANDOMPROGRAM_H

@@ -1,0 +1,49 @@
+//===- TestSeed.h - Deterministic seed override for randomized tests ------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helper for every randomized (property/fuzz) test: the seed a
+/// test would use by default can be overridden with USUBA_TEST_SEED for
+/// deterministic replay of a failure. Tests pair this with a
+/// SCOPED_TRACE that prints the seed, so a red CI run always shows the
+/// exact value to export:
+///
+///   const uint64_t Seed = testSeed(0x1234);
+///   SCOPED_TRACE(testSeedTrace(Seed));
+///   std::mt19937_64 Rng(Seed);
+///
+/// USUBA_TEST_SEED accepts decimal, 0x hex or 0 octal (strtoull base 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_TESTS_TESTSEED_H
+#define USUBA_TESTS_TESTSEED_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace usuba {
+
+/// \p Default unless USUBA_TEST_SEED is set (and non-empty), in which
+/// case every call returns the override — replaying one failing seed
+/// across a whole parameterized suite is the point.
+inline uint64_t testSeed(uint64_t Default) {
+  const char *Env = std::getenv("USUBA_TEST_SEED");
+  if (!Env || !Env[0])
+    return Default;
+  return std::strtoull(Env, nullptr, 0);
+}
+
+/// The failure-trace line: how to reproduce this exact run.
+inline std::string testSeedTrace(uint64_t Seed) {
+  return "seed " + std::to_string(Seed) +
+         " (replay with USUBA_TEST_SEED=" + std::to_string(Seed) + ")";
+}
+
+} // namespace usuba
+
+#endif // USUBA_TESTS_TESTSEED_H

@@ -19,9 +19,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 using namespace usuba;
 
@@ -224,6 +226,59 @@ TEST(CipherApi, CompileUnderTelemetryRecordsPipelineSpans) {
 
   Telemetry::instance().setEnabled(Was);
   Telemetry::instance().reset();
+  kernelCacheClear();
+}
+
+TEST(CipherApi, ValidatorDemotionKeepsFacadeBytesCorrect) {
+  // Fault-inject a semantics-changing corruption into the cse pass.
+  // Under ValidatePasses the compile must demote to -O0 — and the
+  // facade must keep serving bytes identical to a clean -O0 cipher,
+  // through both ECB and CTR entry points.
+  kernelCacheClear();
+  CipherConfig Bad;
+  Bad.Id = CipherId::Rectangle;
+  Bad.Slicing = SlicingMode::Vslice;
+  Bad.Target = &archSSE();
+  Bad.PreferNative = false;
+  Bad.UseKernelCache = false;
+  Bad.ValidatePasses = true;
+  Bad.DebugMiscompilePass = "cse";
+  CipherResult BadResult = UsubaCipher::compile(Bad);
+  ASSERT_TRUE(BadResult.ok()) << BadResult.errorText();
+  UsubaCipher &Demoted = BadResult.cipher();
+
+  CipherStats Stats = Demoted.stats();
+  const std::vector<std::string> &Skipped = Stats.SkippedPasses;
+  EXPECT_NE(std::find(Skipped.begin(), Skipped.end(), "cse"), Skipped.end());
+  EXPECT_NE(std::find(Skipped.begin(), Skipped.end(), "demote-to-O0"),
+            Skipped.end());
+
+  CipherConfig Clean = Bad;
+  Clean.ValidatePasses = false;
+  Clean.DebugMiscompilePass = nullptr;
+  Clean.Optimize = false; // an honest -O0 compile
+  CipherResult CleanResult = UsubaCipher::compile(Clean);
+  ASSERT_TRUE(CleanResult.ok()) << CleanResult.errorText();
+  UsubaCipher &Reference = CleanResult.cipher();
+
+  const uint8_t Key[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Demoted.setKey(Key, sizeof(Key));
+  Reference.setKey(Key, sizeof(Key));
+
+  std::vector<uint8_t> Plain(64 * Demoted.blockBytes());
+  for (size_t I = 0; I < Plain.size(); ++I)
+    Plain[I] = static_cast<uint8_t>(I * 37 + 11);
+  std::vector<uint8_t> OutDemoted(Plain.size()), OutClean(Plain.size());
+  Demoted.ecbEncrypt(Plain.data(), OutDemoted.data(), 64);
+  Reference.ecbEncrypt(Plain.data(), OutClean.data(), 64);
+  EXPECT_EQ(OutDemoted, OutClean);
+  EXPECT_NE(OutDemoted, Plain); // it did encrypt
+
+  const uint8_t Nonce[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+  std::vector<uint8_t> CtrDemoted = Plain, CtrClean = Plain;
+  Demoted.ctrXor(CtrDemoted.data(), CtrDemoted.size(), Nonce, 1);
+  Reference.ctrXor(CtrClean.data(), CtrClean.size(), Nonce, 1);
+  EXPECT_EQ(CtrDemoted, CtrClean);
   kernelCacheClear();
 }
 

@@ -1,0 +1,134 @@
+//===- BddTest.cpp - Hash-consed ROBDD engine tests -----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuits/Bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+TEST(Bdd, TerminalRules) {
+  BddManager M(0);
+  BddManager::Ref A = M.var(0);
+  // ite terminal cases collapse without allocating.
+  EXPECT_EQ(M.ite(BddManager::True, A, BddManager::False), A);
+  EXPECT_EQ(M.ite(BddManager::False, BddManager::True, A), A);
+  EXPECT_EQ(M.ite(A, BddManager::False, BddManager::True), M.mkNot(A));
+  EXPECT_EQ(M.ite(A, BddManager::True, BddManager::False), A);
+  EXPECT_EQ(M.mkAnd(A, BddManager::False), BddManager::False);
+  EXPECT_EQ(M.mkAnd(A, BddManager::True), A);
+  EXPECT_EQ(M.mkOr(A, BddManager::True), BddManager::True);
+  EXPECT_EQ(M.mkXor(A, BddManager::False), A);
+  EXPECT_EQ(M.mkXor(A, A), BddManager::False);
+  EXPECT_EQ(M.mkAnd(A, A), A);
+  EXPECT_EQ(M.mkNot(M.mkNot(A)), A);
+}
+
+TEST(Bdd, HashConsingCanonicalizes) {
+  // Equivalent formulas built along different routes must intern to the
+  // same reference — that equality IS the validator's proof step.
+  BddManager M(0);
+  BddManager::Ref A = M.var(0), B = M.var(1), C = M.var(2);
+  // De Morgan: ~(a & b) == ~a | ~b.
+  EXPECT_EQ(M.mkNot(M.mkAnd(A, B)), M.mkOr(M.mkNot(A), M.mkNot(B)));
+  // Distribution: a & (b | c) == (a & b) | (a & c).
+  EXPECT_EQ(M.mkAnd(A, M.mkOr(B, C)),
+            M.mkOr(M.mkAnd(A, B), M.mkAnd(A, C)));
+  // Xor associativity and via-and-or expansion.
+  EXPECT_EQ(M.mkXor(M.mkXor(A, B), C), M.mkXor(A, M.mkXor(B, C)));
+  EXPECT_EQ(M.mkXor(A, B),
+            M.mkOr(M.mkAnd(A, M.mkNot(B)), M.mkAnd(M.mkNot(A), B)));
+  // And a non-theorem stays distinct.
+  EXPECT_NE(M.mkAnd(A, B), M.mkOr(A, B));
+}
+
+TEST(Bdd, EvaluateAgreesWithSemantics) {
+  BddManager M(0);
+  BddManager::Ref A = M.var(0), B = M.var(1), C = M.var(2);
+  // Majority(a, b, c).
+  BddManager::Ref Maj =
+      M.mkOr(M.mkOr(M.mkAnd(A, B), M.mkAnd(A, C)), M.mkAnd(B, C));
+  for (unsigned V = 0; V < 8; ++V) {
+    std::vector<bool> Assign{(V & 1) != 0, (V & 2) != 0, (V & 4) != 0};
+    unsigned Pop = (V & 1) + ((V >> 1) & 1) + ((V >> 2) & 1);
+    EXPECT_EQ(M.evaluate(Maj, Assign), Pop >= 2) << "assignment " << V;
+  }
+  // Missing variables in the assignment read as false.
+  EXPECT_FALSE(M.evaluate(C, {true}));
+}
+
+TEST(Bdd, RandomFormulasCanonicalizeAcrossBuildOrders) {
+  // Build the same random 6-variable formula twice with operand order
+  // shuffled (commuted operands); refs must match, and evaluation must
+  // agree with a direct truth-table interpretation.
+  std::mt19937_64 Rng(99);
+  for (unsigned Trial = 0; Trial < 20; ++Trial) {
+    BddManager M(0);
+    std::vector<BddManager::Ref> Fwd, Com;
+    std::vector<uint64_t> Truth; // 64-entry table per node, bit v = value
+    for (unsigned V = 0; V < 6; ++V) {
+      Fwd.push_back(M.var(V));
+      Com.push_back(M.var(V));
+      uint64_t T = 0;
+      for (unsigned Row = 0; Row < 64; ++Row)
+        T |= uint64_t{(Row >> V) & 1} << Row;
+      Truth.push_back(T);
+    }
+    for (unsigned Step = 0; Step < 24; ++Step) {
+      unsigned Op = Rng() % 3;
+      size_t I = Rng() % Fwd.size(), J = Rng() % Fwd.size();
+      switch (Op) {
+      case 0:
+        Fwd.push_back(M.mkAnd(Fwd[I], Fwd[J]));
+        Com.push_back(M.mkAnd(Com[J], Com[I]));
+        Truth.push_back(Truth[I] & Truth[J]);
+        break;
+      case 1:
+        Fwd.push_back(M.mkOr(Fwd[I], Fwd[J]));
+        Com.push_back(M.mkOr(Com[J], Com[I]));
+        Truth.push_back(Truth[I] | Truth[J]);
+        break;
+      default:
+        Fwd.push_back(M.mkXor(Fwd[I], Fwd[J]));
+        Com.push_back(M.mkXor(Com[J], Com[I]));
+        Truth.push_back(Truth[I] ^ Truth[J]);
+        break;
+      }
+      EXPECT_EQ(Fwd.back(), Com.back()) << "trial " << Trial;
+    }
+    BddManager::Ref Root = Fwd.back();
+    uint64_t Want = Truth.back();
+    for (unsigned Row = 0; Row < 64; ++Row) {
+      std::vector<bool> Assign;
+      for (unsigned V = 0; V < 6; ++V)
+        Assign.push_back((Row >> V) & 1);
+      EXPECT_EQ(M.evaluate(Root, Assign), ((Want >> Row) & 1) != 0)
+          << "trial " << Trial << " row " << Row;
+    }
+  }
+}
+
+TEST(Bdd, BudgetThrows) {
+  // An n-variable odd-parity chain needs ~2n internal nodes; a budget of
+  // 8 total nodes cannot hold parity over 16 variables.
+  BddManager M(8);
+  BddManager::Ref Acc = BddManager::False;
+  EXPECT_THROW(
+      {
+        for (unsigned V = 0; V < 16; ++V)
+          Acc = M.mkXor(Acc, M.var(V));
+      },
+      BddBudgetExceeded);
+  // The manager survives the throw and stays usable within budget.
+  EXPECT_LE(M.numNodes(), size_t{8});
+  EXPECT_EQ(M.mkAnd(BddManager::True, BddManager::False), BddManager::False);
+}
+
+} // namespace

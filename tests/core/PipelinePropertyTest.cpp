@@ -19,6 +19,8 @@
 #include "runtime/KernelRunner.h"
 #include "runtime/Layout.h"
 
+#include "tests/TestSeed.h"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -141,7 +143,9 @@ std::vector<uint64_t> runVariant(const std::string &Source,
 class PipelineProperty : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(PipelineProperty, AllConfigurationsAgree) {
-  std::mt19937_64 Rng(0x9E3779B9u + GetParam());
+  const uint64_t Seed = testSeed(0x9E3779B9u + GetParam());
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
   bool WithArith = GetParam() % 2;      // arith programs cannot bitslice
   bool WithTable = (GetParam() / 2) % 2;
   std::string Source = randomProgram(Rng, WithArith, WithTable);

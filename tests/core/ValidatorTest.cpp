@@ -1,0 +1,321 @@
+//===- ValidatorTest.cpp - Translation validation tests -------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for validateTransformation (the BDD proof tier, the random
+// differential tier and the reduced-model skip paths), plus the
+// end-to-end fault-injection story: a semantics-changing corruption
+// smuggled past the structural verifier by DebugMiscompilePass must be
+// caught by the validator, demote the compile to -O0 with a structured
+// remark and telemetry counters, and still serve bytes identical to a
+// clean -O0 compile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Validator.h"
+
+#include "core/Compiler.h"
+#include "runtime/KernelRunner.h"
+#include "support/Diagnostics.h"
+#include "support/Remarks.h"
+#include "support/Telemetry.h"
+#include "types/Arch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace usuba;
+
+namespace {
+
+U0Function func(unsigned NumInputs, unsigned NumRegs,
+                std::vector<unsigned> Outputs) {
+  U0Function F;
+  F.Name = "t";
+  F.NumInputs = NumInputs;
+  F.NumRegs = NumRegs;
+  F.Outputs = std::move(Outputs);
+  return F;
+}
+
+U0Program wrap(U0Function F, Dir Direction = Dir::Vert, unsigned MBits = 16) {
+  U0Program P;
+  P.Direction = Direction;
+  P.MBits = MBits;
+  P.Target = &archAVX2();
+  P.Funcs.push_back(std::move(F));
+  return P;
+}
+
+TEST(Validator, ProvesIdenticalPrograms) {
+  U0Function F = func(2, 4, {2, 3});
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::And, 3, 2, 0));
+  U0Program Before = wrap(F);
+  U0Program After = wrap(std::move(F));
+  ValidationOutcome R = validateTransformation(Before, After, 1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Proven) << R.Detail;
+  EXPECT_GT(R.BddNodes, 0u);
+}
+
+TEST(Validator, ProvesEquivalentRewrites) {
+  // Before: y = ~a & b (via Not + And). After: the fused Andn — plus a
+  // dead extra instruction, the way fuse-andn leaves the code before dce.
+  U0Function B = func(2, 4, {3});
+  B.Instrs.push_back(U0Instr::unary(U0Op::Not, 2, 0));
+  B.Instrs.push_back(U0Instr::binary(U0Op::And, 3, 2, 1));
+  U0Function A = func(2, 4, {3});
+  A.Instrs.push_back(U0Instr::unary(U0Op::Not, 2, 0));
+  A.Instrs.push_back(U0Instr::binary(U0Op::Andn, 3, 0, 1));
+  ValidationOutcome R =
+      validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Proven) << R.Detail;
+}
+
+TEST(Validator, ProvesRotateShiftDecomposition) {
+  // x <<< r == (x << r) | (x >> (m - r)) for 0 < r < m.
+  const unsigned M = 16, R = 5;
+  U0Function B = func(1, 2, {1});
+  B.Instrs.push_back(U0Instr::shift(U0Op::Lrotate, 1, 0, R));
+  U0Function A = func(1, 4, {3});
+  A.Instrs.push_back(U0Instr::shift(U0Op::Lshift, 1, 0, R));
+  A.Instrs.push_back(U0Instr::shift(U0Op::Rshift, 2, 0, M - R));
+  A.Instrs.push_back(U0Instr::binary(U0Op::Or, 3, 1, 2));
+  ValidationOutcome Out = validateTransformation(
+      wrap(std::move(B), Dir::Vert, M), wrap(std::move(A), Dir::Vert, M),
+      1 << 20);
+  EXPECT_EQ(Out.K, ValidationOutcome::Kind::Proven) << Out.Detail;
+}
+
+TEST(Validator, RefutesOpcodeFlip) {
+  // The exact corruption DebugMiscompilePass injects: one Xor became Or.
+  U0Function B = func(2, 3, {2});
+  B.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  U0Function A = func(2, 3, {2});
+  A.Instrs.push_back(U0Instr::binary(U0Op::Or, 2, 0, 1));
+  ValidationOutcome R =
+      validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Mismatch);
+  EXPECT_NE(R.Detail.find("output 0"), std::string::npos) << R.Detail;
+}
+
+TEST(Validator, ArithConesSkipStraightToRandomTier) {
+  // 2 inputs x 16 bits = 32 input bits: under the logic cap (512) but
+  // over the arithmetic cap (24) — ripple carries must not grind the BDD
+  // budget. Equivalent rewrite a + a == a << 1 still checks out.
+  U0Function B = func(1, 2, {1});
+  B.Instrs.push_back(U0Instr::binary(U0Op::Add, 1, 0, 0));
+  U0Function A = func(1, 2, {1});
+  A.Instrs.push_back(U0Instr::shift(U0Op::Lshift, 1, 0, 1));
+  U0Program BP = wrap(std::move(B)), AP = wrap(std::move(A));
+  BP.Funcs[0].NumInputs = AP.Funcs[0].NumInputs = 2; // widen past the cap
+  BP.Funcs[0].NumRegs = AP.Funcs[0].NumRegs = 3;
+  ValidationOutcome R = validateTransformation(BP, AP, 1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::CheckedRandom) << R.Detail;
+  EXPECT_EQ(R.BddNodes, 0u); // the proof tier never started
+  EXPECT_NE(R.Detail.find("arithmetic"), std::string::npos) << R.Detail;
+  EXPECT_GE(R.RandomVectors, 64u);
+}
+
+TEST(Validator, RandomTierCatchesArithMiscompile) {
+  // a + b vs a - b, wide enough that only the differential tier runs.
+  U0Function B = func(2, 3, {2});
+  B.Instrs.push_back(U0Instr::binary(U0Op::Add, 2, 0, 1));
+  U0Function A = func(2, 3, {2});
+  A.Instrs.push_back(U0Instr::binary(U0Op::Sub, 2, 0, 1));
+  ValidationOutcome R =
+      validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Mismatch);
+  EXPECT_NE(R.Detail.find("differential tier"), std::string::npos)
+      << R.Detail;
+}
+
+TEST(Validator, HorizontalShuffleModel) {
+  // Shuffling twice by a 4-cycle equals shuffling once by its square.
+  U0Function B = func(1, 3, {2});
+  B.Instrs.push_back(U0Instr::shuffle(1, 0, {1, 2, 3, 0}));
+  B.Instrs.push_back(U0Instr::shuffle(2, 1, {1, 2, 3, 0}));
+  U0Function A = func(1, 2, {1});
+  A.Instrs.push_back(U0Instr::shuffle(1, 0, {2, 3, 0, 1}));
+  ValidationOutcome R = validateTransformation(
+      wrap(std::move(B), Dir::Horiz, 4), wrap(std::move(A), Dir::Horiz, 4),
+      1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Proven) << R.Detail;
+
+  // And a wrong pattern is refuted.
+  U0Function B2 = func(1, 2, {1});
+  B2.Instrs.push_back(U0Instr::shuffle(1, 0, {1, 2, 3, 0}));
+  U0Function A2 = func(1, 2, {1});
+  A2.Instrs.push_back(U0Instr::shuffle(1, 0, {3, 2, 1, 0}));
+  ValidationOutcome R2 = validateTransformation(
+      wrap(std::move(B2), Dir::Horiz, 4), wrap(std::move(A2), Dir::Horiz, 4),
+      1 << 20);
+  EXPECT_EQ(R2.K, ValidationOutcome::Kind::Mismatch);
+}
+
+TEST(Validator, SkipsWhenEntryInterfaceChanges) {
+  // Interleaving doubles the entry registers; output-cone comparison has
+  // nothing to say and must report Skipped, not a false mismatch.
+  U0Function B = func(1, 2, {1});
+  B.Instrs.push_back(U0Instr::unary(U0Op::Not, 1, 0));
+  U0Function A = func(2, 4, {2, 3});
+  A.Instrs.push_back(U0Instr::unary(U0Op::Not, 2, 0));
+  A.Instrs.push_back(U0Instr::unary(U0Op::Not, 3, 1));
+  ValidationOutcome R =
+      validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Skipped);
+  EXPECT_NE(R.Detail.find("interface"), std::string::npos) << R.Detail;
+}
+
+TEST(Validator, BudgetExhaustionFallsBackToRandom) {
+  // A 3-node budget cannot even hold the input variables; the proof tier
+  // trips and the differential tier takes over.
+  U0Function B = func(2, 3, {2});
+  B.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  U0Function A = B;
+  ValidationOutcome R =
+      validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 3);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::CheckedRandom) << R.Detail;
+  EXPECT_NE(R.Detail.find("budget"), std::string::npos) << R.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end fault injection through the compiler
+//===----------------------------------------------------------------------===//
+
+/// Small enough (32 input bits, no arithmetic) that the deterministic
+/// proof tier — not just the random one — sees every injected flip.
+const char *FaultSource = R"(node F (x:u16x2) returns (y:u16x2)
+vars t0:u16, t1:u16
+let
+  t0 = (x[0] ^ x[1]);
+  t1 = (t0 & x[0]);
+  y = (t0, t1)
+tel
+)";
+
+CompileOptions faultOptions(bool Validate, const char *Miscompile,
+                            bool MidEnd) {
+  CompileOptions Options;
+  Options.Direction = Dir::Vert;
+  Options.WordBits = 16;
+  Options.Target = &archAVX2();
+  Options.ValidatePasses = Validate;
+  Options.DebugMiscompilePass = Miscompile;
+  Options.CopyProp = Options.ConstantFold = Options.Cse = Options.Dce =
+      MidEnd;
+  return Options;
+}
+
+std::vector<uint64_t> runKernel(CompiledKernel Kernel, uint64_t Seed) {
+  KernelRunner Runner(std::move(Kernel));
+  std::mt19937_64 Rng(Seed);
+  std::vector<std::vector<uint64_t>> Atoms;
+  for (unsigned Len : Runner.paramLens()) {
+    std::vector<uint64_t> Param(size_t{Len} * Runner.blocksPerCall());
+    for (uint64_t &A : Param)
+      A = Rng() & 0xFFFF;
+    Atoms.push_back(std::move(Param));
+  }
+  std::vector<KernelRunner::ParamData> Params;
+  for (const std::vector<uint64_t> &Param : Atoms)
+    Params.push_back({/*Broadcast=*/false, Param.data(), 0});
+  std::vector<uint64_t> Out(size_t{Runner.outputAtomsPerBlock()} *
+                            Runner.blocksPerCall());
+  Runner.runBatch(Params, Out.data());
+  return Out;
+}
+
+TEST(ValidatorEndToEnd, InjectedMiscompileDemotesToO0) {
+  RemarkEngine &Remarks = RemarkEngine::instance();
+  Telemetry &Tel = Telemetry::instance();
+  const bool RemarksWere = Remarks.enabled();
+  const bool TelWas = Tel.enabled();
+  Remarks.setEnabled(true);
+  Tel.setEnabled(true);
+  Tel.reset();
+
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(FaultSource, faultOptions(true, "cse", true), Diags);
+  Remarks.setEnabled(RemarksWere);
+  ASSERT_TRUE(Kernel) << Diags.str();
+
+  // The corrupted pass and the demotion marker are both on record.
+  const std::vector<std::string> &Skipped = Kernel->SkippedPasses;
+  EXPECT_NE(std::find(Skipped.begin(), Skipped.end(), "cse"), Skipped.end());
+  EXPECT_NE(std::find(Skipped.begin(), Skipped.end(), "demote-to-O0"),
+            Skipped.end());
+
+  // The cse PassStat was not kept.
+  auto Stat = std::find_if(
+      Kernel->PassStats.begin(), Kernel->PassStats.end(),
+      [](const PassStat &S) { return S.Name == "cse"; });
+  ASSERT_NE(Stat, Kernel->PassStats.end());
+  EXPECT_FALSE(Stat->Kept);
+
+  // Structured remarks: the failed validation and the demotion verdict.
+  auto HasRemark = [&](const char *Pass, const char *Name) {
+    return std::any_of(Kernel->Remarks.begin(), Kernel->Remarks.end(),
+                       [&](const Remark &R) {
+                         return R.Pass == Pass && R.Name == Name;
+                       });
+  };
+  EXPECT_TRUE(HasRemark("cse", "ValidationFailed"));
+  EXPECT_TRUE(HasRemark("validator", "DemotedToO0"));
+
+  // Telemetry counters fired.
+  EXPECT_GE(Tel.counter("usubac.validate.mismatch"), 1u);
+  EXPECT_GE(Tel.counter("usubac.validate.demoted"), 1u);
+  Tel.setEnabled(TelWas);
+
+  // The demoted kernel still serves bytes identical to a clean -O0
+  // compile — graceful demotion, not graceful corruption.
+  DiagnosticEngine RefDiags;
+  std::optional<CompiledKernel> Ref =
+      compileUsuba(FaultSource, faultOptions(false, nullptr, false), RefDiags);
+  ASSERT_TRUE(Ref) << RefDiags.str();
+  EXPECT_TRUE(Ref->SkippedPasses.empty());
+  EXPECT_EQ(runKernel(std::move(*Kernel), 0xFA57),
+            runKernel(std::move(*Ref), 0xFA57));
+}
+
+TEST(ValidatorEndToEnd, CleanValidatedCompileKeepsEveryPass) {
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(FaultSource, faultOptions(true, nullptr, true), Diags);
+  ASSERT_TRUE(Kernel) << Diags.str();
+  EXPECT_TRUE(Kernel->SkippedPasses.empty());
+  // And its bytes match -O0 too (the validator changes nothing).
+  DiagnosticEngine RefDiags;
+  std::optional<CompiledKernel> Ref =
+      compileUsuba(FaultSource, faultOptions(false, nullptr, false), RefDiags);
+  ASSERT_TRUE(Ref) << RefDiags.str();
+  EXPECT_EQ(runKernel(std::move(*Kernel), 0xC1EA),
+            runKernel(std::move(*Ref), 0xC1EA));
+}
+
+TEST(ValidatorEndToEnd, MiscompileWithoutValidationGoesUnnoticed) {
+  // The control: the same corruption with validation off sails through
+  // the structural verifier — which is exactly why the validator (and
+  // the differential fuzzer) exist.
+  DiagnosticEngine Diags;
+  std::optional<CompiledKernel> Kernel =
+      compileUsuba(FaultSource, faultOptions(false, "cse", true), Diags);
+  ASSERT_TRUE(Kernel) << Diags.str();
+  const std::vector<std::string> &Skipped = Kernel->SkippedPasses;
+  EXPECT_EQ(std::find(Skipped.begin(), Skipped.end(), "demote-to-O0"),
+            Skipped.end());
+  DiagnosticEngine RefDiags;
+  std::optional<CompiledKernel> Ref =
+      compileUsuba(FaultSource, faultOptions(false, nullptr, false), RefDiags);
+  ASSERT_TRUE(Ref) << RefDiags.str();
+  EXPECT_NE(runKernel(std::move(*Kernel), 0xFA57),
+            runKernel(std::move(*Ref), 0xFA57));
+}
+
+} // namespace

@@ -15,6 +15,8 @@
 #include "core/Compiler.h"
 #include "frontend/Parser.h"
 
+#include "tests/TestSeed.h"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -24,7 +26,9 @@ using namespace usuba;
 namespace {
 
 TEST(ParserFuzz, RandomBytesNeverCrash) {
-  std::mt19937_64 Rng(0xF022);
+  const uint64_t Seed = testSeed(0xF022);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
   for (unsigned Trial = 0; Trial < 200; ++Trial) {
     std::string Input;
     unsigned Length = static_cast<unsigned>(Rng() % 200);
@@ -46,7 +50,9 @@ TEST(ParserFuzz, RandomTokenSoupsNeverCrash) {
       "|",    "^",      "~",    "+",       "-",    "*",    "<<",
       ">>",   "<<<",    ">>>",  "..",      "x",    "y",    "u16",
       "b4",   "v4",     "0",    "1",       "42",   "Shuffle"};
-  std::mt19937_64 Rng(0xF033);
+  const uint64_t Seed = testSeed(0xF033);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
   for (unsigned Trial = 0; Trial < 300; ++Trial) {
     std::string Input;
     unsigned Length = static_cast<unsigned>(Rng() % 60);
@@ -80,7 +86,9 @@ TEST(ParserFuzz, MutatedProgramsNeverCrashTheWholePipeline) {
       {presentSource, Dir::Vert, 16, 70},
       {triviumSource, Dir::Vert, 1, 70},
   };
-  std::mt19937_64 Rng(0xF044);
+  const uint64_t Seed = testSeed(0xF044);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
   unsigned Total = 0, Compiled = 0;
   for (const Corpus &C : Sources) {
     const std::string &Base = C.Source();

@@ -1,0 +1,54 @@
+//===- CorpusReplayTest.cpp - Checked-in fuzz corpus replay ---------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays every `.ua` reproducer under tests/fuzz/corpus/ through the
+// full differential harness (optimized legs on every vector ISA vs the
+// -O0 reference, deterministic inputs from the recorded seed). Corpus
+// files are either hand-written regression shapes or minimized
+// reproducers written by a failing campaign — once a differential is
+// fixed, its reproducer is checked in here so it stays fixed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/FuzzHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  for (const auto &Entry : std::filesystem::directory_iterator(
+           USUBA_FUZZ_CORPUS_DIR, Ec))
+    if (Entry.path().extension() == ".ua")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+TEST(CorpusReplay, CorpusIsPresent) {
+  // The checked-in regression shapes must exist; an empty corpus means
+  // the directory moved and the replay below silently tested nothing.
+  EXPECT_GE(corpusFiles().size(), 3u) << "no corpus under "
+                                      << USUBA_FUZZ_CORPUS_DIR;
+}
+
+TEST(CorpusReplay, EveryReproducerStaysFixed) {
+  for (const std::string &Path : corpusFiles()) {
+    SCOPED_TRACE(Path);
+    EXPECT_EQ(replayFuzzFile(Path), "");
+  }
+}
+
+} // namespace

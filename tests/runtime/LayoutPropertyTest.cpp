@@ -16,6 +16,8 @@
 
 #include "runtime/Layout.h"
 
+#include "tests/TestSeed.h"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -75,7 +77,9 @@ TEST(LayoutProperty, SwarPackMatchesNaiveAndRoundTrips) {
     SliceLayout Layout(C.Direction, C.MBits, archFor(C.Target));
     const unsigned S = Layout.slices();
     const unsigned W = Layout.widthWords();
-    std::mt19937_64 Rng(0x5157A * (C.MBits + 1) + C.Len);
+    const uint64_t Seed = testSeed(0x5157A * (C.MBits + 1) + C.Len);
+    SCOPED_TRACE(testSeedTrace(Seed));
+    std::mt19937_64 Rng(Seed);
 
     for (unsigned Trial = 0; Trial < 3; ++Trial) {
       std::vector<uint64_t> Blocks(size_t{S} * C.Len);
@@ -118,7 +122,9 @@ TEST(LayoutProperty, BroadcastDenseMatchesSimdBroadcast) {
     SCOPED_TRACE(shapeName(C));
     SliceLayout Layout(C.Direction, C.MBits, archFor(C.Target));
     const unsigned W = Layout.widthWords();
-    std::mt19937_64 Rng(0xB0Au + C.MBits + C.Len);
+    const uint64_t Seed = testSeed(0xB0Au + C.MBits + C.Len);
+    SCOPED_TRACE(testSeedTrace(Seed));
+    std::mt19937_64 Rng(Seed);
     std::vector<uint64_t> Atoms(C.Len);
     for (uint64_t &A : Atoms)
       A = Rng() & lowBitMask(C.MBits);
