@@ -13,8 +13,13 @@
 /// Usage: throughput_json [--out FILE] [--ciphers a,b,...]
 ///                        [--archs a,b,...] [--threads n,m,...]
 /// Defaults: stdout; every bundled cipher at its best-performing slicing
-/// on sse/avx2/avx512; threads 1 plus the machine default when > 1.
-/// USUBA_BENCH_BYTES scales the workload (default 2 MiB).
+/// on sse/avx2/avx512; threads {1,2,4,8} (the gate's scaling matrix —
+/// rows beyond the host's core count are emitted for completeness and
+/// skipped by bench_gate.py's hardware-aware floors, which read the
+/// report's host_threads). Rows where the pool engaged carry
+/// pool_utilization / steals, and every threads>1 row carries
+/// scaling_vs_1t against its threads=1 twin. USUBA_BENCH_BYTES scales
+/// the workload (default 2 MiB).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,9 +30,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "runtime/ThreadPool.h"
 #include "support/Remarks.h"
 #include "support/Telemetry.h"
 
@@ -143,11 +148,13 @@ int main(int Argc, char **Argv) {
   };
   const Arch *Targets[] = {&archSSE(), &archAVX2(), &archAVX512()};
 
+  // The default matrix covers the gate's scaling sweep. Counts beyond the
+  // host's cores still measure correctly (the pool over-subscribes by
+  // design); bench_gate.py skips its scaling/utilization floors for them
+  // based on the host_threads field below.
   std::vector<unsigned> ThreadCounts;
   if (ThreadsArg.empty()) {
-    ThreadCounts.push_back(1);
-    if (ThreadPool::defaultThreads() > 1)
-      ThreadCounts.push_back(ThreadPool::defaultThreads());
+    ThreadCounts = {1, 2, 4, 8};
   } else {
     for (const std::string &S : ThreadsArg)
       ThreadCounts.push_back(
@@ -163,11 +170,16 @@ int main(int Argc, char **Argv) {
   // The filters that produced this report. bench_gate.py uses them to
   // know which baseline rows a partial run (CI's perf-smoke subset) is
   // accountable for; empty arrays mean "no filter" (full coverage).
+  // host_threads anchors the gate's hardware-aware floors: rows with
+  // threads > host_threads cannot physically scale and are exempt.
+  const unsigned HostThreads =
+      std::max(1u, std::thread::hardware_concurrency());
   std::fprintf(Out,
-               "{\n  \"workload_bytes\": %zu,\n  \"filters\": "
+               "{\n  \"workload_bytes\": %zu,\n  \"host_threads\": %u,\n"
+               "  \"filters\": "
                "{\"ciphers\": %s, \"archs\": %s, \"threads\": %s},\n"
                "  \"results\": [",
-               workloadBytes(), jsonStringArray(Ciphers).c_str(),
+               workloadBytes(), HostThreads, jsonStringArray(Ciphers).c_str(),
                jsonStringArray(Archs).c_str(),
                jsonStringArray(ThreadsArg).c_str());
   bool FirstRecord = true;
@@ -208,6 +220,9 @@ int main(int Argc, char **Argv) {
                                     BatchBytes;
       double KernelCpb = kernelCyclesPerByte(*Cipher);
 
+      // The threads=1 row of this (cipher, slicing, arch) group anchors
+      // scaling_vs_1t for its threads>1 siblings.
+      double Cpb1 = -1.0;
       for (unsigned Threads : ThreadCounts) {
         Cipher->setThreadCount(Threads);
         Measurement Ctr = measureThroughput(
@@ -215,33 +230,41 @@ int main(int Argc, char **Argv) {
             Data.size());
         // One untimed telemetry-on call measures how well the pool's
         // slots were filled: worker busy time over wall * participants.
-        // 0 means the threaded engine never engaged (threads = 1 or too
-        // few batches) — exactly the diagnostic for flat thread scaling.
+        // When the pool never engaged (threads = 1 or too few batches)
+        // there is no utilization to report and the key is omitted.
         Telemetry &Tel = Telemetry::instance();
         const bool TelWas = Tel.enabled();
         Tel.setEnabled(true);
         const uint64_t Busy0 = Tel.counter("threadpool.worker_busy_ns");
         const uint64_t Slot0 = Tel.counter("threadpool.slot_ns");
+        const uint64_t Steal0 = Tel.counter("threadpool.steals");
         Cipher->ctrXor(Data.data(), Data.size(), Nonce, 0);
         const uint64_t BusyNs =
             Tel.counter("threadpool.worker_busy_ns") - Busy0;
         const uint64_t SlotNs = Tel.counter("threadpool.slot_ns") - Slot0;
+        const uint64_t Steals = Tel.counter("threadpool.steals") - Steal0;
         Tel.setEnabled(TelWas);
-        const double Utilization =
-            SlotNs ? static_cast<double>(BusyNs) /
-                         static_cast<double>(SlotNs)
-                   : 0.0;
+        if (Threads == 1 && Cpb1 < 0)
+          Cpb1 = Ctr.CyclesPerByte;
         std::fprintf(
             Out,
             "%s\n    {\"cipher\": \"%s\", \"slicing\": \"%s\", "
             "\"arch\": \"%s\", \"engine\": \"%s\", \"threads\": %u, "
             "\"ctr_cycles_per_byte\": %.4f, \"ctr_gib_per_s\": %.4f, "
-            "\"kernel_cycles_per_byte\": %.4f, "
-            "\"batches_per_call\": %zu, \"pool_utilization\": %.3f}",
+            "\"kernel_cycles_per_byte\": %.4f, \"batches_per_call\": %zu",
             FirstRecord ? "" : ",", cipherName(Row.Id),
             slicingName(Row.Slicing), Target->Name, engineTag(*Cipher),
             Threads, Ctr.CyclesPerByte, Ctr.GibPerSec, KernelCpb,
-            BatchesPerCall, Utilization);
+            BatchesPerCall);
+        if (SlotNs)
+          std::fprintf(Out, ", \"pool_utilization\": %.3f, \"steals\": %llu",
+                       static_cast<double>(BusyNs) /
+                           static_cast<double>(SlotNs),
+                       static_cast<unsigned long long>(Steals));
+        if (Threads > 1 && Cpb1 > 0 && Ctr.CyclesPerByte > 0)
+          std::fprintf(Out, ", \"scaling_vs_1t\": %.3f",
+                       Cpb1 / Ctr.CyclesPerByte);
+        std::fputc('}', Out);
         FirstRecord = false;
       }
     }

@@ -12,7 +12,9 @@
 ///   -V | -H        monomorphize to vertical / horizontal slicing
 ///   -B             flatten to bitslice
 ///   -w <m>         word size for the parameter 'm
-///   -arch <name>   gp64 | sse | avx | avx2 | avx512
+///   -arch <name>   gp64 | sse | avx | avx2 | avx512 | native
+///                  (`native` probes the CPU once and picks the widest
+///                  supported ISA; `--arch=<name>` is accepted too)
 ///   -no-inline -no-unroll -no-sched -interleave   back-end toggles
 ///   -O0 | -O1      disable / enable (default) the Usuba0 mid-end
 ///   -fno-copy-prop -fno-constant-fold -fno-cse -fno-dce
@@ -154,7 +156,7 @@ int main(int argc, char **argv) {
   Options.Target = &archGP64();
   std::string Input, Output;
   bool DumpU0 = false, DumpAst = false, DumpSource = false;
-  bool PrintRemarks = false, WantTelemetry = false;
+  bool PrintRemarks = false, WantTelemetry = false, ArchNative = false;
   unsigned FuzzCount = 0; // --fuzz N: run a differential campaign instead
   uint64_t FuzzSeed = 1;
   std::string RemarkPassFilter; // empty = all passes
@@ -171,13 +173,25 @@ int main(int argc, char **argv) {
       Options.Bitslice = true;
     } else if (Arg == "-w" && I + 1 < argc) {
       Options.WordBits = static_cast<unsigned>(std::atoi(argv[++I]));
-    } else if (Arg == "-arch" && I + 1 < argc) {
-      const Arch *Target = archByName(argv[++I]);
-      if (!Target) {
-        std::fprintf(stderr, "error: unknown architecture '%s'\n", argv[I]);
-        return 1;
+    } else if ((Arg == "-arch" && I + 1 < argc) ||
+               Arg.rfind("--arch=", 0) == 0) {
+      std::string Name =
+          Arg[1] == '-' ? Arg.substr(7) : std::string(argv[++I]);
+      if (Name == "native") {
+        // Runtime probe: pick the widest ISA this CPU can execute. The
+        // choice and its why are reported on stderr and, when remarks
+        // are on, as a "dispatch" remark on the compile.
+        Options.Target = &archBest();
+        ArchNative = true;
+      } else {
+        const Arch *Target = archByName(Name);
+        if (!Target) {
+          std::fprintf(stderr, "error: unknown architecture '%s'\n",
+                       Name.c_str());
+          return 1;
+        }
+        Options.Target = Target;
       }
-      Options.Target = Target;
     } else if (Arg == "-no-inline") {
       Options.Inline = false;
     } else if (Arg == "-no-unroll") {
@@ -312,6 +326,10 @@ int main(int argc, char **argv) {
     };
   }
 
+  if (ArchNative)
+    std::fprintf(stderr, "usubac: -arch native resolved to %s (%s)\n",
+                 Options.Target->Name, archBestWhy());
+
   DiagnosticEngine Diags;
   std::optional<CompiledKernel> Kernel =
       compileUsuba(Source, Options, Diags);
@@ -321,6 +339,16 @@ int main(int argc, char **argv) {
   }
   for (const Diagnostic &D : Diags.diagnostics())
     std::fprintf(stderr, "%s\n", D.str().c_str());
+
+  if (ArchNative && remarksEnabled()) {
+    // Record which ISA the probe chose and why, alongside the compile's
+    // own remarks (so --remarks reports carry the dispatch decision).
+    Remark R = Remark::analysis("dispatch", "ArchNative");
+    R.Message = std::string("-arch native resolved to ") +
+                Options.Target->Name + ": " + archBestWhy();
+    RemarkEngine::instance().record(R);
+    Kernel->Remarks.push_back(R);
+  }
 
   if (PrintRemarks) {
     for (const Remark &R : Kernel->Remarks) {

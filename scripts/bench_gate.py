@@ -29,11 +29,33 @@ through the gate. Rows excluded by the filters (CI's perf-smoke only
 measures a subset) are still skipped; a fresh report with no "filters"
 key at all is held to full coverage.
 
+Beyond the baseline comparison, the gate holds the *fresh* report to
+absolute thread-scaling quality floors — the numbers the work-stealing
+engine is accountable for, hardware-aware via the report's host_threads
+field (rows asking for more threads than the host has cores cannot
+physically scale and are skipped, which keeps one-core CI boxes honest
+without muting real machines):
+
+  * every threads>=2 row over a large batch (batches_per_call >=
+    4*threads) must report pool_utilization (absence means the threaded
+    engine never engaged) and clear --utilization-floor (default 0.7,
+    USUBA_UTILIZATION_FLOOR);
+  * every threads>=4 such row must clear --scaling-floor on
+    scaling_vs_1t (default 1.5, USUBA_SCALING_FLOOR) when its threads=1
+    anchor row exists.
+
+threads=1 rows legitimately carry no pool_utilization key (no pool ran;
+older reports wrote a misleading 0.0) and are never held to the floors.
+Reports without host_threads (pre-scaling-matrix format) skip the
+quality gates entirely.
+
 --self-test runs the gate's own logic machine-independently: the
 baseline must pass against itself, must fail once a synthetic 2x
 slowdown is injected into one row, must fail when an in-scope row is
 deleted from the fresh report, and must pass when the deleted row is
-excluded by the fresh report's filters. CI runs this before the real
+excluded by the fresh report's filters; synthetic reports exercise the
+quality floors (utilization failure, scaling failure, over-subscribed
+and small-batch skips, old-format skip). CI runs this before the real
 comparison so a broken gate cannot silently wave regressions through.
 
 Exit codes: 0 pass, 1 regression (or failed self-test), 2 usage/IO.
@@ -179,6 +201,152 @@ def compare(baseline, fresh, tolerance, quiet=False):
     return failures, compared, skipped
 
 
+def check_quality(fresh, util_floor, scaling_floor, quiet=False):
+    """Holds the fresh report to absolute thread-scaling floors.
+
+    Returns (failures, checked, skipped) like compare(). Hardware-aware:
+    a row is only accountable when the host could physically satisfy it
+    (threads <= host_threads) and the workload was large enough to
+    amortize the pool (batches_per_call >= 4 * threads). threads=1 rows
+    are never checked — no pool ran, so pool_utilization is rightly
+    absent. Reports without host_threads (pre-scaling-matrix format)
+    skip everything rather than guess at the host.
+    """
+    failures = []
+    checked = 0
+    skipped = []
+    host = fresh.get("host_threads")
+    if not isinstance(host, int) or host < 1:
+        skipped.append(("(report)", "no host_threads field — quality "
+                                    "floors need the new report format"))
+        if not quiet:
+            for name, why in skipped:
+                print("  %-32s quality skipped: %s" % (name, why))
+        return failures, checked, skipped
+
+    for row in fresh["results"]:
+        try:
+            key = row_key(row)
+        except KeyError:
+            continue  # index_rows already diagnoses malformed rows
+        name = "%s/%s/%s/t%d" % key
+        threads = row["threads"]
+        if not isinstance(threads, int) or threads < 2:
+            continue
+        if threads > host:
+            skipped.append((name, "threads %d > host cores %d (cannot "
+                                  "physically scale)" % (threads, host)))
+            continue
+        batches = row.get("batches_per_call")
+        if not isinstance(batches, (int, float)) or batches < 4 * threads:
+            skipped.append((name, "batch too small to amortize the pool "
+                                  "(%r batches/call, want >= %d)" %
+                            (batches, 4 * threads)))
+            continue
+        checked += 1
+        util = row.get("pool_utilization")
+        if not isinstance(util, (int, float)) or isinstance(util, bool):
+            failures.append((name, "threaded engine never engaged: no "
+                                   "pool_utilization on a threads=%d "
+                                   "large-batch row" % threads))
+        elif util < util_floor:
+            failures.append((name, "pool_utilization %.3f below floor "
+                                   "%.2f" % (util, util_floor)))
+        elif not quiet:
+            print("  %-32s pool_utilization %.3f  (floor %.2f)  ok" %
+                  (name, util, util_floor))
+        if threads >= 4:
+            scaling = row.get("scaling_vs_1t")
+            if not isinstance(scaling, (int, float)):
+                # No threads=1 anchor in this run (e.g. --threads 4,8
+                # subset): scaling is unmeasurable, not failing.
+                skipped.append((name, "no scaling_vs_1t (threads=1 anchor "
+                                      "row not in this run)"))
+            elif scaling < scaling_floor:
+                failures.append((name, "scaling_vs_1t %.3f below floor "
+                                       "%.2f" % (scaling, scaling_floor)))
+            elif not quiet:
+                print("  %-32s scaling_vs_1t   %.3f  (floor %.2f)  ok" %
+                      (name, scaling, scaling_floor))
+
+    if not quiet:
+        for name, why in skipped:
+            print("  %-32s quality skipped: %s" % (name, why))
+    return failures, checked, skipped
+
+
+def _quality_row(threads, util=None, scaling=None, batches=64,
+                 cipher="chacha20", arch="avx2"):
+    """A synthetic fresh-report row for the quality self-tests."""
+    row = {"cipher": cipher, "slicing": "vslice", "arch": arch,
+           "threads": threads, "engine": "native",
+           "ctr_cycles_per_byte": 4.0, "batches_per_call": batches}
+    if util is not None:
+        row["pool_utilization"] = util
+    if scaling is not None:
+        row["scaling_vs_1t"] = scaling
+    return row
+
+
+def quality_self_test():
+    """Synthetic-report validation of the hardware-aware quality floors."""
+    util_floor, scaling_floor = 0.7, 1.5
+
+    # A healthy scaling matrix on an 8-core host: clean pass.
+    good = {"host_threads": 8, "results": [
+        _quality_row(1),  # no pool_utilization key: legitimate, unchecked
+        _quality_row(2, util=0.9),
+        _quality_row(4, util=0.85, scaling=1.9),
+        _quality_row(8, util=0.8, scaling=3.1),
+    ]}
+    failures, checked, _ = check_quality(good, util_floor, scaling_floor,
+                                         quiet=True)
+    if failures or checked != 3:
+        print("bench_gate self-test FAILED: healthy quality doc gave "
+              "failures %r over %d checked rows (want 0 over 3)" %
+              (failures, checked))
+        return False
+
+    # Each floor must trip on its own: bad utilization, missing
+    # utilization (pool never engaged), bad scaling.
+    for label, row, want in [
+            ("low utilization", _quality_row(2, util=0.3), "below floor"),
+            ("missing utilization", _quality_row(2), "never engaged"),
+            ("low scaling", _quality_row(4, util=0.9, scaling=1.1),
+             "scaling_vs_1t"),
+    ]:
+        doc = {"host_threads": 8, "results": [row]}
+        failures, _, _ = check_quality(doc, util_floor, scaling_floor,
+                                       quiet=True)
+        if len(failures) != 1 or want not in failures[0][1]:
+            print("bench_gate self-test FAILED: %s gave failures %r "
+                  "(want one containing %r)" % (label, failures, want))
+            return False
+
+    # Hardware-awareness: rows the host cannot satisfy, rows too small to
+    # amortize the pool, and old-format reports are skips, not failures.
+    for label, doc in [
+            ("over-subscribed row",
+             {"host_threads": 2, "results": [_quality_row(4)]}),
+            ("small-batch row",
+             {"host_threads": 8,
+              "results": [_quality_row(4, batches=8)]}),
+            ("old-format report", {"results": [_quality_row(4)]}),
+    ]:
+        failures, checked, skipped = check_quality(doc, util_floor,
+                                                   scaling_floor, quiet=True)
+        if failures or checked != 0 or not skipped:
+            print("bench_gate self-test FAILED: %s gave failures %r, "
+                  "%d checked, %d skipped (want clean skip)" %
+                  (label, failures, checked, len(skipped)))
+            return False
+
+    print("bench_gate quality self-test OK: healthy matrix passes; low/"
+          "missing utilization and low scaling fail; over-subscribed, "
+          "small-batch and old-format rows skip")
+    return True
+
+
 def self_test(baseline, tolerance):
     """Machine-independent gate validation: baseline passes against
     itself; an injected 2x slowdown must fail; a deleted in-scope row
@@ -249,7 +417,7 @@ def self_test(baseline, tolerance):
           "%.1fx slowdown fails, deleted in-scope row fails, filtered "
           "deletion passes, broken cycles-per-byte fields are rejected"
           % (2.0 * max(tolerance, 1.0)))
-    return True
+    return quality_self_test()
 
 
 def main():
@@ -263,6 +431,17 @@ def main():
                                                      "3.0")),
                         help="max allowed fresh/baseline cycles-per-byte "
                              "ratio (default: USUBA_BENCH_TOLERANCE or 3.0)")
+    parser.add_argument("--utilization-floor", type=float,
+                        default=float(os.environ.get(
+                            "USUBA_UTILIZATION_FLOOR", "0.7")),
+                        help="min pool_utilization on threads>=2 "
+                             "large-batch rows the host can satisfy "
+                             "(default: USUBA_UTILIZATION_FLOOR or 0.7)")
+    parser.add_argument("--scaling-floor", type=float,
+                        default=float(os.environ.get(
+                            "USUBA_SCALING_FLOOR", "1.5")),
+                        help="min scaling_vs_1t on threads>=4 such rows "
+                             "(default: USUBA_SCALING_FLOOR or 1.5)")
     parser.add_argument("--self-test", action="store_true",
                         help="validate the gate against the baseline alone")
     args = parser.parse_args()
@@ -283,6 +462,13 @@ def main():
               (args.fresh, args.baseline, args.tolerance))
         failures, compared, skipped = compare(baseline, fresh,
                                               args.tolerance)
+        q_failures, q_checked, q_skipped = check_quality(
+            fresh, args.utilization_floor, args.scaling_floor)
+        if q_checked:
+            print("bench_gate: quality floors checked on %d rows "
+                  "(utilization >= %.2f, scaling >= %.2f)" %
+                  (q_checked, args.utilization_floor, args.scaling_floor))
+        failures += q_failures
     except ReportError as e:
         print("bench_gate: %s" % e, file=sys.stderr)
         return 2

@@ -10,17 +10,25 @@
 #              followed by the differential fuzz smoke: a fixed-seed
 #              campaign of 200 random programs, each compiled optimized
 #              vs -O0 across the vector ISAs and diffed byte for byte
-#              (bench/fuzz_differential --seed 0xC0FFEE).
+#              (bench/fuzz_differential --seed 0xC0FFEE). Also builds a
+#              TSan tree (-DUSUBA_SANITIZE=thread) and runs the
+#              work-stealing pool stress tests and the threaded engine
+#              tests under it — the races a stealing scheduler can have
+#              are exactly the ones ASan cannot see.
 #   perf     - perf smoke: Release build of the JSON throughput bench,
-#              run on two small configs single- and multi-threaded with
-#              telemetry on, the output validated (well-formed JSON,
-#              every field present, positive rates, telemetry snapshot
-#              attached), the chrome://tracing trace archived as a CI
-#              artifact, and the fresh numbers gated against the
+#              run on two small configs across the {1,2,4,8} thread
+#              matrix with telemetry on, the output validated
+#              (well-formed JSON, every field present, positive rates,
+#              pool_utilization present exactly on rows where the pool
+#              engaged, scaling_vs_1t on threads>1 rows, telemetry
+#              snapshot attached), the chrome://tracing trace archived
+#              as a CI artifact, and the fresh numbers gated against the
 #              checked-in BENCH_throughput.json by scripts/bench_gate.py
-#              (tolerance: USUBA_BENCH_TOLERANCE, default 3.0x). Catches
-#              runtime-path breakage and catastrophic slowdowns that
-#              correctness tests alone would miss. Also compiles every
+#              (tolerance: USUBA_BENCH_TOLERANCE, default 3.0x; plus the
+#              hardware-aware utilization/scaling floors — see
+#              bench_gate.py). Catches runtime-path breakage and
+#              catastrophic slowdowns that correctness tests alone would
+#              miss. Also compiles every
 #              bundled program with usubac --remarks=<json>, validates
 #              each report (JSON parses, >= 1 remark per back-end pass
 #              that ran), and archives the reports as an artifact at
@@ -60,6 +68,22 @@ fuzz_smoke() {
   echo "fuzz-smoke OK: 200 programs, zero differentials"
 }
 
+# TSan over the concurrency surface: the persistent work-stealing pool
+# (chunk claiming, worker spawn/park, concurrent job publication) and
+# the threaded cipher engine on top of it. Scoped to those suites — TSan
+# is ~10x, and the rest of the suite is single-threaded.
+tsan_smoke() {
+  echo "==== ci job: sanitize (tsan smoke) ===="
+  cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DUSUBA_SANITIZE=thread
+  cmake --build build-ci-tsan -j "$JOBS" --target runtime_test \
+    cipher_api_test
+  ./build-ci-tsan/tests/runtime_test --gtest_filter='ThreadPoolStress*'
+  ./build-ci-tsan/tests/cipher_api_test \
+    --gtest_filter='ThreadedEngine*:ArchDispatch*'
+  echo "tsan-smoke OK: pool stress + threaded engine clean under TSan"
+}
+
 perf_smoke() {
   echo "==== ci job: perf ===="
   cmake -B build-ci-perf -S . -DCMAKE_BUILD_TYPE=Release
@@ -69,7 +93,7 @@ perf_smoke() {
   USUBA_BENCH_BYTES=262144 USUBA_TELEMETRY=1 \
     USUBA_TRACE_FILE=build-ci-perf/usuba_trace.json \
     ./build-ci-perf/bench/throughput_json \
-    --ciphers rectangle,chacha20 --archs sse --threads 1,2 \
+    --ciphers rectangle,chacha20 --archs sse --threads 1,2,4,8 \
     --out build-ci-perf/BENCH_throughput.json
   python3 - build-ci-perf/BENCH_throughput.json <<'EOF'
 import json, sys
@@ -77,13 +101,25 @@ with open(sys.argv[1]) as f:
     doc = json.load(f)
 results = doc["results"]
 assert results, "perf-smoke produced no results"
+assert doc.get("host_threads", 0) >= 1, "missing/absurd host_threads"
 for r in results:
     for key in ("cipher", "slicing", "arch", "engine", "threads",
                 "ctr_cycles_per_byte", "ctr_gib_per_s",
-                "kernel_cycles_per_byte"):
+                "kernel_cycles_per_byte", "batches_per_call"):
         assert key in r, "missing field: " + key
     assert r["ctr_cycles_per_byte"] > 0, "non-positive cycles/byte"
     assert r["ctr_gib_per_s"] > 0, "non-positive GiB/s"
+    # pool_utilization appears exactly when the pool engaged: never on
+    # threads=1 rows (no pool ran — the old 0.0 placeholder is gone).
+    if r["threads"] == 1:
+        assert "pool_utilization" not in r, \
+            "threads=1 row has pool_utilization"
+        assert "scaling_vs_1t" not in r, "threads=1 row has scaling_vs_1t"
+    else:
+        assert 0 < r["scaling_vs_1t"], "missing/absurd scaling_vs_1t"
+        if "pool_utilization" in r:
+            assert 0 < r["pool_utilization"] <= 1.5, \
+                "absurd pool_utilization"
 telemetry = doc["telemetry"]
 assert telemetry["enabled"], "telemetry snapshot missing from report"
 assert telemetry["counters"], "telemetry enabled but no counters recorded"
@@ -186,6 +222,7 @@ debug) run_job debug -DCMAKE_BUILD_TYPE=Debug ;;
 sanitize)
   run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON
   fuzz_smoke
+  tsan_smoke
   ;;
 perf) perf_smoke ;;
 all)
@@ -193,6 +230,7 @@ all)
   run_job debug -DCMAKE_BUILD_TYPE=Debug
   run_job sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUSUBA_SANITIZE=ON
   fuzz_smoke
+  tsan_smoke
   perf_smoke
   ;;
 *)

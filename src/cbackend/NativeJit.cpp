@@ -315,22 +315,7 @@ std::optional<NativeKernel> usuba::jitCompile(const CompiledKernel &Kernel,
 }
 
 bool usuba::hostSupports(const Arch &Target) {
-  switch (Target.Kind) {
-  case ArchKind::GP64:
-    return true;
-  case ArchKind::SSE:
-    return __builtin_cpu_supports("sse4.2") ||
-           __builtin_cpu_supports("ssse3");
-  case ArchKind::AVX:
-    return __builtin_cpu_supports("avx");
-  case ArchKind::AVX2:
-    return __builtin_cpu_supports("avx2");
-  case ArchKind::AVX512:
-    return __builtin_cpu_supports("avx512f") &&
-           __builtin_cpu_supports("avx512bw") &&
-           __builtin_cpu_supports("avx512vbmi");
-  case ArchKind::Neon:
-    return false; // no C backend for Neon: always the simulator
-  }
-  return false;
+  // The CPUID probe lives with the architecture model (types/Arch) so the
+  // runtime dispatcher and the JIT share one source of truth.
+  return archSupported(Target);
 }

@@ -10,6 +10,7 @@
 #include "ciphers/UsubaCipher.h"
 #include "support/Telemetry.h"
 
+#include <cassert>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -48,6 +49,12 @@ bool usuba::kernelCacheEnabled() {
 
 std::string usuba::kernelCacheKey(const CipherConfig &Config,
                                   const char *Variant) {
+  // The runtime-dispatch sentinel must be resolved to a concrete arch
+  // before any cache traffic: keying on "auto" would alias kernels
+  // compiled on differently-capable hosts. UsubaCipher::compileAuto
+  // rewrites Target before recursing into the pinned compile.
+  assert(Config.Target != &archAuto() &&
+         "archAuto() sentinel reached the kernel cache unresolved");
   const Arch &Target = Config.Target ? *Config.Target : archGP64();
   std::string Key;
   Key += cipherName(Config.Id);

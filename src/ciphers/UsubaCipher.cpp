@@ -123,6 +123,16 @@ CompileOptions optionsFor(const CipherConfig &Config) {
   return Options;
 }
 
+/// Batches per work-stealing chunk for a threaded call: aim for several
+/// chunks per participant slot so an uneven tail or a slow slot can be
+/// rebalanced, without shrinking chunks so far that per-chunk overhead
+/// shows up. Imbalance is bounded by one chunk ~= NumBatches / (4 *
+/// Threads) batches.
+size_t batchesPerChunk(size_t NumBatches, unsigned Threads) {
+  const size_t TargetChunks = size_t{Threads} * 4;
+  return std::max<size_t>(1, (NumBatches + TargetChunks - 1) / TargetChunks);
+}
+
 uint64_t load64be(const uint8_t *Bytes) {
   uint64_t Value = 0;
   for (unsigned I = 0; I < 8; ++I)
@@ -298,6 +308,8 @@ std::shared_ptr<NativeKernel> attachCached(const CipherConfig &Config,
 } // namespace
 
 CipherResult UsubaCipher::compile(const CipherConfig &Config) {
+  if (Config.Target == &archAuto())
+    return compileAuto(Config);
   TelemetrySpan CompileSpan("cipher.compile");
   CipherMeta Meta = metaFor(Config.Id);
   const bool CacheOn = Config.effectiveKernelCache();
@@ -331,6 +343,50 @@ CipherResult UsubaCipher::compile(const CipherConfig &Config) {
                     Cipher.Runner->fallbackKind()},
                    CacheOn);
   return CipherResult(std::move(Cipher));
+}
+
+CipherResult UsubaCipher::compileAuto(const CipherConfig &Config) {
+  // Runtime architecture dispatch: resolve the archAuto() sentinel
+  // against the host CPU, widest supported ISA first, before the cache
+  // or the compiler pipeline ever see it. The winner is pinned into the
+  // cipher's config, so config().Target names a real arch and the
+  // kernel-cache entry is the same one an explicitly pinned compile
+  // would produce (byte-identical output follows). Narrower rungs are
+  // not compiled eagerly: each sits one cache miss away for the day a
+  // pinned compile (or a future heterogeneous deployment) asks for it.
+  unsigned Count = 0;
+  const Arch *const *Ladder = allArchs(Count);
+  std::vector<Diagnostic> FirstDiags;
+  bool SawFailure = false;
+  for (unsigned I = Count; I-- > 0;) { // allArchs is narrowest-first
+    const Arch *A = Ladder[I];
+    if (!archSupported(*A))
+      continue;
+    CipherConfig Pinned = Config;
+    Pinned.Target = A;
+    CipherResult Result = compile(Pinned);
+    if (Result) {
+      telemetryCount((std::string("cipher.dispatch.") + A->Name).c_str());
+      if (remarksEnabled()) {
+        Remark R = Remark::analysis("dispatch", "ArchDispatch");
+        R.Function = cipherName(Config.Id);
+        R.Message = std::string("runtime dispatch selected ") + A->Name +
+                    " (" + archBestWhy() + ")";
+        RemarkEngine::instance().record(R);
+      }
+      return Result;
+    }
+    // Keep the widest rung's diagnostics: they name the real obstacle
+    // (e.g. a slicing that does not type-check on any arch).
+    if (!SawFailure) {
+      FirstDiags = Result.diagnostics();
+      SawFailure = true;
+    }
+  }
+  if (FirstDiags.empty())
+    FirstDiags.push_back({DiagSeverity::Error, SourceLoc(),
+                          "runtime dispatch found no compilable target"});
+  return CipherResult(std::move(FirstDiags));
 }
 
 std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
@@ -601,20 +657,23 @@ void UsubaCipher::processBlocks(KernelRunner &R, EngineWorkers &Workers,
     processRange(R, Workers.Scratch[0], Keys, In, Out, NumBlocks);
     return;
   }
-  // Contiguous batch-aligned spans: each worker reads and writes only its
-  // own span, so In == Out aliasing stays safe and the output is
-  // bit-identical to the single-threaded engine.
-  ThreadPool::global().run(Threads, [&](unsigned T) {
-    const size_t B0 = NumBatches * T / Threads;
-    const size_t B1 = NumBatches * (T + 1) / Threads;
-    if (B0 == B1)
-      return;
-    const size_t Block0 = B0 * Batch;
-    const size_t BlockEnd = std::min(NumBlocks, B1 * Batch);
-    KernelRunner &WR = T == 0 ? R : *Workers.Runners[T];
-    processRange(WR, Workers.Scratch[T], Keys, In + Block0 * BlockLen,
-                 Out + Block0 * BlockLen, BlockEnd - Block0);
-  });
+  // Batch-aligned chunks, several per slot so the pool can rebalance by
+  // stealing. The chunk -> block-range mapping is a pure function of the
+  // chunk index and each chunk reads and writes only its own span, so
+  // In == Out aliasing stays safe and the output is bit-identical to the
+  // single-threaded engine no matter which slot runs which chunk.
+  const size_t BatchesPerChunk = batchesPerChunk(NumBatches, Threads);
+  const size_t NumChunks = (NumBatches + BatchesPerChunk - 1) / BatchesPerChunk;
+  ThreadPool::global().parallelFor(
+      Threads, NumChunks, [&](size_t Chunk, unsigned Slot) {
+        const size_t B0 = Chunk * BatchesPerChunk;
+        const size_t B1 = std::min(NumBatches, B0 + BatchesPerChunk);
+        const size_t Block0 = B0 * Batch;
+        const size_t BlockEnd = std::min(NumBlocks, B1 * Batch);
+        KernelRunner &WR = Slot == 0 ? R : *Workers.Runners[Slot];
+        processRange(WR, Workers.Scratch[Slot], Keys, In + Block0 * BlockLen,
+                     Out + Block0 * BlockLen, BlockEnd - Block0);
+      });
 }
 
 void UsubaCipher::processRange(KernelRunner &R, BatchScratch &S,
@@ -714,20 +773,22 @@ void UsubaCipher::ctrXorWith(KernelRunner &R, EngineWorkers &Workers,
     ctrChunk(R, Workers.Scratch[0], Data, Length, Nonce, Counter);
     return;
   }
-  // Contiguous batch-aligned spans; the counter is position-derived, so
-  // worker T's span starts at Counter + firstBatch * Batch and the
-  // keystream is bit-identical to the single-threaded engine.
-  ThreadPool::global().run(Threads, [&](unsigned T) {
-    const size_t B0 = NumBatches * T / Threads;
-    const size_t B1 = NumBatches * (T + 1) / Threads;
-    if (B0 == B1)
-      return;
-    const size_t Off0 = B0 * BatchBytes;
-    const size_t OffEnd = std::min(Length, B1 * BatchBytes);
-    KernelRunner &WR = T == 0 ? R : *Workers.Runners[T];
-    ctrChunk(WR, Workers.Scratch[T], Data + Off0, OffEnd - Off0, Nonce,
-             Counter + B0 * Batch);
-  });
+  // Batch-aligned chunks with position-derived counters: a chunk starting
+  // at batch B0 encrypts with Counter + B0 * Batch regardless of which
+  // slot runs it, so the keystream is bit-identical to the
+  // single-threaded engine for any thread count and any steal pattern.
+  const size_t BatchesPerChunk = batchesPerChunk(NumBatches, Threads);
+  const size_t NumChunks = (NumBatches + BatchesPerChunk - 1) / BatchesPerChunk;
+  ThreadPool::global().parallelFor(
+      Threads, NumChunks, [&](size_t Chunk, unsigned Slot) {
+        const size_t B0 = Chunk * BatchesPerChunk;
+        const size_t B1 = std::min(NumBatches, B0 + BatchesPerChunk);
+        const size_t Off0 = B0 * BatchBytes;
+        const size_t OffEnd = std::min(Length, B1 * BatchBytes);
+        KernelRunner &WR = Slot == 0 ? R : *Workers.Runners[Slot];
+        ctrChunk(WR, Workers.Scratch[Slot], Data + Off0, OffEnd - Off0, Nonce,
+                 Counter + B0 * Batch);
+      });
 }
 
 void UsubaCipher::ctrChunk(KernelRunner &R, BatchScratch &S, uint8_t *Data,

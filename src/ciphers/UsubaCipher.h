@@ -64,7 +64,10 @@ const char *slicingName(SlicingMode Mode);
 struct CipherConfig {
   CipherId Id = CipherId::Rectangle;
   SlicingMode Slicing = SlicingMode::Vslice;
-  const Arch *Target = nullptr; ///< nullptr = GP64
+  /// Target ISA: nullptr = GP64; &archAuto() = runtime dispatch (compile
+  /// resolves it to the widest host-supported arch — see archBest() — and
+  /// the resulting cipher's config().Target names the resolved arch).
+  const Arch *Target = nullptr;
   /// Back-end toggles forwarded to the compiler (Table 2 sweeps these).
   bool Inline = true;
   bool Unroll = true;
@@ -253,23 +256,31 @@ public:
 private:
   UsubaCipher(CipherConfig Config, CompiledKernel Kernel);
 
-  /// Per-worker batch scratch: the threaded engine gives every worker
-  /// its own copy (plus a KernelRunner clone), so workers never share
-  /// mutable state. Worker 0 is the calling thread, driving the main
-  /// Runner.
+  /// Resolves the archAuto() sentinel against the host CPU (widest
+  /// supported ISA first) and compiles the winner; the returned cipher's
+  /// config().Target names the resolved arch.
+  static CipherResult compileAuto(const CipherConfig &Config);
+
+  /// Per-slot batch scratch: the threaded engine gives every participant
+  /// slot its own copy (plus a KernelRunner clone), so chunks that share
+  /// a slot — which the pool never runs concurrently — never share
+  /// mutable state with other slots. Slot 0 is the calling thread,
+  /// driving the main Runner.
   struct BatchScratch {
     std::vector<uint64_t> Structured, InAtoms, OutAtoms;
     std::vector<uint8_t> Counter, Keystream;
   };
-  /// Workers for one kernel (forward or inverse): runner clones (slot 0
-  /// unused — the main runner serves the calling thread) and scratch.
+  /// Per-slot state for one kernel (forward or inverse): runner clones
+  /// (slot 0 unused — the main runner serves the calling thread, which
+  /// the pool always assigns slot 0) and scratch.
   struct EngineWorkers {
     std::vector<std::unique_ptr<KernelRunner>> Runners;
     std::vector<BatchScratch> Scratch;
   };
 
-  /// Batched block transform (shared by ECB and CTR paths); splits the
-  /// call across worker threads on blocksPerCall() boundaries.
+  /// Batched block transform (shared by ECB and CTR paths); decomposes
+  /// the call into batch-aligned chunks the work-stealing pool spreads
+  /// over participant slots.
   void processBlocks(KernelRunner &R, EngineWorkers &Workers,
                      const std::vector<uint64_t> &Keys, const uint8_t *In,
                      uint8_t *Out, size_t NumBlocks);
@@ -297,8 +308,8 @@ private:
   /// Builds (or reuses) the counter-specialized runner for \p Epoch
   /// (counter bits 32..63). False when specialization is unavailable.
   bool ensureSpecRunner(uint64_t Epoch);
-  /// Threads to actually use for a call of \p NumBatches kernel batches
-  /// (1 when the call is too small to amortize the fork-join).
+  /// Participant slots to actually use for a call of \p NumBatches kernel
+  /// batches (1 when the call is too small to amortize the pool).
   unsigned effectiveThreads(size_t NumBatches) const;
   /// Clones \p Proto into \p Workers up to \p Threads workers.
   void ensureWorkers(KernelRunner &Proto, EngineWorkers &Workers,

@@ -19,12 +19,18 @@
 ///
 /// Thread-safety contract: a KernelRunner is single-threaded — it owns
 /// mutable staging buffers. Concurrent batch execution uses one clone()
-/// per thread; clones share the (immutable, re-entrant) native kernel
-/// function and copy the compiled program, so each clone runs its own
-/// degradation ladder (including the first-batch self-check)
-/// independently. Demotion of one clone never affects another, and
-/// output ordering is preserved because every batch writes only the
-/// caller-provided output range.
+/// per participant *slot* of the work-stealing pool (the pool never runs
+/// two chunks of the same slot concurrently, so slot = exclusive owner);
+/// clones share the (immutable, re-entrant) native kernel function and
+/// copy the compiled program, so each clone runs its own degradation
+/// ladder (including the first-batch self-check) independently. Demotion
+/// of one clone never affects another, and output ordering is preserved
+/// because every batch writes only the caller-provided output range.
+/// Work-stealing means one clone may process non-adjacent chunks in any
+/// order; the incremental CTR fast-path state (CtrLowShift/CtrHigh)
+/// tolerates that because it tracks what the counter slices *contain*
+/// (not a position), so runCtrBatch rewrites exactly the slices whose
+/// contents differ for an arbitrary new base counter.
 ///
 //===----------------------------------------------------------------------===//
 

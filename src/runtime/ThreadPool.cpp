@@ -1,4 +1,4 @@
-//===- ThreadPool.cpp - Worker pool for batched cipher calls --------------===//
+//===- ThreadPool.cpp - Persistent work-stealing pool ---------------------===//
 //
 // Part of the usuba-cpp project, under the MIT license.
 //
@@ -9,6 +9,7 @@
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 
 using namespace usuba;
@@ -28,116 +29,243 @@ unsigned ThreadPool::defaultThreads() {
       return static_cast<unsigned>(std::min<unsigned long>(Value, MaxThreads));
     return 1;
   }
+  // hardware_concurrency() returns 0 when the runtime cannot determine the
+  // core count; clamp to 1 rather than asking for a zero-slot job.
   unsigned HW = std::thread::hardware_concurrency();
   return HW ? std::min(HW, MaxThreads) : 1;
 }
 
-void ThreadPool::ensureWorkers(unsigned Count) {
-  Count = std::min(Count, MaxThreads - 1);
-  while (Workers.size() < Count) {
-    unsigned Index = static_cast<unsigned>(Workers.size());
-    // A new worker must ignore every job that was posted before it
-    // existed, so it starts from the current sequence number.
-    uint64_t Seen;
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Seen = JobSeq;
+namespace {
+
+inline uint64_t packRange(uint32_t Lo, uint32_t Hi) {
+  return (static_cast<uint64_t>(Lo) << 32) | Hi;
+}
+
+/// Pops the front chunk of a range: the owner's fast path.
+bool claimFront(std::atomic<uint64_t> &Range, size_t &Chunk) {
+  uint64_t V = Range.load(std::memory_order_relaxed);
+  for (;;) {
+    uint32_t Lo = static_cast<uint32_t>(V >> 32);
+    uint32_t Hi = static_cast<uint32_t>(V);
+    if (Lo >= Hi)
+      return false;
+    if (Range.compare_exchange_weak(V, packRange(Lo + 1, Hi),
+                                    std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+      Chunk = Lo;
+      return true;
     }
-    Workers.emplace_back([this, Index, Seen] { workerMain(Index, Seen); });
+  }
+}
+
+/// Steals the back chunk of a (victim's) range.
+bool claimBack(std::atomic<uint64_t> &Range, size_t &Chunk) {
+  uint64_t V = Range.load(std::memory_order_relaxed);
+  for (;;) {
+    uint32_t Lo = static_cast<uint32_t>(V >> 32);
+    uint32_t Hi = static_cast<uint32_t>(V);
+    if (Lo >= Hi)
+      return false;
+    if (Range.compare_exchange_weak(V, packRange(Lo, Hi - 1),
+                                    std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+      Chunk = Hi - 1;
+      return true;
+    }
+  }
+}
+
+bool rangeHasWork(const std::atomic<uint64_t> &Range) {
+  uint64_t V = Range.load(std::memory_order_relaxed);
+  return static_cast<uint32_t>(V >> 32) < static_cast<uint32_t>(V);
+}
+
+} // namespace
+
+void ThreadPool::runChunk(Job &J, size_t Chunk, unsigned Slot) {
+  const uint64_t Start = J.Profiled ? telemetry_detail::nowNanos() : 0;
+  try {
+    (*J.Fn)(Chunk, Slot);
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(J.M);
+    if (!J.FirstError)
+      J.FirstError = std::current_exception();
+  }
+  if (J.Profiled) {
+    const uint64_t Dur = telemetry_detail::nowNanos() - Start;
+    J.BusyNs.fetch_add(Dur, std::memory_order_relaxed);
+    Telemetry::instance().span("threadpool.worker", Start, Dur, Slot);
+  }
+  if (J.ChunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      J.NumChunks) {
+    // Last chunk: wake the caller. Finished flips under J.M so the
+    // caller's predicate check cannot race past the notify.
+    std::lock_guard<std::mutex> Lock(J.M);
+    J.Finished.store(true, std::memory_order_release);
+    J.DoneCV.notify_all();
+  }
+}
+
+void ThreadPool::participate(Job &J, unsigned Slot) {
+  for (;;) {
+    size_t Chunk;
+    if (claimFront(J.Ranges[Slot], Chunk)) {
+      runChunk(J, Chunk, Slot);
+      continue;
+    }
+    // Own range drained: steal from the back of the other slots' ranges
+    // (round-robin from the next slot so thieves spread out).
+    bool Stole = false;
+    for (unsigned I = 1; I < J.Slots && !Stole; ++I) {
+      unsigned Victim = (Slot + I) % J.Slots;
+      if (claimBack(J.Ranges[Victim], Chunk)) {
+        Stole = true;
+        if (J.Profiled)
+          J.Steals.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!Stole)
+      return; // no claimable chunk anywhere: this slot is done
+    runChunk(J, Chunk, Slot);
+  }
+}
+
+void ThreadPool::spawnWorkersLocked() {
+  // Each active job brings its own caller, so the worker set only needs
+  // to cover the non-caller slots of the jobs currently in flight.
+  unsigned Jobs = static_cast<unsigned>(ActiveJobs.size());
+  unsigned Target =
+      std::min(MaxThreads - 1, SlotDemand - std::min(SlotDemand, Jobs));
+  while (Workers.size() < Target) {
+    Workers.emplace_back([this] { workerMain(); });
     Workers.back().detach(); // parked workers die with the process
   }
 }
 
-void ThreadPool::workerMain(unsigned Index, uint64_t Seen) {
+void ThreadPool::workerMain() {
+  const unsigned SelfTid = MaxThreads; // park spans: not a job slot
   for (;;) {
-    const std::function<void(unsigned)> *Fn = nullptr;
-    unsigned N = 0;
+    std::shared_ptr<Job> J;
+    unsigned Slot = 0;
+    uint64_t ParkStart = 0;
     {
       std::unique_lock<std::mutex> Lock(M);
-      WorkCV.wait(Lock, [&] { return JobSeq != Seen; });
-      Seen = JobSeq;
-      Fn = Job;
-      N = JobN;
-    }
-    if (Index + 1 < N) {
-      try {
-        (*Fn)(Index + 1);
-      } catch (...) {
-        std::lock_guard<std::mutex> Lock(M);
-        if (!FirstError)
-          FirstError = std::current_exception();
+      for (;;) {
+        for (const std::shared_ptr<Job> &Candidate : ActiveJobs) {
+          if (Candidate->Finished.load(std::memory_order_acquire))
+            continue;
+          if (Candidate->NextWorkerSlot >= Candidate->Slots)
+            continue;
+          bool HasWork = false;
+          for (unsigned S = 0; S < Candidate->Slots && !HasWork; ++S)
+            HasWork = rangeHasWork(Candidate->Ranges[S]);
+          if (!HasWork)
+            continue;
+          Slot = Candidate->NextWorkerSlot++;
+          J = Candidate;
+          break;
+        }
+        if (J)
+          break;
+        if (ParkStart == 0 && telemetryEnabled())
+          ParkStart = telemetry_detail::nowNanos();
+        WorkCV.wait(Lock);
       }
     }
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      if (--Outstanding == 0)
-        DoneCV.notify_all();
+    if (ParkStart != 0 && telemetryEnabled()) {
+      const uint64_t Dur = telemetry_detail::nowNanos() - ParkStart;
+      Telemetry::instance().span("threadpool.park", ParkStart, Dur, SelfTid);
+      Telemetry::instance().count("threadpool.park_ns", Dur);
     }
+    participate(*J, Slot);
   }
 }
 
-void ThreadPool::run(unsigned N, const std::function<void(unsigned)> &Fn) {
-  N = std::min(N, MaxThreads);
-  if (N <= 1) {
-    Fn(0);
+void ThreadPool::parallelFor(unsigned Slots, size_t NumChunks,
+                             const ChunkFn &Fn) {
+  Slots = std::min(Slots, MaxThreads);
+  if (NumChunks == 0)
+    return;
+  assert(NumChunks <= UINT32_MAX && "chunk index must fit 32 bits");
+  if (Slots > NumChunks)
+    Slots = static_cast<unsigned>(NumChunks);
+  if (Slots <= 1 || NumChunks == 1) {
+    for (size_t Chunk = 0; Chunk < NumChunks; ++Chunk)
+      Fn(Chunk, 0);
     return;
   }
-  // Profiling mode: wrap the job so every participant records its busy
-  // span ("threadpool.worker", tid = participant index) and the job its
-  // wall time. Span utilization = worker_busy_ns / slot_ns — how much of
-  // the fork-join window the workers actually computed for.
-  if (telemetryEnabled()) {
-    const uint64_t JobStart = telemetry_detail::nowNanos();
-    std::atomic<uint64_t> BusyNs{0};
-    std::function<void(unsigned)> Wrapped = [&](unsigned T) {
-      const uint64_t Start = telemetry_detail::nowNanos();
-      try {
-        Fn(T);
-      } catch (...) {
-        BusyNs.fetch_add(telemetry_detail::nowNanos() - Start,
-                         std::memory_order_relaxed);
-        throw;
+
+  auto J = std::make_shared<Job>();
+  J->Fn = &Fn;
+  J->NumChunks = NumChunks;
+  J->Slots = Slots;
+  J->Ranges.reset(new std::atomic<uint64_t>[Slots]);
+  for (unsigned S = 0; S < Slots; ++S) {
+    uint32_t Lo = static_cast<uint32_t>(NumChunks * S / Slots);
+    uint32_t Hi = static_cast<uint32_t>(NumChunks * (S + 1) / Slots);
+    J->Ranges[S].store(packRange(Lo, Hi), std::memory_order_relaxed);
+  }
+  J->Profiled = telemetryEnabled();
+  const uint64_t JobStart = J->Profiled ? telemetry_detail::nowNanos() : 0;
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ActiveJobs.push_back(J);
+    SlotDemand += Slots;
+    spawnWorkersLocked();
+  }
+  WorkCV.notify_all();
+
+  // The caller is always participant 0: it owns the front range and the
+  // main KernelRunner's scratch.
+  participate(*J, 0);
+
+  {
+    std::unique_lock<std::mutex> Lock(J->M);
+    J->DoneCV.wait(Lock,
+                   [&] { return J->Finished.load(std::memory_order_acquire); });
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    for (size_t I = 0; I < ActiveJobs.size(); ++I)
+      if (ActiveJobs[I] == J) {
+        ActiveJobs.erase(ActiveJobs.begin() + I);
+        break;
       }
-      const uint64_t Dur = telemetry_detail::nowNanos() - Start;
-      BusyNs.fetch_add(Dur, std::memory_order_relaxed);
-      Telemetry::instance().span("threadpool.worker", Start, Dur, T);
-    };
-    runJob(N, Wrapped);
+    SlotDemand -= Slots;
+  }
+
+  if (J->Profiled) {
     const uint64_t Wall = telemetry_detail::nowNanos() - JobStart;
     Telemetry &T = Telemetry::instance();
     T.count("threadpool.jobs", 1);
     T.count("threadpool.job_wall_ns", Wall);
     T.count("threadpool.worker_busy_ns",
-            BusyNs.load(std::memory_order_relaxed));
-    T.count("threadpool.slot_ns", Wall * N);
-    return;
+            J->BusyNs.load(std::memory_order_relaxed));
+    T.count("threadpool.slot_ns", Wall * Slots);
+    T.count("threadpool.steals", J->Steals.load(std::memory_order_relaxed));
+    T.count("threadpool.chunks", NumChunks);
   }
-  runJob(N, Fn);
-}
 
-void ThreadPool::runJob(unsigned N, const std::function<void(unsigned)> &Fn) {
-  std::lock_guard<std::mutex> Gate(JobGate);
-  ensureWorkers(N - 1);
+  std::exception_ptr Error;
   {
-    std::lock_guard<std::mutex> Lock(M);
-    Job = &Fn;
-    JobN = N;
-    Outstanding = static_cast<unsigned>(Workers.size());
-    FirstError = nullptr;
-    ++JobSeq;
+    std::lock_guard<std::mutex> Lock(J->M);
+    Error = J->FirstError;
   }
-  WorkCV.notify_all();
-  std::exception_ptr CallerError;
-  try {
-    Fn(0);
-  } catch (...) {
-    CallerError = std::current_exception();
-  }
-  std::unique_lock<std::mutex> Lock(M);
-  DoneCV.wait(Lock, [&] { return Outstanding == 0; });
-  Job = nullptr;
-  std::exception_ptr Error = CallerError ? CallerError : FirstError;
-  Lock.unlock();
   if (Error)
     std::rethrow_exception(Error);
+}
+
+void ThreadPool::run(unsigned N, const std::function<void(unsigned)> &Fn) {
+  N = std::min(N, MaxThreads);
+  if (N == 0)
+    return;
+  if (N == 1) {
+    Fn(0);
+    return;
+  }
+  parallelFor(N, N, [&Fn](size_t Chunk, unsigned) {
+    Fn(static_cast<unsigned>(Chunk));
+  });
 }

@@ -1,30 +1,49 @@
-//===- ThreadPool.h - Worker pool for batched cipher calls ------*- C++ -*-===//
+//===- ThreadPool.h - Persistent work-stealing pool -------------*- C++ -*-===//
 //
 // Part of the usuba-cpp project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small process-wide worker pool the threaded CTR/ECB engine splits
-/// cipher calls over. Design goals, in order: deterministic results
-/// (each worker writes only its own output span), zero cost when unused
-/// (threads spawn lazily, only up to what a call requests), and
-/// simplicity (one fork-join job at a time; concurrent run() calls
-/// serialize).
+/// A process-wide pool of persistent workers the threaded CTR/ECB engine
+/// splits cipher calls over. Design goals, in order: deterministic results
+/// (chunk -> output mapping is a pure function of the chunk index, so the
+/// bytes produced never depend on which thread ran a chunk), concurrency
+/// (independent cipher calls share the pool instead of serializing behind
+/// a gate), load balance (a slow worker or an unaligned tail no longer
+/// gates the whole call: idle participants steal chunks from the back of
+/// other slots' ranges), and zero cost when unused (workers spawn lazily
+/// and park between jobs).
 ///
-/// The pool intentionally over-subscribes when asked: USUBA_THREADS (or
-/// an explicit thread count on the cipher) may exceed the hardware
-/// concurrency, which is how the correctness tests exercise the threaded
-/// path on small machines.
+/// A job submitted via parallelFor(Slots, NumChunks, Fn) is decomposed as
+/// follows: the chunk indices [0, NumChunks) are split into Slots
+/// contiguous ranges, one per participant slot. Slot 0 is always the
+/// calling thread; parked workers claim the remaining slots. Each
+/// participant pops chunks from the *front* of its own range and, once
+/// empty, steals from the *back* of other slots' ranges, so every chunk
+/// runs exactly once and mostly in front-to-back order. The slot index
+/// passed to Fn identifies which per-slot scratch state (e.g. a
+/// KernelRunner clone) the chunk may use: two chunks with the same slot
+/// never run concurrently.
+///
+/// The pool intentionally over-subscribes when asked: USUBA_THREADS (or an
+/// explicit thread count on the cipher) may exceed the hardware
+/// concurrency. That is how the correctness tests exercise the threaded
+/// path — stealing included — on small machines: the OS time-slices the
+/// extra participants and the chunk accounting stays exact, it is merely
+/// slower than the hardware could be.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef USUBA_RUNTIME_THREADPOOL_H
 #define USUBA_RUNTIME_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,8 +52,8 @@ namespace usuba {
 
 class ThreadPool {
 public:
-  /// Workers a single job may use (a safety cap, far above any sensible
-  /// USUBA_THREADS value).
+  /// Participant slots a single job may use (a safety cap, far above any
+  /// sensible USUBA_THREADS value).
   static constexpr unsigned MaxThreads = 64;
 
   /// The process-wide pool (created on first use, never destroyed — the
@@ -43,38 +62,79 @@ public:
 
   /// The default parallelism for cipher calls: USUBA_THREADS when set
   /// (clamped to [1, MaxThreads]), else std::thread::hardware_concurrency.
+  /// hardware_concurrency() may legitimately return 0 ("unknown"); that
+  /// clamps to 1 so the engine falls back to the single-threaded path
+  /// instead of requesting a zero-slot job.
   static unsigned defaultThreads();
 
-  /// Fork-join: invokes Fn(0) on the calling thread and Fn(1..N-1) on
-  /// pool workers, returning when all have finished. Spawns workers on
-  /// demand up to N-1 (capped at MaxThreads-1). Exceptions from any
-  /// invocation are captured and the first one rethrown on the caller.
-  /// Concurrent run() calls from different threads serialize.
+  /// A chunk body: Chunk is the work-item index in [0, NumChunks), Slot
+  /// the participant slot in [0, Slots) whose per-slot state the body may
+  /// use. Chunks sharing a slot never run concurrently; nothing else is
+  /// guaranteed about which thread runs which chunk.
+  using ChunkFn = std::function<void(size_t Chunk, unsigned Slot)>;
+
+  /// Runs Fn exactly once for every chunk in [0, NumChunks), using up to
+  /// Slots participants (the caller always participates as slot 0; parked
+  /// workers fill slots 1..Slots-1 as they become available). Returns when
+  /// every chunk has finished. Exceptions from chunk bodies are captured,
+  /// the remaining chunks still run, and the first exception is rethrown
+  /// on the caller. Concurrent parallelFor calls from different threads
+  /// share the pool and make progress independently.
   ///
-  /// When telemetry is enabled, every participant's busy time is
-  /// recorded as a "threadpool.worker" span and the job contributes to
-  /// the threadpool.job_wall_ns / worker_busy_ns / slot_ns utilization
-  /// counters; disabled, the instrumentation costs one relaxed load.
+  /// When telemetry is enabled at submission, each chunk records a
+  /// "threadpool.worker" span (tid = slot) and the job contributes to the
+  /// threadpool.jobs / job_wall_ns / worker_busy_ns / slot_ns / steals /
+  /// chunks counters; disabled, the instrumentation costs one relaxed
+  /// load per job.
+  void parallelFor(unsigned Slots, size_t NumChunks, const ChunkFn &Fn);
+
+  /// Compatibility fork-join: invokes Fn(i) exactly once for each i in
+  /// [0, N). Implemented over parallelFor with one chunk per slot, so
+  /// unlike the historical pool the N invocations may be distributed over
+  /// fewer than N threads (work-stealing) — do not rendezvous between
+  /// indices inside Fn.
   void run(unsigned N, const std::function<void(unsigned)> &Fn);
 
 private:
   ThreadPool() = default;
 
-  /// The uninstrumented fork-join (run() wraps it with telemetry).
-  void runJob(unsigned N, const std::function<void(unsigned)> &Fn);
-  void ensureWorkers(unsigned Count);
-  void workerMain(unsigned Index, uint64_t Seen);
+  /// One in-flight parallelFor call. Published in ActiveJobs while chunks
+  /// remain; workers join by claiming a slot.
+  struct Job {
+    const ChunkFn *Fn = nullptr;
+    size_t NumChunks = 0;
+    unsigned Slots = 0;
+    /// Next slot a *worker* may claim (slot 0 is reserved for the
+    /// caller). Mutated only under the pool mutex.
+    unsigned NextWorkerSlot = 1;
+    /// Per-slot chunk range, packed (lo << 32) | hi over [lo, hi).
+    /// Owners CAS lo forward (pop front), thieves CAS hi backward
+    /// (steal back).
+    std::unique_ptr<std::atomic<uint64_t>[]> Ranges;
+    std::atomic<size_t> ChunksDone{0};
+    std::atomic<bool> Finished{false};
+    std::mutex M; ///< guards FirstError; pairs with DoneCV
+    std::condition_variable DoneCV;
+    std::exception_ptr FirstError;
+    /// Telemetry, sampled once at submission.
+    bool Profiled = false;
+    std::atomic<uint64_t> BusyNs{0};
+    std::atomic<uint64_t> Steals{0};
+  };
 
-  std::mutex JobGate; ///< serializes whole jobs
+  /// Claims chunks for Slot (own range first, then steal) until the job
+  /// has none left.
+  void participate(Job &J, unsigned Slot);
+  void runChunk(Job &J, size_t Chunk, unsigned Slot);
+  void spawnWorkersLocked();
+  void workerMain();
 
   std::mutex M;
-  std::condition_variable WorkCV, DoneCV;
+  std::condition_variable WorkCV;
   std::vector<std::thread> Workers;
-  const std::function<void(unsigned)> *Job = nullptr;
-  unsigned JobN = 0;       ///< total participants (incl. the caller)
-  uint64_t JobSeq = 0;     ///< bumped per job; workers wait for a new seq
-  unsigned Outstanding = 0;
-  std::exception_ptr FirstError;
+  std::vector<std::shared_ptr<Job>> ActiveJobs;
+  /// Sum of Slots over ActiveJobs; sizes the worker set.
+  unsigned SlotDemand = 0;
 };
 
 } // namespace usuba

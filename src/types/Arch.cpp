@@ -90,3 +90,76 @@ const Arch *usuba::archByName(const std::string &Name) {
     return &NeonArch;
   return nullptr;
 }
+
+// The dispatch sentinel mirrors gp64's codegen fields so that if it ever
+// leaks past the facade the result is safe scalar code, not an ICE deep in
+// instruction selection. Identity (address) is what matters: the facade
+// compares Target == &archAuto().
+static const Arch AutoArch = {ArchKind::GP64, "auto", 64, 16,
+                              /*ThreeOperand=*/false,
+                              /*HasVectorArith=*/false,
+                              /*HasShuffle=*/false,
+                              /*HasTernaryLogic=*/false};
+
+const Arch &usuba::archAuto() { return AutoArch; }
+
+bool usuba::archSupported(const Arch &A) {
+  if (&A == &AutoArch)
+    return true; // the sentinel resolves to something runnable by definition
+#if defined(__x86_64__) || defined(__i386__)
+  switch (A.Kind) {
+  case ArchKind::GP64:
+    return true;
+  case ArchKind::SSE:
+    return __builtin_cpu_supports("sse4.2") || __builtin_cpu_supports("ssse3");
+  case ArchKind::AVX:
+    return __builtin_cpu_supports("avx");
+  case ArchKind::AVX2:
+    return __builtin_cpu_supports("avx2");
+  case ArchKind::AVX512:
+    // The C backend leans on byte-granular mask ops and vpermb, so the
+    // whole f/bw/vbmi trio is required, not just avx512f.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vbmi");
+  case ArchKind::Neon:
+    return false; // no C backend for Neon: always the simulator
+  }
+  return false;
+#else
+  return A.Kind == ArchKind::GP64;
+#endif
+}
+
+namespace {
+/// One-time CPUID probe: walks the evaluation ladder widest-first and
+/// remembers both the winner and a human-readable why.
+struct BestArchProbe {
+  const Arch *Best;
+  std::string Why;
+  BestArchProbe() {
+    static const Arch *const Ladder[] = {&AVX512Arch, &AVX2Arch, &AVXArch,
+                                         &SSEArch, &GP64Arch};
+    Best = &GP64Arch;
+    Why = "cpuid probe:";
+    for (const Arch *A : Ladder)
+      Why += std::string(" ") + A->Name + "=" +
+             (archSupported(*A) ? "yes" : "no");
+    for (const Arch *A : Ladder)
+      if (archSupported(*A)) {
+        Best = A;
+        break;
+      }
+    Why += std::string("; widest supported ISA is ") + Best->Name;
+  }
+};
+
+const BestArchProbe &bestArchProbe() {
+  static const BestArchProbe Probe;
+  return Probe;
+}
+} // namespace
+
+const Arch &usuba::archBest() { return *bestArchProbe().Best; }
+
+const char *usuba::archBestWhy() { return bestArchProbe().Why.c_str(); }

@@ -141,6 +141,30 @@ const Arch *archByName(const std::string &Name);
 /// out of the x86 scaling sweeps).
 const Arch *const *allArchs(unsigned &Count);
 
+/// Sentinel requesting runtime architecture dispatch ("auto"). It is not
+/// a real target: UsubaCipher::compile resolves it against the host CPU
+/// (widest supported first) before any code generation, and the compiler
+/// pipeline must never see it. Its codegen fields mirror gp64 so an
+/// accidental leak degrades to the safe baseline rather than emitting
+/// intrinsics the host might lack.
+const Arch &archAuto();
+
+/// True when the running CPU can execute code generated for \p A
+/// (CPUID feature probe; gp64 is always true, Neon is never claimed on
+/// x86 hosts and the C backend does not target it anyway). The probe
+/// result is computed once per feature and is cheap to re-query.
+bool archSupported(const Arch &A);
+
+/// The widest x86 architecture of the paper's evaluation the host
+/// supports (falls back to gp64 when nothing wider is available, e.g. on
+/// non-x86 builds). Probed once, then cached.
+const Arch &archBest();
+
+/// Human-readable one-line justification of archBest()'s choice — which
+/// CPUID rungs were probed and which features decided it. Stable for the
+/// process lifetime; used by dispatch remarks and `usubac -arch native`.
+const char *archBestWhy();
+
 } // namespace usuba
 
 #endif // USUBA_TYPES_ARCH_H

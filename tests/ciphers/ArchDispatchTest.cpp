@@ -1,0 +1,121 @@
+//===- ArchDispatchTest.cpp - Runtime multi-arch dispatch tests -----------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The archAuto() sentinel must resolve — once, at compile time — to the
+/// widest host-supported ISA, pin that arch into the resulting cipher's
+/// config, share kernel-cache entries with explicitly pinned compiles,
+/// and produce byte-identical output to them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ciphers/UsubaCipher.h"
+
+#include "ciphers/KernelCache.h"
+#include "support/Telemetry.h"
+#include "types/Arch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+CipherConfig autoConfig(CipherId Id, SlicingMode Mode) {
+  CipherConfig Config;
+  Config.Id = Id;
+  Config.Slicing = Mode;
+  Config.Target = &archAuto();
+  Config.PreferNative = false; // dispatch logic is engine-independent
+  return Config;
+}
+
+TEST(ArchDispatch, ProbeIsCoherent) {
+  // gp64 is the portable baseline: always executable.
+  EXPECT_TRUE(archSupported(archGP64()));
+  // The winner of the probe must itself be supported, and the
+  // justification names what decided it.
+  EXPECT_TRUE(archSupported(archBest()));
+  EXPECT_NE(archBestWhy(), nullptr);
+  EXPECT_NE(std::strlen(archBestWhy()), 0u);
+  // The sentinel is its own identity, never a real target.
+  EXPECT_NE(&archAuto(), &archBest());
+  EXPECT_STREQ(archAuto().Name, "auto");
+  // Every arch the probe reports supported must be at most as wide as
+  // the winner (the ladder picks widest-first).
+  unsigned Count = 0;
+  const Arch *const *All = allArchs(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    if (archSupported(*All[I]))
+      EXPECT_LE(All[I]->SliceBits, archBest().SliceBits)
+          << All[I]->Name << " supported but wider than archBest()";
+}
+
+TEST(ArchDispatch, AutoResolvesAndPinsTheTarget) {
+  CipherResult Result =
+      UsubaCipher::compile(autoConfig(CipherId::Chacha20,
+                                      SlicingMode::Vslice));
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+  const UsubaCipher &Cipher = Result.cipher();
+  // The sentinel never survives compilation: the config names the real
+  // resolved arch so cache keys, stats and remarks all tell the truth.
+  EXPECT_NE(Cipher.config().Target, &archAuto());
+  EXPECT_EQ(Cipher.config().Target, &archBest())
+      << "auto resolved to " << Cipher.config().Target->Name
+      << " but the host probe says " << archBest().Name;
+}
+
+TEST(ArchDispatch, AutoSharesCacheAndBytesWithPinnedCompile) {
+  kernelCacheClear();
+  CipherConfig Pinned = autoConfig(CipherId::Rectangle, SlicingMode::Vslice);
+  Pinned.Target = &archBest();
+  CipherResult PinnedResult = UsubaCipher::compile(Pinned);
+  ASSERT_TRUE(PinnedResult.ok()) << PinnedResult.errorText();
+  EXPECT_FALSE(PinnedResult.cipher().stats().FromKernelCache);
+
+  CipherResult AutoResult = UsubaCipher::compile(
+      autoConfig(CipherId::Rectangle, SlicingMode::Vslice));
+  ASSERT_TRUE(AutoResult.ok()) << AutoResult.errorText();
+  // Same resolved arch => same cache key => the auto compile is a hit.
+  EXPECT_TRUE(AutoResult.cipher().stats().FromKernelCache)
+      << "auto compile missed the cache entry the pinned compile stored";
+
+  // And the dispatched cipher is byte-identical to the pinned one.
+  UsubaCipher A = std::move(PinnedResult).take();
+  UsubaCipher B = std::move(AutoResult).take();
+  std::vector<uint8_t> Key(A.keyBytes(), 0x42);
+  A.setKey(Key.data(), Key.size());
+  B.setKey(Key.data(), Key.size());
+  const uint8_t Nonce[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<uint8_t> DataA(size_t{3} * A.blocksPerCall() * A.blockBytes()
+                                 + 13,
+                             0x5C);
+  std::vector<uint8_t> DataB = DataA;
+  A.ctrXor(DataA.data(), DataA.size(), Nonce, 7);
+  B.ctrXor(DataB.data(), DataB.size(), Nonce, 7);
+  EXPECT_EQ(DataA, DataB);
+}
+
+TEST(ArchDispatch, DispatchIsCountedInTelemetry) {
+  Telemetry &Tel = Telemetry::instance();
+  const bool Was = Tel.enabled();
+  Tel.setEnabled(true);
+  const std::string Counter =
+      std::string("cipher.dispatch.") + archBest().Name;
+  const uint64_t Before = Tel.counter(Counter);
+  CipherResult Result = UsubaCipher::compile(
+      autoConfig(CipherId::Present, SlicingMode::Bitslice));
+  Tel.setEnabled(Was);
+  ASSERT_TRUE(Result.ok()) << Result.errorText();
+  EXPECT_EQ(Tel.counter(Counter), Before + 1)
+      << "no " << Counter << " tick for an auto-dispatched compile";
+}
+
+} // namespace
