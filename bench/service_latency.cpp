@@ -1,0 +1,268 @@
+//===- service_latency.cpp - CipherService latency under offered load -----===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures CipherService request latency and throughput under an
+/// open-loop Poisson arrival process — the machine-readable companion
+/// to BENCH_throughput.json, checked in as BENCH_latency.json and
+/// validated by scripts/bench_gate.py --validate-latency.
+///
+/// Model: each session is one tenant. A session draws exponential
+/// inter-arrival gaps (total offered load split evenly across
+/// sessions) and keeps at most one request in flight — the classic
+/// serving-client shape, which is exactly why multi-tenancy matters: a
+/// lone session can never coalesce with itself, while 32 concurrent
+/// sessions pack one shard's batches full. Latency is measured from
+/// the *scheduled* arrival, not the actual submit, so a backed-up
+/// session cannot hide queueing delay (no coordinated omission).
+///
+/// Usage: service_latency [--out FILE] [--sessions n,m] [--rps r,s]
+///                        [--seconds S] [--deadline-us D] [--payload B]
+/// Defaults: stdout; sessions {1,32}; offered load {2000,20000} rps;
+/// 1 s per combination; 200 us flush deadline; 64-byte requests over
+/// DES/bitslice/sse (the paper's deep-batch shape: 128 blocks per
+/// call).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchSupport.h"
+#include "service/CipherService.h"
+
+#include "support/Telemetry.h"
+#include "types/Arch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<unsigned> parseList(const char *Arg) {
+  std::vector<unsigned> Out;
+  unsigned Value = 0;
+  bool Have = false;
+  for (const char *P = Arg;; ++P) {
+    if (*P >= '0' && *P <= '9') {
+      Value = Value * 10 + unsigned(*P - '0');
+      Have = true;
+    } else if (*P == ',' || *P == '\0') {
+      if (Have)
+        Out.push_back(Value);
+      Value = 0;
+      Have = false;
+      if (*P == '\0')
+        break;
+    }
+  }
+  return Out;
+}
+
+struct ComboResult {
+  unsigned Sessions = 0;
+  unsigned OfferedRps = 0;
+  uint64_t Completed = 0;
+  double AchievedRps = 0;
+  double P50Us = 0, P99Us = 0, MeanUs = 0;
+  ServiceStats Stats;
+};
+
+double percentileUs(std::vector<double> &SortedUs, double P) {
+  if (SortedUs.empty())
+    return 0;
+  const double Rank = P * double(SortedUs.size() - 1);
+  const size_t Lo = size_t(Rank);
+  const size_t Hi = std::min(Lo + 1, SortedUs.size() - 1);
+  const double Frac = Rank - double(Lo);
+  return SortedUs[Lo] * (1 - Frac) + SortedUs[Hi] * Frac;
+}
+
+/// One (sessions, offered-rps) measurement: spin up the service and the
+/// per-session clients, run for Seconds, aggregate latencies.
+ComboResult runCombo(const CipherConfig &Config,
+                     const std::vector<uint8_t> &Key, unsigned Sessions,
+                     unsigned OfferedRps, double Seconds, unsigned DeadlineUs,
+                     size_t PayloadBytes, uint64_t Seed) {
+  ServiceConfig Svc;
+  Svc.FlushDeadline = std::chrono::microseconds(DeadlineUs);
+  CipherService Service(Svc);
+
+  // One tenant key: the multi-session win this bench demonstrates is
+  // same-shard coalescing (cross-key sessions never share a batch).
+  std::vector<std::vector<double>> LatenciesUs(Sessions);
+  std::vector<std::thread> Clients;
+  const double RatePerSession =
+      double(OfferedRps) / double(std::max(1u, Sessions));
+  const auto Start = Clock::now();
+  const auto End = Start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(Seconds));
+
+  for (unsigned S = 0; S < Sessions; ++S) {
+    Clients.emplace_back([&, S] {
+      SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+      if (!R.ok()) {
+        std::fprintf(stderr, "openSession: %s\n", R.errorText().c_str());
+        return;
+      }
+      std::mt19937_64 Rng(Seed + S);
+      std::exponential_distribution<double> Gap(RatePerSession);
+      std::vector<uint8_t> Payload(PayloadBytes, uint8_t(S));
+      uint8_t Nonce[12] = {};
+      Nonce[0] = uint8_t(S + 1);
+      uint64_t Counter = 0;
+      std::vector<double> &Lat = LatenciesUs[S];
+      auto Scheduled = Clock::now();
+      while (true) {
+        Scheduled += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(Gap(Rng)));
+        if (Scheduled >= End)
+          break;
+        std::this_thread::sleep_until(Scheduled); // No-op when behind.
+        Service
+            .submitCtrXor(R.id(), Payload.data(), Payload.size(), Nonce,
+                          Counter)
+            .get();
+        Lat.push_back(std::chrono::duration<double, std::micro>(
+                          Clock::now() - Scheduled)
+                          .count());
+        Counter += 1024; // Keep per-request counter ranges disjoint.
+      }
+      Service.closeSession(R.id());
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  const double Elapsed =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  std::vector<double> All;
+  for (const std::vector<double> &L : LatenciesUs)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+
+  ComboResult Res;
+  Res.Sessions = Sessions;
+  Res.OfferedRps = OfferedRps;
+  Res.Completed = All.size();
+  Res.AchievedRps = Elapsed > 0 ? double(All.size()) / Elapsed : 0;
+  Res.P50Us = percentileUs(All, 0.50);
+  Res.P99Us = percentileUs(All, 0.99);
+  double Sum = 0;
+  for (double L : All)
+    Sum += L;
+  Res.MeanUs = All.empty() ? 0 : Sum / double(All.size());
+  Res.Stats = Service.stats();
+  return Res;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = nullptr;
+  std::vector<unsigned> Sessions = {1, 32};
+  std::vector<unsigned> Rps = {2000, 20000};
+  double Seconds = 1.0;
+  unsigned DeadlineUs = 200;
+  size_t PayloadBytes = 64;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--sessions") && I + 1 < Argc)
+      Sessions = parseList(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--rps") && I + 1 < Argc)
+      Rps = parseList(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--seconds") && I + 1 < Argc)
+      Seconds = std::strtod(Argv[++I], nullptr);
+    else if (!std::strcmp(Argv[I], "--deadline-us") && I + 1 < Argc)
+      DeadlineUs = unsigned(std::strtoul(Argv[++I], nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--payload") && I + 1 < Argc)
+      PayloadBytes = std::strtoul(Argv[++I], nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--sessions n,m] [--rps r,s] "
+                   "[--seconds S] [--deadline-us D] [--payload B]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  CipherConfig Config;
+  Config.Id = CipherId::Des;
+  Config.Slicing = SlicingMode::Bitslice;
+  Config.Target = &archSSE();
+  std::vector<uint8_t> Key(8, 0x5A);
+
+  // Warm the process kernel cache before any timed window: the first
+  // shard a combo opens would otherwise spend its whole measurement
+  // interval inside the JIT.
+  {
+    CipherResult Warm = UsubaCipher::compile(Config);
+    if (!Warm) {
+      std::fprintf(stderr, "compile: %s\n", Warm.errorText().c_str());
+      return 1;
+    }
+  }
+
+  Telemetry::instance().setEnabled(true);
+
+  std::vector<ComboResult> Results;
+  for (unsigned S : Sessions)
+    for (unsigned R : Rps)
+      Results.push_back(runCombo(Config, Key, S, R, Seconds, DeadlineUs,
+                                 PayloadBytes, /*Seed=*/0x1a7e4c1));
+
+  FILE *Out = OutPath ? std::fopen(OutPath, "w") : stdout;
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", OutPath);
+    return 1;
+  }
+  std::fprintf(Out,
+               "{\n  \"cipher\": \"des\",\n  \"slicing\": \"bitslice\",\n"
+               "  \"arch\": \"sse\",\n  \"payload_bytes\": %zu,\n"
+               "  \"deadline_us\": %u,\n  \"seconds_per_combo\": %.3f,\n"
+               "  \"host_threads\": %u,\n  \"results\": [",
+               PayloadBytes, DeadlineUs, Seconds,
+               std::max(1u, std::thread::hardware_concurrency()));
+  bool First = true;
+  bool AnyEmpty = false;
+  for (const ComboResult &R : Results) {
+    AnyEmpty = AnyEmpty || R.Completed == 0;
+    std::fprintf(
+        Out,
+        "%s\n    {\"sessions\": %u, \"offered_rps\": %u, "
+        "\"completed\": %llu, \"achieved_rps\": %.1f, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"mean_us\": %.1f, "
+        "\"fill_ratio\": %.4f, \"coalesced_batches\": %llu, "
+        "\"multi_session_batches\": %llu, \"direct_batches\": %llu, "
+        "\"deadline_flushes\": %llu}",
+        First ? "" : ",", R.Sessions, R.OfferedRps,
+        static_cast<unsigned long long>(R.Completed), R.AchievedRps, R.P50Us,
+        R.P99Us, R.MeanUs, R.Stats.fillRatio(),
+        static_cast<unsigned long long>(R.Stats.CoalescedBatches),
+        static_cast<unsigned long long>(R.Stats.MultiSessionBatches),
+        static_cast<unsigned long long>(R.Stats.DirectBatches),
+        static_cast<unsigned long long>(R.Stats.DeadlineFlushes));
+    First = false;
+  }
+  std::fprintf(Out, "\n  ],\n  \"telemetry\": %s\n}\n",
+               Telemetry::instance().snapshotJson().c_str());
+  if (OutPath)
+    std::fclose(Out);
+  if (AnyEmpty) {
+    std::fprintf(stderr, "a combination completed zero requests\n");
+    return 1;
+  }
+  return 0;
+}

@@ -49,6 +49,16 @@ older reports wrote a misleading 0.0) and are never held to the floors.
 Reports without host_threads (pre-scaling-matrix format) skip the
 quality gates entirely.
 
+--validate-latency switches the gate into a second mode: the positional
+report is a BENCH_latency.json produced by bench/service_latency, and it
+is validated standalone (no baseline comparison) — non-empty results,
+unique (sessions, offered_rps) keys, positive completed counts, finite
+non-NaN p50/p99/mean/achieved_rps/fill_ratio with p50 <= p99, and the
+multi-tenancy claim itself: wherever a sweep has both single- and
+multi-session rows at one offered load, the multi-session fill_ratio
+must beat the single-session one. Combine with --self-test to exercise
+the latency validator against injected corruptions instead.
+
 --self-test runs the gate's own logic machine-independently: the
 baseline must pass against itself, must fail once a synthetic 2x
 slowdown is injected into one row, must fail when an in-scope row is
@@ -347,6 +357,120 @@ def quality_self_test():
     return True
 
 
+LATENCY_NUMERIC = ("achieved_rps", "p50_us", "p99_us", "mean_us",
+                   "fill_ratio")
+
+
+def validate_latency(doc, path):
+    """Failure strings for a BENCH_latency.json document.
+
+    Schema: a non-empty results array whose rows are keyed by unique
+    (sessions, offered_rps) pairs, each carrying a positive completed
+    count and finite (non-NaN, non-inf) achieved_rps / p50_us / p99_us /
+    mean_us / fill_ratio with p50 <= p99. Beyond the shape, the
+    service's multi-tenancy claim is held structurally: wherever the
+    sweep has both a sessions=1 row and multi-session rows at the same
+    offered load, the best multi-session fill_ratio must exceed the
+    single-session one — the coalescer demonstrably packing cross-stream
+    traffic into fuller batches.
+    """
+    failures = []
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        return [(path, "missing or empty results array")]
+    seen = set()
+    for i, row in enumerate(rows):
+        name = "latency row %d" % i
+        sessions = row.get("sessions")
+        rps = row.get("offered_rps")
+        if not isinstance(sessions, int) or sessions < 1 or \
+                not isinstance(rps, int) or rps < 1:
+            failures.append((name, "bad sessions/offered_rps key"))
+            continue
+        name = "latency row (sessions=%d, rps=%d)" % (sessions, rps)
+        if (sessions, rps) in seen:
+            failures.append((name, "duplicate (sessions, offered_rps)"))
+            continue
+        seen.add((sessions, rps))
+        completed = row.get("completed")
+        if not isinstance(completed, int) or completed < 1:
+            failures.append((name, "completed missing or < 1"))
+        bad = False
+        for key in LATENCY_NUMERIC:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or \
+                    isinstance(value, bool) or not math.isfinite(value):
+                failures.append((name, "%s missing or not finite" % key))
+                bad = True
+        if not bad and row["p99_us"] < row["p50_us"]:
+            failures.append((name, "p99_us %.1f < p50_us %.1f" %
+                             (row["p99_us"], row["p50_us"])))
+    # The coalescing claim: best multi-session fill beats single-session
+    # at the same offered load.
+    by_rps = {}
+    for row in rows:
+        if isinstance(row.get("fill_ratio"), (int, float)):
+            by_rps.setdefault(row.get("offered_rps"), []).append(row)
+    for rps, group in sorted(by_rps.items()):
+        singles = [r["fill_ratio"] for r in group if r.get("sessions") == 1]
+        multis = [r["fill_ratio"] for r in group
+                  if isinstance(r.get("sessions"), int) and r["sessions"] > 1]
+        if singles and multis and max(multis) <= max(singles):
+            failures.append(
+                ("latency rps=%s" % rps,
+                 "multi-session fill_ratio %.4f does not beat "
+                 "single-session %.4f" % (max(multis), max(singles))))
+    return failures
+
+
+def latency_self_test(doc):
+    """Validates the latency validator itself: the real report passes,
+    and each class of corruption (NaN p50, missing p99, duplicate key,
+    zero completed, inverted fill-ratio claim) is caught."""
+    failures = validate_latency(doc, "baseline")
+    if failures:
+        print("bench_gate latency self-test FAILED: clean report gave %r"
+              % failures)
+        return False
+
+    def corrupt(mutate, label):
+        broken = copy.deepcopy(doc)
+        mutate(broken)
+        got = validate_latency(broken, "synthetic")
+        if not got:
+            print("bench_gate latency self-test FAILED: %s passed" % label)
+            return False
+        return True
+
+    def nan_p50(d):
+        d["results"][0]["p50_us"] = float("nan")
+
+    def drop_p99(d):
+        del d["results"][0]["p99_us"]
+
+    def dup_key(d):
+        d["results"].append(copy.deepcopy(d["results"][0]))
+
+    def zero_completed(d):
+        d["results"][0]["completed"] = 0
+
+    def invert_fill(d):
+        for row in d["results"]:
+            row["fill_ratio"] = 0.5 if row["sessions"] == 1 else 0.01
+
+    cases = [(nan_p50, "NaN p50_us"), (drop_p99, "missing p99_us"),
+             (dup_key, "duplicate row key"),
+             (zero_completed, "zero completed"),
+             (invert_fill, "inverted fill-ratio claim")]
+    for mutate, label in cases:
+        if not corrupt(mutate, label):
+            return False
+    print("bench_gate latency self-test OK: clean report passes; NaN/"
+          "missing percentiles, duplicate keys, empty combos and a "
+          "non-coalescing fill ratio are rejected")
+    return True
+
+
 def self_test(baseline, tolerance):
     """Machine-independent gate validation: baseline passes against
     itself; an injected 2x slowdown must fail; a deleted in-scope row
@@ -444,11 +568,35 @@ def main():
                              "(default: USUBA_SCALING_FLOOR or 1.5)")
     parser.add_argument("--self-test", action="store_true",
                         help="validate the gate against the baseline alone")
+    parser.add_argument("--validate-latency", action="store_true",
+                        help="treat the positional report as a "
+                             "BENCH_latency.json service-latency report and "
+                             "validate it standalone (schema, finite "
+                             "percentiles, multi-session fill-ratio win); "
+                             "with --self-test, exercise the latency "
+                             "validator against injected corruptions")
     args = parser.parse_args()
 
     if args.tolerance <= 0:
         print("bench_gate: tolerance must be positive", file=sys.stderr)
         return 2
+
+    if args.validate_latency:
+        doc = load_report(args.baseline)
+        if args.self_test:
+            return 0 if latency_self_test(doc) else 1
+        failures = validate_latency(doc, args.baseline)
+        if failures:
+            print("bench_gate: %d failing latency checks in %s:" %
+                  (len(failures), args.baseline))
+            for name, reason in failures:
+                print("  %s: %s" % (name, reason))
+            return 1
+        rows = doc["results"]
+        print("bench_gate: latency report OK (%d combos, peak fill_ratio "
+              "%.4f)" % (len(rows),
+                         max(r["fill_ratio"] for r in rows)))
+        return 0
 
     baseline = load_report(args.baseline)
     try:

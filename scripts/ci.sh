@@ -12,8 +12,9 @@
 #              vs -O0 across the vector ISAs and diffed byte for byte
 #              (bench/fuzz_differential --seed 0xC0FFEE). Also builds a
 #              TSan tree (-DUSUBA_SANITIZE=thread) and runs the
-#              work-stealing pool stress tests and the threaded engine
-#              tests under it — the races a stealing scheduler can have
+#              work-stealing pool stress tests, the threaded engine
+#              tests, and the CipherService suite under it — the races a
+#              stealing scheduler or a cross-stream coalescer can have
 #              are exactly the ones ASan cannot see.
 #   perf     - perf smoke: Release build of the JSON throughput bench,
 #              run on two small configs across the {1,2,4,8} thread
@@ -28,7 +29,11 @@
 #              hardware-aware utilization/scaling floors — see
 #              bench_gate.py). Catches runtime-path breakage and
 #              catastrophic slowdowns that correctness tests alone would
-#              miss. Also compiles every
+#              miss. Then the service latency smoke: a short
+#              bench/service_latency sweep (1 vs 8 tenants) validated by
+#              bench_gate.py --validate-latency (schema, finite
+#              percentiles, multi-session fill-ratio win), the
+#              validator's own self-test run first. Also compiles every
 #              bundled program with usubac --remarks=<json>, validates
 #              each report (JSON parses, >= 1 remark per back-end pass
 #              that ran), and archives the reports as an artifact at
@@ -77,11 +82,15 @@ tsan_smoke() {
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUSUBA_SANITIZE=thread
   cmake --build build-ci-tsan -j "$JOBS" --target runtime_test \
-    cipher_api_test
+    cipher_api_test service_test
   ./build-ci-tsan/tests/runtime_test --gtest_filter='ThreadPoolStress*'
   ./build-ci-tsan/tests/cipher_api_test \
     --gtest_filter='ThreadedEngine*:ArchDispatch*'
-  echo "tsan-smoke OK: pool stress + threaded engine clean under TSan"
+  # The service's coalescer is the one place client threads, the flush
+  # timer, and batch dispatch all meet — exactly TSan's territory.
+  ./build-ci-tsan/tests/service_test
+  echo "tsan-smoke OK: pool stress + threaded engine + cipher service" \
+    "clean under TSan"
 }
 
 perf_smoke() {
@@ -134,8 +143,28 @@ EOF
   python3 scripts/bench_gate.py BENCH_throughput.json --self-test
   python3 scripts/bench_gate.py BENCH_throughput.json \
     build-ci-perf/BENCH_throughput.json
+  service_smoke
   opt_ablation
   remarks_report
+}
+
+# Service latency smoke: a short open-loop sweep over the CipherService
+# (1 vs 8 tenants at one offered load), validated by the latency mode of
+# bench_gate.py — schema, finite percentiles, and the multi-tenancy
+# claim that 8 sessions coalesce into fuller batches than 1. The
+# validator self-tests first so a broken latency gate cannot wave a
+# broken report through.
+service_smoke() {
+  echo "==== ci job: perf (service latency smoke) ===="
+  cmake --build build-ci-perf -j "$JOBS" --target service_latency
+  ./build-ci-perf/bench/service_latency \
+    --sessions 1,8 --rps 3000 --seconds 0.25 \
+    --out build-ci-perf/BENCH_latency.json
+  python3 scripts/bench_gate.py --validate-latency --self-test \
+    BENCH_latency.json
+  python3 scripts/bench_gate.py --validate-latency \
+    build-ci-perf/BENCH_latency.json
+  echo "service-smoke OK: latency report validated"
 }
 
 # Mid-end ablation: measure the same rows with the Usuba0 optimizer off

@@ -98,6 +98,11 @@ std::string usuba::kernelCacheKey(const CipherConfig &Config,
     Key += Env;
   Key += "|ccms=";
   Key += std::to_string(Config.effectiveCcTimeoutMillis());
+  // Deliberately absent: Threads (a pure runtime scheduling knob — the
+  // same artifact serves any participant count) and SpecializeCtr (the
+  // per-(key,epoch) specialized clone is stored under this key plus a
+  // "|ctrspec=<epoch>:<key-hash>" suffix, so the base artifact is shared
+  // and the clones never alias across keys or epochs).
   return Key;
 }
 

@@ -204,6 +204,19 @@ bool CipherConfig::effectiveValidatePasses() const {
   return Env && Env[0] != '0' && Env[0] != '\0';
 }
 
+bool CipherConfig::effectiveSpecializeCtr() const {
+  if (SpecializeCtr)
+    return *SpecializeCtr;
+  const char *Env = std::getenv("USUBA_SPECIALIZE_CTR");
+  return Env && Env[0] != '0' && Env[0] != '\0';
+}
+
+unsigned CipherConfig::effectiveThreadCount() const {
+  if (Threads)
+    return std::min(Threads, ThreadPool::MaxThreads);
+  return ThreadPool::defaultThreads();
+}
+
 std::string CipherStats::telemetryJson() const {
   return Telemetry::instance().snapshotJson();
 }
@@ -387,17 +400,6 @@ CipherResult UsubaCipher::compileAuto(const CipherConfig &Config) {
     FirstDiags.push_back({DiagSeverity::Error, SourceLoc(),
                           "runtime dispatch found no compilable target"});
   return CipherResult(std::move(FirstDiags));
-}
-
-std::optional<UsubaCipher> UsubaCipher::create(const CipherConfig &Config,
-                                               std::string *Error) {
-  CipherResult Result = compile(Config);
-  if (!Result) {
-    if (Error)
-      *Error = Result.diagnostics()[0].str();
-    return std::nullopt;
-  }
-  return std::move(Result).take();
 }
 
 CipherStats UsubaCipher::stats() const {
@@ -626,6 +628,11 @@ void UsubaCipher::atomsToBlock(const uint64_t *Atoms,
 void UsubaCipher::ecbEncrypt(const uint8_t *In, uint8_t *Out,
                              size_t NumBlocks) {
   assert(Config.Id != CipherId::Chacha20 && "ChaCha20 is a stream cipher");
+  encryptBlocks(In, Out, NumBlocks);
+}
+
+void UsubaCipher::encryptBlocks(const uint8_t *In, uint8_t *Out,
+                                size_t NumBlocks) {
   processBlocks(*Runner, EncWorkers, KeyAtoms, In, Out, NumBlocks);
 }
 
@@ -747,7 +754,7 @@ void UsubaCipher::ctrXor(uint8_t *Data, size_t Length, const uint8_t *Nonce,
   // Opt-in counter specialization: when the whole call stays inside one
   // counter epoch (bits 32..63 constant), route it through a kernel with
   // those bits and the key folded in.
-  if (Config.SpecializeCtr && CtrProbeState == CtrProbe::Ready &&
+  if (Config.effectiveSpecializeCtr() && CtrProbeState == CtrProbe::Ready &&
       Config.effectiveCtrFastPath()) {
     const uint64_t Base = load64be(Nonce) + Counter;
     const uint64_t LastBlock = Base + (Length - 1) / BlockLen;

@@ -5,11 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The library facade a downstream user consumes: pick a bundled cipher
-/// and a slicing, get back an object that encrypts byte buffers. Under
-/// the hood this compiles the Usuba program for the requested target,
-/// optionally JIT-compiles the emitted C to native code, and drives the
-/// transposition runtime in ECB or CTR mode.
+/// The single-stream building block of the library: pick a bundled
+/// cipher and a slicing, get back an object that encrypts byte buffers.
+/// Under the hood this compiles the Usuba program for the requested
+/// target, optionally JIT-compiles the emitted C to native code, and
+/// drives the transposition runtime in ECB or CTR mode.
+///
+/// A UsubaCipher serves ONE stream at a time: one key, one caller
+/// thread (batched calls parallelize internally). Deployments serving
+/// many small, independent streams should sit behind
+/// service/CipherService.h — the recommended front door — which opens
+/// per-session handles over shared UsubaCipher instances and coalesces
+/// sub-batch requests from different sessions into full kernel batches.
 ///
 /// \code
 ///   CipherResult Result = UsubaCipher::compile(
@@ -78,16 +85,28 @@ struct CipherConfig {
   /// JIT the emitted C and run natively when the host supports the
   /// target; otherwise (or on failure) fall back to the simulator.
   bool PreferNative = true;
-  /// Worker threads for ctrXor / ecbEncrypt / ecbDecrypt: 0 = auto
-  /// (USUBA_THREADS, else hardware concurrency). 1 forces the
-  /// single-threaded engine. Small calls always run single-threaded
-  /// regardless (see DESIGN.md on the threading model).
+  /// Worker threads for ctrXor / ecbEncrypt / ecbDecrypt. Typed knob
+  /// (see the block comment below): 0 = unset, resolving to
+  /// USUBA_THREADS, else hardware concurrency; 1 forces the
+  /// single-threaded engine; effectiveThreadCount() implements the
+  /// precedence. Small calls always run single-threaded regardless (see
+  /// DESIGN.md on the threading model). Purely a runtime knob — it
+  /// never enters the kernel-cache key because it does not change the
+  /// compiled artifact.
   unsigned Threads = 0;
 
-  // --- Typed runtime knobs. Each resolves as: explicit field value >
-  // environment variable > built-in default; the effective*() helpers
-  // below implement the precedence. New fields are appended so existing
-  // aggregate initializers keep their meaning.
+  // --- Typed runtime knobs. Every knob resolves the same way, in one
+  // place: explicit field value > environment variable > built-in
+  // default; the effective*() helpers below implement the precedence,
+  // and every consumer (including the kernel cache) goes through them.
+  // A knob participates in the kernel-cache key exactly when its
+  // effective value changes the compiled artifact: JitOptLevel /
+  // CcTimeoutMillis / Optimize / ValidatePasses do (see
+  // kernelCacheKey), while Threads and SpecializeCtr do not — Threads
+  // only schedules work at runtime, and a counter-specialized clone is
+  // cached under its own "|ctrspec=<epoch>:<key-hash>" key suffix
+  // rather than forking the base kernel's entry. New fields are
+  // appended so existing aggregate initializers keep their meaning.
 
   /// Optimization level handed to the JIT's host-compiler invocation
   /// ("-O0".."-O3"). Empty = USUBA_JIT_OPT when set, else a per-kernel
@@ -121,10 +140,11 @@ struct CipherConfig {
   /// Counter-mode kernel specialization: clone the kernel with the
   /// batch-constant high counter slices and the key's broadcast bits
   /// bound to literals, fold + DCE the constant cone, and JIT the
-  /// residue, cached per (key, counter-epoch). Off by default — each new
-  /// epoch pays one host-compiler run, which only amortizes over large
-  /// streams. Requires the CTR fast path to be applicable.
-  bool SpecializeCtr = false;
+  /// residue, cached per (key, counter-epoch). Unset = enabled only
+  /// when USUBA_SPECIALIZE_CTR is set non-zero; the default is off —
+  /// each new epoch pays one host-compiler run, which only amortizes
+  /// over large streams. Requires the CTR fast path to be applicable.
+  std::optional<bool> SpecializeCtr;
 
   /// The opt level the JIT will actually use for a kernel of
   /// \p InstrCount instructions.
@@ -140,13 +160,18 @@ struct CipherConfig {
   bool effectiveCtrFastPath() const;
   /// Whether this compile runs under translation validation.
   bool effectiveValidatePasses() const;
+  /// Whether eligible CTR calls build per-(key,epoch) specialized
+  /// kernels for this config.
+  bool effectiveSpecializeCtr() const;
+  /// The participant slots the batched entry points will actually
+  /// request (>= 1; capped at ThreadPool::MaxThreads).
+  unsigned effectiveThreadCount() const;
 };
 
 /// Stable per-cipher statistics (satellite of the telemetry subsystem):
 /// which engine rung execution is on and why, whether creation hit the
 /// process-wide kernel cache, and what the compiler pipeline did.
-/// Callers switch on the enums instead of string-matching the old
-/// engineNote() text.
+/// Callers switch on the enums instead of string-matching free text.
 struct CipherStats {
   /// True when running JIT-compiled native code.
   bool Native = false;
@@ -190,13 +215,6 @@ public:
   /// combination was rejected (a type error, e.g. bitsliced ChaCha20).
   static CipherResult compile(const CipherConfig &Config);
 
-  /// Deprecated null-on-failure facade: compile() flattened to
-  /// std::optional plus a rendered first diagnostic in \p Error.
-  [[deprecated("use UsubaCipher::compile(), which returns structured "
-               "diagnostics")]]
-  static std::optional<UsubaCipher> create(const CipherConfig &Config,
-                                           std::string *Error = nullptr);
-
   UsubaCipher(UsubaCipher &&) = default;
 
   /// Key sizes: Rectangle 10, DES 8, AES-128 16, ChaCha20 32, Serpent 16,
@@ -215,12 +233,10 @@ public:
   void setThreadCount(unsigned N) { ThreadsRequested = N; }
   unsigned threadCount() const;
   /// Stable statistics: engine rung + structured fallback kind, kernel
-  /// cache hit, pass skips/timings — see CipherStats.
+  /// cache hit, pass skips/timings — see CipherStats. The structured
+  /// Fallback/FallbackDetail pair is the only fallback surface (the old
+  /// free-text engineNote() facade is gone).
   CipherStats stats() const;
-  /// Deprecated free-text form of stats().FallbackDetail. When not
-  /// native: which rung of the degradation ladder was taken and why.
-  [[deprecated("switch on stats().Fallback instead of string-matching")]]
-  const std::string &engineNote() const { return Runner->fallbackReason(); }
 
   /// Installs the key (expands the key schedule — which, as in the
   /// paper's benchmarks, lives outside the measured primitive).
@@ -229,6 +245,15 @@ public:
   /// ECB encryption of whole blocks (block ciphers only). In and Out may
   /// alias. Partial batches are padded internally with zero blocks.
   void ecbEncrypt(const uint8_t *In, uint8_t *Out, size_t NumBlocks);
+
+  /// Runs \p NumBlocks independent blocks through the forward kernel.
+  /// For block ciphers this is exactly ecbEncrypt; for ChaCha20 each
+  /// "block" is a 64-byte input state and the output is the keystream
+  /// block it produces. This is the building block the coalescing
+  /// service layer uses to pack counter blocks from many streams into
+  /// one transposed batch (see service/CipherService.h). In and Out may
+  /// alias.
+  void encryptBlocks(const uint8_t *In, uint8_t *Out, size_t NumBlocks);
 
   /// ECB decryption. Compiles the inverse kernel lazily on first use
   /// (DES reuses the forward kernel with reversed subkeys).

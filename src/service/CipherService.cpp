@@ -1,0 +1,725 @@
+//===----------------------------------------------------------------===//
+// CipherService implementation: sharded coalescing queues in front of
+// warm per-(config,key) UsubaCipher instances.
+//
+// Concurrency design, in one paragraph. Three lock levels, always
+// acquired top-down: the service mutex (session/shard registries), one
+// mutex per shard (its queues, scratch and cipher — a UsubaCipher is
+// not internally thread-safe), and the timer mutex (the deadline
+// registry). Completions (user callback + promise) are collected while
+// a shard is locked and fulfilled only after it is released, so a
+// callback may re-enter the service freely. Full batches dispatch
+// inline on the thread that filled them; partial batches are dispatched
+// by the timer thread when their oldest block ages past FlushDeadline.
+//===----------------------------------------------------------------===//
+
+#include "service/CipherService.h"
+
+#include "ciphers/KernelCache.h"
+#include "ciphers/RefChacha20.h"
+#include "support/Telemetry.h"
+#include "types/Arch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+using namespace usuba;
+
+namespace {
+
+uint64_t load64be(const uint8_t *Bytes) {
+  uint64_t Value = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    Value = (Value << 8) | Bytes[I];
+  return Value;
+}
+
+void store64be(uint64_t Value, uint8_t *Bytes) {
+  for (unsigned I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(Value >> (8 * (7 - I)));
+}
+
+std::string hexBytes(const uint8_t *Data, size_t Length) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(2 * Length);
+  for (size_t I = 0; I < Length; ++I) {
+    Out += Digits[Data[I] >> 4];
+    Out += Digits[Data[I] & 0xf];
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string SessionResult::errorText() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}
+
+namespace {
+
+struct SessionState;
+
+/// One client submission. BlocksLeft is guarded by the mutex of the
+/// shard the request's spans live in (after a rekey, old spans keep
+/// draining under the old shard — a request never spans two shards).
+struct RequestState {
+  std::promise<void> Done;
+  CipherService::Completion Cb;
+  size_t BlocksLeft = 0;
+  std::shared_ptr<SessionState> Sess;
+};
+
+/// A session is a (current shard, in-flight count) pair. Sh is guarded
+/// by the service mutex (rekey swaps it); Outstanding by M.
+struct SessionState {
+  std::shared_ptr<struct Shard> Sh;
+  std::mutex M;
+  std::condition_variable CV;
+  uint64_t Outstanding = 0;
+};
+
+enum class SpanKind : uint8_t { Ctr, EcbEnc, EcbDec };
+
+/// A contiguous run of blocks from one request, queued in a shard.
+/// Spans are split in place when only part of one fits a batch.
+struct Span {
+  std::shared_ptr<RequestState> Req;
+  SpanKind Kind = SpanKind::Ctr;
+  uint8_t *Out = nullptr;      ///< CTR: in-place payload; ECB: output.
+  const uint8_t *In = nullptr; ///< ECB input (may equal Out).
+  uint64_t Counter = 0;        ///< CTR: absolute counter of block 0.
+  uint8_t Nonce[12] = {};
+  size_t Blocks = 0; ///< Whole blocks (CTR: last may be ragged).
+  size_t Bytes = 0;  ///< CTR payload bytes covered (<= Blocks * BlockLen).
+  std::chrono::steady_clock::time_point Arrival;
+  const void *SessionTag = nullptr; ///< Distinct-session accounting only.
+};
+
+/// Where a (piece of a) span landed inside one packed batch.
+struct Placement {
+  std::shared_ptr<RequestState> Req;
+  SpanKind Kind;
+  uint8_t *Out;
+  size_t Blocks;
+  size_t Bytes; ///< CTR only.
+  size_t Slot;  ///< First batch slot used.
+  const void *SessionTag;
+};
+
+struct Shard {
+  explicit Shard(UsubaCipher CipherIn) : Cipher(std::move(CipherIn)) {}
+
+  std::mutex M;
+  UsubaCipher Cipher; ///< Key installed once at shard creation.
+  std::vector<uint8_t> Key;
+  unsigned BlockLen = 0;
+  unsigned Batch = 0;
+  unsigned NonceLen = 0;
+  bool IsChacha = false;
+  /// Forward-kernel queue (CTR keystream + ECB encrypt share the
+  /// forward kernel, so they pack into the same batch) and the inverse
+  /// queue (ECB decrypt).
+  std::deque<Span> Fwd, Inv;
+  size_t FwdBlocks = 0, InvBlocks = 0;
+  std::vector<uint8_t> BatchIn, BatchOut;
+};
+
+using DoneList = std::vector<std::shared_ptr<RequestState>>;
+
+} // namespace
+
+struct CipherService::Impl {
+  explicit Impl(ServiceConfig CfgIn) : Cfg(CfgIn) {
+    Timer = std::thread([this] { timerLoop(); });
+  }
+
+  ServiceConfig Cfg;
+
+  mutable std::mutex M; ///< Guards Shards, Sessions, NextId.
+  std::unordered_map<std::string, std::shared_ptr<Shard>> Shards;
+  std::unordered_map<SessionId, std::shared_ptr<SessionState>> Sessions;
+  SessionId NextId = 1;
+
+  std::atomic<uint64_t> Requests{0}, DirectBatches{0}, CoalescedBatches{0},
+      MultiSessionBatches{0}, CoalescedBlocks{0}, CoalescedSlots{0},
+      DeadlineFlushes{0};
+
+  std::mutex TimerM; ///< Guards Due and Stop.
+  std::condition_variable TimerCV;
+  bool Stop = false;
+  std::map<std::shared_ptr<Shard>, std::chrono::steady_clock::time_point> Due;
+  std::thread Timer;
+
+  /// The sharding key: which sessions may share one transposed batch.
+  /// The compiled-artifact half is the process kernel-cache key; the
+  /// runtime knobs that change scheduling or kernel cloning are
+  /// appended, then the raw key bytes (hex, not a hash — a collision
+  /// here would mix keys across tenants).
+  static std::string shardKeyFor(const CipherConfig &Config,
+                                 const uint8_t *Key, size_t KeyLen) {
+    std::string K = kernelCacheKey(Config, "enc");
+    K += "|svc|th=";
+    K += std::to_string(Config.effectiveThreadCount());
+    if (Config.effectiveSpecializeCtr())
+      K += "|spec";
+    if (!Config.effectiveCtrFastPath())
+      K += "|nofast";
+    K += "|key=";
+    K += hexBytes(Key, KeyLen);
+    return K;
+  }
+
+  /// Returns the warm shard for (Config, Key), compiling a cipher for a
+  /// first-seen combination. Null with \p Diags filled on failure.
+  std::shared_ptr<Shard> shardFor(const CipherConfig &ConfigIn,
+                                  const uint8_t *Key, size_t KeyLen,
+                                  std::vector<Diagnostic> &Diags) {
+    CipherConfig Config = ConfigIn;
+    if (Config.Target == &archAuto())
+      Config.Target = &archBest();
+    const std::string ShardKey = shardKeyFor(Config, Key, KeyLen);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      auto It = Shards.find(ShardKey);
+      if (It != Shards.end()) {
+        telemetryCount("service.shard_hits");
+        return It->second;
+      }
+    }
+    // Compile outside the service lock; a lost insert race below just
+    // drops the duplicate (the kernel cache made it cheap anyway).
+    CipherResult Result = UsubaCipher::compile(Config);
+    if (!Result) {
+      Diags = Result.diagnostics();
+      return nullptr;
+    }
+    UsubaCipher Cipher = std::move(Result).take();
+    if (KeyLen != Cipher.keyBytes()) {
+      Diags.push_back({DiagSeverity::Error, SourceLoc(),
+                       "key length " + std::to_string(KeyLen) +
+                           " does not match cipher key size " +
+                           std::to_string(Cipher.keyBytes())});
+      return nullptr;
+    }
+    Cipher.setKey(Key, KeyLen);
+    auto Fresh = std::make_shared<Shard>(std::move(Cipher));
+    Fresh->Key.assign(Key, Key + KeyLen);
+    Fresh->BlockLen = Fresh->Cipher.blockBytes();
+    Fresh->Batch = Fresh->Cipher.blocksPerCall();
+    Fresh->IsChacha = Fresh->Cipher.config().Id == CipherId::Chacha20;
+    Fresh->NonceLen = Fresh->BlockLen == 8 ? 8 : 12;
+    Fresh->BatchIn.resize(size_t{Fresh->Batch} * Fresh->BlockLen);
+    Fresh->BatchOut.resize(size_t{Fresh->Batch} * Fresh->BlockLen);
+    std::lock_guard<std::mutex> Lock(M);
+    auto [It, Inserted] = Shards.emplace(ShardKey, std::move(Fresh));
+    if (Inserted)
+      telemetryCount("service.shards");
+    return It->second;
+  }
+
+  /// Builds the counter blocks for \p Take leading blocks of a CTR span
+  /// — exactly the generic path of UsubaCipher::ctrChunk, which is what
+  /// keeps service output byte-identical to a direct ctrXor.
+  static void buildCounterBlocks(const Shard &Sh, const Span &S, size_t Take,
+                                 uint8_t *Dst) {
+    if (Sh.IsChacha) {
+      // A ChaCha20 "counter block" is the whole 16-word input state;
+      // the kernel output is the keystream directly.
+      for (size_t B = 0; B < Take; ++B) {
+        uint32_t State[16];
+        chacha20InitState(State, Sh.Key.data(),
+                          static_cast<uint32_t>(S.Counter + B), S.Nonce);
+        for (unsigned W = 0; W < 16; ++W)
+          for (unsigned Byte = 0; Byte < 4; ++Byte)
+            Dst[B * 64 + 4 * W + Byte] =
+                static_cast<uint8_t>(State[W] >> (8 * Byte));
+      }
+      return;
+    }
+    if (Sh.BlockLen == 8) {
+      const uint64_t Base = load64be(S.Nonce);
+      for (size_t B = 0; B < Take; ++B)
+        store64be(Base + S.Counter + B, Dst + B * 8);
+      return;
+    }
+    // 128-bit blocks: 12-byte nonce followed by a 32-bit big-endian
+    // counter.
+    for (size_t B = 0; B < Take; ++B) {
+      uint8_t *Block = Dst + B * Sh.BlockLen;
+      std::memcpy(Block, S.Nonce, 12);
+      const uint32_t Ctr = static_cast<uint32_t>(S.Counter + B);
+      for (unsigned I = 0; I < 4; ++I)
+        Block[12 + I] = static_cast<uint8_t>(Ctr >> (8 * (3 - I)));
+    }
+  }
+
+  /// Packs up to one blocksPerCall() batch from \p Q, runs the kernel,
+  /// scatters results and retires finished requests into \p Done.
+  /// Caller holds Sh.M.
+  void dispatchOneBatchLocked(Shard &Sh, std::deque<Span> &Q,
+                              size_t &QueuedBlocks, DoneList &Done,
+                              bool ByDeadline) {
+    const unsigned BlockLen = Sh.BlockLen;
+    const unsigned Batch = Sh.Batch;
+    const bool Forward = &Q == &Sh.Fwd;
+
+    size_t Used = 0;
+    std::vector<Placement> Placed;
+    while (Used < Batch && !Q.empty()) {
+      Span &S = Q.front();
+      const size_t Take = std::min<size_t>(S.Blocks, Batch - Used);
+      uint8_t *Dst = &Sh.BatchIn[Used * BlockLen];
+      if (S.Kind == SpanKind::Ctr)
+        buildCounterBlocks(Sh, S, Take, Dst);
+      else
+        std::memcpy(Dst, S.In, Take * BlockLen);
+      const size_t CtrBytes =
+          Take == S.Blocks ? S.Bytes : Take * size_t{BlockLen};
+      Placed.push_back(
+          {S.Req, S.Kind, S.Out, Take, CtrBytes, Used, S.SessionTag});
+      Used += Take;
+      if (Take == S.Blocks) {
+        Q.pop_front();
+      } else {
+        // Partial fit: advance the span in place. Only the last block
+        // of a CTR span can be ragged, and it was not taken.
+        S.Blocks -= Take;
+        S.Out += Take * BlockLen;
+        if (S.Kind == SpanKind::Ctr) {
+          S.Counter += Take;
+          S.Bytes -= Take * BlockLen;
+        } else {
+          S.In += Take * BlockLen;
+        }
+      }
+    }
+    QueuedBlocks -= Used;
+    if (Used == 0)
+      return;
+
+    {
+      TelemetrySpan BatchSpan("service.batch");
+      if (Forward)
+        Sh.Cipher.encryptBlocks(Sh.BatchIn.data(), Sh.BatchOut.data(), Used);
+      else
+        Sh.Cipher.ecbDecrypt(Sh.BatchIn.data(), Sh.BatchOut.data(), Used);
+    }
+
+    const void *FirstTag = Placed.front().SessionTag;
+    bool MultiSession = false;
+    for (const Placement &P : Placed) {
+      const uint8_t *Src = &Sh.BatchOut[P.Slot * BlockLen];
+      if (P.Kind == SpanKind::Ctr) {
+        for (size_t I = 0; I < P.Bytes; ++I)
+          P.Out[I] ^= Src[I];
+      } else {
+        std::memcpy(P.Out, Src, P.Blocks * BlockLen);
+      }
+      MultiSession = MultiSession || P.SessionTag != FirstTag;
+      assert(P.Req->BlocksLeft >= P.Blocks);
+      P.Req->BlocksLeft -= P.Blocks;
+      if (P.Req->BlocksLeft == 0)
+        Done.push_back(P.Req);
+    }
+
+    CoalescedBatches.fetch_add(1, std::memory_order_relaxed);
+    CoalescedBlocks.fetch_add(Used, std::memory_order_relaxed);
+    CoalescedSlots.fetch_add(Batch, std::memory_order_relaxed);
+    telemetryCount("service.coalesced_batches");
+    // A monotonic percent sum: divide by service.coalesced_batches for
+    // the mean slot occupancy.
+    telemetryCount("service.fill_ratio", Used * 100 / Batch);
+    if (MultiSession) {
+      MultiSessionBatches.fetch_add(1, std::memory_order_relaxed);
+      telemetryCount("service.multi_session_batches");
+    }
+    if (ByDeadline) {
+      DeadlineFlushes.fetch_add(1, std::memory_order_relaxed);
+      telemetryCount("service.flush_deadline");
+    }
+  }
+
+  /// Dispatches every currently full batch. Caller holds Sh.M.
+  void dispatchFullLocked(Shard &Sh, DoneList &Done) {
+    while (Sh.FwdBlocks >= Sh.Batch)
+      dispatchOneBatchLocked(Sh, Sh.Fwd, Sh.FwdBlocks, Done, false);
+    while (Sh.InvBlocks >= Sh.Batch)
+      dispatchOneBatchLocked(Sh, Sh.Inv, Sh.InvBlocks, Done, false);
+  }
+
+  /// Drains both queues completely (deadline flush / explicit flush /
+  /// shutdown). Caller holds Sh.M.
+  void drainLocked(Shard &Sh, DoneList &Done, bool ByDeadline) {
+    while (!Sh.Fwd.empty())
+      dispatchOneBatchLocked(Sh, Sh.Fwd, Sh.FwdBlocks, Done, ByDeadline);
+    while (!Sh.Inv.empty())
+      dispatchOneBatchLocked(Sh, Sh.Inv, Sh.InvBlocks, Done, ByDeadline);
+  }
+
+  /// Fulfils retired requests: user callback, then the future, then the
+  /// session's in-flight count (closeSession waits on it). Must be
+  /// called with no shard lock held — callbacks may re-enter.
+  static void finishRequests(DoneList &Done) {
+    for (const std::shared_ptr<RequestState> &Req : Done) {
+      if (Req->Cb)
+        Req->Cb();
+      Req->Done.set_value();
+      SessionState &Sess = *Req->Sess;
+      std::lock_guard<std::mutex> Lock(Sess.M);
+      assert(Sess.Outstanding > 0);
+      if (--Sess.Outstanding == 0)
+        Sess.CV.notify_all();
+    }
+    Done.clear();
+  }
+
+  /// Registers (or tightens) the deadline for a shard with queued
+  /// partial batches. Never called with TimerM already held.
+  void scheduleFlush(const std::shared_ptr<Shard> &Sh,
+                     std::chrono::steady_clock::time_point Deadline) {
+    std::lock_guard<std::mutex> Lock(TimerM);
+    auto It = Due.find(Sh);
+    if (It == Due.end())
+      Due.emplace(Sh, Deadline);
+    else if (Deadline < It->second)
+      It->second = Deadline;
+    else
+      return; // An earlier deadline already covers this shard.
+    TimerCV.notify_all();
+  }
+
+  /// The deadline timer: waits for the earliest registered deadline,
+  /// then drains every expired shard. Holds TimerM only while reading
+  /// the registry — never across a shard lock.
+  void timerLoop() {
+    std::unique_lock<std::mutex> Lock(TimerM);
+    while (!Stop) {
+      if (Due.empty()) {
+        TimerCV.wait(Lock);
+        continue;
+      }
+      auto Earliest = std::min_element(
+          Due.begin(), Due.end(),
+          [](const auto &A, const auto &B) { return A.second < B.second; });
+      const auto Now = std::chrono::steady_clock::now();
+      if (Earliest->second > Now) {
+        TimerCV.wait_until(Lock, Earliest->second);
+        continue; // Deadlines may have changed; re-evaluate.
+      }
+      std::vector<std::shared_ptr<Shard>> Expired;
+      for (auto It = Due.begin(); It != Due.end();) {
+        if (It->second <= Now) {
+          Expired.push_back(It->first);
+          It = Due.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      Lock.unlock();
+      DoneList Done;
+      for (const std::shared_ptr<Shard> &Sh : Expired) {
+        std::lock_guard<std::mutex> ShardLock(Sh->M);
+        drainLocked(*Sh, Done, /*ByDeadline=*/true);
+      }
+      finishRequests(Done);
+      Lock.lock();
+    }
+  }
+
+  /// Resolves a session id (asserting it is open) and its current
+  /// shard, and counts the request against the session.
+  std::shared_ptr<RequestState> beginRequest(SessionId Sid,
+                                             std::shared_ptr<Shard> &Sh,
+                                             Completion Cb) {
+    std::shared_ptr<SessionState> Sess;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      auto It = Sessions.find(Sid);
+      assert(It != Sessions.end() && "submit on closed/unknown session");
+      Sess = It->second;
+      Sh = Sess->Sh;
+    }
+    Requests.fetch_add(1, std::memory_order_relaxed);
+    telemetryCount("service.requests");
+    auto Req = std::make_shared<RequestState>();
+    Req->Cb = std::move(Cb);
+    Req->Sess = Sess;
+    {
+      std::lock_guard<std::mutex> Lock(Sess->M);
+      ++Sess->Outstanding;
+    }
+    return Req;
+  }
+
+  /// Shared body of submitEcbEncrypt/submitEcbDecrypt: direct head,
+  /// coalesced tail, exactly like the CTR path but in whole blocks.
+  std::future<void> submitEcb(SessionId Sid, const uint8_t *In, uint8_t *Out,
+                              size_t NumBlocks, Completion Cb, bool Encrypt) {
+    std::shared_ptr<Shard> Sh;
+    std::shared_ptr<RequestState> Req = beginRequest(Sid, Sh, std::move(Cb));
+    std::future<void> Fut = Req->Done.get_future();
+    assert(!Sh->IsChacha && "ChaCha20 is a stream cipher — use submitCtrXor");
+
+    DoneList Done;
+    if (NumBlocks == 0) {
+      Done.push_back(Req);
+      finishRequests(Done);
+      return Fut;
+    }
+
+    const unsigned BlockLen = Sh->BlockLen;
+    const unsigned Batch = Sh->Batch;
+    std::unique_lock<std::mutex> ShardLock(Sh->M);
+    Req->BlocksLeft = NumBlocks;
+
+    size_t Offset = 0;
+    if (!Cfg.CoalesceOnly && NumBlocks >= Batch) {
+      const size_t HeadBlocks = (NumBlocks / Batch) * size_t{Batch};
+      TelemetrySpan DirectSpan("service.direct");
+      if (Encrypt)
+        Sh->Cipher.ecbEncrypt(In, Out, HeadBlocks);
+      else
+        Sh->Cipher.ecbDecrypt(In, Out, HeadBlocks);
+      DirectBatches.fetch_add(HeadBlocks / Batch, std::memory_order_relaxed);
+      Req->BlocksLeft -= HeadBlocks;
+      Offset = HeadBlocks;
+    }
+
+    if (Offset < NumBlocks) {
+      Span S;
+      S.Req = Req;
+      S.Kind = Encrypt ? SpanKind::EcbEnc : SpanKind::EcbDec;
+      S.In = In + Offset * BlockLen;
+      S.Out = Out + Offset * BlockLen;
+      S.Blocks = NumBlocks - Offset;
+      S.Arrival = std::chrono::steady_clock::now();
+      S.SessionTag = Req->Sess.get();
+      if (Encrypt) {
+        Sh->FwdBlocks += S.Blocks;
+        Sh->Fwd.push_back(std::move(S));
+      } else {
+        Sh->InvBlocks += S.Blocks;
+        Sh->Inv.push_back(std::move(S));
+      }
+    } else if (Req->BlocksLeft == 0) {
+      Done.push_back(Req);
+    }
+    settleAfterEnqueue(Sh, Done, ShardLock);
+    return Fut;
+  }
+
+  /// Post-enqueue bookkeeping shared by the submit paths: dispatch any
+  /// batch the new span filled, then (outside the shard lock) arm the
+  /// deadline for whatever partial remainder is queued.
+  void settleAfterEnqueue(const std::shared_ptr<Shard> &Sh, DoneList &Done,
+                          std::unique_lock<std::mutex> &ShardLock) {
+    dispatchFullLocked(*Sh, Done);
+    bool NeedTimer = false;
+    std::chrono::steady_clock::time_point Oldest;
+    if (!Sh->Fwd.empty()) {
+      NeedTimer = true;
+      Oldest = Sh->Fwd.front().Arrival;
+    }
+    if (!Sh->Inv.empty()) {
+      const auto InvOldest = Sh->Inv.front().Arrival;
+      Oldest = NeedTimer ? std::min(Oldest, InvOldest) : InvOldest;
+      NeedTimer = true;
+    }
+    ShardLock.unlock();
+    if (NeedTimer)
+      scheduleFlush(Sh, Oldest + Cfg.FlushDeadline);
+    finishRequests(Done);
+  }
+};
+
+CipherService::CipherService(ServiceConfig Config)
+    : I(std::make_unique<Impl>(Config)) {}
+
+CipherService::~CipherService() {
+  flush();
+  {
+    std::lock_guard<std::mutex> Lock(I->TimerM);
+    I->Stop = true;
+    I->TimerCV.notify_all();
+  }
+  I->Timer.join();
+}
+
+SessionResult CipherService::openSession(const CipherConfig &Config,
+                                         const uint8_t *Key, size_t KeyLen) {
+  std::vector<Diagnostic> Diags;
+  std::shared_ptr<Shard> Sh = I->shardFor(Config, Key, KeyLen, Diags);
+  if (!Sh)
+    return SessionResult(std::move(Diags));
+  auto Sess = std::make_shared<SessionState>();
+  Sess->Sh = std::move(Sh);
+  std::lock_guard<std::mutex> Lock(I->M);
+  const SessionId Sid = I->NextId++;
+  I->Sessions.emplace(Sid, std::move(Sess));
+  telemetryCount("service.sessions_opened");
+  return SessionResult(Sid);
+}
+
+void CipherService::rekeySession(SessionId Sid, const uint8_t *Key,
+                                 size_t KeyLen) {
+  std::shared_ptr<SessionState> Sess;
+  CipherConfig Config;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    auto It = I->Sessions.find(Sid);
+    assert(It != I->Sessions.end() && "rekey on closed/unknown session");
+    Sess = It->second;
+    Config = Sess->Sh->Cipher.config(); // Already arch-pinned.
+  }
+  std::vector<Diagnostic> Diags;
+  std::shared_ptr<Shard> Fresh = I->shardFor(Config, Key, KeyLen, Diags);
+  // The config compiled when the session opened; only a bad key length
+  // can fail here, which is caller error.
+  assert(Fresh && "rekey with invalid key length");
+  if (!Fresh)
+    return;
+  telemetryCount("service.rekeys");
+  std::lock_guard<std::mutex> Lock(I->M);
+  Sess->Sh = std::move(Fresh);
+}
+
+void CipherService::closeSession(SessionId Sid) {
+  std::shared_ptr<SessionState> Sess;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    auto It = I->Sessions.find(Sid);
+    assert(It != I->Sessions.end() && "double close / unknown session");
+    Sess = It->second;
+    I->Sessions.erase(It);
+  }
+  // Pending spans (including pre-rekey ones in older shards) must
+  // retire before the handle dies: push everything out now rather than
+  // waiting for deadlines.
+  flush();
+  std::unique_lock<std::mutex> Lock(Sess->M);
+  Sess->CV.wait(Lock, [&] { return Sess->Outstanding == 0; });
+}
+
+std::future<void> CipherService::submitCtrXor(SessionId Sid, uint8_t *Data,
+                                              size_t Length,
+                                              const uint8_t *Nonce,
+                                              uint64_t Counter,
+                                              Completion OnDone) {
+  std::shared_ptr<Shard> Sh;
+  std::shared_ptr<RequestState> Req =
+      I->beginRequest(Sid, Sh, std::move(OnDone));
+  std::future<void> Fut = Req->Done.get_future();
+
+  DoneList Done;
+  if (Length == 0) {
+    Done.push_back(Req);
+    Impl::finishRequests(Done);
+    return Fut;
+  }
+
+  const unsigned BlockLen = Sh->BlockLen;
+  const size_t BatchBytes = size_t{Sh->Batch} * BlockLen;
+  std::unique_lock<std::mutex> ShardLock(Sh->M);
+  Req->BlocksLeft = (Length + BlockLen - 1) / BlockLen;
+
+  size_t Offset = 0;
+  uint64_t Ctr = Counter;
+  if (!I->Cfg.CoalesceOnly && Length >= BatchBytes) {
+    // Whole batches of a single request skip the coalescer: dispatch
+    // inline through the full-featured single-stream path (CTR fast
+    // path, SpecializeCtr, pool threading).
+    const size_t HeadBytes = (Length / BatchBytes) * BatchBytes;
+    TelemetrySpan DirectSpan("service.direct");
+    Sh->Cipher.ctrXor(Data, HeadBytes, Nonce, Ctr);
+    const size_t HeadBlocks = HeadBytes / BlockLen;
+    I->DirectBatches.fetch_add(HeadBytes / BatchBytes,
+                               std::memory_order_relaxed);
+    Req->BlocksLeft -= HeadBlocks;
+    Ctr += HeadBlocks;
+    Offset = HeadBytes;
+  }
+
+  if (Offset < Length) {
+    Span S;
+    S.Req = Req;
+    S.Kind = SpanKind::Ctr;
+    S.Out = Data + Offset;
+    S.Counter = Ctr;
+    std::memcpy(S.Nonce, Nonce, Sh->NonceLen);
+    S.Bytes = Length - Offset;
+    S.Blocks = (S.Bytes + BlockLen - 1) / BlockLen;
+    S.Arrival = std::chrono::steady_clock::now();
+    S.SessionTag = Req->Sess.get();
+    Sh->FwdBlocks += S.Blocks;
+    Sh->Fwd.push_back(std::move(S));
+  } else if (Req->BlocksLeft == 0) {
+    Done.push_back(Req);
+  }
+  I->settleAfterEnqueue(Sh, Done, ShardLock);
+  return Fut;
+}
+
+std::future<void> CipherService::submitEcbEncrypt(SessionId Sid,
+                                                  const uint8_t *In,
+                                                  uint8_t *Out,
+                                                  size_t NumBlocks,
+                                                  Completion OnDone) {
+  return I->submitEcb(Sid, In, Out, NumBlocks, std::move(OnDone),
+                      /*Encrypt=*/true);
+}
+
+std::future<void> CipherService::submitEcbDecrypt(SessionId Sid,
+                                                  const uint8_t *In,
+                                                  uint8_t *Out,
+                                                  size_t NumBlocks,
+                                                  Completion OnDone) {
+  return I->submitEcb(Sid, In, Out, NumBlocks, std::move(OnDone),
+                      /*Encrypt=*/false);
+}
+
+void CipherService::flush() {
+  std::vector<std::shared_ptr<Shard>> All;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    All.reserve(I->Shards.size());
+    for (const auto &Entry : I->Shards)
+      All.push_back(Entry.second);
+  }
+  DoneList Done;
+  for (const std::shared_ptr<Shard> &Sh : All) {
+    std::lock_guard<std::mutex> ShardLock(Sh->M);
+    I->drainLocked(*Sh, Done, /*ByDeadline=*/false);
+  }
+  Impl::finishRequests(Done);
+}
+
+ServiceStats CipherService::stats() const {
+  ServiceStats S;
+  S.Requests = I->Requests.load(std::memory_order_relaxed);
+  S.DirectBatches = I->DirectBatches.load(std::memory_order_relaxed);
+  S.CoalescedBatches = I->CoalescedBatches.load(std::memory_order_relaxed);
+  S.MultiSessionBatches =
+      I->MultiSessionBatches.load(std::memory_order_relaxed);
+  S.CoalescedBlocks = I->CoalescedBlocks.load(std::memory_order_relaxed);
+  S.CoalescedSlots = I->CoalescedSlots.load(std::memory_order_relaxed);
+  S.DeadlineFlushes = I->DeadlineFlushes.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(I->M);
+  S.Shards = I->Shards.size();
+  S.OpenSessions = I->Sessions.size();
+  return S;
+}

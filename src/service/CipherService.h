@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------===//
+// CipherService: the multi-tenant front door of the library.
+//
+// The bitsliced engine underneath (ciphers/UsubaCipher.h) only pays off
+// when a call fills all blocksPerCall() slots of one transposed batch —
+// 4 blocks for a vsliced GP64 kernel, 512 for a bitsliced AVX-512 one.
+// A real deployment, though, serves millions of *small, independent*
+// streams, each of which would fill a handful of slots at best. This
+// service closes the gap: clients open per-session handles, submit
+// CTR/ECB requests asynchronously, and a coalescer packs blocks from
+// *different sessions* into full batches before dispatching onto the
+// persistent work-stealing ThreadPool.
+//
+// Sharding. Sessions can share one transposed batch exactly when they
+// share a compiled kernel and a key schedule, so the coalescer shards
+// by (config-canonical-key, key): the canonical half is the process
+// kernel-cache key (ciphers/KernelCache.h) extended with the runtime
+// knobs, the key half is the raw key bytes. Each shard owns one warm
+// UsubaCipher whose broadcast round-key cache and per-(key,epoch)
+// SpecializeCtr clones are reused across every session mapped to it.
+// Shards are cached for the life of the service, so a rekey — which
+// just remaps the session to the shard of its new key — is an epoch
+// bump, never a recompile, and rekeying *back* to a previously seen
+// key lands on the original warm shard.
+//
+// Latency. Full batches dispatch inline on the submitting thread the
+// moment they fill. Partial batches are flushed when the oldest queued
+// block reaches ServiceConfig::FlushDeadline, so p99 latency stays
+// bounded under low load (bench/service_latency.cpp measures the
+// p50/p99-vs-offered-load curve with open-loop Poisson arrivals).
+//
+// Guarantees. Every session's output is byte-identical to a direct
+// single-stream UsubaCipher run with the same key/nonce/counter
+// (tests/service enforces this differentially). Within a session,
+// request buffers must not overlap while in flight; the service never
+// copies client data except through its batch scratch. Completion
+// order across sessions is unspecified.
+//===----------------------------------------------------------------===//
+
+#ifndef USUBA_SERVICE_CIPHERSERVICE_H
+#define USUBA_SERVICE_CIPHERSERVICE_H
+
+#include "ciphers/UsubaCipher.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace usuba {
+
+/// Service-level tuning. All knobs have serving-ready defaults.
+struct ServiceConfig {
+  /// How long a partially filled batch may age before the timer thread
+  /// flushes it. The latency floor under low load; irrelevant under
+  /// load heavy enough to fill batches between arrivals.
+  std::chrono::microseconds FlushDeadline{200};
+  /// Test/diagnostic knob: route *every* request through the coalescer,
+  /// even ones large enough for the direct full-batch path. Makes
+  /// fill-ratio accounting deterministic in tests.
+  bool CoalesceOnly = false;
+};
+
+/// Opaque per-session handle value (never reused within one service).
+using SessionId = uint64_t;
+
+/// Result of CipherService::openSession — either a live session id or
+/// the compiler's structured diagnostics, mirroring CipherResult.
+class SessionResult {
+public:
+  explicit SessionResult(SessionId Id) : Id(Id) {}
+  explicit SessionResult(std::vector<Diagnostic> Diags)
+      : Diags(std::move(Diags)) {}
+
+  bool ok() const { return Diags.empty(); }
+  explicit operator bool() const { return ok(); }
+  /// Valid only when ok().
+  SessionId id() const { return Id; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  /// All diagnostics rendered one per line (empty when ok()).
+  std::string errorText() const;
+
+private:
+  SessionId Id = 0;
+  std::vector<Diagnostic> Diags;
+};
+
+/// Monotonic service counters (a stats() snapshot; see also the
+/// "service.*" telemetry counters, which mirror the coalescer half).
+struct ServiceStats {
+  /// Client submissions accepted (all kinds).
+  uint64_t Requests = 0;
+  /// Full blocksPerCall() batches run inline on the submitter because a
+  /// single request covered them (the coalescer never saw the blocks).
+  uint64_t DirectBatches = 0;
+  /// Batches assembled by the coalescer (full or deadline-flushed).
+  uint64_t CoalescedBatches = 0;
+  /// Coalesced batches that mixed blocks from more than one session.
+  uint64_t MultiSessionBatches = 0;
+  /// Blocks carried by coalesced batches / slots those batches offered
+  /// (CoalescedBatches x blocksPerCall). Their ratio is the fill ratio.
+  uint64_t CoalescedBlocks = 0;
+  uint64_t CoalescedSlots = 0;
+  /// Coalesced batches dispatched by the age deadline rather than by
+  /// filling up.
+  uint64_t DeadlineFlushes = 0;
+  /// Live (config,key) shards and open sessions right now.
+  uint64_t Shards = 0;
+  uint64_t OpenSessions = 0;
+
+  /// Mean slot occupancy of coalesced batches in [0,1]; 0 when none ran.
+  double fillRatio() const {
+    return CoalescedSlots ? double(CoalescedBlocks) / double(CoalescedSlots)
+                          : 0.0;
+  }
+};
+
+/// Long-lived multi-tenant encryption service. Thread-safe: any thread
+/// may open/rekey/close sessions and submit concurrently. The
+/// destructor flushes and completes all pending work.
+class CipherService {
+public:
+  /// Completion callback, invoked exactly once per request after its
+  /// output bytes are fully written, before the future is satisfied.
+  /// Runs on an unspecified service or submitter thread; must not
+  /// block for long (it stalls a shard's dispatch).
+  using Completion = std::function<void()>;
+
+  explicit CipherService(ServiceConfig Config = ServiceConfig());
+  ~CipherService();
+
+  CipherService(const CipherService &) = delete;
+  CipherService &operator=(const CipherService &) = delete;
+
+  /// Opens a session for \p Config with the given key. Compiles the
+  /// shard kernel on first use of the (config,key-less) combination —
+  /// subsequent opens reuse warm shards and the process kernel cache.
+  /// Target archAuto() resolves to the host's best ISA.
+  SessionResult openSession(const CipherConfig &Config, const uint8_t *Key,
+                            size_t KeyLen);
+
+  /// Replaces the session's key. In-flight requests complete under the
+  /// old key; requests submitted after rekeySession returns use the new
+  /// one. An epoch bump, not a recompile: the session moves to the
+  /// (possibly pre-existing, warm) shard of the new key.
+  void rekeySession(SessionId Sid, const uint8_t *Key, size_t KeyLen);
+
+  /// Flushes the session's pending blocks, waits for its in-flight
+  /// requests to complete, then releases the handle. The shard (and its
+  /// compiled kernel) stays warm for future sessions.
+  void closeSession(SessionId Sid);
+
+  /// CTR keystream XOR over \p Data in place (encrypt == decrypt).
+  /// Nonce: 8 bytes for 64-bit blocks, 12 for ChaCha20 / 128-bit
+  /// blocks — exactly UsubaCipher::ctrXor's contract. \p Data must stay
+  /// valid and unaliased until completion.
+  std::future<void> submitCtrXor(SessionId Sid, uint8_t *Data, size_t Length,
+                                 const uint8_t *Nonce, uint64_t Counter,
+                                 Completion OnDone = nullptr);
+
+  /// ECB over whole blocks (block ciphers only). In may equal Out;
+  /// both must stay valid until completion.
+  std::future<void> submitEcbEncrypt(SessionId Sid, const uint8_t *In,
+                                     uint8_t *Out, size_t NumBlocks,
+                                     Completion OnDone = nullptr);
+  std::future<void> submitEcbDecrypt(SessionId Sid, const uint8_t *In,
+                                     uint8_t *Out, size_t NumBlocks,
+                                     Completion OnDone = nullptr);
+
+  /// Dispatches every partially filled batch now, without waiting for
+  /// the age deadline. Returns after the flushed requests completed.
+  void flush();
+
+  /// Snapshot of the monotonic counters.
+  ServiceStats stats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace usuba
+
+#endif // USUBA_SERVICE_CIPHERSERVICE_H

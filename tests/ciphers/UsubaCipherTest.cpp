@@ -222,22 +222,24 @@ TEST(UsubaCipher, RejectsInvalidSlicings) {
       << Result.errorText();
 }
 
-TEST(UsubaCipher, DeprecatedCreateStillWorks) {
-  // Back-compat facade: the old null-on-failure shape keeps compiling
-  // (with a deprecation warning) and flattens the first diagnostic.
+TEST(UsubaCipher, CompileResultCoversTheOldCreateShapes) {
+  // The structured compile()/CipherResult facade expresses both halves
+  // of the removed create() shim: failure carries diagnostics, success
+  // yields a cipher via take().
   CipherConfig Config;
   Config.Id = CipherId::Chacha20;
   Config.Slicing = SlicingMode::Bitslice;
   Config.Target = &archAVX2();
-  std::string Error;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_FALSE(UsubaCipher::create(Config, &Error).has_value());
+  CipherResult Failed = UsubaCipher::compile(Config);
+  EXPECT_FALSE(Failed.ok());
+  EXPECT_NE(Failed.errorText().find("Arith"), std::string::npos)
+      << Failed.errorText();
   Config.Slicing = SlicingMode::Vslice;
   Config.PreferNative = false;
-  EXPECT_TRUE(UsubaCipher::create(Config).has_value());
-#pragma GCC diagnostic pop
-  EXPECT_NE(Error.find("Arith"), std::string::npos);
+  CipherResult Ok = UsubaCipher::compile(Config);
+  ASSERT_TRUE(Ok.ok()) << Ok.errorText();
+  UsubaCipher Cipher = std::move(Ok).take();
+  EXPECT_EQ(Cipher.stats().Fallback, EngineFallback::NativeDisabled);
 }
 
 TEST(UsubaCipher, SupportedSlicingsMatchThePaper) {

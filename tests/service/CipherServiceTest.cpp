@@ -1,0 +1,579 @@
+//===- CipherServiceTest.cpp - multi-tenant coalescing service ------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The service's load-bearing promise is byte-identity: whatever the
+// coalescer does — packing blocks from many sessions into one batch,
+// splitting a span across batches, flushing partials on a deadline —
+// every session's output must equal a direct single-stream UsubaCipher
+// run with the same key/nonce/counter. These tests enforce that
+// differentially, and pin the lifecycle semantics around it: rekey is
+// an epoch bump onto a (possibly warm) shard, close waits for in-flight
+// work, concurrent open/submit/close from many threads is safe, and
+// multi-session traffic demonstrably fills batches better than
+// flush-per-request single-session traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CipherService.h"
+
+#include "tests/TestSeed.h"
+#include "types/Arch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+CipherConfig cfg(CipherId Id, SlicingMode Mode,
+                 const Arch *Target = &archAVX2()) {
+  CipherConfig Config;
+  Config.Id = Id;
+  Config.Slicing = Mode;
+  Config.Target = Target;
+  // The interpreter rung keeps these tests JIT-free and deterministic;
+  // the engine underneath is the one the differential oracle trusts.
+  Config.PreferNative = false;
+  return Config;
+}
+
+std::vector<uint8_t> randomBytes(std::mt19937_64 &Rng, size_t N) {
+  std::vector<uint8_t> Out(N);
+  for (uint8_t &B : Out)
+    B = static_cast<uint8_t>(Rng());
+  return Out;
+}
+
+UsubaCipher compileOk(const CipherConfig &Config) {
+  CipherResult Result = UsubaCipher::compile(Config);
+  EXPECT_TRUE(Result.ok()) << Result.errorText();
+  return std::move(Result).take();
+}
+
+UsubaCipher direct(const CipherConfig &Config, const std::vector<uint8_t> &Key) {
+  UsubaCipher Cipher = compileOk(Config);
+  Cipher.setKey(Key.data(), Key.size());
+  return Cipher;
+}
+
+/// One simulated tenant stream: its own nonce and payload, checked
+/// against a direct single-stream encryption of the same bytes.
+struct Stream {
+  std::vector<uint8_t> Nonce;
+  uint64_t Counter = 0;
+  std::vector<uint8_t> Data;     // What the service encrypts (in place).
+  std::vector<uint8_t> Expected; // Direct-cipher ciphertext.
+};
+
+} // namespace
+
+TEST(CipherService, CoalescedCtrMatchesDirectAcrossSessions) {
+  const uint64_t Seed = testSeed(0x5e41ce01);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  struct Shape {
+    CipherId Id;
+    SlicingMode Mode;
+    unsigned NonceLen;
+  };
+  const Shape Shapes[] = {
+      {CipherId::Rectangle, SlicingMode::Vslice, 8},
+      {CipherId::Des, SlicingMode::Bitslice, 8},
+      {CipherId::Chacha20, SlicingMode::Vslice, 12},
+  };
+  for (const Shape &S : Shapes) {
+    const CipherConfig Config = cfg(S.Id, S.Mode);
+
+    ServiceConfig Svc;
+    Svc.CoalesceOnly = true; // Everything must ride the coalescer.
+    Svc.FlushDeadline = std::chrono::milliseconds(200);
+    CipherService Service(Svc);
+
+    // All sessions share one key, hence one shard, hence one batch.
+    UsubaCipher Oracle = compileOk(Config);
+    std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+    Oracle.setKey(Key.data(), Key.size());
+    const unsigned BlockLen = Oracle.blockBytes();
+
+    constexpr unsigned NumSessions = 6;
+    std::vector<SessionId> Sids;
+    std::vector<Stream> Streams(NumSessions);
+    for (unsigned I = 0; I < NumSessions; ++I) {
+      SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+      ASSERT_TRUE(R.ok()) << R.errorText();
+      Sids.push_back(R.id());
+      Stream &St = Streams[I];
+      St.Nonce = randomBytes(Rng, S.NonceLen);
+      St.Counter = Rng() % 1000;
+      // Ragged lengths straddling block and batch boundaries.
+      St.Data = randomBytes(Rng, 1 + (Rng() % (5 * BlockLen)));
+      St.Expected = St.Data;
+      Oracle.ctrXor(St.Expected.data(), St.Expected.size(), St.Nonce.data(),
+                    St.Counter);
+    }
+
+    std::vector<std::future<void>> Futs;
+    for (unsigned I = 0; I < NumSessions; ++I)
+      Futs.push_back(Service.submitCtrXor(Sids[I], Streams[I].Data.data(),
+                                          Streams[I].Data.size(),
+                                          Streams[I].Nonce.data(),
+                                          Streams[I].Counter));
+    Service.flush();
+    for (auto &F : Futs)
+      F.get();
+
+    for (unsigned I = 0; I < NumSessions; ++I)
+      EXPECT_EQ(Streams[I].Data, Streams[I].Expected)
+          << "session " << I << " cipher " << static_cast<int>(S.Id);
+
+    const ServiceStats Stats = Service.stats();
+    EXPECT_EQ(Stats.Requests, NumSessions);
+    EXPECT_GE(Stats.CoalescedBatches, 1u);
+    EXPECT_EQ(Stats.DirectBatches, 0u);
+    for (SessionId Sid : Sids)
+      Service.closeSession(Sid);
+  }
+}
+
+TEST(CipherService, DirectPathMatchesDirectCipher) {
+  const uint64_t Seed = testSeed(0x5e41ce02);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  CipherService Service; // Default config: direct path enabled.
+
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  Oracle.setKey(Key.data(), Key.size());
+  const size_t BatchBytes =
+      size_t{Oracle.blocksPerCall()} * Oracle.blockBytes();
+
+  SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  // Three whole batches plus a ragged coalesced tail.
+  std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+  std::vector<uint8_t> Data = randomBytes(Rng, 3 * BatchBytes + 13);
+  std::vector<uint8_t> Expected = Data;
+  Oracle.ctrXor(Expected.data(), Expected.size(), Nonce.data(), 7);
+
+  std::future<void> Fut =
+      Service.submitCtrXor(R.id(), Data.data(), Data.size(), Nonce.data(), 7);
+  Service.flush();
+  Fut.get();
+  EXPECT_EQ(Data, Expected);
+
+  const ServiceStats Stats = Service.stats();
+  EXPECT_EQ(Stats.DirectBatches, 3u);
+  EXPECT_GE(Stats.CoalescedBatches, 1u);
+  Service.closeSession(R.id());
+}
+
+TEST(CipherService, EcbEncryptDecryptMatchesDirect) {
+  const uint64_t Seed = testSeed(0x5e41ce03);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true;
+  CipherService Service(Svc);
+
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  Oracle.setKey(Key.data(), Key.size());
+  const unsigned BlockLen = Oracle.blockBytes();
+
+  SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  const size_t NumBlocks = 7;
+  std::vector<uint8_t> Plain = randomBytes(Rng, NumBlocks * BlockLen);
+  std::vector<uint8_t> Expected(Plain.size());
+  Oracle.ecbEncrypt(Plain.data(), Expected.data(), NumBlocks);
+
+  std::vector<uint8_t> Enc(Plain.size());
+  std::future<void> F1 =
+      Service.submitEcbEncrypt(R.id(), Plain.data(), Enc.data(), NumBlocks);
+  Service.flush();
+  F1.get();
+  EXPECT_EQ(Enc, Expected);
+
+  // Decrypt through the inverse queue, in place (In == Out aliasing).
+  std::vector<uint8_t> RoundTrip = Enc;
+  std::future<void> F2 = Service.submitEcbDecrypt(R.id(), RoundTrip.data(),
+                                                  RoundTrip.data(), NumBlocks);
+  Service.flush();
+  F2.get();
+  EXPECT_EQ(RoundTrip, Plain);
+  Service.closeSession(R.id());
+}
+
+TEST(CipherService, MixedCtrAndEcbShareOneForwardBatch) {
+  const uint64_t Seed = testSeed(0x5e41ce04);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true;
+  CipherService Service(Svc);
+
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  Oracle.setKey(Key.data(), Key.size());
+  const unsigned BlockLen = Oracle.blockBytes();
+
+  SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+  std::vector<uint8_t> Ctr = randomBytes(Rng, BlockLen);
+  std::vector<uint8_t> CtrExpected = Ctr;
+  Oracle.ctrXor(CtrExpected.data(), CtrExpected.size(), Nonce.data(), 3);
+
+  std::vector<uint8_t> Plain = randomBytes(Rng, BlockLen);
+  std::vector<uint8_t> EcbExpected(BlockLen);
+  Oracle.ecbEncrypt(Plain.data(), EcbExpected.data(), 1);
+
+  std::vector<uint8_t> EcbOut(BlockLen);
+  std::future<void> F1 =
+      Service.submitCtrXor(R.id(), Ctr.data(), Ctr.size(), Nonce.data(), 3);
+  std::future<void> F2 =
+      Service.submitEcbEncrypt(R.id(), Plain.data(), EcbOut.data(), 1);
+  Service.flush();
+  F1.get();
+  F2.get();
+  EXPECT_EQ(Ctr, CtrExpected);
+  EXPECT_EQ(EcbOut, EcbExpected);
+  // Both kinds ride the forward kernel, so one batch carried them both.
+  EXPECT_EQ(Service.stats().CoalescedBatches, 1u);
+  Service.closeSession(R.id());
+}
+
+TEST(CipherService, RekeyIsAnEpochBumpOntoAWarmShard) {
+  const uint64_t Seed = testSeed(0x5e41ce05);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true;
+  Svc.FlushDeadline = std::chrono::milliseconds(200);
+  CipherService Service(Svc);
+
+  UsubaCipher OracleProbe = compileOk(Config);
+  std::vector<uint8_t> Key1 = randomBytes(Rng, OracleProbe.keyBytes());
+  std::vector<uint8_t> Key2 = randomBytes(Rng, OracleProbe.keyBytes());
+  UsubaCipher Oracle1 = direct(Config, Key1);
+  UsubaCipher Oracle2 = direct(Config, Key2);
+  const unsigned BlockLen = Oracle1.blockBytes();
+
+  SessionResult R = Service.openSession(Config, Key1.data(), Key1.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  // In-flight under the old key while the rekey lands: the queued span
+  // keeps its key epoch.
+  std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+  std::vector<uint8_t> Before = randomBytes(Rng, 2 * BlockLen + 3);
+  std::vector<uint8_t> BeforeExpected = Before;
+  Oracle1.ctrXor(BeforeExpected.data(), BeforeExpected.size(), Nonce.data(), 9);
+  std::future<void> F1 = Service.submitCtrXor(R.id(), Before.data(),
+                                              Before.size(), Nonce.data(), 9);
+
+  Service.rekeySession(R.id(), Key2.data(), Key2.size());
+
+  std::vector<uint8_t> After = randomBytes(Rng, 2 * BlockLen + 5);
+  std::vector<uint8_t> AfterExpected = After;
+  Oracle2.ctrXor(AfterExpected.data(), AfterExpected.size(), Nonce.data(), 9);
+  std::future<void> F2 = Service.submitCtrXor(R.id(), After.data(),
+                                              After.size(), Nonce.data(), 9);
+
+  Service.flush();
+  F1.get();
+  F2.get();
+  EXPECT_EQ(Before, BeforeExpected);
+  EXPECT_EQ(After, AfterExpected);
+  EXPECT_EQ(Service.stats().Shards, 2u);
+
+  // Rekeying back to a previously seen key reuses its warm shard — no
+  // third shard, no recompile.
+  Service.rekeySession(R.id(), Key1.data(), Key1.size());
+  std::vector<uint8_t> Again = randomBytes(Rng, BlockLen);
+  std::vector<uint8_t> AgainExpected = Again;
+  Oracle1.ctrXor(AgainExpected.data(), AgainExpected.size(), Nonce.data(), 42);
+  std::future<void> F3 = Service.submitCtrXor(R.id(), Again.data(),
+                                              Again.size(), Nonce.data(), 42);
+  Service.flush();
+  F3.get();
+  EXPECT_EQ(Again, AgainExpected);
+  EXPECT_EQ(Service.stats().Shards, 2u);
+  Service.closeSession(R.id());
+}
+
+TEST(CipherService, DeadlineFlushCompletesPartialBatches) {
+  const uint64_t Seed = testSeed(0x5e41ce06);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true;
+  Svc.FlushDeadline = std::chrono::milliseconds(2);
+  CipherService Service(Svc);
+
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  Oracle.setKey(Key.data(), Key.size());
+
+  SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+  std::vector<uint8_t> Data = randomBytes(Rng, 5); // Less than one block.
+  std::vector<uint8_t> Expected = Data;
+  Oracle.ctrXor(Expected.data(), Expected.size(), Nonce.data(), 0);
+
+  // No flush() call: the age deadline alone must complete the request.
+  Service.submitCtrXor(R.id(), Data.data(), Data.size(), Nonce.data(), 0)
+      .get();
+  EXPECT_EQ(Data, Expected);
+  const ServiceStats Stats = Service.stats();
+  EXPECT_GE(Stats.DeadlineFlushes, 1u);
+  EXPECT_EQ(Stats.CoalescedBatches, Stats.DeadlineFlushes);
+  Service.closeSession(R.id());
+}
+
+TEST(CipherService, MultiSessionTrafficFillsBatchesBetter) {
+  const uint64_t Seed = testSeed(0x5e41ce07);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  // GP64 keeps blocksPerCall() host-independent (bitslice: 64 slots —
+  // wide enough that per-request flushing visibly starves the batch).
+  const CipherConfig Config =
+      cfg(CipherId::Rectangle, SlicingMode::Bitslice, nullptr);
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  const unsigned BlockLen = Oracle.blockBytes();
+  const unsigned Batch = Oracle.blocksPerCall();
+
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true;
+  Svc.FlushDeadline = std::chrono::milliseconds(200);
+
+  // Baseline: one session whose single-block requests are flushed one
+  // by one (an idle deadline between every arrival).
+  double SingleFill = 0;
+  {
+    CipherService Service(Svc);
+    SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    for (unsigned I = 0; I < Batch; ++I) {
+      std::vector<uint8_t> Data = randomBytes(Rng, BlockLen);
+      std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+      std::future<void> F = Service.submitCtrXor(R.id(), Data.data(),
+                                                 Data.size(), Nonce.data(), 0);
+      Service.flush();
+      F.get();
+    }
+    SingleFill = Service.stats().fillRatio();
+    EXPECT_EQ(Service.stats().CoalescedBatches, Batch);
+    Service.closeSession(R.id());
+  }
+
+  // Multi-session: the same traffic interleaved across sessions packs
+  // into one full batch.
+  double MultiFill = 0;
+  {
+    CipherService Service(Svc);
+    std::vector<SessionId> Sids;
+    std::vector<std::vector<uint8_t>> Buffers, Nonces;
+    std::vector<std::future<void>> Futs;
+    for (unsigned I = 0; I < Batch; ++I) {
+      SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+      ASSERT_TRUE(R.ok()) << R.errorText();
+      Sids.push_back(R.id());
+      Buffers.push_back(randomBytes(Rng, BlockLen));
+      Nonces.push_back(randomBytes(Rng, 8));
+    }
+    for (unsigned I = 0; I < Batch; ++I)
+      Futs.push_back(Service.submitCtrXor(Sids[I], Buffers[I].data(),
+                                          Buffers[I].size(),
+                                          Nonces[I].data(), 0));
+    Service.flush();
+    for (auto &F : Futs)
+      F.get();
+    const ServiceStats Stats = Service.stats();
+    MultiFill = Stats.fillRatio();
+    EXPECT_EQ(Stats.CoalescedBatches, 1u);
+    EXPECT_EQ(Stats.MultiSessionBatches, 1u);
+    for (SessionId Sid : Sids)
+      Service.closeSession(Sid);
+  }
+
+  EXPECT_DOUBLE_EQ(MultiFill, 1.0);
+  EXPECT_GT(MultiFill, SingleFill);
+}
+
+TEST(CipherService, ConcurrentOpenSubmitCloseManyThreads) {
+  const uint64_t Seed = testSeed(0x5e41ce08);
+  SCOPED_TRACE(testSeedTrace(Seed));
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  // Shared key: all threads coalesce into one shard, maximizing
+  // cross-thread batch mixing (the TSan-interesting case).
+  std::mt19937_64 SetupRng(Seed);
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(SetupRng, Oracle.keyBytes());
+  Oracle.setKey(Key.data(), Key.size());
+  const unsigned BlockLen = Oracle.blockBytes();
+
+  ServiceConfig Svc;
+  Svc.FlushDeadline = std::chrono::microseconds(300);
+  CipherService Service(Svc);
+
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 12;
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      std::mt19937_64 Rng(Seed + 1 + T);
+      for (unsigned Round = 0; Round < Rounds; ++Round) {
+        SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+        if (!R.ok()) {
+          ++Mismatches;
+          return;
+        }
+        std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+        const uint64_t Counter = Rng() % 4096;
+        std::vector<uint8_t> Data =
+            randomBytes(Rng, 1 + (Rng() % (6 * BlockLen)));
+        std::vector<uint8_t> Expected = Data;
+        {
+          static std::mutex OracleM; // The oracle cipher is not thread-safe.
+          std::lock_guard<std::mutex> Lock(OracleM);
+          Oracle.ctrXor(Expected.data(), Expected.size(), Nonce.data(),
+                        Counter);
+        }
+        std::future<void> F = Service.submitCtrXor(
+            R.id(), Data.data(), Data.size(), Nonce.data(), Counter);
+        F.get(); // Deadline flushes push partials out.
+        if (Data != Expected)
+          ++Mismatches;
+        Service.closeSession(R.id());
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+  EXPECT_EQ(Service.stats().OpenSessions, 0u);
+}
+
+TEST(CipherService, SpecializedCtrDirectPathCrossesEpochs) {
+  const uint64_t Seed = testSeed(0x5e41ce09);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  Config.SpecializeCtr = true;
+  CipherService Service;
+
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  Oracle.setKey(Key.data(), Key.size());
+  const size_t BatchBytes =
+      size_t{Oracle.blocksPerCall()} * Oracle.blockBytes();
+
+  SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  // A nonce whose counter base sits just below an epoch boundary (bits
+  // 32..63 about to flip): the direct path must fall back off the
+  // specialized clone exactly like a single-stream cipher does.
+  std::vector<uint8_t> Nonce(8, 0);
+  Nonce[3] = 0x01; // Base = 0x00000001'00000000 ...
+  for (unsigned I = 4; I < 8; ++I)
+    Nonce[I] = 0xff; // ... minus a handful of blocks.
+  Nonce[7] = 0xfd;
+
+  std::vector<uint8_t> Data = randomBytes(Rng, 2 * BatchBytes + 9);
+  std::vector<uint8_t> Expected = Data;
+  Oracle.ctrXor(Expected.data(), Expected.size(), Nonce.data(), 0);
+
+  std::future<void> Fut =
+      Service.submitCtrXor(R.id(), Data.data(), Data.size(), Nonce.data(), 0);
+  Service.flush();
+  Fut.get();
+  EXPECT_EQ(Data, Expected);
+  Service.closeSession(R.id());
+}
+
+TEST(CipherService, CallbackRunsBeforeFutureAndOncePerRequest) {
+  const uint64_t Seed = testSeed(0x5e41ce0a);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true;
+  CipherService Service(Svc);
+
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  (void)Oracle;
+
+  SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  std::atomic<int> Calls{0};
+  std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+  std::vector<uint8_t> Data = randomBytes(Rng, 5);
+  std::future<void> Fut =
+      Service.submitCtrXor(R.id(), Data.data(), Data.size(), Nonce.data(), 0,
+                           [&] { ++Calls; });
+  Service.flush();
+  Fut.get();
+  EXPECT_EQ(Calls.load(), 1);
+
+  // Zero-length requests complete immediately, callback included.
+  Calls = 0;
+  Service.submitCtrXor(R.id(), nullptr, 0, Nonce.data(), 0, [&] { ++Calls; })
+      .get();
+  EXPECT_EQ(Calls.load(), 1);
+  Service.closeSession(R.id());
+}
+
+TEST(CipherService, OpenSessionSurfacesStructuredDiagnostics) {
+  // Bitsliced ChaCha20 is the canonical type error (arithmetic on
+  // bit-polymorphic words): openSession must surface the compiler's
+  // diagnostics, mirroring UsubaCipher::compile.
+  CipherService Service;
+  const CipherConfig Bad = cfg(CipherId::Chacha20, SlicingMode::Bitslice);
+  uint8_t Key[32] = {};
+  SessionResult R = Service.openSession(Bad, Key, sizeof(Key));
+  EXPECT_FALSE(R.ok());
+  EXPECT_FALSE(R.diagnostics().empty());
+  EXPECT_NE(R.errorText().find("Arith"), std::string::npos) << R.errorText();
+
+  // A wrong key length is rejected up front, not asserted downstream.
+  const CipherConfig Good = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  SessionResult Short = Service.openSession(Good, Key, 3);
+  EXPECT_FALSE(Short.ok());
+  EXPECT_NE(Short.errorText().find("key length"), std::string::npos)
+      << Short.errorText();
+  EXPECT_EQ(Service.stats().OpenSessions, 0u);
+}
