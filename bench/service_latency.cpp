@@ -19,12 +19,22 @@
 /// the *scheduled* arrival, not the actual submit, so a backed-up
 /// session cannot hide queueing delay (no coordinated omission).
 ///
+/// Latencies are recorded into the shared lock-free Histogram
+/// (support/Histogram.h) — the same structure the service's own stage
+/// histograms use — and each result row embeds the per-combo deltas of
+/// the service's queue-wait / coalesce-wait / kernel / callback stage
+/// histograms ("stages"), so the checked-in baseline says not just how
+/// slow p99 was but *where* the time went.
+///
 /// Usage: service_latency [--out FILE] [--sessions n,m] [--rps r,s]
 ///                        [--seconds S] [--deadline-us D] [--payload B]
+///                        [--no-telemetry] [--metrics FILE]
 /// Defaults: stdout; sessions {1,32}; offered load {2000,20000} rps;
 /// 1 s per combination; 200 us flush deadline; 64-byte requests over
 /// DES/bitslice/sse (the paper's deep-batch shape: 128 blocks per
-/// call).
+/// call). --no-telemetry measures with metrics off (the overhead
+/// baseline CI compares against); --metrics dumps the Prometheus
+/// exposition after the run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -70,6 +80,20 @@ std::vector<unsigned> parseList(const char *Arg) {
   return Out;
 }
 
+/// The four per-request lifecycle stages the service records (see
+/// CipherService.h "Observability") — row order is emission order.
+struct StageDef {
+  const char *Key;
+  const char *HistName;
+};
+constexpr StageDef StageDefs[] = {
+    {"queue_wait", "service.queue_wait_ns"},
+    {"coalesce_wait", "service.coalesce_wait_ns"},
+    {"kernel", "service.kernel_ns"},
+    {"callback", "service.callback_ns"},
+};
+constexpr size_t NumStages = sizeof(StageDefs) / sizeof(StageDefs[0]);
+
 struct ComboResult {
   unsigned Sessions = 0;
   unsigned OfferedRps = 0;
@@ -77,17 +101,11 @@ struct ComboResult {
   double AchievedRps = 0;
   double P50Us = 0, P99Us = 0, MeanUs = 0;
   ServiceStats Stats;
+  /// Per-combo deltas of the service stage histograms (telemetry runs
+  /// only — HasStages false when metrics were off).
+  bool HasStages = false;
+  Histogram::Snapshot Stages[NumStages];
 };
-
-double percentileUs(std::vector<double> &SortedUs, double P) {
-  if (SortedUs.empty())
-    return 0;
-  const double Rank = P * double(SortedUs.size() - 1);
-  const size_t Lo = size_t(Rank);
-  const size_t Hi = std::min(Lo + 1, SortedUs.size() - 1);
-  const double Frac = Rank - double(Lo);
-  return SortedUs[Lo] * (1 - Frac) + SortedUs[Hi] * Frac;
-}
 
 /// One (sessions, offered-rps) measurement: spin up the service and the
 /// per-session clients, run for Seconds, aggregate latencies.
@@ -97,11 +115,22 @@ ComboResult runCombo(const CipherConfig &Config,
                      size_t PayloadBytes, uint64_t Seed) {
   ServiceConfig Svc;
   Svc.FlushDeadline = std::chrono::microseconds(DeadlineUs);
+
+  // Per-combo stage attribution: the service histograms are
+  // process-lifetime, so the combo's share is the snapshot delta.
+  const bool Metrics = telemetryEnabled();
+  Histogram::Snapshot StageBefore[NumStages];
+  if (Metrics)
+    for (size_t I = 0; I < NumStages; ++I)
+      StageBefore[I] =
+          Telemetry::instance().histogramRef(StageDefs[I].HistName).snapshot();
+
   CipherService Service(Svc);
 
   // One tenant key: the multi-session win this bench demonstrates is
   // same-shard coalescing (cross-key sessions never share a batch).
-  std::vector<std::vector<double>> LatenciesUs(Sessions);
+  // One shared lock-free histogram takes every client's samples.
+  Histogram LatencyNs;
   std::vector<std::thread> Clients;
   const double RatePerSession =
       double(OfferedRps) / double(std::max(1u, Sessions));
@@ -122,7 +151,6 @@ ComboResult runCombo(const CipherConfig &Config,
       uint8_t Nonce[12] = {};
       Nonce[0] = uint8_t(S + 1);
       uint64_t Counter = 0;
-      std::vector<double> &Lat = LatenciesUs[S];
       auto Scheduled = Clock::now();
       while (true) {
         Scheduled += std::chrono::duration_cast<Clock::duration>(
@@ -134,9 +162,10 @@ ComboResult runCombo(const CipherConfig &Config,
             .submitCtrXor(R.id(), Payload.data(), Payload.size(), Nonce,
                           Counter)
             .get();
-        Lat.push_back(std::chrono::duration<double, std::micro>(
-                          Clock::now() - Scheduled)
-                          .count());
+        const auto Lat = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - Scheduled)
+                             .count();
+        LatencyNs.record(Lat > 0 ? static_cast<uint64_t>(Lat) : 0);
         Counter += 1024; // Keep per-request counter ranges disjoint.
       }
       Service.closeSession(R.id());
@@ -146,24 +175,26 @@ ComboResult runCombo(const CipherConfig &Config,
     T.join();
   const double Elapsed =
       std::chrono::duration<double>(Clock::now() - Start).count();
+  Service.flush();
 
-  std::vector<double> All;
-  for (const std::vector<double> &L : LatenciesUs)
-    All.insert(All.end(), L.begin(), L.end());
-  std::sort(All.begin(), All.end());
-
+  const Histogram::Snapshot Lat = LatencyNs.snapshot();
   ComboResult Res;
   Res.Sessions = Sessions;
   Res.OfferedRps = OfferedRps;
-  Res.Completed = All.size();
-  Res.AchievedRps = Elapsed > 0 ? double(All.size()) / Elapsed : 0;
-  Res.P50Us = percentileUs(All, 0.50);
-  Res.P99Us = percentileUs(All, 0.99);
-  double Sum = 0;
-  for (double L : All)
-    Sum += L;
-  Res.MeanUs = All.empty() ? 0 : Sum / double(All.size());
+  Res.Completed = Lat.Count;
+  Res.AchievedRps = Elapsed > 0 ? double(Lat.Count) / Elapsed : 0;
+  Res.P50Us = double(Lat.percentile(0.50)) / 1e3;
+  Res.P99Us = double(Lat.percentile(0.99)) / 1e3;
+  Res.MeanUs = Lat.mean() / 1e3;
   Res.Stats = Service.stats();
+  if (Metrics) {
+    Res.HasStages = true;
+    for (size_t I = 0; I < NumStages; ++I) {
+      Res.Stages[I] =
+          Telemetry::instance().histogramRef(StageDefs[I].HistName).snapshot();
+      Res.Stages[I].subtract(StageBefore[I]);
+    }
+  }
   return Res;
 }
 
@@ -171,14 +202,18 @@ ComboResult runCombo(const CipherConfig &Config,
 
 int main(int Argc, char **Argv) {
   const char *OutPath = nullptr;
+  const char *MetricsPath = nullptr;
   std::vector<unsigned> Sessions = {1, 32};
   std::vector<unsigned> Rps = {2000, 20000};
   double Seconds = 1.0;
   unsigned DeadlineUs = 200;
   size_t PayloadBytes = 64;
+  bool NoTelemetry = false;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--out") && I + 1 < Argc)
       OutPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--metrics") && I + 1 < Argc)
+      MetricsPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--sessions") && I + 1 < Argc)
       Sessions = parseList(Argv[++I]);
     else if (!std::strcmp(Argv[I], "--rps") && I + 1 < Argc)
@@ -189,10 +224,13 @@ int main(int Argc, char **Argv) {
       DeadlineUs = unsigned(std::strtoul(Argv[++I], nullptr, 10));
     else if (!std::strcmp(Argv[I], "--payload") && I + 1 < Argc)
       PayloadBytes = std::strtoul(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--no-telemetry"))
+      NoTelemetry = true;
     else {
       std::fprintf(stderr,
                    "usage: %s [--out FILE] [--sessions n,m] [--rps r,s] "
-                   "[--seconds S] [--deadline-us D] [--payload B]\n",
+                   "[--seconds S] [--deadline-us D] [--payload B] "
+                   "[--no-telemetry] [--metrics FILE]\n",
                    Argv[0]);
       return 2;
     }
@@ -215,7 +253,8 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  Telemetry::instance().setEnabled(true);
+  if (!NoTelemetry)
+    Telemetry::instance().setEnabled(true);
 
   std::vector<ComboResult> Results;
   for (unsigned S : Sessions)
@@ -246,20 +285,46 @@ int main(int Argc, char **Argv) {
         "\"p50_us\": %.1f, \"p99_us\": %.1f, \"mean_us\": %.1f, "
         "\"fill_ratio\": %.4f, \"coalesced_batches\": %llu, "
         "\"multi_session_batches\": %llu, \"direct_batches\": %llu, "
-        "\"deadline_flushes\": %llu}",
+        "\"deadline_flushes\": %llu, \"slow_requests\": %llu",
         First ? "" : ",", R.Sessions, R.OfferedRps,
         static_cast<unsigned long long>(R.Completed), R.AchievedRps, R.P50Us,
         R.P99Us, R.MeanUs, R.Stats.fillRatio(),
         static_cast<unsigned long long>(R.Stats.CoalescedBatches),
         static_cast<unsigned long long>(R.Stats.MultiSessionBatches),
         static_cast<unsigned long long>(R.Stats.DirectBatches),
-        static_cast<unsigned long long>(R.Stats.DeadlineFlushes));
+        static_cast<unsigned long long>(R.Stats.DeadlineFlushes),
+        static_cast<unsigned long long>(R.Stats.SlowRequests));
+    if (R.HasStages) {
+      std::fprintf(Out, ", \"stages\": {");
+      for (size_t I = 0; I < NumStages; ++I) {
+        const Histogram::Snapshot &S = R.Stages[I];
+        std::fprintf(Out,
+                     "%s\"%s\": {\"count\": %llu, \"p50_us\": %.1f, "
+                     "\"p99_us\": %.1f, \"mean_us\": %.1f}",
+                     I ? ", " : "", StageDefs[I].Key,
+                     static_cast<unsigned long long>(S.Count),
+                     double(S.percentile(0.50)) / 1e3,
+                     double(S.percentile(0.99)) / 1e3, S.mean() / 1e3);
+      }
+      std::fprintf(Out, "}");
+    }
+    std::fprintf(Out, "}");
     First = false;
   }
   std::fprintf(Out, "\n  ],\n  \"telemetry\": %s\n}\n",
                Telemetry::instance().snapshotJson().c_str());
   if (OutPath)
     std::fclose(Out);
+  if (MetricsPath) {
+    FILE *MOut = std::fopen(MetricsPath, "w");
+    if (!MOut) {
+      std::fprintf(stderr, "cannot open %s\n", MetricsPath);
+      return 1;
+    }
+    const std::string Prom = Telemetry::instance().exportMetrics();
+    std::fwrite(Prom.data(), 1, Prom.size(), MOut);
+    std::fclose(MOut);
+  }
   if (AnyEmpty) {
     std::fprintf(stderr, "a combination completed zero requests\n");
     return 1;

@@ -30,7 +30,9 @@
 ///   --remarks=<file>   write every remark of the compile as JSON
 ///   -dump-after=<p>    dump the IR after back-end pass <p> (or `all`),
 ///                      as a line diff against the previous snapshot
-///   -telemetry         enable telemetry and print its summary on exit
+///   -telemetry         enable telemetry and print its operations
+///                      table (counters, spans, histogram percentiles)
+///                      to stderr on exit
 ///
 /// `usubac -V -w 16 -arch avx2 rectangle` prints the C-with-intrinsics
 /// translation unit Usubac would hand to the C compiler.
@@ -404,6 +406,6 @@ int main(int argc, char **argv) {
                Input.c_str(), Kernel->InstrCount, Kernel->InstrCountPreOpt,
                Kernel->MaxLive, Kernel->InterleaveFactor());
   if (WantTelemetry)
-    std::fputs(Telemetry::instance().summary().c_str(), stderr);
+    std::fputs(Telemetry::instance().statsDump().c_str(), stderr);
   return 0;
 }

@@ -56,7 +56,12 @@ unique (sessions, offered_rps) keys, positive completed counts, finite
 non-NaN p50/p99/mean/achieved_rps/fill_ratio with p50 <= p99, and the
 multi-tenancy claim itself: wherever a sweep has both single- and
 multi-session rows at one offered load, the multi-session fill_ratio
-must beat the single-session one. Combine with --self-test to exercise
+must beat the single-session one. Each row must also carry the
+per-stage histogram block ("stages": queue_wait / coalesce_wait /
+kernel / callback, each with a non-negative integer count and finite
+non-negative p50_us / p99_us / mean_us, p99 >= p50, and at least one
+sample across the four stages) that service_latency records from the
+service's lifecycle histograms. Combine with --self-test to exercise
 the latency validator against injected corruptions instead.
 
 --self-test runs the gate's own logic machine-independently: the
@@ -360,14 +365,57 @@ def quality_self_test():
 LATENCY_NUMERIC = ("achieved_rps", "p50_us", "p99_us", "mean_us",
                    "fill_ratio")
 
+LATENCY_STAGES = ("queue_wait", "coalesce_wait", "kernel", "callback")
+LATENCY_STAGE_NUMERIC = ("p50_us", "p99_us", "mean_us")
+
+
+def validate_stages(row, name, failures):
+    """Per-stage histogram block of one latency row: all four lifecycle
+    stages present, integer count >= 0, finite non-negative percentiles
+    with p99 >= p50, and at least one sample across the stages (an
+    all-zero block means the service recorded nothing — a wiring bug,
+    not a quiet run, since every completed request records queue_wait
+    and callback samples)."""
+    stages = row.get("stages")
+    if not isinstance(stages, dict):
+        failures.append((name, "stages block missing or not an object"))
+        return
+    total_count = 0
+    for stage in LATENCY_STAGES:
+        block = stages.get(stage)
+        if not isinstance(block, dict):
+            failures.append((name, "stage %s missing" % stage))
+            continue
+        count = block.get("count")
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            failures.append((name, "stage %s count missing or negative"
+                             % stage))
+            continue
+        total_count += count
+        bad = False
+        for key in LATENCY_STAGE_NUMERIC:
+            value = block.get(key)
+            if not isinstance(value, (int, float)) or \
+                    isinstance(value, bool) or not math.isfinite(value) or \
+                    value < 0:
+                failures.append((name, "stage %s %s missing or not finite"
+                                 % (stage, key)))
+                bad = True
+        if not bad and block["p99_us"] < block["p50_us"]:
+            failures.append((name, "stage %s p99_us %.1f < p50_us %.1f" %
+                             (stage, block["p99_us"], block["p50_us"])))
+    if total_count < 1:
+        failures.append((name, "stages carry zero samples"))
+
 
 def validate_latency(doc, path):
     """Failure strings for a BENCH_latency.json document.
 
     Schema: a non-empty results array whose rows are keyed by unique
     (sessions, offered_rps) pairs, each carrying a positive completed
-    count and finite (non-NaN, non-inf) achieved_rps / p50_us / p99_us /
-    mean_us / fill_ratio with p50 <= p99. Beyond the shape, the
+    count, finite (non-NaN, non-inf) achieved_rps / p50_us / p99_us /
+    mean_us / fill_ratio with p50 <= p99, and a well-formed per-stage
+    histogram block (validate_stages). Beyond the shape, the
     service's multi-tenancy claim is held structurally: wherever the
     sweep has both a sessions=1 row and multi-session rows at the same
     offered load, the best multi-session fill_ratio must exceed the
@@ -405,6 +453,7 @@ def validate_latency(doc, path):
         if not bad and row["p99_us"] < row["p50_us"]:
             failures.append((name, "p99_us %.1f < p50_us %.1f" %
                              (row["p99_us"], row["p50_us"])))
+        validate_stages(row, name, failures)
     # The coalescing claim: best multi-session fill beats single-session
     # at the same offered load.
     by_rps = {}
@@ -458,16 +507,39 @@ def latency_self_test(doc):
         for row in d["results"]:
             row["fill_ratio"] = 0.5 if row["sessions"] == 1 else 0.01
 
+    def no_stages(d):
+        del d["results"][0]["stages"]
+
+    def drop_stage(d):
+        del d["results"][0]["stages"]["kernel"]
+
+    def nan_stage_p50(d):
+        d["results"][0]["stages"]["queue_wait"]["p50_us"] = float("nan")
+
+    def invert_stage(d):
+        block = d["results"][0]["stages"]["coalesce_wait"]
+        block["p50_us"], block["p99_us"] = 50.0, 1.0
+
+    def zero_stage_counts(d):
+        for block in d["results"][0]["stages"].values():
+            block["count"] = 0
+
     cases = [(nan_p50, "NaN p50_us"), (drop_p99, "missing p99_us"),
              (dup_key, "duplicate row key"),
              (zero_completed, "zero completed"),
-             (invert_fill, "inverted fill-ratio claim")]
+             (invert_fill, "inverted fill-ratio claim"),
+             (no_stages, "missing stages block"),
+             (drop_stage, "missing kernel stage"),
+             (nan_stage_p50, "NaN stage p50_us"),
+             (invert_stage, "stage p99 < p50"),
+             (zero_stage_counts, "all-zero stage counts")]
     for mutate, label in cases:
         if not corrupt(mutate, label):
             return False
     print("bench_gate latency self-test OK: clean report passes; NaN/"
-          "missing percentiles, duplicate keys, empty combos and a "
-          "non-coalescing fill ratio are rejected")
+          "missing percentiles, duplicate keys, empty combos, a "
+          "non-coalescing fill ratio and malformed/missing/inverted/"
+          "empty stage blocks are rejected")
     return True
 
 

@@ -32,8 +32,13 @@
 #              miss. Then the service latency smoke: a short
 #              bench/service_latency sweep (1 vs 8 tenants) validated by
 #              bench_gate.py --validate-latency (schema, finite
-#              percentiles, multi-session fill-ratio win), the
-#              validator's own self-test run first. Also compiles every
+#              percentiles, per-stage histogram blocks, multi-session
+#              fill-ratio win), the validator's own self-test run first;
+#              the sweep's Prometheus-text metrics export is archived at
+#              build-ci-perf/service_metrics.prom, and the sweep is
+#              repeated with telemetry off to gate the metrics-on p50
+#              against the baseline (USUBA_TELEMETRY_TOLERANCE, default
+#              2.0x + 50us slack). Also compiles every
 #              bundled program with usubac --remarks=<json>, validates
 #              each report (JSON parses, >= 1 remark per back-end pass
 #              that ran), and archives the reports as an artifact at
@@ -74,23 +79,28 @@ fuzz_smoke() {
 }
 
 # TSan over the concurrency surface: the persistent work-stealing pool
-# (chunk claiming, worker spawn/park, concurrent job publication) and
-# the threaded cipher engine on top of it. Scoped to those suites — TSan
-# is ~10x, and the rest of the suite is single-threaded.
+# (chunk claiming, worker spawn/park, concurrent job publication), the
+# threaded cipher engine on top of it, and the lock-free telemetry
+# primitives (histogram buckets, sharded counter cells, the seqlock
+# trace ring). Scoped to those suites — TSan is ~10x, and the rest of
+# the suite is single-threaded.
 tsan_smoke() {
   echo "==== ci job: sanitize (tsan smoke) ===="
   cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUSUBA_SANITIZE=thread
   cmake --build build-ci-tsan -j "$JOBS" --target runtime_test \
-    cipher_api_test service_test
+    cipher_api_test service_test support_test
   ./build-ci-tsan/tests/runtime_test --gtest_filter='ThreadPoolStress*'
   ./build-ci-tsan/tests/cipher_api_test \
     --gtest_filter='ThreadedEngine*:ArchDispatch*'
   # The service's coalescer is the one place client threads, the flush
   # timer, and batch dispatch all meet — exactly TSan's territory.
   ./build-ci-tsan/tests/service_test
+  # Telemetry's enabled path is lock-free by design (relaxed histogram
+  # buckets, sharded cells, seqlock ring): prove it under TSan.
+  ./build-ci-tsan/tests/support_test --gtest_filter='Histogram*:Telemetry*'
   echo "tsan-smoke OK: pool stress + threaded engine + cipher service" \
-    "clean under TSan"
+    "+ telemetry primitives clean under TSan"
 }
 
 perf_smoke() {
@@ -150,21 +160,70 @@ EOF
 
 # Service latency smoke: a short open-loop sweep over the CipherService
 # (1 vs 8 tenants at one offered load), validated by the latency mode of
-# bench_gate.py — schema, finite percentiles, and the multi-tenancy
-# claim that 8 sessions coalesce into fuller batches than 1. The
-# validator self-tests first so a broken latency gate cannot wave a
-# broken report through.
+# bench_gate.py — schema, finite percentiles, per-stage histogram
+# blocks, and the multi-tenancy claim that 8 sessions coalesce into
+# fuller batches than 1. The validator self-tests first so a broken
+# latency gate cannot wave a broken report through. The run exports the
+# service's Prometheus-text metrics as a CI artifact, then repeats with
+# telemetry off and holds the metrics-on p50 against the baseline:
+# observability that is not cheap enough to leave on in production
+# fails CI here, not in a pager rotation.
 service_smoke() {
   echo "==== ci job: perf (service latency smoke) ===="
   cmake --build build-ci-perf -j "$JOBS" --target service_latency
   ./build-ci-perf/bench/service_latency \
     --sessions 1,8 --rps 3000 --seconds 0.25 \
+    --metrics build-ci-perf/service_metrics.prom \
     --out build-ci-perf/BENCH_latency.json
   python3 scripts/bench_gate.py --validate-latency --self-test \
     BENCH_latency.json
   python3 scripts/bench_gate.py --validate-latency \
     build-ci-perf/BENCH_latency.json
-  echo "service-smoke OK: latency report validated"
+  test -s build-ci-perf/service_metrics.prom ||
+    { echo "service-smoke: metrics artifact missing" >&2; exit 1; }
+  grep -q '^usuba_service_requests_total ' \
+    build-ci-perf/service_metrics.prom ||
+    { echo "service-smoke: metrics export lacks request counter" >&2
+      exit 1; }
+  echo "service-smoke: metrics artifact at" \
+    "build-ci-perf/service_metrics.prom"
+  # Telemetry-off baseline for the overhead gate. Same sweep, no
+  # stamps, no histograms, no ring writes.
+  ./build-ci-perf/bench/service_latency \
+    --sessions 1,8 --rps 3000 --seconds 0.25 --no-telemetry \
+    --out build-ci-perf/BENCH_latency_notelemetry.json
+  # Per-combo p50 with metrics on must stay within a multiplicative
+  # tolerance of off, plus an absolute slack: on a busy 1-core CI box a
+  # sub-100us p50 can double from scheduler noise alone, so the slack
+  # keeps the gate about telemetry cost, not microsecond jitter.
+  USUBA_TELEMETRY_TOLERANCE="${USUBA_TELEMETRY_TOLERANCE:-2.0}" \
+    python3 - build-ci-perf/BENCH_latency.json \
+    build-ci-perf/BENCH_latency_notelemetry.json <<'EOF'
+import json, os, sys
+with open(sys.argv[1]) as f:
+    on = {r["sessions"]: r for r in json.load(f)["results"]}
+with open(sys.argv[2]) as f:
+    off = {r["sessions"]: r for r in json.load(f)["results"]}
+tol = float(os.environ["USUBA_TELEMETRY_TOLERANCE"])
+slack_us = 50.0
+assert set(on) == set(off), "combo sets differ between on/off runs"
+for sessions, row in sorted(on.items()):
+    base = off[sessions]
+    limit = base["p50_us"] * tol + slack_us
+    assert row["p50_us"] <= limit, (
+        "telemetry overhead gate: sessions=%d p50 %.1fus with metrics on"
+        " vs %.1fus off (limit %.1fus)"
+        % (sessions, row["p50_us"], base["p50_us"], limit))
+    assert "stages" in row, "metrics-on row lost its stage breakdown"
+    assert "stages" not in base, "metrics-off row grew a stage breakdown"
+    print("telemetry overhead sessions=%d: p50 %.1fus on vs %.1fus off"
+          " (limit %.1fus)"
+          % (sessions, row["p50_us"], base["p50_us"], limit))
+print("telemetry overhead gate OK (tolerance %.2fx + %.0fus slack)"
+      % (tol, slack_us))
+EOF
+  echo "service-smoke OK: latency report validated, metrics exported," \
+    "telemetry overhead within gate"
 }
 
 # Mid-end ablation: measure the same rows with the Usuba0 optimizer off

@@ -174,8 +174,13 @@ void ThreadPool::workerMain() {
     }
     if (ParkStart != 0 && telemetryEnabled()) {
       const uint64_t Dur = telemetry_detail::nowNanos() - ParkStart;
-      Telemetry::instance().span("threadpool.park", ParkStart, Dur, SelfTid);
-      Telemetry::instance().count("threadpool.park_ns", Dur);
+      Telemetry &T = Telemetry::instance();
+      T.span("threadpool.park", ParkStart, Dur, SelfTid);
+      T.count("threadpool.park_ns", Dur);
+      // Process-lifetime handle: histogramRef locks only on the first
+      // park, record() is lock-free after that.
+      static Histogram &ParkH = T.histogramRef("threadpool.park_ns");
+      ParkH.record(Dur);
     }
     participate(*J, Slot);
   }
@@ -246,6 +251,10 @@ void ThreadPool::parallelFor(unsigned Slots, size_t NumChunks,
     T.count("threadpool.slot_ns", Wall * Slots);
     T.count("threadpool.steals", J->Steals.load(std::memory_order_relaxed));
     T.count("threadpool.chunks", NumChunks);
+    static Histogram &JobWallH = T.histogramRef("threadpool.job_wall_ns");
+    static Histogram &JobStealsH = T.histogramRef("threadpool.job_steals");
+    JobWallH.record(Wall);
+    JobStealsH.record(J->Steals.load(std::memory_order_relaxed));
   }
 
   std::exception_ptr Error;

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -58,6 +59,13 @@ std::string hexBytes(const uint8_t *Data, size_t Length) {
   return Out;
 }
 
+uint64_t toNs(std::chrono::steady_clock::time_point T) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          T.time_since_epoch())
+          .count());
+}
+
 } // namespace
 
 std::string SessionResult::errorText() const {
@@ -82,6 +90,16 @@ struct RequestState {
   CipherService::Completion Cb;
   size_t BlocksLeft = 0;
   std::shared_ptr<SessionState> Sess;
+  /// Lifecycle stamps, taken only while telemetry is enabled (SubmitNs
+  /// == 0 means untraced). SubmitNs is written by the submitter before
+  /// the request is published; the stage fields are written under the
+  /// shard mutex (a request never spans two shards) and read by the
+  /// completing thread, which held that mutex last — so no extra
+  /// synchronization is needed.
+  uint64_t SubmitNs = 0;
+  uint64_t QueueWaitNs = 0;
+  uint64_t CoalesceWaitMaxNs = 0;
+  uint64_t KernelNs = 0;
 };
 
 /// A session is a (current shard, in-flight count) pair. Sh is guarded
@@ -137,6 +155,12 @@ struct Shard {
   std::deque<Span> Fwd, Inv;
   size_t FwdBlocks = 0, InvBlocks = 0;
   std::vector<uint8_t> BatchIn, BatchOut;
+
+  /// Per-shard observability (set once when the shard is registered).
+  unsigned Id = 0;
+  Gauge *QueueDepthG = nullptr; ///< Queued blocks, both queues.
+  Gauge *FillG = nullptr;       ///< Fill percent of the last batch.
+  Gauge *SessionsG = nullptr;   ///< Sessions currently mapped here.
 };
 
 using DoneList = std::vector<std::shared_ptr<RequestState>>;
@@ -157,7 +181,22 @@ struct CipherService::Impl {
 
   std::atomic<uint64_t> Requests{0}, DirectBatches{0}, CoalescedBatches{0},
       MultiSessionBatches{0}, CoalescedBlocks{0}, CoalescedSlots{0},
-      DeadlineFlushes{0};
+      DeadlineFlushes{0}, SlowRequests{0};
+
+  /// Per-stage latency histograms (process-lifetime references; lock-free
+  /// record). Shared across services in one process by design: they
+  /// describe the serving process, like the telemetry counters do.
+  Histogram &QueueWaitH =
+      Telemetry::instance().histogramRef("service.queue_wait_ns");
+  Histogram &CoalesceWaitH =
+      Telemetry::instance().histogramRef("service.coalesce_wait_ns");
+  Histogram &KernelH = Telemetry::instance().histogramRef("service.kernel_ns");
+  Histogram &CallbackH =
+      Telemetry::instance().histogramRef("service.callback_ns");
+  Gauge &OpenSessionsG = Telemetry::instance().gaugeRef("service.open_sessions");
+  Gauge &ShardsG = Telemetry::instance().gaugeRef("service.shards_live");
+
+  unsigned ShardSeq = 0; ///< Next shard Id; guarded by M.
 
   std::mutex TimerM; ///< Guards Due and Stop.
   std::condition_variable TimerCV;
@@ -227,8 +266,17 @@ struct CipherService::Impl {
     Fresh->BatchOut.resize(size_t{Fresh->Batch} * Fresh->BlockLen);
     std::lock_guard<std::mutex> Lock(M);
     auto [It, Inserted] = Shards.emplace(ShardKey, std::move(Fresh));
-    if (Inserted)
+    if (Inserted) {
       telemetryCount("service.shards");
+      Shard &Sh = *It->second;
+      Sh.Id = ShardSeq++;
+      const std::string Prefix = "service.shard" + std::to_string(Sh.Id);
+      Telemetry &T = Telemetry::instance();
+      Sh.QueueDepthG = &T.gaugeRef(Prefix + ".queue_depth");
+      Sh.FillG = &T.gaugeRef(Prefix + ".fill_percent");
+      Sh.SessionsG = &T.gaugeRef(Prefix + ".sessions");
+      ShardsG.set(static_cast<int64_t>(Shards.size()));
+    }
     return It->second;
   }
 
@@ -277,6 +325,9 @@ struct CipherService::Impl {
     const unsigned BlockLen = Sh.BlockLen;
     const unsigned Batch = Sh.Batch;
     const bool Forward = &Q == &Sh.Fwd;
+    // One enabled-ness decision per batch; 0 means stage tracing off.
+    const uint64_t DispatchNs =
+        telemetryEnabled() ? telemetry_detail::nowNanos() : 0;
 
     size_t Used = 0;
     std::vector<Placement> Placed;
@@ -292,6 +343,13 @@ struct CipherService::Impl {
           Take == S.Blocks ? S.Bytes : Take * size_t{BlockLen};
       Placed.push_back(
           {S.Req, S.Kind, S.Out, Take, CtrBytes, Used, S.SessionTag});
+      if (DispatchNs && S.Req->SubmitNs) {
+        const uint64_t ArrivalNs = toNs(S.Arrival);
+        const uint64_t Wait = DispatchNs > ArrivalNs ? DispatchNs - ArrivalNs
+                                                     : 0;
+        CoalesceWaitH.record(Wait);
+        S.Req->CoalesceWaitMaxNs = std::max(S.Req->CoalesceWaitMaxNs, Wait);
+      }
       Used += Take;
       if (Take == S.Blocks) {
         Q.pop_front();
@@ -312,13 +370,19 @@ struct CipherService::Impl {
     if (Used == 0)
       return;
 
+    uint64_t KernelDur = 0;
     {
       TelemetrySpan BatchSpan("service.batch");
+      const uint64_t K0 = DispatchNs ? telemetry_detail::nowNanos() : 0;
       if (Forward)
         Sh.Cipher.encryptBlocks(Sh.BatchIn.data(), Sh.BatchOut.data(), Used);
       else
         Sh.Cipher.ecbDecrypt(Sh.BatchIn.data(), Sh.BatchOut.data(), Used);
+      if (K0)
+        KernelDur = telemetry_detail::nowNanos() - K0;
     }
+    if (DispatchNs)
+      KernelH.record(KernelDur);
 
     const void *FirstTag = Placed.front().SessionTag;
     bool MultiSession = false;
@@ -331,10 +395,17 @@ struct CipherService::Impl {
         std::memcpy(P.Out, Src, P.Blocks * BlockLen);
       }
       MultiSession = MultiSession || P.SessionTag != FirstTag;
+      if (DispatchNs && P.Req->SubmitNs)
+        P.Req->KernelNs += KernelDur;
       assert(P.Req->BlocksLeft >= P.Blocks);
       P.Req->BlocksLeft -= P.Blocks;
       if (P.Req->BlocksLeft == 0)
         Done.push_back(P.Req);
+    }
+
+    if (DispatchNs && Sh.QueueDepthG) {
+      Sh.QueueDepthG->set(static_cast<int64_t>(Sh.FwdBlocks + Sh.InvBlocks));
+      Sh.FillG->set(static_cast<int64_t>(Used * 100 / Batch));
     }
 
     CoalescedBatches.fetch_add(1, std::memory_order_relaxed);
@@ -373,12 +444,21 @@ struct CipherService::Impl {
 
   /// Fulfils retired requests: user callback, then the future, then the
   /// session's in-flight count (closeSession waits on it). Must be
-  /// called with no shard lock held — callbacks may re-enter.
-  static void finishRequests(DoneList &Done) {
+  /// called with no shard lock held — callbacks may re-enter. Records
+  /// the callback stage and emits the slow-request trace for stamped
+  /// requests.
+  void finishRequests(DoneList &Done) {
     for (const std::shared_ptr<RequestState> &Req : Done) {
+      const uint64_t CbStart =
+          Req->SubmitNs ? telemetry_detail::nowNanos() : 0;
       if (Req->Cb)
         Req->Cb();
       Req->Done.set_value();
+      if (CbStart) {
+        const uint64_t EndNs = telemetry_detail::nowNanos();
+        CallbackH.record(EndNs - CbStart);
+        maybeTraceSlow(*Req, EndNs, EndNs - CbStart);
+      }
       SessionState &Sess = *Req->Sess;
       std::lock_guard<std::mutex> Lock(Sess.M);
       assert(Sess.Outstanding > 0);
@@ -386,6 +466,36 @@ struct CipherService::Impl {
         Sess.CV.notify_all();
     }
     Done.clear();
+  }
+
+  /// Emits the structured stage breakdown for a request that crossed
+  /// the slow threshold. Rare path: may take the telemetry mutex.
+  void maybeTraceSlow(const RequestState &Req, uint64_t EndNs,
+                      uint64_t CallbackNs) {
+    const uint64_t ThresholdNs =
+        static_cast<uint64_t>(std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(
+                                  Cfg.SlowRequestThreshold)
+                                  .count());
+    if (ThresholdNs == 0)
+      return;
+    const uint64_t TotalNs = EndNs > Req.SubmitNs ? EndNs - Req.SubmitNs : 0;
+    if (TotalNs < ThresholdNs)
+      return;
+    SlowRequests.fetch_add(1, std::memory_order_relaxed);
+    telemetryCount("service.slow_requests");
+    char Args[256];
+    std::snprintf(Args, sizeof(Args),
+                  "{\"total_us\": %.1f, \"queue_wait_us\": %.1f, "
+                  "\"coalesce_wait_us\": %.1f, \"kernel_us\": %.1f, "
+                  "\"callback_us\": %.1f}",
+                  static_cast<double>(TotalNs) / 1e3,
+                  static_cast<double>(Req.QueueWaitNs) / 1e3,
+                  static_cast<double>(Req.CoalesceWaitMaxNs) / 1e3,
+                  static_cast<double>(Req.KernelNs) / 1e3,
+                  static_cast<double>(CallbackNs) / 1e3);
+    Telemetry::instance().event("service.slow_request", Req.SubmitNs, TotalNs,
+                                telemetry_detail::threadTag(), Args);
   }
 
   /// Registers (or tightens) the deadline for a shard with queued
@@ -459,6 +569,7 @@ struct CipherService::Impl {
     auto Req = std::make_shared<RequestState>();
     Req->Cb = std::move(Cb);
     Req->Sess = Sess;
+    Req->SubmitNs = telemetryEnabled() ? telemetry_detail::nowNanos() : 0;
     {
       std::lock_guard<std::mutex> Lock(Sess->M);
       ++Sess->Outstanding;
@@ -485,16 +596,26 @@ struct CipherService::Impl {
     const unsigned BlockLen = Sh->BlockLen;
     const unsigned Batch = Sh->Batch;
     std::unique_lock<std::mutex> ShardLock(Sh->M);
+    if (Req->SubmitNs) {
+      Req->QueueWaitNs = telemetry_detail::nowNanos() - Req->SubmitNs;
+      QueueWaitH.record(Req->QueueWaitNs);
+    }
     Req->BlocksLeft = NumBlocks;
 
     size_t Offset = 0;
     if (!Cfg.CoalesceOnly && NumBlocks >= Batch) {
       const size_t HeadBlocks = (NumBlocks / Batch) * size_t{Batch};
       TelemetrySpan DirectSpan("service.direct");
+      const uint64_t K0 = Req->SubmitNs ? telemetry_detail::nowNanos() : 0;
       if (Encrypt)
         Sh->Cipher.ecbEncrypt(In, Out, HeadBlocks);
       else
         Sh->Cipher.ecbDecrypt(In, Out, HeadBlocks);
+      if (K0) {
+        const uint64_t Dur = telemetry_detail::nowNanos() - K0;
+        KernelH.record(Dur);
+        Req->KernelNs += Dur;
+      }
       DirectBatches.fetch_add(HeadBlocks / Batch, std::memory_order_relaxed);
       Req->BlocksLeft -= HeadBlocks;
       Offset = HeadBlocks;
@@ -529,6 +650,9 @@ struct CipherService::Impl {
   void settleAfterEnqueue(const std::shared_ptr<Shard> &Sh, DoneList &Done,
                           std::unique_lock<std::mutex> &ShardLock) {
     dispatchFullLocked(*Sh, Done);
+    if (telemetryEnabled() && Sh->QueueDepthG)
+      Sh->QueueDepthG->set(
+          static_cast<int64_t>(Sh->FwdBlocks + Sh->InvBlocks));
     bool NeedTimer = false;
     std::chrono::steady_clock::time_point Oldest;
     if (!Sh->Fwd.empty()) {
@@ -570,7 +694,10 @@ SessionResult CipherService::openSession(const CipherConfig &Config,
   Sess->Sh = std::move(Sh);
   std::lock_guard<std::mutex> Lock(I->M);
   const SessionId Sid = I->NextId++;
+  if (Sess->Sh->SessionsG)
+    Sess->Sh->SessionsG->add(1);
   I->Sessions.emplace(Sid, std::move(Sess));
+  I->OpenSessionsG.set(static_cast<int64_t>(I->Sessions.size()));
   telemetryCount("service.sessions_opened");
   return SessionResult(Sid);
 }
@@ -595,6 +722,10 @@ void CipherService::rekeySession(SessionId Sid, const uint8_t *Key,
     return;
   telemetryCount("service.rekeys");
   std::lock_guard<std::mutex> Lock(I->M);
+  if (Sess->Sh->SessionsG)
+    Sess->Sh->SessionsG->add(-1);
+  if (Fresh->SessionsG)
+    Fresh->SessionsG->add(1);
   Sess->Sh = std::move(Fresh);
 }
 
@@ -606,6 +737,9 @@ void CipherService::closeSession(SessionId Sid) {
     assert(It != I->Sessions.end() && "double close / unknown session");
     Sess = It->second;
     I->Sessions.erase(It);
+    if (Sess->Sh->SessionsG)
+      Sess->Sh->SessionsG->add(-1);
+    I->OpenSessionsG.set(static_cast<int64_t>(I->Sessions.size()));
   }
   // Pending spans (including pre-rekey ones in older shards) must
   // retire before the handle dies: push everything out now rather than
@@ -628,13 +762,17 @@ std::future<void> CipherService::submitCtrXor(SessionId Sid, uint8_t *Data,
   DoneList Done;
   if (Length == 0) {
     Done.push_back(Req);
-    Impl::finishRequests(Done);
+    I->finishRequests(Done);
     return Fut;
   }
 
   const unsigned BlockLen = Sh->BlockLen;
   const size_t BatchBytes = size_t{Sh->Batch} * BlockLen;
   std::unique_lock<std::mutex> ShardLock(Sh->M);
+  if (Req->SubmitNs) {
+    Req->QueueWaitNs = telemetry_detail::nowNanos() - Req->SubmitNs;
+    I->QueueWaitH.record(Req->QueueWaitNs);
+  }
   Req->BlocksLeft = (Length + BlockLen - 1) / BlockLen;
 
   size_t Offset = 0;
@@ -645,7 +783,13 @@ std::future<void> CipherService::submitCtrXor(SessionId Sid, uint8_t *Data,
     // path, SpecializeCtr, pool threading).
     const size_t HeadBytes = (Length / BatchBytes) * BatchBytes;
     TelemetrySpan DirectSpan("service.direct");
+    const uint64_t K0 = Req->SubmitNs ? telemetry_detail::nowNanos() : 0;
     Sh->Cipher.ctrXor(Data, HeadBytes, Nonce, Ctr);
+    if (K0) {
+      const uint64_t Dur = telemetry_detail::nowNanos() - K0;
+      I->KernelH.record(Dur);
+      Req->KernelNs += Dur;
+    }
     const size_t HeadBlocks = HeadBytes / BlockLen;
     I->DirectBatches.fetch_add(HeadBytes / BatchBytes,
                                std::memory_order_relaxed);
@@ -705,7 +849,7 @@ void CipherService::flush() {
     std::lock_guard<std::mutex> ShardLock(Sh->M);
     I->drainLocked(*Sh, Done, /*ByDeadline=*/false);
   }
-  Impl::finishRequests(Done);
+  I->finishRequests(Done);
 }
 
 ServiceStats CipherService::stats() const {
@@ -718,6 +862,7 @@ ServiceStats CipherService::stats() const {
   S.CoalescedBlocks = I->CoalescedBlocks.load(std::memory_order_relaxed);
   S.CoalescedSlots = I->CoalescedSlots.load(std::memory_order_relaxed);
   S.DeadlineFlushes = I->DeadlineFlushes.load(std::memory_order_relaxed);
+  S.SlowRequests = I->SlowRequests.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> Lock(I->M);
   S.Shards = I->Shards.size();
   S.OpenSessions = I->Sessions.size();

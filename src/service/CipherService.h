@@ -35,6 +35,18 @@
 // request buffers must not overlap while in flight; the service never
 // copies client data except through its batch scratch. Completion
 // order across sessions is unspecified.
+//
+// Observability. With telemetry enabled (cheap enough to leave on in
+// production — see support/Telemetry.h), every request is stamped at
+// submit and its lifecycle lands in four per-stage histograms:
+// service.queue_wait_ns (submit -> shard lock acquired),
+// service.coalesce_wait_ns (span arrival -> batch dispatch, one sample
+// per placement), service.kernel_ns (batch/direct kernel time) and
+// service.callback_ns (completion callback + promise fulfilment).
+// Per-shard gauges (service.shard<N>.{queue_depth,fill_percent,
+// sessions}) and service-wide gauges (open_sessions, shards) track
+// live state; requests slower than ServiceConfig::SlowRequestThreshold
+// emit an annotated trace event with their stage breakdown.
 //===----------------------------------------------------------------===//
 
 #ifndef USUBA_SERVICE_CIPHERSERVICE_H
@@ -62,6 +74,12 @@ struct ServiceConfig {
   /// even ones large enough for the direct full-batch path. Makes
   /// fill-ratio accounting deterministic in tests.
   bool CoalesceOnly = false;
+  /// Requests whose submit-to-completion latency reaches this threshold
+  /// emit a structured "service.slow_request" trace event carrying the
+  /// full stage breakdown (queue wait, coalesce wait, kernel, callback)
+  /// and count into ServiceStats::SlowRequests. Zero disables. Active
+  /// only while telemetry is enabled (the stamps are taken at submit).
+  std::chrono::milliseconds SlowRequestThreshold{50};
 };
 
 /// Opaque per-session handle value (never reused within one service).
@@ -107,6 +125,10 @@ struct ServiceStats {
   /// Coalesced batches dispatched by the age deadline rather than by
   /// filling up.
   uint64_t DeadlineFlushes = 0;
+  /// Requests that crossed ServiceConfig::SlowRequestThreshold (counted
+  /// only while telemetry is enabled; each also leaves an annotated
+  /// "service.slow_request" trace event).
+  uint64_t SlowRequests = 0;
   /// Live (config,key) shards and open sessions right now.
   uint64_t Shards = 0;
   uint64_t OpenSessions = 0;

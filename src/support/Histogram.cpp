@@ -1,0 +1,89 @@
+//===- Histogram.cpp - Lock-free log-bucketed histograms ------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+using namespace usuba;
+
+unsigned Histogram::bucketIndex(uint64_t Value) {
+  if (Value < SubBuckets)
+    return static_cast<unsigned>(Value);
+  // Major is the bit position of the leading one (>= SubBits here); the
+  // sub-bucket is the next SubBits bits below it.
+  unsigned Major = 63u - static_cast<unsigned>(std::countl_zero(Value));
+  unsigned Sub =
+      static_cast<unsigned>((Value >> (Major - SubBits)) & (SubBuckets - 1));
+  return (Major - SubBits + 1) * SubBuckets + Sub;
+}
+
+uint64_t Histogram::bucketValue(unsigned Index) {
+  if (Index < SubBuckets)
+    return Index; // exact group
+  unsigned Group = Index / SubBuckets;
+  unsigned Sub = Index % SubBuckets;
+  unsigned Major = Group + SubBits - 1;
+  uint64_t Lower = (uint64_t{1} << Major) |
+                   (static_cast<uint64_t>(Sub) << (Major - SubBits));
+  uint64_t Width = uint64_t{1} << (Major - SubBits);
+  return Lower + Width / 2;
+}
+
+uint64_t Histogram::Snapshot::percentile(double P) const {
+  if (Count == 0)
+    return 0;
+  P = std::clamp(P, 0.0, 1.0);
+  // Rank in [1, Count]: the smallest bucket whose cumulative count
+  // covers it. A snapshot racing writers can have sum(Buckets) !=
+  // Count; the fallthrough returns the largest populated bucket.
+  uint64_t Target =
+      static_cast<uint64_t>(P * static_cast<double>(Count - 1)) + 1;
+  uint64_t Cumulative = 0;
+  unsigned LastPopulated = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    if (!Buckets[I])
+      continue;
+    LastPopulated = I;
+    Cumulative += Buckets[I];
+    if (Cumulative >= Target)
+      return bucketValue(I);
+  }
+  return bucketValue(LastPopulated);
+}
+
+void Histogram::Snapshot::merge(const Snapshot &Other) {
+  Count += Other.Count;
+  Sum += Other.Sum;
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+}
+
+void Histogram::Snapshot::subtract(const Snapshot &Earlier) {
+  Count = Count > Earlier.Count ? Count - Earlier.Count : 0;
+  Sum = Sum > Earlier.Sum ? Sum - Earlier.Sum : 0;
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    Buckets[I] =
+        Buckets[I] > Earlier.Buckets[I] ? Buckets[I] - Earlier.Buckets[I] : 0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  S.Count = CountCell.load(std::memory_order_relaxed);
+  S.Sum = SumCell.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+void Histogram::reset() {
+  CountCell.store(0, std::memory_order_relaxed);
+  SumCell.store(0, std::memory_order_relaxed);
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}

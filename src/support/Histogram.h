@@ -1,0 +1,117 @@
+//===- Histogram.h - Lock-free log-bucketed histograms ----------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free, fixed-footprint latency histogram for the serving path.
+///
+/// Values are bucketed HDR-style: exact buckets below 2^SubBits, then
+/// SubBuckets logarithmic sub-buckets per power of two, which bounds the
+/// relative quantile error at 1/SubBuckets (~3% with SubBits = 5) over
+/// the full uint64 range. record() is two relaxed fetch_adds plus one
+/// bucket fetch_add — no locks, no allocation — so it is safe on the
+/// service hot path and from signal-free contexts on any thread.
+///
+/// snapshot() copies the buckets into a plain Snapshot that can be
+/// merged (across shards/combos), subtracted (interval deltas between
+/// two snapshots of the same histogram) and queried for percentiles.
+/// A snapshot taken concurrently with writers is not an atomic cut of
+/// the whole histogram — Count/Sum and the buckets are read
+/// independently — but every individual cell is exact, which is the
+/// right trade for monitoring.
+///
+/// Gauge is the companion point-in-time value (queue depth, open
+/// sessions): one relaxed atomic int64 with set/add semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_SUPPORT_HISTOGRAM_H
+#define USUBA_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace usuba {
+
+class Histogram {
+public:
+  /// Sub-bucket resolution: 2^SubBits logarithmic sub-buckets per
+  /// octave, values below 2^SubBits are bucketed exactly.
+  static constexpr unsigned SubBits = 5;
+  static constexpr unsigned SubBuckets = 1u << SubBits;
+  /// One exact group plus one group per octave from SubBits to 63.
+  static constexpr unsigned NumBuckets = (64 - SubBits + 1) * SubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  /// Records one value. Lock-free: three relaxed fetch_adds.
+  void record(uint64_t Value) {
+    CountCell.fetch_add(1, std::memory_order_relaxed);
+    SumCell.fetch_add(Value, std::memory_order_relaxed);
+    Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A plain (non-atomic) copy of the histogram state.
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    std::array<uint64_t, NumBuckets> Buckets{};
+
+    /// Value at quantile \p P in [0, 1] (0.5 = median). Returns the
+    /// representative (midpoint) value of the bucket holding that rank;
+    /// 0 when the snapshot is empty.
+    uint64_t percentile(double P) const;
+    double mean() const {
+      return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
+                   : 0.0;
+    }
+    /// Adds \p Other into this snapshot (cross-shard aggregation).
+    void merge(const Snapshot &Other);
+    /// Subtracts an \p Earlier snapshot of the same histogram, leaving
+    /// the interval between the two (saturating at zero per cell, so a
+    /// racy pair of snapshots can never underflow).
+    void subtract(const Snapshot &Earlier);
+  };
+
+  /// Copies the current state. Safe concurrently with record(); see the
+  /// file comment for the (non-)atomicity contract.
+  Snapshot snapshot() const;
+
+  /// Zeroes every cell. Safe concurrently with record() — a racing
+  /// record may land partially before/after the sweep, which snapshot
+  /// arithmetic tolerates by saturation.
+  void reset();
+
+  uint64_t count() const { return CountCell.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return SumCell.load(std::memory_order_relaxed); }
+
+  /// Bucket mapping, exposed for tests: index for a value and the
+  /// representative value reported for an index.
+  static unsigned bucketIndex(uint64_t Value);
+  static uint64_t bucketValue(unsigned Index);
+
+private:
+  std::atomic<uint64_t> CountCell{0};
+  std::atomic<uint64_t> SumCell{0};
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+};
+
+/// A point-in-time value (queue depth, open sessions, fill percent).
+class Gauge {
+public:
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  void add(int64_t Delta) { Value.fetch_add(Delta, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+} // namespace usuba
+
+#endif // USUBA_SUPPORT_HISTOGRAM_H

@@ -1,4 +1,4 @@
-//===- Telemetry.cpp - Counters, spans and trace events -------------------===//
+//===- Telemetry.cpp - Counters, spans, histograms and trace events -------===//
 //
 // Part of the usuba-cpp project, under the MIT license.
 //
@@ -10,8 +10,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 using namespace usuba;
 
@@ -36,10 +42,40 @@ uint32_t threadTag() {
   return Tag;
 }
 
+/// One cache-line-private counter cell; a probe touches exactly one.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> V{0};
+};
+
+/// One slot of the circular span ring. All fields are atomics so
+/// concurrent overwrite and read are data-race-free (TSan-clean); the
+/// Seq protocol (0 while a writer is mid-slot, Ticket+1 once published)
+/// lets readers detect and skip torn slots.
+struct RingSlot {
+  std::atomic<uint64_t> Seq{0};
+  std::atomic<uint64_t> StartNs{0};
+  std::atomic<uint64_t> DurNs{0};
+  std::atomic<uint32_t> NameId{0};
+  std::atomic<uint32_t> Tid{0};
+};
+
+struct AnnotatedEvent {
+  std::string Name;
+  uint64_t StartNs;
+  uint64_t DurNs;
+  uint32_t Tid;
+  std::string ArgsJson;
+};
+
 } // namespace telemetry_detail
 } // namespace usuba
 
 namespace {
+
+using telemetry_detail::AnnotatedEvent;
+using telemetry_detail::RingSlot;
+using telemetry_detail::ShardCell;
+using telemetry_detail::threadTag;
 
 /// JSON string escaping for counter/span names (they are ASCII
 /// identifiers in practice, but the sink must never emit broken JSON).
@@ -73,6 +109,43 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+/// Prometheus metric name: [a-zA-Z0-9_] only, "usuba_" prefix (which
+/// also guarantees a legal leading character).
+std::string promName(const std::string &S) {
+  std::string Out = "usuba_";
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+/// Thread-local direct-mapped cache from name-literal pointer to its
+/// registry entry. The pointer is the key (hashing-free); a hit is
+/// verified by strcmp against the entry's canonical name so a recycled
+/// pointer (e.g. a reused std::string buffer) can never alias a
+/// different counter. Epoch mismatches (after Telemetry::reset())
+/// invalidate lazily.
+struct TlSlot {
+  const char *Key = nullptr;
+  uint64_t Epoch = 0;
+  void *Entry = nullptr;
+};
+struct TlCache {
+  static constexpr size_t Size = 128; // power of two, direct-mapped
+  TlSlot Counters[Size];
+  TlSlot Spans[Size];
+};
+thread_local TlCache TlC;
+
+inline size_t tlIndex(const char *P) {
+  auto X = reinterpret_cast<uintptr_t>(P);
+  X ^= X >> 11;
+  return (X >> 3) & (TlCache::Size - 1);
+}
+
 /// Registered once, the first time telemetry is constructed with
 /// USUBA_TRACE_FILE set: dumps the trace on normal process exit so CLI
 /// tools and benches need no explicit sink call.
@@ -82,6 +155,164 @@ void writeTraceAtExit() {
 }
 
 } // namespace
+
+struct Telemetry::CounterEntry {
+  const char *Canon = nullptr; // interned name (stable storage)
+  uint32_t NameId = 0;
+  std::array<ShardCell, NumShards> Cells;
+  uint64_t total() const {
+    uint64_t T = 0;
+    for (const ShardCell &C : Cells)
+      T += C.V.load(std::memory_order_relaxed);
+    return T;
+  }
+};
+
+struct Telemetry::SpanEntry {
+  const char *Canon = nullptr;
+  uint32_t NameId = 0;
+  std::array<ShardCell, NumShards> Calls;
+  std::array<ShardCell, NumShards> Ns;
+  SpanStat stat() const {
+    SpanStat S;
+    for (unsigned I = 0; I < NumShards; ++I) {
+      S.Calls += Calls[I].V.load(std::memory_order_relaxed);
+      S.TotalNs += Ns[I].V.load(std::memory_order_relaxed);
+    }
+    return S;
+  }
+};
+
+struct Telemetry::Impl {
+  mutable std::mutex M;
+
+  /// Bumped by reset() (under M) to invalidate thread-local caches.
+  std::atomic<uint64_t> Epoch{1};
+
+  /// Interned names. The deque gives stable storage for Canon/c_str
+  /// pointers; both structures survive reset() so a NameId recorded in
+  /// the ring before a racing reset still resolves to the right name.
+  std::deque<std::string> Names;
+  std::map<std::string, uint32_t> NameIds;
+
+  std::map<std::string, std::unique_ptr<CounterEntry>> Counters;
+  std::map<std::string, std::unique_ptr<SpanEntry>> Spans;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+
+  /// Entries retired by reset(). Kept alive (reachable, never freed) so
+  /// an in-flight probe holding a cached pointer can at worst record
+  /// into a retired cell — never fault.
+  std::vector<std::unique_ptr<CounterEntry>> CounterGraveyard;
+  std::vector<std::unique_ptr<SpanEntry>> SpanGraveyard;
+
+  std::unique_ptr<RingSlot[]> Ring{new RingSlot[MaxTraceEvents]};
+  std::atomic<uint64_t> RingCursor{0};
+
+  std::deque<AnnotatedEvent> Annotated;
+  uint64_t AnnotatedDropped = 0;
+
+  uint32_t internLocked(const std::string &Name) {
+    auto It = NameIds.find(Name);
+    if (It != NameIds.end())
+      return It->second;
+    auto Id = static_cast<uint32_t>(Names.size());
+    Names.push_back(Name);
+    NameIds.emplace(Name, Id);
+    return Id;
+  }
+
+  CounterEntry *counterLocked(const std::string &Name) {
+    auto It = Counters.find(Name);
+    if (It != Counters.end())
+      return It->second.get();
+    uint32_t Id = internLocked(Name);
+    auto E = std::make_unique<CounterEntry>();
+    E->NameId = Id;
+    E->Canon = Names[Id].c_str();
+    CounterEntry *Raw = E.get();
+    Counters.emplace(Name, std::move(E));
+    return Raw;
+  }
+
+  SpanEntry *spanLocked(const std::string &Name) {
+    auto It = Spans.find(Name);
+    if (It != Spans.end())
+      return It->second.get();
+    uint32_t Id = internLocked(Name);
+    auto E = std::make_unique<SpanEntry>();
+    E->NameId = Id;
+    E->Canon = Names[Id].c_str();
+    SpanEntry *Raw = E.get();
+    Spans.emplace(Name, std::move(E));
+    return Raw;
+  }
+
+  /// Lock-free circular append (seqlock per slot): invalidate, publish
+  /// fields, publish Seq = Ticket + 1.
+  void appendRing(uint32_t NameId, uint64_t StartNs, uint64_t DurNs,
+                  uint32_t Tid) {
+    uint64_t Ticket = RingCursor.fetch_add(1, std::memory_order_relaxed);
+    RingSlot &S = Ring[Ticket & (MaxTraceEvents - 1)];
+    S.Seq.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    S.StartNs.store(StartNs, std::memory_order_relaxed);
+    S.DurNs.store(DurNs, std::memory_order_relaxed);
+    S.NameId.store(NameId, std::memory_order_relaxed);
+    S.Tid.store(Tid, std::memory_order_relaxed);
+    S.Seq.store(Ticket + 1, std::memory_order_release);
+  }
+
+  struct RingEvent {
+    uint64_t Ticket;
+    uint64_t StartNs;
+    uint64_t DurNs;
+    uint32_t NameId;
+    uint32_t Tid;
+  };
+
+  /// Seq-validated copy of the ring in record order. Slots a concurrent
+  /// writer is mid-way through are skipped, not torn.
+  std::vector<RingEvent> collectRing() const {
+    std::vector<RingEvent> Out;
+    Out.reserve(std::min<uint64_t>(RingCursor.load(std::memory_order_acquire),
+                                   MaxTraceEvents));
+    for (size_t I = 0; I < MaxTraceEvents; ++I) {
+      const RingSlot &S = Ring[I];
+      uint64_t S1 = S.Seq.load(std::memory_order_acquire);
+      if (!S1)
+        continue;
+      RingEvent E;
+      E.StartNs = S.StartNs.load(std::memory_order_relaxed);
+      E.DurNs = S.DurNs.load(std::memory_order_relaxed);
+      E.NameId = S.NameId.load(std::memory_order_relaxed);
+      E.Tid = S.Tid.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (S.Seq.load(std::memory_order_relaxed) != S1)
+        continue;
+      E.Ticket = S1 - 1;
+      Out.push_back(E);
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const RingEvent &A, const RingEvent &B) {
+                return A.Ticket < B.Ticket;
+              });
+    return Out;
+  }
+
+  uint64_t ringTotal() const {
+    return RingCursor.load(std::memory_order_relaxed);
+  }
+  uint64_t ringRetained() const {
+    return std::min<uint64_t>(ringTotal(), MaxTraceEvents);
+  }
+  uint64_t ringDropped() const {
+    uint64_t Total = ringTotal();
+    return Total > MaxTraceEvents ? Total - MaxTraceEvents : 0;
+  }
+};
+
+Telemetry::Telemetry() : I(new Impl) {}
 
 Telemetry &Telemetry::instance() {
   static Telemetry *T = [] {
@@ -97,98 +328,229 @@ void Telemetry::setEnabled(bool On) {
   telemetry_detail::Enabled.store(On, std::memory_order_relaxed);
 }
 
-void Telemetry::count(const std::string &Name, uint64_t Delta) {
-  std::lock_guard<std::mutex> Lock(M);
-  Counters[Name] += Delta;
+Telemetry::CounterEntry *Telemetry::counterEntrySlow(const char *Name) {
+  std::lock_guard<std::mutex> Lock(I->M);
+  CounterEntry *E = I->counterLocked(Name);
+  TlSlot &S = TlC.Counters[tlIndex(Name)];
+  S.Key = Name;
+  S.Epoch = I->Epoch.load(std::memory_order_relaxed);
+  S.Entry = E;
+  return E;
 }
 
-void Telemetry::span(const std::string &Name, uint64_t StartNs,
-                     uint64_t DurNs, uint32_t Tid) {
-  std::lock_guard<std::mutex> Lock(M);
-  SpanStat &Stat = Spans[Name];
-  ++Stat.Calls;
-  Stat.TotalNs += DurNs;
-  if (Events.size() < MaxTraceEvents)
-    Events.push_back({Name, StartNs, DurNs, Tid});
+Telemetry::SpanEntry *Telemetry::spanEntrySlow(const char *Name) {
+  std::lock_guard<std::mutex> Lock(I->M);
+  SpanEntry *E = I->spanLocked(Name);
+  TlSlot &S = TlC.Spans[tlIndex(Name)];
+  S.Key = Name;
+  S.Epoch = I->Epoch.load(std::memory_order_relaxed);
+  S.Entry = E;
+  return E;
+}
+
+void Telemetry::count(const char *Name, uint64_t Delta) {
+  uint64_t Epoch = I->Epoch.load(std::memory_order_acquire);
+  TlSlot &S = TlC.Counters[tlIndex(Name)];
+  CounterEntry *E;
+  if (S.Key == Name && S.Epoch == Epoch &&
+      std::strcmp(static_cast<CounterEntry *>(S.Entry)->Canon, Name) == 0)
+    E = static_cast<CounterEntry *>(S.Entry);
   else
-    ++DroppedEvents;
+    E = counterEntrySlow(Name);
+  E->Cells[threadTag() % NumShards].V.fetch_add(Delta,
+                                                std::memory_order_relaxed);
+}
+
+void Telemetry::count(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(I->M);
+  I->counterLocked(Name)->Cells[threadTag() % NumShards].V.fetch_add(
+      Delta, std::memory_order_relaxed);
+}
+
+void Telemetry::span(const char *Name, uint64_t StartNs, uint64_t DurNs,
+                     uint32_t Tid) {
+  uint64_t Epoch = I->Epoch.load(std::memory_order_acquire);
+  TlSlot &S = TlC.Spans[tlIndex(Name)];
+  SpanEntry *E;
+  if (S.Key == Name && S.Epoch == Epoch &&
+      std::strcmp(static_cast<SpanEntry *>(S.Entry)->Canon, Name) == 0)
+    E = static_cast<SpanEntry *>(S.Entry);
+  else
+    E = spanEntrySlow(Name);
+  unsigned Sh = threadTag() % NumShards;
+  E->Calls[Sh].V.fetch_add(1, std::memory_order_relaxed);
+  E->Ns[Sh].V.fetch_add(DurNs, std::memory_order_relaxed);
+  I->appendRing(E->NameId, StartNs, DurNs, Tid);
+}
+
+void Telemetry::span(const std::string &Name, uint64_t StartNs, uint64_t DurNs,
+                     uint32_t Tid) {
+  uint32_t NameId;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    SpanEntry *E = I->spanLocked(Name);
+    unsigned Sh = threadTag() % NumShards;
+    E->Calls[Sh].V.fetch_add(1, std::memory_order_relaxed);
+    E->Ns[Sh].V.fetch_add(DurNs, std::memory_order_relaxed);
+    NameId = E->NameId;
+  }
+  I->appendRing(NameId, StartNs, DurNs, Tid);
+}
+
+void Telemetry::event(const std::string &Name, uint64_t StartNs, uint64_t DurNs,
+                      uint32_t Tid, const std::string &ArgsJson) {
+  std::lock_guard<std::mutex> Lock(I->M);
+  I->Annotated.push_back({Name, StartNs, DurNs, Tid, ArgsJson});
+  if (I->Annotated.size() > MaxAnnotatedEvents) {
+    I->Annotated.pop_front();
+    ++I->AnnotatedDropped;
+  }
+}
+
+Histogram &Telemetry::histogramRef(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(I->M);
+  auto It = I->Histograms.find(Name);
+  if (It == I->Histograms.end())
+    It = I->Histograms.emplace(Name, std::make_unique<Histogram>()).first;
+  return *It->second;
+}
+
+Gauge &Telemetry::gaugeRef(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(I->M);
+  auto It = I->Gauges.find(Name);
+  if (It == I->Gauges.end())
+    It = I->Gauges.emplace(Name, std::make_unique<Gauge>()).first;
+  return *It->second;
 }
 
 uint64_t Telemetry::counter(const std::string &Name) const {
-  std::lock_guard<std::mutex> Lock(M);
-  auto It = Counters.find(Name);
-  return It == Counters.end() ? 0 : It->second;
+  std::lock_guard<std::mutex> Lock(I->M);
+  auto It = I->Counters.find(Name);
+  return It == I->Counters.end() ? 0 : It->second->total();
 }
 
 Telemetry::SpanStat Telemetry::spanStat(const std::string &Name) const {
-  std::lock_guard<std::mutex> Lock(M);
-  auto It = Spans.find(Name);
-  return It == Spans.end() ? SpanStat{} : It->second;
+  std::lock_guard<std::mutex> Lock(I->M);
+  auto It = I->Spans.find(Name);
+  return It == I->Spans.end() ? SpanStat{} : It->second->stat();
 }
 
 size_t Telemetry::counterCount() const {
-  std::lock_guard<std::mutex> Lock(M);
-  return Counters.size();
+  std::lock_guard<std::mutex> Lock(I->M);
+  return I->Counters.size();
 }
 
 size_t Telemetry::eventCount() const {
-  std::lock_guard<std::mutex> Lock(M);
-  return Events.size();
+  return static_cast<size_t>(I->ringRetained());
 }
 
+uint64_t Telemetry::droppedEvents() const { return I->ringDropped(); }
+
 void Telemetry::reset() {
-  std::lock_guard<std::mutex> Lock(M);
-  Counters.clear();
-  Spans.clear();
-  Events.clear();
-  DroppedEvents = 0;
+  std::lock_guard<std::mutex> Lock(I->M);
+  for (auto &[Name, E] : I->Counters)
+    I->CounterGraveyard.push_back(std::move(E));
+  I->Counters.clear();
+  for (auto &[Name, E] : I->Spans)
+    I->SpanGraveyard.push_back(std::move(E));
+  I->Spans.clear();
+  for (auto &[Name, H] : I->Histograms)
+    H->reset();
+  for (auto &[Name, G] : I->Gauges)
+    G->set(0);
+  I->RingCursor.store(0, std::memory_order_relaxed);
+  for (size_t K = 0; K < MaxTraceEvents; ++K)
+    I->Ring[K].Seq.store(0, std::memory_order_relaxed);
+  I->Annotated.clear();
+  I->AnnotatedDropped = 0;
+  I->Epoch.fetch_add(1, std::memory_order_release);
 }
 
 std::string Telemetry::snapshotJson() const {
-  std::lock_guard<std::mutex> Lock(M);
+  std::lock_guard<std::mutex> Lock(I->M);
   std::ostringstream Out;
   Out << "{\"enabled\": " << (telemetryEnabled() ? "true" : "false")
+      << ", \"cycle_unit\": \"" << telemetryCycleUnit() << "\""
       << ", \"counters\": {";
   bool First = true;
-  for (const auto &[Name, Value] : Counters) {
-    Out << (First ? "" : ", ") << '"' << jsonEscape(Name) << "\": " << Value;
+  for (const auto &[Name, E] : I->Counters) {
+    Out << (First ? "" : ", ") << '"' << jsonEscape(Name)
+        << "\": " << E->total();
     First = false;
   }
   Out << "}, \"spans\": {";
   First = true;
-  for (const auto &[Name, Stat] : Spans) {
+  for (const auto &[Name, E] : I->Spans) {
+    SpanStat Stat = E->stat();
     Out << (First ? "" : ", ") << '"' << jsonEscape(Name)
         << "\": {\"calls\": " << Stat.Calls
         << ", \"total_ns\": " << Stat.TotalNs << "}";
     First = false;
   }
-  Out << "}, \"trace_events\": " << Events.size()
-      << ", \"dropped_events\": " << DroppedEvents << "}";
+  Out << "}, \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : I->Histograms) {
+    Histogram::Snapshot S = H->snapshot();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", S.mean());
+    Out << (First ? "" : ", ") << '"' << jsonEscape(Name)
+        << "\": {\"count\": " << S.Count << ", \"sum\": " << S.Sum
+        << ", \"mean\": " << Buf << ", \"p50\": " << S.percentile(0.50)
+        << ", \"p90\": " << S.percentile(0.90)
+        << ", \"p99\": " << S.percentile(0.99)
+        << ", \"p999\": " << S.percentile(0.999) << "}";
+    First = false;
+  }
+  Out << "}, \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : I->Gauges) {
+    Out << (First ? "" : ", ") << '"' << jsonEscape(Name)
+        << "\": " << G->value();
+    First = false;
+  }
+  Out << "}, \"trace_events\": " << I->ringRetained()
+      << ", \"dropped_events\": " << I->ringDropped() << "}";
   return Out.str();
 }
 
 bool Telemetry::writeTrace(const std::string &Path) const {
-  std::lock_guard<std::mutex> Lock(M);
+  std::lock_guard<std::mutex> Lock(I->M);
   std::ofstream Out(Path);
   if (!Out)
     return false;
+  std::vector<Impl::RingEvent> Events = I->collectRing();
   // Timestamps are microseconds relative to the earliest recorded span,
   // which is what chrome://tracing / Perfetto lay out best.
   uint64_t Epoch = UINT64_MAX;
-  for (const Event &E : Events)
+  for (const Impl::RingEvent &E : Events)
+    Epoch = std::min(Epoch, E.StartNs);
+  for (const AnnotatedEvent &E : I->Annotated)
     Epoch = std::min(Epoch, E.StartNs);
   if (Epoch == UINT64_MAX)
     Epoch = 0;
   Out << "{\"traceEvents\": [";
-  for (size_t I = 0; I < Events.size(); ++I) {
-    const Event &E = Events[I];
+  bool First = true;
+  auto emitCommon = [&](const std::string &Name, uint64_t StartNs,
+                        uint64_t DurNs, uint32_t Tid) {
     char Buf[64];
-    Out << (I ? ",\n  " : "\n  ") << "{\"name\": \"" << jsonEscape(E.Name)
+    Out << (First ? "\n  " : ",\n  ") << "{\"name\": \"" << jsonEscape(Name)
         << "\", \"cat\": \"usuba\", \"ph\": \"X\"";
     std::snprintf(Buf, sizeof(Buf), ", \"ts\": %.3f, \"dur\": %.3f",
-                  static_cast<double>(E.StartNs - Epoch) / 1000.0,
-                  static_cast<double>(E.DurNs) / 1000.0);
-    Out << Buf << ", \"pid\": 1, \"tid\": " << E.Tid << "}";
+                  static_cast<double>(StartNs - Epoch) / 1000.0,
+                  static_cast<double>(DurNs) / 1000.0);
+    Out << Buf << ", \"pid\": 1, \"tid\": " << Tid;
+    First = false;
+  };
+  for (const Impl::RingEvent &E : Events) {
+    const std::string &Name = E.NameId < I->Names.size()
+                                  ? I->Names[E.NameId]
+                                  : std::string("<unknown>");
+    emitCommon(Name, E.StartNs, E.DurNs, E.Tid);
+    Out << "}";
+  }
+  for (const AnnotatedEvent &E : I->Annotated) {
+    emitCommon(E.Name, E.StartNs, E.DurNs, E.Tid);
+    Out << ", \"args\": " << (E.ArgsJson.empty() ? "{}" : E.ArgsJson) << "}";
   }
   Out << "\n], \"displayTimeUnit\": \"ms\"}\n";
   Out.flush();
@@ -196,21 +558,22 @@ bool Telemetry::writeTrace(const std::string &Path) const {
 }
 
 std::string Telemetry::summary() const {
-  std::lock_guard<std::mutex> Lock(M);
+  std::lock_guard<std::mutex> Lock(I->M);
   std::ostringstream Out;
-  Out << "telemetry " << (telemetryEnabled() ? "enabled" : "disabled")
-      << ": " << Spans.size() << " span names, " << Counters.size()
-      << " counters, " << Events.size() << " trace events";
-  if (DroppedEvents)
-    Out << " (" << DroppedEvents << " dropped)";
+  Out << "telemetry " << (telemetryEnabled() ? "enabled" : "disabled") << ": "
+      << I->Spans.size() << " span names, " << I->Counters.size()
+      << " counters, " << I->ringRetained() << " trace events";
+  if (uint64_t Dropped = I->ringDropped())
+    Out << " (telemetry.dropped_events=" << Dropped
+        << " oldest overwritten by the ring)";
   Out << "\n";
-  if (!Spans.empty()) {
+  if (!I->Spans.empty()) {
     Out << "  spans (name, calls, total ms, avg us):\n";
-    for (const auto &[Name, Stat] : Spans) {
+    for (const auto &[Name, E] : I->Spans) {
+      SpanStat Stat = E->stat();
       char Buf[128];
       std::snprintf(Buf, sizeof(Buf), "    %-32s %8llu %10.3f %10.3f\n",
-                    Name.c_str(),
-                    static_cast<unsigned long long>(Stat.Calls),
+                    Name.c_str(), static_cast<unsigned long long>(Stat.Calls),
                     static_cast<double>(Stat.TotalNs) / 1e6,
                     Stat.Calls ? static_cast<double>(Stat.TotalNs) /
                                      static_cast<double>(Stat.Calls) / 1e3
@@ -218,14 +581,109 @@ std::string Telemetry::summary() const {
       Out << Buf;
     }
   }
-  if (!Counters.empty()) {
+  if (!I->Counters.empty()) {
     Out << "  counters:\n";
-    for (const auto &[Name, Value] : Counters) {
+    for (const auto &[Name, E] : I->Counters) {
       char Buf[128];
       std::snprintf(Buf, sizeof(Buf), "    %-32s %12llu\n", Name.c_str(),
-                    static_cast<unsigned long long>(Value));
+                    static_cast<unsigned long long>(E->total()));
       Out << Buf;
     }
   }
+  return Out.str();
+}
+
+std::string Telemetry::exportMetrics() const {
+  std::lock_guard<std::mutex> Lock(I->M);
+  std::ostringstream Out;
+  for (const auto &[Name, E] : I->Counters) {
+    std::string P = promName(Name) + "_total";
+    Out << "# TYPE " << P << " counter\n" << P << " " << E->total() << "\n";
+  }
+  for (const auto &[Name, E] : I->Spans) {
+    SpanStat Stat = E->stat();
+    std::string P = promName(Name);
+    Out << "# TYPE " << P << "_calls_total counter\n"
+        << P << "_calls_total " << Stat.Calls << "\n"
+        << "# TYPE " << P << "_ns_total counter\n"
+        << P << "_ns_total " << Stat.TotalNs << "\n";
+  }
+  for (const auto &[Name, G] : I->Gauges) {
+    std::string P = promName(Name);
+    Out << "# TYPE " << P << " gauge\n" << P << " " << G->value() << "\n";
+  }
+  for (const auto &[Name, H] : I->Histograms) {
+    Histogram::Snapshot S = H->snapshot();
+    std::string P = promName(Name);
+    Out << "# TYPE " << P << " summary\n";
+    static const std::pair<const char *, double> Quantiles[] = {
+        {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}};
+    for (const auto &[Label, Q] : Quantiles)
+      Out << P << "{quantile=\"" << Label << "\"} " << S.percentile(Q) << "\n";
+    Out << P << "_sum " << S.Sum << "\n" << P << "_count " << S.Count << "\n";
+  }
+  return Out.str();
+}
+
+std::string Telemetry::statsDump() const {
+  std::lock_guard<std::mutex> Lock(I->M);
+  std::ostringstream Out;
+  Out << "usuba stats (telemetry "
+      << (telemetryEnabled() ? "enabled" : "disabled")
+      << ", cycle_unit=" << telemetryCycleUnit() << ")\n";
+  if (!I->Counters.empty()) {
+    Out << "  counters:\n";
+    for (const auto &[Name, E] : I->Counters) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "    %-40s %14llu\n", Name.c_str(),
+                    static_cast<unsigned long long>(E->total()));
+      Out << Buf;
+    }
+  }
+  if (!I->Gauges.empty()) {
+    Out << "  gauges:\n";
+    for (const auto &[Name, G] : I->Gauges) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "    %-40s %14lld\n", Name.c_str(),
+                    static_cast<long long>(G->value()));
+      Out << Buf;
+    }
+  }
+  if (!I->Spans.empty()) {
+    Out << "  spans (calls, total ms, avg us):\n";
+    for (const auto &[Name, E] : I->Spans) {
+      SpanStat Stat = E->stat();
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf), "    %-40s %10llu %12.3f %12.3f\n",
+                    Name.c_str(), static_cast<unsigned long long>(Stat.Calls),
+                    static_cast<double>(Stat.TotalNs) / 1e6,
+                    Stat.Calls ? static_cast<double>(Stat.TotalNs) /
+                                     static_cast<double>(Stat.Calls) / 1e3
+                               : 0.0);
+      Out << Buf;
+    }
+  }
+  if (!I->Histograms.empty()) {
+    Out << "  histograms (count, mean, p50, p90, p99, p99.9):\n";
+    for (const auto &[Name, H] : I->Histograms) {
+      Histogram::Snapshot S = H->snapshot();
+      char Buf[224];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    %-40s %10llu %12.1f %10llu %10llu %10llu %10llu\n",
+                    Name.c_str(), static_cast<unsigned long long>(S.Count),
+                    S.mean(),
+                    static_cast<unsigned long long>(S.percentile(0.50)),
+                    static_cast<unsigned long long>(S.percentile(0.90)),
+                    static_cast<unsigned long long>(S.percentile(0.99)),
+                    static_cast<unsigned long long>(S.percentile(0.999)));
+      Out << Buf;
+    }
+  }
+  Out << "  trace: " << I->ringRetained() << " ring events ("
+      << I->ringDropped() << " overwritten), " << I->Annotated.size()
+      << " annotated";
+  if (I->AnnotatedDropped)
+    Out << " (" << I->AnnotatedDropped << " dropped)";
+  Out << "\n";
   return Out.str();
 }

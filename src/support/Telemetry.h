@@ -1,4 +1,4 @@
-//===- Telemetry.h - Counters, spans and trace events -----------*- C++ -*-===//
+//===- Telemetry.h - Counters, spans, histograms and trace events -*- C++ -*-===//
 //
 // Part of the usuba-cpp project, under the MIT license.
 //
@@ -6,24 +6,49 @@
 ///
 /// \file
 /// A low-overhead, process-wide telemetry registry for the whole stack:
-/// the compiler passes, the transposition runtime, the threaded engine
-/// and the kernel cache all report through it, and the benches embed its
-/// snapshot so a throughput number is always accompanied by *where* the
-/// cycles went (pack/unpack vs kernel vs threading overhead).
+/// the compiler passes, the transposition runtime, the threaded engine,
+/// the kernel cache and the CipherService all report through it, and the
+/// benches embed its snapshot so a throughput number is always
+/// accompanied by *where* the cycles went (pack/unpack vs kernel vs
+/// threading overhead vs queueing).
 ///
-/// Overhead contract: telemetry is disabled by default, and a disabled
-/// probe costs one relaxed atomic load (the counters, maps and the
-/// event ring are untouched). The contract is enforced by
-/// TelemetryTest.DisabledProbeIsCheap and the "zero observable
-/// counters" test; the enabled path takes a mutex and is a profiling
-/// mode, not a production default.
+/// Overhead contract (enforced by TelemetryTest.DisabledProbeIsCheap and
+/// TelemetryTest.EnabledProbeIsCheap):
+///  * disabled probe — one relaxed atomic load; counters, maps and the
+///    event ring are untouched;
+///  * enabled counter/span probe — lock-free: a thread-local name-cache
+///    hit resolves to a sharded cache-line-private atomic cell
+///    (NumShards cells per name, indexed by thread tag) and one or two
+///    relaxed fetch_adds; spans additionally write one slot of the
+///    lock-free circular trace ring. The registry mutex is touched only
+///    the first time a thread meets a new name (or after reset()), never
+///    per-probe — cheap enough to leave ON in a serving process.
 ///
-/// Three sinks:
-///  * snapshotJson()  — structured JSON of every counter and span
-///    aggregate (embedded in BENCH_throughput.json by the bench);
+/// Aggregation happens at snapshot time: sinks sum the shard cells under
+/// the registry mutex. Histograms (see Histogram.h) and gauges are
+/// registered once via histogramRef()/gaugeRef() and recorded into
+/// directly — the returned references stay valid for the process
+/// lifetime, across reset().
+///
+/// Five sinks:
+///  * snapshotJson()  — structured JSON of counters, spans, histogram
+///    percentiles and gauges (embedded in BENCH_*.json by the benches);
+///    includes "cycle_unit" naming the unit of telemetryCycles()-based
+///    attribution counters ("rdtsc" on x86-64, "ns" elsewhere) so
+///    consumers never compare across units;
 ///  * writeTrace()    — a chrome://tracing / Perfetto "trace events"
-///    file of the recorded spans;
-///  * summary()       — a human-readable table for terminals.
+///    file of the recorded spans and annotated events;
+///  * summary()       — a human-readable table for terminals;
+///  * exportMetrics() — Prometheus text exposition format (counters as
+///    *_total, histograms as summaries with quantile labels, gauges);
+///  * statsDump()     — a human operations table: every counter, gauge,
+///    span aggregate and histogram with p50/p90/p99/p99.9.
+///
+/// The trace ring is circular: it keeps the most recent MaxTraceEvents
+/// spans, overwriting the oldest, and reports how many were overwritten
+/// as dropped_events. event() records a rare-path *annotated* event
+/// (name + args JSON, e.g. a slow-request stage breakdown) into a small
+/// bounded side buffer included in writeTrace().
 ///
 /// Enabling: Telemetry::instance().setEnabled(true), or the environment
 /// (USUBA_TELEMETRY=1). USUBA_TRACE_FILE=path additionally dumps the
@@ -34,12 +59,11 @@
 #ifndef USUBA_SUPPORT_TELEMETRY_H
 #define USUBA_SUPPORT_TELEMETRY_H
 
+#include "support/Histogram.h"
+
 #include <atomic>
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <string>
-#include <vector>
 
 namespace usuba {
 
@@ -52,7 +76,8 @@ extern std::atomic<bool> Enabled;
 uint64_t nowNanos();
 
 /// A small dense id for the calling thread (0 for the first thread to
-/// ask, 1 for the next, ...) — the "tid" of trace events.
+/// ask, 1 for the next, ...) — the "tid" of trace events and the shard
+/// selector for counter cells.
 uint32_t threadTag();
 } // namespace telemetry_detail
 
@@ -63,7 +88,8 @@ inline bool telemetryEnabled() {
 
 /// Serialized cycle counter for attribution counters (falls back to
 /// nanoseconds off x86 — the *ratios* between pack/kernel/unpack are
-/// what matters, and both units are monotonic).
+/// what matters, and both units are monotonic). The active unit is
+/// telemetryCycleUnit() and is recorded in snapshotJson().
 inline uint64_t telemetryCycles() {
 #if defined(__x86_64__)
   return __builtin_ia32_rdtsc();
@@ -72,27 +98,62 @@ inline uint64_t telemetryCycles() {
 #endif
 }
 
-/// The process-wide registry. All methods are thread-safe; the enabled
-/// hot-path cost is one mutex acquisition per probe.
+/// Unit of telemetryCycles() on this build: "rdtsc" or "ns".
+inline const char *telemetryCycleUnit() {
+#if defined(__x86_64__)
+  return "rdtsc";
+#else
+  return "ns";
+#endif
+}
+
+/// The process-wide registry. All methods are thread-safe; see the file
+/// comment for the per-probe cost contract.
 class Telemetry {
 public:
-  /// Trace-event ring capacity: recording stops (and
-  /// telemetry.dropped_events counts) once full, bounding memory on
-  /// long profiled runs.
+  /// Trace-event ring capacity. The ring is circular: it retains the
+  /// most recent MaxTraceEvents spans and counts overwritten ones as
+  /// dropped_events, bounding memory on long profiled runs without
+  /// losing the interesting (recent) end of the timeline.
   static constexpr size_t MaxTraceEvents = size_t{1} << 16;
+
+  /// Shard count for counter/span cells: probes from different threads
+  /// land on different cache lines (threadTag() % NumShards).
+  static constexpr unsigned NumShards = 16;
 
   static Telemetry &instance();
 
   bool enabled() const { return telemetryEnabled(); }
   void setEnabled(bool On);
 
-  /// Adds \p Delta to the named monotonic counter.
+  /// Adds \p Delta to the named monotonic counter. The const char*
+  /// overload is the hot path: the pointer identity is used as a
+  /// thread-local cache key (verified by strcmp), so string literals
+  /// resolve to their sharded cell without hashing or locking.
+  void count(const char *Name, uint64_t Delta = 1);
   void count(const std::string &Name, uint64_t Delta = 1);
 
   /// Records one completed span: aggregates into (calls, total_ns) under
-  /// \p Name and appends a trace event (until the ring is full).
+  /// \p Name and appends a trace event to the circular ring.
+  void span(const char *Name, uint64_t StartNs, uint64_t DurNs, uint32_t Tid);
   void span(const std::string &Name, uint64_t StartNs, uint64_t DurNs,
             uint32_t Tid);
+
+  /// Records a rare-path annotated trace event (e.g. a slow-request
+  /// stage breakdown). \p ArgsJson must be a JSON object literal
+  /// ("{...}"); it becomes the event's "args" in writeTrace(). Bounded:
+  /// the oldest annotated events are dropped past MaxAnnotatedEvents.
+  /// Takes the registry mutex — keep off per-request hot paths.
+  void event(const std::string &Name, uint64_t StartNs, uint64_t DurNs,
+             uint32_t Tid, const std::string &ArgsJson);
+  static constexpr size_t MaxAnnotatedEvents = 1024;
+
+  /// Returns the process-lifetime histogram / gauge registered under
+  /// \p Name, creating it on first use (registry mutex; cache the
+  /// reference). record()/set() on the result are lock-free. reset()
+  /// zeroes the cells but never invalidates the references.
+  Histogram &histogramRef(const std::string &Name);
+  Gauge &gaugeRef(const std::string &Name);
 
   /// Aggregate of every span recorded under one name.
   struct SpanStat {
@@ -106,36 +167,47 @@ public:
   SpanStat spanStat(const std::string &Name) const;
   size_t counterCount() const;
   size_t eventCount() const;
+  /// Spans overwritten in the circular ring since the last reset().
+  uint64_t droppedEvents() const;
 
-  /// Drops every counter, span aggregate and trace event (tests and
-  /// per-run bench isolation). The enabled flag is unchanged.
+  /// Drops every counter, span aggregate and trace event and zeroes all
+  /// histograms and gauges (tests and per-run bench isolation). The
+  /// enabled flag is unchanged. Safe against concurrent probes: retired
+  /// counter/span cells are kept alive (never freed) so an in-flight
+  /// recording can at worst be lost, never fault.
   void reset();
 
-  /// Sink 1: structured JSON snapshot of counters and span aggregates.
+  /// Sink 1: structured JSON snapshot of counters, spans, histograms
+  /// and gauges, plus "cycle_unit".
   std::string snapshotJson() const;
 
-  /// Sink 2: chrome://tracing "trace events" JSON. Returns false when
-  /// the file cannot be written.
+  /// Sink 2: chrome://tracing "trace events" JSON (ring spans in record
+  /// order plus annotated events with args). Returns false when the
+  /// file cannot be written.
   bool writeTrace(const std::string &Path) const;
 
   /// Sink 3: a human-readable summary table.
   std::string summary() const;
 
+  /// Sink 4: Prometheus text exposition (one metric per counter /
+  /// gauge; histograms as summaries; spans as *_calls_total and
+  /// *_ns_total). Names are sanitized to [a-zA-Z0-9_] and prefixed
+  /// "usuba_".
+  std::string exportMetrics() const;
+
+  /// Sink 5: a human operations table — counters, gauges, spans and
+  /// histogram percentiles in one dump.
+  std::string statsDump() const;
+
 private:
-  Telemetry() = default;
+  Telemetry();
+  struct Impl;
+  Impl *I; // leaked with the singleton: probes may run during exit
 
-  struct Event {
-    std::string Name;
-    uint64_t StartNs;
-    uint64_t DurNs;
-    uint32_t Tid;
-  };
-
-  mutable std::mutex M;
-  std::map<std::string, uint64_t> Counters;
-  std::map<std::string, SpanStat> Spans;
-  std::vector<Event> Events;
-  uint64_t DroppedEvents = 0;
+  struct CounterEntry;
+  struct SpanEntry;
+  CounterEntry *counterEntrySlow(const char *Name);
+  SpanEntry *spanEntrySlow(const char *Name);
 };
 
 /// Counter probe: no-op (one relaxed load) when telemetry is disabled.

@@ -19,13 +19,18 @@
 
 #include "service/CipherService.h"
 
+#include "support/Telemetry.h"
+
 #include "tests/TestSeed.h"
 #include "types/Arch.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <random>
 #include <thread>
 #include <vector>
@@ -576,4 +581,149 @@ TEST(CipherService, OpenSessionSurfacesStructuredDiagnostics) {
   EXPECT_NE(Short.errorText().find("key length"), std::string::npos)
       << Short.errorText();
   EXPECT_EQ(Service.stats().OpenSessions, 0u);
+}
+
+namespace {
+
+/// Restores the telemetry enabled flag and wipes recorded state so the
+/// observability tests do not leak into (or inherit from) the rest of
+/// the suite.
+class ServiceTelemetryGuard {
+public:
+  ServiceTelemetryGuard() : WasEnabled(telemetryEnabled()) {
+    Telemetry::instance().reset();
+  }
+  ~ServiceTelemetryGuard() {
+    Telemetry::instance().setEnabled(WasEnabled);
+    Telemetry::instance().reset();
+  }
+
+private:
+  bool WasEnabled;
+};
+
+} // namespace
+
+TEST(CipherService, StageHistogramsTrackRequestLifecycle) {
+  const uint64_t Seed = testSeed(0x5e41ce0c);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  ServiceTelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  // Interval deltas against before-snapshots: the histograms are
+  // process-lifetime, so other telemetry-enabled tests in this binary
+  // must not bleed into the counts.
+  Histogram &QueueH = T.histogramRef("service.queue_wait_ns");
+  Histogram &CoalesceH = T.histogramRef("service.coalesce_wait_ns");
+  Histogram &KernelH = T.histogramRef("service.kernel_ns");
+  Histogram &CallbackH = T.histogramRef("service.callback_ns");
+  const Histogram::Snapshot QueueBefore = QueueH.snapshot();
+  const Histogram::Snapshot CoalesceBefore = CoalesceH.snapshot();
+  const Histogram::Snapshot KernelBefore = KernelH.snapshot();
+  const Histogram::Snapshot CallbackBefore = CallbackH.snapshot();
+
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true; // Every request rides the coalescer.
+  Svc.FlushDeadline = std::chrono::milliseconds(200);
+  constexpr unsigned NumRequests = 5;
+  {
+    CipherService Service(Svc);
+    UsubaCipher Oracle = compileOk(Config);
+    std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+    const unsigned BlockLen = Oracle.blockBytes();
+
+    SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+    ASSERT_TRUE(R.ok()) << R.errorText();
+    EXPECT_EQ(T.gaugeRef("service.open_sessions").value(), 1);
+
+    std::vector<std::vector<uint8_t>> Payloads;
+    std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+    std::vector<std::future<void>> Futs;
+    for (unsigned I = 0; I < NumRequests; ++I) {
+      Payloads.push_back(randomBytes(Rng, BlockLen));
+      Futs.push_back(Service.submitCtrXor(R.id(), Payloads.back().data(),
+                                          Payloads.back().size(), Nonce.data(),
+                                          I * 64));
+    }
+    Service.flush();
+    for (auto &F : Futs)
+      F.get();
+    EXPECT_EQ(Service.stats().Requests, NumRequests);
+    Service.closeSession(R.id());
+    EXPECT_EQ(T.gaugeRef("service.open_sessions").value(), 0);
+  }
+
+  // Exactly one sample per request for queue wait (stamped when the
+  // shard lock is acquired), coalesce wait (each request placed once —
+  // single-span payloads) and callback; at least one kernel batch ran.
+  Histogram::Snapshot QueueD = QueueH.snapshot();
+  QueueD.subtract(QueueBefore);
+  Histogram::Snapshot CoalesceD = CoalesceH.snapshot();
+  CoalesceD.subtract(CoalesceBefore);
+  Histogram::Snapshot KernelD = KernelH.snapshot();
+  KernelD.subtract(KernelBefore);
+  Histogram::Snapshot CallbackD = CallbackH.snapshot();
+  CallbackD.subtract(CallbackBefore);
+  EXPECT_EQ(QueueD.Count, NumRequests);
+  EXPECT_EQ(CoalesceD.Count, NumRequests);
+  EXPECT_EQ(CallbackD.Count, NumRequests);
+  EXPECT_GE(KernelD.Count, 1u);
+  // Durations are real: the coalesce wait of a deadline-free flush is
+  // still nonzero (the blocks sat in the batch until flush()).
+  EXPECT_GT(CoalesceD.Sum, 0u);
+}
+
+TEST(CipherService, SlowRequestThresholdEmitsStageBreakdown) {
+  const uint64_t Seed = testSeed(0x5e41ce0d);
+  SCOPED_TRACE(testSeedTrace(Seed));
+  std::mt19937_64 Rng(Seed);
+
+  ServiceTelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  // A partial batch only dispatches when the flush timer fires, so with
+  // a 10ms deadline and a 1ms threshold the request is guaranteed slow.
+  const CipherConfig Config = cfg(CipherId::Rectangle, SlicingMode::Vslice);
+  ServiceConfig Svc;
+  Svc.CoalesceOnly = true;
+  Svc.FlushDeadline = std::chrono::milliseconds(10);
+  Svc.SlowRequestThreshold = std::chrono::milliseconds(1);
+  CipherService Service(Svc);
+
+  UsubaCipher Oracle = compileOk(Config);
+  std::vector<uint8_t> Key = randomBytes(Rng, Oracle.keyBytes());
+  (void)Oracle;
+  SessionResult R = Service.openSession(Config, Key.data(), Key.size());
+  ASSERT_TRUE(R.ok()) << R.errorText();
+
+  std::vector<uint8_t> Nonce = randomBytes(Rng, 8);
+  std::vector<uint8_t> Data = randomBytes(Rng, 16);
+  // No flush(): completion rides the deadline timer.
+  Service.submitCtrXor(R.id(), Data.data(), Data.size(), Nonce.data(), 0)
+      .get();
+
+  EXPECT_EQ(Service.stats().SlowRequests, 1u);
+  EXPECT_EQ(T.counter("service.slow_requests"), 1u);
+
+  // The annotated trace event carries the full stage breakdown.
+  std::string Path = testing::TempDir() + "/usuba_service_slow_trace.json";
+  ASSERT_TRUE(T.writeTrace(Path));
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Trace = Buf.str();
+  std::remove(Path.c_str());
+  EXPECT_NE(Trace.find("\"service.slow_request\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"total_us\""), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("\"queue_wait_us\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"coalesce_wait_us\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"kernel_us\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"callback_us\""), std::string::npos);
+
+  Service.closeSession(R.id());
 }

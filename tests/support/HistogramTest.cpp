@@ -1,0 +1,223 @@
+//===- HistogramTest.cpp - Lock-free histogram tests ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The histogram's contract: the HDR-style bucket mapping is exact below
+/// 2^SubBits and within 1/SubBuckets relative error above; percentiles
+/// land in the right bucket; snapshots merge and subtract without
+/// underflow; and concurrent record()/snapshot()/reset() is clean (run
+/// under -DUSUBA_SANITIZE=thread to make the race tests carry weight).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+using namespace usuba;
+
+namespace {
+
+TEST(Histogram, ExactBucketsBelowSubBucketRange) {
+  // Values below 2^SubBits get one bucket each: no rounding at all for
+  // the sub-32ns latencies where relative error would be most visible.
+  for (uint64_t V = 0; V < Histogram::SubBuckets; ++V) {
+    EXPECT_EQ(Histogram::bucketIndex(V), V);
+    EXPECT_EQ(Histogram::bucketValue(static_cast<unsigned>(V)), V);
+  }
+}
+
+TEST(Histogram, BucketMappingIsMonotonicBoundedAndTight) {
+  unsigned Prev = 0;
+  // Sweep powers of two with neighbors across the full range, plus the
+  // extremes. bucketIndex must stay in range, never decrease, and the
+  // representative value must stay within the documented ~1/SubBuckets
+  // relative error.
+  std::vector<uint64_t> Values = {0, 1, Histogram::SubBuckets - 1,
+                                  Histogram::SubBuckets,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (unsigned Shift = Histogram::SubBits; Shift < 64; ++Shift) {
+    uint64_t P = uint64_t(1) << Shift;
+    Values.push_back(P - 1);
+    Values.push_back(P);
+    Values.push_back(P + P / 3);
+  }
+  std::sort(Values.begin(), Values.end());
+  for (uint64_t V : Values) {
+    unsigned Index = Histogram::bucketIndex(V);
+    ASSERT_LT(Index, Histogram::NumBuckets) << "value " << V;
+    EXPECT_GE(Index, Prev) << "mapping not monotonic at " << V;
+    Prev = Index;
+    uint64_t Rep = Histogram::bucketValue(Index);
+    if (V >= Histogram::SubBuckets &&
+        V < std::numeric_limits<uint64_t>::max() / 2) {
+      double Rel = std::abs(double(Rep) - double(V)) / double(V);
+      EXPECT_LT(Rel, 1.0 / Histogram::SubBuckets + 1e-9)
+          << "bucket for " << V << " reports " << Rep;
+    }
+  }
+}
+
+TEST(Histogram, PercentilesOnUniformData) {
+  Histogram H;
+  for (uint64_t V = 1; V <= 10000; ++V)
+    H.record(V);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 10000u);
+  EXPECT_EQ(S.Sum, 10000u * 10001u / 2);
+  EXPECT_NEAR(S.mean(), 5000.5, 0.01);
+  // Quantiles of uniform 1..10000; the bucket representative is within
+  // ~3% of the true rank value, leave 5% headroom.
+  EXPECT_NEAR(double(S.percentile(0.5)), 5000.0, 250.0);
+  EXPECT_NEAR(double(S.percentile(0.9)), 9000.0, 450.0);
+  EXPECT_NEAR(double(S.percentile(0.99)), 9900.0, 495.0);
+  EXPECT_NEAR(double(S.percentile(0.999)), 9990.0, 500.0);
+  // p0/p100 pin to the extreme populated buckets.
+  EXPECT_NEAR(double(S.percentile(0.0)), 1.0, 1.0);
+  EXPECT_NEAR(double(S.percentile(1.0)), 10000.0, 320.0);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram H;
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Sum, 0u);
+  EXPECT_EQ(S.percentile(0.5), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+}
+
+TEST(Histogram, MergeAccumulatesAcrossHistograms) {
+  Histogram A, B;
+  for (int I = 0; I < 100; ++I)
+    A.record(10);
+  for (int I = 0; I < 100; ++I)
+    B.record(1000);
+  Histogram::Snapshot S = A.snapshot();
+  S.merge(B.snapshot());
+  EXPECT_EQ(S.Count, 200u);
+  EXPECT_EQ(S.Sum, 100u * 10 + 100u * 1000);
+  // Median of the bimodal merge sits in the low mode, p90 in the high.
+  EXPECT_EQ(S.percentile(0.25), 10u);
+  EXPECT_NEAR(double(S.percentile(0.9)), 1000.0, 35.0);
+}
+
+TEST(Histogram, SubtractLeavesTheInterval) {
+  Histogram H;
+  for (int I = 0; I < 50; ++I)
+    H.record(100);
+  Histogram::Snapshot Before = H.snapshot();
+  for (int I = 0; I < 30; ++I)
+    H.record(200);
+  Histogram::Snapshot After = H.snapshot();
+  After.subtract(Before);
+  EXPECT_EQ(After.Count, 30u);
+  EXPECT_EQ(After.Sum, 30u * 200);
+  EXPECT_NEAR(double(After.percentile(0.5)), 200.0, 7.0);
+}
+
+TEST(Histogram, SubtractSaturatesInsteadOfUnderflowing) {
+  // Subtracting a *later* snapshot from an earlier one (the racy
+  // ordering the API tolerates) must clamp at zero, never wrap.
+  Histogram H;
+  H.record(42);
+  Histogram::Snapshot Early = H.snapshot();
+  H.record(42);
+  Histogram::Snapshot Late = H.snapshot();
+  Early.subtract(Late);
+  EXPECT_EQ(Early.Count, 0u);
+  EXPECT_EQ(Early.Sum, 0u);
+  EXPECT_EQ(Early.percentile(0.5), 0u);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram H;
+  for (int I = 0; I < 10; ++I)
+    H.record(12345);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.snapshot().percentile(0.99), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordSnapshotAndReset) {
+  // Writers hammer record() while the main thread snapshots and
+  // occasionally resets. No torn state, no crashes; after the writers
+  // join, a final quiescent snapshot is internally consistent (the
+  // bucket total equals Count).
+  Histogram H;
+  constexpr int NumWriters = 4;
+  constexpr int PerWriter = 200000;
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < NumWriters; ++W)
+    Writers.emplace_back([&, W] {
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      for (int I = 0; I < PerWriter; ++I)
+        H.record(uint64_t(W) * 1000 + I % 997);
+    });
+  Go.store(true, std::memory_order_release);
+  for (int Round = 0; Round < 100; ++Round) {
+    Histogram::Snapshot S = H.snapshot();
+    (void)S.percentile(0.99);
+    (void)S.mean();
+    if (Round == 50)
+      H.reset();
+  }
+  for (std::thread &W : Writers)
+    W.join();
+
+  Histogram::Snapshot Final = H.snapshot();
+  uint64_t BucketTotal = 0;
+  for (uint64_t Cell : Final.Buckets)
+    BucketTotal += Cell;
+  EXPECT_EQ(BucketTotal, Final.Count);
+  EXPECT_LE(Final.Count, uint64_t(NumWriters) * PerWriter);
+}
+
+TEST(Histogram, QuiescentCountIsExact) {
+  // Without a racing reset, no sample may be lost: relaxed atomics
+  // still sum exactly.
+  Histogram H;
+  constexpr int NumWriters = 4;
+  constexpr int PerWriter = 100000;
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < NumWriters; ++W)
+    Writers.emplace_back([&] {
+      for (int I = 0; I < PerWriter; ++I)
+        H.record(7);
+    });
+  for (std::thread &W : Writers)
+    W.join();
+  EXPECT_EQ(H.count(), uint64_t(NumWriters) * PerWriter);
+  EXPECT_EQ(H.sum(), uint64_t(NumWriters) * PerWriter * 7);
+}
+
+TEST(Gauge, SetAddAndConcurrentAdds) {
+  Gauge G;
+  EXPECT_EQ(G.value(), 0);
+  G.set(10);
+  G.add(-3);
+  EXPECT_EQ(G.value(), 7);
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 10000; ++I)
+        G.add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(G.value(), 7 + 4 * 10000);
+}
+
+} // namespace

@@ -260,6 +260,182 @@ TEST(Telemetry, SinksAreSafeAgainstConcurrentUpdates) {
   EXPECT_TRUE(looksLikeJson(Final)) << Final;
 }
 
+TEST(Telemetry, EnabledProbeIsCheapAndExact) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  // The enabled-path contract from the header: after the first meet, a
+  // counter probe is a thread-local cache hit plus a relaxed fetch_add
+  // on a sharded cell — no registry mutex. Four threads hammer the same
+  // literal; the exact final total proves the sharded cells aggregate
+  // losslessly, and the wall bound trips a regression to "lock the
+  // registry on every probe" (mutex + futex traffic under contention)
+  // while staying far above a healthy run even on a busy 1-core CI box.
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 500'000;
+  std::vector<std::thread> Threads;
+  auto Start = std::chrono::steady_clock::now();
+  for (int W = 0; W < NumThreads; ++W)
+    Threads.emplace_back([] {
+      for (int I = 0; I < PerThread; ++I)
+        telemetryCount("hot.enabled");
+    });
+  for (std::thread &W : Threads)
+    W.join();
+  auto End = std::chrono::steady_clock::now();
+
+  EXPECT_EQ(T.counter("hot.enabled"),
+            uint64_t(NumThreads) * PerThread);
+#if !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+  double NsPerProbe =
+      std::chrono::duration<double, std::nano>(End - Start).count() /
+      (double(NumThreads) * PerThread);
+  EXPECT_LT(NsPerProbe, 150.0) << "enabled probe too expensive";
+#else
+  (void)End;
+#endif
+}
+
+TEST(Telemetry, RingKeepsMostRecentEventsAndCountsDropped) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  // Overfill the circular ring: the first Extra spans ("ring.old") must
+  // be overwritten, the most recent MaxTraceEvents retained, and the
+  // overwrite count surfaced as dropped_events everywhere it matters.
+  constexpr size_t Extra = 100;
+  for (size_t I = 0; I < Extra; ++I)
+    T.span("ring.old", I, 1, 0);
+  for (size_t I = 0; I < Telemetry::MaxTraceEvents; ++I)
+    T.span("ring.new", Extra + I, 1, 0);
+
+  EXPECT_EQ(T.eventCount(), Telemetry::MaxTraceEvents);
+  EXPECT_EQ(T.droppedEvents(), Extra);
+  // Aggregates keep counting past the overwrite.
+  EXPECT_EQ(T.spanStat("ring.old").Calls, Extra);
+
+  std::string Json = T.snapshotJson();
+  EXPECT_NE(Json.find("\"dropped_events\": 100"), std::string::npos) << Json;
+  std::string Text = T.summary();
+  EXPECT_NE(Text.find("dropped_events=100"), std::string::npos) << Text;
+
+  std::string Path = testing::TempDir() + "/usuba_telemetry_ring_trace.json";
+  ASSERT_TRUE(T.writeTrace(Path));
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Trace = Buf.str();
+  std::remove(Path.c_str());
+  EXPECT_EQ(Trace.find("\"name\": \"ring.old\""), std::string::npos)
+      << "overwritten events leaked into the trace";
+  EXPECT_NE(Trace.find("\"name\": \"ring.new\""), std::string::npos);
+
+  T.reset();
+  EXPECT_EQ(T.eventCount(), 0u);
+  EXPECT_EQ(T.droppedEvents(), 0u);
+}
+
+TEST(Telemetry, ResetRacesInFlightSpans) {
+  // reset() retires counter/span cells to a graveyard instead of
+  // freeing them, so a probe mid-flight during reset can at worst be
+  // lost, never fault. Writers keep spans and counters in flight while
+  // the main thread resets repeatedly; run under TSan for full weight.
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < 4; ++W)
+    Writers.emplace_back([&] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        TelemetrySpan Span("reset.race.span");
+        telemetryCount("reset.race.counter");
+      }
+    });
+
+  for (int Round = 0; Round < 300; ++Round)
+    T.reset();
+  Stop.store(true);
+  for (std::thread &W : Writers)
+    W.join();
+
+  // Still coherent: probes recorded after the last reset are visible
+  // and the sinks render.
+  telemetryCount("reset.race.counter", 3);
+  EXPECT_GE(T.counter("reset.race.counter"), 3u);
+  EXPECT_TRUE(looksLikeJson(T.snapshotJson()));
+}
+
+TEST(Telemetry, SnapshotRecordsCycleUnit) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  // telemetryCycles() mixes rdtsc on x86-64 and nanoseconds elsewhere;
+  // the snapshot must name the active unit so consumers never compare
+  // attribution counters across units.
+  std::string Unit = telemetryCycleUnit();
+  EXPECT_TRUE(Unit == "rdtsc" || Unit == "ns");
+  std::string Json = T.snapshotJson();
+  EXPECT_NE(Json.find("\"cycle_unit\": \"" + Unit + "\""), std::string::npos)
+      << Json;
+}
+
+TEST(Telemetry, HistogramsAndGaugesFlowIntoEverySink) {
+  TelemetryGuard Guard;
+  Telemetry &T = Telemetry::instance();
+  T.setEnabled(true);
+
+  Histogram &H = T.histogramRef("sink.latency_ns");
+  for (int I = 1; I <= 100; ++I)
+    H.record(uint64_t(I) * 10);
+  Gauge &G = T.gaugeRef("sink.queue_depth");
+  G.set(17);
+  telemetryCount("sink.requests", 42);
+
+  std::string Json = T.snapshotJson();
+  EXPECT_TRUE(looksLikeJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"sink.latency_ns\""), std::string::npos);
+  EXPECT_NE(Json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(Json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(Json.find("\"sink.queue_depth\": 17"), std::string::npos);
+
+  // Prometheus text exposition: sanitized names under the usuba_
+  // prefix, counters as _total, histograms as summaries with quantile
+  // labels, gauges plain.
+  std::string Prom = T.exportMetrics();
+  EXPECT_NE(Prom.find("usuba_sink_requests_total 42"), std::string::npos)
+      << Prom;
+  EXPECT_NE(Prom.find("usuba_sink_queue_depth 17"), std::string::npos);
+  EXPECT_NE(Prom.find("usuba_sink_latency_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("usuba_sink_latency_ns{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("usuba_sink_latency_ns_count 100"), std::string::npos);
+  EXPECT_NE(Prom.find("# TYPE usuba_sink_requests_total counter"),
+            std::string::npos);
+  EXPECT_EQ(Prom.find("sink.requests"), std::string::npos)
+      << "unsanitized name leaked into the exposition";
+
+  std::string Dump = T.statsDump();
+  EXPECT_NE(Dump.find("sink.latency_ns"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("sink.queue_depth"), std::string::npos);
+  EXPECT_NE(Dump.find("sink.requests"), std::string::npos);
+
+  // The references survive reset(): same cells, zeroed.
+  T.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(&T.histogramRef("sink.latency_ns"), &H);
+  EXPECT_EQ(&T.gaugeRef("sink.queue_depth"), &G);
+  H.record(5);
+  EXPECT_EQ(H.count(), 1u);
+}
+
 TEST(Telemetry, SummaryMentionsRecordedNames) {
   TelemetryGuard Guard;
   Telemetry &T = Telemetry::instance();
