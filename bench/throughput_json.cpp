@@ -194,11 +194,14 @@ int main(int Argc, char **Argv) {
           makeCipher(Row.Id, Row.Slicing, *Target);
       if (!Cipher)
         continue; // slicing does not type-check on this target
-      if (remarksEnabled()) {
-        CipherStats Stats = Cipher->stats();
+      // Stats (and with USUBA_REMARKS=1 the compile remarks, including
+      // the table-circuit gate/depth remarks) are collected exactly once
+      // per (cipher, arch) group here — never inside the thread loop —
+      // so regenerated baselines stay reviewable.
+      CipherStats Stats = Cipher->stats();
+      if (remarksEnabled())
         AllRemarks.insert(AllRemarks.end(), Stats.CompileRemarks.begin(),
                           Stats.CompileRemarks.end());
-      }
 
       std::vector<uint8_t> Key(Cipher->keyBytes(), 0x5A);
       Cipher->setKey(Key.data(), Key.size());
@@ -251,10 +254,13 @@ int main(int Argc, char **Argv) {
             "%s\n    {\"cipher\": \"%s\", \"slicing\": \"%s\", "
             "\"arch\": \"%s\", \"engine\": \"%s\", \"threads\": %u, "
             "\"ctr_cycles_per_byte\": %.4f, \"ctr_gib_per_s\": %.4f, "
-            "\"kernel_cycles_per_byte\": %.4f, \"batches_per_call\": %zu",
+            "\"kernel_cycles_per_byte\": %.4f, \"kernel_gates\": %llu, "
+            "\"kernel_depth\": %llu, \"batches_per_call\": %zu",
             FirstRecord ? "" : ",", cipherName(Row.Id),
             slicingName(Row.Slicing), Target->Name, engineTag(*Cipher),
             Threads, Ctr.CyclesPerByte, Ctr.GibPerSec, KernelCpb,
+            static_cast<unsigned long long>(Stats.KernelGates),
+            static_cast<unsigned long long>(Stats.KernelDepth),
             BatchesPerCall);
         if (SlotNs)
           std::fprintf(Out, ", \"pool_utilization\": %.3f, \"steals\": %llu",

@@ -40,10 +40,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "cbackend/CEmitter.h"
+#include "circuits/Superopt.h"
 #include "frontend/AstPrinter.h"
 #include "frontend/Parser.h"
 #include "ciphers/FuzzHarness.h"
 #include "ciphers/UsubaSources.h"
+#include "core/AstPasses.h"
 #include "core/Compiler.h"
 #include "support/Remarks.h"
 #include "support/Telemetry.h"
@@ -71,8 +73,12 @@ void usage() {
       "              [-fno-dce] [-dump-u0]\n"
       "              [-dump-ast] [-dump-source] [-o out]\n"
       "              [-Rpass[=pass]] [--remarks=file] [-dump-after=pass]\n"
+      "              [-fschedule=window|depth]\n"
       "              [-telemetry] [--validate] <file.ua | bundled-name>\n"
       "       usubac --fuzz N [--fuzz-seed S] [--validate]\n"
+      "       usubac --superopt [--superopt-budget=N]\n"
+      "              [--superopt-objective=gates|depth] [--superopt-seed=S]\n"
+      "              <file.ua | bundled-name>\n"
       "       usubac -list\n");
 }
 
@@ -161,6 +167,9 @@ int main(int argc, char **argv) {
   bool PrintRemarks = false, WantTelemetry = false, ArchNative = false;
   unsigned FuzzCount = 0; // --fuzz N: run a differential campaign instead
   uint64_t FuzzSeed = 1;
+  bool Superopt = false; // --superopt: run the S-box superoptimizer
+  uint64_t SuperoptBudget = 0, SuperoptSeed = 0;
+  bool SuperoptDepth = false; // --superopt-objective=depth
   std::string RemarkPassFilter; // empty = all passes
   std::string RemarksOut;       // --remarks=<file>
   std::string DumpAfter;        // -dump-after=<pass|all>
@@ -243,6 +252,40 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--fuzz-seed" && I + 1 < argc) {
       FuzzSeed = std::strtoull(argv[++I], nullptr, 0);
+    } else if (Arg.rfind("-fschedule=", 0) == 0) {
+      std::string Obj = Arg.substr(11);
+      if (Obj == "window") {
+        Options.ScheduleObjective = ScheduleObjective::Window;
+      } else if (Obj == "depth") {
+        Options.ScheduleObjective = ScheduleObjective::Depth;
+      } else {
+        std::fprintf(stderr,
+                     "error: -fschedule= takes 'window' or 'depth'\n");
+        return 1;
+      }
+    } else if (Arg == "--superopt") {
+      Superopt = true;
+    } else if (Arg.rfind("--superopt-budget=", 0) == 0) {
+      SuperoptBudget = std::strtoull(Arg.c_str() + 18, nullptr, 0);
+      if (!SuperoptBudget) {
+        std::fprintf(stderr,
+                     "error: --superopt-budget= needs a positive count\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--superopt-seed=", 0) == 0) {
+      SuperoptSeed = std::strtoull(Arg.c_str() + 16, nullptr, 0);
+    } else if (Arg.rfind("--superopt-objective=", 0) == 0) {
+      std::string Obj = Arg.substr(21);
+      if (Obj == "gates") {
+        SuperoptDepth = false;
+      } else if (Obj == "depth") {
+        SuperoptDepth = true;
+      } else {
+        std::fprintf(
+            stderr,
+            "error: --superopt-objective= takes 'gates' or 'depth'\n");
+        return 1;
+      }
     } else if (Arg == "-telemetry") {
       WantTelemetry = true;
     } else if (Arg == "-dump-u0") {
@@ -303,6 +346,55 @@ int main(int argc, char **argv) {
     }
     std::fputs(printProgram(*Prog).c_str(), stdout);
     return 0;
+  }
+  if (Superopt) {
+    // Offline superoptimizer mode: enumerate better circuits for every
+    // lookup table of the program and print a deterministic summary
+    // (the full database emitter is bench/superopt_sboxes).
+    DiagnosticEngine Diags;
+    std::optional<ast::Program> Prog = parseProgram(Source, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    std::vector<ProgramTable> Tables = collectProgramTables(*Prog);
+    if (Tables.empty()) {
+      std::fprintf(stderr, "usubac: no lookup tables in '%s'\n",
+                   Input.c_str());
+      return 1;
+    }
+    SuperoptObjective Objective = SuperoptDepth
+                                      ? SuperoptObjective::MinDepthThenGates
+                                      : SuperoptObjective::MinGates;
+    SuperoptLimits Limits;
+    if (SuperoptBudget)
+      Limits.MaxNodes = SuperoptBudget;
+    bool AnyFailed = false;
+    for (const ProgramTable &T : Tables) {
+      std::optional<SuperoptResult> R =
+          superoptimizeTable(T.Table, Objective, Limits, SuperoptSeed);
+      if (!R) {
+        std::printf("%-16s %u->%u  (skipped: %s)\n", T.Name.c_str(),
+                    T.Table.InBits, T.Table.OutBits,
+                    T.Table.InBits > 6 ? "more than 6 input bits"
+                                       : "synthesis budget exceeded");
+        continue;
+      }
+      std::printf("%-16s %u->%u  objective=%s  synth %u gates depth %u  "
+                  "-> %u gates depth %u  (%s, %llu nodes examined)\n",
+                  T.Name.c_str(), T.Table.InBits, T.Table.OutBits,
+                  superoptObjectiveName(Objective), R->SynthGates,
+                  R->SynthDepth, R->Gates, R->Depth,
+                  R->Improved ? "improved" : "kept synthesis",
+                  static_cast<unsigned long long>(R->NodesExamined));
+      if (!R->Network.matchesTable(T.Table)) {
+        std::fprintf(stderr, "error: superoptimized circuit for '%s' does "
+                             "not match its table\n",
+                     T.Name.c_str());
+        AnyFailed = true;
+      }
+    }
+    return AnyFailed ? 1 : 0;
   }
 
   if (PrintRemarks || !RemarksOut.empty())

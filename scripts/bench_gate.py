@@ -49,6 +49,14 @@ older reports wrote a misleading 0.0) and are never held to the floors.
 Reports without host_threads (pre-scaling-matrix format) skip the
 quality gates entirely.
 
+The per-row kernel_gates / kernel_depth keys (the compiled kernel's gate
+count and critical-path depth, machine-independent by construction) are
+validated exactly: finite positive integers, identical across the
+thread rows of one (cipher, slicing, arch) group, and the gates*depth
+product must not regress against the baseline group — the gate the
+superoptimizer's database entries are accountable to. Reports without
+the keys (pre-superopt format) skip this check.
+
 --validate-latency switches the gate into a second mode: the positional
 report is a BENCH_latency.json produced by bench/service_latency, and it
 is validated standalone (no baseline comparison) — non-empty results,
@@ -288,6 +296,181 @@ def check_quality(fresh, util_floor, scaling_floor, quiet=False):
         for name, why in skipped:
             print("  %-32s quality skipped: %s" % (name, why))
     return failures, checked, skipped
+
+
+def check_kernel_metrics(baseline, fresh, quiet=False):
+    """Validates the per-row kernel_gates / kernel_depth keys.
+
+    Returns (failures, checked, skipped) like compare(). The metrics are
+    machine-independent (they count gates in the compiled kernel, not
+    cycles), so the gate is exact: every fresh row must carry both keys
+    as finite positive integers, all rows of one (cipher, slicing, arch)
+    group must agree (thread count cannot change the kernel), and the
+    gates x depth product must not regress against the baseline group.
+    Old-format reports without the keys anywhere skip cleanly.
+    """
+    failures = []
+    checked = 0
+    skipped = []
+
+    def group_of(row):
+        return (row["cipher"], row["slicing"], row["arch"])
+
+    if not any("kernel_gates" in r or "kernel_depth" in r
+               for r in fresh["results"]):
+        skipped.append(("(report)", "no kernel_gates/kernel_depth keys — "
+                                    "pre-superopt report format"))
+        if not quiet:
+            for name, why in skipped:
+                print("  %-32s kernel metrics skipped: %s" % (name, why))
+        return failures, checked, skipped
+
+    def metric(row, name, field):
+        value = row.get(field)
+        if value is None:
+            failures.append((name, "missing %s" % field))
+            return None
+        if (isinstance(value, bool) or not isinstance(value, int)
+                or isinstance(value, float)):
+            failures.append((name, "%s is not an integer (%r)" %
+                             (field, value)))
+            return None
+        if value <= 0:
+            failures.append((name, "%s must be positive, got %d" %
+                             (field, value)))
+            return None
+        return value
+
+    groups = {}
+    for row in fresh["results"]:
+        try:
+            name = "%s/%s/%s/t%d" % row_key(row)
+            group = group_of(row)
+        except KeyError:
+            continue  # index_rows already diagnoses malformed rows
+        gates = metric(row, name, "kernel_gates")
+        depth = metric(row, name, "kernel_depth")
+        if gates is None or depth is None:
+            continue
+        checked += 1
+        if depth > gates:
+            failures.append((name, "kernel_depth %d exceeds kernel_gates "
+                                   "%d (the critical path is a chain "
+                                   "through the gates)" % (depth, gates)))
+            continue
+        seen = groups.get(group)
+        if seen is None:
+            groups[group] = (gates, depth, name)
+        elif seen[:2] != (gates, depth):
+            failures.append((name, "kernel metrics %d/%d disagree with %s "
+                                   "(%d/%d): thread count cannot change "
+                                   "the kernel" %
+                             (gates, depth, seen[2], seen[0], seen[1])))
+
+    base_groups = {}
+    for row in baseline["results"]:
+        try:
+            group = group_of(row)
+        except KeyError:
+            continue
+        gates, depth = row.get("kernel_gates"), row.get("kernel_depth")
+        if isinstance(gates, int) and isinstance(depth, int) \
+                and not isinstance(gates, bool) and not isinstance(depth,
+                                                                   bool):
+            base_groups.setdefault(group, (gates, depth))
+    for group, (gates, depth, name) in sorted(groups.items()):
+        base = base_groups.get(group)
+        if base is None:
+            skipped.append(("%s/%s/%s" % group,
+                            "no kernel metrics in baseline"))
+            continue
+        if gates * depth > base[0] * base[1]:
+            failures.append((name, "kernel gates*depth regressed: "
+                                   "%d*%d > baseline %d*%d" %
+                             (gates, depth, base[0], base[1])))
+        elif not quiet:
+            print("  %-32s kernel %5d gates depth %3d  (baseline %d/%d)  "
+                  "ok" % ("%s/%s/%s" % group, gates, depth, base[0],
+                          base[1]))
+
+    if not quiet:
+        for name, why in skipped:
+            print("  %-32s kernel metrics skipped: %s" % (name, why))
+    return failures, checked, skipped
+
+
+def _metric_row(threads=1, gates=100, depth=10, cipher="serpent",
+                arch="avx2"):
+    """A synthetic row for the kernel-metric self-tests."""
+    row = _quality_row(threads, cipher=cipher, arch=arch)
+    if gates is not None:
+        row["kernel_gates"] = gates
+    if depth is not None:
+        row["kernel_depth"] = depth
+    return row
+
+
+def kernel_metrics_self_test():
+    """Corruption-case validation of the kernel_gates/kernel_depth gate."""
+    base = {"results": [_metric_row()]}
+
+    # Identical metrics: clean pass. An improvement also passes.
+    for label, fresh_row in [("identical metrics", _metric_row()),
+                             ("improved metrics",
+                              _metric_row(gates=80, depth=8))]:
+        failures, checked, _ = check_kernel_metrics(
+            base, {"results": [fresh_row]}, quiet=True)
+        if failures or checked != 1:
+            print("bench_gate self-test FAILED: %s gave failures %r "
+                  "over %d checked rows (want 0 over 1)" %
+                  (label, failures, checked))
+            return False
+
+    # Each corruption must produce exactly one failure naming the cause.
+    cases = [
+        ("missing kernel_depth", _metric_row(depth=None), "missing"),
+        ("NaN kernel_gates", _metric_row(gates=float("nan")),
+         "not an integer"),
+        ("float kernel_depth", _metric_row(depth=9.5), "not an integer"),
+        ("boolean kernel_gates", _metric_row(gates=True),
+         "not an integer"),
+        ("zero kernel_gates", _metric_row(gates=0), "positive"),
+        ("negative kernel_depth", _metric_row(depth=-3), "positive"),
+        ("depth above gates", _metric_row(gates=10, depth=11),
+         "critical path"),
+        ("gates*depth regression", _metric_row(gates=150, depth=12),
+         "regressed"),
+    ]
+    for label, row, want in cases:
+        failures, _, _ = check_kernel_metrics(base, {"results": [row]},
+                                              quiet=True)
+        if len(failures) != 1 or want not in failures[0][1]:
+            print("bench_gate self-test FAILED: %s gave failures %r "
+                  "(want one containing %r)" % (label, failures, want))
+            return False
+
+    # Thread rows of one group must agree on the (thread-invariant)
+    # kernel; old-format fresh reports skip rather than fail.
+    split = {"results": [_metric_row(threads=1),
+                         _metric_row(threads=2, gates=99)]}
+    failures, _, _ = check_kernel_metrics(base, split, quiet=True)
+    if len(failures) != 1 or "disagree" not in failures[0][1]:
+        print("bench_gate self-test FAILED: disagreeing thread rows gave "
+              "failures %r (want one 'disagree')" % (failures,))
+        return False
+    old = {"results": [_quality_row(1)]}
+    failures, checked, skipped = check_kernel_metrics(base, old, quiet=True)
+    if failures or checked != 0 or not skipped:
+        print("bench_gate self-test FAILED: old-format report gave "
+              "failures %r, %d checked, %d skipped (want clean skip)" %
+              (failures, checked, len(skipped)))
+        return False
+
+    print("bench_gate kernel-metric self-test OK: identical/improved "
+          "metrics pass; missing/non-integer/non-positive keys, "
+          "depth > gates, gates*depth regressions and disagreeing "
+          "thread rows fail; old-format reports skip")
+    return True
 
 
 def _quality_row(threads, util=None, scaling=None, batches=64,
@@ -613,7 +796,7 @@ def self_test(baseline, tolerance):
           "%.1fx slowdown fails, deleted in-scope row fails, filtered "
           "deletion passes, broken cycles-per-byte fields are rejected"
           % (2.0 * max(tolerance, 1.0)))
-    return quality_self_test()
+    return quality_self_test() and kernel_metrics_self_test()
 
 
 def main():
@@ -689,6 +872,12 @@ def main():
                   "(utilization >= %.2f, scaling >= %.2f)" %
                   (q_checked, args.utilization_floor, args.scaling_floor))
         failures += q_failures
+        k_failures, k_checked, _k_skipped = check_kernel_metrics(
+            baseline, fresh)
+        if k_checked:
+            print("bench_gate: kernel gates/depth validated on %d rows "
+                  "(exact no-regression on gates*depth)" % k_checked)
+        failures += k_failures
     except ReportError as e:
         print("bench_gate: %s" % e, file=sys.stderr)
         return 2

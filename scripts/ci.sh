@@ -42,11 +42,15 @@
 #              bundled program with usubac --remarks=<json>, validates
 #              each report (JSON parses, >= 1 remark per back-end pass
 #              that ran), and archives the reports as an artifact at
-#              build-ci-perf/remarks/. Finally runs the opt-ablation
+#              build-ci-perf/remarks/. Runs the opt-ablation
 #              step: the bitsliced rows measured with USUBA_MIDEND=0 and
 #              again with the mid-end on, gated so the optimized build
 #              is never slower (tolerance USUBA_ABLATION_TOLERANCE,
-#              default 1.25x).
+#              default 1.25x). Finally the circuit-db step: every
+#              known-circuit database entry re-proven against its truth
+#              table by ROBDD (gtest CircuitDb.*) and a fixed-budget
+#              usubac --superopt run twice and compared byte for byte
+#              (determinism makes regenerated entries reviewable).
 #
 # Usage: scripts/ci.sh [release|debug|sanitize|perf|all]   (default: all)
 set -eu
@@ -124,10 +128,16 @@ assert doc.get("host_threads", 0) >= 1, "missing/absurd host_threads"
 for r in results:
     for key in ("cipher", "slicing", "arch", "engine", "threads",
                 "ctr_cycles_per_byte", "ctr_gib_per_s",
-                "kernel_cycles_per_byte", "batches_per_call"):
+                "kernel_cycles_per_byte", "kernel_gates", "kernel_depth",
+                "batches_per_call"):
         assert key in r, "missing field: " + key
     assert r["ctr_cycles_per_byte"] > 0, "non-positive cycles/byte"
     assert r["ctr_gib_per_s"] > 0, "non-positive GiB/s"
+    assert isinstance(r["kernel_gates"], int) and r["kernel_gates"] > 0, \
+        "kernel_gates must be a positive integer"
+    assert isinstance(r["kernel_depth"], int) and \
+        0 < r["kernel_depth"] <= r["kernel_gates"], \
+        "kernel_depth must be a positive integer bounded by kernel_gates"
     # pool_utilization appears exactly when the pool engaged: never on
     # threads=1 rows (no pool ran — the old 0.0 placeholder is gone).
     if r["threads"] == 1:
@@ -156,6 +166,34 @@ EOF
   service_smoke
   opt_ablation
   remarks_report
+  circuit_db_smoke
+}
+
+# Known-circuit database verification: re-prove every shipped entry
+# (hand seeds + the generated CircuitDbEntries.cpp) equivalent to its
+# truth table with ROBDDs and re-check the provenance schema against
+# the actual circuits, via the CircuitDb gtest suite. Then the
+# superoptimizer determinism smoke: the same fixed-budget --superopt
+# search run twice on the Rectangle 4->4 table must print byte-identical
+# summaries — the property that makes regenerated database entries
+# reviewable diffs instead of noise.
+circuit_db_smoke() {
+  echo "==== ci job: perf (circuit-db verify + superopt determinism) ===="
+  cmake --build build-ci-perf -j "$JOBS" --target circuits_test usubac
+  ./build-ci-perf/tests/circuits_test --gtest_filter='CircuitDb.*:Superopt.*'
+  USUBAC=./build-ci-perf/examples/usubac
+  "$USUBAC" --superopt --superopt-budget=50000 rectangle \
+    > build-ci-perf/superopt_run1.txt
+  "$USUBAC" --superopt --superopt-budget=50000 rectangle \
+    > build-ci-perf/superopt_run2.txt
+  cmp build-ci-perf/superopt_run1.txt build-ci-perf/superopt_run2.txt ||
+    { echo "circuit-db-smoke: --superopt is not deterministic" >&2
+      exit 1; }
+  grep -q "improved" build-ci-perf/superopt_run1.txt ||
+    { echo "circuit-db-smoke: budgeted search found no improvement" >&2
+      exit 1; }
+  echo "circuit-db-smoke OK: all database entries re-proven," \
+    "fixed-budget --superopt deterministic"
 }
 
 # Service latency smoke: a short open-loop sweep over the CipherService

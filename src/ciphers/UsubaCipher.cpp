@@ -410,6 +410,8 @@ CipherStats UsubaCipher::stats() const {
   S.FromKernelCache = FromCache;
   S.InstrCount = Runner->kernel().InstrCount;
   S.InstrCountPreOpt = Runner->kernel().InstrCountPreOpt;
+  S.KernelGates = Runner->kernel().KernelGates;
+  S.KernelDepth = Runner->kernel().KernelDepth;
   S.SkippedPasses = Runner->kernel().SkippedPasses;
   S.PassStats = Runner->kernel().PassStats;
   S.CompileRemarks = Runner->kernel().Remarks;
@@ -996,6 +998,8 @@ bool UsubaCipher::ensureSpecRunner(uint64_t Epoch) {
   valueNumber(Entry);
   sweepDeadCode(Entry);
   Kernel.InstrCount = Entry.Instrs.size();
+  Kernel.KernelGates = countKernelGates(Entry);
+  Kernel.KernelDepth = criticalPathLength(Entry);
   if (!verifyU0(Kernel.Prog).empty())
     return false; // never expected; keep the generic kernel on any doubt
 

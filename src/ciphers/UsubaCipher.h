@@ -188,6 +188,14 @@ struct CipherStats {
   /// before copy-prop/fold/CSE/DCE). The optimizer never increases the
   /// count, so InstrCount <= InstrCountPreOpt always holds.
   uint64_t InstrCountPreOpt = 0;
+  /// Logic-gate count of the final forward kernel (instructions minus
+  /// free wiring: Mov/Const/Barrier). Machine-independent; with
+  /// KernelDepth, the measurable product of circuit synthesis (the
+  /// known-circuit database + superoptimizer) and scheduling.
+  uint64_t KernelGates = 0;
+  /// Critical-path length of the final forward kernel — the longest
+  /// chain of dependent non-Mov instructions.
+  uint64_t KernelDepth = 0;
   /// Back-end passes the budget/checkpoint machinery skipped.
   std::vector<std::string> SkippedPasses;
   /// Per-pass wall time / instruction delta (see PassStat).

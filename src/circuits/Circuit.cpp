@@ -14,8 +14,10 @@
 #include "circuits/Circuit.h"
 
 #include "circuits/AesTowerSbox.h"
+#include "circuits/CircuitDb.h"
 #include "support/BitUtils.h"
 
+#include <algorithm>
 #include <map>
 #include <tuple>
 
@@ -45,6 +47,9 @@ uint64_t Circuit::evaluate(uint64_t Input) const {
     case GateKind::Not:
       Value = ~Wire[G.A];
       break;
+    case GateKind::Andn:
+      Value = ~Wire[G.A] & Wire[G.B];
+      break;
     case GateKind::Const0:
       Value = 0;
       break;
@@ -58,6 +63,33 @@ uint64_t Circuit::evaluate(uint64_t Input) const {
   for (unsigned J = 0; J < Outputs.size(); ++J)
     Out = setBit(Out, J, Wire[Outputs[J]] & 1);
   return Out;
+}
+
+unsigned Circuit::depth() const {
+  std::vector<unsigned> WireDepth(numWires(), 0);
+  unsigned Next = NumInputs;
+  for (const Gate &G : Gates) {
+    unsigned D = 0;
+    switch (G.Kind) {
+    case GateKind::Const0:
+    case GateKind::Const1:
+      break;
+    case GateKind::Not:
+      D = WireDepth[G.A] + 1;
+      break;
+    case GateKind::And:
+    case GateKind::Or:
+    case GateKind::Xor:
+    case GateKind::Andn:
+      D = std::max(WireDepth[G.A], WireDepth[G.B]) + 1;
+      break;
+    }
+    WireDepth[Next++] = D;
+  }
+  unsigned Max = 0;
+  for (unsigned W : Outputs)
+    Max = std::max(Max, WireDepth[W]);
+  return Max;
 }
 
 bool Circuit::matchesTable(const TruthTable &Table) const {
@@ -323,8 +355,10 @@ Circuit usuba::synthesizeTable(const TruthTable &Table) {
 
 const char *usuba::tableSynthesisSourceName(TableSynthesisInfo::Source S) {
   switch (S) {
-  case TableSynthesisInfo::Source::Database:
-    return "database";
+  case TableSynthesisInfo::Source::DatabaseHand:
+    return "database(hand)";
+  case TableSynthesisInfo::Source::DatabaseSuperopt:
+    return "database(superopt)";
   case TableSynthesisInfo::Source::Structural:
     return "structural";
   case TableSynthesisInfo::Source::Synthesized:
@@ -400,65 +434,12 @@ usuba::synthesizeTableBudgeted(const TruthTable &Table, size_t MaxBddNodes,
 }
 
 //===----------------------------------------------------------------------===//
-// Known-circuit database
+// Known-circuit database (storage lives in CircuitDb.cpp)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// The database pairs a table with its published circuit. Entries are
-/// constructed on first use (no static constructors of nontrivial type at
-/// namespace scope).
-struct KnownEntry {
-  TruthTable Table;
-  Circuit Network;
-};
-
-/// Rectangle's S-box circuit, verbatim from the paper (Section 2.2): 12
-/// gates for the 4x4 S-box {6,5,12,10,1,14,7,9,11,0,3,13,8,15,4,2}.
-KnownEntry makeRectangleSbox() {
-  TruthTable Table;
-  Table.InBits = 4;
-  Table.OutBits = 4;
-  Table.Entries = {6, 5, 12, 10, 1, 14, 7, 9, 11, 0, 3, 13, 8, 15, 4, 2};
-
-  Circuit C(4);
-  // Inputs: wires 0..3 = a[0]..a[3].
-  unsigned T1 = C.addGate(Circuit::GateKind::Not, 1);      // ~a1
-  unsigned T2 = C.addGate(Circuit::GateKind::And, 0, T1);  // a0 & t1
-  unsigned T3 = C.addGate(Circuit::GateKind::Xor, 2, 3);   // a2 ^ a3
-  unsigned B0 = C.addGate(Circuit::GateKind::Xor, T2, T3); // b0
-  unsigned T5 = C.addGate(Circuit::GateKind::Or, 3, T1);   // a3 | t1
-  unsigned T6 = C.addGate(Circuit::GateKind::Xor, 0, T5);  // a0 ^ t5
-  unsigned B1 = C.addGate(Circuit::GateKind::Xor, 2, T6);  // b1
-  unsigned T8 = C.addGate(Circuit::GateKind::Xor, 1, 2);   // a1 ^ a2
-  unsigned T9 = C.addGate(Circuit::GateKind::And, T3, T6); // t3 & t6
-  unsigned B3 = C.addGate(Circuit::GateKind::Xor, T8, T9); // b3
-  unsigned T11 = C.addGate(Circuit::GateKind::Or, B0, T8); // b0 | t8
-  unsigned B2 = C.addGate(Circuit::GateKind::Xor, T6, T11); // b2
-  C.addOutput(B0);
-  C.addOutput(B1);
-  C.addOutput(B2);
-  C.addOutput(B3);
-  return {std::move(Table), std::move(C)};
-}
-
-const std::vector<KnownEntry> &knownCircuits() {
-  static const std::vector<KnownEntry> *Entries = [] {
-    auto *V = new std::vector<KnownEntry>();
-    V->push_back(makeRectangleSbox());
-    return V;
-  }();
-  return *Entries;
-}
-
-} // namespace
-
 const Circuit *usuba::lookupKnownCircuit(const TruthTable &Table) {
-  for (const KnownEntry &E : knownCircuits())
-    if (E.Table.InBits == Table.InBits && E.Table.OutBits == Table.OutBits &&
-        E.Table.Entries == Table.Entries)
-      return &E.Network;
-  return nullptr;
+  const CircuitDbEntry *E = circuitDbLookup(Table);
+  return E ? &E->Network : nullptr;
 }
 
 Circuit usuba::circuitForTable(const TruthTable &Table) {
@@ -470,17 +451,32 @@ Circuit usuba::circuitForTable(const TruthTable &Table) {
 std::optional<Circuit>
 usuba::circuitForTableBudgeted(const TruthTable &Table, size_t MaxBddNodes,
                                TableSynthesisInfo *Info) {
-  if (const Circuit *Known = lookupKnownCircuit(Table)) {
-    if (Info)
-      *Info = {TableSynthesisInfo::Source::Database, Known->numGates(), 0, 0};
-    return *Known;
+  if (const CircuitDbEntry *Known = circuitDbLookup(Table)) {
+    if (Info) {
+      *Info = {};
+      Info->From = Known->Prov.From == CircuitProvenance::Origin::Superopt
+                       ? TableSynthesisInfo::Source::DatabaseSuperopt
+                       : TableSynthesisInfo::Source::DatabaseHand;
+      Info->Gates = Known->Network.numGates();
+      Info->Depth = Known->Network.depth();
+      Info->SynthGates = Known->Prov.SynthGates;
+      Info->SynthDepth = Known->Prov.SynthDepth;
+    }
+    return Known->Network;
   }
   // Structural constructions beat generic synthesis where they apply.
   if (std::optional<Circuit> Tower = buildAesTowerSbox(Table)) {
-    if (Info)
-      *Info = {TableSynthesisInfo::Source::Structural, Tower->numGates(), 0,
-               0};
+    if (Info) {
+      *Info = {};
+      Info->From = TableSynthesisInfo::Source::Structural;
+      Info->Gates = Tower->numGates();
+      Info->Depth = Tower->depth();
+    }
     return Tower;
   }
-  return synthesizeTableBudgeted(Table, MaxBddNodes, Info);
+  std::optional<Circuit> Synth =
+      synthesizeTableBudgeted(Table, MaxBddNodes, Info);
+  if (Synth && Info)
+    Info->Depth = Synth->depth();
+  return Synth;
 }

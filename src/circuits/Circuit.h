@@ -48,7 +48,10 @@ struct TruthTable {
 /// forward pass.
 class Circuit {
 public:
-  enum class GateKind : uint8_t { And, Or, Xor, Not, Const0, Const1 };
+  /// Andn computes ~A & B in one gate (pandn/vpandn on every x86 SIMD
+  /// level; the back-end's fuse-andn peephole reconstitutes it after
+  /// table elaboration splits it into Not+And for the AST).
+  enum class GateKind : uint8_t { And, Or, Xor, Not, Andn, Const0, Const1 };
 
   struct Gate {
     GateKind Kind;
@@ -73,7 +76,8 @@ public:
             A < numWires()) &&
            "gate operand A out of range");
     assert((Kind != GateKind::And && Kind != GateKind::Or &&
-            Kind != GateKind::Xor || B < numWires()) &&
+            Kind != GateKind::Xor && Kind != GateKind::Andn ||
+            B < numWires()) &&
            "gate operand B out of range");
     Gates.push_back({Kind, A, B});
     return numWires() - 1;
@@ -96,6 +100,12 @@ public:
   /// table index, output wire j = bit j of the entry).
   bool matchesTable(const TruthTable &Table) const;
 
+  /// Logic depth of the circuit: the longest chain of logic gates from
+  /// any input (or constant, depth 0) to any output. Every gate kind
+  /// counts 1 except Const0/Const1 (leaves). 0 for pass-through /
+  /// constant-only circuits.
+  unsigned depth() const;
+
 private:
   unsigned NumInputs;
   std::vector<Gate> Gates;
@@ -106,17 +116,25 @@ private:
 /// "table-circuit" optimization remarks.
 struct TableSynthesisInfo {
   enum class Source : uint8_t {
-    Database,   ///< hand-optimized known-circuit database hit
-    Structural, ///< structural construction (AES tower field S-box)
-    Synthesized ///< generic BDD synthesis
+    DatabaseHand,     ///< hand-optimized known-circuit database hit
+    DatabaseSuperopt, ///< superoptimizer-generated database hit
+    Structural,       ///< structural construction (AES tower field S-box)
+    Synthesized       ///< generic BDD synthesis
   };
   Source From = Source::Synthesized;
   unsigned Gates = 0;       ///< gate count of the chosen circuit
+  unsigned Depth = 0;       ///< logic depth of the chosen circuit
   size_t BddNodes = 0;      ///< BDD nodes interned for the winning order
   unsigned OrdersTried = 0; ///< variable orders attempted (synthesis only)
+  /// For database hits: what plain BDD synthesis produced for the same
+  /// table when the entry was generated (recorded in the entry's
+  /// provenance), so remarks can report the gate/depth delta. 0 when
+  /// unknown or not a database hit.
+  unsigned SynthGates = 0;
+  unsigned SynthDepth = 0;
 };
 
-/// "database" / "structural" / "synthesized".
+/// "database(hand)" / "database(superopt)" / "structural" / "synthesized".
 const char *tableSynthesisSourceName(TableSynthesisInfo::Source S);
 
 /// Synthesizes a circuit for \p Table with the hash-consed BDD/Shannon

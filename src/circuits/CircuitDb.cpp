@@ -1,0 +1,232 @@
+//===- CircuitDb.cpp - Known-circuit database with provenance -------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuits/CircuitDb.h"
+
+#include "circuits/Bdd.h"
+#include "support/BitUtils.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace usuba;
+
+uint64_t usuba::canonicalTableHash(const TruthTable &Table) {
+  // FNV-1a over the table's shape and masked entries. Entries are masked
+  // to OutBits so tables that differ only in ignored high bits hash (and
+  // compare) the same.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    for (unsigned Byte = 0; Byte < 8; ++Byte) {
+      H ^= (V >> (Byte * 8)) & 0xff;
+      H *= 0x100000001b3ull;
+    }
+  };
+  Mix(Table.InBits);
+  Mix(Table.OutBits);
+  uint64_t Mask = lowBitMask(Table.OutBits);
+  for (uint64_t E : Table.Entries)
+    Mix(E & Mask);
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-optimized seed entries
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rectangle's S-box circuit, verbatim from the paper (Section 2.2): 12
+/// gates for the 4x4 S-box {6,5,12,10,1,14,7,9,11,0,3,13,8,15,4,2}.
+CircuitDbEntry makeRectangleSbox() {
+  CircuitDbEntry E;
+  E.Name = "rectangle/SubColumn(paper)";
+  E.Table.InBits = 4;
+  E.Table.OutBits = 4;
+  E.Table.Entries = {6, 5, 12, 10, 1, 14, 7, 9, 11, 0, 3, 13, 8, 15, 4, 2};
+
+  Circuit C(4);
+  // Inputs: wires 0..3 = a[0]..a[3].
+  unsigned T1 = C.addGate(Circuit::GateKind::Not, 1);      // ~a1
+  unsigned T2 = C.addGate(Circuit::GateKind::And, 0, T1);  // a0 & t1
+  unsigned T3 = C.addGate(Circuit::GateKind::Xor, 2, 3);   // a2 ^ a3
+  unsigned B0 = C.addGate(Circuit::GateKind::Xor, T2, T3); // b0
+  unsigned T5 = C.addGate(Circuit::GateKind::Or, 3, T1);   // a3 | t1
+  unsigned T6 = C.addGate(Circuit::GateKind::Xor, 0, T5);  // a0 ^ t5
+  unsigned B1 = C.addGate(Circuit::GateKind::Xor, 2, T6);  // b1
+  unsigned T8 = C.addGate(Circuit::GateKind::Xor, 1, 2);   // a1 ^ a2
+  unsigned T9 = C.addGate(Circuit::GateKind::And, T3, T6); // t3 & t6
+  unsigned B3 = C.addGate(Circuit::GateKind::Xor, T8, T9); // b3
+  unsigned T11 = C.addGate(Circuit::GateKind::Or, B0, T8); // b0 | t8
+  unsigned B2 = C.addGate(Circuit::GateKind::Xor, T6, T11); // b2
+  C.addOutput(B0);
+  C.addOutput(B1);
+  C.addOutput(B2);
+  C.addOutput(B3);
+
+  E.Prov.From = CircuitProvenance::Origin::Hand;
+  E.Prov.Objective = "hand";
+  E.Prov.Gates = C.numGates();
+  E.Prov.Depth = C.depth();
+  E.Network = std::move(C);
+  return E;
+}
+
+/// The database plus its hash index. Entries are constructed on first
+/// use (no static constructors of nontrivial type at namespace scope).
+struct Db {
+  std::vector<CircuitDbEntry> Entries;
+  /// canonical hash -> entry indices (a vector, because the test hooks
+  /// can force collisions and several objectives may cover one table).
+  std::unordered_map<uint64_t, std::vector<unsigned>> Index;
+
+  void add(CircuitDbEntry E, uint64_t Hash) {
+    Index[Hash].push_back(static_cast<unsigned>(Entries.size()));
+    Entries.push_back(std::move(E));
+  }
+
+  void build() {
+    Entries.clear();
+    Index.clear();
+    std::vector<CircuitDbEntry> All;
+    All.push_back(makeRectangleSbox());
+    appendGeneratedCircuitDbEntries(All);
+    for (CircuitDbEntry &E : All) {
+      uint64_t Hash = canonicalTableHash(E.Table);
+      add(std::move(E), Hash);
+    }
+  }
+};
+
+Db &db() {
+  static Db *TheDb = [] {
+    auto *D = new Db();
+    D->build();
+    return D;
+  }();
+  return *TheDb;
+}
+
+} // namespace
+
+const std::vector<CircuitDbEntry> &usuba::circuitDb() { return db().Entries; }
+
+const CircuitDbEntry *usuba::circuitDbLookup(const TruthTable &Table) {
+  const Db &D = db();
+  auto It = D.Index.find(canonicalTableHash(Table));
+  if (It == D.Index.end())
+    return nullptr;
+  uint64_t Mask = lowBitMask(Table.OutBits);
+  const CircuitDbEntry *Best = nullptr;
+  for (unsigned I : It->second) {
+    const CircuitDbEntry &E = D.Entries[I];
+    // Hash hit is only a candidate: confirm the full table (collision
+    // safety) under the OutBits mask.
+    if (E.Table.InBits != Table.InBits || E.Table.OutBits != Table.OutBits ||
+        E.Table.Entries.size() != Table.Entries.size())
+      continue;
+    bool Same = true;
+    for (size_t K = 0; K < Table.Entries.size() && Same; ++K)
+      Same = (E.Table.Entries[K] & Mask) == (Table.Entries[K] & Mask);
+    if (!Same)
+      continue;
+    if (!Best ||
+        std::make_pair(E.Network.numGates(), E.Network.depth()) <
+            std::make_pair(Best->Network.numGates(), Best->Network.depth()))
+      Best = &E;
+  }
+  return Best;
+}
+
+unsigned usuba::circuitDbTestOnlyInsert(CircuitDbEntry Entry,
+                                        uint64_t ForcedHash) {
+  Db &D = db();
+  unsigned Idx = static_cast<unsigned>(D.Entries.size());
+  D.add(std::move(Entry), ForcedHash);
+  return Idx;
+}
+
+void usuba::circuitDbTestOnlyReset() { db().build(); }
+
+//===----------------------------------------------------------------------===//
+// BDD equivalence proof
+//===----------------------------------------------------------------------===//
+
+bool usuba::proveCircuitMatchesTable(const Circuit &C, const TruthTable &Table,
+                                     size_t MaxBddNodes, std::string *Why) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (!Table.isValid())
+    return Fail("malformed truth table");
+  if (C.numInputs() != Table.InBits)
+    return Fail("input arity mismatch");
+  if (C.outputs().size() != Table.OutBits)
+    return Fail("output arity mismatch");
+
+  try {
+    BddManager B(MaxBddNodes);
+
+    // Circuit cones: one forward pass over the netlist.
+    std::vector<BddManager::Ref> Wire(C.numWires());
+    for (unsigned I = 0; I < C.numInputs(); ++I)
+      Wire[I] = B.var(I);
+    unsigned Next = C.numInputs();
+    for (const Circuit::Gate &G : C.gates()) {
+      BddManager::Ref V = BddManager::False;
+      switch (G.Kind) {
+      case Circuit::GateKind::And:
+        V = B.mkAnd(Wire[G.A], Wire[G.B]);
+        break;
+      case Circuit::GateKind::Or:
+        V = B.mkOr(Wire[G.A], Wire[G.B]);
+        break;
+      case Circuit::GateKind::Xor:
+        V = B.mkXor(Wire[G.A], Wire[G.B]);
+        break;
+      case Circuit::GateKind::Not:
+        V = B.mkNot(Wire[G.A]);
+        break;
+      case Circuit::GateKind::Andn:
+        V = B.mkAnd(B.mkNot(Wire[G.A]), Wire[G.B]);
+        break;
+      case Circuit::GateKind::Const0:
+        V = BddManager::False;
+        break;
+      case Circuit::GateKind::Const1:
+        V = BddManager::True;
+        break;
+      }
+      Wire[Next++] = V;
+    }
+
+    // Table cones: output bit j is the OR of the minterms whose entry has
+    // bit j set. At table widths (InBits <= 20, but database entries are
+    // <= 6) this is cheap and exact.
+    for (unsigned J = 0; J < Table.OutBits; ++J) {
+      BddManager::Ref Spec = BddManager::False;
+      for (uint64_t Input = 0; Input < Table.Entries.size(); ++Input) {
+        if (!getBit(Table.Entries[Input], J))
+          continue;
+        BddManager::Ref Minterm = BddManager::True;
+        for (unsigned I = 0; I < Table.InBits; ++I) {
+          BddManager::Ref X = B.var(I);
+          Minterm = B.mkAnd(Minterm, getBit(Input, I) ? X : B.mkNot(X));
+        }
+        Spec = B.mkOr(Spec, Minterm);
+      }
+      // Hash-consing makes equivalence a pointer comparison.
+      if (Wire[C.outputs()[J]] != Spec)
+        return Fail("output bit " + std::to_string(J) +
+                    " differs from the table");
+    }
+    return true;
+  } catch (const BddBudgetExceeded &) {
+    return Fail("BDD node budget exhausted");
+  }
+}

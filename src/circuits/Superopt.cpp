@@ -1,0 +1,363 @@
+//===- Superopt.cpp - Enumerative S-box superoptimizer --------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuits/Superopt.h"
+
+#include "support/BitUtils.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+using namespace usuba;
+
+const char *usuba::superoptObjectiveName(SuperoptObjective O) {
+  switch (O) {
+  case SuperoptObjective::MinGates:
+    return "min-gates";
+  case SuperoptObjective::MinDepthThenGates:
+    return "min-depth-then-gates";
+  }
+  return "min-gates";
+}
+
+namespace {
+
+using GateKind = Circuit::GateKind;
+
+/// One pool node: a Boolean function (its signature) plus the cheapest
+/// known way to build it. Cost is the expression-tree approximation
+/// (CostA + CostB + 1) — sharing is recovered at extraction time.
+struct PoolNode {
+  uint64_t Sig;
+  GateKind Kind; ///< Const0/Const1 double as "input wire A" via IsInput
+  bool IsInput;
+  uint32_t A = 0; ///< operand node id (or input index when IsInput)
+  uint32_t B = 0;
+  uint32_t Cost = 0;
+  uint32_t Depth = 0;
+};
+
+class Search {
+public:
+  Search(const TruthTable &Table, SuperoptObjective Objective,
+         const SuperoptLimits &Limits, uint64_t Seed)
+      : Table(Table), Objective(Objective), Limits(Limits), Seed(Seed),
+        NumIn(Table.InBits), SigBits(uint64_t{1} << NumIn),
+        SigMask(SigBits >= 64 ? ~uint64_t{0} : lowBitMask(SigBits)) {}
+
+  /// (primary, secondary) ordering key under the objective.
+  std::pair<uint32_t, uint32_t> keyOf(uint32_t Cost, uint32_t Depth) const {
+    return Objective == SuperoptObjective::MinGates
+               ? std::make_pair(Cost, Depth)
+               : std::make_pair(Depth, Cost);
+  }
+
+  /// Inserts a candidate if it beats the current representative of its
+  /// signature. Returns true when the pool changed.
+  bool tryInsert(PoolNode N) {
+    N.Sig &= SigMask;
+    auto It = BestOf.find(N.Sig);
+    if (It != BestOf.end()) {
+      const PoolNode &Old = Nodes[It->second];
+      if (keyOf(Old.Cost, Old.Depth) <= keyOf(N.Cost, N.Depth))
+        return false;
+    }
+    if (Nodes.size() >= Limits.MaxPoolSize)
+      return false;
+    uint32_t Id = static_cast<uint32_t>(Nodes.size());
+    Nodes.push_back(N);
+    if (It != BestOf.end())
+      It->second = Id;
+    else
+      BestOf.emplace(N.Sig, Id);
+    if (ByCost.size() <= N.Cost)
+      ByCost.resize(N.Cost + 1);
+    ByCost[N.Cost].push_back(Id);
+    return true;
+  }
+
+  void insertBases() {
+    for (unsigned I = 0; I < NumIn; ++I) {
+      uint64_t Sig = 0;
+      for (uint64_t Idx = 0; Idx < SigBits; ++Idx)
+        if (getBit(Idx, I))
+          Sig |= uint64_t{1} << Idx;
+      PoolNode N;
+      N.Sig = Sig;
+      N.Kind = GateKind::And; // ignored for inputs
+      N.IsInput = true;
+      N.A = I;
+      tryInsert(N);
+    }
+    PoolNode C0;
+    C0.Sig = 0;
+    C0.Kind = GateKind::Const0;
+    C0.IsInput = false;
+    tryInsert(C0);
+    PoolNode C1;
+    C1.Sig = SigMask;
+    C1.Kind = GateKind::Const1;
+    C1.IsInput = false;
+    tryInsert(C1);
+  }
+
+  /// Replays the gates of \p Seed (the BDD-synthesized circuit) through
+  /// tryInsert, so every signature the baseline can build — in
+  /// particular all the output signatures — is in the pool before
+  /// enumeration starts.
+  void seedWithCircuit(const Circuit &SeedCircuit) {
+    std::vector<uint32_t> NodeOfWire(SeedCircuit.numWires());
+    for (unsigned I = 0; I < NumIn; ++I)
+      NodeOfWire[I] = BestOf.at(inputSig(I));
+    unsigned Next = NumIn;
+    for (const Circuit::Gate &G : SeedCircuit.gates()) {
+      uint32_t A = G.Kind == GateKind::Const0 || G.Kind == GateKind::Const1
+                       ? 0
+                       : NodeOfWire[G.A];
+      uint32_t B = G.Kind == GateKind::And || G.Kind == GateKind::Or ||
+                           G.Kind == GateKind::Xor || G.Kind == GateKind::Andn
+                       ? NodeOfWire[G.B]
+                       : 0;
+      PoolNode N = combine(G.Kind, A, B);
+      tryInsert(N);
+      // The wire's pool node is the best representative of its signature
+      // (tryInsert may have kept an older, cheaper node).
+      NodeOfWire[Next++] = BestOf.at(N.Sig & SigMask);
+    }
+  }
+
+  uint64_t inputSig(unsigned I) const {
+    uint64_t Sig = 0;
+    for (uint64_t Idx = 0; Idx < SigBits; ++Idx)
+      if (getBit(Idx, I))
+        Sig |= uint64_t{1} << Idx;
+    return Sig;
+  }
+
+  PoolNode combine(GateKind Kind, uint32_t A, uint32_t B) const {
+    PoolNode N;
+    N.Kind = Kind;
+    N.IsInput = false;
+    N.A = A;
+    N.B = B;
+    switch (Kind) {
+    case GateKind::And:
+      N.Sig = Nodes[A].Sig & Nodes[B].Sig;
+      break;
+    case GateKind::Or:
+      N.Sig = Nodes[A].Sig | Nodes[B].Sig;
+      break;
+    case GateKind::Xor:
+      N.Sig = Nodes[A].Sig ^ Nodes[B].Sig;
+      break;
+    case GateKind::Andn:
+      N.Sig = ~Nodes[A].Sig & Nodes[B].Sig;
+      break;
+    case GateKind::Not:
+      N.Sig = ~Nodes[A].Sig;
+      break;
+    case GateKind::Const0:
+      N.Sig = 0;
+      break;
+    case GateKind::Const1:
+      N.Sig = ~uint64_t{0};
+      break;
+    }
+    N.Sig &= SigMask;
+    switch (Kind) {
+    case GateKind::Const0:
+    case GateKind::Const1:
+      N.Cost = 0;
+      N.Depth = 0;
+      break;
+    case GateKind::Not:
+      N.Cost = Nodes[A].Cost + 1;
+      N.Depth = Nodes[A].Depth + 1;
+      break;
+    default:
+      N.Cost = Nodes[A].Cost + Nodes[B].Cost + 1;
+      N.Depth = std::max(Nodes[A].Depth, Nodes[B].Depth) + 1;
+      break;
+    }
+    return N;
+  }
+
+  /// Bottom-up enumeration by increasing tree cost. Deterministic: the
+  /// budget counts candidate combinations, and the seed only rotates the
+  /// order binary gate kinds are tried (first-in wins ties).
+  void enumerate() {
+    const GateKind BinKinds[4] = {GateKind::And, GateKind::Or, GateKind::Xor,
+                                  GateKind::Andn};
+    const unsigned KindOffset = static_cast<unsigned>(Seed % 4);
+    unsigned EmptyLevels = 0;
+    for (uint32_t C = 1; C < 64 && EmptyLevels < 3; ++C) {
+      bool Inserted = false;
+      // Unary: Not over every cost C-1 node.
+      if (C - 1 < ByCost.size()) {
+        // Index-based loop: tryInsert appends to ByCost[C], never C-1,
+        // but stay defensive about reallocation.
+        for (size_t AI = 0; AI < ByCost[C - 1].size(); ++AI) {
+          if (++Examined > Limits.MaxNodes)
+            return;
+          uint32_t A = ByCost[C - 1][AI];
+          Inserted |= tryInsert(combine(GateKind::Not, A, 0));
+        }
+      }
+      // Binary: operand costs sum to C-1.
+      for (uint32_t CA = 0; CA + CA <= C - 1; ++CA) {
+        uint32_t CB = C - 1 - CA;
+        if (CA >= ByCost.size() || CB >= ByCost.size())
+          continue;
+        for (size_t AI = 0; AI < ByCost[CA].size(); ++AI) {
+          size_t BStart = CA == CB ? AI : 0;
+          for (size_t BI = BStart; BI < ByCost[CB].size(); ++BI) {
+            uint32_t A = ByCost[CA][AI];
+            uint32_t B = ByCost[CB][BI];
+            for (unsigned K = 0; K < 4; ++K) {
+              GateKind Kind = BinKinds[(K + KindOffset) % 4];
+              if (++Examined > Limits.MaxNodes)
+                return;
+              Inserted |= tryInsert(combine(Kind, A, B));
+              if (Kind == GateKind::Andn && A != B) {
+                // Andn is the one non-commutative kind: try both orders.
+                if (++Examined > Limits.MaxNodes)
+                  return;
+                Inserted |= tryInsert(combine(Kind, B, A));
+              }
+            }
+          }
+        }
+      }
+      EmptyLevels = Inserted ? 0 : EmptyLevels + 1;
+      if (Nodes.size() >= Limits.MaxPoolSize)
+        return;
+    }
+  }
+
+  /// Extracts the best circuit for the table's outputs, with gate-level
+  /// sharing (hash-consed emission, like the BDD synthesizer's).
+  std::optional<Circuit> extract() {
+    Circuit C(NumIn);
+    std::map<std::tuple<int, unsigned, unsigned>, unsigned> GateCache;
+    std::unordered_map<uint32_t, unsigned> WireOf;
+    auto Gate = [&](GateKind Kind, unsigned A, unsigned B) {
+      if ((Kind == GateKind::And || Kind == GateKind::Or ||
+           Kind == GateKind::Xor) &&
+          B < A)
+        std::swap(A, B);
+      auto Key = std::make_tuple(static_cast<int>(Kind), A, B);
+      auto It = GateCache.find(Key);
+      if (It != GateCache.end())
+        return It->second;
+      unsigned Wire = C.addGate(Kind, A, B);
+      GateCache.emplace(Key, Wire);
+      return Wire;
+    };
+    // Iterative post-order emission of a pool node's DAG.
+    std::function<unsigned(uint32_t)> Emit = [&](uint32_t Id) -> unsigned {
+      auto Cached = WireOf.find(Id);
+      if (Cached != WireOf.end())
+        return Cached->second;
+      const PoolNode &N = Nodes[Id];
+      unsigned Wire;
+      if (N.IsInput) {
+        Wire = N.A;
+      } else
+        switch (N.Kind) {
+        case GateKind::Const0:
+        case GateKind::Const1:
+          Wire = Gate(N.Kind, 0, 0);
+          break;
+        case GateKind::Not:
+          Wire = Gate(GateKind::Not, Emit(N.A), 0);
+          break;
+        default: {
+          unsigned A = Emit(N.A);
+          unsigned B = Emit(N.B);
+          Wire = Gate(N.Kind, A, B);
+          break;
+        }
+        }
+      WireOf.emplace(Id, Wire);
+      return Wire;
+    };
+    for (unsigned J = 0; J < Table.OutBits; ++J) {
+      uint64_t Sig = 0;
+      for (uint64_t Idx = 0; Idx < SigBits; ++Idx)
+        if (getBit(Table.Entries[Idx], J))
+          Sig |= uint64_t{1} << Idx;
+      auto It = BestOf.find(Sig & SigMask);
+      if (It == BestOf.end())
+        return std::nullopt; // unreachable after seeding, but be safe
+      C.addOutput(Emit(It->second));
+    }
+    return C;
+  }
+
+  const TruthTable &Table;
+  SuperoptObjective Objective;
+  const SuperoptLimits &Limits;
+  uint64_t Seed;
+  unsigned NumIn;
+  uint64_t SigBits;
+  uint64_t SigMask;
+  uint64_t Examined = 0;
+
+  std::vector<PoolNode> Nodes;
+  std::unordered_map<uint64_t, uint32_t> BestOf;
+  std::vector<std::vector<uint32_t>> ByCost;
+};
+
+} // namespace
+
+std::optional<SuperoptResult>
+usuba::superoptimizeTable(const TruthTable &Table, SuperoptObjective Objective,
+                          const SuperoptLimits &Limits, uint64_t Seed) {
+  if (!Table.isValid() || Table.InBits > 6)
+    return std::nullopt;
+
+  // The baseline and the pool seed: plain BDD synthesis.
+  std::optional<Circuit> Synth =
+      synthesizeTableBudgeted(Table, Limits.MaxBddNodes);
+  if (!Synth)
+    return std::nullopt;
+
+  Search S(Table, Objective, Limits, Seed);
+  S.insertBases();
+  S.seedWithCircuit(*Synth);
+  S.enumerate();
+
+  std::optional<Circuit> Extracted = S.extract();
+
+  SuperoptResult R;
+  R.SynthGates = Synth->numGates();
+  R.SynthDepth = Synth->depth();
+  R.NodesExamined = S.Examined;
+
+  // Keep whichever of {baseline, extracted} is better under the
+  // objective, measured on the ACTUAL shared-gate circuits (the search's
+  // tree-cost is only an approximation).
+  auto ActualKey = [&](const Circuit &C) {
+    return Objective == SuperoptObjective::MinGates
+               ? std::make_pair(C.numGates(), C.depth())
+               : std::make_pair(C.depth(), C.numGates());
+  };
+  if (Extracted && Extracted->matchesTable(Table) &&
+      ActualKey(*Extracted) < ActualKey(*Synth)) {
+    R.Network = std::move(*Extracted);
+    R.Improved = true;
+  } else {
+    R.Network = std::move(*Synth);
+    R.Improved = false;
+  }
+  R.Gates = R.Network.numGates();
+  R.Depth = R.Network.depth();
+  return R;
+}

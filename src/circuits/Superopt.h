@@ -1,0 +1,80 @@
+//===- Superopt.h - Enumerative S-box superoptimizer ------------*- C++ -*-===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An offline, budgeted superoptimizer for lookup-table circuits over the
+/// AND/OR/XOR/NOT/ANDN basis, in the enumerative-synthesis style of
+/// SyGuS-Comp: enumerate expressions bottom-up by increasing gate count,
+/// using the bitwise truth-table signature (a function of <= 6 inputs
+/// packs into one uint64_t) as the equivalence filter, keeping one best
+/// representative per signature under the chosen objective. The pool is
+/// seeded with the BDD-synthesized circuit for the same table, so every
+/// output signature is always reachable and the result is never worse
+/// than plain synthesis — the search can only improve on it.
+///
+/// This is a build-time tool (driven by `usubac --superopt` and
+/// `bench/superopt_sboxes`), not a compile-time pass: its product is the
+/// checked-in circuit database (src/circuits/CircuitDbEntries.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USUBA_CIRCUITS_SUPEROPT_H
+#define USUBA_CIRCUITS_SUPEROPT_H
+
+#include "circuits/Circuit.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace usuba {
+
+enum class SuperoptObjective : uint8_t {
+  MinGates,          ///< fewest gates; depth breaks ties
+  MinDepthThenGates, ///< lowest depth; gates break ties
+};
+
+/// "min-gates" / "min-depth-then-gates" — the strings recorded in
+/// database provenance.
+const char *superoptObjectiveName(SuperoptObjective O);
+
+/// Resource budget. The search is deterministic: it counts candidate
+/// combinations examined, not wall-clock time, so the same (table,
+/// objective, limits, seed) always yields the same circuit.
+struct SuperoptLimits {
+  /// Candidate gate combinations examined before the search stops.
+  uint64_t MaxNodes = 2000000;
+  /// Distinct pool nodes retained (signature representatives plus
+  /// superseded operands).
+  uint64_t MaxPoolSize = 1u << 20;
+  /// BDD node budget for the seeding synthesis run.
+  size_t MaxBddNodes = size_t{1} << 22;
+};
+
+struct SuperoptResult {
+  Circuit Network; ///< best circuit found (verified against the table)
+  unsigned Gates = 0;
+  unsigned Depth = 0;
+  /// The BDD-synthesis baseline for the same table (the seed circuit).
+  unsigned SynthGates = 0;
+  unsigned SynthDepth = 0;
+  uint64_t NodesExamined = 0; ///< combinations actually examined
+  bool Improved = false; ///< strictly better than the baseline (objective)
+
+  SuperoptResult() : Network(0) {}
+};
+
+/// Superoptimizes \p Table. Requires InBits <= 6 (the signature must fit
+/// a uint64_t); returns std::nullopt for wider tables or when the
+/// seeding synthesis itself blows its budget. \p Seed only rotates
+/// deterministic tie-breaking (the order gate kinds are tried), so
+/// distinct seeds can surface distinct same-cost circuits.
+std::optional<SuperoptResult>
+superoptimizeTable(const TruthTable &Table, SuperoptObjective Objective,
+                   const SuperoptLimits &Limits = {}, uint64_t Seed = 0);
+
+} // namespace usuba
+
+#endif // USUBA_CIRCUITS_SUPEROPT_H

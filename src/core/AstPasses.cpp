@@ -408,18 +408,31 @@ bool elaborateTableNode(Node &N, DiagnosticEngine &Diags,
     return false;
   }
   Circuit &C = *Synthesized;
-  if (remarksEnabled())
-    RemarkEngine::instance().record(
-        Remark::passed("table-circuit", "Lowered")
-            .in(N.Name)
-            .at(N.Loc)
-            .note("lookup table lowered to a constant-time circuit")
-            .arg("source", tableSynthesisSourceName(Info.From))
-            .arg("in_bits", InBits)
-            .arg("out_bits", OutBits)
-            .arg("gates", C.numGates())
-            .arg("bdd_nodes", Info.BddNodes)
-            .arg("orders_tried", Info.OrdersTried));
+  if (remarksEnabled()) {
+    Remark R = Remark::passed("table-circuit", "Lowered")
+                   .in(N.Name)
+                   .at(N.Loc)
+                   .note("lookup table lowered to a constant-time circuit")
+                   .arg("source", tableSynthesisSourceName(Info.From))
+                   .arg("in_bits", InBits)
+                   .arg("out_bits", OutBits)
+                   .arg("gates", C.numGates())
+                   .arg("depth", Info.Depth)
+                   .arg("bdd_nodes", Info.BddNodes)
+                   .arg("orders_tried", Info.OrdersTried);
+    // Database hits record what plain synthesis produced at generation
+    // time, so the remark can quantify the win.
+    if (Info.SynthGates) {
+      R.arg("synth_gates", Info.SynthGates)
+          .arg("synth_depth", Info.SynthDepth)
+          .arg("gates_saved",
+               static_cast<int64_t>(Info.SynthGates) -
+                   static_cast<int64_t>(C.numGates()))
+          .arg("depth_saved", static_cast<int64_t>(Info.SynthDepth) -
+                                  static_cast<int64_t>(Info.Depth));
+    }
+    RemarkEngine::instance().record(std::move(R));
+  }
 
   // Scalar type for gate temporaries: the atom type of the input.
   Type TempTy = In.Ty.scalarType();
@@ -453,6 +466,12 @@ bool elaborateTableNode(Node &N, DiagnosticEngine &Diags,
       break;
     case Circuit::GateKind::Not:
       Rhs = Expr::makeNot(WireExpr(G.A));
+      break;
+    case Circuit::GateKind::Andn:
+      // ~a & b — the back-end's fuse-andn pass reconstitutes the fused
+      // form on targets that have it.
+      Rhs = Expr::makeBinop(BinopKind::And, Expr::makeNot(WireExpr(G.A)),
+                            WireExpr(G.B));
       break;
     case Circuit::GateKind::Const0:
       // m-agnostic all-zeros: in0 ^ in0.
@@ -551,6 +570,32 @@ bool usuba::elaborateTables(Program &Prog, DiagnosticEngine &Diags,
       return false;
   }
   return true;
+}
+
+std::vector<ProgramTable>
+usuba::collectProgramTables(const Program &Prog) {
+  std::vector<ProgramTable> Tables;
+  for (const Node &N : Prog.Nodes) {
+    if (N.K != Node::Kind::Table)
+      continue;
+    if (N.Params.size() != 1 || N.Returns.size() != 1)
+      continue;
+    unsigned InBits =
+        N.Params[0].Ty.isNat() ? 0 : N.Params[0].Ty.flattenedLength();
+    unsigned OutBits =
+        N.Returns[0].Ty.isNat() ? 0 : N.Returns[0].Ty.flattenedLength();
+    if (InBits == 0 || InBits > 20 || OutBits == 0 || OutBits > 64)
+      continue;
+    if (N.TableEntries.size() != (size_t{1} << InBits))
+      continue;
+    ProgramTable T;
+    T.Name = N.Name;
+    T.Table.InBits = InBits;
+    T.Table.OutBits = OutBits;
+    T.Table.Entries = N.TableEntries;
+    Tables.push_back(std::move(T));
+  }
+  return Tables;
 }
 
 //===----------------------------------------------------------------------===//

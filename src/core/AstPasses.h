@@ -24,8 +24,12 @@
 #ifndef USUBA_CORE_ASTPASSES_H
 #define USUBA_CORE_ASTPASSES_H
 
+#include "circuits/Circuit.h"
 #include "frontend/Ast.h"
 #include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
 
 namespace usuba {
 
@@ -52,6 +56,18 @@ bool expandProgram(ast::Program &Prog, DiagnosticEngine &Diags,
 /// when synthesis would exceed \p MaxBddNodes BDD nodes (resource guard).
 bool elaborateTables(ast::Program &Prog, DiagnosticEngine &Diags,
                      size_t MaxBddNodes = DefaultBddNodeBudget);
+
+/// One lookup table found in a parsed (not yet elaborated) program.
+struct ProgramTable {
+  std::string Name; ///< the table node's name, e.g. "SubColumn"
+  TruthTable Table;
+};
+
+/// Collects every well-formed `table` definition of \p Prog as a truth
+/// table, without elaborating anything. Tables with unsupported arity
+/// are skipped. Used by the superoptimizer drivers (usubac --superopt,
+/// bench/superopt_sboxes).
+std::vector<ProgramTable> collectProgramTables(const ast::Program &Prog);
 
 /// Substitutes 'D -> \p Direction and (when \p MBits != 0) 'm -> MBits in
 /// every declaration of the program.

@@ -433,10 +433,10 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
     // The bitslice scheduler works on the call structure (Algorithm 1
     // applies "regardless of whether those functions will be inlined"),
     // so run it before inlining.
-    Runner.run("schedule-bitslice", NoRefusal([](U0Program &P) {
+    Runner.run("schedule-bitslice", NoRefusal([&Options](U0Program &P) {
                  BitsliceScheduleStats SS;
-                 scheduleBitslice(P.entry(),
-                                  remarksEnabled() ? &SS : nullptr);
+                 scheduleBitslice(P.entry(), remarksEnabled() ? &SS : nullptr,
+                                  Options.ScheduleObjective);
                  if (remarksEnabled())
                    RemarkEngine::instance().record(
                        Remark::passed("schedule-bitslice", "Algorithm1")
@@ -445,10 +445,17 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
                            .note("scheduled call arguments and result "
                                  "consumers next to their calls to shrink "
                                  "live ranges")
+                           .arg("objective",
+                                Options.ScheduleObjective ==
+                                        ScheduleObjective::Depth
+                                    ? "depth"
+                                    : "window")
                            .arg("segments", SS.Segments)
                            .arg("calls", SS.Calls)
                            .arg("consumers_hoisted", SS.ConsumersHoisted)
-                           .arg("instructions_moved", SS.Moved));
+                           .arg("instructions_moved", SS.Moved)
+                           .arg("critical_path", SS.CriticalPathLen)
+                           .arg("depth_hoists", SS.DepthHoists));
                }));
   if (Options.Inline)
     Runner.run("inline", [&](U0Program &P) {
@@ -565,7 +572,8 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
     Runner.run("schedule-mslice", NoRefusal([&](U0Program &P) {
                  MSliceScheduleStats SS;
                  scheduleMSlice(P.entry(), Target,
-                                remarksEnabled() ? &SS : nullptr);
+                                remarksEnabled() ? &SS : nullptr,
+                                Options.ScheduleObjective);
                  if (remarksEnabled())
                    RemarkEngine::instance().record(
                        Remark::passed("schedule-mslice", "LookBehindWindow")
@@ -573,12 +581,19 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
                            .at(firstCallLoc(P.entry()))
                            .note("greedy list scheduling around data "
                                  "hazards and the shuffle port")
+                           .arg("objective",
+                                Options.ScheduleObjective ==
+                                        ScheduleObjective::Depth
+                                    ? "depth"
+                                    : "window")
                            .arg("segments", SS.Segments)
                            .arg("window_limit", SS.WindowLimit)
                            .arg("window_hits", SS.WindowHits)
                            .arg("window_misses", SS.WindowMisses)
                            .arg("forced_picks", SS.ForcedPicks)
-                           .arg("max_lookahead", SS.MaxLookahead));
+                           .arg("max_lookahead", SS.MaxLookahead)
+                           .arg("critical_path", SS.CriticalPathLen)
+                           .arg("depth_hoists", SS.DepthHoists));
                }));
   if (Options.FuseAndn)
     Runner.run("fuse-andn", NoRefusal([](U0Program &P) {
@@ -650,6 +665,8 @@ std::optional<CompiledKernel> compileAstImpl(ast::Program Prog,
   }
 
   Result.InstrCount = U0.entry().Instrs.size();
+  Result.KernelGates = countKernelGates(U0.entry());
+  Result.KernelDepth = criticalPathLength(U0.entry());
   Result.Prog = std::move(U0);
   if (remarksEnabled())
     Result.Remarks = RemarkEngine::instance().snapshotSince(RemarkBase);

@@ -17,6 +17,7 @@
 #ifndef USUBA_CORE_COMPILER_H
 #define USUBA_CORE_COMPILER_H
 
+#include "core/Passes.h"
 #include "core/Usuba0.h"
 #include "frontend/Ast.h"
 #include "support/Diagnostics.h"
@@ -50,6 +51,13 @@ struct CompileOptions {
   bool Unroll = true;
   bool Interleave = false;
   bool Schedule = true;
+  /// What the schedulers optimize for (usubac -fschedule=window|depth):
+  /// Window reproduces the paper's stay-close-to-program-order
+  /// heuristics; Depth prefers the critical path. Semantically
+  /// equivalent (differentially tested); only the instruction order
+  /// differs.
+  usuba::ScheduleObjective ScheduleObjective =
+      usuba::ScheduleObjective::Window;
   /// pandn fusion peephole.
   bool FuseAndn = true;
   /// 0 = use the registers/max-live heuristic.
@@ -154,6 +162,16 @@ struct CompiledKernel {
   /// InstrCountPreOpt is the optimizer's net effect; the optimizer never
   /// increases the count.
   size_t InstrCountPreOpt = 0;
+  /// Logic-gate count of the final entry function: instructions that do
+  /// real work at run time (everything except Mov/Const/Barrier). With
+  /// KernelDepth below, the measurable product of circuit synthesis and
+  /// scheduling — machine-independent, surfaced in CipherStats and the
+  /// throughput bench rows.
+  size_t KernelGates = 0;
+  /// Critical-path length of the final entry function (longest chain of
+  /// dependent non-Mov instructions) — the latency lower bound at
+  /// infinite ILP. See criticalPathLength().
+  size_t KernelDepth = 0;
   /// Back-end optimization passes dropped by a post-pass verification
   /// checkpoint (rolled back after producing ill-formed IR), by a
   /// resource budget, or by translation validation (rolled back after

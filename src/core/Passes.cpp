@@ -419,8 +419,35 @@ Unit unitOf(const U0Instr &I) {
   return Unit::Other;
 }
 
+/// Latency weight of an instruction on a dependence chain: Mov and
+/// Barrier are free wiring (register renaming / pass bookkeeping), Const
+/// starts a chain at level 0, everything else costs one level.
+unsigned chainCost(const U0Instr &I) {
+  return I.Op == U0Op::Mov || I.Op == U0Op::Barrier || I.Op == U0Op::Const
+             ? 0
+             : 1;
+}
+
+/// Remaining critical-path height of every instruction in a segment:
+/// Height[I] = chainCost(I) + max over Height of I's users (0 at sinks).
+/// Users edges always point forward (single assignment), so one backward
+/// sweep suffices.
+std::vector<unsigned>
+remainingHeights(const std::vector<U0Instr> &Segment,
+                 const std::vector<std::vector<unsigned>> &Users) {
+  std::vector<unsigned> Height(Segment.size(), 0);
+  for (size_t I = Segment.size(); I-- > 0;) {
+    unsigned Best = 0;
+    for (unsigned User : Users[I])
+      Best = std::max(Best, Height[User]);
+    Height[I] = chainCost(Segment[I]) + Best;
+  }
+  return Height;
+}
+
 void scheduleBitsliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
-                             BitsliceScheduleStats *Stats) {
+                             BitsliceScheduleStats *Stats,
+                             ScheduleObjective Objective) {
   std::vector<int> Def = definersOf(Segment, NumRegs);
   std::vector<std::vector<unsigned>> Users(Segment.size());
   for (size_t I = 0; I < Segment.size(); ++I)
@@ -429,6 +456,11 @@ void scheduleBitsliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
       if (D >= 0 && static_cast<size_t>(D) != I)
         Users[D].push_back(static_cast<unsigned>(I));
     }
+
+  std::vector<unsigned> Height = remainingHeights(Segment, Users);
+  if (Stats)
+    for (unsigned H : Height)
+      Stats->CriticalPathLen = std::max(Stats->CriticalPathLen, H);
 
   std::vector<bool> Scheduled(Segment.size(), false);
   std::vector<unsigned> Order;
@@ -487,8 +519,22 @@ void scheduleBitsliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
     // Lines 2-6: pull the arguments' definitions next to the call.
     ScheduleWithDeps(static_cast<unsigned>(I));
     // Lines 7-10: schedule the consumers of the results while they are
-    // hot.
-    for (unsigned User : Users[I])
+    // hot. Under the depth objective, deeper consumers (those heading
+    // the longest remaining dependence chains) are tried first so their
+    // own consumers become ready as early as possible; under the window
+    // objective the original program order is kept.
+    std::vector<unsigned> HoistOrder(Users[I].begin(), Users[I].end());
+    if (Objective == ScheduleObjective::Depth) {
+      std::stable_sort(HoistOrder.begin(), HoistOrder.end(),
+                       [&](unsigned A, unsigned B) {
+                         return Height[A] > Height[B];
+                       });
+      if (Stats)
+        for (size_t K = 0; K < HoistOrder.size(); ++K)
+          if (HoistOrder[K] != Users[I][K])
+            ++Stats->DepthHoists;
+    }
+    for (unsigned User : HoistOrder)
       if (IsReady(User)) {
         Scheduled[User] = true;
         Order.push_back(User);
@@ -513,7 +559,8 @@ void scheduleBitsliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
 }
 
 void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
-                           unsigned WindowLimit, MSliceScheduleStats *Stats) {
+                           unsigned WindowLimit, MSliceScheduleStats *Stats,
+                           ScheduleObjective Objective) {
   if (Stats)
     ++Stats->Segments;
   std::vector<int> Def = definersOf(Segment, NumRegs);
@@ -531,6 +578,11 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
       ++InDegree[I];
     }
   }
+
+  std::vector<unsigned> Height = remainingHeights(Segment, Users);
+  if (Stats)
+    for (unsigned H : Height)
+      Stats->CriticalPathLen = std::max(Stats->CriticalPathLen, H);
 
   std::set<unsigned> Ready;
   for (size_t I = 0; I < Segment.size(); ++I)
@@ -571,9 +623,13 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
     int Picked = -1;
     int PickedPass = -1;
     // Pass 0: no hazard, no shuffle-after-shuffle. Pass 1: no hazard.
-    // Pass 2: first ready (original order).
+    // Pass 2: first ready (original order). Under the window objective
+    // the first acceptable candidate wins (stay close to program
+    // order); under the depth objective the acceptable candidate with
+    // the greatest remaining critical-path height wins.
     for (int Pass = 0; Pass < 2 && Picked < 0; ++Pass) {
       unsigned Seen = 0;
+      int First = -1;
       for (unsigned Cand : Ready) {
         if (++Seen > MaxCandidates)
           break;
@@ -582,12 +638,20 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
         if (Pass == 0 && PrevUnit == Unit::Shuffle &&
             unitOf(Segment[Cand]) == Unit::Shuffle)
           continue;
-        Picked = static_cast<int>(Cand);
-        PickedPass = Pass;
-        if (Stats)
-          Stats->MaxLookahead = std::max(Stats->MaxLookahead, Seen);
-        break;
+        if (First < 0)
+          First = static_cast<int>(Cand);
+        if (Picked < 0 || (Objective == ScheduleObjective::Depth &&
+                           Height[Cand] > Height[Picked])) {
+          Picked = static_cast<int>(Cand);
+          PickedPass = Pass;
+          if (Stats)
+            Stats->MaxLookahead = std::max(Stats->MaxLookahead, Seen);
+        }
+        if (Objective == ScheduleObjective::Window)
+          break;
       }
+      if (Stats && Picked >= 0 && Picked != First)
+        ++Stats->DepthHoists;
     }
     if (Picked < 0)
       Picked = static_cast<int>(*Ready.begin());
@@ -622,15 +686,40 @@ void scheduleMSliceSegment(std::vector<U0Instr> &Segment, unsigned NumRegs,
 
 } // namespace
 
-void usuba::scheduleBitslice(U0Function &F, BitsliceScheduleStats *Stats) {
+size_t usuba::countKernelGates(const U0Function &F) {
+  size_t Gates = 0;
+  for (const U0Instr &I : F.Instrs)
+    Gates += chainCost(I);
+  return Gates;
+}
+
+unsigned usuba::criticalPathLength(const U0Function &F) {
+  std::vector<unsigned> RegDepth(F.NumRegs, 0);
+  unsigned Max = 0;
+  for (const U0Instr &I : F.Instrs) {
+    unsigned SrcMax = 0;
+    for (unsigned S : I.Srcs)
+      SrcMax = std::max(SrcMax, RegDepth[S]);
+    unsigned D = SrcMax + chainCost(I);
+    for (unsigned Dest : I.Dests)
+      RegDepth[Dest] = D;
+    Max = std::max(Max, D);
+  }
+  return Max;
+}
+
+void usuba::scheduleBitslice(U0Function &F, BitsliceScheduleStats *Stats,
+                             ScheduleObjective Objective) {
   unsigned NumRegs = F.NumRegs;
-  forEachSegment(F, [NumRegs, Stats](std::vector<U0Instr> &Segment) {
-    scheduleBitsliceSegment(Segment, NumRegs, Stats);
+  forEachSegment(F, [NumRegs, Stats,
+                     Objective](std::vector<U0Instr> &Segment) {
+    scheduleBitsliceSegment(Segment, NumRegs, Stats, Objective);
   });
 }
 
 void usuba::scheduleMSlice(U0Function &F, const Arch &Target,
-                           MSliceScheduleStats *Stats) {
+                           MSliceScheduleStats *Stats,
+                           ScheduleObjective Objective) {
   // "a look-behind window of the previous 16 instructions (which
   // corresponds to the maximal number of registers available on Intel
   // platforms without AVX512)".
@@ -638,10 +727,10 @@ void usuba::scheduleMSlice(U0Function &F, const Arch &Target,
   if (Stats)
     Stats->WindowLimit = WindowLimit;
   unsigned NumRegs = F.NumRegs;
-  forEachSegment(F,
-                 [NumRegs, WindowLimit, Stats](std::vector<U0Instr> &Segment) {
-                   scheduleMSliceSegment(Segment, NumRegs, WindowLimit, Stats);
-                 });
+  forEachSegment(F, [NumRegs, WindowLimit, Stats,
+                     Objective](std::vector<U0Instr> &Segment) {
+    scheduleMSliceSegment(Segment, NumRegs, WindowLimit, Stats, Objective);
+  });
 }
 
 void usuba::stripBarriers(U0Function &F) {

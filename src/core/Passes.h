@@ -80,6 +80,26 @@ unsigned interleaveFactorFor(unsigned MaxLive, const Arch &Target);
 void interleaveEntry(U0Program &Prog, unsigned Factor,
                      unsigned BlockSize = 10);
 
+/// What the schedulers optimize for. Window (the default) reproduces the
+/// paper's heuristics exactly: program order except where a stall or port
+/// conflict forces a deviation. Depth prefers instructions on the
+/// critical path — the longest chain of dependent non-Mov instructions —
+/// exposing more ILP for deep circuits at the price of longer live
+/// ranges. Both produce semantically identical kernels (differentially
+/// tested); only the instruction order differs.
+enum class ScheduleObjective : uint8_t { Window, Depth };
+
+/// Length of the longest chain of dependent instructions in \p F's
+/// straight-line code, counting Mov/Barrier as free wiring and every
+/// other instruction as one level. This is the kernel's logic depth —
+/// the latency lower bound at infinite ILP.
+unsigned criticalPathLength(const U0Function &F);
+
+/// Number of instructions in \p F that do real work at run time
+/// (everything except Mov/Const/Barrier) — the kernel's logic-gate
+/// count, the companion width metric to criticalPathLength's depth.
+size_t countKernelGates(const U0Function &F);
+
 /// Decision counters from one scheduleBitslice run, reported as
 /// optimization remarks by the compiler driver.
 struct BitsliceScheduleStats {
@@ -87,13 +107,17 @@ struct BitsliceScheduleStats {
   unsigned Calls = 0;            ///< calls anchoring Algorithm 1
   unsigned ConsumersHoisted = 0; ///< result consumers scheduled while hot
   unsigned Moved = 0;            ///< instructions whose position changed
+  unsigned CriticalPathLen = 0;  ///< longest dependence chain seen
+  unsigned DepthHoists = 0;      ///< reorderings made for the critical path
 };
 
 /// The bitslice scheduler (paper Algorithm 1): shrinks live ranges of
 /// call arguments and results to reduce spilling. Operates on the
 /// pre-inlining call structure; barriers delimit independently scheduled
-/// segments.
-void scheduleBitslice(U0Function &F, BitsliceScheduleStats *Stats = nullptr);
+/// segments. Under ScheduleObjective::Depth, hoisted consumers are
+/// ordered by remaining critical-path height instead of program order.
+void scheduleBitslice(U0Function &F, BitsliceScheduleStats *Stats = nullptr,
+                      ScheduleObjective Objective = ScheduleObjective::Window);
 
 /// Decision counters from one scheduleMSlice run: how often the window
 /// found a hazard-free (and port-clean) candidate vs how often it had to
@@ -105,14 +129,20 @@ struct MSliceScheduleStats {
   unsigned ForcedPicks = 0;  ///< picks forced despite a data hazard
   unsigned WindowLimit = 0;  ///< look-behind window size used
   unsigned MaxLookahead = 0; ///< deepest scan into the ready set
+  unsigned CriticalPathLen = 0; ///< longest dependence chain seen
+  unsigned DepthHoists = 0;  ///< picks that jumped the program order for depth
 };
 
 /// The m-slice scheduler (Section 3.2): greedy list scheduling with a
 /// 16-instruction look-behind window, avoiding data hazards and
 /// consecutive dispatches to the same (modelled) execution unit — the
-/// shuffle unit is the scarce one on Skylake.
+/// shuffle unit is the scarce one on Skylake. Under
+/// ScheduleObjective::Depth, among the acceptable candidates of a pass
+/// the one with the greatest remaining critical-path height wins instead
+/// of the first in program order.
 void scheduleMSlice(U0Function &F, const Arch &Target,
-                    MSliceScheduleStats *Stats = nullptr);
+                    MSliceScheduleStats *Stats = nullptr,
+                    ScheduleObjective Objective = ScheduleObjective::Window);
 
 /// Removes Barrier instructions (done after scheduling, before
 /// execution/emission).

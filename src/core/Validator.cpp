@@ -264,9 +264,15 @@ ValidationOutcome proveBdd(const U0Program &Before, const U0Program &After,
   std::vector<std::vector<BddManager::Ref>> Inputs(
       Entry.NumInputs, std::vector<BddManager::Ref>(M));
   try {
+    // Interleaved variable order: bit b of every register sits next to
+    // bit b of every other register. For carry-propagating arithmetic
+    // (a ripple carry consumes bit b of both operands before touching
+    // bit b+1) this keeps the BDD linear in M, where the input-major
+    // order (all of register A's bits before register B's) is the
+    // textbook exponential one.
     for (unsigned I = 0; I < Entry.NumInputs; ++I)
       for (unsigned Bit = 0; Bit < M; ++Bit)
-        Inputs[I][Bit] = B.var(I * M + Bit);
+        Inputs[I][Bit] = B.var(Bit * Entry.NumInputs + I);
 
     SymbolicEval<BddDomain> EvalBefore(D, Before);
     SymbolicEval<BddDomain> EvalAfter(D, After);
@@ -337,15 +343,16 @@ ValidationOutcome checkRandom(const U0Program &Before,
   return R;
 }
 
-/// Whether any function carries carry-propagating arithmetic. Ripple
-/// carries under the input-major variable order (all of register A's
-/// bits before register B's) are the textbook exponential BDD ordering,
-/// so arithmetic cones get a far tighter proof-tier input cap — building
-/// millions of nodes just to trip the budget costs real compile time.
-bool containsArith(const U0Program &Prog) {
+/// Whether any function multiplies. Under the interleaved variable order
+/// Add/Sub ripple carries build linear-size BDDs, so they use the
+/// general cap; multiplication's middle output bits are exponential
+/// under EVERY variable order (Bryant 1986), so Mul cones keep a far
+/// tighter proof-tier input cap — building millions of nodes just to
+/// trip the budget costs real compile time.
+bool containsMul(const U0Program &Prog) {
   for (const U0Function &F : Prog.Funcs)
     for (const U0Instr &I : F.Instrs)
-      if (I.Op == U0Op::Add || I.Op == U0Op::Sub || I.Op == U0Op::Mul)
+      if (I.Op == U0Op::Mul)
         return true;
   return false;
 }
@@ -386,9 +393,9 @@ ValidationOutcome usuba::validateTransformation(const U0Program &Before,
 
   try {
     const unsigned InputBits = Before.entry().NumInputs * Before.MBits;
-    const bool Arith = containsArith(Before) || containsArith(After);
+    const bool Mul = containsMul(Before) || containsMul(After);
     const unsigned Cap =
-        Arith ? ValidatorMaxArithInputBits : ValidatorMaxInputBits;
+        Mul ? ValidatorMaxMulInputBits : ValidatorMaxInputBits;
     std::string FallbackWhy;
     if (InputBits <= Cap) {
       ValidationOutcome Proof =
@@ -400,7 +407,7 @@ ValidationOutcome usuba::validateTransformation(const U0Program &Before,
     FallbackWhy = std::to_string(InputBits) +
                   " input bits exceed the proof tier's cap of " +
                   std::to_string(Cap) +
-                  (Arith ? " for carry-propagating arithmetic cones" : "");
+                  (Mul ? " for multiplication cones" : "");
     return checkRandom(Before, After, 0, FallbackWhy);
   } catch (const UnsupportedModel &U) {
     R.K = ValidationOutcome::Kind::Skipped;

@@ -86,11 +86,13 @@ ValidationOutcome validateTransformation(const U0Program &Before,
 /// and expensively, so the validator goes straight to the random tier.
 constexpr unsigned ValidatorMaxInputBits = 512;
 
-/// The far tighter cap applied when the program carries Add/Sub/Mul:
-/// ripple carries under the validator's input-major variable order are
-/// the classic exponential-BDD case, so wide arithmetic cones go
-/// straight to the random tier instead of grinding the node budget.
-constexpr unsigned ValidatorMaxArithInputBits = 24;
+/// The far tighter cap applied when the program carries Mul. Add/Sub
+/// ripple carries are linear under the validator's interleaved variable
+/// order (bit b of every register adjacent) and use the general cap;
+/// multiplication's middle output bits are exponential under every
+/// variable order, so Mul cones go straight to the random tier instead
+/// of grinding the node budget.
+constexpr unsigned ValidatorMaxMulInputBits = 24;
 
 } // namespace usuba
 

@@ -1,0 +1,129 @@
+//===- SuperoptTest.cpp - S-box superoptimizer tests ----------------------===//
+//
+// Part of the usuba-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for the enumerative superoptimizer: correctness of the
+// extracted circuits, determinism under a fixed budget and seed, real
+// improvement over BDD synthesis on the bundled S-boxes, and the
+// budget/arity guard rails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuits/Superopt.h"
+
+#include <gtest/gtest.h>
+
+using namespace usuba;
+
+namespace {
+
+TruthTable rectangleTable() {
+  TruthTable T;
+  T.InBits = 4;
+  T.OutBits = 4;
+  T.Entries = {6, 5, 12, 10, 1, 14, 7, 9, 11, 0, 3, 13, 8, 15, 4, 2};
+  return T;
+}
+
+TEST(Superopt, FindsTrivialCircuits) {
+  TruthTable Xor2;
+  Xor2.InBits = 2;
+  Xor2.OutBits = 1;
+  Xor2.Entries = {0, 1, 1, 0};
+  std::optional<SuperoptResult> R =
+      superoptimizeTable(Xor2, SuperoptObjective::MinGates);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Network.matchesTable(Xor2));
+  EXPECT_EQ(R->Gates, 1u);
+  EXPECT_EQ(R->Depth, 1u);
+}
+
+TEST(Superopt, ImprovesRectangleUnderBothObjectives) {
+  TruthTable T = rectangleTable();
+  SuperoptLimits Limits;
+  Limits.MaxNodes = 500000;
+  for (SuperoptObjective Obj :
+       {SuperoptObjective::MinGates, SuperoptObjective::MinDepthThenGates}) {
+    std::optional<SuperoptResult> R = superoptimizeTable(T, Obj, Limits);
+    ASSERT_TRUE(R.has_value()) << superoptObjectiveName(Obj);
+    EXPECT_TRUE(R->Network.matchesTable(T)) << superoptObjectiveName(Obj);
+    EXPECT_TRUE(R->Improved) << superoptObjectiveName(Obj);
+    EXPECT_LT(R->Gates, R->SynthGates) << superoptObjectiveName(Obj);
+    EXPECT_LT(R->Depth, R->SynthDepth) << superoptObjectiveName(Obj);
+    // The recorded metrics describe the returned network.
+    EXPECT_EQ(R->Gates, R->Network.numGates()) << superoptObjectiveName(Obj);
+    EXPECT_EQ(R->Depth, R->Network.depth()) << superoptObjectiveName(Obj);
+  }
+}
+
+TEST(Superopt, IsDeterministicUnderFixedBudgetAndSeed) {
+  TruthTable T = rectangleTable();
+  SuperoptLimits Limits;
+  Limits.MaxNodes = 200000;
+  std::optional<SuperoptResult> A =
+      superoptimizeTable(T, SuperoptObjective::MinGates, Limits, 7);
+  std::optional<SuperoptResult> B =
+      superoptimizeTable(T, SuperoptObjective::MinGates, Limits, 7);
+  ASSERT_TRUE(A.has_value());
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(A->NodesExamined, B->NodesExamined);
+  ASSERT_EQ(A->Network.numGates(), B->Network.numGates());
+  for (unsigned I = 0; I < A->Network.numGates(); ++I) {
+    EXPECT_EQ(A->Network.gates()[I].Kind, B->Network.gates()[I].Kind);
+    EXPECT_EQ(A->Network.gates()[I].A, B->Network.gates()[I].A);
+    EXPECT_EQ(A->Network.gates()[I].B, B->Network.gates()[I].B);
+  }
+  EXPECT_EQ(A->Network.outputs(), B->Network.outputs());
+}
+
+TEST(Superopt, NeverReturnsWorseThanSynthesis) {
+  // A starved search must still return a valid circuit: the synthesis
+  // baseline it was seeded with.
+  TruthTable T = rectangleTable();
+  SuperoptLimits Limits;
+  Limits.MaxNodes = 1;
+  std::optional<SuperoptResult> R =
+      superoptimizeTable(T, SuperoptObjective::MinGates, Limits);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Network.matchesTable(T));
+  EXPECT_LE(R->Gates, R->SynthGates);
+}
+
+TEST(Superopt, RespectsTheNodeBudget) {
+  TruthTable T = rectangleTable();
+  SuperoptLimits Limits;
+  Limits.MaxNodes = 50000;
+  std::optional<SuperoptResult> R =
+      superoptimizeTable(T, SuperoptObjective::MinGates, Limits);
+  ASSERT_TRUE(R.has_value());
+  // The counter stops within one candidate of the budget.
+  EXPECT_LE(R->NodesExamined, Limits.MaxNodes + 1);
+}
+
+TEST(Superopt, RejectsWideTables) {
+  TruthTable T;
+  T.InBits = 7;
+  T.OutBits = 4;
+  T.Entries.assign(size_t{1} << 7, 0);
+  EXPECT_FALSE(
+      superoptimizeTable(T, SuperoptObjective::MinGates).has_value());
+}
+
+TEST(Superopt, HandlesMultiOutputWideRows) {
+  // 3 -> 5 bits: output bits above InBits and constant output bits both
+  // extract correctly.
+  TruthTable T;
+  T.InBits = 3;
+  T.OutBits = 5;
+  T.Entries = {17, 4, 9, 30, 2, 21, 8, 11};
+  SuperoptLimits Limits;
+  Limits.MaxNodes = 100000;
+  std::optional<SuperoptResult> R =
+      superoptimizeTable(T, SuperoptObjective::MinGates, Limits);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Network.matchesTable(T));
+}
+
+} // namespace

@@ -18,14 +18,19 @@ using namespace usuba;
 namespace {
 
 /// Compiles a small program and returns the U0 for pass-level testing.
-CompiledKernel compileRect(bool Inline, bool Schedule, bool Interleave) {
+CompiledKernel compileRect(bool Inline, bool Schedule, bool Interleave,
+                           bool Bitslice = false,
+                           ScheduleObjective Objective =
+                               ScheduleObjective::Window) {
   CompileOptions Options;
   Options.Direction = Dir::Vert;
   Options.WordBits = 16;
+  Options.Bitslice = Bitslice;
   Options.Target = &archAVX2();
   Options.Inline = Inline;
   Options.Schedule = Schedule;
   Options.Interleave = Interleave;
+  Options.ScheduleObjective = Objective;
   DiagnosticEngine Diags;
   const char *Source = R"(
 table S (in:v4) returns (out:v4) {
@@ -87,6 +92,60 @@ TEST(Schedule, PreservesSemanticsAndShape) {
             Scheduled.Prog.entry().Instrs.size())
       << "scheduling permutes, never adds or removes";
   EXPECT_EQ(execute(Plain.Prog, 13), execute(Scheduled.Prog, 13));
+}
+
+TEST(Schedule, DepthObjectiveIsSemanticallyIdentical) {
+  // -fschedule=depth only permutes; the computed function is the same.
+  // Differential check on both scheduler families: the m-slice list
+  // scheduler (vsliced compile) and the bitslice hoisting scheduler
+  // (-B compile).
+  for (bool Bitslice : {false, true}) {
+    CompiledKernel Window =
+        compileRect(true, true, false, Bitslice, ScheduleObjective::Window);
+    CompiledKernel Depth =
+        compileRect(true, true, false, Bitslice, ScheduleObjective::Depth);
+    EXPECT_EQ(Window.Prog.entry().Instrs.size(),
+              Depth.Prog.entry().Instrs.size())
+        << "objective changes order only, bitslice=" << Bitslice;
+    EXPECT_EQ(execute(Window.Prog, 29), execute(Depth.Prog, 29))
+        << "bitslice=" << Bitslice;
+  }
+}
+
+TEST(Schedule, KernelMetricsArePopulated) {
+  CompiledKernel K = compileRect(true, true, false);
+  EXPECT_GT(K.KernelGates, 0u);
+  EXPECT_GT(K.KernelDepth, 0u);
+  EXPECT_LE(K.KernelDepth, K.KernelGates)
+      << "the critical path is a chain through the gates";
+  // The recorded metrics describe the final program.
+  EXPECT_EQ(K.KernelGates, countKernelGates(K.Prog.entry()));
+  EXPECT_EQ(K.KernelDepth, criticalPathLength(K.Prog.entry()));
+  // Scheduling permutes instructions, so the metrics are order-invariant.
+  CompiledKernel Depth =
+      compileRect(true, true, false, false, ScheduleObjective::Depth);
+  EXPECT_EQ(K.KernelGates, Depth.KernelGates);
+  EXPECT_EQ(K.KernelDepth, Depth.KernelDepth);
+}
+
+TEST(Schedule, CriticalPathLengthOnHandBuiltChain) {
+  // x0 -> a = x0^x1 -> b = a&x0 -> c = ~b: a pure chain of height 3,
+  // plus an independent d = x1|x1 that must not lengthen it.
+  U0Function F;
+  F.Name = "t";
+  F.NumInputs = 2;
+  F.NumRegs = 6;
+  F.Outputs = {4, 5};
+  F.Instrs.push_back(U0Instr::binary(U0Op::Xor, 2, 0, 1));
+  F.Instrs.push_back(U0Instr::binary(U0Op::And, 3, 2, 0));
+  F.Instrs.push_back(U0Instr::unary(U0Op::Not, 4, 3));
+  F.Instrs.push_back(U0Instr::binary(U0Op::Or, 5, 1, 1));
+  EXPECT_EQ(criticalPathLength(F), 3u);
+  EXPECT_EQ(countKernelGates(F), 4u);
+  // Movs are free: a copy appended to the chain adds no height.
+  F.Instrs.push_back(U0Instr::unary(U0Op::Mov, 5, 4));
+  EXPECT_EQ(criticalPathLength(F), 3u);
+  EXPECT_EQ(countKernelGates(F), 4u);
 }
 
 TEST(Interleave, DoublesAbiAndPreservesEachInstance) {

@@ -103,30 +103,60 @@ TEST(Validator, RefutesOpcodeFlip) {
   EXPECT_NE(R.Detail.find("output 0"), std::string::npos) << R.Detail;
 }
 
-TEST(Validator, ArithConesSkipStraightToRandomTier) {
-  // 2 inputs x 16 bits = 32 input bits: under the logic cap (512) but
-  // over the arithmetic cap (24) — ripple carries must not grind the BDD
-  // budget. Equivalent rewrite a + a == a << 1 still checks out.
+TEST(Validator, AdditionConesReachTheProofTier) {
+  // 2 inputs x 16 bits = 32 input bits: ripple carries are linear under
+  // the interleaved variable order, so Add cones use the general cap
+  // (512) and get a real proof. a + a == a << 1 must be *Proven*, not
+  // merely checked on random vectors.
   U0Function B = func(1, 2, {1});
   B.Instrs.push_back(U0Instr::binary(U0Op::Add, 1, 0, 0));
   U0Function A = func(1, 2, {1});
   A.Instrs.push_back(U0Instr::shift(U0Op::Lshift, 1, 0, 1));
-  U0Program BP = wrap(std::move(B)), AP = wrap(std::move(A));
-  BP.Funcs[0].NumInputs = AP.Funcs[0].NumInputs = 2; // widen past the cap
-  BP.Funcs[0].NumRegs = AP.Funcs[0].NumRegs = 3;
-  ValidationOutcome R = validateTransformation(BP, AP, 1 << 20);
+  ValidationOutcome R =
+      validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Proven) << R.Detail;
+  EXPECT_GT(R.BddNodes, 0u);
+}
+
+TEST(Validator, WideAdditionConesStayLinearUnderInterleavedOrder) {
+  // The regression the interleaved order exists for: a full 32-bit
+  // adder cone (2 inputs x 32 bits = 64 input bits) must be Proven
+  // within a modest node budget. Under an input-major order the last
+  // carry would need ~2^32 nodes and fall back to CheckedRandom.
+  U0Function B = func(2, 3, {2});
+  B.Instrs.push_back(U0Instr::binary(U0Op::Add, 2, 0, 1));
+  U0Function A = func(2, 3, {2});
+  A.Instrs.push_back(U0Instr::binary(U0Op::Add, 2, 1, 0));
+  ValidationOutcome R = validateTransformation(
+      wrap(std::move(B), Dir::Vert, 32), wrap(std::move(A), Dir::Vert, 32),
+      1 << 20);
+  EXPECT_EQ(R.K, ValidationOutcome::Kind::Proven) << R.Detail;
+  EXPECT_GT(R.BddNodes, 0u);
+}
+
+TEST(Validator, MulConesSkipStraightToRandomTier) {
+  // Multiplication's middle bits are exponential under *every* variable
+  // order (Bryant 1986): 32 input bits is over the Mul cap (24), so the
+  // proof tier must not even start. a * a is equivalent to itself.
+  U0Function B = func(2, 3, {2});
+  B.Instrs.push_back(U0Instr::binary(U0Op::Mul, 2, 0, 1));
+  U0Function A = func(2, 3, {2});
+  A.Instrs.push_back(U0Instr::binary(U0Op::Mul, 2, 1, 0));
+  ValidationOutcome R =
+      validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 1 << 20);
   EXPECT_EQ(R.K, ValidationOutcome::Kind::CheckedRandom) << R.Detail;
   EXPECT_EQ(R.BddNodes, 0u); // the proof tier never started
-  EXPECT_NE(R.Detail.find("arithmetic"), std::string::npos) << R.Detail;
+  EXPECT_NE(R.Detail.find("multiplication"), std::string::npos) << R.Detail;
   EXPECT_GE(R.RandomVectors, 64u);
 }
 
 TEST(Validator, RandomTierCatchesArithMiscompile) {
-  // a + b vs a - b, wide enough that only the differential tier runs.
+  // a * b vs a + b: the Mul cap routes this to the differential tier
+  // alone, which must still catch the mismatch.
   U0Function B = func(2, 3, {2});
-  B.Instrs.push_back(U0Instr::binary(U0Op::Add, 2, 0, 1));
+  B.Instrs.push_back(U0Instr::binary(U0Op::Mul, 2, 0, 1));
   U0Function A = func(2, 3, {2});
-  A.Instrs.push_back(U0Instr::binary(U0Op::Sub, 2, 0, 1));
+  A.Instrs.push_back(U0Instr::binary(U0Op::Add, 2, 0, 1));
   ValidationOutcome R =
       validateTransformation(wrap(std::move(B)), wrap(std::move(A)), 1 << 20);
   EXPECT_EQ(R.K, ValidationOutcome::Kind::Mismatch);
